@@ -1,0 +1,28 @@
+//! Criterion bench: scalar vs ONPL speculative coloring on representative
+//! suite stand-ins (one per structural class).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::coloring::{color_graph_onpl, color_graph_scalar, ColoringConfig};
+use gp_graph::suite::{build_standin, entry, SuiteScale};
+use gp_simd::engine::Engine;
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    let config = ColoringConfig::default();
+    for name in ["belgium", "M6", "in-2004", "nlpkkt200"] {
+        let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        group.bench_with_input(BenchmarkId::new("scalar", name), &g, |b, g| {
+            b.iter(|| color_graph_scalar(g, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("onpl", name), &g, |b, g| {
+            match Engine::best() {
+                Engine::Native(s) => b.iter(|| color_graph_onpl(&s, g, &config)),
+                Engine::Emulated(s) => b.iter(|| color_graph_onpl(&s, g, &config)),
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: the Figure-5 microbenchmark kernel (scalar vs vector
+//! load/gather/add/scatter over a diagonal 4096-neighbor vertex).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_bench::microbench::{affinity_scalar, affinity_vector, MicrobenchData};
+use gp_simd::engine::Engine;
+
+fn bench_microkernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microbench_4096");
+    group.bench_function("scalar", |b| {
+        let mut data = MicrobenchData::new(4096);
+        b.iter(|| affinity_scalar(&mut data));
+    });
+    group.bench_function("vector", |b| {
+        let mut data = MicrobenchData::new(4096);
+        match Engine::best() {
+            Engine::Native(s) => b.iter(|| affinity_vector(&s, &mut data)),
+            Engine::Emulated(s) => b.iter(|| affinity_vector(&s, &mut data)),
+        }
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_microkernel);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: MPLP vs ONLP label propagation (Figure 15's kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
+use gp_graph::suite::{build_standin, entry, SuiteScale};
+use gp_simd::engine::Engine;
+
+fn bench_labelprop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_propagation");
+    group.sample_size(10);
+    let config = LabelPropConfig::default();
+    for name in ["belgium", "in-2004", "nlpkkt200"] {
+        let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        group.bench_with_input(BenchmarkId::new("mplp", name), &g, |b, g| {
+            b.iter(|| label_propagation_mplp(g, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("onlp", name), &g, |b, g| {
+            match Engine::best() {
+                Engine::Native(s) => b.iter(|| label_propagation_onlp(&s, g, &config)),
+                Engine::Emulated(s) => b.iter(|| label_propagation_onlp(&s, g, &config)),
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labelprop);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: one Louvain move phase per variant on representative
+//! suite stand-ins (Figure 12's kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::louvain::driver::run_move_phase_with;
+use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};
+use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::suite::{build_standin, entry, SuiteScale};
+use gp_simd::engine::Engine;
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("louvain_move_phase");
+    group.sample_size(10);
+    for name in ["belgium", "M6", "nlpkkt200"] {
+        let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        for variant in [
+            Variant::Plm,
+            Variant::Mplm,
+            Variant::Onpl(Strategy::Adaptive),
+        ] {
+            let config = LouvainConfig {
+                variant,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), name),
+                &g,
+                |b, g| match Engine::best() {
+                    Engine::Native(s) => b.iter(|| {
+                        let state = MoveState::singleton(g);
+                        run_move_phase_with(&s, g, &state, &config)
+                    }),
+                    Engine::Emulated(s) => b.iter(|| {
+                        let state = MoveState::singleton(g);
+                        run_move_phase_with(&s, g, &state, &config)
+                    }),
+                },
+            );
+        }
+        // OVPL with preprocessing hoisted (the paper's timing convention).
+        let config = LouvainConfig {
+            variant: Variant::Ovpl,
+            ..Default::default()
+        };
+        let layout = prepare(&g, &config);
+        group.bench_with_input(BenchmarkId::new("OVPL", name), &g, |b, g| {
+            match Engine::best() {
+                Engine::Native(s) => b.iter(|| {
+                    let state = MoveState::singleton(g);
+                    move_phase_ovpl(&s, &layout, &state, &config)
+                }),
+                Engine::Emulated(s) => b.iter(|| {
+                    let state = MoveState::singleton(g);
+                    move_phase_ovpl(&s, &layout, &state, &config)
+                }),
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_louvain);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: multilevel edge-cut partitioning (the problem-class
+//! extension) — scalar vs ONPL-vectorized refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_core::partition::refine::{refine, refine_scalar};
+use gp_core::partition::PartitionConfig;
+use gp_graph::suite::{build_standin, entry, SuiteScale};
+use gp_simd::engine::Engine;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_refine");
+    group.sample_size(10);
+    for name in ["M6", "nlpkkt200"] {
+        let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        let weights = vec![1.0f32; g.num_vertices()];
+        let cfg = PartitionConfig::kway(4);
+        let stripes: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 4).collect();
+        group.bench_with_input(BenchmarkId::new("scalar", name), &g, |b, g| {
+            b.iter(|| {
+                let mut parts = stripes.clone();
+                refine_scalar(g, &weights, &mut parts, &cfg);
+                parts
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("onpl", name), &g, |b, g| {
+            match Engine::best() {
+                Engine::Native(s) => b.iter(|| {
+                    let mut parts = stripes.clone();
+                    refine(&s, g, &weights, &mut parts, &cfg);
+                    parts
+                }),
+                Engine::Emulated(s) => b.iter(|| {
+                    let mut parts = stripes.clone();
+                    refine(&s, g, &weights, &mut parts, &cfg);
+                    parts
+                }),
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

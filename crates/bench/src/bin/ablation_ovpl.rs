@@ -1,0 +1,92 @@
+//! Ablation — OVPL preprocessing choices.
+//!
+//! Quantifies the design decisions DESIGN.md calls out: (a) sorting color
+//! groups by non-increasing degree (the paper's load-balancing step) vs.
+//! leaving them unsorted, via lane utilization and move-phase time; and
+//! (b) the preprocessing cost itself relative to one move phase.
+
+use gp_bench::harness::{print_header, BenchContext};
+use gp_core::coloring::{color_graph_scalar, ColoringConfig};
+use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};
+use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_graph::suite::{build_suite, GraphClass};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::timer::time_runs;
+use gp_simd::engine::Engine;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Ablation: OVPL preprocessing", &ctx);
+    let mut table = Table::new(
+        "OVPL degree-sorting ablation",
+        &[
+            "graph",
+            "class",
+            "util sorted",
+            "util unsorted",
+            "move sorted",
+            "move unsorted",
+            "sorted gain",
+            "preproc wall",
+        ],
+    );
+    for (entry, g) in build_suite(ctx.scale) {
+        // The sweep is slow on the road networks at full scale; keep the
+        // ablation to the classes where OVPL is the recommended variant
+        // plus one contrast class.
+        if !matches!(
+            entry.class,
+            GraphClass::Mesh | GraphClass::Matrix | GraphClass::Social
+        ) {
+            continue;
+        }
+        let coloring = color_graph_scalar(&g, &ColoringConfig::default());
+        let sorted = build_layout(&g, &coloring.colors, true);
+        let unsorted = build_layout(&g, &coloring.colors, false);
+        let config = LouvainConfig {
+            variant: Variant::Ovpl,
+            ..Default::default()
+        };
+        let preproc = time_runs(&ctx.timing, |_| {
+            let coloring = color_graph_scalar(&g, &ColoringConfig::default());
+            build_layout(&g, &coloring.colors, true)
+        });
+
+        let (t_sorted, t_unsorted) = match Engine::best() {
+            Engine::Native(s) => (
+                time_runs(&ctx.timing, |_| {
+                    let state = MoveState::singleton(&g);
+                    move_phase_ovpl(&s, &sorted, &state, &config)
+                }),
+                time_runs(&ctx.timing, |_| {
+                    let state = MoveState::singleton(&g);
+                    move_phase_ovpl(&s, &unsorted, &state, &config)
+                }),
+            ),
+            Engine::Emulated(s) => (
+                time_runs(&ctx.timing, |_| {
+                    let state = MoveState::singleton(&g);
+                    move_phase_ovpl(&s, &sorted, &state, &config)
+                }),
+                time_runs(&ctx.timing, |_| {
+                    let state = MoveState::singleton(&g);
+                    move_phase_ovpl(&s, &unsorted, &state, &config)
+                }),
+            ),
+        };
+        table.row(&[
+            entry.name.to_string(),
+            format!("{:?}", entry.class),
+            format!("{:.3}", sorted.lane_utilization()),
+            format!("{:.3}", unsorted.lane_utilization()),
+            fmt_secs(t_sorted.mean),
+            fmt_secs(t_unsorted.mean),
+            fmt_ratio(t_unsorted.mean / t_sorted.mean),
+            fmt_secs(preproc.mean),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\nexpected: sorting raises lane utilization and never hurts the move phase");
+    }
+}

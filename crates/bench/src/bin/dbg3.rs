@@ -1,0 +1,20 @@
+fn main() {
+    use gp_core::louvain::*;
+    use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};
+    use gp_core::coloring::{color_graph_scalar, ColoringConfig};
+    use gp_simd::backend::Emulated;
+    use gp_graph::generators::triangular_mesh;
+    let g = triangular_mesh(36, 36, 5);
+    let coloring = color_graph_scalar(&g, &ColoringConfig::sequential());
+    for sort in [true, false] {
+        let layout = build_layout(&g, &coloring.colors, sort);
+        let st = MoveState::singleton(&g);
+        let cfg = LouvainConfig::sequential(Variant::Ovpl);
+        let stats = move_phase_ovpl(&Emulated, &layout, &st, &cfg);
+        println!("sort={sort}: Q={:.4} iters={} util={:.2}", modularity(&g, &st.communities()), stats.iterations, layout.lane_utilization());
+    }
+    let st = MoveState::singleton(&g);
+    let cfg = LouvainConfig::sequential(Variant::Mplm);
+    gp_core::louvain::mplm::move_phase_mplm(&g, &st, &cfg);
+    println!("MPLM: Q={:.4}", modularity(&g, &st.communities()));
+}

@@ -1,0 +1,47 @@
+//! F-COL — regenerates Figure 6: impact of vectorizing graph coloring.
+//!
+//! Per suite graph: scalar/vectorized runtime ratio (>1 means the ONPL
+//! assignment kernel wins), measured on this host and modeled on both study
+//! architectures. Expected shape: gains up to ~2.0 on Cascade Lake and
+//! ~1.4 on SkylakeX, moderate for most graphs (coloring has limited
+//! vectorization opportunity — only color assignment vectorizes).
+
+use gp_bench::harness::{counts_coloring, print_header, study_archs_for_paper, time_coloring, BenchContext};
+use gp_graph::suite::{build_suite, SUITE};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 6: coloring scalar vs vectorized", &ctx);
+    assert_eq!(SUITE.len(), 19);
+    let mut table = Table::new(
+        "Figure 6 — Scalar/Vectorized runtime ratio for graph coloring",
+        &[
+            "graph",
+            "scalar wall",
+            "onpl wall",
+            "measured gain",
+            "model CascadeLake",
+            "model SkylakeX",
+        ],
+    );
+    for (entry, g) in build_suite(ctx.scale) {
+        let archs = study_archs_for_paper(entry, &g);
+        let t_scalar = time_coloring(&g, false, &ctx);
+        let t_vector = time_coloring(&g, true, &ctx);
+        let (_, c_scalar) = counts_coloring(&g, false);
+        let (_, c_vector) = counts_coloring(&g, true);
+        table.row(&[
+            entry.name.to_string(),
+            fmt_secs(t_scalar.mean),
+            fmt_secs(t_vector.mean),
+            fmt_ratio(t_scalar.mean / t_vector.mean),
+            fmt_ratio(archs[0].speedup(&c_scalar, &c_vector)),
+            fmt_ratio(archs[1].speedup(&c_scalar, &c_vector)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: up to 2.0x (Cascade Lake), up to 1.4x (SkylakeX)");
+    }
+}

@@ -1,0 +1,77 @@
+//! F-NRG — regenerates Figure 14(a,b): modeled energy consumption of ONPL
+//! and OVPL relative to MPLM on both architectures (the RAPL substitute —
+//! see DESIGN.md §2).
+//!
+//! Bars above 1 mean the vectorized variant consumes *less* energy.
+//! Expected shape: ONPL ≥ 1 for most graphs (fewer decoded instructions);
+//! OVPL < 1 (preprocessing work + padded lanes).
+
+use gp_bench::harness::{counts_louvain_move, print_header, study_archs_for_paper, BenchContext};
+use gp_core::louvain::ovpl::prepare;
+use gp_core::louvain::{LouvainConfig, Variant};
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::suite::build_suite;
+use gp_metrics::report::{fmt_ratio, Table};
+use gp_simd::counters::{record_scalar_edge_visits, OpCounts};
+use gp_simd::energy::SERVER_ENERGY;
+
+/// OVPL's energy bill includes its preprocessing (coloring + sort + layout):
+/// approximate it as one scalar pass over all arcs (coloring) plus
+/// `n log n`-ish sorting ALU work, charged as scalar ops.
+fn ovpl_preprocessing_counts(g: &gp_graph::csr::Csr) -> OpCounts {
+    let ((), counts) = gp_simd::counters::counted_run(|| {
+        record_scalar_edge_visits(g.num_arcs() as u64);
+        let n = g.num_vertices() as u64;
+        let sort_ops = (n as f64 * (n.max(2) as f64).log2()) as u64;
+        gp_simd::counters::record(gp_simd::counters::OpClass::ScalarAlu, sort_ops);
+        // Layout construction: one random CSR read plus one store per
+        // interleaved slot (padding included — wasted slots still burn
+        // energy, the paper's point).
+        let cfg = LouvainConfig::default();
+        let layout = prepare(g, &cfg);
+        gp_simd::counters::record(
+            gp_simd::counters::OpClass::ScalarRandLoad,
+            layout.nbrs.len() as u64,
+        );
+        gp_simd::counters::record(
+            gp_simd::counters::OpClass::ScalarStore,
+            layout.nbrs.len() as u64,
+        );
+    });
+    counts
+}
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 14: energy of ONPL / OVPL vs MPLM", &ctx);
+    let onpl = Variant::Onpl(Strategy::Adaptive);
+    let mut table = Table::new(
+        "Figure 14 — modeled energy gain over MPLM (>1 = less energy)",
+        &[
+            "graph",
+            "ONPL CLX",
+            "ONPL SKX",
+            "OVPL CLX",
+            "OVPL SKX",
+            "ONPL speedup CLX (contrast)",
+        ],
+    );
+    for (entry, g) in build_suite(ctx.scale) {
+        let archs = study_archs_for_paper(entry, &g);
+        let c_mplm = counts_louvain_move(&g, Variant::Mplm);
+        let c_onpl = counts_louvain_move(&g, onpl);
+        let c_ovpl = counts_louvain_move(&g, Variant::Ovpl).add(&ovpl_preprocessing_counts(&g));
+        table.row(&[
+            entry.name.to_string(),
+            fmt_ratio(SERVER_ENERGY.efficiency_gain(&archs[0], &c_mplm, &c_onpl)),
+            fmt_ratio(SERVER_ENERGY.efficiency_gain(&archs[1], &c_mplm, &c_onpl)),
+            fmt_ratio(SERVER_ENERGY.efficiency_gain(&archs[0], &c_mplm, &c_ovpl)),
+            fmt_ratio(SERVER_ENERGY.efficiency_gain(&archs[1], &c_mplm, &c_ovpl)),
+            fmt_ratio(archs[0].speedup(&c_mplm, &c_onpl)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: ONPL saves energy on most graphs (sometimes more than its speedup); OVPL consumes more energy than MPLM and ONPL");
+    }
+}

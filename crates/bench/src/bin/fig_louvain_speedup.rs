@@ -1,0 +1,58 @@
+//! F-SPD — regenerates Figure 12(a,b): ONPL and OVPL speedup over MPLM on
+//! both architectures.
+//!
+//! Expected shape: ONPL up to ~2.5× (Cascade Lake) / ~1.8× (SkylakeX);
+//! OVPL up to ~9× / ~6.5× but only on balanced-degree graphs; Cascade Lake
+//! gains exceed SkylakeX gains because of scatter throughput.
+
+use gp_bench::harness::{
+    counts_louvain_move, print_header, study_archs_for_paper, time_louvain_move, BenchContext,
+};
+use gp_core::louvain::Variant;
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::suite::build_suite;
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 12: ONPL and OVPL speedup over MPLM", &ctx);
+    let onpl = Variant::Onpl(Strategy::Adaptive);
+    let mut table = Table::new(
+        "Figure 12 — speedup over MPLM (Louvain move phase)",
+        &[
+            "graph",
+            "MPLM wall",
+            "ONPL measured",
+            "OVPL measured",
+            "ONPL CLX(model)",
+            "ONPL SKX(model)",
+            "OVPL CLX(model)",
+            "OVPL SKX(model)",
+        ],
+    );
+    for (entry, g) in build_suite(ctx.scale) {
+        let archs = study_archs_for_paper(entry, &g);
+        let t_mplm = time_louvain_move(&g, Variant::Mplm, &ctx);
+        let t_onpl = time_louvain_move(&g, onpl, &ctx);
+        let t_ovpl = time_louvain_move(&g, Variant::Ovpl, &ctx);
+        let c_mplm = counts_louvain_move(&g, Variant::Mplm);
+        let c_onpl = counts_louvain_move(&g, onpl);
+        let c_ovpl = counts_louvain_move(&g, Variant::Ovpl);
+        table.row(&[
+            entry.name.to_string(),
+            fmt_secs(t_mplm.mean),
+            fmt_ratio(t_mplm.mean / t_onpl.mean),
+            fmt_ratio(t_mplm.mean / t_ovpl.mean),
+            fmt_ratio(archs[0].speedup(&c_mplm, &c_onpl)),
+            fmt_ratio(archs[1].speedup(&c_mplm, &c_onpl)),
+            fmt_ratio(archs[0].speedup(&c_mplm, &c_ovpl)),
+            fmt_ratio(archs[1].speedup(&c_mplm, &c_ovpl)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!(
+            "\npaper reference: ONPL up to 2.5x (CLX) / 1.8x (SKX); OVPL up to 9.0x / 6.5x on balanced-degree graphs"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! F-LPS — regenerates Figure 15(a,b): ONLP speedup over MPLP on both
+//! architectures.
+//!
+//! Expected shape: moderate gains, best around 2.0× on Cascade Lake; label
+//! propagation vectorizes but exposes fewer follow-on instructions than the
+//! Louvain affinity/modularity sections, so gains trail ONPL Louvain.
+
+use gp_bench::harness::{counts_labelprop, print_header, study_archs_for_paper, time_labelprop, BenchContext};
+use gp_graph::suite::build_suite;
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 15: ONLP vs MPLP", &ctx);
+    let mut table = Table::new(
+        "Figure 15 — ONLP speedup over MPLP (label propagation)",
+        &[
+            "graph",
+            "MPLP wall",
+            "ONLP wall",
+            "measured gain",
+            "CLX model",
+            "SKX model",
+        ],
+    );
+    for (entry, g) in build_suite(ctx.scale) {
+        let archs = study_archs_for_paper(entry, &g);
+        let t_scalar = time_labelprop(&g, false, &ctx);
+        let t_vector = time_labelprop(&g, true, &ctx);
+        let c_scalar = counts_labelprop(&g, false);
+        let c_vector = counts_labelprop(&g, true);
+        table.row(&[
+            entry.name.to_string(),
+            fmt_secs(t_scalar.mean),
+            fmt_secs(t_vector.mean),
+            fmt_ratio(t_scalar.mean / t_vector.mean),
+            fmt_ratio(archs[0].speedup(&c_scalar, &c_vector)),
+            fmt_ratio(archs[1].speedup(&c_scalar, &c_vector)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: best gain ~2.0x on Cascade Lake, moderate elsewhere");
+    }
+}

@@ -1,0 +1,73 @@
+//! Supplementary experiment — the memory-regime crossover, *measured*.
+//!
+//! EXPERIMENTS.md's central caveat is that the suite stand-ins are
+//! cache-resident on this host, so measured vector gains sit below the
+//! paper's DRAM-regime results. This binary provides the direct evidence:
+//! it grows a 3-D stencil (the nlpkkt-class structure) from L2-resident to
+//! beyond this host's L3 and measures the ONPL Louvain gain at each size.
+//!
+//! Observed outcome on this host (recorded in EXPERIMENTS.md): the gain
+//! stays below 1 even past the L3 — a newer core's out-of-order engine
+//! extracts the same memory-level parallelism from the scalar loop that a
+//! hardware gather gets from its 16 lanes, so the paper's Skylake-era
+//! advantage does not transfer. This measured negative result is why the
+//! SkylakeX/Cascade-Lake cost model (which encodes the paper's regime, not
+//! this host's) is the paper-comparable column everywhere else.
+//!
+//! (The stencil is shuffled to defeat its natural locality; otherwise the
+//! spatial numbering keeps the random accesses cache-resident far longer.)
+
+use gp_bench::harness::{print_header, time_louvain_move, BenchContext};
+use gp_core::louvain::Variant;
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::generators::stencil3d;
+use gp_graph::ordering::random_order;
+use gp_graph::permute::apply_permutation;
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+
+fn main() {
+    let mut ctx = BenchContext::from_env();
+    if std::env::var("GP_RUNS").is_err() {
+        ctx.timing.runs = ctx.timing.runs.min(5);
+    }
+    print_header("Supplementary: measured gain vs working-set size", &ctx);
+    let mut table = Table::new(
+        "ONPL Louvain gain over MPLM on shuffled 3-D stencils of growing size",
+        &[
+            "side",
+            "vertices",
+            "arcs",
+            "working set",
+            "MPLM wall",
+            "measured ONPL gain",
+        ],
+    );
+    let sides: Vec<usize> = std::env::var("GP_REGIME_SIDES")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![12, 20, 32, 48, 64]);
+    for side in sides {
+        let base = stencil3d(side);
+        // Shuffle ids so zeta/affinity accesses are genuinely random.
+        let g = apply_permutation(&base, &random_order(&base, 7));
+        let bytes = g.memory_bytes() + g.num_vertices() * 12;
+        let t_mplm = time_louvain_move(&g, Variant::Mplm, &ctx);
+        let t_onpl = time_louvain_move(&g, Variant::Onpl(Strategy::Adaptive), &ctx);
+        table.row(&[
+            side.to_string(),
+            g.num_vertices().to_string(),
+            g.num_arcs().to_string(),
+            format!("{:.1} MB", bytes as f64 / 1e6),
+            fmt_secs(t_mplm.mean),
+            fmt_ratio(t_mplm.mean / t_onpl.mean),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\nunder the paper's regime the gain climbs with the working set; on");
+        println!("newer cores with deep out-of-order windows the scalar loop overlaps");
+        println!("its misses just as well, and the measured gain stays flat — see the");
+        println!("discussion in EXPERIMENTS.md.");
+    }
+}

@@ -1,0 +1,86 @@
+//! F-MB — regenerates Figure 5: the scalar-vs-vector microbenchmark.
+//!
+//! Expected shape (paper): on SkylakeX the vector implementation is only
+//! ~20% faster than scalar — the diagonal layout is the memory system's
+//! best case, so gather/scatter alone buy little.
+
+use gp_bench::harness::{counted, print_header, BenchContext};
+use gp_bench::microbench::{affinity_scalar, affinity_vector, MicrobenchData};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::timer::time_runs;
+use gp_simd::cost::{KNIGHTS_LANDING, STUDY_ARCHS};
+use gp_simd::counters;
+use gp_simd::engine::Engine;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 5: microbenchmark", &ctx);
+    let degree = 4096;
+    let reps = 512; // inner repetitions per timed sample
+
+    // Measured wall-clock on this host.
+    let mut data = MicrobenchData::new(degree);
+    let scalar = time_runs(&ctx.timing, |_| {
+        for _ in 0..reps {
+            affinity_scalar(&mut data);
+        }
+        data.reset();
+    });
+    let mut data = MicrobenchData::new(degree);
+    let vector = match Engine::best() {
+        Engine::Native(s) => time_runs(&ctx.timing, |_| {
+            for _ in 0..reps {
+                affinity_vector(&s, &mut data);
+            }
+            data.reset();
+        }),
+        Engine::Emulated(s) => time_runs(&ctx.timing, |_| {
+            for _ in 0..reps {
+                affinity_vector(&s, &mut data);
+            }
+            data.reset();
+        }),
+    };
+
+    // Modeled per-architecture comparison.
+    let (_, counts_vec) = counted(|s| {
+        let mut d = MicrobenchData::new(degree);
+        affinity_vector(s, &mut d);
+    });
+    // The microbench's diagonal layout makes every scalar access sequential
+    // and cache-resident — per neighbor: 3 streaming loads (neighbor id,
+    // community, affinity), one add, one store, one loop branch. This is
+    // what keeps the paper's expected gain modest (the vector code saves
+    // instructions, not memory latency).
+    let counts_scalar = {
+        counters::reset();
+        counters::record(counters::OpClass::ScalarLoad, 3 * degree as u64);
+        counters::record(counters::OpClass::ScalarAlu, degree as u64);
+        counters::record(counters::OpClass::ScalarStore, degree as u64);
+        counters::record(counters::OpClass::ScalarBranch, degree as u64);
+        counters::snapshot()
+    };
+
+    let mut table = Table::new(
+        "Figure 5 — microbenchmark (4096 diagonal neighbors)",
+        &["series", "scalar", "vector", "vector/scalar gain"],
+    );
+    table.row(&[
+        "measured wall (this host)".into(),
+        fmt_secs(scalar.mean),
+        fmt_secs(vector.mean),
+        fmt_ratio(scalar.mean / vector.mean),
+    ]);
+    for arch in STUDY_ARCHS.iter().chain([&KNIGHTS_LANDING]) {
+        table.row(&[
+            format!("modeled cycles ({})", arch.name),
+            format!("{:.0}", arch.cycles(&counts_scalar)),
+            format!("{:.0}", arch.cycles(&counts_vec)),
+            fmt_ratio(arch.speedup(&counts_scalar, &counts_vec)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: vector ≈ 1.2× scalar on SkylakeX; KNL was the\nworkshop version's high-gain machine");
+    }
+}

@@ -1,0 +1,61 @@
+//! F-OVPL — regenerates Figure 13: OVPL speedup over MPLM on the selected
+//! balanced-degree graphs (delaunay/nlpkkt class) on both architectures.
+//!
+//! Also reports the layout statistics that explain the result: lane
+//! utilization (padding waste) and the preprocessing cost OVPL pays once.
+
+use gp_bench::harness::{
+    counts_louvain_move, print_header, study_archs_for_paper, time_louvain_move, BenchContext,
+};
+use gp_core::louvain::ovpl::prepare;
+use gp_core::louvain::{LouvainConfig, Variant};
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::suite::{balanced_degree_subset, build_standin};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::timer::time_runs;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 13: OVPL on balanced-degree graphs", &ctx);
+    let mut table = Table::new(
+        "Figure 13 — OVPL speedup over MPLM (balanced-degree subset)",
+        &[
+            "graph",
+            "deg-cv",
+            "lane util",
+            "preproc wall",
+            "measured speedup",
+            "CLX model",
+            "SKX model",
+            "ONPL measured (contrast)",
+        ],
+    );
+    for entry in balanced_degree_subset() {
+        let g = build_standin(entry, ctx.scale);
+        let archs = study_archs_for_paper(entry, &g);
+        let stats = gp_graph::stats::graph_stats(&g);
+        let config = LouvainConfig::default();
+        let layout = prepare(&g, &config);
+        let preproc = time_runs(&ctx.timing, |_| prepare(&g, &config));
+
+        let t_mplm = time_louvain_move(&g, Variant::Mplm, &ctx);
+        let t_ovpl = time_louvain_move(&g, Variant::Ovpl, &ctx);
+        let t_onpl = time_louvain_move(&g, Variant::Onpl(Strategy::Adaptive), &ctx);
+        let c_mplm = counts_louvain_move(&g, Variant::Mplm);
+        let c_ovpl = counts_louvain_move(&g, Variant::Ovpl);
+        table.row(&[
+            entry.name.to_string(),
+            format!("{:.2}", stats.degree_cv),
+            format!("{:.2}", layout.lane_utilization()),
+            fmt_secs(preproc.mean),
+            fmt_ratio(t_mplm.mean / t_ovpl.mean),
+            fmt_ratio(archs[0].speedup(&c_mplm, &c_ovpl)),
+            fmt_ratio(archs[1].speedup(&c_mplm, &c_ovpl)),
+            fmt_ratio(t_mplm.mean / t_onpl.mean),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: up to 9.0x (CLX) and 6.5x (SKX) for OVPL on these graphs");
+    }
+}

@@ -1,0 +1,37 @@
+//! F-PLM — regenerates Figure 11(a): MPLM speedup over PLM.
+//!
+//! Both run the same move rule; the only difference is PLM's per-vertex
+//! buffer allocation. Every bar above 1 confirms the memory fix.
+
+use gp_bench::harness::{print_header, time_louvain_move, BenchContext};
+use gp_core::louvain::Variant;
+use gp_graph::suite::build_suite;
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::stats::geometric_mean;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Figure 11a: PLM vs MPLM", &ctx);
+    let mut table = Table::new(
+        "Figure 11a — MPLM speedup over PLM (move phase)",
+        &["graph", "PLM wall", "MPLM wall", "speedup"],
+    );
+    let mut speedups = Vec::new();
+    for (entry, g) in build_suite(ctx.scale) {
+        let t_plm = time_louvain_move(&g, Variant::Plm, &ctx);
+        let t_mplm = time_louvain_move(&g, Variant::Mplm, &ctx);
+        let speedup = t_plm.mean / t_mplm.mean;
+        speedups.push(speedup);
+        table.row(&[
+            entry.name.to_string(),
+            fmt_secs(t_plm.mean),
+            fmt_secs(t_mplm.mean),
+            fmt_ratio(speedup),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\ngeometric-mean speedup: {:.2}", geometric_mean(&speedups));
+        println!("paper reference: MPLM consistently faster than PLM on all graphs");
+    }
+}

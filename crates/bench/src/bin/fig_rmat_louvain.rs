@@ -1,0 +1,66 @@
+//! F-LV-EF / F-LV-N — regenerates Figures 9 and 10: ONPL Louvain gain over
+//! MPLM on R-MAT graphs, grouped per Table-2 distribution.
+//!
+//! Same sweep as `fig_rmat_lp`; expected shape matches Figures 9/10: the
+//! same edge-factor/scale trends as label propagation but with lower peaks
+//! (the Louvain computation is heavier and uses more memory).
+
+use gp_bench::harness::{
+    counts_louvain_move, print_header, study_archs_for, time_louvain_move, BenchContext,
+};
+use gp_bench::rmat_sweep::grid;
+use gp_core::louvain::Variant;
+use gp_core::reduce_scatter::Strategy;
+use gp_metrics::report::{fmt_ratio, Table};
+
+fn main() {
+    let mut ctx = BenchContext::from_env();
+    if std::env::var("GP_RUNS").is_err() {
+        ctx.timing.runs = ctx.timing.runs.min(3);
+    }
+    let axis = std::env::args()
+        .skip_while(|a| a != "--axis")
+        .nth(1)
+        .unwrap_or_else(|| "ef".to_string());
+    print_header("Figures 9/10: ONPL Louvain gain on R-MAT (Cascade Lake)", &ctx);
+
+    let onpl = Variant::Onpl(Strategy::Adaptive);
+    let mut table = Table::new(
+        format!(
+            "Figures 9/10 — ONPL Louvain gain over MPLM on R-MAT (axis: {})",
+            if axis == "nodes" { "vertices" } else { "edge factor" }
+        ),
+        &[
+            "distribution",
+            "scale (2^s nodes)",
+            "edge-factor",
+            "measured gain",
+            "CLX model gain",
+        ],
+    );
+    let mut points = grid();
+    if axis == "nodes" {
+        points.sort_by_key(|p| (p.dist, p.edge_factor, p.scale));
+    }
+    for p in points {
+        let g = p.graph();
+        let archs = study_archs_for(&g);
+        let t_scalar = time_louvain_move(&g, Variant::Mplm, &ctx);
+        let t_vector = time_louvain_move(&g, onpl, &ctx);
+        let c_scalar = counts_louvain_move(&g, Variant::Mplm);
+        let c_vector = counts_louvain_move(&g, onpl);
+        table.row(&[
+            p.dist_label(),
+            p.scale.to_string(),
+            p.edge_factor.to_string(),
+            fmt_ratio(t_scalar.mean / t_vector.mean),
+            fmt_ratio(archs[0].speedup(&c_scalar, &c_vector)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!(
+            "\npaper reference: same trends as label propagation with lower peak gains"
+        );
+    }
+}

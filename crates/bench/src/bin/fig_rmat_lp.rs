@@ -1,0 +1,64 @@
+//! F-LP-EF / F-LP-N — regenerates Figures 7 and 8: ONLP label-propagation
+//! gain over MPLP on R-MAT graphs, grouped per Table-2 distribution.
+//!
+//! `--axis ef` (default) groups rows the way Figure 7 plots them (gain vs
+//! edge factor, one series per scale); `--axis nodes` the way Figure 8 does
+//! (gain vs vertex count, one series per edge factor).
+//!
+//! Expected shape: gain grows with edge factor (more neighbors per vertex =
+//! fuller vector lanes) and shrinks with scale (cache misses).
+
+use gp_bench::harness::{counts_labelprop, print_header, study_archs_for, time_labelprop, BenchContext};
+use gp_bench::rmat_sweep::grid;
+use gp_metrics::report::{fmt_ratio, Table};
+
+fn main() {
+    let mut ctx = BenchContext::from_env();
+    // Sweeps multiply configurations; default to fewer repetitions unless
+    // the user pinned GP_RUNS.
+    if std::env::var("GP_RUNS").is_err() {
+        ctx.timing.runs = ctx.timing.runs.min(5);
+    }
+    let axis = std::env::args()
+        .skip_while(|a| a != "--axis")
+        .nth(1)
+        .unwrap_or_else(|| "ef".to_string());
+    print_header("Figures 7/8: ONLP gain on R-MAT (Cascade Lake)", &ctx);
+
+    let mut table = Table::new(
+        format!(
+            "Figures 7/8 — ONLP gain over MPLP on R-MAT (axis: {})",
+            if axis == "nodes" { "vertices" } else { "edge factor" }
+        ),
+        &[
+            "distribution",
+            "scale (2^s nodes)",
+            "edge-factor",
+            "measured gain",
+            "CLX model gain",
+        ],
+    );
+    let mut points = grid();
+    if axis == "nodes" {
+        points.sort_by_key(|p| (p.dist, p.edge_factor, p.scale));
+    }
+    for p in points {
+        let g = p.graph();
+        let archs = study_archs_for(&g);
+        let t_scalar = time_labelprop(&g, false, &ctx);
+        let t_vector = time_labelprop(&g, true, &ctx);
+        let c_scalar = counts_labelprop(&g, false);
+        let c_vector = counts_labelprop(&g, true);
+        table.row(&[
+            p.dist_label(),
+            p.scale.to_string(),
+            p.edge_factor.to_string(),
+            fmt_ratio(t_scalar.mean / t_vector.mean),
+            fmt_ratio(archs[0].speedup(&c_scalar, &c_vector)),
+        ]);
+    }
+    ctx.emit(&table);
+    if !ctx.csv {
+        println!("\npaper reference: gain increases with edge factor, decreases with scale");
+    }
+}

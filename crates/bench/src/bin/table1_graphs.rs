@@ -1,0 +1,40 @@
+//! T1 — regenerates Table 1: the graph suite with |V|, |E|, Δ, δ.
+//!
+//! Prints the paper's reported statistics next to the synthetic stand-ins'
+//! actual statistics (see DESIGN.md §2 for the substitution), plus the
+//! degree-balance measure the OVPL discussion relies on.
+
+use gp_bench::harness::{print_header, BenchContext};
+use gp_graph::stats::graph_stats;
+use gp_graph::suite::{build_standin, SUITE};
+use gp_metrics::report::Table;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Table 1: graph suite", &ctx);
+    let mut table = Table::new(
+        "Table 1 — graphs (paper stats vs synthetic stand-in stats)",
+        &[
+            "graph", "class", "V(paper)", "E(paper)", "maxdeg(p)", "avgdeg(p)", "V(ours)",
+            "E(ours)", "maxdeg", "avgdeg", "deg-cv",
+        ],
+    );
+    for entry in &SUITE {
+        let g = build_standin(entry, ctx.scale);
+        let s = graph_stats(&g);
+        table.row(&[
+            entry.name.to_string(),
+            format!("{:?}", entry.class),
+            entry.paper_vertices.to_string(),
+            entry.paper_edges.to_string(),
+            entry.paper_max_degree.to_string(),
+            entry.paper_avg_degree.to_string(),
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            s.max_degree.to_string(),
+            format!("{:.1}", s.avg_degree),
+            format!("{:.2}", s.degree_cv),
+        ]);
+    }
+    ctx.emit(&table);
+}

@@ -1,0 +1,42 @@
+//! T2 — regenerates Table 2: the R-MAT parameter grid used by the
+//! Figure 7–10 sweeps, with the reduced scales this reproduction sweeps by
+//! default (the paper's scale-24 instances exceed the host's budget; the
+//! sweep axes and probability distributions are identical).
+
+use gp_bench::harness::{print_header, BenchContext};
+use gp_bench::rmat_sweep::{self, PAPER_EDGE_FACTORS, PAPER_SCALES};
+use gp_graph::generators::rmat::TABLE2_DISTRIBUTIONS;
+use gp_metrics::report::Table;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Table 2: R-MAT parameters", &ctx);
+    let mut table = Table::new(
+        "Table 2 — R-MAT parameters",
+        &["axis", "paper values", "reproduction default"],
+    );
+    table.row(&[
+        "scale".into(),
+        format!("{PAPER_SCALES:?}"),
+        format!("{:?} (GP_RMAT_SCALES)", rmat_sweep::scales()),
+    ]);
+    table.row(&[
+        "edge-factor".into(),
+        format!("{PAPER_EDGE_FACTORS:?}"),
+        format!("{:?} (GP_RMAT_EFS)", rmat_sweep::edge_factors()),
+    ]);
+    for (i, (a, b, c, d)) in TABLE2_DISTRIBUTIONS.iter().enumerate() {
+        table.row(&[
+            format!("distribution {}", i + 1),
+            format!(
+                "a={:.0}%, b={:.0}%, c={:.0}%, d={:.0}%",
+                a * 100.0,
+                b * 100.0,
+                c * 100.0,
+                d * 100.0
+            ),
+            "same".into(),
+        ]);
+    }
+    ctx.emit(&table);
+}

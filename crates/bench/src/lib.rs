@@ -1,0 +1,17 @@
+//! # gp-bench
+//!
+//! The experiment harness. One binary per paper table/figure (see
+//! DESIGN.md §4 for the index); [`harness`] holds the shared measurement
+//! pipeline and [`microbench`] the Figure-5 kernel.
+//!
+//! Environment knobs (all binaries):
+//!
+//! * `GP_QUICK=1` — 5 timed runs instead of 25 and the Test-size suite;
+//!   for smoke tests.
+//! * `GP_RUNS=<n>` — override the timed repetition count.
+//! * `GP_SCALE=test|bench|large` — suite stand-in size.
+//! * `GP_CSV=1` — emit CSV instead of the aligned table.
+
+pub mod harness;
+pub mod microbench;
+pub mod rmat_sweep;

@@ -1,0 +1,121 @@
+//! Shared R-MAT sweep infrastructure for the Figure 7–10 binaries.
+//!
+//! The paper sweeps scale 17–24 and edge factor 1–128 (Table 2); those
+//! instances (up to 4 billion arcs) exceed this host, so the default sweep
+//! uses reduced scales with identical axes and probability distributions —
+//! the *trends* (gain vs. edge factor, gain vs. vertex count) are what
+//! Figures 7–10 plot. Override with `GP_RMAT_SCALES` / `GP_RMAT_EFS`.
+
+use gp_graph::csr::Csr;
+use gp_graph::generators::rmat::{rmat, RmatConfig, TABLE2_DISTRIBUTIONS};
+
+/// The paper's scale axis.
+pub const PAPER_SCALES: [u32; 8] = [17, 18, 19, 20, 21, 22, 23, 24];
+/// The paper's edge-factor axis.
+pub const PAPER_EDGE_FACTORS: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Sweep scales: `GP_RMAT_SCALES` override, default `[10, 12, 14]`.
+pub fn scales() -> Vec<u32> {
+    parse_env("GP_RMAT_SCALES", &[10, 12, 14])
+}
+
+/// Sweep edge factors: `GP_RMAT_EFS` override, default `[1, 2, 4, 8, 16, 32]`.
+pub fn edge_factors() -> Vec<u32> {
+    parse_env("GP_RMAT_EFS", &[1, 2, 4, 8, 16, 32])
+}
+
+fn parse_env(key: &str, default: &[u32]) -> Vec<u32> {
+    std::env::var(key)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u32>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// One point of the sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Index into [`TABLE2_DISTRIBUTIONS`].
+    pub dist: usize,
+    pub scale: u32,
+    pub edge_factor: u32,
+}
+
+impl SweepPoint {
+    /// Human-readable distribution label (the subfigure captions).
+    pub fn dist_label(&self) -> String {
+        let (a, b, c, d) = TABLE2_DISTRIBUTIONS[self.dist];
+        format!(
+            "a={:.0}% b={:.0}% c={:.0}% d={:.0}%",
+            a * 100.0,
+            b * 100.0,
+            c * 100.0,
+            d * 100.0
+        )
+    }
+
+    /// Generates the graph for this point (deterministic).
+    pub fn graph(&self) -> Csr {
+        let (a, b, c, d) = TABLE2_DISTRIBUTIONS[self.dist];
+        rmat(
+            RmatConfig::new(self.scale, self.edge_factor)
+                .with_probabilities(a, b, c, d)
+                .with_seed(0x42 + self.dist as u64),
+        )
+    }
+}
+
+/// The full sweep grid in (distribution, scale, edge-factor) order.
+pub fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for dist in 0..TABLE2_DISTRIBUTIONS.len() {
+        for &scale in &scales() {
+            for &edge_factor in &edge_factors() {
+                points.push(SweepPoint {
+                    dist,
+                    scale,
+                    edge_factor,
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_distributions() {
+        let g = grid();
+        assert_eq!(g.len(), 3 * scales().len() * edge_factors().len());
+        assert!(g.iter().any(|p| p.dist == 2));
+    }
+
+    #[test]
+    fn sweep_point_generates_expected_size() {
+        let p = SweepPoint {
+            dist: 0,
+            scale: 8,
+            edge_factor: 4,
+        };
+        let g = p.graph();
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 256);
+    }
+
+    #[test]
+    fn dist_labels_match_table2() {
+        let p = SweepPoint {
+            dist: 2,
+            scale: 8,
+            edge_factor: 1,
+        };
+        assert!(p.dist_label().contains("a=57%"));
+    }
+}

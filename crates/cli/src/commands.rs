@@ -1,0 +1,311 @@
+//! Subcommand implementations.
+
+use crate::io::{load, save, save_assignment};
+use gp_core::coloring::{color_graph, verify_coloring, ColoringConfig};
+use gp_core::labelprop::{label_propagation, LabelPropConfig};
+use gp_core::louvain::{louvain as run_louvain, LouvainConfig, Variant};
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::stats::graph_stats;
+use gp_simd::engine::Engine;
+
+pub const USAGE: &str = "\
+gpart — AVX-512 graph partitioning kernels
+
+USAGE:
+  gpart stats     <graph>
+  gpart generate  <family> <out> [n] [seed]     families: rmat, mesh, road,
+                                                stencil, er, ba
+  gpart convert   <in> <out>
+  gpart color     <graph> [--out file]
+  gpart louvain   <graph> [--variant plm|mplm|onpl|ovpl] [--out file]
+  gpart labelprop <graph> [--out file]
+  gpart partition <graph> [--k n] [--out file]
+  gpart slpa      <graph> [--threshold r] [--out file]
+
+Graph formats by extension: .el/.txt/.edges (edge list),
+.graph/.metis (METIS), .mtx/.mm (Matrix Market).
+";
+
+/// Extracts `--flag value` from an argument list, returning the remainder.
+fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            value = it.next().cloned();
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (value, rest)
+}
+
+fn positional<'a>(args: &'a [String], index: usize, name: &str) -> Result<&'a str, String> {
+    args.get(index)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing <{name}> argument\n\n{USAGE}"))
+}
+
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let g = load(positional(args, 0, "graph")?)?;
+    let s = graph_stats(&g);
+    println!("vertices      {}", s.num_vertices);
+    println!("edges         {}", s.num_edges);
+    println!("max degree    {}", s.max_degree);
+    println!("avg degree    {:.2}", s.avg_degree);
+    println!("degree cv     {:.3}", s.degree_cv);
+    println!("self loops    {}", s.num_self_loops);
+    println!("components    {}", s.num_components);
+    Ok(())
+}
+
+pub fn generate(args: &[String]) -> Result<(), String> {
+    use gp_graph::generators::*;
+    let family = positional(args, 0, "family")?;
+    let out = positional(args, 1, "out")?;
+    let n: usize = args
+        .get(2)
+        .map(|v| v.parse().map_err(|e| format!("bad n: {e}")))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = args
+        .get(3)
+        .map(|v| v.parse().map_err(|e| format!("bad seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let g = match family {
+        "rmat" => {
+            let scale = (n as f64).log2().ceil().max(2.0) as u32;
+            rmat::rmat(rmat::RmatConfig::new(scale, 8).with_seed(seed))
+        }
+        "mesh" => {
+            let side = (n as f64).sqrt().ceil().max(2.0) as usize;
+            triangular_mesh(side, side, seed)
+        }
+        "road" => {
+            let side = (n as f64).sqrt().ceil().max(2.0) as usize;
+            road_network(side, side, 2.1, seed)
+        }
+        "stencil" => {
+            let side = (n as f64).cbrt().ceil().max(2.0) as usize;
+            stencil3d(side)
+        }
+        "er" => erdos_renyi(n, 4 * n, seed),
+        "ba" => preferential_attachment(n.max(6), 4, seed),
+        other => return Err(format!("unknown family `{other}`\n\n{USAGE}")),
+    };
+    save(&g, out)?;
+    println!(
+        "wrote {}: {} vertices, {} edges",
+        out,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let g = load(positional(args, 0, "in")?)?;
+    let out = positional(args, 1, "out")?;
+    save(&g, out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+pub fn color(args: &[String]) -> Result<(), String> {
+    let (out, rest) = take_flag(args, "--out");
+    let g = load(positional(&rest, 0, "graph")?)?;
+    let r = color_graph(&g, &ColoringConfig::default());
+    verify_coloring(&g, &r.colors).map_err(|e| format!("internal error: {e}"))?;
+    println!(
+        "{} colors in {} rounds (backend: {})",
+        r.num_colors,
+        r.rounds,
+        Engine::best().name()
+    );
+    if let Some(path) = out {
+        save_assignment(&r.colors, &path)?;
+        println!("colors written to {path}");
+    }
+    Ok(())
+}
+
+pub fn louvain(args: &[String]) -> Result<(), String> {
+    let (variant, rest) = take_flag(args, "--variant");
+    let (out, rest) = take_flag(&rest, "--out");
+    let g = load(positional(&rest, 0, "graph")?)?;
+    let variant = match variant.as_deref().unwrap_or("mplm") {
+        "plm" => Variant::Plm,
+        "mplm" => Variant::Mplm,
+        "onpl" => Variant::Onpl(Strategy::Adaptive),
+        "ovpl" => Variant::Ovpl,
+        other => return Err(format!("unknown variant `{other}` (plm|mplm|onpl|ovpl)")),
+    };
+    let config = LouvainConfig {
+        variant,
+        ..Default::default()
+    };
+    let r = run_louvain(&g, &config);
+    let communities = gp_core::louvain::modularity::count_communities(&r.communities);
+    println!(
+        "{} communities, modularity {:.4}, {} levels ({}, backend: {})",
+        communities,
+        r.modularity,
+        r.levels,
+        variant.name(),
+        Engine::best().name()
+    );
+    if let Some(path) = out {
+        save_assignment(&r.communities, &path)?;
+        println!("communities written to {path}");
+    }
+    Ok(())
+}
+
+pub fn partition(args: &[String]) -> Result<(), String> {
+    use gp_core::partition::{partition_graph, verify_partition, PartitionConfig};
+    let (k, rest) = take_flag(args, "--k");
+    let (out, rest) = take_flag(&rest, "--out");
+    let g = load(positional(&rest, 0, "graph")?)?;
+    let k: usize = k
+        .map(|v| v.parse().map_err(|e| format!("bad k: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let r = partition_graph(&g, &PartitionConfig::kway(k));
+    verify_partition(&g, &r.parts, k).map_err(|e| format!("internal error: {e}"))?;
+    println!(
+        "{k}-way partition: edge cut {:.0} ({:.1}% of weight), balance {:.3}, {} levels",
+        r.edge_cut,
+        100.0 * r.edge_cut / g.total_weight().max(1e-12),
+        r.balance,
+        r.levels
+    );
+    if let Some(path) = out {
+        save_assignment(&r.parts, &path)?;
+        println!("parts written to {path}");
+    }
+    Ok(())
+}
+
+pub fn slpa(args: &[String]) -> Result<(), String> {
+    use gp_core::overlap::{slpa as run_slpa, SlpaConfig};
+    let (threshold, rest) = take_flag(args, "--threshold");
+    let (out, rest) = take_flag(&rest, "--out");
+    let g = load(positional(&rest, 0, "graph")?)?;
+    let threshold: f64 = threshold
+        .map(|v| v.parse().map_err(|e| format!("bad threshold: {e}")))
+        .transpose()?
+        .unwrap_or(0.3);
+    let r = run_slpa(
+        &g,
+        &SlpaConfig {
+            threshold,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{} overlapping communities, {} multi-membership vertices (backend: {})",
+        r.num_communities,
+        r.overlapping_vertices(),
+        Engine::best().name()
+    );
+    if let Some(path) = out {
+        use std::io::Write;
+        let file = std::fs::File::create(&path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        for m in &r.memberships {
+            let line: Vec<String> = m.iter().map(|l| l.to_string()).collect();
+            writeln!(w, "{}", line.join(" ")).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        }
+        println!("memberships written to {path}");
+    }
+    Ok(())
+}
+
+pub fn labelprop(args: &[String]) -> Result<(), String> {
+    let (out, rest) = take_flag(args, "--out");
+    let g = load(positional(&rest, 0, "graph")?)?;
+    let r = label_propagation(&g, &LabelPropConfig::default());
+    let communities = gp_core::louvain::modularity::count_communities(&r.labels);
+    println!(
+        "{} communities after {} sweeps (backend: {})",
+        communities,
+        r.iterations,
+        Engine::best().name()
+    );
+    if let Some(path) = out {
+        save_assignment(&r.labels, &path)?;
+        println!("labels written to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_flag_extracts_value() {
+        let (v, rest) = take_flag(&args(&["g.mtx", "--out", "x.txt", "tail"]), "--out");
+        assert_eq!(v.as_deref(), Some("x.txt"));
+        assert_eq!(rest, args(&["g.mtx", "tail"]));
+    }
+
+    #[test]
+    fn take_flag_absent() {
+        let (v, rest) = take_flag(&args(&["g.mtx"]), "--out");
+        assert!(v.is_none());
+        assert_eq!(rest, args(&["g.mtx"]));
+    }
+
+    #[test]
+    fn positional_reports_missing() {
+        let err = positional(&[], 0, "graph").unwrap_err();
+        assert!(err.contains("<graph>"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_family() {
+        let err = generate(&args(&["nope", "/tmp/x.el"])).unwrap_err();
+        assert!(err.contains("unknown family"));
+    }
+
+    #[test]
+    fn stats_rejects_missing_file() {
+        assert!(stats(&args(&["/nonexistent/file.mtx"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_color_louvain() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gpcli_test_{}.mtx", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        generate(&args(&["mesh", &path_s, "400", "3"])).unwrap();
+        stats(&args(&[&path_s])).unwrap();
+        color(&args(&[&path_s])).unwrap();
+        louvain(&args(&[&path_s, "--variant", "onpl"])).unwrap();
+        labelprop(&args(&[&path_s])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let dir = std::env::temp_dir();
+        let a = dir.join(format!("gpcli_conv_{}.mtx", std::process::id()));
+        let b = dir.join(format!("gpcli_conv_{}.graph", std::process::id()));
+        let a_s = a.to_str().unwrap().to_string();
+        let b_s = b.to_str().unwrap().to_string();
+        generate(&args(&["er", &a_s, "200", "1"])).unwrap();
+        convert(&args(&[&a_s, &b_s])).unwrap();
+        let g1 = crate::io::load(&a_s).unwrap();
+        let g2 = crate::io::load(&b_s).unwrap();
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+}

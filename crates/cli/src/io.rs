@@ -1,0 +1,75 @@
+//! Extension-based graph loading and saving.
+
+use gp_graph::csr::Csr;
+use gp_graph::io::{
+    read_edgelist, read_matrix_market, read_metis, write_edgelist, write_matrix_market,
+    write_metis,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Supported on-disk formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    EdgeList,
+    Metis,
+    MatrixMarket,
+}
+
+/// Infers a format from a file extension.
+pub fn format_of(path: &str) -> Result<Format, String> {
+    match Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase())
+        .as_deref()
+    {
+        Some("el") | Some("txt") | Some("edges") => Ok(Format::EdgeList),
+        Some("graph") | Some("metis") => Ok(Format::Metis),
+        Some("mtx") | Some("mm") => Ok(Format::MatrixMarket),
+        other => Err(format!(
+            "cannot infer format from extension {other:?} of `{path}` \
+             (known: .el/.txt/.edges, .graph/.metis, .mtx/.mm)"
+        )),
+    }
+}
+
+/// Loads a graph, inferring the format.
+pub fn load(path: &str) -> Result<Csr, String> {
+    let format = format_of(path)?;
+    let file = File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let reader = BufReader::new(file);
+    let parse = |r: Result<Csr, gp_graph::io::IoError>| {
+        r.map_err(|e| format!("cannot parse `{path}`: {e}"))
+    };
+    match format {
+        Format::EdgeList => parse(read_edgelist(reader)),
+        Format::Metis => parse(read_metis(reader)),
+        Format::MatrixMarket => parse(read_matrix_market(reader)),
+    }
+}
+
+/// Saves a graph, inferring the format.
+pub fn save(g: &Csr, path: &str) -> Result<(), String> {
+    let format = format_of(path)?;
+    let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let writer = BufWriter::new(file);
+    let done = match format {
+        Format::EdgeList => write_edgelist(g, writer),
+        Format::Metis => write_metis(g, writer),
+        Format::MatrixMarket => write_matrix_market(g, writer),
+    };
+    done.map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Writes one value per line (community/color assignments).
+pub fn save_assignment(values: &[u32], path: &str) -> Result<(), String> {
+    use std::io::Write;
+    let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let mut w = BufWriter::new(file);
+    for v in values {
+        writeln!(w, "{v}").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `gpart` — command-line front end for the graph-partitioning kernels.
+//!
+//! ```text
+//! gpart stats     <graph>                     print Table-1-style statistics
+//! gpart generate  <family> <out> [args…]      write a synthetic graph
+//! gpart convert   <in> <out>                  convert between formats
+//! gpart color     <graph> [--out f]           speculative greedy coloring
+//! gpart louvain   <graph> [--variant v] [--out f]
+//! gpart labelprop <graph> [--out f]
+//! gpart partition <graph> [--k n] [--out f]
+//! gpart slpa      <graph> [--threshold r] [--out f]
+//! ```
+//!
+//! Formats are inferred from extensions: `.el`/`.txt` edge list,
+//! `.graph`/`.metis` METIS, `.mtx` Matrix Market.
+
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => commands::stats(&args[1..]),
+        Some("generate") => commands::generate(&args[1..]),
+        Some("convert") => commands::convert(&args[1..]),
+        Some("color") => commands::color(&args[1..]),
+        Some("louvain") => commands::louvain(&args[1..]),
+        Some("labelprop") => commands::labelprop(&args[1..]),
+        Some("partition") => commands::partition(&args[1..]),
+        Some("slpa") => commands::slpa(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("gpart: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

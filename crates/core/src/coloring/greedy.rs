@@ -1,0 +1,275 @@
+//! Scalar speculative parallel greedy coloring — the baseline of Figure 6.
+//!
+//! The structure follows the paper's pseudocode exactly: an outer loop over
+//! speculative rounds (Algorithm 1), `AssignColors` marking forbidden colors
+//! in a per-thread array (Algorithm 2), and `DetectConflicts` collecting
+//! same-colored edges (Algorithm 3). Forbidden-color tracking uses the
+//! standard stamp trick so the array is never cleared between vertices.
+
+use super::{ColoringConfig, ColoringResult};
+use gp_graph::csr::Csr;
+use gp_simd::counters;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Per-thread workspace for `AssignColors`: the FORBIDDEN array of
+/// Algorithm 2, stamped instead of cleared.
+pub(crate) struct Workspace {
+    /// `forbidden[c] == stamp` means color `c` is taken by a neighbor of the
+    /// vertex currently being colored.
+    pub forbidden: Vec<u32>,
+    pub stamp: u32,
+}
+
+impl Workspace {
+    /// Allocates a workspace for graphs of maximum degree `max_degree`
+    /// (colors range over `1..=max_degree + 1`).
+    pub fn new(max_degree: usize) -> Self {
+        Workspace {
+            forbidden: vec![0; max_degree + 2],
+            stamp: 0,
+        }
+    }
+}
+
+/// Scalar `AssignColors` for one vertex: marks neighbor colors forbidden and
+/// returns the smallest positive free color.
+#[inline]
+pub(crate) fn assign_one_scalar(g: &Csr, colors: &[AtomicU32], v: u32, ws: &mut Workspace) -> u32 {
+    ws.stamp = ws.stamp.wrapping_add(1);
+    if ws.stamp == 0 {
+        // Stamp wrapped: invalidate everything once.
+        ws.forbidden.fill(0);
+        ws.stamp = 1;
+    }
+    for &u in g.neighbors(v) {
+        if u == v {
+            continue; // a self-loop never forbids a color
+        }
+        let c = colors[u as usize].load(Ordering::Relaxed);
+        ws.forbidden[c as usize] = ws.stamp;
+    }
+    // Smallest i > 0 with forbidden[i] != stamp. Bounded by degree + 1.
+    let mut c = 1usize;
+    while ws.forbidden[c] == ws.stamp {
+        c += 1;
+    }
+    c as u32
+}
+
+/// Scalar `AssignColors` over a conflict set (Algorithm 2).
+pub fn assign_colors_scalar(
+    g: &Csr,
+    colors: &[AtomicU32],
+    conf: &[u32],
+    config: &ColoringConfig,
+) {
+    let max_degree = g.max_degree();
+    if config.parallel {
+        conf.par_iter().for_each_init(
+            || Workspace::new(max_degree),
+            |ws, &v| {
+                let c = assign_one_scalar(g, colors, v, ws);
+                colors[v as usize].store(c, Ordering::Relaxed);
+            },
+        );
+    } else {
+        let mut ws = Workspace::new(max_degree);
+        for &v in conf {
+            let c = assign_one_scalar(g, colors, v, &mut ws);
+            colors[v as usize].store(c, Ordering::Relaxed);
+        }
+    }
+    if config.count_ops {
+        // Per neighbor: load id, load color, store forbidden, loop branch;
+        // plus the free-color scan (~1 load + branch per candidate color,
+        // bounded by degree; count 2 per vertex as the expected scan length).
+        let visits: u64 = conf.iter().map(|&v| g.degree(v) as u64).sum();
+        counters::record_scalar_edge_visits(visits);
+        counters::record(counters::OpClass::ScalarLoad, 2 * conf.len() as u64);
+        counters::record(counters::OpClass::ScalarBranch, 2 * conf.len() as u64);
+    }
+}
+
+/// `DetectConflicts` (Algorithm 3): returns the vertices that must be
+/// re-colored. For each same-colored edge the *lower* endpoint is re-colored
+/// (the paper's `u < v` rule keeps one endpoint stable so progress is
+/// guaranteed).
+pub(crate) fn detect_conflicts(
+    g: &Csr,
+    colors: &[AtomicU32],
+    conf: &[u32],
+    config: &ColoringConfig,
+) -> Vec<u32> {
+    let find = |&v: &u32| -> Option<u32> {
+        let cv = colors[v as usize].load(Ordering::Relaxed);
+        g.neighbors(v).iter().find(|&&u| u != v && colors[u as usize].load(Ordering::Relaxed) == cv && u < v).copied()
+    };
+    let mut newconf: Vec<u32> = if config.parallel {
+        conf.par_iter().filter_map(find).collect()
+    } else {
+        conf.iter().filter_map(find).collect()
+    };
+    if config.count_ops {
+        let visits: u64 = conf.iter().map(|&v| g.degree(v) as u64).sum();
+        counters::record(counters::OpClass::ScalarLoad, visits); // adj stream
+        counters::record(counters::OpClass::ScalarRandLoad, visits); // colors
+        counters::record(counters::OpClass::ScalarBranch, visits);
+    }
+    newconf.sort_unstable();
+    newconf.dedup();
+    newconf
+}
+
+/// Runs the full iterative speculative coloring with the scalar assignment
+/// kernel (Algorithm 1).
+pub fn color_graph_scalar(g: &Csr, config: &ColoringConfig) -> ColoringResult {
+    run_iterative(g, config, |g, colors, conf, config| {
+        assign_colors_scalar(g, colors, conf, config)
+    })
+}
+
+/// Shared Algorithm-1 skeleton: used by the scalar and the ONPL assignment
+/// kernels so both variants measure identical control flow.
+pub(crate) fn run_iterative(
+    g: &Csr,
+    config: &ColoringConfig,
+    assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
+) -> ColoringResult {
+    run_iterative_with_detect(g, config, assign, detect_conflicts)
+}
+
+/// Algorithm-1 skeleton with a pluggable `DetectConflicts` kernel (the
+/// vectorized variant lives in [`super::onpl`]).
+pub(crate) fn run_iterative_with_detect(
+    g: &Csr,
+    config: &ColoringConfig,
+    mut assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
+    mut detect: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig) -> Vec<u32>,
+) -> ColoringResult {
+    let n = g.num_vertices();
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut conf: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0;
+    while !conf.is_empty() && rounds < config.max_rounds {
+        rounds += 1;
+        assign(g, &colors, &conf, config);
+        conf = detect(g, &colors, &conf, config);
+    }
+    assert!(
+        conf.is_empty(),
+        "coloring failed to converge within {} rounds",
+        config.max_rounds
+    );
+    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+    let num_colors = colors.iter().copied().max().unwrap_or(0);
+    ColoringResult {
+        colors,
+        rounds,
+        num_colors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::verify::verify_coloring;
+    use super::*;
+    use gp_graph::builder::from_pairs;
+    use gp_graph::generators::{clique, cycle, erdos_renyi, path, star, triangular_mesh};
+
+    fn check(g: &Csr, config: &ColoringConfig) -> ColoringResult {
+        let r = color_graph_scalar(g, config);
+        verify_coloring(g, &r.colors).expect("invalid coloring");
+        r
+    }
+
+    #[test]
+    fn colors_empty_graph() {
+        let g = Csr::empty(5);
+        let r = check(&g, &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 1); // isolated vertices all take color 1
+    }
+
+    #[test]
+    fn colors_path_with_two_colors() {
+        let r = check(&path(10), &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 2);
+    }
+
+    #[test]
+    fn colors_even_cycle_with_two_colors() {
+        let r = check(&cycle(8), &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 2);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let r = check(&cycle(9), &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 3);
+    }
+
+    #[test]
+    fn clique_needs_n_colors() {
+        let r = check(&clique(6), &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 6);
+    }
+
+    #[test]
+    fn star_needs_two() {
+        let r = check(&star(20), &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 2);
+    }
+
+    #[test]
+    fn sequential_converges_in_one_round() {
+        let g = erdos_renyi(200, 600, 3);
+        let r = check(&g, &ColoringConfig::sequential());
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn parallel_valid_on_random_graph() {
+        let g = erdos_renyi(500, 2000, 5);
+        let r = check(&g, &ColoringConfig::default());
+        assert!(r.num_colors <= g.max_degree() as u32 + 1);
+    }
+
+    #[test]
+    fn greedy_bound_holds() {
+        // Greedy uses at most Δ + 1 colors.
+        let g = triangular_mesh(20, 20, 1);
+        let r = check(&g, &ColoringConfig::sequential());
+        assert!(r.num_colors <= g.max_degree() as u32 + 1);
+    }
+
+    #[test]
+    fn self_loops_do_not_break_coloring() {
+        let g = gp_graph::builder::GraphBuilder::new(3)
+            .add_edges([
+                gp_graph::Edge::unweighted(0, 1),
+                gp_graph::Edge::new(1, 1, 2.0),
+                gp_graph::Edge::unweighted(1, 2),
+            ])
+            .build();
+        let r = check(&g, &ColoringConfig::sequential());
+        assert!(r.num_colors <= 2);
+    }
+
+    #[test]
+    fn stamp_wraparound_is_handled() {
+        let g = path(3);
+        let colors: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(0)).collect();
+        let mut ws = Workspace::new(g.max_degree());
+        ws.stamp = u32::MAX; // next increment wraps
+        let c = assign_one_scalar(&g, &colors, 1, &mut ws);
+        assert_eq!(c, 1);
+        assert_eq!(ws.stamp, 1);
+    }
+
+    #[test]
+    fn disconnected_components_colored_independently() {
+        let g = from_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let r = check(&g, &ColoringConfig::sequential());
+        assert_eq!(r.num_colors, 3); // triangle needs 3; edge uses 2 of them
+    }
+}

@@ -1,0 +1,122 @@
+//! Coloring validation.
+
+use gp_graph::csr::Csr;
+
+/// Error describing an invalid coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// The color array length does not match the vertex count.
+    WrongLength { expected: usize, actual: usize },
+    /// A vertex is uncolored (color 0).
+    Uncolored(u32),
+    /// Two adjacent vertices share a color.
+    Conflict { u: u32, v: u32, color: u32 },
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::WrongLength { expected, actual } => {
+                write!(f, "colors has length {actual}, expected {expected}")
+            }
+            ColoringError::Uncolored(v) => write!(f, "vertex {v} is uncolored"),
+            ColoringError::Conflict { u, v, color } => {
+                write!(f, "edge ({u}, {v}) has both endpoints colored {color}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// Checks that `colors` is a valid distance-1 coloring of `g`: every vertex
+/// has a positive color and no edge joins two vertices of the same color
+/// (self-loops are exempt — no assignment can avoid them).
+pub fn verify_coloring(g: &Csr, colors: &[u32]) -> Result<(), ColoringError> {
+    if colors.len() != g.num_vertices() {
+        return Err(ColoringError::WrongLength {
+            expected: g.num_vertices(),
+            actual: colors.len(),
+        });
+    }
+    for u in g.vertices() {
+        if colors[u as usize] == 0 {
+            return Err(ColoringError::Uncolored(u));
+        }
+        for &v in g.neighbors(u) {
+            if v != u && colors[u as usize] == colors[v as usize] {
+                return Err(ColoringError::Conflict {
+                    u,
+                    v,
+                    color: colors[u as usize],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Number of distinct colors used.
+pub fn count_colors(colors: &[u32]) -> u32 {
+    let mut seen: Vec<u32> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::builder::from_pairs;
+
+    #[test]
+    fn accepts_valid_coloring() {
+        let g = from_pairs(3, [(0, 1), (1, 2)]);
+        assert!(verify_coloring(&g, &[1, 2, 1]).is_ok());
+    }
+
+    #[test]
+    fn rejects_conflict() {
+        let g = from_pairs(2, [(0, 1)]);
+        let err = verify_coloring(&g, &[1, 1]).unwrap_err();
+        assert!(matches!(err, ColoringError::Conflict { color: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_uncolored() {
+        let g = from_pairs(2, [(0, 1)]);
+        assert_eq!(
+            verify_coloring(&g, &[1, 0]),
+            Err(ColoringError::Uncolored(1))
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = from_pairs(3, [(0, 1)]);
+        assert!(matches!(
+            verify_coloring(&g, &[1, 2]),
+            Err(ColoringError::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_is_exempt() {
+        let g = gp_graph::builder::GraphBuilder::new(1)
+            .add_edges([gp_graph::Edge::new(0, 0, 1.0)])
+            .build();
+        assert!(verify_coloring(&g, &[1]).is_ok());
+    }
+
+    #[test]
+    fn counts_distinct_colors() {
+        assert_eq!(count_colors(&[1, 2, 1, 3, 2]), 3);
+        assert_eq!(count_colors(&[]), 0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ColoringError::Conflict { u: 1, v: 2, color: 3 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+}

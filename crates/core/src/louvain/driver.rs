@@ -1,0 +1,199 @@
+//! The full multilevel Louvain driver: alternate move and coarsening phases
+//! until modularity stops improving, then project communities back to the
+//! original graph.
+
+use super::coarsen::{coarsen, project};
+use super::modularity::modularity;
+use super::mplm::move_phase_mplm;
+use super::onpl::move_phase_onpl;
+use super::ovpl::{move_phase_ovpl, prepare};
+use super::plm::move_phase_plm;
+use super::{LouvainConfig, MovePhaseStats, MoveState, Variant};
+use gp_graph::csr::Csr;
+use gp_simd::backend::Simd;
+use gp_simd::engine::Engine;
+
+/// Outcome of a full Louvain run.
+#[derive(Debug, Clone)]
+pub struct LouvainResult {
+    /// Final community per original vertex.
+    pub communities: Vec<u32>,
+    /// Modularity of the final assignment.
+    pub modularity: f64,
+    /// Coarsening levels processed (1 = move phase only sufficed).
+    pub levels: usize,
+    /// Per-level move statistics.
+    pub level_stats: Vec<MovePhaseStats>,
+}
+
+/// Runs one move phase of the configured variant on `g`, dispatching to the
+/// best available SIMD backend for the vector variants. Returns the
+/// state-modifying statistics; `state` holds the assignment.
+pub fn run_move_phase(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
+    match config.variant {
+        Variant::Plm => move_phase_plm(g, state, config),
+        Variant::Mplm => move_phase_mplm(g, state, config),
+        Variant::Onpl(strategy) => match Engine::best() {
+            Engine::Native(s) => move_phase_onpl(&s, g, state, strategy, config),
+            Engine::Emulated(s) => move_phase_onpl(&s, g, state, strategy, config),
+        },
+        Variant::Ovpl => {
+            let layout = prepare(g, config);
+            match Engine::best() {
+                Engine::Native(s) => move_phase_ovpl(&s, &layout, state, config),
+                Engine::Emulated(s) => move_phase_ovpl(&s, &layout, state, config),
+            }
+        }
+    }
+}
+
+/// Variant of [`run_move_phase`] pinned to an explicit backend (used by the
+/// benchmark harness to time native vs. counted runs).
+pub fn run_move_phase_with<S: Simd + Sync>(
+    s: &S,
+    g: &Csr,
+    state: &MoveState,
+    config: &LouvainConfig,
+) -> MovePhaseStats {
+    match config.variant {
+        Variant::Plm => move_phase_plm(g, state, config),
+        Variant::Mplm => move_phase_mplm(g, state, config),
+        Variant::Onpl(strategy) => move_phase_onpl(s, g, state, strategy, config),
+        Variant::Ovpl => {
+            let layout = prepare(g, config);
+            move_phase_ovpl(s, &layout, state, config)
+        }
+    }
+}
+
+/// Full Louvain: move phases and coarsening until modularity converges
+/// (or a single move phase when `config.multilevel` is false, which is what
+/// the paper's timings cover).
+///
+/// ```
+/// use gp_core::louvain::{louvain, LouvainConfig};
+/// use gp_graph::generators::planted_partition;
+///
+/// let g = planted_partition(3, 12, 0.8, 0.02, 7);
+/// let r = louvain(&g, &LouvainConfig::default());
+/// assert!(r.modularity > 0.4);
+/// ```
+pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
+    let mut result = LouvainResult {
+        communities: (0..g.num_vertices() as u32).collect(),
+        modularity: 0.0,
+        levels: 0,
+        level_stats: Vec::new(),
+    };
+
+    let mut level_graph = g.clone();
+    let mut assignments: Vec<(Vec<u32>, Vec<u32>)> = Vec::new(); // (zeta, fine_to_coarse)
+    loop {
+        let state = MoveState::singleton(&level_graph);
+        let stats = run_move_phase(&level_graph, &state, config);
+        result.levels += 1;
+        result.level_stats.push(stats);
+        let zeta = state.communities();
+        let distinct = super::modularity::count_communities(&zeta);
+
+        if !config.multilevel || stats.moves == 0 || distinct == level_graph.num_vertices() {
+            assignments.push((zeta, Vec::new()));
+            break;
+        }
+        let coarse = coarsen(&level_graph, &zeta);
+        let done = coarse.graph.num_vertices() <= 1;
+        assignments.push((zeta, coarse.fine_to_coarse));
+        if done {
+            break;
+        }
+        level_graph = coarse.graph;
+    }
+
+    // Project the deepest assignment back through the levels.
+    let (mut communities, _) = assignments.pop().unwrap();
+    while let Some((zeta, fine_to_coarse)) = assignments.pop() {
+        communities = project(&zeta, &fine_to_coarse, &communities);
+    }
+    result.communities = communities;
+    result.modularity = modularity(g, &result.communities);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce_scatter::Strategy;
+    use gp_graph::builder::from_pairs;
+    use gp_graph::generators::{planted_partition, planted_partition_truth, triangular_mesh};
+
+    fn seq(variant: Variant) -> LouvainConfig {
+        LouvainConfig::sequential(variant)
+    }
+
+    #[test]
+    fn multilevel_beats_single_level_on_mesh() {
+        let g = triangular_mesh(16, 16, 6);
+        let single = louvain(&g, &seq(Variant::Mplm).move_phase_only());
+        let multi = louvain(&g, &seq(Variant::Mplm));
+        assert!(
+            multi.modularity >= single.modularity - 1e-9,
+            "multilevel {} < single {}",
+            multi.modularity,
+            single.modularity
+        );
+        assert!(multi.levels >= single.levels);
+    }
+
+    #[test]
+    fn all_variants_recover_planted_communities() {
+        let g = planted_partition(4, 16, 0.7, 0.02, 55);
+        let truth = planted_partition_truth(4, 16);
+        let q_truth = super::super::modularity::modularity(&g, &truth);
+        for variant in [
+            Variant::Plm,
+            Variant::Mplm,
+            Variant::Onpl(Strategy::ConflictDetect),
+            Variant::Onpl(Strategy::InVectorReduce),
+            Variant::Ovpl,
+        ] {
+            let r = louvain(&g, &seq(variant));
+            assert!(
+                r.modularity > 0.9 * q_truth,
+                "{}: Q = {} vs truth {}",
+                variant.name(),
+                r.modularity,
+                q_truth
+            );
+        }
+    }
+
+    #[test]
+    fn communities_cover_all_vertices() {
+        let g = triangular_mesh(10, 10, 2);
+        let r = louvain(&g, &seq(Variant::Mplm));
+        assert_eq!(r.communities.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = from_pairs(2, [(0, 1)]);
+        let r = louvain(&g, &seq(Variant::Mplm));
+        assert_eq!(r.communities[0], r.communities[1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3);
+        let r = louvain(&g, &seq(Variant::Mplm));
+        assert_eq!(r.communities.len(), 3);
+        assert_eq!(r.modularity, 0.0);
+    }
+
+    #[test]
+    fn level_stats_recorded() {
+        let g = planted_partition(3, 12, 0.7, 0.05, 77);
+        let r = louvain(&g, &seq(Variant::Mplm));
+        assert_eq!(r.level_stats.len(), r.levels);
+        assert!(r.level_stats[0].moves > 0);
+    }
+}

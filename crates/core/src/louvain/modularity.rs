@@ -1,0 +1,147 @@
+//! The modularity metric (Figure 11b's quality measure).
+//!
+//! `Q = Σ_C [ intra_vol(C) / (2·ω(E)) − (vol(C) / (2·ω(E)))² ]`
+//!
+//! where `intra_vol(C)` counts every intra-community edge twice and every
+//! self-loop twice (consistent with the volume definition in the paper's
+//! notation section), so a single community containing the whole graph has
+//! `Q = 1 − 1 = 0` and singleton communities on a clique give `Q < 0`.
+
+use gp_graph::csr::Csr;
+
+/// Computes modularity of an assignment in f64 (the metric is exact even
+/// when move phases run in f32).
+///
+/// # Panics
+/// Panics if `zeta.len() != g.num_vertices()` or a community id is out of
+/// `0..n`.
+pub fn modularity(g: &Csr, zeta: &[u32]) -> f64 {
+    let n = g.num_vertices();
+    assert_eq!(zeta.len(), n, "community array length mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let m = g.total_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let two_m = 2.0 * m;
+
+    let mut intra_vol = vec![0.0f64; n];
+    let mut vol = vec![0.0f64; n];
+    for u in g.vertices() {
+        let cu = zeta[u as usize] as usize;
+        assert!(cu < n, "community id {cu} out of range");
+        vol[cu] += g.volume(u);
+        for (v, w) in g.edges_of(u) {
+            if zeta[v as usize] == zeta[u as usize] {
+                // Each non-loop intra edge is visited from both endpoints
+                // (+2w total); a self-loop is visited once, count it double.
+                intra_vol[cu] += if v == u { 2.0 * w as f64 } else { w as f64 };
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..n {
+        if vol[c] > 0.0 {
+            let frac = vol[c] / two_m;
+            q += intra_vol[c] / two_m - frac * frac;
+        }
+    }
+    q
+}
+
+/// Number of non-empty communities in an assignment.
+pub fn count_communities(zeta: &[u32]) -> usize {
+    let mut ids: Vec<u32> = zeta.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::builder::from_pairs;
+    use gp_graph::generators::{clique, planted_partition, planted_partition_truth};
+
+    #[test]
+    fn one_community_is_zero() {
+        let g = clique(5);
+        assert!((modularity(&g, &[0; 5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_on_clique_are_negative() {
+        let g = clique(5);
+        let zeta: Vec<u32> = (0..5).collect();
+        assert!(modularity(&g, &zeta) < 0.0);
+    }
+
+    #[test]
+    fn two_cliques_split_is_good() {
+        // Two triangles joined by one edge; the natural split scores high.
+        let g = from_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let split = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let merged = modularity(&g, &[0; 6]);
+        let singletons = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!(split > merged);
+        assert!(split > singletons);
+        assert!(split > 0.3);
+    }
+
+    #[test]
+    fn planted_truth_beats_random_assignment() {
+        let g = planted_partition(4, 16, 0.6, 0.02, 3);
+        let truth = planted_partition_truth(4, 16);
+        let random: Vec<u32> = (0..64).map(|u| u % 7).collect();
+        assert!(modularity(&g, &truth) > modularity(&g, &random));
+    }
+
+    #[test]
+    fn self_loops_count_in_modularity() {
+        // A graph that is one self-loop: the single community holds all
+        // weight, Q = 1/... intra_vol = 2w, vol = 2w, m = w:
+        // Q = 2w/2w - (2w/2w)^2 = 0.
+        let g = gp_graph::builder::GraphBuilder::new(1)
+            .add_edges([gp_graph::Edge::new(0, 0, 3.0)])
+            .build();
+        assert!((modularity(&g, &[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_modularity_zero() {
+        let g = Csr::empty(3);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn weighted_edges_respected() {
+        // Heavy edge inside community 0, light edge crossing.
+        let g = gp_graph::builder::GraphBuilder::new(4)
+            .add_edges([
+                gp_graph::Edge::new(0, 1, 10.0),
+                gp_graph::Edge::new(2, 3, 10.0),
+                gp_graph::Edge::new(1, 2, 0.1),
+            ])
+            .build();
+        let good = modularity(&g, &[0, 0, 1, 1]);
+        let bad = modularity(&g, &[0, 1, 0, 1]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn count_communities_works() {
+        assert_eq!(count_communities(&[5, 5, 2, 7]), 3);
+        assert_eq!(count_communities(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        modularity(&clique(3), &[0, 0]);
+    }
+}

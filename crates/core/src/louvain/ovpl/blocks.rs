@@ -1,0 +1,130 @@
+//! The sliced-ELLPACK block layout (Figure 4).
+//!
+//! A block holds 16 mutually non-adjacent vertices. Its neighbor lists are
+//! stored interleaved: entry `i * 16 + lane` is the `i`-th neighbor of the
+//! block's `lane`-th vertex, padded with [`SENTINEL`] past each vertex's
+//! degree. Weights mirror the layout. The format mirrors sliced ELLPACK
+//! (Monakov et al.) as the paper notes, and gives the move phase aligned
+//! full-width loads.
+
+use gp_simd::vector::LANES;
+
+/// Padding marker in the interleaved arrays (`-1` as i32, so a single
+/// lane-wise compare builds the existence mask).
+pub const SENTINEL: i32 = -1;
+
+/// One 16-vertex block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Start of this block's slice in [`OvplLayout::nbrs`] /
+    /// [`OvplLayout::wts`] (always a multiple of 16).
+    pub offset: usize,
+    /// Maximum degree among the block's vertices — the slice holds
+    /// `max_deg * 16` entries.
+    pub max_deg: u32,
+    /// Minimum degree among the block's *real* vertices; below this index no
+    /// existence checks are needed (the paper's masked-instruction saving).
+    pub min_deg: u32,
+    /// The vertex of each lane, [`SENTINEL`] for padding lanes.
+    pub vertices: [i32; LANES],
+}
+
+impl Block {
+    /// Number of real (non-padding) vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.iter().filter(|&&v| v != SENTINEL).count()
+    }
+
+    /// True if the block holds no real vertex.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterator over `(lane, vertex)` for real vertices.
+    pub fn iter_real(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != SENTINEL)
+            .map(|(lane, &v)| (lane, v as u32))
+    }
+}
+
+/// The preprocessed OVPL graph representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OvplLayout {
+    /// All blocks, in processing order (color groups first, then the
+    /// mixed-color tail blocks).
+    pub blocks: Vec<Block>,
+    /// Interleaved neighbor ids ([`SENTINEL`]-padded).
+    pub nbrs: Vec<i32>,
+    /// Interleaved edge weights (0 at padding).
+    pub wts: Vec<f32>,
+    /// Colors the preprocessing coloring used.
+    pub colors_used: u32,
+    /// Total padded (wasted) lane-slots across all blocks — the work
+    /// overhead Figure 14 charges OVPL's energy with.
+    pub padded_slots: u64,
+}
+
+impl OvplLayout {
+    /// Approximate extra heap bytes of the layout (the paper's "consumes a
+    /// lot more memory" discussion): interleaved arrays + block table.
+    pub fn memory_bytes(&self) -> usize {
+        self.nbrs.len() * 4 + self.wts.len() * 4 + self.blocks.len() * std::mem::size_of::<Block>()
+    }
+
+    /// Fraction of lane-slots that do useful work (1.0 = no padding).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.nbrs.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.padded_slots as f64 / self.nbrs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len_counts_real_vertices() {
+        let mut vertices = [SENTINEL; LANES];
+        vertices[0] = 5;
+        vertices[3] = 7;
+        let b = Block {
+            offset: 0,
+            max_deg: 2,
+            min_deg: 1,
+            vertices,
+        };
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        let real: Vec<(usize, u32)> = b.iter_real().collect();
+        assert_eq!(real, vec![(0, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block {
+            offset: 0,
+            max_deg: 0,
+            min_deg: 0,
+            vertices: [SENTINEL; LANES],
+        };
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn utilization_of_empty_layout() {
+        let layout = OvplLayout {
+            blocks: vec![],
+            nbrs: vec![],
+            wts: vec![],
+            colors_used: 0,
+            padded_slots: 0,
+        };
+        assert_eq!(layout.lane_utilization(), 1.0);
+        assert_eq!(layout.memory_bytes(), 0);
+    }
+}

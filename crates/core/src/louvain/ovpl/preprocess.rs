@@ -1,0 +1,251 @@
+//! OVPL preprocessing (Section 5.1).
+//!
+//! 1. group vertices by their greedy-coloring color (no two same-colored
+//!    vertices are adjacent);
+//! 2. sort each group by non-increasing degree ("sorting will help to
+//!    minimize wasted computation": it keeps each block's max-to-min degree
+//!    spread small);
+//! 3. cut full 16-vertex blocks from each group; leftovers from all groups
+//!    are packed into mixed-color tail blocks — like the paper's example,
+//!    where the second block "contains vertices of different colors to fill
+//!    the vector". Unlike the paper we re-verify non-adjacency while mixing,
+//!    so the no-two-neighbors invariant holds for *every* block;
+//! 4. lay each block out in interleaved sliced-ELLPACK form.
+
+use super::blocks::{Block, OvplLayout, SENTINEL};
+use gp_graph::csr::Csr;
+use gp_simd::vector::LANES;
+
+/// Builds the OVPL layout from a valid coloring of `g`.
+///
+/// # Panics
+/// Panics (in debug builds) if `colors` is not a valid coloring — the block
+/// invariant would silently break convergence otherwise.
+pub fn build_layout(g: &Csr, colors: &[u32], sort_by_degree: bool) -> OvplLayout {
+    let n = g.num_vertices();
+    assert_eq!(colors.len(), n, "coloring length mismatch");
+    debug_assert!(
+        crate::coloring::verify_coloring(g, colors).is_ok(),
+        "OVPL preprocessing requires a valid coloring"
+    );
+
+    // Group by color (colors are 1-based from the greedy algorithm).
+    let colors_used = colors.iter().copied().max().unwrap_or(0);
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); colors_used as usize + 1];
+    for u in 0..n as u32 {
+        groups[colors[u as usize] as usize].push(u);
+    }
+
+    let mut full_blocks: Vec<Vec<u32>> = Vec::new();
+    let mut leftovers: Vec<u32> = Vec::new();
+    for group in groups.iter_mut().skip(1) {
+        if sort_by_degree {
+            group.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+        }
+        let mut chunks = group.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            full_blocks.push(chunk.to_vec());
+        }
+        leftovers.extend_from_slice(chunks.remainder());
+    }
+
+    // Pack leftovers into mixed-color blocks, preserving non-adjacency.
+    if sort_by_degree {
+        leftovers.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+    }
+    let mut pool = leftovers;
+    while !pool.is_empty() {
+        let mut block: Vec<u32> = Vec::with_capacity(LANES);
+        let mut rest: Vec<u32> = Vec::new();
+        for v in pool {
+            if block.len() < LANES && !block.iter().any(|&b| g.has_edge(v, b)) {
+                block.push(v);
+            } else {
+                rest.push(v);
+            }
+        }
+        full_blocks.push(block);
+        pool = rest;
+    }
+
+    // Process blocks in spatial order (minimum member id): greedy
+    // modularity is sensitive to the visit schedule, and grouping by color
+    // alone would sweep the graph one color class at a time, destroying the
+    // locality a natural-order scan exploits. Ordering the *blocks* by their
+    // lowest vertex id restores that locality while keeping every block's
+    // non-adjacency invariant intact.
+    full_blocks.sort_by_key(|members| members.iter().copied().min().unwrap_or(u32::MAX));
+
+    // Interleaved ELLPACK arrays.
+    let mut layout = OvplLayout {
+        blocks: Vec::with_capacity(full_blocks.len()),
+        nbrs: Vec::new(),
+        wts: Vec::new(),
+        colors_used,
+        padded_slots: 0,
+    };
+    for members in full_blocks {
+        let offset = layout.nbrs.len();
+        let max_deg = members.iter().map(|&u| g.degree(u)).max().unwrap_or(0) as u32;
+        let min_deg = members.iter().map(|&u| g.degree(u)).min().unwrap_or(0) as u32;
+        let mut vertices = [SENTINEL; LANES];
+        for (lane, &u) in members.iter().enumerate() {
+            vertices[lane] = u as i32;
+        }
+        layout.nbrs.resize(offset + max_deg as usize * LANES, SENTINEL);
+        layout.wts.resize(offset + max_deg as usize * LANES, 0.0);
+        for (lane, &u) in members.iter().enumerate() {
+            for (i, (v, w)) in g.edges_of(u).enumerate() {
+                layout.nbrs[offset + i * LANES + lane] = v as i32;
+                layout.wts[offset + i * LANES + lane] = w;
+            }
+        }
+        // Padded slots: sentinel entries in this block's slice.
+        let real: usize = members.iter().map(|&u| g.degree(u)).sum();
+        layout.padded_slots += (max_deg as usize * LANES - real) as u64;
+        layout.blocks.push(Block {
+            offset,
+            max_deg,
+            min_deg,
+            vertices,
+        });
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{color_graph_scalar, ColoringConfig};
+    use gp_graph::generators::{clique, erdos_renyi, ring_lattice, star, triangular_mesh};
+    use std::collections::HashSet;
+
+    fn layout_of(g: &Csr, sort: bool) -> OvplLayout {
+        let coloring = color_graph_scalar(g, &ColoringConfig::sequential());
+        build_layout(g, &coloring.colors, sort)
+    }
+
+    /// Every block must hold pairwise non-adjacent vertices — the invariant
+    /// OVPL's convergence rests on.
+    fn assert_block_invariants(g: &Csr, layout: &OvplLayout) {
+        let mut seen = HashSet::new();
+        for b in &layout.blocks {
+            let members: Vec<u32> = b.iter_real().map(|(_, v)| v).collect();
+            for (i, &u) in members.iter().enumerate() {
+                assert!(seen.insert(u), "vertex {u} appears in two blocks");
+                for &v in &members[i + 1..] {
+                    assert!(!g.has_edge(u, v), "adjacent {u},{v} share a block");
+                }
+            }
+            // Degree bounds.
+            for (_, v) in b.iter_real() {
+                let d = g.degree(v) as u32;
+                assert!(d <= b.max_deg && d >= b.min_deg);
+            }
+        }
+        assert_eq!(seen.len(), g.num_vertices(), "every vertex must be placed");
+    }
+
+    /// The ELLPACK arrays must contain exactly the graph's edges.
+    fn assert_ellpack_roundtrip(g: &Csr, layout: &OvplLayout) {
+        for b in &layout.blocks {
+            for (lane, u) in b.iter_real() {
+                let mut recovered: Vec<(u32, f32)> = Vec::new();
+                for i in 0..b.max_deg as usize {
+                    let e = layout.nbrs[b.offset + i * LANES + lane];
+                    if e != SENTINEL {
+                        recovered.push((e as u32, layout.wts[b.offset + i * LANES + lane]));
+                    }
+                }
+                let mut expected: Vec<(u32, f32)> = g.edges_of(u).collect();
+                recovered.sort_by_key(|&(v, _)| v);
+                expected.sort_by_key(|&(v, _)| v);
+                assert_eq!(recovered, expected, "vertex {u} edges corrupted");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_layout_invariants() {
+        let g = triangular_mesh(12, 12, 5);
+        let layout = layout_of(&g, true);
+        assert_block_invariants(&g, &layout);
+        assert_ellpack_roundtrip(&g, &layout);
+    }
+
+    #[test]
+    fn random_graph_layout_invariants() {
+        let g = erdos_renyi(300, 1200, 7);
+        let layout = layout_of(&g, true);
+        assert_block_invariants(&g, &layout);
+        assert_ellpack_roundtrip(&g, &layout);
+    }
+
+    #[test]
+    fn unsorted_layout_still_valid() {
+        let g = erdos_renyi(200, 800, 3);
+        let layout = layout_of(&g, false);
+        assert_block_invariants(&g, &layout);
+        assert_ellpack_roundtrip(&g, &layout);
+    }
+
+    #[test]
+    fn ring_lattice_fills_lanes_perfectly() {
+        // Regular graph: blocks have max_deg == min_deg, zero padding in
+        // full blocks (only tail blocks may pad).
+        let g = ring_lattice(160, 4);
+        let layout = layout_of(&g, true);
+        assert_block_invariants(&g, &layout);
+        assert!(
+            layout.lane_utilization() > 0.9,
+            "utilization {}",
+            layout.lane_utilization()
+        );
+        for b in &layout.blocks {
+            if b.len() == LANES {
+                assert_eq!(b.max_deg, b.min_deg);
+            }
+        }
+    }
+
+    #[test]
+    fn star_layout_handles_extreme_skew() {
+        let g = star(100);
+        let layout = layout_of(&g, true);
+        assert_block_invariants(&g, &layout);
+        assert_ellpack_roundtrip(&g, &layout);
+        // Hub (degree 99) must sit in a block with massive padding.
+        assert!(layout.padded_slots > 0);
+    }
+
+    #[test]
+    fn clique_gets_one_vertex_per_block() {
+        // Every pair is adjacent, so every block holds exactly one vertex.
+        let g = clique(5);
+        let layout = layout_of(&g, true);
+        assert_block_invariants(&g, &layout);
+        for b in &layout.blocks {
+            assert_eq!(b.len(), 1);
+        }
+    }
+
+    #[test]
+    fn degree_sorting_reduces_padding() {
+        let g = erdos_renyi(400, 3200, 13);
+        let sorted = layout_of(&g, true);
+        let unsorted = layout_of(&g, false);
+        assert!(
+            sorted.padded_slots <= unsorted.padded_slots,
+            "sorting should not increase padding: {} vs {}",
+            sorted.padded_slots,
+            unsorted.padded_slots
+        );
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangular_mesh(8, 8, 2);
+        let layout = layout_of(&g, true);
+        assert!(layout.memory_bytes() > g.num_arcs() * 8);
+    }
+}

@@ -1,0 +1,195 @@
+//! Initial partitioning of the coarsest graph: greedy graph growing.
+//!
+//! Grow part after part by absorbing, at every step, the unassigned vertex
+//! with the heaviest connection to the growing part (a lazy max-heap with
+//! stale-entry skipping), until the part reaches its weight quota; the last
+//! part takes the rest. This is the weight-aware growing of classic
+//! multilevel partitioners — on weight-defined structure (see the
+//! weight-sensitivity tests) topology-blind BFS growing would be useless.
+
+use super::PartitionConfig;
+use gp_graph::csr::Csr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry ordered by gain.
+struct Entry {
+    gain: f32,
+    vertex: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.vertex == other.vertex
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+            .then(other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Grows `config.k` parts over the (coarse) graph. Every vertex receives a
+/// part in `0..k`.
+pub fn greedy_growing(g: &Csr, weights: &[f32], config: &PartitionConfig) -> Vec<u32> {
+    let n = g.num_vertices();
+    let k = config.k;
+    let total: f32 = weights.iter().sum();
+    let quota = total / k as f32;
+    let mut parts = vec![u32::MAX; n];
+    // Connection weight of each unassigned vertex to the part being grown.
+    let mut gain = vec![0.0f32; n];
+
+    for part in 0..k as u32 {
+        let target = if part as usize == k - 1 {
+            f32::INFINITY // last part absorbs the remainder
+        } else {
+            quota
+        };
+        // Seed: the unassigned vertex best connected to already-assigned
+        // vertices (keeps parts adjacent), else the first unassigned.
+        let seed = (0..n as u32)
+            .filter(|&v| parts[v as usize] == u32::MAX)
+            .max_by(|&a, &b| {
+                let conn = |v: u32| -> f32 {
+                    g.edges_of(v)
+                        .filter(|&(u, _)| u != v && parts[u as usize] != u32::MAX)
+                        .map(|(_, w)| w)
+                        .sum()
+                };
+                conn(a).partial_cmp(&conn(b)).unwrap()
+            });
+        let Some(seed) = seed else { break };
+
+        gain.fill(0.0);
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        heap.push(Entry {
+            gain: f32::INFINITY,
+            vertex: seed,
+        });
+        gain[seed as usize] = f32::INFINITY;
+        let mut grown = 0.0f32;
+        while grown < target {
+            let u = match heap.pop() {
+                // Skip stale heap entries (gain has been raised since).
+                Some(e) if e.gain >= gain[e.vertex as usize] - 1e-9 => e.vertex,
+                Some(_) => continue,
+                None => {
+                    // Frontier exhausted (component boundary): jump to any
+                    // unassigned vertex.
+                    match (0..n as u32).find(|&v| parts[v as usize] == u32::MAX) {
+                        Some(v) => {
+                            heap.push(Entry { gain: 0.0, vertex: v });
+                            gain[v as usize] = 0.0;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if parts[u as usize] != u32::MAX {
+                continue;
+            }
+            parts[u as usize] = part;
+            grown += weights[u as usize];
+            for (v, w) in g.edges_of(u) {
+                if v != u && parts[v as usize] == u32::MAX {
+                    gain[v as usize] += w;
+                    heap.push(Entry {
+                        gain: gain[v as usize],
+                        vertex: v,
+                    });
+                }
+            }
+        }
+    }
+
+    // Any stragglers (disconnected leftovers) go to the lightest part.
+    let mut part_weight = vec![0.0f32; k];
+    for (v, &p) in parts.iter().enumerate() {
+        if p != u32::MAX {
+            part_weight[p as usize] += weights[v];
+        }
+    }
+    for v in 0..n {
+        if parts[v] == u32::MAX {
+            let lightest = (0..k)
+                .min_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).unwrap())
+                .unwrap();
+            parts[v] = lightest as u32;
+            part_weight[lightest] += weights[v];
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::builder::from_pairs;
+    use gp_graph::generators::{erdos_renyi, path, triangular_mesh};
+
+    fn cfg(k: usize) -> PartitionConfig {
+        PartitionConfig::kway(k)
+    }
+
+    #[test]
+    fn covers_every_vertex() {
+        let g = erdos_renyi(120, 400, 2);
+        let w = vec![1.0; 120];
+        let parts = greedy_growing(&g, &w, &cfg(3));
+        assert!(parts.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn roughly_balanced_on_uniform_weights() {
+        let g = triangular_mesh(16, 16, 4);
+        let w = vec![1.0; g.num_vertices()];
+        let parts = greedy_growing(&g, &w, &cfg(4));
+        let mut sizes = [0usize; 4];
+        for &p in &parts {
+            sizes[p as usize] += 1;
+        }
+        let ideal = g.num_vertices() / 4;
+        for s in sizes {
+            assert!(
+                (ideal / 2..=2 * ideal).contains(&s),
+                "sizes {sizes:?} too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = from_pairs(8, [(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let w = vec![1.0; 8];
+        let parts = greedy_growing(&g, &w, &cfg(2));
+        assert!(parts.iter().all(|&p| p < 2));
+        let c0 = parts.iter().filter(|&&p| p == 0).count();
+        assert!((2..=6).contains(&c0));
+    }
+
+    #[test]
+    fn respects_vertex_weights() {
+        // One huge vertex: it alone should fill a part's quota.
+        let g = path(10);
+        let mut w = vec![1.0f32; 10];
+        w[0] = 9.0;
+        let parts = greedy_growing(&g, &w, &cfg(2));
+        let part0_of_heavy = parts[0];
+        let heavy_side_weight: f32 = (0..10)
+            .filter(|&v| parts[v] == part0_of_heavy)
+            .map(|v| w[v])
+            .sum();
+        assert!(heavy_side_weight <= 12.0, "heavy part overfilled");
+    }
+}

@@ -1,0 +1,118 @@
+//! Heavy-edge matching for the coarsening phase.
+//!
+//! Visit vertices in a seeded random order; each unmatched vertex pairs with
+//! its heaviest unmatched neighbor (ties to the lower id). The classic
+//! multilevel heuristic: contracting heavy edges first keeps as much weight
+//! as possible *inside* super-vertices, where it can never be cut.
+
+use gp_graph::csr::Csr;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Returns `mate[v]` = matched partner, or `u32::MAX` when unmatched.
+/// The result is symmetric: `mate[mate[v]] == v` for matched vertices.
+pub fn heavy_edge_matching(g: &Csr, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut mate = vec![u32::MAX; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    for &u in &order {
+        if mate[u as usize] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(u32, f32)> = None;
+        for (v, w) in g.edges_of(u) {
+            if v == u || mate[v as usize] != u32::MAX {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bv, bw)) => w > bw || (w == bw && v < bv),
+            };
+            if better {
+                best = Some((v, w));
+            }
+        }
+        if let Some((v, _)) = best {
+            mate[u as usize] = v;
+            mate[v as usize] = u;
+        }
+    }
+    mate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::builder::GraphBuilder;
+    use gp_graph::generators::{erdos_renyi, path, star};
+    use gp_graph::Edge;
+
+    fn check_symmetric(mate: &[u32]) {
+        for (v, &m) in mate.iter().enumerate() {
+            if m != u32::MAX {
+                assert_eq!(mate[m as usize], v as u32, "asymmetric at {v}");
+                assert_ne!(m, v as u32, "self-matched {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_symmetric_and_loopless() {
+        let g = erdos_renyi(200, 800, 3);
+        let mate = heavy_edge_matching(&g, 1);
+        check_symmetric(&mate);
+    }
+
+    #[test]
+    fn matched_pairs_are_edges() {
+        let g = erdos_renyi(150, 500, 9);
+        let mate = heavy_edge_matching(&g, 2);
+        for (v, &m) in mate.iter().enumerate() {
+            if m != u32::MAX {
+                assert!(g.has_edge(v as u32, m), "({v},{m}) not an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn path_matches_about_half() {
+        let g = path(100);
+        let mate = heavy_edge_matching(&g, 5);
+        let matched = mate.iter().filter(|&&m| m != u32::MAX).count();
+        assert!(matched >= 60, "only {matched} matched on a path");
+    }
+
+    #[test]
+    fn star_matches_exactly_one_pair() {
+        // Every edge shares the hub, so at most one pair can match.
+        let g = star(20);
+        let mate = heavy_edge_matching(&g, 3);
+        let matched = mate.iter().filter(|&&m| m != u32::MAX).count();
+        assert_eq!(matched, 2);
+        check_symmetric(&mate);
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // 0-1 light, 0-2 heavy: 0 must pair with 2.
+        let g = GraphBuilder::new(3)
+            .add_edges([Edge::new(0, 1, 1.0), Edge::new(0, 2, 10.0)])
+            .build();
+        // Whatever the visit order, the heavy edge wins from 0's side, and
+        // from 2's side the only neighbor is 0.
+        let mate = heavy_edge_matching(&g, 0);
+        assert!(
+            mate[0] == 2 || mate[2] == 0 || mate[1] == u32::MAX,
+            "heavy edge skipped: {mate:?}"
+        );
+        check_symmetric(&mate);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(100, 300, 4);
+        assert_eq!(heavy_edge_matching(&g, 7), heavy_edge_matching(&g, 7));
+    }
+}

@@ -1,0 +1,123 @@
+//! Partition quality metrics and validation.
+
+use gp_graph::csr::Csr;
+
+/// Total weight of edges whose endpoints lie in different parts.
+pub fn edge_cut(g: &Csr, parts: &[u32]) -> f64 {
+    assert_eq!(parts.len(), g.num_vertices());
+    let mut cut = 0.0f64;
+    for u in g.vertices() {
+        for (v, w) in g.edges_of(u) {
+            if v > u && parts[u as usize] != parts[v as usize] {
+                cut += w as f64;
+            }
+        }
+    }
+    cut
+}
+
+/// Max part weight divided by the ideal (`total / k`); 1.0 = perfectly
+/// balanced. Vertex weight = 1 per vertex (the original-graph convention).
+pub fn partition_balance(g: &Csr, parts: &[u32], k: usize) -> f64 {
+    assert_eq!(parts.len(), g.num_vertices());
+    let n = g.num_vertices();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &p in parts {
+        sizes[p as usize] += 1;
+    }
+    let max = *sizes.iter().max().unwrap() as f64;
+    max / (n as f64 / k as f64)
+}
+
+/// Validation error for a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    WrongLength { expected: usize, actual: usize },
+    PartOutOfRange { vertex: u32, part: u32, k: usize },
+    EmptyPart(u32),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::WrongLength { expected, actual } => {
+                write!(f, "parts has length {actual}, expected {expected}")
+            }
+            PartitionError::PartOutOfRange { vertex, part, k } => {
+                write!(f, "vertex {vertex} assigned part {part} >= k = {k}")
+            }
+            PartitionError::EmptyPart(p) => write!(f, "part {p} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Checks that `parts` is a complete `k`-way assignment with no empty part.
+pub fn verify_partition(g: &Csr, parts: &[u32], k: usize) -> Result<(), PartitionError> {
+    if parts.len() != g.num_vertices() {
+        return Err(PartitionError::WrongLength {
+            expected: g.num_vertices(),
+            actual: parts.len(),
+        });
+    }
+    let mut seen = vec![false; k];
+    for (v, &p) in parts.iter().enumerate() {
+        if p as usize >= k {
+            return Err(PartitionError::PartOutOfRange {
+                vertex: v as u32,
+                part: p,
+                k,
+            });
+        }
+        seen[p as usize] = true;
+    }
+    if g.num_vertices() >= k {
+        if let Some(p) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::EmptyPart(p as u32));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::builder::from_pairs;
+
+    #[test]
+    fn cut_counts_cross_edges_once() {
+        let g = from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1.0);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3.0);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn balance_of_even_split_is_one() {
+        let g = from_pairs(4, [(0, 1), (2, 3)]);
+        assert_eq!(partition_balance(&g, &[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(partition_balance(&g, &[0, 0, 0, 1], 2), 1.5);
+    }
+
+    #[test]
+    fn verify_catches_problems() {
+        let g = from_pairs(3, [(0, 1), (1, 2)]);
+        assert!(verify_partition(&g, &[0, 1, 0], 2).is_ok());
+        assert!(matches!(
+            verify_partition(&g, &[0, 1], 2),
+            Err(PartitionError::WrongLength { .. })
+        ));
+        assert!(matches!(
+            verify_partition(&g, &[0, 5, 0], 2),
+            Err(PartitionError::PartOutOfRange { .. })
+        ));
+        assert!(matches!(
+            verify_partition(&g, &[0, 0, 0], 2),
+            Err(PartitionError::EmptyPart(1))
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Community-quality metrics beyond modularity.
+//!
+//! Modularity (Figure 11b's metric) measures internal density; when ground
+//! truth exists — planted partitions in tests, labeled benchmarks in the
+//! wild — information-theoretic agreement scores are the standard
+//! complement. This module provides Normalized Mutual Information and the
+//! Adjusted Rand Index, used by the validation tests and examples to show
+//! the vectorized detectors recover the same communities as the baselines.
+
+use std::collections::HashMap;
+
+/// Joint contingency counts between two assignments.
+struct Contingency {
+    /// `n[(a, b)]` = vertices with label `a` in `x` and `b` in `y`.
+    joint: HashMap<(u32, u32), f64>,
+    /// Marginal sizes of `x`'s communities.
+    ax: HashMap<u32, f64>,
+    /// Marginal sizes of `y`'s communities.
+    by: HashMap<u32, f64>,
+    n: f64,
+}
+
+impl Contingency {
+    fn new(x: &[u32], y: &[u32]) -> Self {
+        assert_eq!(x.len(), y.len(), "assignments must cover the same vertices");
+        assert!(!x.is_empty(), "assignments must be non-empty");
+        let mut joint: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut ax: HashMap<u32, f64> = HashMap::new();
+        let mut by: HashMap<u32, f64> = HashMap::new();
+        for (&a, &b) in x.iter().zip(y) {
+            *joint.entry((a, b)).or_default() += 1.0;
+            *ax.entry(a).or_default() += 1.0;
+            *by.entry(b).or_default() += 1.0;
+        }
+        Contingency {
+            joint,
+            ax,
+            by,
+            n: x.len() as f64,
+        }
+    }
+}
+
+/// Normalized Mutual Information between two community assignments, in
+/// `[0, 1]`: 1 iff the partitions are identical up to relabeling;
+/// ~0 for independent assignments. Normalization: arithmetic mean of the
+/// entropies (the NetworKit/scikit-learn default).
+///
+/// ```
+/// use gp_core::quality::nmi;
+///
+/// assert_eq!(nmi(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0); // relabeling ignored
+/// assert!(nmi(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.1);
+/// ```
+///
+/// Degenerate case: if both partitions are single-community (zero entropy),
+/// they are identical and NMI is defined as 1.
+pub fn nmi(x: &[u32], y: &[u32]) -> f64 {
+    let c = Contingency::new(x, y);
+    let hx: f64 = -c
+        .ax
+        .values()
+        .map(|&cnt| (cnt / c.n) * (cnt / c.n).ln())
+        .sum::<f64>();
+    let hy: f64 = -c
+        .by
+        .values()
+        .map(|&cnt| (cnt / c.n) * (cnt / c.n).ln())
+        .sum::<f64>();
+    if hx == 0.0 && hy == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (&(a, b), &nab) in &c.joint {
+        let pab = nab / c.n;
+        let pa = c.ax[&a] / c.n;
+        let pb = c.by[&b] / c.n;
+        mi += pab * (pab / (pa * pb)).ln();
+    }
+    (2.0 * mi / (hx + hy)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand Index between two assignments: 1 for identical partitions
+/// (up to relabeling), ~0 expected for random ones, can go negative for
+/// worse-than-chance agreement.
+pub fn adjusted_rand_index(x: &[u32], y: &[u32]) -> f64 {
+    let c = Contingency::new(x, y);
+    let choose2 = |v: f64| v * (v - 1.0) / 2.0;
+    let sum_joint: f64 = c.joint.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = c.ax.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = c.by.values().map(|&v| choose2(v)).sum();
+    let total = choose2(c.n);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0; // both partitions degenerate and equal
+    }
+    (sum_joint - expected) / (max - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let x = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&x, &x) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_is_ignored() {
+        let x = vec![0, 0, 1, 1, 2, 2];
+        let y = vec![7, 7, 3, 3, 9, 9];
+        assert!((nmi(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        // y splits each community of x in half.
+        let x = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let y = vec![0, 0, 2, 2, 1, 1, 3, 3];
+        let s = nmi(&x, &y);
+        assert!(s > 0.5 && s < 1.0, "nmi {s}");
+        let a = adjusted_rand_index(&x, &y);
+        assert!(a > 0.0 && a < 1.0, "ari {a}");
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        // x groups pairs, y alternates: joint is uniform.
+        let x = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&x, &y) < 0.05);
+        // ARI of anti-correlated partitions goes slightly negative
+        // (worse-than-chance agreement is a feature of the adjustment).
+        let ari = adjusted_rand_index(&x, &y);
+        assert!(ari < 0.05 && ari > -0.5, "ari {ari}");
+    }
+
+    #[test]
+    fn degenerate_single_community() {
+        let x = vec![5, 5, 5];
+        assert_eq!(nmi(&x, &x), 1.0);
+        assert_eq!(adjusted_rand_index(&x, &x), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same vertices")]
+    fn mismatched_lengths_panic() {
+        nmi(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn louvain_recovers_planted_partition_by_nmi() {
+        use crate::louvain::{louvain, LouvainConfig, Variant};
+        use gp_graph::generators::{planted_partition, planted_partition_truth};
+        let g = planted_partition(4, 24, 0.7, 0.01, 5);
+        let truth = planted_partition_truth(4, 24);
+        let r = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+        let score = nmi(&truth, &r.communities);
+        assert!(score > 0.9, "NMI {score} too low for a well-separated instance");
+    }
+
+    #[test]
+    fn vectorized_detectors_agree_with_scalar_by_nmi() {
+        use crate::louvain::{louvain, LouvainConfig, Variant};
+        use crate::reduce_scatter::Strategy;
+        use gp_graph::generators::planted_partition;
+        let g = planted_partition(5, 16, 0.7, 0.02, 11);
+        let scalar = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).communities;
+        for variant in [Variant::Onpl(Strategy::Adaptive), Variant::Ovpl] {
+            let vector = louvain(&g, &LouvainConfig::sequential(variant)).communities;
+            let score = nmi(&scalar, &vector);
+            assert!(score > 0.85, "{variant:?}: NMI vs scalar {score}");
+        }
+    }
+}

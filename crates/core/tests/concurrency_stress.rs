@@ -1,0 +1,97 @@
+//! Concurrency stress: run the speculative/optimistic parallel algorithms
+//! on an explicit many-thread rayon pool (oversubscribing the host's cores)
+//! so the benign races the paper's algorithms are designed around actually
+//! fire — and verify every safety invariant still holds.
+
+use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
+use gp_core::labelprop::{label_propagation_mplp, LabelPropConfig};
+use gp_core::louvain::driver::run_move_phase_with;
+use gp_core::louvain::{modularity, LouvainConfig, MoveState, Variant};
+use gp_core::reduce_scatter::Strategy;
+use gp_graph::generators::{erdos_renyi, planted_partition, preferential_attachment};
+use gp_simd::backend::Emulated;
+
+fn pool() -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .expect("pool")
+}
+
+#[test]
+fn speculative_coloring_survives_oversubscription() {
+    let g = erdos_renyi(2000, 12_000, 3);
+    let cfg = ColoringConfig::default();
+    pool().install(|| {
+        for run in 0..3 {
+            let r = color_graph_scalar(&g, &cfg);
+            verify_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("run {run}: invalid coloring: {e}"));
+            let r = color_graph_onpl(&Emulated, &g, &cfg);
+            verify_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("run {run}: invalid ONPL coloring: {e}"));
+        }
+    });
+}
+
+#[test]
+fn optimistic_louvain_keeps_volume_invariant_under_races() {
+    let g = preferential_attachment(1500, 4, 9);
+    let cfg = LouvainConfig {
+        variant: Variant::Onpl(Strategy::Adaptive),
+        parallel: true,
+        ..Default::default()
+    };
+    pool().install(|| {
+        let state = MoveState::singleton(&g);
+        run_move_phase_with(&Emulated, &g, &state, &cfg);
+        // Volumes must balance even after racy concurrent moves: every
+        // apply_move is a pair of atomic adds.
+        let total: f64 = state.volume.iter().map(|v| v.load() as f64).sum();
+        let expect = g.total_volume();
+        assert!(
+            (total - expect).abs() < 1e-3 * expect,
+            "volume leaked: {total} vs {expect}"
+        );
+        // Communities are still a valid assignment.
+        let zeta = state.communities();
+        assert!(zeta.iter().all(|&c| (c as usize) < g.num_vertices()));
+        let q = modularity(&g, &zeta);
+        assert!(q > 0.0, "racy run collapsed to Q = {q}");
+    });
+}
+
+#[test]
+fn parallel_label_propagation_converges_under_oversubscription() {
+    let g = planted_partition(6, 40, 0.4, 0.01, 21);
+    let cfg = LabelPropConfig::default();
+    pool().install(|| {
+        let r = label_propagation_mplp(&g, &cfg);
+        assert!(r.iterations < cfg.max_iterations, "no convergence");
+        let q = modularity(&g, &r.labels);
+        assert!(q > 0.4, "parallel LP quality collapsed: {q}");
+    });
+}
+
+#[test]
+fn move_phase_is_convergent_across_repeated_racy_runs() {
+    // The 25-iteration cap is PLM's safety net; under light load the racy
+    // runs should converge well before it.
+    let g = planted_partition(4, 30, 0.5, 0.02, 5);
+    let cfg = LouvainConfig {
+        variant: Variant::Mplm,
+        parallel: true,
+        ..Default::default()
+    };
+    pool().install(|| {
+        for _ in 0..5 {
+            let state = MoveState::singleton(&g);
+            let stats = run_move_phase_with(&Emulated, &g, &state, &cfg);
+            assert!(
+                stats.iterations <= cfg.max_move_iterations,
+                "cap violated: {}",
+                stats.iterations
+            );
+        }
+    });
+}

@@ -1,0 +1,130 @@
+//! Property tests over whole kernels on random graphs: the invariants that
+//! must hold for any input, not just the suite.
+
+use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
+use gp_core::contrast::{bfs_scalar, bfs_vector, spmv_scalar, spmv_vector};
+use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
+use gp_core::louvain::ovpl::prepare;
+use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_graph::builder::from_pairs;
+use gp_graph::csr::Csr;
+use gp_simd::backend::Emulated;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..80).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..(4 * n))
+            .prop_map(move |pairs| from_pairs(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ONPL coloring equals scalar coloring on any graph (sequential mode).
+    #[test]
+    fn coloring_backends_agree(g in arb_graph()) {
+        let cfg = ColoringConfig::sequential();
+        let a = color_graph_scalar(&g, &cfg);
+        let b = color_graph_onpl(&Emulated, &g, &cfg);
+        prop_assert_eq!(&a.colors, &b.colors);
+        prop_assert!(verify_coloring(&g, &a.colors).is_ok());
+    }
+
+    /// SpMV vector equals scalar on any graph and input vector.
+    #[test]
+    fn spmv_agrees(g in arb_graph(), seed in any::<u32>()) {
+        let n = g.num_vertices();
+        let x: Vec<f32> = (0..n).map(|i| ((i as u32 ^ seed) % 97) as f32 * 0.25).collect();
+        let mut y1 = vec![0f32; n];
+        let mut y2 = vec![0f32; n];
+        spmv_scalar(&g, &x, &mut y1);
+        spmv_vector(&Emulated, &g, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// Vectorized BFS produces the same level array as scalar BFS.
+    #[test]
+    fn bfs_agrees(g in arb_graph()) {
+        let a = bfs_scalar(&g, 0);
+        let b = bfs_vector(&Emulated, &g, 0);
+        prop_assert_eq!(a.levels, b.levels);
+    }
+
+    /// BFS levels are consistent: every reached vertex (except the source)
+    /// has a neighbor exactly one level closer.
+    #[test]
+    fn bfs_levels_are_shortest_paths(g in arb_graph()) {
+        let r = bfs_vector(&Emulated, &g, 0);
+        for u in g.vertices() {
+            let l = r.levels[u as usize];
+            if l == u32::MAX || l == 0 {
+                continue;
+            }
+            let has_parent = g
+                .neighbors(u)
+                .iter()
+                .any(|&v| r.levels[v as usize] == l - 1);
+            prop_assert!(has_parent, "vertex {u} at level {l} has no parent");
+            // And no neighbor can be more than one level away.
+            for &v in g.neighbors(u) {
+                let lv = r.levels[v as usize];
+                prop_assert!(lv != u32::MAX && lv + 1 >= l, "edge spans >1 level");
+            }
+        }
+    }
+
+    /// Label propagation terminates and labels stay within the vertex range
+    /// on any graph, both kernels.
+    #[test]
+    fn labelprop_terminates(g in arb_graph()) {
+        let cfg = LabelPropConfig::sequential();
+        for labels in [
+            label_propagation_mplp(&g, &cfg).labels,
+            label_propagation_onlp(&Emulated, &g, &cfg).labels,
+        ] {
+            prop_assert_eq!(labels.len(), g.num_vertices());
+            prop_assert!(labels.iter().all(|&l| (l as usize) < g.num_vertices()));
+        }
+    }
+
+    /// Community volumes remain consistent after any move phase: the sum of
+    /// community volumes equals the total graph volume, and each community's
+    /// volume equals the sum of its members' volumes.
+    #[test]
+    fn move_phase_volume_invariant(g in arb_graph()) {
+        for variant in [Variant::Mplm, Variant::Ovpl] {
+            let cfg = LouvainConfig::sequential(variant);
+            let state = MoveState::singleton(&g);
+            gp_core::louvain::driver::run_move_phase_with(&Emulated, &g, &state, &cfg);
+            let zeta = state.communities();
+            let mut expect = vec![0.0f64; g.num_vertices()];
+            for u in g.vertices() {
+                expect[zeta[u as usize] as usize] += state.vertex_volume[u as usize] as f64;
+            }
+            for (c, &e) in expect.iter().enumerate() {
+                let actual = state.volume[c].load() as f64;
+                prop_assert!(
+                    (actual - e).abs() < 1e-2 * e.abs().max(1.0),
+                    "{variant:?}: community {c} volume {actual} vs {e}"
+                );
+            }
+        }
+    }
+
+    /// OVPL preprocessing covers every vertex exactly once for any graph.
+    #[test]
+    fn ovpl_layout_is_a_partition(g in arb_graph()) {
+        let cfg = LouvainConfig::sequential(Variant::Ovpl);
+        let layout = prepare(&g, &cfg);
+        let mut count = vec![0u32; g.num_vertices()];
+        for b in &layout.blocks {
+            for (_, v) in b.iter_real() {
+                count[v as usize] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the reduce-scatter primitive: every strategy must
+//! equal the scalar reference accumulation for any index/value/mask
+//! combination — the invariant the whole ONPL family rests on.
+
+use gp_core::reduce_scatter::{reduce_scatter, Strategy};
+use gp_simd::backend::{Avx512, Emulated, Simd};
+use gp_simd::vector::{Mask16, LANES};
+use proptest::prelude::*;
+
+fn reference(idx: &[i32; LANES], val: &[f32; LANES], mask: Mask16, len: usize) -> Vec<f32> {
+    let mut acc = vec![0f32; len];
+    for lane in mask.iter_set() {
+        acc[idx[lane] as usize] += val[lane];
+    }
+    acc
+}
+
+fn run_strategy<S: Simd>(
+    s: &S,
+    strategy: Strategy,
+    idx: &[i32; LANES],
+    val: &[f32; LANES],
+    mask: Mask16,
+    len: usize,
+) -> Vec<f32> {
+    let mut acc = vec![0f32; len];
+    unsafe {
+        reduce_scatter(
+            s,
+            strategy,
+            &mut acc,
+            s.from_array_i32(*idx),
+            s.from_array_f32(*val),
+            mask,
+        )
+    };
+    acc
+}
+
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dense duplicates: indices drawn from a tiny range.
+    #[test]
+    fn strategies_match_reference_dense(
+        idx in prop::array::uniform16(0i32..4),
+        val in prop::array::uniform16(0.0f32..10.0),
+        mask_bits in any::<u16>(),
+    ) {
+        let mask = Mask16(mask_bits);
+        let expect = reference(&idx, &val, mask, 8);
+        for strategy in Strategy::ALL {
+            let got = run_strategy(&Emulated, strategy, &idx, &val, mask, 8);
+            prop_assert!(close(&got, &expect), "{strategy:?}: {got:?} vs {expect:?}");
+        }
+    }
+
+    /// Sparse duplicates: indices drawn from a wide range.
+    #[test]
+    fn strategies_match_reference_sparse(
+        idx in prop::array::uniform16(0i32..512),
+        val in prop::array::uniform16(-5.0f32..5.0),
+        mask_bits in any::<u16>(),
+    ) {
+        let mask = Mask16(mask_bits);
+        let expect = reference(&idx, &val, mask, 512);
+        for strategy in Strategy::ALL {
+            let got = run_strategy(&Emulated, strategy, &idx, &val, mask, 512);
+            prop_assert!(close(&got, &expect), "{strategy:?}");
+        }
+    }
+
+    /// The native backend agrees with the emulated one for every strategy.
+    #[test]
+    fn native_matches_emulated(
+        idx in prop::array::uniform16(0i32..16),
+        val in prop::array::uniform16(0.0f32..100.0),
+        mask_bits in any::<u16>(),
+    ) {
+        let Some(native) = Avx512::new() else { return Ok(()) };
+        let mask = Mask16(mask_bits);
+        for strategy in Strategy::ALL {
+            let a = run_strategy(&native, strategy, &idx, &val, mask, 16);
+            let b = run_strategy(&Emulated, strategy, &idx, &val, mask, 16);
+            prop_assert!(close(&a, &b), "{strategy:?}: backends diverged");
+        }
+    }
+
+    /// Accumulation is additive: two reduce-scatters equal one with doubled
+    /// values.
+    #[test]
+    fn double_application_is_double(
+        idx in prop::array::uniform16(0i32..8),
+        val in prop::array::uniform16(0.0f32..10.0),
+    ) {
+        let s = Emulated;
+        let mut twice = vec![0f32; 8];
+        for _ in 0..2 {
+            unsafe {
+                reduce_scatter(
+                    &s,
+                    Strategy::Adaptive,
+                    &mut twice,
+                    s.from_array_i32(idx),
+                    s.from_array_f32(val),
+                    Mask16::ALL,
+                )
+            };
+        }
+        let doubled: [f32; LANES] = std::array::from_fn(|i| 2.0 * val[i]);
+        let once = run_strategy(&s, Strategy::Adaptive, &idx, &doubled, Mask16::ALL, 8);
+        prop_assert!(close(&twice, &once));
+    }
+}

@@ -1,0 +1,237 @@
+//! Edge-list → CSR construction.
+//!
+//! The builder symmetrizes, optionally deduplicates (summing weights of
+//! parallel edges, the NetworKit convention), and counting-sorts edges into
+//! CSR in O(|V| + |E|).
+
+use crate::csr::Csr;
+use crate::{Edge, VertexId, Weight};
+
+/// How parallel (duplicate) edges are handled by [`GraphBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// Sum the weights of parallel edges into one edge (default; what
+    /// NetworKit's graph builder does and what the community kernels expect).
+    #[default]
+    SumWeights,
+    /// Keep the maximum-weight copy.
+    KeepMax,
+    /// Keep parallel edges as distinct adjacency entries.
+    KeepAll,
+}
+
+/// Incremental builder for undirected weighted [`Csr`] graphs.
+///
+/// ```
+/// use gp_graph::builder::GraphBuilder;
+/// use gp_graph::Edge;
+///
+/// let g = GraphBuilder::new(3)
+///     .add_edges([Edge::new(0, 1, 2.0), Edge::new(1, 2, 0.5)])
+///     .build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(1, 0), Some(2.0)); // symmetrized
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    dedup: DedupPolicy,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            dedup: DedupPolicy::default(),
+        }
+    }
+
+    /// Sets the duplicate-edge policy.
+    pub fn dedup_policy(mut self, policy: DedupPolicy) -> Self {
+        self.dedup = policy;
+        self
+    }
+
+    /// Adds one undirected edge. Endpoints must be `< n`.
+    pub fn add_edge(&mut self, e: Edge) -> &mut Self {
+        debug_assert!((e.u as usize) < self.n && (e.v as usize) < self.n);
+        self.edges.push(e);
+        self
+    }
+
+    /// Adds a batch of edges (builder-style, consumes and returns `self`).
+    pub fn add_edges(mut self, edges: impl IntoIterator<Item = Edge>) -> Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Number of raw (pre-dedup) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the CSR: symmetrize, dedup per policy, counting-sort.
+    pub fn build(self) -> Csr {
+        let n = self.n;
+        let mut edges = self.edges;
+        for e in &mut edges {
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge ({}, {}) out of range for n = {n}",
+                e.u,
+                e.v
+            );
+            assert!(e.w.is_finite() && e.w >= 0.0, "edge weights must be finite and non-negative");
+            // Canonicalize so duplicates (u,v) and (v,u) collide.
+            if e.u > e.v {
+                std::mem::swap(&mut e.u, &mut e.v);
+            }
+        }
+
+        if self.dedup != DedupPolicy::KeepAll {
+            edges.sort_unstable_by_key(|e| ((e.u as u64) << 32) | e.v as u64);
+            let mut out: Vec<Edge> = Vec::with_capacity(edges.len());
+            for e in edges {
+                match out.last_mut() {
+                    Some(last) if last.u == e.u && last.v == e.v => match self.dedup {
+                        DedupPolicy::SumWeights => last.w += e.w,
+                        DedupPolicy::KeepMax => last.w = last.w.max(e.w),
+                        DedupPolicy::KeepAll => unreachable!(),
+                    },
+                    _ => out.push(e),
+                }
+            }
+            edges = out;
+        }
+
+        // Counting sort into CSR. Self-loops are stored once, other edges in
+        // both directions.
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.u as usize] += 1;
+            if e.u != e.v {
+                degree[e.v as usize] += 1;
+            }
+        }
+        let mut xadj = vec![0u32; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + degree[i];
+        }
+        let m = xadj[n] as usize;
+        let mut adj = vec![0 as VertexId; m];
+        let mut weights = vec![0.0 as Weight; m];
+        let mut cursor = xadj[..n].to_vec();
+        for e in &edges {
+            let c = &mut cursor[e.u as usize];
+            adj[*c as usize] = e.v;
+            weights[*c as usize] = e.w;
+            *c += 1;
+            if e.u != e.v {
+                let c = &mut cursor[e.v as usize];
+                adj[*c as usize] = e.u;
+                weights[*c as usize] = e.w;
+                *c += 1;
+            }
+        }
+
+        let mut g = Csr::from_raw(xadj, adj, weights);
+        g.sort_adjacency();
+        g
+    }
+}
+
+/// Convenience: build an unweighted graph from `(u, v)` pairs.
+///
+/// ```
+/// let g = gp_graph::builder::from_pairs(3, [(0, 1), (1, 2)]);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Csr {
+    GraphBuilder::new(n)
+        .add_edges(pairs.into_iter().map(|(u, v)| Edge::unweighted(u, v)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_sums_weights() {
+        let g = GraphBuilder::new(2)
+            .add_edges([Edge::new(0, 1, 1.0), Edge::new(1, 0, 2.5)])
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+        assert_eq!(g.edge_weight(1, 0), Some(3.5));
+    }
+
+    #[test]
+    fn dedup_keep_max() {
+        let g = GraphBuilder::new(2)
+            .dedup_policy(DedupPolicy::KeepMax)
+            .add_edges([Edge::new(0, 1, 1.0), Edge::new(1, 0, 2.5)])
+            .build();
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn keep_all_preserves_parallel_edges() {
+        let g = GraphBuilder::new(2)
+            .dedup_policy(DedupPolicy::KeepAll)
+            .add_edges([Edge::new(0, 1, 1.0), Edge::new(0, 1, 1.0)])
+            .build();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let g = GraphBuilder::new(1).add_edges([Edge::new(0, 0, 2.0)]).build();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbors(0), &[0]);
+        assert_eq!(g.num_self_loops(), 1);
+    }
+
+    #[test]
+    fn duplicate_self_loops_sum() {
+        let g = GraphBuilder::new(1)
+            .add_edges([Edge::new(0, 0, 2.0), Edge::new(0, 0, 3.0)])
+            .build();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.edge_weight(0, 0), Some(5.0));
+    }
+
+    #[test]
+    fn from_pairs_builds_symmetric_graph() {
+        let g = from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_symmetric());
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_panics_on_out_of_range() {
+        GraphBuilder::new(2).add_edges([Edge::unweighted(0, 2)]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn build_panics_on_nan_weight() {
+        GraphBuilder::new(2)
+            .add_edges([Edge::new(0, 1, f32::NAN)])
+            .build();
+    }
+
+    #[test]
+    fn adjacency_is_sorted_after_build() {
+        let g = from_pairs(5, [(0, 4), (0, 2), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Erdős–Rényi G(n, m) generator, used in tests and as an unstructured
+//! control workload for the kernels.
+
+use crate::builder::{DedupPolicy, GraphBuilder};
+use crate::csr::Csr;
+use crate::Edge;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An undirected G(n, m) random graph (m distinct non-loop edges), sampled
+/// by rejection; deterministic per seed. `m` must be achievable, i.e.
+/// `m <= n·(n-1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2 || m == 0, "need at least 2 vertices for any edge");
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "m = {m} exceeds the {max_m} possible edges");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::new(n).dedup_policy(DedupPolicy::KeepMax);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            builder.add_edge(Edge::unweighted(key.0, key.1));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 250, 42);
+        assert_eq!(g.num_edges(), 250);
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 1), erdos_renyi(50, 100, 1));
+        assert_ne!(erdos_renyi(50, 100, 1), erdos_renyi(50, 100, 2));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_graph_via_max_m() {
+        let g = erdos_renyi(6, 15, 3);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_impossible_m() {
+        erdos_renyi(4, 7, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Lattice and road-network-like generators.
+//!
+//! Road networks (asia, belgium, europe, germany, luxembourg, netherlands,
+//! roadNet-PA in Table 1) have average degree ≈ 2, tiny maximum degree, and
+//! strong locality. We model them as 2-D lattices with random edge
+//! *thinning* (dropping lattice edges until the target average degree is
+//! reached) plus a small number of random "highway" shortcuts, which
+//! reproduces the degree profile and the locality the paper's cache
+//! observations depend on.
+
+use crate::builder::{from_pairs, GraphBuilder};
+use crate::csr::Csr;
+use crate::Edge;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A full `rows × cols` 4-neighbor lattice.
+pub fn grid2d(rows: usize, cols: usize) -> Csr {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut pairs = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                pairs.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                pairs.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    from_pairs(rows * cols, pairs)
+}
+
+/// A 3-D 27-point-stencil lattice: each vertex joins every vertex within
+/// Chebyshev distance 1 (interior degree 26). This is the structure of the
+/// nlpkkt-class optimization matrices (3-D PDE-constrained KKT systems):
+/// near-regular degrees *and* strong spatial locality, which is what makes
+/// them the best case for OVPL in the paper's Figure 13.
+pub fn stencil3d(side: usize) -> Csr {
+    assert!(side >= 2);
+    let id = |x: usize, y: usize, z: usize| (x * side * side + y * side + z) as u32;
+    let n = side * side * side;
+    let mut pairs = Vec::with_capacity(n * 13);
+    for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                let u = id(x, y, z);
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            // Emit each undirected edge once: only the
+                            // lexicographically-positive half of the 26
+                            // offsets.
+                            if (dx, dy, dz) <= (0, 0, 0) {
+                                continue;
+                            }
+                            let nx = x as i64 + dx;
+                            let ny = y as i64 + dy;
+                            let nz = z as i64 + dz;
+                            let range = 0..side as i64;
+                            if range.contains(&nx) && range.contains(&ny) && range.contains(&nz) {
+                                pairs.push((u, id(nx as usize, ny as usize, nz as usize)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    from_pairs(side * side * side, pairs)
+}
+
+/// A road-network-like graph: thinned lattice + sparse shortcuts.
+///
+/// `avg_degree_target` is the stored-arc average degree (Table 1's δ); road
+/// networks use ≈ 2. Determinstic per `seed`.
+pub fn road_network(rows: usize, cols: usize, avg_degree_target: f64, seed: u64) -> Csr {
+    assert!(rows >= 2 && cols >= 2);
+    assert!(avg_degree_target > 0.0 && avg_degree_target <= 4.0);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Keep each lattice edge with probability p chosen so the expected
+    // stored-arc degree matches the target: full lattice has ~2 edges per
+    // vertex => stored degree ~4.
+    let full_edges = (rows * (cols - 1) + (rows - 1) * cols) as f64;
+    let target_edges = avg_degree_target * n as f64 / 2.0;
+    let keep = (target_edges / full_edges).min(1.0);
+
+    let mut builder = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen::<f64>() < keep {
+                builder.add_edge(Edge::unweighted(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows && rng.gen::<f64>() < keep {
+                builder.add_edge(Edge::unweighted(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    // ~0.1% shortcut "highways" linking random locations.
+    let shortcuts = (n / 1000).max(1);
+    for _ in 0..shortcuts {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            builder.add_edge(Edge::unweighted(u, v));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_symmetric_and_right_size() {
+        let g = grid2d(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn grid_corner_degree() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid_1xn_is_a_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn stencil3d_interior_degree_is_26() {
+        let g = stencil3d(5);
+        assert_eq!(g.num_vertices(), 125);
+        // Center vertex has the full 27-point stencil minus itself.
+        let center = (2 * 25 + 2 * 5 + 2) as u32;
+        assert_eq!(g.degree(center), 26);
+        // Corner vertex sees only the 2x2x2 cube minus itself.
+        assert_eq!(g.degree(0), 7);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn stencil3d_near_regular_at_scale() {
+        let g = stencil3d(10);
+        let avg = g.avg_degree();
+        assert!(avg > 20.0, "avg {avg}");
+        assert_eq!(g.max_degree(), 26);
+    }
+
+    #[test]
+    fn road_network_hits_degree_target() {
+        let g = road_network(100, 100, 2.2, 11);
+        let avg = g.avg_degree();
+        assert!(
+            (avg - 2.2).abs() < 0.3,
+            "average degree {avg} too far from target 2.2"
+        );
+        assert!(g.max_degree() <= 10);
+    }
+
+    #[test]
+    fn road_network_deterministic() {
+        assert_eq!(road_network(30, 30, 2.0, 5), road_network(30, 30, 2.0, 5));
+        assert_ne!(road_network(30, 30, 2.0, 5), road_network(30, 30, 2.0, 6));
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP/DIMACS graphs spanning road networks, meshes,
+//! social networks, web crawls, and optimization matrices. Those downloads
+//! are not available here, so each family is reproduced by a generator whose
+//! output matches the structural statistics the paper's conclusions hinge on
+//! (average degree, degree balance, locality). See `suite.rs` for the named
+//! Table-1 stand-ins and DESIGN.md §2 for the substitution rationale.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod ba;
+pub mod er;
+pub mod grid;
+pub mod mesh;
+pub mod rmat;
+pub mod special;
+
+pub use ba::preferential_attachment;
+pub use er::erdos_renyi;
+pub use grid::{grid2d, road_network, stencil3d};
+pub use mesh::triangular_mesh;
+pub use rmat::{rmat, RmatConfig};
+pub use special::{
+    clique, cycle, near_regular, path, planted_partition, planted_partition_truth, ring_lattice,
+    star,
+};

@@ -1,0 +1,246 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM 2004).
+//!
+//! This is the generator behind Table 2 and the Figure 7–10 sweeps. An edge
+//! is placed by recursively descending into one of the four quadrants of the
+//! adjacency matrix with probabilities `(a, b, c, d)`; `scale` fixes
+//! `n = 2^scale` vertices and `edge_factor` requests `n · edge_factor`
+//! edge samples (the paper counts `|E| = 2^scale × (2 × edge_factor)`
+//! *directed* arcs, i.e. `edge_factor · n` undirected samples symmetrized).
+
+use crate::builder::{DedupPolicy, GraphBuilder};
+use crate::csr::Csr;
+use crate::Edge;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The three probability distributions of Table 2.
+pub const TABLE2_DISTRIBUTIONS: [(f64, f64, f64, f64); 3] = [
+    (0.33, 0.33, 0.33, 0.01),
+    (0.40, 0.30, 0.20, 0.10),
+    (0.57, 0.19, 0.19, 0.05),
+];
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Requested edges per vertex (undirected samples = `edge_factor * n`).
+    pub edge_factor: u32,
+    /// Quadrant probabilities; must be non-negative and sum to ~1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+    /// Add per-lane noise to the probabilities at each recursion level, as in
+    /// the Graph500 reference generator, to avoid grid artifacts.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// The Graph500-style defaults (a=57%, b=19%, c=19%, d=5%).
+    pub fn new(scale: u32, edge_factor: u32) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            seed: 0x5eed,
+            noise: 0.0,
+        }
+    }
+
+    /// Overrides the quadrant probabilities.
+    pub fn with_probabilities(mut self, a: f64, b: f64, c: f64, d: f64) -> Self {
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self.d = d;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables probability noise (0.0..0.5 is sensible).
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.scale >= 1 && self.scale <= 30, "scale out of range");
+        assert!(self.edge_factor >= 1, "edge_factor must be >= 1");
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "quadrant probabilities must sum to 1 (got {s})"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "probabilities must be non-negative"
+        );
+    }
+}
+
+/// Samples one edge endpoint pair.
+fn sample_edge(cfg: &RmatConfig, rng: &mut impl Rng) -> (u32, u32) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for level in 0..cfg.scale {
+        let (mut a, mut b, mut c) = (cfg.a, cfg.b, cfg.c);
+        if cfg.noise > 0.0 {
+            // Multiplicative noise per level, renormalized.
+            let na = a * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.gen::<f64>());
+            let nb = b * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.gen::<f64>());
+            let nc = c * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.gen::<f64>());
+            let nd = cfg.d * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.gen::<f64>());
+            let s = na + nb + nc + nd;
+            a = na / s;
+            b = nb / s;
+            c = nc / s;
+        }
+        let r: f64 = rng.gen();
+        let bit = 1u32 << (cfg.scale - 1 - level);
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= bit;
+        } else if r < a + b + c {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+/// Generates an undirected R-MAT graph.
+///
+/// ```
+/// use gp_graph::generators::rmat::{rmat, RmatConfig};
+///
+/// let g = rmat(RmatConfig::new(8, 4).with_seed(1));
+/// assert_eq!(g.num_vertices(), 256);
+/// assert!(g.num_edges() > 500);
+/// ```
+///
+/// Self-loops from the sampler are discarded and duplicate edges are merged
+/// (weight 1 kept, NetworKit-style unweighted semantics), so the final
+/// `num_edges()` is slightly below `edge_factor · n` — the same behaviour as
+/// the Graph500/NetworKit generators the paper used.
+pub fn rmat(cfg: RmatConfig) -> Csr {
+    cfg.validate();
+    let n = 1usize << cfg.scale;
+    let target = n * cfg.edge_factor as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::new(n).dedup_policy(DedupPolicy::KeepMax);
+    let mut staged = 0usize;
+    // Sample up to 2x the target to compensate for discarded self-loops; the
+    // classic generator simply drops them.
+    let mut attempts = 0usize;
+    while staged < target && attempts < 2 * target + 64 {
+        attempts += 1;
+        let (u, v) = sample_edge(&cfg, &mut rng);
+        if u == v {
+            continue;
+        }
+        builder.add_edge(Edge::unweighted(u, v));
+        staged += 1;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = rmat(RmatConfig::new(8, 4).with_seed(7));
+        let g2 = rmat(RmatConfig::new(8, 4).with_seed(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seed_changes_graph() {
+        let g1 = rmat(RmatConfig::new(8, 4).with_seed(7));
+        let g2 = rmat(RmatConfig::new(8, 4).with_seed(8));
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn vertex_count_is_power_of_scale() {
+        let g = rmat(RmatConfig::new(10, 2));
+        assert_eq!(g.num_vertices(), 1024);
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = rmat(RmatConfig::new(10, 8));
+        let target = 1024 * 8;
+        // Dedup removes some, but the bulk should be there.
+        assert!(g.num_edges() > target / 2, "too few edges: {}", g.num_edges());
+        assert!(g.num_edges() <= target);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(RmatConfig::new(9, 4));
+        assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn symmetric_output() {
+        let g = rmat(RmatConfig::new(7, 4));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn skewed_distribution_creates_hubs() {
+        // With a = 57%, low-id vertices should accumulate much higher degree
+        // than the average — the power-law the paper relies on.
+        let g = rmat(RmatConfig::new(12, 8).with_probabilities(0.57, 0.19, 0.19, 0.05));
+        let avg = g.avg_degree();
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "expected hub vertices: max {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn uniform_distribution_is_balanced() {
+        let g = rmat(RmatConfig::new(10, 8).with_probabilities(0.25, 0.25, 0.25, 0.25));
+        // Erdős–Rényi-like: max degree within a small factor of the average.
+        assert!((g.max_degree() as f64) < 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn noise_still_deterministic() {
+        let g1 = rmat(RmatConfig::new(8, 4).with_noise(0.1));
+        let g2 = rmat(RmatConfig::new(8, 4).with_noise(0.1));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(RmatConfig::new(8, 4).with_probabilities(0.5, 0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn table2_distributions_sum_to_one() {
+        for (a, b, c, d) in TABLE2_DISTRIBUTIONS {
+            assert!((a + b + c + d - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Small special-purpose graphs used throughout the tests and examples, plus
+//! the planted-partition generator used to validate community quality.
+
+use crate::builder::{from_pairs, GraphBuilder};
+use crate::csr::Csr;
+use crate::Edge;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Csr {
+    from_pairs(n, (1..n as u32).map(|v| (v - 1, v)))
+}
+
+/// Cycle graph.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    from_pairs(n, (0..n as u32).map(|v| (v, (v + 1) % n as u32)))
+}
+
+/// Star graph: vertex 0 joined to all others.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 2);
+    from_pairs(n, (1..n as u32).map(|v| (0, v)))
+}
+
+/// Complete graph K_n.
+pub fn clique(n: usize) -> Csr {
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in 0..u {
+            pairs.push((u, v));
+        }
+    }
+    from_pairs(n, pairs)
+}
+
+/// Ring lattice: each vertex is joined to its `k` nearest neighbors on each
+/// side, giving a perfectly balanced degree of `2k`. Models the near-regular
+/// optimization matrices (nlpkkt-class) whose "degrees close to the average"
+/// make OVPL shine in Figure 13.
+pub fn ring_lattice(n: usize, k: usize) -> Csr {
+    assert!(n > 2 * k, "need n > 2k for distinct neighbors");
+    let mut pairs = Vec::with_capacity(n * k);
+    for u in 0..n as u32 {
+        for step in 1..=(k as u32) {
+            pairs.push((u, (u + step) % n as u32));
+        }
+    }
+    from_pairs(n, pairs)
+}
+
+/// Near-regular graph: a [`ring_lattice`] of degree `2k` with a sprinkle of
+/// random chords (about `n * extra_fraction` of them). Matches the
+/// nlpkkt-class matrices: degrees tightly clustered around the average
+/// (Δ only one or two above δ) without the perfect symmetry of a pure ring,
+/// which would make greedy community schedules degenerate.
+pub fn near_regular(n: usize, k: usize, extra_fraction: f64, seed: u64) -> Csr {
+    assert!((0.0..1.0).contains(&extra_fraction));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for step in 1..=(k as u32) {
+            builder.add_edge(Edge::unweighted(u, (u + step) % n as u32));
+        }
+    }
+    let extras = (n as f64 * extra_fraction) as usize;
+    for _ in 0..extras {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            builder.add_edge(Edge::unweighted(u, v));
+        }
+    }
+    builder.build()
+}
+
+/// Planted-partition (stochastic block) graph: `k` communities of
+/// `community_size` vertices; each intra-community pair is an edge with
+/// probability `p_in`, each inter-community pair with probability `p_out`.
+/// Ground truth is `vertex / community_size`. The standard benchmark for
+/// validating that Louvain / label propagation recover communities.
+pub fn planted_partition(
+    k: usize,
+    community_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Csr {
+    assert!(k >= 1 && community_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = k * community_size;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in 0..u {
+            let same = (u as usize / community_size) == (v as usize / community_size);
+            let p = if same { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                builder.add_edge(Edge::unweighted(u, v));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Ground-truth communities for [`planted_partition`].
+pub fn planted_partition_truth(k: usize, community_size: usize) -> Vec<u32> {
+    (0..(k * community_size) as u32)
+        .map(|u| u / community_size as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_of_one_is_empty() {
+        let g = path(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.max_degree(), 8);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(7);
+        assert_eq!(g.num_edges(), 21);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 6);
+        }
+    }
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(100, 13);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 26);
+        }
+        assert_eq!(g.num_edges(), 100 * 13);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn ring_lattice_rejects_small_n() {
+        ring_lattice(6, 3);
+    }
+
+    #[test]
+    fn planted_partition_density() {
+        let g = planted_partition(4, 25, 0.5, 0.01, 77);
+        assert_eq!(g.num_vertices(), 100);
+        // Expected intra edges: 4 * C(25,2) * 0.5 = 600; inter:
+        // C(100,2)-4*C(25,2) pairs * 0.01 ≈ 38. Allow generous slack.
+        let m = g.num_edges();
+        assert!(m > 450 && m < 800, "edge count {m} out of expected band");
+    }
+
+    #[test]
+    fn planted_truth_labels() {
+        let truth = planted_partition_truth(3, 4);
+        assert_eq!(truth, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

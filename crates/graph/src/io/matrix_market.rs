@@ -1,0 +1,191 @@
+//! Matrix Market coordinate format (sparse-matrix instances like nlpkkt200).
+//!
+//! Supports `%%MatrixMarket matrix coordinate (real|pattern|integer)
+//! (symmetric|general)`. General matrices are symmetrized (an entry (i,j)
+//! becomes the undirected edge {i,j}); diagonal entries become self-loops.
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::Edge;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a Matrix Market coordinate file as an undirected weighted graph.
+pub fn read_matrix_market(reader: impl Read) -> Result<Csr, IoError> {
+    let mut reader = BufReader::new(reader);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if h.len() != 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(parse_err(1, "expected `%%MatrixMarket matrix coordinate ...`"));
+    }
+    let pattern = match h[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(1, format!("unsupported field `{other}`"))),
+    };
+    match h[4].as_str() {
+        "symmetric" | "general" => {}
+        other => return Err(parse_err(1, format!("unsupported symmetry `{other}`"))),
+    }
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut entries = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 2; // header consumed line 1
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match dims {
+            None => {
+                if toks.len() != 3 {
+                    return Err(parse_err(lineno, "size line must be `rows cols nnz`"));
+                }
+                let r: usize = toks[0]
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad rows: {e}")))?;
+                let c: usize = toks[1]
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad cols: {e}")))?;
+                let nnz: usize = toks[2]
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad nnz: {e}")))?;
+                if r != c {
+                    return Err(parse_err(lineno, "adjacency matrix must be square"));
+                }
+                dims = Some((r, c, nnz));
+                builder = Some(GraphBuilder::new(r));
+            }
+            Some((n, _, nnz)) => {
+                if entries >= nnz {
+                    return Err(parse_err(lineno, "more entries than declared nnz"));
+                }
+                let expected = if pattern { 2 } else { 3 };
+                if toks.len() != expected {
+                    return Err(parse_err(
+                        lineno,
+                        format!("entry must have {expected} tokens"),
+                    ));
+                }
+                let i: usize = toks[0]
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+                let j: usize = toks[1]
+                    .parse()
+                    .map_err(|e| parse_err(lineno, format!("bad col: {e}")))?;
+                if i == 0 || i > n || j == 0 || j > n {
+                    return Err(parse_err(lineno, format!("entry ({i},{j}) out of range")));
+                }
+                let w: f32 = if pattern {
+                    1.0
+                } else {
+                    let raw: f64 = toks[2]
+                        .parse()
+                        .map_err(|e| parse_err(lineno, format!("bad value: {e}")))?;
+                    // Adjacency weights must be non-negative; matrices encode
+                    // magnitude-as-coupling, so take |value| like graph
+                    // converters for partitioning do.
+                    raw.abs() as f32
+                };
+                builder
+                    .as_mut()
+                    .unwrap()
+                    .add_edge(Edge::new((i - 1) as u32, (j - 1) as u32, w));
+                entries += 1;
+            }
+        }
+    }
+    match dims {
+        None => Err(parse_err(0, "missing size line")),
+        Some((_, _, nnz)) if entries != nnz => Err(parse_err(
+            0,
+            format!("declared {nnz} entries, found {entries}"),
+        )),
+        Some(_) => Ok(builder.unwrap().build()),
+    }
+}
+
+/// Writes the graph as a symmetric real coordinate Matrix Market file.
+pub fn write_matrix_market(g: &Csr, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real symmetric")?;
+    let n = g.num_vertices();
+    let nnz: usize = g
+        .vertices()
+        .map(|u| g.neighbors(u).iter().filter(|&&v| v <= u).count())
+        .sum();
+    writeln!(writer, "{n} {n} {nnz}")?;
+    for u in g.vertices() {
+        for (v, w) in g.edges_of(u) {
+            if v <= u {
+                writeln!(writer, "{} {} {}", u + 1, v + 1, w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs;
+
+    #[test]
+    fn parse_symmetric_real() {
+        let input = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.5\n3 2 2.0\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(1.5));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let input = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn negative_values_become_magnitudes() {
+        let input = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -3.0\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn diagonal_is_self_loop() {
+        let input = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 1.0\n";
+        let g = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_self_loops(), 1);
+        assert_eq!(g.edge_weight(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let input = "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_nnz() {
+        let input = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n";
+        assert!(read_matrix_market(input.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! METIS / Chaco adjacency format (the DIMACS partitioning instances).
+//!
+//! Header: `n m [fmt]` where `fmt` ∈ {"0"/absent: unweighted, "1": edge
+//! weights}. Line `i` (1-based) then lists the neighbors of vertex `i`
+//! (1-based ids), with interleaved weights when `fmt = 1`.
+
+use super::{parse_err, IoError};
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::Edge;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a METIS graph file.
+pub fn read_metis(reader: impl Read) -> Result<Csr, IoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Header: first non-comment line.
+    let (n, _m, weighted) = loop {
+        let (lineno, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(1, "missing header line"))?;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 2 || toks.len() > 3 {
+            return Err(parse_err(lineno + 1, "header must be `n m [fmt]`"));
+        }
+        let n: usize = toks[0]
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad n: {e}")))?;
+        let m: usize = toks[1]
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad m: {e}")))?;
+        let weighted = match toks.get(2) {
+            None | Some(&"0") | Some(&"00") => false,
+            Some(&"1") | Some(&"01") => true,
+            Some(other) => {
+                return Err(parse_err(
+                    lineno + 1,
+                    format!("unsupported fmt `{other}` (only 0/1 edge weights)"),
+                ))
+            }
+        };
+        break (n, m, weighted);
+    };
+
+    let mut builder = GraphBuilder::new(n);
+    let mut vertex = 0usize;
+    for (lineno, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if line.is_empty() {
+                continue;
+            }
+            return Err(parse_err(lineno + 1, "more adjacency lines than vertices"));
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if weighted {
+            if !toks.len().is_multiple_of(2) {
+                return Err(parse_err(
+                    lineno + 1,
+                    "weighted adjacency line must have an even token count",
+                ));
+            }
+            for pair in toks.chunks(2) {
+                let v: usize = pair[0]
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad neighbor: {e}")))?;
+                let w: f32 = pair[1]
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?;
+                if v == 0 || v > n {
+                    return Err(parse_err(lineno + 1, format!("neighbor {v} out of 1..={n}")));
+                }
+                // Each edge appears in both endpoint lines; keep u <= v once.
+                if vertex < v {
+                    builder.add_edge(Edge::new(vertex as u32, (v - 1) as u32, w));
+                }
+            }
+        } else {
+            for tok in toks {
+                let v: usize = tok
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad neighbor: {e}")))?;
+                if v == 0 || v > n {
+                    return Err(parse_err(lineno + 1, format!("neighbor {v} out of 1..={n}")));
+                }
+                if vertex < v {
+                    builder.add_edge(Edge::unweighted(vertex as u32, (v - 1) as u32));
+                }
+            }
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(parse_err(
+            0,
+            format!("expected {n} adjacency lines, found {vertex}"),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// Writes the graph in METIS format with edge weights (`fmt = 1`).
+/// Self-loops are not representable in METIS and are skipped with the same
+/// semantics as the reference converter.
+pub fn write_metis(g: &Csr, mut writer: impl Write) -> std::io::Result<()> {
+    let loops = g.num_self_loops();
+    writeln!(writer, "{} {} 1", g.num_vertices(), g.num_edges() - loops)?;
+    for u in g.vertices() {
+        let mut first = true;
+        for (v, w) in g.edges_of(u) {
+            if v == u {
+                continue;
+            }
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{} {}", v + 1, w)?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs;
+
+    #[test]
+    fn parse_unweighted() {
+        // Triangle in METIS: 3 vertices 3 edges.
+        let input = "% a triangle\n3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn parse_weighted() {
+        let input = "2 1 1\n2 4.5\n1 4.5\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(4.5));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = from_pairs(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert!(g2.is_symmetric());
+    }
+
+    #[test]
+    fn error_on_neighbor_out_of_range() {
+        let input = "2 1\n3\n1\n";
+        assert!(read_metis(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_on_short_file() {
+        let input = "3 3\n2 3\n";
+        assert!(read_metis(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn isolated_vertices_ok() {
+        let input = "3 1\n2\n1\n\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+    }
+}

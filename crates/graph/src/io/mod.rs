@@ -1,0 +1,51 @@
+//! Graph file I/O.
+//!
+//! Three formats cover the ecosystems the paper draws graphs from:
+//! plain whitespace edge lists (SNAP), METIS adjacency files (DIMACS
+//! partitioning instances), and Matrix Market coordinate files (sparse-matrix
+//! instances such as nlpkkt200). Readers symmetrize and deduplicate through
+//! the standard [`crate::builder::GraphBuilder`]; writers emit files the
+//! readers round-trip.
+
+pub mod edgelist;
+pub mod matrix_market;
+pub mod metis;
+
+pub use edgelist::{read_edgelist, write_edgelist};
+pub use matrix_market::{read_matrix_market, write_matrix_market};
+pub use metis::{read_metis, write_metis};
+
+use std::fmt;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem, with a 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}

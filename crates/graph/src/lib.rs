@@ -1,0 +1,57 @@
+//! # gp-graph
+//!
+//! Graph substrate for the AVX-512 graph-partitioning reproduction.
+//!
+//! The paper's kernels (greedy coloring, Louvain, label propagation) all walk
+//! weighted undirected graphs stored in compressed sparse row form with
+//! 32-bit vertex identifiers — the layout that AVX-512 `epi32` gathers and
+//! scatters operate on. This crate provides:
+//!
+//! * [`csr::Csr`] — the weighted CSR representation and its builder;
+//! * [`generators`] — synthetic graph families standing in for the paper's
+//!   SNAP/DIMACS suite (R-MAT, road lattices, triangulated meshes,
+//!   preferential attachment, Erdős–Rényi, and special-purpose shapes);
+//! * [`io`] — plain edge-list, METIS, and Matrix Market readers/writers;
+//! * [`stats`] — the Table-1 statistics (|V|, |E|, max/average degree) plus
+//!   degree histograms and connected components;
+//! * [`permute`] — vertex reordering used by OVPL preprocessing;
+//! * [`suite`] — the named stand-in instances for every graph in Table 1.
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod ordering;
+pub mod permute;
+pub mod stats;
+pub mod suite;
+pub mod weights;
+
+pub use csr::Csr;
+
+/// Vertex identifier. 32-bit to match the 16-lane `epi32` vector width the
+/// paper's kernels are built around.
+pub type VertexId = u32;
+
+/// Edge weight. Single precision to match `ps` vector lanes.
+pub type Weight = f32;
+
+/// A weighted undirected edge as fed to the [`builder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub u: VertexId,
+    pub v: VertexId,
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Convenience constructor with unit weight.
+    pub fn unweighted(u: VertexId, v: VertexId) -> Self {
+        Edge { u, v, w: 1.0 }
+    }
+
+    /// Weighted constructor.
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Edge { u, v, w }
+    }
+}

@@ -1,0 +1,198 @@
+//! Vertex orderings.
+//!
+//! The memory behaviour of every kernel in this repository depends on the
+//! vertex numbering: gathers of `zeta[neighbor]` hit nearby cache lines when
+//! neighbors have nearby ids. These orderings feed the locality ablation
+//! (`ablation_ordering`) and give users the standard tools for preparing
+//! real-world inputs, whose crawl orderings are often adversarial.
+//!
+//! All functions return a permutation `perm[old] = new` suitable for
+//! [`crate::permute::apply_permutation`].
+
+use crate::csr::Csr;
+use crate::permute::is_permutation;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Orders vertices by degree; ties keep original relative order (stable).
+pub fn degree_order(g: &Csr, ascending: bool) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    if ascending {
+        by_degree.sort_by_key(|&u| g.degree(u));
+    } else {
+        by_degree.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+    }
+    let mut perm = vec![0u32; n];
+    for (new, &old) in by_degree.iter().enumerate() {
+        perm[old as usize] = new as u32;
+    }
+    debug_assert!(is_permutation(&perm));
+    perm
+}
+
+/// Breadth-first ordering from the minimum-degree vertex of each component
+/// (the forward pass of Cuthill–McKee). Neighbors enqueue in degree order,
+/// which tightens the bandwidth like the classic algorithm.
+pub fn bfs_order(g: &Csr) -> Vec<u32> {
+    cuthill_mckee(g, false)
+}
+
+/// Reverse Cuthill–McKee: the BFS ordering reversed — the standard
+/// bandwidth-reducing numbering for near-mesh matrices.
+///
+/// ```
+/// use gp_graph::generators::grid2d;
+/// use gp_graph::ordering::{average_edge_span, rcm_order};
+/// use gp_graph::permute::apply_permutation;
+///
+/// let g = grid2d(8, 8);
+/// let tightened = apply_permutation(&g, &rcm_order(&g));
+/// assert!(average_edge_span(&tightened) <= average_edge_span(&g) + 1.0);
+/// ```
+pub fn rcm_order(g: &Csr) -> Vec<u32> {
+    cuthill_mckee(g, true)
+}
+
+fn cuthill_mckee(g: &Csr, reverse: bool) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+
+    // Deterministic component seeds: minimum degree, lowest id breaking ties.
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.sort_by_key(|&u| (g.degree(u), u));
+
+    for &seed in &seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut nbrs: Vec<u32> = g
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| !visited[v as usize])
+                .collect();
+            nbrs.sort_by_key(|&v| (g.degree(v), v));
+            for v in nbrs {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    if reverse {
+        order.reverse();
+    }
+    let mut perm = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as u32;
+    }
+    debug_assert!(is_permutation(&perm));
+    perm
+}
+
+/// Uniformly random ordering (deterministic per seed) — the adversarial
+/// baseline for locality experiments.
+pub fn random_order(g: &Csr, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    perm
+}
+
+/// Average |id(u) − id(v)| over all edges: the locality measure the
+/// orderings optimize (lower = neighbors closer in memory).
+pub fn average_edge_span(g: &Csr) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if v > u {
+                total += (v - u) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs;
+    use crate::generators::{erdos_renyi, star, triangular_mesh};
+    use crate::permute::apply_permutation;
+
+    #[test]
+    fn degree_order_sorts_degrees() {
+        let g = star(6); // hub 0 has degree 5
+        let perm = degree_order(&g, false);
+        assert_eq!(perm[0], 0, "hub must come first in descending order");
+        let perm_asc = degree_order(&g, true);
+        assert_eq!(perm_asc[0], 5, "hub must come last in ascending order");
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let g = erdos_renyi(80, 200, 3);
+        for perm in [
+            degree_order(&g, true),
+            bfs_order(&g),
+            rcm_order(&g),
+            random_order(&g, 1),
+        ] {
+            assert!(is_permutation(&perm));
+        }
+    }
+
+    #[test]
+    fn rcm_reduces_edge_span_on_shuffled_mesh() {
+        let g = triangular_mesh(20, 20, 7);
+        // Adversarial start: random shuffle.
+        let shuffled = apply_permutation(&g, &random_order(&g, 9));
+        let span_bad = average_edge_span(&shuffled);
+        let recovered = apply_permutation(&shuffled, &rcm_order(&shuffled));
+        let span_good = average_edge_span(&recovered);
+        assert!(
+            span_good < span_bad / 3.0,
+            "RCM should tighten spans: {span_good} vs {span_bad}"
+        );
+    }
+
+    #[test]
+    fn bfs_order_visits_components_contiguously() {
+        let g = from_pairs(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let perm = bfs_order(&g);
+        // Each component's new ids must form a contiguous range.
+        let comp1: Vec<u32> = vec![perm[0], perm[1], perm[2]];
+        let comp2: Vec<u32> = vec![perm[3], perm[4], perm[5]];
+        let span = |v: &Vec<u32>| v.iter().max().unwrap() - v.iter().min().unwrap();
+        assert_eq!(span(&comp1), 2);
+        assert_eq!(span(&comp2), 2);
+    }
+
+    #[test]
+    fn random_order_deterministic_per_seed() {
+        let g = erdos_renyi(50, 100, 5);
+        assert_eq!(random_order(&g, 4), random_order(&g, 4));
+        assert_ne!(random_order(&g, 4), random_order(&g, 5));
+    }
+
+    #[test]
+    fn edge_span_of_path_is_one() {
+        let g = crate::generators::path(10);
+        assert_eq!(average_edge_span(&g), 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Vertex reordering.
+//!
+//! OVPL preprocessing reorders the graph so color groups are contiguous; the
+//! kernels then need the permuted CSR, and results must be mapped back to
+//! original ids. A permutation `perm` maps *old* id → *new* id.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Validates that `perm` is a permutation of `0..n`.
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p as usize >= n || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+/// Inverts a permutation: `inv[perm[i]] = i`.
+pub fn invert(perm: &[u32]) -> Vec<u32> {
+    debug_assert!(is_permutation(perm));
+    let mut inv = vec![0u32; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+/// Applies `perm` (old → new) to the graph, producing the relabeled CSR with
+/// sorted adjacency.
+pub fn apply_permutation(g: &Csr, perm: &[u32]) -> Csr {
+    assert_eq!(perm.len(), g.num_vertices(), "permutation size mismatch");
+    debug_assert!(is_permutation(perm));
+    let n = g.num_vertices();
+    let inv = invert(perm);
+
+    let mut xadj = vec![0u32; n + 1];
+    for new in 0..n {
+        let old = inv[new] as VertexId;
+        xadj[new + 1] = xadj[new] + g.degree(old) as u32;
+    }
+    let m = xadj[n] as usize;
+    let mut adj = vec![0 as VertexId; m];
+    let mut weights = vec![0.0f32; m];
+    for new in 0..n {
+        let old = inv[new] as VertexId;
+        let base = xadj[new] as usize;
+        for (i, (v, w)) in g.edges_of(old).enumerate() {
+            adj[base + i] = perm[v as usize];
+            weights[base + i] = w;
+        }
+    }
+    let mut out = Csr::from_raw(xadj, adj, weights);
+    out.sort_adjacency();
+    out
+}
+
+/// Maps per-vertex values (e.g. community assignments) on the *permuted*
+/// graph back to original vertex order.
+pub fn unpermute_values<T: Copy + Default>(values: &[T], perm: &[u32]) -> Vec<T> {
+    assert_eq!(values.len(), perm.len());
+    let mut out = vec![T::default(); values.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        out[old] = values[new as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs;
+
+    #[test]
+    fn identity_permutation() {
+        let g = from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let perm: Vec<u32> = (0..4).collect();
+        assert_eq!(apply_permutation(&g, &perm), g);
+    }
+
+    #[test]
+    fn reversal_preserves_structure() {
+        let g = from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let perm = vec![3, 2, 1, 0];
+        let h = apply_permutation(&g, &perm);
+        assert_eq!(h.num_edges(), g.num_edges());
+        // old edge (0,1) is new edge (3,2)
+        assert!(h.has_edge(3, 2));
+        assert!(h.has_edge(1, 0));
+        assert!(h.is_symmetric());
+    }
+
+    #[test]
+    fn weights_travel_with_edges() {
+        let g = crate::builder::GraphBuilder::new(3)
+            .add_edges([crate::Edge::new(0, 1, 5.0), crate::Edge::new(1, 2, 7.0)])
+            .build();
+        let perm = vec![2, 0, 1];
+        let h = apply_permutation(&g, &perm);
+        assert_eq!(h.edge_weight(2, 0), Some(5.0));
+        assert_eq!(h.edge_weight(0, 1), Some(7.0));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let perm = vec![2, 0, 3, 1];
+        let inv = invert(&perm);
+        for i in 0..perm.len() {
+            assert_eq!(inv[perm[i] as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn unpermute_restores_original_order() {
+        let perm = vec![2u32, 0, 1];
+        // values indexed by NEW ids
+        let values = vec![10i32, 20, 30];
+        // old 0 -> new 2 (30), old 1 -> new 0 (10), old 2 -> new 1 (20)
+        assert_eq!(unpermute_values(&values, &perm), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn is_permutation_detects_duplicates() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(!is_permutation(&[0, 0, 2]));
+        assert!(!is_permutation(&[0, 1, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let g = from_pairs(3, [(0, 1)]);
+        apply_permutation(&g, &[0, 1]);
+    }
+}

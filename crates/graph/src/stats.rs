@@ -1,0 +1,149 @@
+//! Graph statistics: the quantities Table 1 reports plus the degree-balance
+//! measures the OVPL discussion (Figure 13) relies on.
+
+use crate::csr::Csr;
+use crate::VertexId;
+use serde::Serialize;
+
+/// The Table-1 row for one graph, plus degree-balance extras.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Standard deviation of the degree distribution; low values mark the
+    /// "degrees close to the average" graphs where OVPL shines.
+    pub degree_stddev: f64,
+    /// Coefficient of variation (stddev / mean); dimensionless balance score.
+    pub degree_cv: f64,
+    pub num_self_loops: usize,
+    pub num_components: usize,
+}
+
+/// Computes all statistics in one pass (components via BFS).
+///
+/// ```
+/// use gp_graph::generators::clique;
+/// use gp_graph::stats::graph_stats;
+///
+/// let s = graph_stats(&clique(5));
+/// assert_eq!((s.num_edges, s.max_degree, s.num_components), (10, 4, 1));
+/// ```
+pub fn graph_stats(g: &Csr) -> GraphStats {
+    let n = g.num_vertices();
+    let avg = g.avg_degree();
+    let var = if n == 0 {
+        0.0
+    } else {
+        g.vertices()
+            .map(|u| {
+                let d = g.degree(u) as f64 - avg;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    let stddev = var.sqrt();
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        avg_degree: avg,
+        degree_stddev: stddev,
+        degree_cv: if avg > 0.0 { stddev / avg } else { 0.0 },
+        num_self_loops: g.num_self_loops(),
+        num_components: connected_components(g).1,
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.vertices() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Labels connected components with BFS. Returns `(labels, count)`.
+pub fn connected_components(g: &Csr) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for s in g.vertices() {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        queue.push(s);
+        while let Some(u) = queue.pop() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs;
+    use crate::generators::special::{clique, path, star};
+
+    #[test]
+    fn stats_of_path() {
+        let s = graph_stats(&path(5));
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.num_components, 1);
+    }
+
+    #[test]
+    fn clique_has_zero_degree_variance() {
+        let s = graph_stats(&clique(6));
+        assert_eq!(s.degree_stddev, 0.0);
+        assert_eq!(s.degree_cv, 0.0);
+    }
+
+    #[test]
+    fn star_has_high_cv() {
+        let s = graph_stats(&star(50));
+        assert!(s.degree_cv > 2.0, "cv = {}", s.degree_cv);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = star(10);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 10);
+        assert_eq!(h[1], 9);
+        assert_eq!(h[9], 1);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = from_pairs(6, [(0, 1), (2, 3)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 4); // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&crate::csr::Csr::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_components, 0);
+        assert_eq!(s.degree_cv, 0.0);
+    }
+}

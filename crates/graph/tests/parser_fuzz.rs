@@ -1,0 +1,75 @@
+//! Failure-injection tests for the graph parsers: arbitrary byte soup and
+//! structurally-corrupted inputs must return `Err`, never panic, never loop.
+
+use gp_graph::io::{read_edgelist, read_matrix_market, read_metis};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII text never panics any parser.
+    #[test]
+    fn parsers_never_panic_on_text(input in "[ -~\n\t]{0,400}") {
+        let _ = read_edgelist(input.as_bytes());
+        let _ = read_metis(input.as_bytes());
+        let _ = read_matrix_market(input.as_bytes());
+    }
+
+    /// Arbitrary bytes (including invalid UTF-8) never panic.
+    #[test]
+    fn parsers_never_panic_on_bytes(input in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_edgelist(input.as_slice());
+        let _ = read_metis(input.as_slice());
+        let _ = read_matrix_market(input.as_slice());
+    }
+
+    /// Near-valid edge lists: random token mutations still parse or fail
+    /// cleanly, and successful parses produce structurally valid graphs.
+    #[test]
+    fn mutated_edgelist_is_clean(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 1..40),
+        junk in "[a-z0-9 .#-]{0,30}",
+        junk_line in 0usize..40,
+    ) {
+        let mut text = String::new();
+        for (i, (u, v)) in edges.iter().enumerate() {
+            if i == junk_line {
+                text.push_str(&junk);
+                text.push('\n');
+            }
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        if let Ok(g) = read_edgelist(text.as_bytes()) {
+            prop_assert!(g.is_symmetric());
+            prop_assert!(g.num_vertices() <= 100);
+        }
+    }
+
+    /// Corrupted METIS headers (wrong counts) fail without panicking, and
+    /// valid-shaped ones round out.
+    #[test]
+    fn metis_header_corruption_is_clean(n in 0usize..20, lines in 0usize..25) {
+        let mut text = format!("{n} 0\n");
+        for _ in 0..lines {
+            text.push('\n');
+        }
+        let r = read_metis(text.as_bytes());
+        if lines == n {
+            prop_assert!(r.is_ok());
+        } else if let Ok(g) = r {
+            prop_assert_eq!(g.num_vertices(), n);
+        }
+    }
+
+    /// Matrix Market with a lying nnz count always errors.
+    #[test]
+    fn matrix_market_nnz_mismatch_errors(real in 1usize..10, declared in 11usize..20) {
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n30 30 {declared}\n"
+        );
+        for i in 0..real {
+            text.push_str(&format!("{} {} 1.0\n", i + 2, i + 1));
+        }
+        prop_assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

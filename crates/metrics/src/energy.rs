@@ -1,0 +1,105 @@
+//! Modeled-energy aggregation — the RAPL substitute (DESIGN.md §2).
+//!
+//! The figure binaries run each kernel once under the counting backend, feed
+//! the op counts through the [`gp_simd::cost`] and [`gp_simd::energy`]
+//! models, and report per-architecture cycles and joules next to measured
+//! wall time. This module packages that pipeline.
+
+use gp_simd::cost::ArchProfile;
+use gp_simd::counters::OpCounts;
+use gp_simd::energy::{EnergyModel, SERVER_ENERGY};
+use serde::Serialize;
+
+/// Modeled execution report of one kernel run on one architecture.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ModeledRun {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Modeled cycles.
+    pub cycles: f64,
+    /// Modeled wall time (seconds).
+    pub seconds: f64,
+    /// Modeled energy (joules).
+    pub joules: f64,
+    /// Total operations executed.
+    pub total_ops: u64,
+    /// Vector fraction of the operations.
+    pub vector_fraction: f64,
+}
+
+/// Models `counts` on `arch` with the shared server energy parameters.
+pub fn model_run(arch: &ArchProfile, counts: &OpCounts) -> ModeledRun {
+    model_run_with(arch, &SERVER_ENERGY, counts)
+}
+
+/// Models `counts` on `arch` with an explicit energy model.
+pub fn model_run_with(arch: &ArchProfile, energy: &EnergyModel, counts: &OpCounts) -> ModeledRun {
+    let total = counts.total();
+    ModeledRun {
+        arch: arch.name,
+        cycles: arch.cycles(counts),
+        seconds: arch.seconds(counts),
+        joules: energy.joules(arch, counts),
+        total_ops: total,
+        vector_fraction: if total == 0 {
+            0.0
+        } else {
+            counts.total_vector() as f64 / total as f64
+        },
+    }
+}
+
+/// Modeled speedup and energy gain of `candidate` over `baseline` on one
+/// architecture — the two ratios the paper's bar charts plot.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ModeledComparison {
+    pub arch: &'static str,
+    /// `baseline_time / candidate_time` (> 1: candidate is faster).
+    pub speedup: f64,
+    /// `baseline_energy / candidate_energy` (> 1: candidate is greener).
+    pub energy_gain: f64,
+}
+
+/// Compares two op mixes on one architecture.
+pub fn compare(arch: &ArchProfile, baseline: &OpCounts, candidate: &OpCounts) -> ModeledComparison {
+    ModeledComparison {
+        arch: arch.name,
+        speedup: arch.speedup(baseline, candidate),
+        energy_gain: SERVER_ENERGY.efficiency_gain(arch, baseline, candidate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_simd::cost::{CASCADE_LAKE, SKYLAKE_X};
+    use gp_simd::counters::OpClass;
+
+    #[test]
+    fn model_run_basic() {
+        let counts = OpCounts::default()
+            .with(OpClass::Gather, 10)
+            .with(OpClass::ScalarAlu, 10);
+        let r = model_run(&SKYLAKE_X, &counts);
+        assert_eq!(r.arch, "SkylakeX");
+        assert!(r.cycles > 0.0 && r.joules > 0.0);
+        assert_eq!(r.total_ops, 20);
+        assert!((r.vector_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_are_zero() {
+        let r = model_run(&CASCADE_LAKE, &OpCounts::default());
+        assert_eq!(r.cycles, 0.0);
+        assert_eq!(r.vector_fraction, 0.0);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let slow = OpCounts::default().with(OpClass::ScalarStore, 1000);
+        let fast = OpCounts::default().with(OpClass::VecStore, 100);
+        let c = compare(&CASCADE_LAKE, &slow, &fast);
+        assert!(c.speedup > 1.0);
+        assert!(c.energy_gain > 1.0);
+    }
+}

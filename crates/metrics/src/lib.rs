@@ -1,0 +1,15 @@
+//! # gp-metrics
+//!
+//! Measurement substrate for the experiment harness: repeated-run timing
+//! with the paper's methodology (25 runs per configuration, mean + bootstrap
+//! 95% confidence interval), modeled-energy aggregation, and plain-text /
+//! CSV report emission for the figure binaries.
+
+pub mod energy;
+pub mod report;
+pub mod stats;
+pub mod timer;
+
+pub use report::Table;
+pub use stats::{bootstrap_ci, Summary};
+pub use timer::{time_runs, TimingConfig};

@@ -1,0 +1,163 @@
+//! Summary statistics: mean and the bootstrap 95% confidence interval the
+//! paper computes for every reported number ("We computed the 95% confidence
+//! interval [Efron] for the results of all the experiments").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Mean with a bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    pub mean: f64,
+    /// Lower edge of the 95% CI.
+    pub ci_low: f64,
+    /// Upper edge of the 95% CI.
+    pub ci_high: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Half-width of the interval relative to the mean (0 = perfectly
+    /// tight). The paper drops CI bars because these come out "very narrow".
+    pub fn relative_halfwidth(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            ((self.ci_high - self.ci_low) / 2.0 / self.mean).abs()
+        }
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Percentile-method bootstrap CI (Efron), deterministic per seed.
+///
+/// `resamples` of 1000 is plenty for the 25-run samples the harness uses.
+pub fn bootstrap_ci(samples: &[f64], confidence: f64, resamples: usize, seed: u64) -> Summary {
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            mean: 0.0,
+            ci_low: 0.0,
+            ci_high: 0.0,
+            n: 0,
+        };
+    }
+    let m = mean(samples);
+    if n == 1 {
+        return Summary {
+            mean: m,
+            ci_low: m,
+            ci_high: m,
+            n,
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let s: f64 = (0..n).map(|_| samples[rng.gen_range(0..n)]).sum();
+            s / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    Summary {
+        mean: m,
+        ci_low: means[lo_idx],
+        ci_high: means[hi_idx],
+        n,
+    }
+}
+
+/// Convenience: 95% CI with the harness defaults.
+pub fn summarize(samples: &[f64]) -> Summary {
+    bootstrap_ci(samples, 0.95, 1000, 0xc1)
+}
+
+/// Geometric mean of positive values (used for cross-graph speedup
+/// aggregates).
+pub fn geometric_mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        samples.iter().all(|&x| x > 0.0),
+        "geometric mean requires positive samples"
+    );
+    (samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ci_contains_mean() {
+        let samples: Vec<f64> = (0..25).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let s = summarize(&samples);
+        assert!(s.ci_low <= s.mean && s.mean <= s.ci_high);
+        assert_eq!(s.n, 25);
+    }
+
+    #[test]
+    fn ci_narrow_for_constant_samples() {
+        let s = summarize(&[5.0; 25]);
+        assert_eq!(s.ci_low, 5.0);
+        assert_eq!(s.ci_high, 5.0);
+        assert_eq!(s.relative_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn ci_widens_with_variance() {
+        let tight: Vec<f64> = (0..25).map(|i| 10.0 + 0.01 * (i % 2) as f64).collect();
+        let wide: Vec<f64> = (0..25).map(|i| 10.0 + 5.0 * (i % 2) as f64).collect();
+        assert!(
+            summarize(&tight).relative_halfwidth() < summarize(&wide).relative_halfwidth()
+        );
+    }
+
+    #[test]
+    fn ci_deterministic() {
+        let samples = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(
+            bootstrap_ci(&samples, 0.95, 500, 7),
+            bootstrap_ci(&samples, 0.95, 500, 7)
+        );
+    }
+
+    #[test]
+    fn single_sample_degenerate() {
+        let s = summarize(&[3.5]);
+        assert_eq!((s.ci_low, s.ci_high), (3.5, 3.5));
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Repeated-run wall-clock measurement (the paper's "all the variants are
+//! run 25 times for each graph; the reported values ... are average of the
+//! 25 runs").
+
+use crate::stats::{summarize, Summary};
+use std::time::Instant;
+
+/// How a measurement is repeated.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingConfig {
+    /// Timed repetitions (paper: 25).
+    pub runs: usize,
+    /// Untimed warmup repetitions.
+    pub warmup: usize,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { runs: 25, warmup: 2 }
+    }
+}
+
+impl TimingConfig {
+    /// Fewer repetitions for quick passes (CI, smoke tests).
+    pub fn quick() -> Self {
+        TimingConfig { runs: 5, warmup: 1 }
+    }
+}
+
+/// Times `f` per the config and summarizes seconds-per-run. The closure
+/// receives the run index (warmups get `usize::MAX`); its result is dropped
+/// via `std::hint::black_box` so the optimizer cannot elide work.
+pub fn time_runs<R>(config: &TimingConfig, mut f: impl FnMut(usize) -> R) -> Summary {
+    for _ in 0..config.warmup {
+        std::hint::black_box(f(usize::MAX));
+    }
+    let mut samples = Vec::with_capacity(config.runs);
+    for run in 0..config.runs {
+        let start = Instant::now();
+        std::hint::black_box(f(run));
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    summarize(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_expected_number_of_times() {
+        let mut timed = 0;
+        let mut warmups = 0;
+        let cfg = TimingConfig { runs: 7, warmup: 3 };
+        time_runs(&cfg, |run| {
+            if run == usize::MAX {
+                warmups += 1;
+            } else {
+                timed += 1;
+            }
+        });
+        assert_eq!(timed, 7);
+        assert_eq!(warmups, 3);
+    }
+
+    #[test]
+    fn summary_has_positive_mean_for_real_work() {
+        let cfg = TimingConfig::quick();
+        let s = time_runs(&cfg, |_| {
+            let v: Vec<u64> = (0..20_000).collect();
+            v.iter().sum::<u64>()
+        });
+        assert!(s.mean > 0.0);
+        assert_eq!(s.n, 5);
+    }
+}

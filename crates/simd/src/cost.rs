@@ -1,0 +1,328 @@
+//! Per-architecture instruction cost model.
+//!
+//! This is the substitution for the paper's second test machine (DESIGN.md
+//! §2): the paper's SkylakeX-vs-Cascade-Lake deltas come from the throughput
+//! of gather and, above all, scatter. Costs are reciprocal throughputs in
+//! cycles, in the spirit of Agner Fog's tables for Skylake-SP, with Cascade
+//! Lake's improved scatter/gather paths reflected; scalar costs describe the
+//! amortized cost of one operation inside a tight loop (load-to-use and
+//! branch prediction folded in). Absolute numbers are a model — what the
+//! experiments consume is the *ratio* between a scalar and a vector op mix,
+//! which is what the paper's figures plot.
+
+use crate::counters::{OpClass, OpCounts, ALL_OP_CLASSES, NUM_OP_CLASSES};
+use serde::Serialize;
+
+/// A named architecture with per-op-class costs (cycles) and a clock.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ArchProfile {
+    /// Architecture name as shown in figures.
+    pub name: &'static str,
+    /// Nominal all-core turbo clock in GHz (converts cycles to seconds).
+    pub ghz: f64,
+    /// Last-level cache size in bytes (25 MB on the paper's SkylakeX
+    /// machine, 36 MB on its Cascade Lake machine).
+    pub l3_bytes: usize,
+    /// Cost in cycles per operation, indexed by `OpClass as usize`.
+    pub cycles_per_op: [f64; NUM_OP_CLASSES],
+}
+
+/// Intel Xeon Gold 6154 (SkylakeX): first-generation AVX-512 server part.
+/// Scatter is microcoded-slow; gather/scatter costs fold in the paper-scale
+/// memory regime (multi-GB graphs), where one 16-lane gather overlaps up to
+/// 16 outstanding misses that a scalar loop would expose serially — the
+/// effect `ScalarRandLoad`'s latency models on the scalar side.
+pub const SKYLAKE_X: ArchProfile = ArchProfile {
+    name: "SkylakeX",
+    ghz: 2.7,
+    l3_bytes: 25 * 1024 * 1024,
+    cycles_per_op: [
+        0.5,  // ScalarLoad (sequential, cache-resident)
+        3.0,  // ScalarRandLoad (exposed average latency at paper graph sizes)
+        1.0,  // ScalarStore
+        0.5,  // ScalarAlu
+        1.0,  // ScalarBranch
+        0.5,  // VecLoad
+        1.0,  // VecStore
+        16.0, // Gather (vpgatherdd zmm, 16 overlapped accesses)
+        24.0, // Scatter (vpscatterdd zmm, microcoded on SKX)
+        10.0, // Conflict (vpconflictd zmm)
+        0.66, // VecAlu
+        1.0,  // VecCmp
+        8.0,  // Reduce (shuffle/add tree)
+        2.0,  // Compress
+        1.0,  // MaskOp
+    ],
+};
+
+/// Intel Xeon Gold 6248R (Cascade Lake): same core with improved
+/// gather/scatter paths — the paper's "good hardware support for scatter
+/// instructions" machine.
+pub const CASCADE_LAKE: ArchProfile = ArchProfile {
+    name: "CascadeLake",
+    ghz: 3.0,
+    l3_bytes: 36 * 1024 * 1024,
+    cycles_per_op: [
+        0.5,  // ScalarLoad
+        3.0,  // ScalarRandLoad
+        1.0,  // ScalarStore
+        0.5,  // ScalarAlu
+        1.0,  // ScalarBranch
+        0.5,  // VecLoad
+        1.0,  // VecStore
+        14.0, // Gather (near-identical to SKX; scatter is the differentiator)
+        14.0, // Scatter
+        10.0, // Conflict
+        0.66, // VecAlu
+        1.0,  // VecCmp
+        8.0,  // Reduce
+        2.0,  // Compress
+        1.0,  // MaskOp
+    ],
+};
+
+/// Intel Xeon Phi 7250 (Knights Landing): the third machine of the paper's
+/// original workshop study (its Figure 5 plots `benchmark_KNL`). Weak
+/// in-order-ish scalar cores, 512-bit vector units, and a slow clock — the
+/// architecture where vectorization pays the most ("KNL should see
+/// performance improvement, up to a factor of 3.5 on graphs with moderately
+/// high degrees").
+pub const KNIGHTS_LANDING: ArchProfile = ArchProfile {
+    name: "KNL",
+    ghz: 1.4,
+    l3_bytes: 16 * 1024 * 1024, // MCDRAM-as-cache share per tile group
+    cycles_per_op: [
+        1.0,  // ScalarLoad — 2-wide in-order-ish core
+        5.0,  // ScalarRandLoad
+        2.0,  // ScalarStore
+        1.0,  // ScalarAlu
+        2.5,  // ScalarBranch — weak branch prediction
+        1.0,  // VecLoad
+        2.0,  // VecStore
+        14.0, // Gather — AVX-512PF era gather hardware
+        18.0, // Scatter
+        12.0, // Conflict
+        1.0,  // VecAlu
+        1.5,  // VecCmp
+        10.0, // Reduce
+        3.0,  // Compress
+        2.0,  // MaskOp
+    ],
+};
+
+/// Both study architectures, in the order the paper lists them.
+pub const STUDY_ARCHS: [ArchProfile; 2] = [CASCADE_LAKE, SKYLAKE_X];
+
+impl ArchProfile {
+    /// Modeled cycles to execute an operation mix on this architecture.
+    pub fn cycles(&self, counts: &OpCounts) -> f64 {
+        ALL_OP_CLASSES
+            .iter()
+            .map(|&c| counts.get(c) as f64 * self.cycles_per_op[c as usize])
+            .sum()
+    }
+
+    /// Modeled wall time in seconds.
+    pub fn seconds(&self, counts: &OpCounts) -> f64 {
+        self.cycles(counts) / (self.ghz * 1e9)
+    }
+
+    /// Modeled speedup of `vectorized` over `scalar` (both op mixes).
+    ///
+    /// ```
+    /// use gp_simd::cost::CASCADE_LAKE;
+    /// use gp_simd::counters::{OpClass, OpCounts};
+    ///
+    /// let scalar = OpCounts::default().with(OpClass::ScalarRandLoad, 16);
+    /// let vector = OpCounts::default().with(OpClass::Gather, 1);
+    /// assert!(CASCADE_LAKE.speedup(&scalar, &vector) > 1.0);
+    /// ```
+    pub fn speedup(&self, scalar: &OpCounts, vectorized: &OpCounts) -> f64 {
+        self.cycles(scalar) / self.cycles(vectorized)
+    }
+
+    /// Cost of one op of a class (cycles).
+    pub fn cost_of(&self, class: OpClass) -> f64 {
+        self.cycles_per_op[class as usize]
+    }
+
+    /// A copy of this profile with memory-system costs scaled for a working
+    /// set of `bytes` — the mechanism behind the paper's R-MAT scale trend
+    /// ("bigger graph brings higher cache misses" shrinks the vector gain).
+    ///
+    /// Random scalar loads grow toward DRAM latency as the working set
+    /// outgrows the L2 and then the L3. Gathers and scatters grow *faster
+    /// than linearly* in the same regime: once both implementations are
+    /// cache-fill-bound, the vector code's instruction-count advantage stops
+    /// mattering (the 16 fills dominate either way), so the ratio compresses
+    /// toward 1 — which is exactly the paper's observation that R-MAT gains
+    /// are highest for small, cache-resident graphs and decay with scale.
+    /// Sequential loads and ALU work are unaffected.
+    pub fn for_working_set(&self, bytes: usize) -> ArchProfile {
+        const L2_BYTES: f64 = 1024.0 * 1024.0; // per-core L2 on both parts
+        // Latency multiplier for one random access: 1 inside L2, up to ~3 at
+        // the L3 boundary, saturating toward ~6 deep in DRAM territory.
+        let b = bytes as f64;
+        let l3 = self.l3_bytes as f64;
+        let factor = if b <= L2_BYTES {
+            1.0
+        } else if b <= l3 {
+            1.0 + 2.0 * ((b / L2_BYTES).ln() / (l3 / L2_BYTES).ln())
+        } else {
+            (3.0 + 1.5 * (b / l3).ln()).min(6.0)
+        };
+        let rand_scaled = self.cycles_per_op[OpClass::ScalarRandLoad as usize] * factor;
+        // Inside the caches a gather pipelines its 16 hits, so its cost
+        // tracks the scalar latency growth (ratio preserved). Past the L3
+        // both implementations become fill/bandwidth-bound and the vector
+        // advantage compresses: an extra super-linear DRAM penalty, bounded
+        // by "no worse than 16 serialized accesses".
+        let dram_penalty = if b <= l3 {
+            1.0
+        } else {
+            (b / l3).powf(0.35).min(2.0)
+        };
+        let vec_factor = factor * dram_penalty;
+        let vec_cap = 0.9 * 16.0 * rand_scaled;
+        let mut scaled = *self;
+        scaled.cycles_per_op[OpClass::ScalarRandLoad as usize] = rand_scaled;
+        for class in [OpClass::Gather, OpClass::Scatter] {
+            let c = &mut scaled.cycles_per_op[class as usize];
+            *c = (*c * vec_factor).min(vec_cap.max(*c));
+        }
+        scaled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_lake_has_cheaper_scatter() {
+        assert!(CASCADE_LAKE.cost_of(OpClass::Scatter) < SKYLAKE_X.cost_of(OpClass::Scatter));
+        assert!(CASCADE_LAKE.cost_of(OpClass::Gather) < SKYLAKE_X.cost_of(OpClass::Gather));
+    }
+
+    #[test]
+    fn cycles_weighted_sum() {
+        let counts = OpCounts::default()
+            .with(OpClass::Gather, 2)
+            .with(OpClass::ScalarAlu, 4);
+        let expected = 2.0 * SKYLAKE_X.cost_of(OpClass::Gather) + 4.0 * 0.5;
+        assert!((SKYLAKE_X.cycles(&counts) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_uses_clock() {
+        let counts = OpCounts::default().with(OpClass::ScalarStore, 1_000_000);
+        let s = CASCADE_LAKE.seconds(&counts);
+        assert!((s - 1_000_000.0 / 3.0e9).abs() < 1e-12);
+    }
+
+    /// The model must reproduce the paper's cross-architecture ordering:
+    /// a scatter-heavy vector kernel gains more on Cascade Lake.
+    #[test]
+    fn scatter_heavy_kernel_gains_more_on_cascade_lake() {
+        // ONPL-like mix per 16 neighbors vs scalar per-neighbor bundle.
+        let vectorized = OpCounts::default()
+            .with(OpClass::VecLoad, 2)
+            .with(OpClass::Gather, 2)
+            .with(OpClass::Scatter, 1)
+            .with(OpClass::Conflict, 1)
+            .with(OpClass::VecAlu, 2)
+            .with(OpClass::VecCmp, 1)
+            .with(OpClass::MaskOp, 2);
+        let scalar = OpCounts::default()
+            .with(OpClass::ScalarLoad, 4 * 16)
+            .with(OpClass::ScalarAlu, 16)
+            .with(OpClass::ScalarStore, 16)
+            .with(OpClass::ScalarBranch, 16);
+        let clx = CASCADE_LAKE.speedup(&scalar, &vectorized);
+        let skx = SKYLAKE_X.speedup(&scalar, &vectorized);
+        assert!(clx > skx, "CLX {clx} should beat SKX {skx}");
+        assert!(skx > 1.0, "vectorization should pay off on SKX too ({skx})");
+        assert!(clx < 4.0, "gain should stay moderate ({clx})");
+    }
+
+    #[test]
+    fn working_set_scaling_monotone() {
+        let small = SKYLAKE_X.for_working_set(64 * 1024);
+        let mid = SKYLAKE_X.for_working_set(8 * 1024 * 1024);
+        let big = SKYLAKE_X.for_working_set(512 * 1024 * 1024);
+        assert_eq!(
+            small.cost_of(OpClass::ScalarRandLoad),
+            SKYLAKE_X.cost_of(OpClass::ScalarRandLoad)
+        );
+        assert!(mid.cost_of(OpClass::ScalarRandLoad) > small.cost_of(OpClass::ScalarRandLoad));
+        assert!(big.cost_of(OpClass::ScalarRandLoad) > mid.cost_of(OpClass::ScalarRandLoad));
+        // ALU and sequential loads are unaffected.
+        assert_eq!(big.cost_of(OpClass::ScalarAlu), SKYLAKE_X.cost_of(OpClass::ScalarAlu));
+        assert_eq!(big.cost_of(OpClass::ScalarLoad), SKYLAKE_X.cost_of(OpClass::ScalarLoad));
+    }
+
+    #[test]
+    fn vector_gains_compress_at_dram_scale() {
+        // The paper's R-MAT scale story: the vector gain peaks while the
+        // graph is cache-resident and decays once both versions are
+        // fill-bound ("bigger graph brings higher cache misses").
+        let scalar = OpCounts::default().with(OpClass::ScalarRandLoad, 16);
+        let vector = OpCounts::default().with(OpClass::Gather, 1).with(OpClass::VecAlu, 2);
+        let small = SKYLAKE_X.for_working_set(512 * 1024).speedup(&scalar, &vector);
+        let big = SKYLAKE_X.for_working_set(256 * 1024 * 1024).speedup(&scalar, &vector);
+        assert!(small > big, "cache-resident gain {small} should exceed DRAM gain {big}");
+        assert!(big > 1.0, "the vector kernel should not fall below scalar ({big})");
+    }
+
+    #[test]
+    fn cascade_lake_keeps_factor_one_longer() {
+        // CLX has the larger L3, so the same mid-size working set is cheaper.
+        let bytes = 30 * 1024 * 1024;
+        assert!(
+            CASCADE_LAKE.for_working_set(bytes).cost_of(OpClass::ScalarRandLoad)
+                < SKYLAKE_X.for_working_set(bytes).cost_of(OpClass::ScalarRandLoad)
+        );
+    }
+
+    /// KNL's weak scalar core makes vectorization pay more than on the Xeon
+    /// parts — the workshop paper's "up to a factor of 3.5" expectation.
+    #[test]
+    fn knl_gains_exceed_xeon_gains() {
+        let vectorized = OpCounts::default()
+            .with(OpClass::VecLoad, 2)
+            .with(OpClass::Gather, 2)
+            .with(OpClass::Scatter, 1)
+            .with(OpClass::VecAlu, 3)
+            .with(OpClass::MaskOp, 2);
+        let scalar = OpCounts::default()
+            .with(OpClass::ScalarLoad, 16)
+            .with(OpClass::ScalarRandLoad, 32)
+            .with(OpClass::ScalarAlu, 16)
+            .with(OpClass::ScalarStore, 16)
+            .with(OpClass::ScalarBranch, 16);
+        let knl = KNIGHTS_LANDING.speedup(&scalar, &vectorized);
+        let skx = SKYLAKE_X.speedup(&scalar, &vectorized);
+        assert!(knl > skx, "KNL {knl} should beat SKX {skx}");
+        assert!(knl < 6.0, "KNL gain {knl} implausibly high");
+    }
+
+    /// A gather-only kernel (no scatter) gains on both but with a smaller
+    /// cross-architecture gap — the BFS/SpMV-style result the paper
+    /// contrasts against.
+    #[test]
+    fn gather_only_kernel_has_small_arch_gap() {
+        let vectorized = OpCounts::default()
+            .with(OpClass::VecLoad, 2)
+            .with(OpClass::Gather, 1)
+            .with(OpClass::VecAlu, 2)
+            .with(OpClass::Reduce, 1);
+        let scalar = OpCounts::default()
+            .with(OpClass::ScalarLoad, 3 * 16)
+            .with(OpClass::ScalarAlu, 2 * 16)
+            .with(OpClass::ScalarBranch, 16);
+        let clx = CASCADE_LAKE.speedup(&scalar, &vectorized);
+        let skx = SKYLAKE_X.speedup(&scalar, &vectorized);
+        let gap_gather_only = clx / skx;
+        assert!(gap_gather_only < 1.2, "gap {gap_gather_only}");
+    }
+}

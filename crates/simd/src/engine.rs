@@ -1,0 +1,81 @@
+//! Backend selection.
+
+use crate::backend::{Avx512, Emulated};
+
+/// The backend actually available on this host.
+///
+/// Kernels are generic over [`crate::backend::Simd`]; call sites that want
+/// "the best backend" match on this enum once, at the outermost level, so
+/// the kernels themselves stay monomorphized (no per-op dispatch):
+///
+/// ```
+/// use gp_simd::engine::Engine;
+/// use gp_simd::backend::Simd;
+///
+/// fn kernel<S: Simd>(s: &S) -> i32 { s.extract_i32(s.splat_i32(7), 3) }
+///
+/// let x = match Engine::best() {
+///     Engine::Native(s) => kernel(&s),
+///     Engine::Emulated(s) => kernel(&s),
+/// };
+/// assert_eq!(x, 7);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum Engine {
+    /// Real AVX-512F/CD.
+    Native(Avx512),
+    /// Portable emulation.
+    Emulated(Emulated),
+}
+
+impl Engine {
+    /// Picks the native backend when the CPU supports it, otherwise the
+    /// emulation. Setting `GP_FORCE_EMULATED=1` overrides to the emulation
+    /// (A/B testing without code changes).
+    pub fn best() -> Engine {
+        if std::env::var("GP_FORCE_EMULATED").map_or(false, |v| v == "1") {
+            return Engine::Emulated(Emulated);
+        }
+        match Avx512::new() {
+            Some(s) => Engine::Native(s),
+            None => Engine::Emulated(Emulated),
+        }
+    }
+
+    /// Forces the emulated backend (for A/B tests).
+    pub fn emulated() -> Engine {
+        Engine::Emulated(Emulated)
+    }
+
+    /// Backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Native(_) => "avx512",
+            Engine::Emulated(_) => "emulated",
+        }
+    }
+
+    /// Whether real vector instructions are in use.
+    pub fn is_native(&self) -> bool {
+        matches!(self, Engine::Native(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_engine_is_constructible() {
+        let e = Engine::best();
+        // On the reproduction host this is native; elsewhere emulated. Both
+        // must report a sensible name.
+        assert!(["avx512", "emulated"].contains(&e.name()));
+    }
+
+    #[test]
+    fn emulated_engine_forced() {
+        assert_eq!(Engine::emulated().name(), "emulated");
+        assert!(!Engine::emulated().is_native());
+    }
+}

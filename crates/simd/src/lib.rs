@@ -1,0 +1,39 @@
+//! # gp-simd
+//!
+//! The 16-lane vector engine underneath the paper's ONPL/OVPL kernels.
+//!
+//! The paper's kernels are written against `AVX-512F` + `AVX-512CD`
+//! (512-bit loads, `epi32` gathers/scatters, `vpconflictd`, masked
+//! reductions). This crate exposes those operations through one seam, the
+//! [`backend::Simd`] trait, with three interchangeable implementations:
+//!
+//! * [`backend::avx512::Avx512`] — the real instructions via
+//!   `std::arch::x86_64` intrinsics (stable since Rust 1.89), gated by
+//!   runtime CPU detection;
+//! * [`backend::scalar::Emulated`] — a portable, bit-exact emulation used on
+//!   non-AVX-512 hosts and as the reference semantics in property tests;
+//! * [`counted::Counted`] — a decorator that counts every operation by
+//!   [`counters::OpClass`], feeding the [`cost`] and [`energy`] models.
+//!
+//! The cost/energy models are the substitution for the paper's second
+//! machine: the paper compares SkylakeX against Cascade Lake, whose main
+//! relevant difference is scatter (and to a lesser degree gather)
+//! throughput. Running a kernel under [`counted::Counted`] yields an
+//! [`counters::OpCounts`]; [`cost::ArchProfile::cycles`] turns that into
+//! modeled cycles per architecture, and [`energy::EnergyModel`] into modeled
+//! Joules (the RAPL substitute). See DESIGN.md §2.
+
+pub mod backend;
+pub mod counted;
+pub mod counters;
+pub mod cost;
+pub mod energy;
+pub mod engine;
+pub mod vector;
+
+pub use backend::Simd;
+pub use counted::Counted;
+pub use counters::{OpClass, OpCounts};
+pub use cost::ArchProfile;
+pub use engine::Engine;
+pub use vector::{Mask16, LANES};

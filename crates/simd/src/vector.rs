@@ -1,0 +1,169 @@
+//! Lane-count constants and the 16-bit lane mask.
+
+/// Lanes in a 512-bit register of 32-bit elements; fixed at 16 like the
+/// paper's kernels ("the registers are 512 bits large so that it enables the
+//  ability to load 16 neighbors of a vertex at a time").
+pub const LANES: usize = 16;
+
+/// A 16-lane predicate, one bit per lane (bit `i` = lane `i`), mirroring the
+/// hardware `__mmask16`. Mask operations are plain integer ops on both
+/// backends, exactly as `k`-register arithmetic is nearly free on hardware.
+/// ```
+/// use gp_simd::vector::Mask16;
+///
+/// let m = Mask16::first(3).or(Mask16::single(7));
+/// assert_eq!(m.count(), 4);
+/// assert_eq!(m.iter_set().collect::<Vec<_>>(), vec![0, 1, 2, 7]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mask16(pub u16);
+
+impl Mask16 {
+    /// All lanes selected.
+    pub const ALL: Mask16 = Mask16(0xFFFF);
+    /// No lane selected.
+    pub const NONE: Mask16 = Mask16(0);
+
+    /// Mask selecting the first `n` lanes (`n` is clamped to 16).
+    #[inline(always)]
+    pub fn first(n: usize) -> Mask16 {
+        if n >= LANES {
+            Mask16::ALL
+        } else {
+            Mask16(((1u32 << n) - 1) as u16)
+        }
+    }
+
+    /// Mask with only lane `i` selected.
+    #[inline(always)]
+    pub fn single(i: usize) -> Mask16 {
+        debug_assert!(i < LANES);
+        Mask16(1 << i)
+    }
+
+    /// Whether lane `i` is selected.
+    #[inline(always)]
+    pub fn bit(self, i: usize) -> bool {
+        debug_assert!(i < LANES);
+        self.0 & (1 << i) != 0
+    }
+
+    /// Number of selected lanes (`kpopcnt`-ish; hardware exposes this via a
+    /// mask-to-GPR move plus `popcnt`).
+    #[inline(always)]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Index of the lowest selected lane, or `None` if empty.
+    #[inline(always)]
+    pub fn first_set(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// True if no lane is selected.
+    #[inline(always)]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if all 16 lanes are selected.
+    #[inline(always)]
+    pub fn is_full(self) -> bool {
+        self.0 == 0xFFFF
+    }
+
+    /// Lane-wise AND (`kandw`).
+    #[inline(always)]
+    pub fn and(self, other: Mask16) -> Mask16 {
+        Mask16(self.0 & other.0)
+    }
+
+    /// Lane-wise OR (`korw`).
+    #[inline(always)]
+    pub fn or(self, other: Mask16) -> Mask16 {
+        Mask16(self.0 | other.0)
+    }
+
+    /// Lane-wise NOT (`knotw`).
+    #[allow(clippy::should_implement_trait)] // named for the k-instruction, like `and`/`or`
+    #[inline(always)]
+    pub fn not(self) -> Mask16 {
+        Mask16(!self.0)
+    }
+
+    /// Lanes in `self` but not in `other` (`kandnw` with swapped args).
+    #[inline(always)]
+    pub fn and_not(self, other: Mask16) -> Mask16 {
+        Mask16(self.0 & !other.0)
+    }
+
+    /// Iterator over selected lane indices, lowest first.
+    pub fn iter_set(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_masks() {
+        assert_eq!(Mask16::first(0), Mask16::NONE);
+        assert_eq!(Mask16::first(16), Mask16::ALL);
+        assert_eq!(Mask16::first(20), Mask16::ALL);
+        assert_eq!(Mask16::first(3).0, 0b111);
+    }
+
+    #[test]
+    fn bit_and_count() {
+        let m = Mask16(0b1010);
+        assert!(!m.bit(0));
+        assert!(m.bit(1));
+        assert!(m.bit(3));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn first_set_lane() {
+        assert_eq!(Mask16::NONE.first_set(), None);
+        assert_eq!(Mask16(0b1000).first_set(), Some(3));
+        assert_eq!(Mask16::ALL.first_set(), Some(0));
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Mask16(0b1100);
+        let b = Mask16(0b1010);
+        assert_eq!(a.and(b).0, 0b1000);
+        assert_eq!(a.or(b).0, 0b1110);
+        assert_eq!(a.and_not(b).0, 0b0100);
+        assert_eq!(a.not().and(Mask16::ALL).0, !0b1100);
+    }
+
+    #[test]
+    fn iter_set_order() {
+        let lanes: Vec<usize> = Mask16(0b1000_0101).iter_set().collect();
+        assert_eq!(lanes, vec![0, 2, 7]);
+    }
+
+    #[test]
+    fn single_lane() {
+        assert_eq!(Mask16::single(5).0, 32);
+        assert_eq!(Mask16::single(5).count(), 1);
+    }
+}

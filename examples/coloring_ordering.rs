@@ -1,0 +1,56 @@
+//! Coloring as a scheduling substrate: the OVPL preprocessing pipeline.
+//!
+//! Greedy coloring is not just an end in itself — OVPL uses it to build
+//! blocks of mutually non-adjacent vertices that a 16-lane vector kernel can
+//! process simultaneously. This example walks the whole pipeline on a
+//! triangulated mesh: color → group → sort → sliced-ELLPACK blocks, and
+//! reports the layout quality metrics that predict OVPL's speedup.
+//!
+//! ```sh
+//! cargo run --release --example coloring_ordering
+//! ```
+
+use graph_partition_avx512::core::coloring::{color_graph_scalar, ColoringConfig};
+use graph_partition_avx512::core::louvain::ovpl::build_layout;
+use graph_partition_avx512::graph::generators::triangular_mesh;
+use graph_partition_avx512::graph::stats::graph_stats;
+
+fn main() {
+    let graph = triangular_mesh(64, 64, 11);
+    let stats = graph_stats(&graph);
+    println!(
+        "mesh: {} vertices, {} edges, degrees {}±{:.1}\n",
+        stats.num_vertices, stats.num_edges, stats.max_degree, stats.degree_stddev
+    );
+
+    // Step 1: speculative greedy coloring.
+    let coloring = color_graph_scalar(&graph, &ColoringConfig::default());
+    println!(
+        "coloring: {} colors, {} rounds",
+        coloring.num_colors, coloring.rounds
+    );
+
+    // Step 2+3: group by color, sort by degree, pack 16-lane blocks.
+    for (label, sort) in [("degree-sorted", true), ("unsorted", false)] {
+        let layout = build_layout(&graph, &coloring.colors, sort);
+        println!(
+            "{label:>14}: {} blocks, lane utilization {:.1}%, {} KiB layout",
+            layout.blocks.len(),
+            layout.lane_utilization() * 100.0,
+            layout.memory_bytes() / 1024
+        );
+    }
+
+    // The invariant everything rests on: no two vertices in a block are
+    // adjacent (so 16 simultaneous moves can never race on an edge).
+    let layout = build_layout(&graph, &coloring.colors, true);
+    for block in &layout.blocks {
+        let members: Vec<u32> = block.iter_real().map(|(_, v)| v).collect();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                assert!(!graph.has_edge(u, v), "block invariant violated");
+            }
+        }
+    }
+    println!("\nblock non-adjacency invariant verified over all blocks ✓");
+}

@@ -1,0 +1,50 @@
+//! Community-detection pipeline: compare all four Louvain implementations
+//! (PLM, MPLM, ONPL, OVPL) on a social-network-like graph — the paper's
+//! Figure 12 in miniature, runnable as a library consumer would.
+//!
+//! ```sh
+//! cargo run --release --example community_pipeline
+//! ```
+
+use graph_partition_avx512::core::louvain::{louvain, LouvainConfig, Variant};
+use graph_partition_avx512::core::reduce_scatter::Strategy;
+use graph_partition_avx512::graph::generators::planted_partition;
+use std::time::Instant;
+
+fn main() {
+    // A planted-partition network: 64 communities of 64 vertices, dense
+    // inside, sparse between — ground truth known by construction.
+    let graph = planted_partition(64, 64, 0.25, 0.002, 7);
+    println!(
+        "planted-partition graph: {} vertices, {} edges, 64 planted communities\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!(
+        "{:<26} {:>12} {:>12} {:>8}",
+        "variant", "time", "modularity", "levels"
+    );
+    for (label, variant) in [
+        ("PLM (allocating)", Variant::Plm),
+        ("MPLM (paper baseline)", Variant::Mplm),
+        ("ONPL conflict-detect", Variant::Onpl(Strategy::ConflictDetect)),
+        ("ONPL in-vector-reduce", Variant::Onpl(Strategy::InVectorReduce)),
+        ("ONPL adaptive", Variant::Onpl(Strategy::Adaptive)),
+        ("OVPL", Variant::Ovpl),
+    ] {
+        let config = LouvainConfig {
+            variant,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let result = louvain(&graph, &config);
+        let elapsed = start.elapsed();
+        println!(
+            "{:<26} {:>10.2?} {:>12.4} {:>8}",
+            label, elapsed, result.modularity, result.levels
+        );
+    }
+
+    println!("\nall variants optimize the same objective; times differ by kernel.");
+}

@@ -1,0 +1,72 @@
+//! Building a *new* partitioning-style kernel with the high-level
+//! neighborhood API — the paper's future-work scenario ("deploy these
+//! techniques on more graph partitioning kernels without requiring low-level
+//! programming expert[ise]").
+//!
+//! The kernel: a community **boundary detector**. After Louvain, classify
+//! each vertex by how much of its edge weight leaves its community — the
+//! kind of post-processing a practitioner writes constantly, here getting
+//! the AVX-512 gather/reduce-scatter machinery for free through
+//! `NeighborhoodAggregator` (no intrinsics, no unsafe).
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use graph_partition_avx512::core::louvain::{louvain, LouvainConfig};
+use graph_partition_avx512::core::neighborhood::NeighborhoodAggregator;
+use graph_partition_avx512::graph::generators::planted_partition;
+use graph_partition_avx512::simd::backend::{Avx512, Emulated, Simd};
+
+fn boundary_scores<S: Simd>(
+    s: &S,
+    g: &graph_partition_avx512::graph::csr::Csr,
+    communities: &[u32],
+) -> Vec<f32> {
+    let mut agg = NeighborhoodAggregator::new(g.num_vertices());
+    g.vertices()
+        .map(|u| {
+            let mine = communities[u as usize];
+            let mut inside = 0.0f32;
+            let mut total = 0.0f32;
+            for (community, weight) in agg.aggregate(s, g, u, communities) {
+                total += weight;
+                if community == mine {
+                    inside += weight;
+                }
+            }
+            if total == 0.0 {
+                0.0
+            } else {
+                1.0 - inside / total // fraction of weight crossing the border
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let graph = planted_partition(8, 48, 0.3, 0.01, 3);
+    let result = louvain(&graph, &LouvainConfig::default());
+    println!(
+        "{} vertices, Q = {:.3}",
+        graph.num_vertices(),
+        result.modularity
+    );
+
+    // Run the custom kernel on whichever backend exists.
+    let scores = match Avx512::new() {
+        Some(s) => boundary_scores(&s, &graph, &result.communities),
+        None => boundary_scores(&Emulated, &graph, &result.communities),
+    };
+
+    let interior = scores.iter().filter(|&&x| x < 0.25).count();
+    let frontier = scores.iter().filter(|&&x| x >= 0.25).count();
+    let max = scores.iter().cloned().fold(0.0f32, f32::max);
+    println!("interior vertices (boundary score < 0.25): {interior}");
+    println!("frontier vertices (boundary score ≥ 0.25): {frontier}");
+    println!("most exposed vertex crosses {:.0}% of its weight", max * 100.0);
+
+    // Planted partitions are dense inside: the vast majority must be interior.
+    assert!(interior > frontier, "planted communities should be cohesive");
+    println!("\ncustom kernel ran on the vectorized aggregation path — no intrinsics written.");
+}

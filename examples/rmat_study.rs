@@ -1,0 +1,48 @@
+//! Mini R-MAT study: how the vector gain of ONLP label propagation responds
+//! to the average degree (edge factor) — the paper's Figure 7 trend as a
+//! twenty-line library program.
+//!
+//! ```sh
+//! cargo run --release --example rmat_study
+//! ```
+
+use graph_partition_avx512::core::labelprop::{
+    label_propagation_mplp, label_propagation_onlp, LabelPropConfig,
+};
+use graph_partition_avx512::graph::generators::rmat::{rmat, RmatConfig};
+use graph_partition_avx512::simd::engine::Engine;
+use std::time::Instant;
+
+fn run<F: FnMut() -> R, R>(mut f: F) -> std::time::Duration {
+    let runs = 5;
+    let start = Instant::now();
+    for _ in 0..runs {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / runs
+}
+
+fn main() {
+    println!("backend: {}\n", Engine::best().name());
+    println!("{:>12} {:>12} {:>12} {:>8}", "edge factor", "MPLP", "ONLP", "gain");
+    let config = LabelPropConfig::default();
+    for edge_factor in [1u32, 2, 4, 8, 16, 32] {
+        let graph = rmat(RmatConfig::new(11, edge_factor).with_seed(3));
+        let t_scalar = run(|| label_propagation_mplp(&graph, &config));
+        let t_vector = match Engine::best() {
+            Engine::Native(s) => run(|| label_propagation_onlp(&s, &graph, &config)),
+            Engine::Emulated(s) => run(|| label_propagation_onlp(&s, &graph, &config)),
+        };
+        println!(
+            "{:>12} {:>12.2?} {:>12.2?} {:>8.2}",
+            edge_factor,
+            t_scalar,
+            t_vector,
+            t_scalar.as_secs_f64() / t_vector.as_secs_f64()
+        );
+    }
+    println!("\nexpected: the gain column trends upward with the edge factor.");
+    println!("note: on hosts where these small graphs stay cache-resident, scalar");
+    println!("loads are nearly free and absolute gains sit below 1; the paper's");
+    println!("regime (multi-GB graphs) is reproduced by the cost model in gp-bench.");
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table and figure at the default (Bench) scale, capturing
+# outputs under results/.
+set -u
+cd "$(dirname "$0")"
+BINS="table1_graphs table2_rmat_params fig_microbench fig_coloring fig_plm_vs_mplm fig_modularity fig_louvain_speedup fig_ovpl_selected fig_energy fig_lp_speedup fig_contrast fig_extension_partition fig_memory_regime ablation_reduce_scatter ablation_ovpl ablation_ordering ablation_conflict_detection"
+for bin in $BINS; do
+  echo "=== $bin ==="
+  cargo run -q --release -p gp-bench --bin "$bin" > "results/$bin.txt" 2>&1 || echo "FAILED: $bin"
+done
+cargo run -q --release -p gp-bench --bin fig_rmat_lp -- --axis ef > results/fig_rmat_lp_ef.txt 2>&1 || echo "FAILED rmat_lp ef"
+cargo run -q --release -p gp-bench --bin fig_rmat_lp -- --axis nodes > results/fig_rmat_lp_nodes.txt 2>&1 || echo "FAILED rmat_lp nodes"
+cargo run -q --release -p gp-bench --bin fig_rmat_louvain -- --axis ef > results/fig_rmat_louvain_ef.txt 2>&1 || echo "FAILED rmat_lv ef"
+cargo run -q --release -p gp-bench --bin fig_rmat_louvain -- --axis nodes > results/fig_rmat_louvain_nodes.txt 2>&1 || echo "FAILED rmat_lv nodes"
+echo ALL_DONE

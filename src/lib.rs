@@ -1,0 +1,32 @@
+//! # graph-partition-avx512
+//!
+//! Facade crate for the reproduction of *"Impact of AVX-512 Instructions on
+//! Graph Partitioning Problems"* (Hossain & Saule). Re-exports the substrate
+//! and kernel crates under one roof so examples and downstream users can
+//! depend on a single package.
+//!
+//! ```
+//! use graph_partition_avx512::prelude::*;
+//!
+//! let graph = rmat(RmatConfig::new(10, 8).with_seed(42));
+//! let coloring = color_graph(&graph, &ColoringConfig::default());
+//! assert!(verify_coloring(&graph, &coloring.colors).is_ok());
+//! ```
+
+pub use gp_core as core;
+pub use gp_graph as graph;
+pub use gp_metrics as metrics;
+pub use gp_simd as simd;
+
+/// One-stop imports for the most common entry points.
+pub mod prelude {
+    pub use gp_core::coloring::{color_graph, verify_coloring, ColoringConfig};
+    pub use gp_core::labelprop::{label_propagation, LabelPropConfig};
+    pub use gp_core::louvain::{louvain, modularity, LouvainConfig};
+    pub use gp_core::overlap::{slpa, SlpaConfig};
+    pub use gp_core::partition::{partition_graph, verify_partition, PartitionConfig};
+    pub use gp_core::quality::{adjusted_rand_index, nmi};
+    pub use gp_graph::csr::Csr;
+    pub use gp_graph::generators::rmat::{rmat, RmatConfig};
+    pub use gp_simd::engine::Engine;
+}

@@ -1,0 +1,74 @@
+//! End-to-end backend equivalence: whole algorithms (not just single ops)
+//! must produce identical results on the native AVX-512 backend and the
+//! portable emulation. Skipped silently on hosts without AVX-512.
+
+use graph_partition_avx512::core::coloring::{color_graph_onpl, ColoringConfig};
+use graph_partition_avx512::core::labelprop::{label_propagation_onlp, LabelPropConfig};
+use graph_partition_avx512::core::louvain::onpl::move_phase_onpl;
+use graph_partition_avx512::core::louvain::ovpl::{move_phase_ovpl, prepare};
+use graph_partition_avx512::core::louvain::{LouvainConfig, MoveState, Variant};
+use graph_partition_avx512::core::reduce_scatter::Strategy;
+use graph_partition_avx512::graph::suite::{build_standin, entry, SuiteScale};
+use graph_partition_avx512::simd::backend::{Avx512, Emulated};
+
+fn native() -> Option<Avx512> {
+    Avx512::new()
+}
+
+#[test]
+fn coloring_identical_across_backends() {
+    let Some(n) = native() else { return };
+    for name in ["belgium", "M6", "in-2004", "nlpkkt200", "loc-Gowalla"] {
+        let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        let cfg = ColoringConfig::sequential();
+        let a = color_graph_onpl(&n, &g, &cfg);
+        let b = color_graph_onpl(&Emulated, &g, &cfg);
+        assert_eq!(a.colors, b.colors, "{name}: backends diverged");
+    }
+}
+
+#[test]
+fn onpl_louvain_identical_across_backends() {
+    let Some(n) = native() else { return };
+    for strategy in [
+        Strategy::ConflictDetect,
+        Strategy::InVectorReduce,
+        Strategy::Adaptive,
+    ] {
+        let g = build_standin(entry("kkt_power").unwrap(), SuiteScale::Test);
+        let cfg = LouvainConfig::sequential(Variant::Onpl(strategy));
+        let s1 = MoveState::singleton(&g);
+        move_phase_onpl(&n, &g, &s1, strategy, &cfg);
+        let s2 = MoveState::singleton(&g);
+        move_phase_onpl(&Emulated, &g, &s2, strategy, &cfg);
+        assert_eq!(
+            s1.communities(),
+            s2.communities(),
+            "{strategy:?}: backends diverged"
+        );
+    }
+}
+
+#[test]
+fn ovpl_identical_across_backends() {
+    let Some(n) = native() else { return };
+    let g = build_standin(entry("delaunay_n24").unwrap(), SuiteScale::Test);
+    let cfg = LouvainConfig::sequential(Variant::Ovpl);
+    let layout = prepare(&g, &cfg);
+    let s1 = MoveState::singleton(&g);
+    move_phase_ovpl(&n, &layout, &s1, &cfg);
+    let s2 = MoveState::singleton(&g);
+    move_phase_ovpl(&Emulated, &layout, &s2, &cfg);
+    assert_eq!(s1.communities(), s2.communities());
+}
+
+#[test]
+fn onlp_identical_across_backends() {
+    let Some(n) = native() else { return };
+    let g = build_standin(entry("Oregon-2").unwrap(), SuiteScale::Test);
+    let cfg = LabelPropConfig::sequential();
+    let a = label_propagation_onlp(&n, &g, &cfg);
+    let b = label_propagation_onlp(&Emulated, &g, &cfg);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.iterations, b.iterations);
+}

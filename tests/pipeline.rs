@@ -1,0 +1,101 @@
+//! Cross-crate integration: run the full coloring and community-detection
+//! pipelines over the Table-1 stand-in suite and check every invariant that
+//! the paper's experiments rely on.
+
+use graph_partition_avx512::core::coloring::{color_graph, verify_coloring, ColoringConfig};
+use graph_partition_avx512::core::labelprop::{label_propagation, LabelPropConfig};
+use graph_partition_avx512::core::louvain::{louvain, modularity, LouvainConfig, Variant};
+use graph_partition_avx512::core::reduce_scatter::Strategy;
+use graph_partition_avx512::graph::suite::{build_suite, SuiteScale};
+
+#[test]
+fn coloring_is_valid_on_every_suite_graph() {
+    for (entry, g) in build_suite(SuiteScale::Test) {
+        let r = color_graph(&g, &ColoringConfig::default());
+        verify_coloring(&g, &r.colors)
+            .unwrap_or_else(|e| panic!("{}: invalid coloring: {e}", entry.name));
+        assert!(
+            r.num_colors as usize <= g.max_degree() + 1,
+            "{}: {} colors exceeds greedy bound Δ+1 = {}",
+            entry.name,
+            r.num_colors,
+            g.max_degree() + 1
+        );
+    }
+}
+
+#[test]
+fn louvain_variants_agree_on_quality_across_suite() {
+    // The Figure-11b property: multilevel modularity is nearly identical
+    // across scalar and vector implementations.
+    for (entry, g) in build_suite(SuiteScale::Test) {
+        let q_mplm = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
+        let q_onpl = louvain(
+            &g,
+            &LouvainConfig::sequential(Variant::Onpl(Strategy::Adaptive)),
+        )
+        .modularity;
+        assert!(
+            (q_mplm - q_onpl).abs() < 0.02,
+            "{}: MPLM {q_mplm} vs ONPL {q_onpl}",
+            entry.name
+        );
+        assert!(q_mplm > 0.05, "{}: implausibly low Q {q_mplm}", entry.name);
+    }
+}
+
+#[test]
+fn ovpl_quality_tracks_mplm_on_suite() {
+    for (entry, g) in build_suite(SuiteScale::Test) {
+        let q_mplm = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
+        let q_ovpl = louvain(&g, &LouvainConfig::sequential(Variant::Ovpl)).modularity;
+        // OVPL's block schedule may land on a different local optimum;
+        // quality must stay within a tight band (and is sometimes better).
+        assert!(
+            q_ovpl > q_mplm - 0.03,
+            "{}: OVPL {q_ovpl} trails MPLM {q_mplm}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn label_propagation_converges_on_suite() {
+    for (entry, g) in build_suite(SuiteScale::Test) {
+        let r = label_propagation(&g, &LabelPropConfig::default());
+        assert!(
+            r.iterations < 100,
+            "{}: no convergence in {} sweeps",
+            entry.name,
+            r.iterations
+        );
+        assert_eq!(r.labels.len(), g.num_vertices());
+        // Labels must name actual vertices (they start as vertex ids).
+        assert!(r.labels.iter().all(|&l| (l as usize) < g.num_vertices()));
+    }
+}
+
+#[test]
+fn communities_partition_the_vertex_set() {
+    let (_, g) = &build_suite(SuiteScale::Test)[5]; // Oregon-2 stand-in
+    let r = louvain(g, &LouvainConfig::default());
+    assert_eq!(r.communities.len(), g.num_vertices());
+    let q = modularity(g, &r.communities);
+    assert!((r.modularity - q).abs() < 1e-12, "reported Q must match recomputed Q");
+}
+
+#[test]
+fn parallel_and_sequential_louvain_reach_similar_quality() {
+    let (_, g) = &build_suite(SuiteScale::Test)[1]; // AS365 mesh stand-in
+    let q_seq = louvain(g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
+    let q_par = louvain(
+        g,
+        &LouvainConfig {
+            variant: Variant::Mplm,
+            parallel: true,
+            ..Default::default()
+        },
+    )
+    .modularity;
+    assert!((q_seq - q_par).abs() < 0.05, "seq {q_seq} vs par {q_par}");
+}

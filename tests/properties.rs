@@ -1,0 +1,98 @@
+//! Cross-crate property tests: random graphs in, invariants out.
+
+use graph_partition_avx512::core::coloring::{
+    color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig,
+};
+use graph_partition_avx512::core::louvain::ovpl::build_layout;
+use graph_partition_avx512::core::louvain::{louvain, modularity, LouvainConfig, Variant};
+use graph_partition_avx512::core::reduce_scatter::Strategy as RsStrategy;
+use graph_partition_avx512::graph::builder::from_pairs;
+use graph_partition_avx512::graph::csr::Csr;
+use graph_partition_avx512::simd::backend::Emulated;
+use proptest::prelude::*;
+
+/// Arbitrary small graph: vertex count and an edge list.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n))
+            .prop_map(move |pairs| from_pairs(n, pairs.into_iter().filter(|(u, v)| u != v)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scalar_coloring_always_valid(g in arb_graph()) {
+        let r = color_graph_scalar(&g, &ColoringConfig::sequential());
+        prop_assert!(verify_coloring(&g, &r.colors).is_ok());
+        prop_assert!(r.num_colors as usize <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn onpl_coloring_matches_scalar(g in arb_graph()) {
+        let cfg = ColoringConfig::sequential();
+        let a = color_graph_scalar(&g, &cfg);
+        let b = color_graph_onpl(&Emulated, &g, &cfg);
+        prop_assert_eq!(a.colors, b.colors);
+    }
+
+    #[test]
+    fn modularity_is_bounded(g in arb_graph()) {
+        // Q ∈ [-1, 1] for any assignment; singletons and one-community are
+        // both legal.
+        let n = g.num_vertices();
+        let singletons: Vec<u32> = (0..n as u32).collect();
+        let one: Vec<u32> = vec![0; n];
+        for zeta in [&singletons, &one] {
+            let q = modularity(&g, zeta);
+            prop_assert!((-1.0..=1.0).contains(&q), "Q = {q}");
+        }
+    }
+
+    #[test]
+    fn louvain_never_decreases_modularity_vs_singletons(g in arb_graph()) {
+        let n = g.num_vertices();
+        let singletons: Vec<u32> = (0..n as u32).collect();
+        let q0 = modularity(&g, &singletons);
+        let r = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+        prop_assert!(r.modularity >= q0 - 1e-6,
+            "louvain Q {} below singleton Q {}", r.modularity, q0);
+    }
+
+    #[test]
+    fn ovpl_blocks_never_contain_adjacent_vertices(g in arb_graph()) {
+        let coloring = color_graph_scalar(&g, &ColoringConfig::sequential());
+        let layout = build_layout(&g, &coloring.colors, true);
+        let mut placed = 0usize;
+        for block in &layout.blocks {
+            let members: Vec<u32> = block.iter_real().map(|(_, v)| v).collect();
+            placed += members.len();
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    prop_assert!(!g.has_edge(u, v), "adjacent {u},{v} share a block");
+                }
+            }
+        }
+        prop_assert_eq!(placed, g.num_vertices());
+    }
+
+    #[test]
+    fn onpl_strategies_agree_on_final_quality(g in arb_graph()) {
+        let q_cd = louvain(&g, &LouvainConfig::sequential(
+            Variant::Onpl(RsStrategy::ConflictDetect))).modularity;
+        let q_ivr = louvain(&g, &LouvainConfig::sequential(
+            Variant::Onpl(RsStrategy::InVectorReduce))).modularity;
+        // Same greedy rule, same schedule: small graphs must agree closely.
+        prop_assert!((q_cd - q_ivr).abs() < 0.05, "CD {q_cd} vs IVR {q_ivr}");
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight(g in arb_graph()) {
+        use graph_partition_avx512::core::louvain::coarsen::coarsen;
+        let n = g.num_vertices();
+        let zeta: Vec<u32> = (0..n as u32).map(|u| u % 3.min(n as u32 - 1).max(1)).collect();
+        let c = coarsen(&g, &zeta);
+        prop_assert!((c.graph.total_weight() - g.total_weight()).abs() < 1e-3);
+    }
+}
