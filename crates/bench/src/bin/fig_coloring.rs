@@ -6,7 +6,9 @@
 //! ~1.4 on SkylakeX, moderate for most graphs (coloring has limited
 //! vectorization opportunity — only color assignment vectorizes).
 
-use gp_bench::harness::{counts_coloring, print_header, study_archs_for_paper, time_coloring, BenchContext};
+use gp_bench::harness::{
+    counts_coloring, emit_traces, print_header, study_archs_for_paper, time_coloring, BenchContext,
+};
 use gp_graph::suite::{build_suite, SUITE};
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
 
@@ -31,6 +33,7 @@ fn main() {
         let t_vector = time_coloring(&g, true, &ctx);
         let (_, c_scalar) = counts_coloring(&g, false);
         let (_, c_vector) = counts_coloring(&g, true);
+        emit_traces(entry.name, &g);
         table.row(&[
             entry.name.to_string(),
             fmt_secs(t_scalar.mean),

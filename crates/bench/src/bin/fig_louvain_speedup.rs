@@ -6,7 +6,8 @@
 //! gains exceed SkylakeX gains because of scatter throughput.
 
 use gp_bench::harness::{
-    counts_louvain_move, print_header, study_archs_for_paper, time_louvain_move, BenchContext,
+    counts_louvain_move, emit_traces, print_header, study_archs_for_paper, time_louvain_move,
+    BenchContext,
 };
 use gp_core::louvain::Variant;
 use gp_core::reduce_scatter::Strategy;
@@ -38,6 +39,7 @@ fn main() {
         let c_mplm = counts_louvain_move(&g, Variant::Mplm);
         let c_onpl = counts_louvain_move(&g, onpl);
         let c_ovpl = counts_louvain_move(&g, Variant::Ovpl);
+        emit_traces(entry.name, &g);
         table.row(&[
             entry.name.to_string(),
             fmt_secs(t_mplm.mean),

@@ -5,7 +5,10 @@
 //! propagation vectorizes but exposes fewer follow-on instructions than the
 //! Louvain affinity/modularity sections, so gains trail ONPL Louvain.
 
-use gp_bench::harness::{counts_labelprop, print_header, study_archs_for_paper, time_labelprop, BenchContext};
+use gp_bench::harness::{
+    counts_labelprop, emit_traces, print_header, study_archs_for_paper, time_labelprop,
+    BenchContext,
+};
 use gp_graph::suite::build_suite;
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
 
@@ -29,6 +32,7 @@ fn main() {
         let t_vector = time_labelprop(&g, true, &ctx);
         let c_scalar = counts_labelprop(&g, false);
         let c_vector = counts_labelprop(&g, true);
+        emit_traces(entry.name, &g);
         table.row(&[
             entry.name.to_string(),
             fmt_secs(t_scalar.mean),

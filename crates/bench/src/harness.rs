@@ -9,12 +9,14 @@
 //!   second machine (DESIGN.md §2).
 
 use gp_core::coloring::{
-    color_graph_onpl, color_graph_scalar, ColoringConfig, ColoringResult,
+    color_graph_onpl, color_graph_onpl_recorded, color_graph_scalar,
+    color_graph_scalar_recorded, ColoringConfig, ColoringResult,
 };
 use gp_core::labelprop::{
-    label_propagation_mplp, label_propagation_onlp, LabelPropConfig,
+    label_propagation_mplp, label_propagation_onlp, label_propagation_onlp_recorded,
+    LabelPropConfig,
 };
-use gp_core::louvain::driver::run_move_phase_with;
+use gp_core::louvain::driver::{run_move_phase_with, run_move_phase_with_recorded};
 use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};
 use gp_core::louvain::{LouvainConfig, MoveState, Variant};
 use gp_graph::csr::Csr;
@@ -265,6 +267,73 @@ pub fn counts_labelprop(g: &Csr, vectorized: bool) -> OpCounts {
     } else {
         counters::counted_run(|| label_propagation_mplp(g, &config)).1
     }
+}
+
+// ------------------------------------------------------------- Tracing
+
+/// Directory named by `GP_TRACE`, created on demand. `None` when the
+/// variable is unset (the default: no per-round recording anywhere in the
+/// timed paths).
+pub fn trace_dir() -> Option<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(std::env::var("GP_TRACE").ok()?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("GP_TRACE: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    Some(dir)
+}
+
+/// When `GP_TRACE=<dir>` is set, re-runs the counted sequential kernels with
+/// a [`TraceRecorder`] attached and drops one JSON trace per kernel into the
+/// directory (`<prefix>-<kernel>.json`). Runs *outside* the timed loops so
+/// the figures' wall-clock numbers stay untouched; the counted `Emulated`
+/// backend makes the per-round op-class deltas non-zero.
+pub fn emit_traces(prefix: &str, g: &Csr) {
+    use gp_metrics::telemetry::TraceRecorder;
+    use gp_metrics::write_trace;
+    let Some(dir) = trace_dir() else { return };
+    let s: Counted<Emulated> = Counted::new(Emulated);
+    let emit = |kernel: &str, rec: TraceRecorder| {
+        let path = dir.join(format!("{prefix}-{kernel}.json"));
+        match write_trace(path.to_str().unwrap_or_default(), &rec.into_trace()) {
+            Ok(()) => eprintln!("trace: {}", path.display()),
+            Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+        }
+    };
+
+    let coloring_cfg = ColoringConfig::sequential().counted();
+    let mut rec = TraceRecorder::new("coloring-scalar");
+    counters::counted_run(|| color_graph_scalar_recorded(g, &coloring_cfg, &mut rec));
+    emit("coloring-scalar", rec);
+    let mut rec = TraceRecorder::new("coloring-onpl");
+    counters::counted_run(|| color_graph_onpl_recorded(&s, g, &coloring_cfg, &mut rec));
+    emit("coloring-onpl", rec);
+
+    for variant in [
+        Variant::Mplm,
+        Variant::Onpl(gp_core::reduce_scatter::Strategy::Adaptive),
+    ] {
+        let config = LouvainConfig {
+            count_ops: true,
+            ..LouvainConfig::sequential(variant)
+        };
+        let kernel = format!("louvain-{}", variant.name());
+        let mut rec = TraceRecorder::new(kernel.clone());
+        counters::counted_run(|| {
+            let state = MoveState::singleton(g);
+            run_move_phase_with_recorded(&s, g, &state, &config, &mut rec);
+        });
+        emit(&kernel, rec);
+    }
+
+    let lp_cfg = LabelPropConfig {
+        parallel: false,
+        count_ops: true,
+        ..Default::default()
+    };
+    let mut rec = TraceRecorder::new("labelprop-onlp");
+    counters::counted_run(|| label_propagation_onlp_recorded(&s, g, &lp_cfg, &mut rec));
+    emit("labelprop-onlp", rec);
 }
 
 /// Runs a kernel under the counting decorator regardless of backend — for

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
 use crate::io::{load, save, save_assignment};
-use gp_core::coloring::{color_graph, verify_coloring, ColoringConfig};
-use gp_core::labelprop::{label_propagation, LabelPropConfig};
-use gp_core::louvain::{louvain as run_louvain, LouvainConfig, Variant};
+use gp_core::coloring::{color_graph_recorded, verify_coloring, ColoringConfig};
+use gp_core::labelprop::{label_propagation_recorded, LabelPropConfig};
+use gp_core::louvain::{louvain_recorded, LouvainConfig, Variant};
 use gp_core::reduce_scatter::Strategy;
 use gp_graph::stats::graph_stats;
+use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
+use gp_metrics::write_trace;
 use gp_simd::engine::Engine;
 
 pub const USAGE: &str = "\
@@ -16,14 +18,16 @@ USAGE:
   gpart generate  <family> <out> [n] [seed]     families: rmat, mesh, road,
                                                 stencil, er, ba
   gpart convert   <in> <out>
-  gpart color     <graph> [--out file]
+  gpart color     <graph> [--out file] [--trace file]
   gpart louvain   <graph> [--variant plm|mplm|onpl|ovpl] [--out file]
-  gpart labelprop <graph> [--out file]
+                          [--trace file]
+  gpart labelprop <graph> [--out file] [--trace file]
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
 
 Graph formats by extension: .el/.txt/.edges (edge list),
 .graph/.metis (METIS), .mtx/.mm (Matrix Market).
+--trace records per-round telemetry (JSON, or CSV for a .csv path).
 ";
 
 /// Extracts `--flag value` from an argument list, returning the remainder.
@@ -113,10 +117,27 @@ pub fn convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a recorded trace to `path` (JSON, or CSV when the path ends in
+/// `.csv`) and reports where it went.
+fn emit_trace(rec: TraceRecorder, path: &str) -> Result<(), String> {
+    write_trace(path, &rec.into_trace()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("trace written to {path}");
+    Ok(())
+}
+
 pub fn color(args: &[String]) -> Result<(), String> {
     let (out, rest) = take_flag(args, "--out");
+    let (trace, rest) = take_flag(&rest, "--trace");
     let g = load(positional(&rest, 0, "graph")?)?;
-    let r = color_graph(&g, &ColoringConfig::default());
+    let config = ColoringConfig::default();
+    let r = if let Some(path) = &trace {
+        let mut rec = TraceRecorder::new("coloring");
+        let r = color_graph_recorded(&g, &config, &mut rec);
+        emit_trace(rec, path)?;
+        r
+    } else {
+        color_graph_recorded(&g, &config, &mut NoopRecorder)
+    };
     verify_coloring(&g, &r.colors).map_err(|e| format!("internal error: {e}"))?;
     println!(
         "{} colors in {} rounds (backend: {})",
@@ -134,6 +155,7 @@ pub fn color(args: &[String]) -> Result<(), String> {
 pub fn louvain(args: &[String]) -> Result<(), String> {
     let (variant, rest) = take_flag(args, "--variant");
     let (out, rest) = take_flag(&rest, "--out");
+    let (trace, rest) = take_flag(&rest, "--trace");
     let g = load(positional(&rest, 0, "graph")?)?;
     let variant = match variant.as_deref().unwrap_or("mplm") {
         "plm" => Variant::Plm,
@@ -146,7 +168,14 @@ pub fn louvain(args: &[String]) -> Result<(), String> {
         variant,
         ..Default::default()
     };
-    let r = run_louvain(&g, &config);
+    let r = if let Some(path) = &trace {
+        let mut rec = TraceRecorder::new(format!("louvain-{}", variant.name()));
+        let r = louvain_recorded(&g, &config, &mut rec);
+        emit_trace(rec, path)?;
+        r
+    } else {
+        louvain_recorded(&g, &config, &mut NoopRecorder)
+    };
     let communities = gp_core::louvain::modularity::count_communities(&r.communities);
     println!(
         "{} communities, modularity {:.4}, {} levels ({}, backend: {})",
@@ -225,8 +254,17 @@ pub fn slpa(args: &[String]) -> Result<(), String> {
 
 pub fn labelprop(args: &[String]) -> Result<(), String> {
     let (out, rest) = take_flag(args, "--out");
+    let (trace, rest) = take_flag(&rest, "--trace");
     let g = load(positional(&rest, 0, "graph")?)?;
-    let r = label_propagation(&g, &LabelPropConfig::default());
+    let config = LabelPropConfig::default();
+    let r = if let Some(path) = &trace {
+        let mut rec = TraceRecorder::new("labelprop");
+        let r = label_propagation_recorded(&g, &config, &mut rec);
+        emit_trace(rec, path)?;
+        r
+    } else {
+        label_propagation_recorded(&g, &config, &mut NoopRecorder)
+    };
     let communities = gp_core::louvain::modularity::count_communities(&r.labels);
     println!(
         "{} communities after {} sweeps (backend: {})",
@@ -291,6 +329,30 @@ mod tests {
         louvain(&args(&[&path_s, "--variant", "onpl"])).unwrap();
         labelprop(&args(&[&path_s])).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_flag_writes_per_round_telemetry() {
+        let dir = std::env::temp_dir();
+        let graph = dir.join(format!("gpcli_trace_{}.mtx", std::process::id()));
+        let json = dir.join(format!("gpcli_trace_{}.json", std::process::id()));
+        let csv = dir.join(format!("gpcli_trace_{}.csv", std::process::id()));
+        let graph_s = graph.to_str().unwrap().to_string();
+        let json_s = json.to_str().unwrap().to_string();
+        let csv_s = csv.to_str().unwrap().to_string();
+        generate(&args(&["mesh", &graph_s, "400", "3"])).unwrap();
+        color(&args(&[&graph_s, "--trace", &json_s])).unwrap();
+        louvain(&args(&[&graph_s, "--trace", &csv_s])).unwrap();
+        labelprop(&args(&[&graph_s, "--trace", &json_s])).unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"kernel\": \"labelprop\""), "{body}");
+        assert!(body.contains("\"round\""), "{body}");
+        let header = std::fs::read_to_string(&csv).unwrap();
+        assert!(header.starts_with("round,level,secs,"), "{header}");
+        assert!(header.lines().count() > 1, "{header}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&csv).ok();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use super::{ColoringConfig, ColoringResult};
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::counters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -124,37 +125,62 @@ pub(crate) fn detect_conflicts(
 /// Runs the full iterative speculative coloring with the scalar assignment
 /// kernel (Algorithm 1).
 pub fn color_graph_scalar(g: &Csr, config: &ColoringConfig) -> ColoringResult {
-    run_iterative(g, config, |g, colors, conf, config| {
-        assign_colors_scalar(g, colors, conf, config)
-    })
+    color_graph_scalar_recorded(g, config, &mut NoopRecorder)
+}
+
+/// [`color_graph_scalar`] with per-round telemetry.
+pub fn color_graph_scalar_recorded<R: Recorder>(
+    g: &Csr,
+    config: &ColoringConfig,
+    rec: &mut R,
+) -> ColoringResult {
+    run_iterative(g, config, assign_colors_scalar, rec, "scalar")
 }
 
 /// Shared Algorithm-1 skeleton: used by the scalar and the ONPL assignment
 /// kernels so both variants measure identical control flow.
-pub(crate) fn run_iterative(
+pub(crate) fn run_iterative<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,
     assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
+    rec: &mut R,
+    backend: &'static str,
 ) -> ColoringResult {
-    run_iterative_with_detect(g, config, assign, detect_conflicts)
+    run_iterative_with_detect(g, config, assign, detect_conflicts, rec, backend)
 }
 
 /// Algorithm-1 skeleton with a pluggable `DetectConflicts` kernel (the
 /// vectorized variant lives in [`super::onpl`]).
-pub(crate) fn run_iterative_with_detect(
+///
+/// Per-round telemetry: `active` is the conflict-set size entering the
+/// round (every one of those vertices is re-colored, so `moves == active`),
+/// `conflicts` is the number of vertices `DetectConflicts` re-queues.
+pub(crate) fn run_iterative_with_detect<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,
     mut assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
     mut detect: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig) -> Vec<u32>,
+    rec: &mut R,
+    backend: &'static str,
 ) -> ColoringResult {
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let mut conf: Vec<u32> = (0..n as u32).collect();
     let mut rounds = 0;
     while !conf.is_empty() && rounds < config.max_rounds {
         rounds += 1;
+        let probe = RoundProbe::begin::<R>();
+        let active = conf.len() as u64;
         assign(g, &colors, &conf, config);
         conf = detect(g, &colors, &conf, config);
+        probe.finish(
+            rec,
+            RoundStats::new(rounds - 1)
+                .active(active)
+                .moves(active)
+                .conflicts(conf.len() as u64),
+        );
     }
     assert!(
         conf.is_empty(),
@@ -167,6 +193,7 @@ pub(crate) fn run_iterative_with_detect(
         colors,
         rounds,
         num_colors,
+        info: RunInfo::new(backend, rounds, true, timer.elapsed_secs()),
     }
 }
 

@@ -11,11 +11,12 @@ pub mod greedy;
 pub mod onpl;
 pub mod verify;
 
-pub use greedy::{assign_colors_scalar, color_graph_scalar};
-pub use onpl::{assign_colors_onpl, color_graph_onpl};
+pub use greedy::{assign_colors_scalar, color_graph_scalar, color_graph_scalar_recorded};
+pub use onpl::{assign_colors_onpl, color_graph_onpl, color_graph_onpl_recorded};
 pub use verify::{count_colors, verify_coloring};
 
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{Recorder, RunInfo};
 use gp_simd::engine::Engine;
 
 /// Configuration shared by all coloring variants.
@@ -65,7 +66,7 @@ impl ColoringConfig {
 }
 
 /// Result of a coloring run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ColoringResult {
     /// 1-based colors per vertex (0 never appears after completion).
     pub colors: Vec<u32>,
@@ -73,6 +74,17 @@ pub struct ColoringResult {
     pub rounds: usize,
     /// Number of distinct colors used.
     pub num_colors: u32,
+    /// Uniform run envelope (backend, rounds, convergence, wall time,
+    /// optional trace). Excluded from equality.
+    pub info: RunInfo,
+}
+
+impl PartialEq for ColoringResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.colors == other.colors
+            && self.rounds == other.rounds
+            && self.num_colors == other.num_colors
+    }
 }
 
 /// Colors a graph with the best available backend: ONPL-vectorized
@@ -91,5 +103,17 @@ pub fn color_graph(g: &Csr, config: &ColoringConfig) -> ColoringResult {
     match Engine::best() {
         Engine::Native(s) => color_graph_onpl(&s, g, config),
         Engine::Emulated(_) => color_graph_scalar(g, config),
+    }
+}
+
+/// [`color_graph`] with per-round telemetry delivered to `rec`.
+pub fn color_graph_recorded<R: Recorder>(
+    g: &Csr,
+    config: &ColoringConfig,
+    rec: &mut R,
+) -> ColoringResult {
+    match Engine::best() {
+        Engine::Native(s) => color_graph_onpl_recorded(&s, g, config, rec),
+        Engine::Emulated(_) => color_graph_scalar_recorded(g, config, rec),
     }
 }

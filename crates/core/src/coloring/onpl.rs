@@ -12,6 +12,7 @@
 use super::greedy::{run_iterative, run_iterative_with_detect};
 use super::{ColoringConfig, ColoringResult};
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 use rayon::prelude::*;
@@ -181,17 +182,33 @@ pub fn detect_conflicts_onpl<S: Simd + Sync>(
 /// Conflict detection follows `config.vectorized_conflicts`: scalar (the
 /// paper's measured configuration) or the vectorized extension.
 pub fn color_graph_onpl<S: Simd + Sync>(s: &S, g: &Csr, config: &ColoringConfig) -> ColoringResult {
+    color_graph_onpl_recorded(s, g, config, &mut NoopRecorder)
+}
+
+/// [`color_graph_onpl`] with per-round telemetry.
+pub fn color_graph_onpl_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    g: &Csr,
+    config: &ColoringConfig,
+    rec: &mut R,
+) -> ColoringResult {
     if config.vectorized_conflicts {
         run_iterative_with_detect(
             g,
             config,
             |g, colors, conf, config| assign_colors_onpl(s, g, colors, conf, config),
             |g, colors, conf, config| detect_conflicts_onpl(s, g, colors, conf, config),
+            rec,
+            S::NAME,
         )
     } else {
-        run_iterative(g, config, |g, colors, conf, config| {
-            assign_colors_onpl(s, g, colors, conf, config)
-        })
+        run_iterative(
+            g,
+            config,
+            |g, colors, conf, config| assign_colors_onpl(s, g, colors, conf, config),
+            rec,
+            S::NAME,
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::coloring::onpl::as_i32;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 
@@ -54,15 +55,25 @@ pub fn spmv_vector<S: Simd>(s: &S, g: &Csr, x: &[f32], y: &mut [f32]) {
 }
 
 /// Result of a BFS: level per vertex (`u32::MAX` = unreached).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BfsResult {
     pub levels: Vec<u32>,
     /// Vertices per level (the frontier sizes).
     pub frontier_sizes: Vec<usize>,
+    /// Uniform run envelope (backend, depth, completion, wall time).
+    /// Excluded from equality.
+    pub info: RunInfo,
+}
+
+impl PartialEq for BfsResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.levels == other.levels && self.frontier_sizes == other.frontier_sizes
+    }
 }
 
 /// Scalar level-synchronous BFS from `source`.
 pub fn bfs_scalar(g: &Csr, source: u32) -> BfsResult {
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     let mut levels = vec![u32::MAX; n];
     let mut frontier = vec![source];
@@ -70,6 +81,7 @@ pub fn bfs_scalar(g: &Csr, source: u32) -> BfsResult {
     let mut result = BfsResult {
         levels: Vec::new(),
         frontier_sizes: Vec::new(),
+        info: RunInfo::default(),
     };
     let mut depth = 0u32;
     while !frontier.is_empty() {
@@ -87,6 +99,12 @@ pub fn bfs_scalar(g: &Csr, source: u32) -> BfsResult {
         depth += 1;
     }
     result.levels = levels;
+    result.info = RunInfo::new(
+        "scalar",
+        result.frontier_sizes.len(),
+        true,
+        timer.elapsed_secs(),
+    );
     result
 }
 
@@ -95,6 +113,7 @@ pub fn bfs_scalar(g: &Csr, source: u32) -> BfsResult {
 /// *compress* them into the next frontier — gather + compress + one scatter
 /// of constants (no read-modify-write, hence no reduce-scatter needed).
 pub fn bfs_vector<S: Simd>(s: &S, g: &Csr, source: u32) -> BfsResult {
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     // Levels as i32 with -1 = unreached, for direct vector compares.
     let mut levels = vec![-1i32; n];
@@ -103,6 +122,7 @@ pub fn bfs_vector<S: Simd>(s: &S, g: &Csr, source: u32) -> BfsResult {
     let mut result = BfsResult {
         levels: Vec::new(),
         frontier_sizes: Vec::new(),
+        info: RunInfo::default(),
     };
     let unreached = s.splat_i32(-1);
     let mut depth = 0i32;
@@ -144,6 +164,12 @@ pub fn bfs_vector<S: Simd>(s: &S, g: &Csr, source: u32) -> BfsResult {
         depth += 1;
     }
     result.levels = levels.into_iter().map(|l| l as u32).collect();
+    result.info = RunInfo::new(
+        S::NAME,
+        result.frontier_sizes.len(),
+        true,
+        timer.elapsed_secs(),
+    );
     result
 }
 

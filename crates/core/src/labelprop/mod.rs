@@ -12,10 +12,11 @@
 pub mod mplp;
 pub mod onlp;
 
-pub use mplp::label_propagation_mplp;
-pub use onlp::label_propagation_onlp;
+pub use mplp::{label_propagation_mplp, label_propagation_mplp_recorded};
+pub use onlp::{label_propagation_onlp, label_propagation_onlp_recorded};
 
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{Recorder, RunInfo};
 use gp_simd::engine::Engine;
 
 /// Label propagation configuration.
@@ -78,7 +79,7 @@ impl LabelPropConfig {
 }
 
 /// Outcome of a label-propagation run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LabelPropResult {
     /// Final label (community) per vertex.
     pub labels: Vec<u32>,
@@ -86,6 +87,17 @@ pub struct LabelPropResult {
     pub iterations: usize,
     /// Vertices updated per sweep.
     pub updates: Vec<u64>,
+    /// Uniform run envelope (backend, sweeps, convergence, wall time,
+    /// optional trace). Excluded from equality.
+    pub info: RunInfo,
+}
+
+impl PartialEq for LabelPropResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels
+            && self.iterations == other.iterations
+            && self.updates == other.updates
+    }
 }
 
 /// Runs label propagation with the best available backend (ONLP on AVX-512
@@ -102,5 +114,17 @@ pub fn label_propagation(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
     match Engine::best() {
         Engine::Native(s) => label_propagation_onlp(&s, g, config),
         Engine::Emulated(_) => label_propagation_mplp(g, config),
+    }
+}
+
+/// [`label_propagation`] with per-sweep telemetry delivered to `rec`.
+pub fn label_propagation_recorded<R: Recorder>(
+    g: &Csr,
+    config: &LabelPropConfig,
+    rec: &mut R,
+) -> LabelPropResult {
+    match Engine::best() {
+        Engine::Native(s) => label_propagation_onlp_recorded(&s, g, config, rec),
+        Engine::Emulated(_) => label_propagation_mplp_recorded(g, config, rec),
     }
 }

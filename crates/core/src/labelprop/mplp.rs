@@ -8,9 +8,20 @@
 use super::{sweep_order, LabelPropConfig, LabelPropResult};
 use crate::louvain::mplm::AffinityBuf;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::counters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Frontier size entering a sweep — only evaluated when recording (it is an
+/// O(n) scan over the active flags).
+#[inline]
+pub(crate) fn frontier_size(active: &[AtomicBool]) -> u64 {
+    active
+        .iter()
+        .filter(|a| a.load(Ordering::Relaxed))
+        .count() as u64
+}
 
 /// Picks the heaviest neighborhood label for `u`. Ties prefer the current
 /// label (stops flip-flopping between symmetric neighborhoods), then the
@@ -54,18 +65,32 @@ pub(crate) fn best_label_scalar(
 
 /// Runs MPLP label propagation.
 pub fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
+    label_propagation_mplp_recorded(g, config, &mut NoopRecorder)
+}
+
+/// [`label_propagation_mplp`] with per-sweep telemetry delivered to `rec`.
+pub fn label_propagation_mplp_recorded<R: Recorder>(
+    g: &Csr,
+    config: &LabelPropConfig,
+    rec: &mut R,
+) -> LabelPropResult {
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
     let theta = config.theta_for(n);
+    let mut converged = false;
     let mut result = LabelPropResult {
         labels: Vec::new(),
         iterations: 0,
         updates: Vec::new(),
+        info: RunInfo::default(),
     };
 
     for iteration in 0..config.max_iterations {
+        let frontier = if R::ENABLED { frontier_size(&active) } else { 0 };
         let order = sweep_order(n, config.seed, iteration);
+        let probe = RoundProbe::begin::<R>();
         let updated = AtomicU64::new(0);
         let process = |buf: &mut AffinityBuf, u: u32| {
             if !active[u as usize].swap(false, Ordering::Relaxed) {
@@ -109,11 +134,17 @@ pub fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropRes
         result.iterations += 1;
         let ups = updated.into_inner();
         result.updates.push(ups);
+        probe.finish(
+            rec,
+            RoundStats::new(iteration).active(frontier).moves(ups),
+        );
         if ups <= theta {
+            converged = true;
             break;
         }
     }
     result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
+    result.info = RunInfo::new("scalar", result.iterations, converged, timer.elapsed_secs());
     result
 }
 

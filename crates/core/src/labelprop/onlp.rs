@@ -7,12 +7,14 @@
 //! reduce-scatter as ONPL Louvain; the heaviest-label search is a vectorized
 //! max-scan over the touched labels.
 
+use super::mplp::frontier_size;
 use super::{sweep_order, LabelPropConfig, LabelPropResult};
 use crate::coloring::onpl::as_i32;
 use crate::louvain::mplm::AffinityBuf;
 use crate::reduce_scatter::Strategy;
 use crate::vector_affinity::accumulate;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 use rayon::prelude::*;
@@ -90,18 +92,33 @@ pub fn label_propagation_onlp<S: Simd + Sync>(
     g: &Csr,
     config: &LabelPropConfig,
 ) -> LabelPropResult {
+    label_propagation_onlp_recorded(s, g, config, &mut NoopRecorder)
+}
+
+/// [`label_propagation_onlp`] with per-sweep telemetry delivered to `rec`.
+pub fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    g: &Csr,
+    config: &LabelPropConfig,
+    rec: &mut R,
+) -> LabelPropResult {
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
     let theta = config.theta_for(n);
+    let mut converged = false;
     let mut result = LabelPropResult {
         labels: Vec::new(),
         iterations: 0,
         updates: Vec::new(),
+        info: RunInfo::default(),
     };
 
     for iteration in 0..config.max_iterations {
+        let frontier = if R::ENABLED { frontier_size(&active) } else { 0 };
         let order = sweep_order(n, config.seed, iteration);
+        let probe = RoundProbe::begin::<R>();
         let updated = AtomicU64::new(0);
         let process = |buf: &mut AffinityBuf, u: u32| {
             if !active[u as usize].swap(false, Ordering::Relaxed) {
@@ -132,11 +149,17 @@ pub fn label_propagation_onlp<S: Simd + Sync>(
         result.iterations += 1;
         let ups = updated.into_inner();
         result.updates.push(ups);
+        probe.finish(
+            rec,
+            RoundStats::new(iteration).active(frontier).moves(ups),
+        );
         if ups <= theta {
+            converged = true;
             break;
         }
     }
     result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
+    result.info = RunInfo::new(S::NAME, result.iterations, converged, timer.elapsed_secs());
     result
 }
 

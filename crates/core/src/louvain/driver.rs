@@ -4,12 +4,13 @@
 
 use super::coarsen::{coarsen, project};
 use super::modularity::modularity;
-use super::mplm::move_phase_mplm;
-use super::onpl::move_phase_onpl;
-use super::ovpl::{move_phase_ovpl, prepare};
-use super::plm::move_phase_plm;
+use super::mplm::move_phase_mplm_recorded;
+use super::onpl::move_phase_onpl_recorded;
+use super::ovpl::{move_phase_ovpl_recorded, prepare};
+use super::plm::move_phase_plm_recorded;
 use super::{LouvainConfig, MovePhaseStats, MoveState, Variant};
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder, RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::engine::Engine;
 
@@ -24,24 +25,54 @@ pub struct LouvainResult {
     pub levels: usize,
     /// Per-level move statistics.
     pub level_stats: Vec<MovePhaseStats>,
+    /// Uniform run envelope (backend, levels, convergence, wall time,
+    /// optional trace).
+    pub info: RunInfo,
+}
+
+/// `S::NAME` of a backend value (helps `match Engine::best()` name its arm).
+fn name_of<S: Simd>(_: &S) -> &'static str {
+    S::NAME
+}
+
+/// Backend the configured variant will actually run on: the scalar variants
+/// never touch the SIMD engine; the vector variants use [`Engine::best`].
+fn dispatch_backend(config: &LouvainConfig) -> &'static str {
+    match config.variant {
+        Variant::Plm | Variant::Mplm => "scalar",
+        Variant::Onpl(_) | Variant::Ovpl => match Engine::best() {
+            Engine::Native(s) => name_of(&s),
+            Engine::Emulated(s) => name_of(&s),
+        },
+    }
 }
 
 /// Runs one move phase of the configured variant on `g`, dispatching to the
 /// best available SIMD backend for the vector variants. Returns the
 /// state-modifying statistics; `state` holds the assignment.
 pub fn run_move_phase(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
+    run_move_phase_recorded(g, state, config, &mut NoopRecorder)
+}
+
+/// [`run_move_phase`] with per-sweep telemetry delivered to `rec`.
+pub fn run_move_phase_recorded<R: Recorder>(
+    g: &Csr,
+    state: &MoveState,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     match config.variant {
-        Variant::Plm => move_phase_plm(g, state, config),
-        Variant::Mplm => move_phase_mplm(g, state, config),
+        Variant::Plm => move_phase_plm_recorded(g, state, config, rec),
+        Variant::Mplm => move_phase_mplm_recorded(g, state, config, rec),
         Variant::Onpl(strategy) => match Engine::best() {
-            Engine::Native(s) => move_phase_onpl(&s, g, state, strategy, config),
-            Engine::Emulated(s) => move_phase_onpl(&s, g, state, strategy, config),
+            Engine::Native(s) => move_phase_onpl_recorded(&s, g, state, strategy, config, rec),
+            Engine::Emulated(s) => move_phase_onpl_recorded(&s, g, state, strategy, config, rec),
         },
         Variant::Ovpl => {
             let layout = prepare(g, config);
             match Engine::best() {
-                Engine::Native(s) => move_phase_ovpl(&s, &layout, state, config),
-                Engine::Emulated(s) => move_phase_ovpl(&s, &layout, state, config),
+                Engine::Native(s) => move_phase_ovpl_recorded(&s, &layout, state, config, rec),
+                Engine::Emulated(s) => move_phase_ovpl_recorded(&s, &layout, state, config, rec),
             }
         }
     }
@@ -55,13 +86,24 @@ pub fn run_move_phase_with<S: Simd + Sync>(
     state: &MoveState,
     config: &LouvainConfig,
 ) -> MovePhaseStats {
+    run_move_phase_with_recorded(s, g, state, config, &mut NoopRecorder)
+}
+
+/// [`run_move_phase_with`] with per-sweep telemetry delivered to `rec`.
+pub fn run_move_phase_with_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    g: &Csr,
+    state: &MoveState,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     match config.variant {
-        Variant::Plm => move_phase_plm(g, state, config),
-        Variant::Mplm => move_phase_mplm(g, state, config),
-        Variant::Onpl(strategy) => move_phase_onpl(s, g, state, strategy, config),
+        Variant::Plm => move_phase_plm_recorded(g, state, config, rec),
+        Variant::Mplm => move_phase_mplm_recorded(g, state, config, rec),
+        Variant::Onpl(strategy) => move_phase_onpl_recorded(s, g, state, strategy, config, rec),
         Variant::Ovpl => {
             let layout = prepare(g, config);
-            move_phase_ovpl(s, &layout, state, config)
+            move_phase_ovpl_recorded(s, &layout, state, config, rec)
         }
     }
 }
@@ -79,18 +121,31 @@ pub fn run_move_phase_with<S: Simd + Sync>(
 /// assert!(r.modularity > 0.4);
 /// ```
 pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
+    louvain_recorded(g, config, &mut NoopRecorder)
+}
+
+/// [`louvain`] with per-sweep telemetry delivered to `rec`; sweeps are
+/// stamped with the coarsening level via [`Recorder::set_level`].
+pub fn louvain_recorded<R: Recorder>(
+    g: &Csr,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> LouvainResult {
+    let timer = RunTimer::start();
     let mut result = LouvainResult {
         communities: (0..g.num_vertices() as u32).collect(),
         modularity: 0.0,
         levels: 0,
         level_stats: Vec::new(),
+        info: RunInfo::default(),
     };
 
     let mut level_graph = g.clone();
     let mut assignments: Vec<(Vec<u32>, Vec<u32>)> = Vec::new(); // (zeta, fine_to_coarse)
     loop {
+        rec.set_level(result.levels);
         let state = MoveState::singleton(&level_graph);
-        let stats = run_move_phase(&level_graph, &state, config);
+        let stats = run_move_phase_recorded(&level_graph, &state, config, rec);
         result.levels += 1;
         result.level_stats.push(stats);
         let zeta = state.communities();
@@ -116,6 +171,13 @@ pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
     }
     result.communities = communities;
     result.modularity = modularity(g, &result.communities);
+    let converged = result.level_stats.iter().all(|s| s.converged);
+    result.info = RunInfo::new(
+        dispatch_backend(config),
+        result.levels,
+        converged,
+        timer.elapsed_secs(),
+    );
     result
 }
 

@@ -19,11 +19,12 @@ pub mod onpl;
 pub mod ovpl;
 pub mod plm;
 
-pub use driver::{louvain, LouvainResult};
+pub use driver::{louvain, louvain_recorded, LouvainResult};
 pub use modularity::modularity;
 
 use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Which Louvain implementation to run.
@@ -113,6 +114,46 @@ pub struct MovePhaseStats {
     pub iterations: usize,
     /// Total vertex moves applied.
     pub moves: u64,
+    /// Whether a sweep applied zero moves before the iteration cap (as
+    /// opposed to being cut off by `max_move_iterations`).
+    pub converged: bool,
+}
+
+/// Shared sweep loop of every move-phase variant: run `sweep` until a sweep
+/// applies zero moves or `max_move_iterations` is hit, delivering one
+/// [`RoundStats`] per sweep to `rec`.
+///
+/// `active` is the number of vertices scanned per sweep; `quality` is
+/// evaluated around each sweep to fill `quality_delta` — it is only called
+/// when `R::ENABLED` (it costs an O(m) modularity pass), so uninstrumented
+/// runs execute the exact pre-telemetry loop.
+pub(crate) fn run_sweeps<R: Recorder>(
+    config: &LouvainConfig,
+    active: u64,
+    rec: &mut R,
+    quality: impl Fn() -> f64,
+    mut sweep: impl FnMut() -> u64,
+) -> MovePhaseStats {
+    let mut stats = MovePhaseStats::default();
+    let mut q_prev = if R::ENABLED { quality() } else { 0.0 };
+    for round in 0..config.max_move_iterations {
+        let probe = RoundProbe::begin::<R>();
+        let m = sweep();
+        stats.iterations += 1;
+        stats.moves += m;
+        let mut rs = RoundStats::new(round).active(active).moves(m);
+        if R::ENABLED {
+            let q = quality();
+            rs = rs.quality_delta(q - q_prev);
+            q_prev = q;
+        }
+        probe.finish(rec, rs);
+        if m == 0 {
+            stats.converged = true;
+            break;
+        }
+    }
+    stats
 }
 
 /// An `f32` with atomic update support, used for community volumes that

@@ -7,8 +7,10 @@
 //! reuse the same buffer for the computation rather than deallocating and
 //! reallocating memory over and over".
 
+use super::modularity::modularity;
 use super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::counters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,56 +111,65 @@ pub(crate) fn best_move_scalar(
 /// One full move phase (Algorithm 4) with the MPLM kernel. Mutates `state`
 /// and returns sweep statistics.
 pub fn move_phase_mplm(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
+    move_phase_mplm_recorded(g, state, config, &mut NoopRecorder)
+}
+
+/// [`move_phase_mplm`] with per-sweep telemetry delivered to `rec`.
+pub fn move_phase_mplm_recorded<R: Recorder>(
+    g: &Csr,
+    state: &MoveState,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     let n = g.num_vertices();
     let inv_m = (1.0 / state.total_weight) as f32;
     let inv_2m2 = (1.0 / (2.0 * state.total_weight * state.total_weight)) as f32;
-    let mut stats = MovePhaseStats::default();
 
-    for _ in 0..config.max_move_iterations {
-        let moved = AtomicU64::new(0);
-        if config.parallel {
-            (0..n as u32).into_par_iter().for_each_init(
-                || AffinityBuf::new(n),
-                |buf, u| {
+    super::run_sweeps(
+        config,
+        n as u64,
+        rec,
+        || modularity(g, &state.communities()),
+        || {
+            let moved = AtomicU64::new(0);
+            if config.parallel {
+                (0..n as u32).into_par_iter().for_each_init(
+                    || AffinityBuf::new(n),
+                    |buf, u| {
+                        if let Some((c, d)) =
+                            best_move_scalar(g, state, u, buf, inv_m, inv_2m2, config.count_ops)
+                        {
+                            state.apply_move(u, c, d);
+                            moved.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                );
+            } else {
+                let mut buf = AffinityBuf::new(n);
+                for u in 0..n as u32 {
                     if let Some((c, d)) =
-                        best_move_scalar(g, state, u, buf, inv_m, inv_2m2, config.count_ops)
+                        best_move_scalar(g, state, u, &mut buf, inv_m, inv_2m2, config.count_ops)
                     {
                         state.apply_move(u, c, d);
                         moved.fetch_add(1, Ordering::Relaxed);
                     }
-                },
-            );
-        } else {
-            let mut buf = AffinityBuf::new(n);
-            for u in 0..n as u32 {
-                if let Some((c, d)) =
-                    best_move_scalar(g, state, u, &mut buf, inv_m, inv_2m2, config.count_ops)
-                {
-                    state.apply_move(u, c, d);
-                    moved.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        }
-        if config.count_ops {
-            // Affinity pass per arc: adj + weight stream loads, random zeta
-            // and affinity loads, affinity store, first-touch branch, add.
-            // (Selection is counted per vertex in `best_move_scalar`, on the
-            // deduplicated touched list.)
-            let arcs = g.num_arcs() as u64;
-            counters::record(counters::OpClass::ScalarLoad, 2 * arcs);
-            counters::record(counters::OpClass::ScalarRandLoad, 2 * arcs);
-            counters::record(counters::OpClass::ScalarStore, arcs);
-            counters::record(counters::OpClass::ScalarAlu, 2 * arcs);
-            counters::record(counters::OpClass::ScalarBranch, 2 * arcs);
-        }
-        stats.iterations += 1;
-        let m = moved.into_inner();
-        stats.moves += m;
-        if m == 0 {
-            break;
-        }
-    }
-    stats
+            if config.count_ops {
+                // Affinity pass per arc: adj + weight stream loads, random zeta
+                // and affinity loads, affinity store, first-touch branch, add.
+                // (Selection is counted per vertex in `best_move_scalar`, on the
+                // deduplicated touched list.)
+                let arcs = g.num_arcs() as u64;
+                counters::record(counters::OpClass::ScalarLoad, 2 * arcs);
+                counters::record(counters::OpClass::ScalarRandLoad, 2 * arcs);
+                counters::record(counters::OpClass::ScalarStore, arcs);
+                counters::record(counters::OpClass::ScalarAlu, 2 * arcs);
+                counters::record(counters::OpClass::ScalarBranch, 2 * arcs);
+            }
+            moved.into_inner()
+        },
+    )
 }
 
 #[cfg(test)]

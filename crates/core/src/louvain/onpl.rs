@@ -12,12 +12,14 @@
 //!    blends ("they enable the rest of the affinity and modularity
 //!    calculation to be vectorized").
 
+use super::modularity::modularity;
 use super::mplm::AffinityBuf;
 use super::{AtomicF32, LouvainConfig, MovePhaseStats, MoveState};
 use crate::coloring::onpl::as_i32;
 use crate::reduce_scatter::Strategy;
 use crate::vector_affinity::accumulate;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 use rayon::prelude::*;
@@ -170,44 +172,55 @@ pub fn move_phase_onpl<S: Simd + Sync>(
     strategy: Strategy,
     config: &LouvainConfig,
 ) -> MovePhaseStats {
+    move_phase_onpl_recorded(s, g, state, strategy, config, &mut NoopRecorder)
+}
+
+/// [`move_phase_onpl`] with per-sweep telemetry delivered to `rec`.
+pub fn move_phase_onpl_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    g: &Csr,
+    state: &MoveState,
+    strategy: Strategy,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     let n = g.num_vertices();
     let inv_m = (1.0 / state.total_weight) as f32;
     let inv_2m2 = (1.0 / (2.0 * state.total_weight * state.total_weight)) as f32;
-    let mut stats = MovePhaseStats::default();
 
-    for _ in 0..config.max_move_iterations {
-        let moved = AtomicU64::new(0);
-        if config.parallel {
-            (0..n as u32).into_par_iter().for_each_init(
-                || AffinityBuf::new(n),
-                |buf, u| {
+    super::run_sweeps(
+        config,
+        n as u64,
+        rec,
+        || modularity(g, &state.communities()),
+        || {
+            let moved = AtomicU64::new(0);
+            if config.parallel {
+                (0..n as u32).into_par_iter().for_each_init(
+                    || AffinityBuf::new(n),
+                    |buf, u| {
+                        if let Some((c, d)) =
+                            best_move_onpl(s, g, state, u, strategy, buf, inv_m, inv_2m2)
+                        {
+                            state.apply_move(u, c, d);
+                            moved.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                );
+            } else {
+                let mut buf = AffinityBuf::new(n);
+                for u in 0..n as u32 {
                     if let Some((c, d)) =
-                        best_move_onpl(s, g, state, u, strategy, buf, inv_m, inv_2m2)
+                        best_move_onpl(s, g, state, u, strategy, &mut buf, inv_m, inv_2m2)
                     {
                         state.apply_move(u, c, d);
                         moved.fetch_add(1, Ordering::Relaxed);
                     }
-                },
-            );
-        } else {
-            let mut buf = AffinityBuf::new(n);
-            for u in 0..n as u32 {
-                if let Some((c, d)) =
-                    best_move_onpl(s, g, state, u, strategy, &mut buf, inv_m, inv_2m2)
-                {
-                    state.apply_move(u, c, d);
-                    moved.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        }
-        stats.iterations += 1;
-        let m = moved.into_inner();
-        stats.moves += m;
-        if m == 0 {
-            break;
-        }
-    }
-    stats
+            moved.into_inner()
+        },
+    )
 }
 
 #[cfg(test)]

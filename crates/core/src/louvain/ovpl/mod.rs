@@ -15,7 +15,7 @@ pub mod move_phase;
 pub mod preprocess;
 
 pub use blocks::{Block, OvplLayout, SENTINEL};
-pub use move_phase::move_phase_ovpl;
+pub use move_phase::{move_phase_ovpl, move_phase_ovpl_recorded};
 pub use preprocess::build_layout;
 
 use super::LouvainConfig;

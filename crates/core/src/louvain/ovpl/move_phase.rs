@@ -15,6 +15,7 @@
 
 use super::blocks::{Block, OvplLayout, SENTINEL};
 use super::super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::{Mask16, LANES};
 use rayon::prelude::*;
@@ -169,36 +170,50 @@ pub fn move_phase_ovpl<S: Simd + Sync>(
     state: &MoveState,
     config: &LouvainConfig,
 ) -> MovePhaseStats {
+    move_phase_ovpl_recorded(s, layout, state, config, &mut NoopRecorder)
+}
+
+/// [`move_phase_ovpl`] with per-sweep telemetry delivered to `rec`.
+///
+/// OVPL works off the preprocessed layout rather than the CSR graph, so
+/// `quality_delta` is not computed here (it stays zero); the multilevel
+/// driver still reports per-level modularity.
+pub fn move_phase_ovpl_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    layout: &OvplLayout,
+    state: &MoveState,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     let n = state.len();
     let inv_m = (1.0 / state.total_weight) as f32;
     let inv_2m2 = (1.0 / (2.0 * state.total_weight * state.total_weight)) as f32;
-    let mut stats = MovePhaseStats::default();
 
-    for _ in 0..config.max_move_iterations {
-        let moved = AtomicU64::new(0);
-        if config.parallel {
-            layout.blocks.par_iter().for_each_init(
-                || BlockBuf::new(n),
-                |buf, block| {
-                    let m = process_block(s, layout, block, state, buf, inv_m, inv_2m2);
+    super::super::run_sweeps(
+        config,
+        n as u64,
+        rec,
+        || 0.0,
+        || {
+            let moved = AtomicU64::new(0);
+            if config.parallel {
+                layout.blocks.par_iter().for_each_init(
+                    || BlockBuf::new(n),
+                    |buf, block| {
+                        let m = process_block(s, layout, block, state, buf, inv_m, inv_2m2);
+                        moved.fetch_add(m, Ordering::Relaxed);
+                    },
+                );
+            } else {
+                let mut buf = BlockBuf::new(n);
+                for block in &layout.blocks {
+                    let m = process_block(s, layout, block, state, &mut buf, inv_m, inv_2m2);
                     moved.fetch_add(m, Ordering::Relaxed);
-                },
-            );
-        } else {
-            let mut buf = BlockBuf::new(n);
-            for block in &layout.blocks {
-                let m = process_block(s, layout, block, state, &mut buf, inv_m, inv_2m2);
-                moved.fetch_add(m, Ordering::Relaxed);
+                }
             }
-        }
-        stats.iterations += 1;
-        let m = moved.into_inner();
-        stats.moves += m;
-        if m == 0 {
-            break;
-        }
-    }
-    stats
+            moved.into_inner()
+        },
+    )
 }
 
 #[cfg(test)]

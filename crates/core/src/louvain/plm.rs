@@ -7,8 +7,10 @@
 //! otherwise identical to [`super::mplm`], so Figure 11a's PLM-vs-MPLM gap
 //! isolates exactly the memory-management difference.
 
+use super::modularity::modularity;
 use super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,32 +72,41 @@ fn best_move_allocating(
 
 /// One full move phase with the allocating PLM kernel.
 pub fn move_phase_plm(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
+    move_phase_plm_recorded(g, state, config, &mut NoopRecorder)
+}
+
+/// [`move_phase_plm`] with per-sweep telemetry delivered to `rec`.
+pub fn move_phase_plm_recorded<R: Recorder>(
+    g: &Csr,
+    state: &MoveState,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> MovePhaseStats {
     let n = g.num_vertices();
     let inv_m = (1.0 / state.total_weight) as f32;
     let inv_2m2 = (1.0 / (2.0 * state.total_weight * state.total_weight)) as f32;
-    let mut stats = MovePhaseStats::default();
 
-    for _ in 0..config.max_move_iterations {
-        let moved = AtomicU64::new(0);
-        let process = |u: u32| {
-            if let Some((c, d)) = best_move_allocating(g, state, u, inv_m, inv_2m2) {
-                state.apply_move(u, c, d);
-                moved.fetch_add(1, Ordering::Relaxed);
+    super::run_sweeps(
+        config,
+        n as u64,
+        rec,
+        || modularity(g, &state.communities()),
+        || {
+            let moved = AtomicU64::new(0);
+            let process = |u: u32| {
+                if let Some((c, d)) = best_move_allocating(g, state, u, inv_m, inv_2m2) {
+                    state.apply_move(u, c, d);
+                    moved.fetch_add(1, Ordering::Relaxed);
+                }
+            };
+            if config.parallel {
+                (0..n as u32).into_par_iter().for_each(process);
+            } else {
+                (0..n as u32).for_each(process);
             }
-        };
-        if config.parallel {
-            (0..n as u32).into_par_iter().for_each(process);
-        } else {
-            (0..n as u32).for_each(process);
-        }
-        stats.iterations += 1;
-        let m = moved.into_inner();
-        stats.moves += m;
-        if m == 0 {
-            break;
-        }
-    }
-    stats
+            moved.into_inner()
+        },
+    )
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use crate::louvain::mplm::AffinityBuf;
 use crate::reduce_scatter::Strategy;
 use crate::vector_affinity::accumulate;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::engine::Engine;
 use std::collections::HashMap;
@@ -54,12 +55,21 @@ impl Default for SlpaConfig {
 }
 
 /// Result of an SLPA run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct OverlapResult {
     /// Communities each vertex belongs to (sorted, at least one each).
     pub memberships: Vec<Vec<u32>>,
     /// Number of distinct communities.
     pub num_communities: usize,
+    /// Uniform run envelope (backend, rounds, completion, wall time).
+    /// Excluded from equality.
+    pub info: RunInfo,
+}
+
+impl PartialEq for OverlapResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.memberships == other.memberships && self.num_communities == other.num_communities
+    }
 }
 
 impl OverlapResult {
@@ -89,6 +99,7 @@ pub fn slpa(g: &Csr, config: &SlpaConfig) -> OverlapResult {
 pub fn slpa_with<S: Simd>(s: &S, g: &Csr, config: &SlpaConfig) -> OverlapResult {
     assert!(config.iterations >= 1);
     assert!(config.threshold > 0.0 && config.threshold <= 1.0);
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     // memory[v]: label -> times heard. Seeded with the vertex's own label.
     let mut memory: Vec<HashMap<u32, u32>> = (0..n as u32).map(|v| HashMap::from([(v, 1)])).collect();
@@ -161,6 +172,7 @@ pub fn slpa_with<S: Simd>(s: &S, g: &Csr, config: &SlpaConfig) -> OverlapResult 
     OverlapResult {
         num_communities: all.len(),
         memberships,
+        info: RunInfo::new(S::NAME, config.iterations, true, timer.elapsed_secs()),
     }
 }
 

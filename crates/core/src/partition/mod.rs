@@ -26,6 +26,7 @@ use crate::coloring::onpl::as_i32;
 use gp_graph::builder::{DedupPolicy, GraphBuilder};
 use gp_graph::csr::Csr;
 use gp_graph::Edge;
+use gp_metrics::telemetry::{RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::engine::Engine;
 
@@ -82,6 +83,25 @@ pub struct PartitionResult {
     pub balance: f64,
     /// Coarsening levels used.
     pub levels: usize,
+    /// Uniform run envelope (backend, levels, completion, wall time).
+    pub info: RunInfo,
+}
+
+/// `S::NAME` of a backend value (helps `match Engine::best()` name its arm).
+fn name_of<S: Simd>(_: &S) -> &'static str {
+    S::NAME
+}
+
+/// Backend name the refinement kernel will actually run on.
+fn refine_backend(config: &PartitionConfig) -> &'static str {
+    if config.vectorized {
+        match Engine::best() {
+            Engine::Native(s) => name_of(&s),
+            Engine::Emulated(s) => name_of(&s),
+        }
+    } else {
+        "scalar"
+    }
 }
 
 /// One level of the multilevel hierarchy.
@@ -108,6 +128,7 @@ pub(crate) struct Level {
 pub fn partition_graph(g: &Csr, config: &PartitionConfig) -> PartitionResult {
     assert!(config.k >= 2, "need at least 2 parts");
     assert!(config.epsilon >= 0.0);
+    let timer = RunTimer::start();
     let n = g.num_vertices();
     if n == 0 {
         return PartitionResult {
@@ -115,6 +136,7 @@ pub fn partition_graph(g: &Csr, config: &PartitionConfig) -> PartitionResult {
             edge_cut: 0.0,
             balance: 1.0,
             levels: 0,
+            info: RunInfo::new(refine_backend(config), 0, true, timer.elapsed_secs()),
         };
     }
 
@@ -162,6 +184,12 @@ pub fn partition_graph(g: &Csr, config: &PartitionConfig) -> PartitionResult {
         edge_cut: cut,
         balance,
         levels: level_count,
+        info: RunInfo::new(
+            refine_backend(config),
+            level_count,
+            true,
+            timer.elapsed_secs(),
+        ),
     }
 }
 
@@ -182,6 +210,7 @@ pub fn partition_graph_with<S: Simd + Sync>(
     g: &Csr,
     config: &PartitionConfig,
 ) -> PartitionResult {
+    let timer = RunTimer::start();
     let mut cfg = config.clone();
     cfg.vectorized = false; // avoid double dispatch; call refine directly
     let n = g.num_vertices();
@@ -224,6 +253,7 @@ pub fn partition_graph_with<S: Simd + Sync>(
         edge_cut: cut,
         balance,
         levels: level_count,
+        info: RunInfo::new(S::NAME, level_count, true, timer.elapsed_secs()),
     }
 }
 

@@ -2,14 +2,19 @@
 //!
 //! Measurement substrate for the experiment harness: repeated-run timing
 //! with the paper's methodology (25 runs per configuration, mean + bootstrap
-//! 95% confidence interval), modeled-energy aggregation, and plain-text /
-//! CSV report emission for the figure binaries.
+//! 95% confidence interval), modeled-energy aggregation, per-round kernel
+//! telemetry ([`telemetry`]), and plain-text / CSV / JSON report emission
+//! for the figure binaries.
 
 pub mod energy;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod timer;
 
-pub use report::Table;
+pub use report::{trace_csv, trace_json, write_trace, Table};
 pub use stats::{bootstrap_ci, Summary};
+pub use telemetry::{
+    NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer, Trace, TraceRecorder,
+};
 pub use timer::{time_runs, TimingConfig};

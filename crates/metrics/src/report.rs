@@ -1,9 +1,13 @@
-//! Plain-text and CSV table emission for the figure binaries.
+//! Plain-text, CSV, and JSON emission for the figure binaries.
 //!
 //! Every experiment binary prints one [`Table`] whose rows mirror the
 //! series of the corresponding paper figure, so EXPERIMENTS.md can quote the
-//! output directly.
+//! output directly. Per-round [`Trace`]s (see [`crate::telemetry`]) export
+//! through [`trace_json`] / [`trace_csv`] / [`write_trace`] so a figure
+//! binary can drop a convergence trace next to its table.
 
+use crate::telemetry::Trace;
+use gp_simd::counters::ALL_OP_CLASSES;
 use std::fmt::Write as _;
 
 /// A simple column-aligned table.
@@ -130,6 +134,110 @@ impl Table {
     }
 }
 
+/// JSON-safe float: finite values as-is, NaN/inf as 0 (JSON has no NaN).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` is shortest-round-trip for f64 and always valid JSON.
+        format!("{x:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a per-round trace as a self-describing JSON document:
+///
+/// ```json
+/// {
+///   "kernel": "coloring-onpl",
+///   "total_secs": 0.0123,
+///   "rounds": [
+///     {"round": 0, "level": 0, "secs": 0.004, "moves": 1000,
+///      "conflicts": 37, "active": 1000, "quality_delta": 0.0,
+///      "ops": {"gather": 4096, "conflict": 256}}
+///   ]
+/// }
+/// ```
+///
+/// `ops` lists only non-zero op classes (keys are
+/// [`gp_simd::counters::OpClass::label`] strings).
+pub fn trace_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"kernel\": \"{}\",",
+        trace.kernel.replace('"', "\\\"")
+    );
+    let _ = writeln!(out, "  \"total_secs\": {},", json_f64(trace.total_secs()));
+    let _ = writeln!(out, "  \"rounds\": [");
+    for (i, r) in trace.rounds.iter().enumerate() {
+        let ops: Vec<String> = r
+            .ops
+            .iter_nonzero()
+            .map(|(c, n)| format!("\"{}\": {}", c.label(), n))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"round\": {}, \"level\": {}, \"secs\": {}, \"moves\": {}, \
+             \"conflicts\": {}, \"active\": {}, \"quality_delta\": {}, \"ops\": {{{}}}}}",
+            r.round,
+            r.level,
+            json_f64(r.secs),
+            r.moves,
+            r.conflicts,
+            r.active,
+            json_f64(r.quality_delta),
+            ops.join(", ")
+        );
+        let _ = writeln!(out, "{}", if i + 1 < trace.rounds.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Renders a per-round trace as CSV with one column per op class:
+/// `round,level,secs,moves,conflicts,active,quality_delta,s.load,...,mask`.
+pub fn trace_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut header: Vec<&str> = vec![
+        "round",
+        "level",
+        "secs",
+        "moves",
+        "conflicts",
+        "active",
+        "quality_delta",
+    ];
+    header.extend(ALL_OP_CLASSES.iter().map(|c| c.label()));
+    let _ = writeln!(out, "{}", header.join(","));
+    for r in &trace.rounds {
+        let mut cells = vec![
+            r.round.to_string(),
+            r.level.to_string(),
+            format!("{:e}", r.secs),
+            r.moves.to_string(),
+            r.conflicts.to_string(),
+            r.active.to_string(),
+            format!("{:e}", r.quality_delta),
+        ];
+        cells.extend(ALL_OP_CLASSES.iter().map(|&c| r.ops.get(c).to_string()));
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Writes a trace to `path`, choosing the format by extension: `.csv` gets
+/// [`trace_csv`], anything else gets [`trace_json`].
+pub fn write_trace(path: &str, trace: &Trace) -> std::io::Result<()> {
+    let body = if path.ends_with(".csv") {
+        trace_csv(trace)
+    } else {
+        trace_json(trace)
+    };
+    std::fs::write(path, body)
+}
+
 /// Formats a ratio the way the paper's bar charts label them.
 pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.2}")
@@ -200,5 +308,90 @@ mod tests {
         let t = Table::new("empty", &["a"]);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    fn demo_trace() -> Trace {
+        use crate::telemetry::RoundStats;
+        use gp_simd::counters::{OpClass, OpCounts};
+        Trace {
+            kernel: "demo-kernel".into(),
+            rounds: vec![
+                RoundStats {
+                    round: 0,
+                    level: 0,
+                    secs: 0.5,
+                    moves: 100,
+                    conflicts: 7,
+                    active: 100,
+                    quality_delta: 0.25,
+                    ops: OpCounts::default()
+                        .with(OpClass::Gather, 64)
+                        .with(OpClass::Conflict, 4),
+                },
+                RoundStats {
+                    round: 1,
+                    level: 1,
+                    secs: 0.25,
+                    moves: 3,
+                    conflicts: 0,
+                    active: 7,
+                    quality_delta: f64::NAN,
+                    ops: OpCounts::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_json_shape() {
+        let json = trace_json(&demo_trace());
+        assert!(json.contains("\"kernel\": \"demo-kernel\""));
+        assert!(json.contains("\"round\": 0"));
+        assert!(json.contains("\"gather\": 64"));
+        assert!(json.contains("\"conflict\": 4"));
+        assert!(json.contains("\"moves\": 100"));
+        assert!(json.contains("\"total_secs\": 0.75"));
+        // NaN must not leak into JSON.
+        assert!(!json.contains("NaN"));
+        // Crude structural sanity: balanced braces/brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trace_csv_shape() {
+        let csv = trace_csv(&demo_trace());
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("round,level,secs,moves,conflicts,active,quality_delta"));
+        assert!(header.ends_with("mask"));
+        let row0 = lines.next().unwrap();
+        assert!(row0.starts_with("0,0,"));
+        assert_eq!(
+            header.split(',').count(),
+            row0.split(',').count(),
+            "column count mismatch"
+        );
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn write_trace_by_extension() {
+        let dir = std::env::temp_dir();
+        let json_path = dir.join(format!("gp_trace_{}.json", std::process::id()));
+        let csv_path = dir.join(format!("gp_trace_{}.csv", std::process::id()));
+        let t = demo_trace();
+        write_trace(json_path.to_str().unwrap(), &t).unwrap();
+        write_trace(csv_path.to_str().unwrap(), &t).unwrap();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(json.starts_with('{'));
+        assert!(csv.starts_with("round,"));
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&csv_path).ok();
     }
 }

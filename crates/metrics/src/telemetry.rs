@@ -1,0 +1,406 @@
+//! Per-round kernel telemetry: zero-overhead-by-default observability for
+//! the iterative kernels (speculative coloring, Louvain move phases, label
+//! propagation).
+//!
+//! The paper's evaluation is fundamentally *per-round* — coloring converges
+//! via AssignColors/DetectConflicts rounds (Algorithms 1–3), Louvain and
+//! label propagation via move-phase sweeps — yet final results alone cannot
+//! explain why a vectorized variant wins on one graph and loses on another.
+//! This module adds the missing layer:
+//!
+//! * [`Recorder`] — a statically-dispatched sink for [`RoundStats`] events.
+//!   Kernels take `&mut R: Recorder`; with the default [`NoopRecorder`]
+//!   (`ENABLED = false`) every probe compiles away, so uninstrumented runs
+//!   pay nothing.
+//! * [`TraceRecorder`] — accumulates every round into a [`Trace`] for JSON/
+//!   CSV export (see [`crate::report::trace_json`]).
+//! * [`RoundProbe`] — a guard taken at the top of a round; on `finish` it
+//!   fills in wall time and the op-counter delta snapshotted from
+//!   [`gp_simd::counters`].
+//! * [`RunInfo`] — the uniform result envelope every kernel result embeds:
+//!   backend name, rounds executed, convergence flag, elapsed seconds, and
+//!   an optional attached trace.
+//!
+//! ```
+//! use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats, TraceRecorder};
+//!
+//! fn kernel<R: Recorder>(rec: &mut R) -> u32 {
+//!     let mut x = 0u32;
+//!     for round in 0..3 {
+//!         let probe = RoundProbe::begin::<R>();
+//!         x += round; // the round's work
+//!         probe.finish(rec, RoundStats::new(round as usize).moves(u64::from(round)));
+//!     }
+//!     x
+//! }
+//!
+//! let mut rec = TraceRecorder::new("demo");
+//! kernel(&mut rec);
+//! let trace = rec.into_trace();
+//! assert_eq!(trace.rounds.len(), 3);
+//! assert_eq!(trace.rounds[2].moves, 2);
+//! ```
+
+use gp_simd::counters::{self, OpCounts};
+use std::time::Instant;
+
+/// One round (coloring iteration / Louvain sweep / label-propagation sweep)
+/// of kernel work.
+///
+/// `moves`, `conflicts`, and `active` are kernel-defined: coloring reports
+/// recolored vertices / detected conflicts / conflict-set size, Louvain
+/// reports vertex moves, label propagation reports label updates. Fields
+/// that do not apply stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundStats {
+    /// Round index within the run (coloring round, move-phase sweep, ...).
+    pub round: usize,
+    /// Coarsening level for multilevel drivers (0 = finest graph).
+    pub level: usize,
+    /// Wall time of the round in seconds (filled by [`RoundProbe::finish`]).
+    pub secs: f64,
+    /// Vertices moved / recolored / relabeled this round.
+    pub moves: u64,
+    /// Conflicts detected this round (speculative coloring).
+    pub conflicts: u64,
+    /// Active vertices entering the round (conflict-set or frontier size).
+    pub active: u64,
+    /// Quality delta for this round (modularity gain for community kernels;
+    /// zero where no quality functional applies). Only computed when the
+    /// recorder is enabled — it costs an O(m) pass.
+    pub quality_delta: f64,
+    /// Op-counter delta over the round, snapshotted from
+    /// [`gp_simd::counters`]. All zero unless the kernel ran on a
+    /// [`gp_simd::counted::Counted`] backend.
+    pub ops: OpCounts,
+}
+
+impl RoundStats {
+    /// Starts a stats record for the given round index.
+    pub fn new(round: usize) -> Self {
+        RoundStats {
+            round,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the moved/recolored/relabeled count.
+    pub fn moves(mut self, n: u64) -> Self {
+        self.moves = n;
+        self
+    }
+
+    /// Sets the detected-conflict count.
+    pub fn conflicts(mut self, n: u64) -> Self {
+        self.conflicts = n;
+        self
+    }
+
+    /// Sets the active-vertex count entering the round.
+    pub fn active(mut self, n: u64) -> Self {
+        self.active = n;
+        self
+    }
+
+    /// Sets the per-round quality delta.
+    pub fn quality_delta(mut self, d: f64) -> Self {
+        self.quality_delta = d;
+        self
+    }
+}
+
+/// Statically-dispatched sink for per-round telemetry.
+///
+/// Kernels are generic over `R: Recorder`, mirroring how they are generic
+/// over the SIMD backend: the monomorphized body for [`NoopRecorder`]
+/// contains no probe code at all (`ENABLED` is a `const`, so every
+/// `if R::ENABLED` branch folds away), while the body for
+/// [`TraceRecorder`] snapshots timers and counters per round.
+pub trait Recorder {
+    /// Whether probes should collect at all. `false` compiles them out.
+    const ENABLED: bool;
+
+    /// Receives one completed round.
+    fn record(&mut self, stats: RoundStats);
+
+    /// Informs the recorder of the current coarsening level (multilevel
+    /// Louvain / partitioning drivers). Subsequent rounds are stamped with
+    /// this level.
+    fn set_level(&mut self, _level: usize) {}
+}
+
+/// The default recorder: does nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _stats: RoundStats) {}
+}
+
+/// Accumulates every round into a [`Trace`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    kernel: String,
+    level: usize,
+    rounds: Vec<RoundStats>,
+}
+
+impl TraceRecorder {
+    /// New recorder labeled with the kernel name (e.g. `"coloring-onpl"`).
+    pub fn new(kernel: impl Into<String>) -> Self {
+        TraceRecorder {
+            kernel: kernel.into(),
+            level: 0,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Consumes the recorder into its trace.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            kernel: self.kernel,
+            rounds: self.rounds,
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, mut stats: RoundStats) {
+        stats.level = self.level;
+        self.rounds.push(stats);
+    }
+
+    fn set_level(&mut self, level: usize) {
+        self.level = level;
+    }
+}
+
+/// A completed per-round trace of one kernel run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Kernel label (e.g. `"louvain-mplm"`).
+    pub kernel: String,
+    /// One entry per round, in execution order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl Trace {
+    /// Sum of the per-round op deltas (should equal a whole-run
+    /// [`gp_simd::counters::counted_run`] total when rounds cover the run).
+    pub fn total_ops(&self) -> OpCounts {
+        self.rounds
+            .iter()
+            .fold(OpCounts::default(), |acc, r| acc.add(&r.ops))
+    }
+
+    /// Sum of per-round wall times.
+    pub fn total_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.secs).sum()
+    }
+}
+
+/// Guard capturing the wall-clock and op-counter state entering a round.
+///
+/// With a disabled recorder, [`RoundProbe::begin`] and
+/// [`RoundProbe::finish`] are empty inlineable functions — no `Instant`, no
+/// counter snapshot, no branch left in the hot loop.
+#[derive(Debug)]
+pub struct RoundProbe {
+    start: Option<Instant>,
+    ops_before: OpCounts,
+}
+
+impl RoundProbe {
+    /// Captures the round-entry state (only when `R::ENABLED`).
+    #[inline(always)]
+    pub fn begin<R: Recorder>() -> RoundProbe {
+        if R::ENABLED {
+            RoundProbe {
+                ops_before: counters::snapshot(),
+                start: Some(Instant::now()),
+            }
+        } else {
+            RoundProbe {
+                start: None,
+                ops_before: OpCounts::default(),
+            }
+        }
+    }
+
+    /// Completes the round: fills wall time and the op-counter delta into
+    /// `stats` and hands it to the recorder. A no-op when `R::ENABLED` is
+    /// false.
+    #[inline(always)]
+    pub fn finish<R: Recorder>(self, rec: &mut R, mut stats: RoundStats) {
+        if R::ENABLED {
+            stats.secs = self.start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            stats.ops = counters::snapshot().saturating_sub(&self.ops_before);
+            rec.record(stats);
+        }
+    }
+}
+
+/// Uniform result envelope embedded in every kernel result struct
+/// (`ColoringResult`, `LouvainResult`, `LabelPropResult`, `PartitionResult`,
+/// `OverlapResult`, `BfsResult`).
+///
+/// Excluded from the results' `PartialEq`: two runs are "equal" when their
+/// algorithmic outputs agree, regardless of how long they took.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// SIMD backend the kernel ran on (`"avx512"`, `"emulated"`,
+    /// `"counted"`, `"scalar"`).
+    pub backend: &'static str,
+    /// Rounds / sweeps / levels executed (kernel-defined, matches the
+    /// result's own round counter where one exists).
+    pub rounds: usize,
+    /// Whether the kernel reached its convergence criterion (as opposed to
+    /// an iteration cap).
+    pub converged: bool,
+    /// Whole-run wall time in seconds.
+    pub elapsed_secs: f64,
+    /// Per-round telemetry, when the caller ran with a [`TraceRecorder`]
+    /// and attached the trace via [`RunInfo::with_trace`].
+    pub trace: Option<Trace>,
+}
+
+impl RunInfo {
+    /// Builds the envelope from the universally-available facts.
+    pub fn new(backend: &'static str, rounds: usize, converged: bool, elapsed_secs: f64) -> Self {
+        RunInfo {
+            backend,
+            rounds,
+            converged,
+            elapsed_secs,
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace produced by [`TraceRecorder::into_trace`].
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// Stopwatch for the whole-run `elapsed_secs` field — always on (one
+/// `Instant` per kernel invocation is noise even for microsecond kernels).
+#[derive(Debug)]
+pub struct RunTimer(Instant);
+
+impl RunTimer {
+    /// Starts timing.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        RunTimer(Instant::now())
+    }
+
+    /// Elapsed seconds since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_simd::counters::OpClass;
+
+    fn fake_kernel<R: Recorder>(rec: &mut R, rounds: usize) -> u64 {
+        let mut acc = 0;
+        for round in 0..rounds {
+            let probe = RoundProbe::begin::<R>();
+            acc += round as u64;
+            probe.finish(
+                rec,
+                RoundStats::new(round)
+                    .moves(round as u64)
+                    .conflicts(1)
+                    .active(10 - round as u64),
+            );
+        }
+        acc
+    }
+
+    #[test]
+    fn noop_recorder_records_nothing_and_changes_nothing() {
+        let mut noop = NoopRecorder;
+        let mut trace = TraceRecorder::new("fake");
+        assert_eq!(fake_kernel(&mut noop, 4), fake_kernel(&mut trace, 4));
+        assert_eq!(trace.rounds().len(), 4);
+    }
+
+    #[test]
+    fn trace_recorder_captures_rounds_in_order() {
+        let mut rec = TraceRecorder::new("fake");
+        fake_kernel(&mut rec, 3);
+        let trace = rec.into_trace();
+        assert_eq!(trace.kernel, "fake");
+        let rounds: Vec<usize> = trace.rounds.iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![0, 1, 2]);
+        assert_eq!(trace.rounds[1].moves, 1);
+        assert_eq!(trace.rounds[1].active, 9);
+        assert!(trace.rounds.iter().all(|r| r.secs >= 0.0));
+    }
+
+    #[test]
+    fn set_level_stamps_subsequent_rounds() {
+        let mut rec = TraceRecorder::new("multilevel");
+        fake_kernel(&mut rec, 1);
+        rec.set_level(1);
+        fake_kernel(&mut rec, 2);
+        let trace = rec.into_trace();
+        let levels: Vec<usize> = trace.rounds.iter().map(|r| r.level).collect();
+        assert_eq!(levels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn probe_captures_op_deltas() {
+        // Serial within one test: the counters are global.
+        counters::reset();
+        let mut rec = TraceRecorder::new("delta");
+        let probe = RoundProbe::begin::<TraceRecorder>();
+        counters::record(OpClass::Gather, 5);
+        probe.finish(&mut rec, RoundStats::new(0));
+        let probe = RoundProbe::begin::<TraceRecorder>();
+        counters::record(OpClass::Gather, 2);
+        counters::record(OpClass::Conflict, 1);
+        probe.finish(&mut rec, RoundStats::new(1));
+        let trace = rec.into_trace();
+        assert_eq!(trace.rounds[0].ops.get(OpClass::Gather), 5);
+        assert_eq!(trace.rounds[1].ops.get(OpClass::Gather), 2);
+        assert_eq!(trace.rounds[1].ops.get(OpClass::Conflict), 1);
+        assert_eq!(trace.total_ops().get(OpClass::Gather), 7);
+    }
+
+    #[test]
+    fn run_info_envelope() {
+        let info = RunInfo::new("emulated", 7, true, 0.25);
+        assert_eq!(info.backend, "emulated");
+        assert_eq!(info.rounds, 7);
+        assert!(info.converged);
+        assert!(info.trace.is_none());
+        let info = info.with_trace(Trace {
+            kernel: "k".into(),
+            rounds: vec![RoundStats::new(0)],
+        });
+        assert_eq!(info.trace.as_ref().unwrap().rounds.len(), 1);
+    }
+
+    #[test]
+    fn run_timer_is_monotonic() {
+        let t = RunTimer::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(t.elapsed_secs() >= 0.0);
+    }
+}

@@ -204,6 +204,21 @@ impl OpCounts {
         OpCounts { counts }
     }
 
+    /// Element-wise saturating difference (`self - other`).
+    ///
+    /// This is the delta-snapshot primitive for per-round telemetry:
+    /// snapshot the global counters entering and leaving a round and
+    /// subtract. Saturating, because a concurrent counted run (the counters
+    /// are global) could in principle make a class appear to go backwards;
+    /// clamping at zero keeps deltas sane rather than wrapping.
+    pub fn saturating_sub(&self, other: &OpCounts) -> OpCounts {
+        let mut counts = self.counts;
+        for (mine, theirs) in counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        OpCounts { counts }
+    }
+
     /// Iterate `(class, count)` for non-zero classes.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (OpClass, u64)> + '_ {
         ALL_OP_CLASSES
@@ -265,6 +280,24 @@ mod tests {
         let c = a.add(&b);
         assert_eq!(c.get(OpClass::VecAlu), 3);
         assert_eq!(c.get(OpClass::Reduce), 3);
+    }
+
+    #[test]
+    fn saturating_sub_deltas() {
+        let before = OpCounts::default()
+            .with(OpClass::Gather, 10)
+            .with(OpClass::VecAlu, 5);
+        let after = before.add(
+            &OpCounts::default()
+                .with(OpClass::Gather, 7)
+                .with(OpClass::Conflict, 2),
+        );
+        let delta = after.saturating_sub(&before);
+        assert_eq!(delta.get(OpClass::Gather), 7);
+        assert_eq!(delta.get(OpClass::Conflict), 2);
+        assert_eq!(delta.get(OpClass::VecAlu), 0);
+        // Clamped, not wrapped.
+        assert_eq!(before.saturating_sub(&after).get(OpClass::Gather), 0);
     }
 
     #[test]

@@ -32,8 +32,21 @@ impl Engine {
     /// Picks the native backend when the CPU supports it, otherwise the
     /// emulation. Setting `GP_FORCE_EMULATED=1` overrides to the emulation
     /// (A/B testing without code changes).
+    ///
+    /// The environment is consulted **once**, on first call, and cached in a
+    /// [`std::sync::OnceLock`] — hot loops that call `best()` per round (or
+    /// per vertex batch) must not pay a `getenv` each time. Use
+    /// [`Engine::from_env`] when a fresh read is required (tests that set
+    /// the variable mid-process).
     pub fn best() -> Engine {
-        if std::env::var("GP_FORCE_EMULATED").map_or(false, |v| v == "1") {
+        static BEST: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+        *BEST.get_or_init(Engine::from_env)
+    }
+
+    /// Uncached variant of [`Engine::best`]: re-reads `GP_FORCE_EMULATED`
+    /// from the environment on every call.
+    pub fn from_env() -> Engine {
+        if std::env::var("GP_FORCE_EMULATED").is_ok_and(|v| v == "1") {
             return Engine::Emulated(Emulated);
         }
         match Avx512::new() {
@@ -71,6 +84,15 @@ mod tests {
         // On the reproduction host this is native; elsewhere emulated. Both
         // must report a sensible name.
         assert!(["avx512", "emulated"].contains(&e.name()));
+    }
+
+    #[test]
+    fn best_is_cached_and_stable() {
+        // Repeated calls return the same selection (OnceLock semantics).
+        assert_eq!(Engine::best().name(), Engine::best().name());
+        // `from_env` agrees with the cached value in an unchanged
+        // environment.
+        assert_eq!(Engine::best().is_native(), Engine::from_env().is_native());
     }
 
     #[test]

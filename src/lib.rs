@@ -20,13 +20,22 @@ pub use gp_simd as simd;
 
 /// One-stop imports for the most common entry points.
 pub mod prelude {
-    pub use gp_core::coloring::{color_graph, verify_coloring, ColoringConfig};
-    pub use gp_core::labelprop::{label_propagation, LabelPropConfig};
-    pub use gp_core::louvain::{louvain, modularity, LouvainConfig};
-    pub use gp_core::overlap::{slpa, SlpaConfig};
-    pub use gp_core::partition::{partition_graph, verify_partition, PartitionConfig};
+    pub use gp_core::coloring::{
+        color_graph, color_graph_recorded, verify_coloring, ColoringConfig, ColoringResult,
+    };
+    pub use gp_core::contrast::BfsResult;
+    pub use gp_core::labelprop::{
+        label_propagation, label_propagation_recorded, LabelPropConfig, LabelPropResult,
+    };
+    pub use gp_core::louvain::{louvain, louvain_recorded, modularity, LouvainConfig, LouvainResult};
+    pub use gp_core::overlap::{slpa, OverlapResult, SlpaConfig};
+    pub use gp_core::partition::{partition_graph, verify_partition, PartitionConfig, PartitionResult};
     pub use gp_core::quality::{adjusted_rand_index, nmi};
     pub use gp_graph::csr::Csr;
     pub use gp_graph::generators::rmat::{rmat, RmatConfig};
+    pub use gp_metrics::telemetry::{
+        NoopRecorder, Recorder, RoundStats, RunInfo, Trace, TraceRecorder,
+    };
+    pub use gp_metrics::{trace_csv, trace_json, write_trace};
     pub use gp_simd::engine::Engine;
 }

@@ -1,0 +1,157 @@
+//! Integration tests for the per-round telemetry layer (DESIGN.md /
+//! docs/observability.md).
+//!
+//! Two guarantees are checked end-to-end:
+//!
+//! 1. **Observation does not perturb** — running a kernel with a
+//!    [`TraceRecorder`] attached produces bit-identical results to the
+//!    `NoopRecorder` (= plain entry point) run on the same seeded graph.
+//! 2. **Deltas sum to totals** — the per-round op-class deltas snapshotted
+//!    by the probes add up to the whole-run counter totals reported by
+//!    `counters::counted_run`, so the trace is a lossless decomposition of
+//!    the modeled run.
+//!
+//! The op counters are process-global; every test that touches them lives
+//! in the single `counter_deltas_*` test below to avoid cross-test races
+//! (`cargo test` runs tests on multiple threads).
+
+use graph_partition_avx512::prelude::*;
+use graph_partition_avx512::core::coloring::color_graph_onpl_recorded;
+use graph_partition_avx512::core::labelprop::label_propagation_onlp_recorded;
+use graph_partition_avx512::core::louvain::Variant;
+use graph_partition_avx512::simd::backend::Emulated;
+use graph_partition_avx512::simd::counted::Counted;
+use graph_partition_avx512::simd::counters;
+
+fn seeded_graph() -> Csr {
+    rmat(RmatConfig::new(9, 8).with_seed(42))
+}
+
+// ------------------------------------------------------- observation ≡ noop
+
+#[test]
+fn coloring_trace_matches_noop_run() {
+    let g = seeded_graph();
+    let config = ColoringConfig::default();
+    let plain = color_graph(&g, &config);
+    let mut rec = TraceRecorder::new("coloring");
+    let traced = color_graph_recorded(&g, &config, &mut rec);
+    assert_eq!(plain, traced, "recording changed the coloring");
+    let trace = rec.into_trace();
+    assert_eq!(trace.rounds.len(), traced.rounds, "one RoundStats per round");
+    assert!(trace.rounds.iter().any(|r| r.moves > 0));
+    // Round indices are dense from zero.
+    for (i, r) in trace.rounds.iter().enumerate() {
+        assert_eq!(r.round, i);
+    }
+}
+
+#[test]
+fn louvain_trace_matches_noop_run() {
+    let g = seeded_graph();
+    for variant in [Variant::Mplm, Variant::Ovpl] {
+        let config = LouvainConfig::sequential(variant);
+        let plain = louvain(&g, &config);
+        let mut rec = TraceRecorder::new("louvain");
+        let traced = louvain_recorded(&g, &config, &mut rec);
+        assert_eq!(plain.communities, traced.communities, "{variant:?}");
+        assert_eq!(plain.modularity, traced.modularity, "{variant:?}");
+        assert_eq!(plain.levels, traced.levels, "{variant:?}");
+        let trace = rec.into_trace();
+        assert!(!trace.rounds.is_empty(), "{variant:?} recorded no rounds");
+        // The driver stamps the coarsening level on every round.
+        assert!(trace.rounds.iter().all(|r| r.level < traced.levels));
+        // Move phases converge: the last round of the deepest level moved 0.
+        assert_eq!(trace.rounds.last().unwrap().moves, 0, "{variant:?}");
+    }
+}
+
+#[test]
+fn louvain_trace_reports_quality_deltas() {
+    let g = seeded_graph();
+    let config = LouvainConfig::sequential(Variant::Mplm);
+    let mut rec = TraceRecorder::new("louvain-mplm");
+    let r = louvain_recorded(&g, &config, &mut rec);
+    let trace = rec.into_trace();
+    // First sweep from singletons gains most of the final modularity.
+    let q0 = trace.rounds[0].quality_delta;
+    assert!(q0 > 0.0, "first sweep should improve modularity, got {q0}");
+    assert!(q0 <= r.modularity + 1e-9);
+}
+
+#[test]
+fn labelprop_trace_matches_noop_run() {
+    let g = seeded_graph();
+    let config = LabelPropConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    let plain = label_propagation(&g, &config);
+    let mut rec = TraceRecorder::new("labelprop");
+    let traced = label_propagation_recorded(&g, &config, &mut rec);
+    assert_eq!(plain, traced, "recording changed the labels");
+    let trace = rec.into_trace();
+    assert_eq!(trace.rounds.len(), traced.iterations);
+    // The frontier (active count) shrinks as labels settle.
+    let first = trace.rounds.first().unwrap().active;
+    let last = trace.rounds.last().unwrap().active;
+    assert!(first >= last, "frontier grew: {first} -> {last}");
+}
+
+#[test]
+fn run_info_envelope_is_filled() {
+    let g = seeded_graph();
+    let c = color_graph(&g, &ColoringConfig::default());
+    assert!(!c.info.backend.is_empty());
+    assert!(c.info.elapsed_secs >= 0.0);
+    let l = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+    assert_eq!(l.info.backend, "scalar");
+    assert_eq!(l.info.rounds, l.levels);
+    let lp = label_propagation(&g, &LabelPropConfig::default());
+    assert!(lp.info.rounds > 0);
+    let p = partition_graph(&g, &PartitionConfig::kway(2));
+    assert!(!p.info.backend.is_empty());
+    let s = slpa(&g, &SlpaConfig::default());
+    assert!(s.info.elapsed_secs >= 0.0);
+}
+
+// ----------------------------------------------------- deltas sum to totals
+//
+// One #[test] on purpose: the op counters are process-global, so concurrent
+// counted runs would bleed into each other's totals.
+
+#[test]
+fn counter_deltas_sum_to_run_totals() {
+    let g = seeded_graph();
+    let s: Counted<Emulated> = Counted::new(Emulated);
+
+    // Coloring (ONPL, sequential + counted so scalar ops register too).
+    let config = ColoringConfig::sequential().counted();
+    let mut rec = TraceRecorder::new("coloring-onpl");
+    let (_, totals) =
+        counters::counted_run(|| color_graph_onpl_recorded(&s, &g, &config, &mut rec));
+    let trace = rec.into_trace();
+    assert_eq!(
+        trace.total_ops(),
+        totals,
+        "coloring per-round deltas must sum to the counted-run totals"
+    );
+    assert!(totals.total() > 0, "counted run recorded nothing");
+
+    // Label propagation (ONLP).
+    let config = LabelPropConfig {
+        parallel: false,
+        count_ops: true,
+        ..Default::default()
+    };
+    let mut rec = TraceRecorder::new("labelprop-onlp");
+    let (_, totals) =
+        counters::counted_run(|| label_propagation_onlp_recorded(&s, &g, &config, &mut rec));
+    let trace = rec.into_trace();
+    assert_eq!(
+        trace.total_ops(),
+        totals,
+        "labelprop per-round deltas must sum to the counted-run totals"
+    );
+    assert!(totals.get(graph_partition_avx512::simd::counters::OpClass::Gather) > 0);
+}
