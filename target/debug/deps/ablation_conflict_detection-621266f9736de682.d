@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_conflict_detection-621266f9736de682.d: crates/bench/src/bin/ablation_conflict_detection.rs
+
+/root/repo/target/debug/deps/ablation_conflict_detection-621266f9736de682: crates/bench/src/bin/ablation_conflict_detection.rs
+
+crates/bench/src/bin/ablation_conflict_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_conflict_detection-95e3e4c61ffcb0b6.d: crates/bench/src/bin/ablation_conflict_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_conflict_detection-95e3e4c61ffcb0b6.rmeta: crates/bench/src/bin/ablation_conflict_detection.rs Cargo.toml
+
+crates/bench/src/bin/ablation_conflict_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_conflict_detection-e787d661eadfa422.d: crates/bench/src/bin/ablation_conflict_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_conflict_detection-e787d661eadfa422.rmeta: crates/bench/src/bin/ablation_conflict_detection.rs Cargo.toml
+
+crates/bench/src/bin/ablation_conflict_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

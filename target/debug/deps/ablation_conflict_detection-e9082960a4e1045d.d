@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_conflict_detection-e9082960a4e1045d.d: crates/bench/src/bin/ablation_conflict_detection.rs
+
+/root/repo/target/debug/deps/ablation_conflict_detection-e9082960a4e1045d: crates/bench/src/bin/ablation_conflict_detection.rs
+
+crates/bench/src/bin/ablation_conflict_detection.rs:

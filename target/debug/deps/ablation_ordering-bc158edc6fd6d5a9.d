@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ordering-bc158edc6fd6d5a9.d: crates/bench/src/bin/ablation_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ordering-bc158edc6fd6d5a9.rmeta: crates/bench/src/bin/ablation_ordering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ordering-bc4b6354ff0ad30c.d: crates/bench/src/bin/ablation_ordering.rs
+
+/root/repo/target/debug/deps/ablation_ordering-bc4b6354ff0ad30c: crates/bench/src/bin/ablation_ordering.rs
+
+crates/bench/src/bin/ablation_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ordering-bd117f5e6d203f94.d: crates/bench/src/bin/ablation_ordering.rs
+
+/root/repo/target/debug/deps/ablation_ordering-bd117f5e6d203f94: crates/bench/src/bin/ablation_ordering.rs
+
+crates/bench/src/bin/ablation_ordering.rs:

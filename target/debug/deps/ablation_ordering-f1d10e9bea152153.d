@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ordering-f1d10e9bea152153.d: crates/bench/src/bin/ablation_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ordering-f1d10e9bea152153.rmeta: crates/bench/src/bin/ablation_ordering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

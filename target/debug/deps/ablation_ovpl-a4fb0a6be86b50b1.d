@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ovpl-a4fb0a6be86b50b1.d: crates/bench/src/bin/ablation_ovpl.rs
+
+/root/repo/target/debug/deps/ablation_ovpl-a4fb0a6be86b50b1: crates/bench/src/bin/ablation_ovpl.rs
+
+crates/bench/src/bin/ablation_ovpl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ovpl-c270cdb341f17261.d: crates/bench/src/bin/ablation_ovpl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ovpl-c270cdb341f17261.rmeta: crates/bench/src/bin/ablation_ovpl.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ovpl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ovpl-f2da4295b99aeeef.d: crates/bench/src/bin/ablation_ovpl.rs
+
+/root/repo/target/debug/deps/ablation_ovpl-f2da4295b99aeeef: crates/bench/src/bin/ablation_ovpl.rs
+
+crates/bench/src/bin/ablation_ovpl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reduce_scatter-92d1ac3333d1af05.d: crates/bench/src/bin/ablation_reduce_scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reduce_scatter-92d1ac3333d1af05.rmeta: crates/bench/src/bin/ablation_reduce_scatter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_reduce_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reduce_scatter-bc4af1d91317e4ff.d: crates/bench/src/bin/ablation_reduce_scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reduce_scatter-bc4af1d91317e4ff.rmeta: crates/bench/src/bin/ablation_reduce_scatter.rs Cargo.toml
+
+crates/bench/src/bin/ablation_reduce_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

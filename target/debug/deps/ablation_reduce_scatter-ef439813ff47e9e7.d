@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_reduce_scatter-ef439813ff47e9e7.d: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+/root/repo/target/debug/deps/ablation_reduce_scatter-ef439813ff47e9e7: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+crates/bench/src/bin/ablation_reduce_scatter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_reduce_scatter-f10503c5df399dd2.d: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+/root/repo/target/debug/deps/ablation_reduce_scatter-f10503c5df399dd2: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+crates/bench/src/bin/ablation_reduce_scatter.rs:

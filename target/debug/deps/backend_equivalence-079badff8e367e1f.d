@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_equivalence-079badff8e367e1f.d: crates/simd/tests/backend_equivalence.rs
+
+/root/repo/target/debug/deps/backend_equivalence-079badff8e367e1f: crates/simd/tests/backend_equivalence.rs
+
+crates/simd/tests/backend_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_equivalence-c6b0b6aa42061484.d: crates/simd/tests/backend_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_equivalence-c6b0b6aa42061484.rmeta: crates/simd/tests/backend_equivalence.rs Cargo.toml
+
+crates/simd/tests/backend_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

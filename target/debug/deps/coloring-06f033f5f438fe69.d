@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coloring-06f033f5f438fe69.d: crates/bench/benches/coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoloring-06f033f5f438fe69.rmeta: crates/bench/benches/coloring.rs Cargo.toml
+
+crates/bench/benches/coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency_stress-be6d17ae8723d591.d: crates/core/tests/concurrency_stress.rs
+
+/root/repo/target/debug/deps/concurrency_stress-be6d17ae8723d591: crates/core/tests/concurrency_stress.rs
+
+crates/core/tests/concurrency_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency_stress-ce9d1f4682897695.d: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency_stress-ce9d1f4682897695.rmeta: crates/core/tests/concurrency_stress.rs Cargo.toml
+
+crates/core/tests/concurrency_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

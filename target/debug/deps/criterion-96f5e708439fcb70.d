@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-96f5e708439fcb70.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-96f5e708439fcb70.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-9b035c353d2079f9.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9b035c353d2079f9.rlib: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9b035c353d2079f9.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

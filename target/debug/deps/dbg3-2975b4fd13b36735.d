@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg3-2975b4fd13b36735.d: crates/bench/src/bin/dbg3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg3-2975b4fd13b36735.rmeta: crates/bench/src/bin/dbg3.rs Cargo.toml
+
+crates/bench/src/bin/dbg3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg3-45791e83997ffb47.d: crates/bench/src/bin/dbg3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg3-45791e83997ffb47.rmeta: crates/bench/src/bin/dbg3.rs Cargo.toml
+
+crates/bench/src/bin/dbg3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

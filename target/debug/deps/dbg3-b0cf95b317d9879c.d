@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg3-b0cf95b317d9879c.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/debug/deps/dbg3-b0cf95b317d9879c: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

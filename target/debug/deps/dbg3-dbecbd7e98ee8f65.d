@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg3-dbecbd7e98ee8f65.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/debug/deps/dbg3-dbecbd7e98ee8f65: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-2a68f1d1964c59fe.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-2a68f1d1964c59fe.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-80acb53b19c0a466.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-80acb53b19c0a466: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_coloring-50044a6e4724dfd5.d: crates/bench/src/bin/fig_coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_coloring-50044a6e4724dfd5.rmeta: crates/bench/src/bin/fig_coloring.rs Cargo.toml
+
+crates/bench/src/bin/fig_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_coloring-8030a72da92b5854.d: crates/bench/src/bin/fig_coloring.rs
+
+/root/repo/target/debug/deps/fig_coloring-8030a72da92b5854: crates/bench/src/bin/fig_coloring.rs
+
+crates/bench/src/bin/fig_coloring.rs:

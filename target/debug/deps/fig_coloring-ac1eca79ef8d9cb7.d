@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_coloring-ac1eca79ef8d9cb7.d: crates/bench/src/bin/fig_coloring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_coloring-ac1eca79ef8d9cb7.rmeta: crates/bench/src/bin/fig_coloring.rs Cargo.toml
+
+crates/bench/src/bin/fig_coloring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_coloring-c898ef6eb13da6e6.d: crates/bench/src/bin/fig_coloring.rs
+
+/root/repo/target/debug/deps/fig_coloring-c898ef6eb13da6e6: crates/bench/src/bin/fig_coloring.rs
+
+crates/bench/src/bin/fig_coloring.rs:

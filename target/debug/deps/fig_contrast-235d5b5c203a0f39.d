@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_contrast-235d5b5c203a0f39.d: crates/bench/src/bin/fig_contrast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_contrast-235d5b5c203a0f39.rmeta: crates/bench/src/bin/fig_contrast.rs Cargo.toml
+
+crates/bench/src/bin/fig_contrast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_contrast-288df42b49460abd.d: crates/bench/src/bin/fig_contrast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_contrast-288df42b49460abd.rmeta: crates/bench/src/bin/fig_contrast.rs Cargo.toml
+
+crates/bench/src/bin/fig_contrast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_contrast-70ee9eef6dae11e2.d: crates/bench/src/bin/fig_contrast.rs
+
+/root/repo/target/debug/deps/fig_contrast-70ee9eef6dae11e2: crates/bench/src/bin/fig_contrast.rs
+
+crates/bench/src/bin/fig_contrast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_contrast-a2bc6b758ad01d7b.d: crates/bench/src/bin/fig_contrast.rs
+
+/root/repo/target/debug/deps/fig_contrast-a2bc6b758ad01d7b: crates/bench/src/bin/fig_contrast.rs
+
+crates/bench/src/bin/fig_contrast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_energy-32ca6a006dcd0003.d: crates/bench/src/bin/fig_energy.rs
+
+/root/repo/target/debug/deps/fig_energy-32ca6a006dcd0003: crates/bench/src/bin/fig_energy.rs
+
+crates/bench/src/bin/fig_energy.rs:

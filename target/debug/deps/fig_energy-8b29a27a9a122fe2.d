@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_energy-8b29a27a9a122fe2.d: crates/bench/src/bin/fig_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_energy-8b29a27a9a122fe2.rmeta: crates/bench/src/bin/fig_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

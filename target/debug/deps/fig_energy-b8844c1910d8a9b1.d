@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_energy-b8844c1910d8a9b1.d: crates/bench/src/bin/fig_energy.rs
+
+/root/repo/target/debug/deps/fig_energy-b8844c1910d8a9b1: crates/bench/src/bin/fig_energy.rs
+
+crates/bench/src/bin/fig_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_energy-e466ccae938e83bb.d: crates/bench/src/bin/fig_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_energy-e466ccae938e83bb.rmeta: crates/bench/src/bin/fig_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

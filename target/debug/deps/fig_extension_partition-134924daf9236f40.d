@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_extension_partition-134924daf9236f40.d: crates/bench/src/bin/fig_extension_partition.rs
+
+/root/repo/target/debug/deps/fig_extension_partition-134924daf9236f40: crates/bench/src/bin/fig_extension_partition.rs
+
+crates/bench/src/bin/fig_extension_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_extension_partition-28bcb06d3375acb8.d: crates/bench/src/bin/fig_extension_partition.rs
+
+/root/repo/target/debug/deps/fig_extension_partition-28bcb06d3375acb8: crates/bench/src/bin/fig_extension_partition.rs
+
+crates/bench/src/bin/fig_extension_partition.rs:

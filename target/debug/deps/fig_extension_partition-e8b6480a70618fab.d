@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_extension_partition-e8b6480a70618fab.d: crates/bench/src/bin/fig_extension_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_extension_partition-e8b6480a70618fab.rmeta: crates/bench/src/bin/fig_extension_partition.rs Cargo.toml
+
+crates/bench/src/bin/fig_extension_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

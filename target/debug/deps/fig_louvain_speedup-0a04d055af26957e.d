@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_louvain_speedup-0a04d055af26957e.d: crates/bench/src/bin/fig_louvain_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_louvain_speedup-0a04d055af26957e.rmeta: crates/bench/src/bin/fig_louvain_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig_louvain_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_louvain_speedup-cf827644b8c459cc.d: crates/bench/src/bin/fig_louvain_speedup.rs
+
+/root/repo/target/debug/deps/fig_louvain_speedup-cf827644b8c459cc: crates/bench/src/bin/fig_louvain_speedup.rs
+
+crates/bench/src/bin/fig_louvain_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_louvain_speedup-de1f2a65da47ba5e.d: crates/bench/src/bin/fig_louvain_speedup.rs
+
+/root/repo/target/debug/deps/fig_louvain_speedup-de1f2a65da47ba5e: crates/bench/src/bin/fig_louvain_speedup.rs
+
+crates/bench/src/bin/fig_louvain_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_lp_speedup-19f930a09aec882b.d: crates/bench/src/bin/fig_lp_speedup.rs
+
+/root/repo/target/debug/deps/fig_lp_speedup-19f930a09aec882b: crates/bench/src/bin/fig_lp_speedup.rs
+
+crates/bench/src/bin/fig_lp_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_lp_speedup-63aa1f7706c0e133.d: crates/bench/src/bin/fig_lp_speedup.rs
+
+/root/repo/target/debug/deps/fig_lp_speedup-63aa1f7706c0e133: crates/bench/src/bin/fig_lp_speedup.rs
+
+crates/bench/src/bin/fig_lp_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_lp_speedup-7d4a9dc853ee0028.d: crates/bench/src/bin/fig_lp_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_lp_speedup-7d4a9dc853ee0028.rmeta: crates/bench/src/bin/fig_lp_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig_lp_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

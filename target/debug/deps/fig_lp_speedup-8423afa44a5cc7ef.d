@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_lp_speedup-8423afa44a5cc7ef.d: crates/bench/src/bin/fig_lp_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_lp_speedup-8423afa44a5cc7ef.rmeta: crates/bench/src/bin/fig_lp_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig_lp_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_memory_regime-821c972eeb703eb3.d: crates/bench/src/bin/fig_memory_regime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_memory_regime-821c972eeb703eb3.rmeta: crates/bench/src/bin/fig_memory_regime.rs Cargo.toml
+
+crates/bench/src/bin/fig_memory_regime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

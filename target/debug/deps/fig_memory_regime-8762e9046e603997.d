@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_memory_regime-8762e9046e603997.d: crates/bench/src/bin/fig_memory_regime.rs
+
+/root/repo/target/debug/deps/fig_memory_regime-8762e9046e603997: crates/bench/src/bin/fig_memory_regime.rs
+
+crates/bench/src/bin/fig_memory_regime.rs:

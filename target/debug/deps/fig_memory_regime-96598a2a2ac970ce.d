@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_memory_regime-96598a2a2ac970ce.d: crates/bench/src/bin/fig_memory_regime.rs
+
+/root/repo/target/debug/deps/fig_memory_regime-96598a2a2ac970ce: crates/bench/src/bin/fig_memory_regime.rs
+
+crates/bench/src/bin/fig_memory_regime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_microbench-235d30a939ee95d3.d: crates/bench/src/bin/fig_microbench.rs
+
+/root/repo/target/debug/deps/fig_microbench-235d30a939ee95d3: crates/bench/src/bin/fig_microbench.rs
+
+crates/bench/src/bin/fig_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_microbench-5456b304c9b9fb69.d: crates/bench/src/bin/fig_microbench.rs
+
+/root/repo/target/debug/deps/fig_microbench-5456b304c9b9fb69: crates/bench/src/bin/fig_microbench.rs
+
+crates/bench/src/bin/fig_microbench.rs:

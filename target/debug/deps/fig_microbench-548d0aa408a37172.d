@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_microbench-548d0aa408a37172.d: crates/bench/src/bin/fig_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_microbench-548d0aa408a37172.rmeta: crates/bench/src/bin/fig_microbench.rs Cargo.toml
+
+crates/bench/src/bin/fig_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_modularity-23f08eff4f25f8f0.d: crates/bench/src/bin/fig_modularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_modularity-23f08eff4f25f8f0.rmeta: crates/bench/src/bin/fig_modularity.rs Cargo.toml
+
+crates/bench/src/bin/fig_modularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

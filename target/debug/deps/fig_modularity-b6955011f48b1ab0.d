@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_modularity-b6955011f48b1ab0.d: crates/bench/src/bin/fig_modularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_modularity-b6955011f48b1ab0.rmeta: crates/bench/src/bin/fig_modularity.rs Cargo.toml
+
+crates/bench/src/bin/fig_modularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_modularity-fc4e72b101e43d36.d: crates/bench/src/bin/fig_modularity.rs
+
+/root/repo/target/debug/deps/fig_modularity-fc4e72b101e43d36: crates/bench/src/bin/fig_modularity.rs
+
+crates/bench/src/bin/fig_modularity.rs:

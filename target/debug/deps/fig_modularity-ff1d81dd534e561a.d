@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_modularity-ff1d81dd534e561a.d: crates/bench/src/bin/fig_modularity.rs
+
+/root/repo/target/debug/deps/fig_modularity-ff1d81dd534e561a: crates/bench/src/bin/fig_modularity.rs
+
+crates/bench/src/bin/fig_modularity.rs:

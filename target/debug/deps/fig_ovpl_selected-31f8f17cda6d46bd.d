@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_ovpl_selected-31f8f17cda6d46bd.d: crates/bench/src/bin/fig_ovpl_selected.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_ovpl_selected-31f8f17cda6d46bd.rmeta: crates/bench/src/bin/fig_ovpl_selected.rs Cargo.toml
+
+crates/bench/src/bin/fig_ovpl_selected.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_ovpl_selected-c65861351b552652.d: crates/bench/src/bin/fig_ovpl_selected.rs
+
+/root/repo/target/debug/deps/fig_ovpl_selected-c65861351b552652: crates/bench/src/bin/fig_ovpl_selected.rs
+
+crates/bench/src/bin/fig_ovpl_selected.rs:

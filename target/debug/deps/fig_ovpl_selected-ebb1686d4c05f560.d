@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_ovpl_selected-ebb1686d4c05f560.d: crates/bench/src/bin/fig_ovpl_selected.rs
+
+/root/repo/target/debug/deps/fig_ovpl_selected-ebb1686d4c05f560: crates/bench/src/bin/fig_ovpl_selected.rs
+
+crates/bench/src/bin/fig_ovpl_selected.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_ovpl_selected-fab3ad53189be7a2.d: crates/bench/src/bin/fig_ovpl_selected.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_ovpl_selected-fab3ad53189be7a2.rmeta: crates/bench/src/bin/fig_ovpl_selected.rs Cargo.toml
+
+crates/bench/src/bin/fig_ovpl_selected.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

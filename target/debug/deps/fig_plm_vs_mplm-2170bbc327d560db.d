@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_plm_vs_mplm-2170bbc327d560db.d: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+/root/repo/target/debug/deps/fig_plm_vs_mplm-2170bbc327d560db: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+crates/bench/src/bin/fig_plm_vs_mplm.rs:

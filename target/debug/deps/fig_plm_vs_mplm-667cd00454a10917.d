@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_plm_vs_mplm-667cd00454a10917.d: crates/bench/src/bin/fig_plm_vs_mplm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_plm_vs_mplm-667cd00454a10917.rmeta: crates/bench/src/bin/fig_plm_vs_mplm.rs Cargo.toml
+
+crates/bench/src/bin/fig_plm_vs_mplm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_plm_vs_mplm-9bc1a65058151d86.d: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+/root/repo/target/debug/deps/fig_plm_vs_mplm-9bc1a65058151d86: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+crates/bench/src/bin/fig_plm_vs_mplm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_plm_vs_mplm-af8f5ca86582c9e5.d: crates/bench/src/bin/fig_plm_vs_mplm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_plm_vs_mplm-af8f5ca86582c9e5.rmeta: crates/bench/src/bin/fig_plm_vs_mplm.rs Cargo.toml
+
+crates/bench/src/bin/fig_plm_vs_mplm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

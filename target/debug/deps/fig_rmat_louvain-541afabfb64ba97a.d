@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_rmat_louvain-541afabfb64ba97a.d: crates/bench/src/bin/fig_rmat_louvain.rs
+
+/root/repo/target/debug/deps/fig_rmat_louvain-541afabfb64ba97a: crates/bench/src/bin/fig_rmat_louvain.rs
+
+crates/bench/src/bin/fig_rmat_louvain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_rmat_louvain-8983e5ec951088e7.d: crates/bench/src/bin/fig_rmat_louvain.rs
+
+/root/repo/target/debug/deps/fig_rmat_louvain-8983e5ec951088e7: crates/bench/src/bin/fig_rmat_louvain.rs
+
+crates/bench/src/bin/fig_rmat_louvain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_rmat_louvain-c0e2060730e05ebc.d: crates/bench/src/bin/fig_rmat_louvain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_rmat_louvain-c0e2060730e05ebc.rmeta: crates/bench/src/bin/fig_rmat_louvain.rs Cargo.toml
+
+crates/bench/src/bin/fig_rmat_louvain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

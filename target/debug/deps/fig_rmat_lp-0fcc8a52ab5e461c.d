@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_rmat_lp-0fcc8a52ab5e461c.d: crates/bench/src/bin/fig_rmat_lp.rs
+
+/root/repo/target/debug/deps/fig_rmat_lp-0fcc8a52ab5e461c: crates/bench/src/bin/fig_rmat_lp.rs
+
+crates/bench/src/bin/fig_rmat_lp.rs:

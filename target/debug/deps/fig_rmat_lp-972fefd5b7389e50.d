@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_rmat_lp-972fefd5b7389e50.d: crates/bench/src/bin/fig_rmat_lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_rmat_lp-972fefd5b7389e50.rmeta: crates/bench/src/bin/fig_rmat_lp.rs Cargo.toml
+
+crates/bench/src/bin/fig_rmat_lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

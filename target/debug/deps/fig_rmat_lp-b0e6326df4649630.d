@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_rmat_lp-b0e6326df4649630.d: crates/bench/src/bin/fig_rmat_lp.rs
+
+/root/repo/target/debug/deps/fig_rmat_lp-b0e6326df4649630: crates/bench/src/bin/fig_rmat_lp.rs
+
+crates/bench/src/bin/fig_rmat_lp.rs:

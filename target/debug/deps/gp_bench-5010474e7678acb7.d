@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gp_bench-5010474e7678acb7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+/root/repo/target/debug/deps/libgp_bench-5010474e7678acb7.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+/root/repo/target/debug/deps/libgp_bench-5010474e7678acb7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/rmat_sweep.rs:

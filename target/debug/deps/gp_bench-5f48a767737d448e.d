@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gp_bench-5f48a767737d448e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_bench-5f48a767737d448e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/rmat_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

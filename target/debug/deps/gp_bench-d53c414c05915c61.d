@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gp_bench-d53c414c05915c61.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_bench-d53c414c05915c61.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/rmat_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gp_bench-eda9216cdb9697c6.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+/root/repo/target/debug/deps/gp_bench-eda9216cdb9697c6: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/rmat_sweep.rs:

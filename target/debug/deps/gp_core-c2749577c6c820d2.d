@@ -1,0 +1,38 @@
+/root/repo/target/debug/deps/gp_core-c2749577c6c820d2.d: crates/core/src/lib.rs crates/core/src/coloring/mod.rs crates/core/src/coloring/greedy.rs crates/core/src/coloring/onpl.rs crates/core/src/coloring/verify.rs crates/core/src/contrast.rs crates/core/src/labelprop/mod.rs crates/core/src/labelprop/mplp.rs crates/core/src/labelprop/onlp.rs crates/core/src/louvain/mod.rs crates/core/src/louvain/coarsen.rs crates/core/src/louvain/driver.rs crates/core/src/louvain/modularity.rs crates/core/src/louvain/mplm.rs crates/core/src/louvain/onpl.rs crates/core/src/louvain/ovpl/mod.rs crates/core/src/louvain/ovpl/blocks.rs crates/core/src/louvain/ovpl/move_phase.rs crates/core/src/louvain/ovpl/preprocess.rs crates/core/src/louvain/plm.rs crates/core/src/neighborhood.rs crates/core/src/overlap.rs crates/core/src/partition/mod.rs crates/core/src/partition/initial.rs crates/core/src/partition/matching.rs crates/core/src/partition/metrics.rs crates/core/src/partition/refine.rs crates/core/src/quality.rs crates/core/src/reduce_scatter.rs crates/core/src/vector_affinity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_core-c2749577c6c820d2.rmeta: crates/core/src/lib.rs crates/core/src/coloring/mod.rs crates/core/src/coloring/greedy.rs crates/core/src/coloring/onpl.rs crates/core/src/coloring/verify.rs crates/core/src/contrast.rs crates/core/src/labelprop/mod.rs crates/core/src/labelprop/mplp.rs crates/core/src/labelprop/onlp.rs crates/core/src/louvain/mod.rs crates/core/src/louvain/coarsen.rs crates/core/src/louvain/driver.rs crates/core/src/louvain/modularity.rs crates/core/src/louvain/mplm.rs crates/core/src/louvain/onpl.rs crates/core/src/louvain/ovpl/mod.rs crates/core/src/louvain/ovpl/blocks.rs crates/core/src/louvain/ovpl/move_phase.rs crates/core/src/louvain/ovpl/preprocess.rs crates/core/src/louvain/plm.rs crates/core/src/neighborhood.rs crates/core/src/overlap.rs crates/core/src/partition/mod.rs crates/core/src/partition/initial.rs crates/core/src/partition/matching.rs crates/core/src/partition/metrics.rs crates/core/src/partition/refine.rs crates/core/src/quality.rs crates/core/src/reduce_scatter.rs crates/core/src/vector_affinity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/coloring/mod.rs:
+crates/core/src/coloring/greedy.rs:
+crates/core/src/coloring/onpl.rs:
+crates/core/src/coloring/verify.rs:
+crates/core/src/contrast.rs:
+crates/core/src/labelprop/mod.rs:
+crates/core/src/labelprop/mplp.rs:
+crates/core/src/labelprop/onlp.rs:
+crates/core/src/louvain/mod.rs:
+crates/core/src/louvain/coarsen.rs:
+crates/core/src/louvain/driver.rs:
+crates/core/src/louvain/modularity.rs:
+crates/core/src/louvain/mplm.rs:
+crates/core/src/louvain/onpl.rs:
+crates/core/src/louvain/ovpl/mod.rs:
+crates/core/src/louvain/ovpl/blocks.rs:
+crates/core/src/louvain/ovpl/move_phase.rs:
+crates/core/src/louvain/ovpl/preprocess.rs:
+crates/core/src/louvain/plm.rs:
+crates/core/src/neighborhood.rs:
+crates/core/src/overlap.rs:
+crates/core/src/partition/mod.rs:
+crates/core/src/partition/initial.rs:
+crates/core/src/partition/matching.rs:
+crates/core/src/partition/metrics.rs:
+crates/core/src/partition/refine.rs:
+crates/core/src/quality.rs:
+crates/core/src/reduce_scatter.rs:
+crates/core/src/vector_affinity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

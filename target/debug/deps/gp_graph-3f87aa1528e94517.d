@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/gp_graph-3f87aa1528e94517.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/ba.rs crates/graph/src/generators/er.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/special.rs crates/graph/src/io/mod.rs crates/graph/src/io/edgelist.rs crates/graph/src/io/matrix_market.rs crates/graph/src/io/metis.rs crates/graph/src/ordering.rs crates/graph/src/permute.rs crates/graph/src/stats.rs crates/graph/src/suite.rs crates/graph/src/weights.rs
+
+/root/repo/target/debug/deps/libgp_graph-3f87aa1528e94517.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/ba.rs crates/graph/src/generators/er.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/special.rs crates/graph/src/io/mod.rs crates/graph/src/io/edgelist.rs crates/graph/src/io/matrix_market.rs crates/graph/src/io/metis.rs crates/graph/src/ordering.rs crates/graph/src/permute.rs crates/graph/src/stats.rs crates/graph/src/suite.rs crates/graph/src/weights.rs
+
+/root/repo/target/debug/deps/libgp_graph-3f87aa1528e94517.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/ba.rs crates/graph/src/generators/er.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/mesh.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/special.rs crates/graph/src/io/mod.rs crates/graph/src/io/edgelist.rs crates/graph/src/io/matrix_market.rs crates/graph/src/io/metis.rs crates/graph/src/ordering.rs crates/graph/src/permute.rs crates/graph/src/stats.rs crates/graph/src/suite.rs crates/graph/src/weights.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/ba.rs:
+crates/graph/src/generators/er.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/mesh.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/generators/special.rs:
+crates/graph/src/io/mod.rs:
+crates/graph/src/io/edgelist.rs:
+crates/graph/src/io/matrix_market.rs:
+crates/graph/src/io/metis.rs:
+crates/graph/src/ordering.rs:
+crates/graph/src/permute.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/suite.rs:
+crates/graph/src/weights.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gp_metrics-0ac4f3f10b2e9f18.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/gp_metrics-0ac4f3f10b2e9f18: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/telemetry.rs:
+crates/metrics/src/timer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gp_metrics-cc7a55367225e907.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/libgp_metrics-cc7a55367225e907.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/libgp_metrics-cc7a55367225e907.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/telemetry.rs:
+crates/metrics/src/timer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gp_metrics-d4e2101412a04f15.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_metrics-d4e2101412a04f15.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/telemetry.rs:
+crates/metrics/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gp_simd-50ca2328e4b6d686.d: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgp_simd-50ca2328e4b6d686.rmeta: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs Cargo.toml
+
+crates/simd/src/lib.rs:
+crates/simd/src/backend/mod.rs:
+crates/simd/src/backend/avx512.rs:
+crates/simd/src/backend/scalar.rs:
+crates/simd/src/counted.rs:
+crates/simd/src/counters.rs:
+crates/simd/src/cost.rs:
+crates/simd/src/energy.rs:
+crates/simd/src/engine.rs:
+crates/simd/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

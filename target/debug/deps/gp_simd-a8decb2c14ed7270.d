@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gp_simd-a8decb2c14ed7270.d: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/gp_simd-a8decb2c14ed7270: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/backend/mod.rs:
+crates/simd/src/backend/avx512.rs:
+crates/simd/src/backend/scalar.rs:
+crates/simd/src/counted.rs:
+crates/simd/src/counters.rs:
+crates/simd/src/cost.rs:
+crates/simd/src/energy.rs:
+crates/simd/src/engine.rs:
+crates/simd/src/vector.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gp_simd-fc6928006f24c406.d: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libgp_simd-fc6928006f24c406.rlib: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libgp_simd-fc6928006f24c406.rmeta: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/backend/mod.rs:
+crates/simd/src/backend/avx512.rs:
+crates/simd/src/backend/scalar.rs:
+crates/simd/src/counted.rs:
+crates/simd/src/counters.rs:
+crates/simd/src/cost.rs:
+crates/simd/src/energy.rs:
+crates/simd/src/engine.rs:
+crates/simd/src/vector.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpart-679185f56cb6bb22.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/gpart-679185f56cb6bb22: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

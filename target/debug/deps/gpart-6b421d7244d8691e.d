@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpart-6b421d7244d8691e.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/gpart-6b421d7244d8691e: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

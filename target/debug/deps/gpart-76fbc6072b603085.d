@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpart-76fbc6072b603085.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpart-76fbc6072b603085.rmeta: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpart-78a48b66174dd084.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/gpart-78a48b66174dd084: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpart-b7b9e201ff534f6b.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/debug/deps/gpart-b7b9e201ff534f6b: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

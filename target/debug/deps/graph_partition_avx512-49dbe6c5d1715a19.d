@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_partition_avx512-49dbe6c5d1715a19.d: src/lib.rs
+
+/root/repo/target/debug/deps/graph_partition_avx512-49dbe6c5d1715a19: src/lib.rs
+
+src/lib.rs:

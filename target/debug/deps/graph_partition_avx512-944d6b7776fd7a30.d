@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_partition_avx512-944d6b7776fd7a30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_partition_avx512-944d6b7776fd7a30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

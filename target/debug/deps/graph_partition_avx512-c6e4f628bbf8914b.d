@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graph_partition_avx512-c6e4f628bbf8914b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_partition_avx512-c6e4f628bbf8914b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_partition_avx512-c6e4f628bbf8914b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrips-9cfdb586f3141977.d: tests/io_roundtrips.rs
+
+/root/repo/target/debug/deps/io_roundtrips-9cfdb586f3141977: tests/io_roundtrips.rs
+
+tests/io_roundtrips.rs:

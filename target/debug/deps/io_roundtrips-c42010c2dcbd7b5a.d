@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_roundtrips-c42010c2dcbd7b5a.d: tests/io_roundtrips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_roundtrips-c42010c2dcbd7b5a.rmeta: tests/io_roundtrips.rs Cargo.toml
+
+tests/io_roundtrips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_props-42a58852548bab6d.d: crates/core/tests/kernel_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_props-42a58852548bab6d.rmeta: crates/core/tests/kernel_props.rs Cargo.toml
+
+crates/core/tests/kernel_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_props-8c65402ae9463d14.d: crates/core/tests/kernel_props.rs
+
+/root/repo/target/debug/deps/kernel_props-8c65402ae9463d14: crates/core/tests/kernel_props.rs
+
+crates/core/tests/kernel_props.rs:

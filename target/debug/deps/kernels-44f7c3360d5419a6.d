@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-44f7c3360d5419a6.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-44f7c3360d5419a6.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

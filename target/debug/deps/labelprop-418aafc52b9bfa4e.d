@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/labelprop-418aafc52b9bfa4e.d: crates/bench/benches/labelprop.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblabelprop-418aafc52b9bfa4e.rmeta: crates/bench/benches/labelprop.rs Cargo.toml
+
+crates/bench/benches/labelprop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

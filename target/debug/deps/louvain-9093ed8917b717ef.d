@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/louvain-9093ed8917b717ef.d: crates/bench/benches/louvain.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblouvain-9093ed8917b717ef.rmeta: crates/bench/benches/louvain.rs Cargo.toml
+
+crates/bench/benches/louvain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_shapes-a09803e2178016c4.d: tests/model_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_shapes-a09803e2178016c4.rmeta: tests/model_shapes.rs Cargo.toml
+
+tests/model_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

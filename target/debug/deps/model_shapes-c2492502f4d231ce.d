@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_shapes-c2492502f4d231ce.d: tests/model_shapes.rs
+
+/root/repo/target/debug/deps/model_shapes-c2492502f4d231ce: tests/model_shapes.rs
+
+tests/model_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz-1114338cfbb6ac1e.d: crates/graph/tests/parser_fuzz.rs
+
+/root/repo/target/debug/deps/parser_fuzz-1114338cfbb6ac1e: crates/graph/tests/parser_fuzz.rs
+
+crates/graph/tests/parser_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_fuzz-231df070ab9de7f3.d: crates/graph/tests/parser_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_fuzz-231df070ab9de7f3.rmeta: crates/graph/tests/parser_fuzz.rs Cargo.toml
+
+crates/graph/tests/parser_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

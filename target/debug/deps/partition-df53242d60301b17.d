@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition-df53242d60301b17.d: crates/bench/benches/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition-df53242d60301b17.rmeta: crates/bench/benches/partition.rs Cargo.toml
+
+crates/bench/benches/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

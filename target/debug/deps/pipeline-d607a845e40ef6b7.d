@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-d607a845e40ef6b7.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-d607a845e40ef6b7.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-d9c79a4354ae3f46.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-d9c79a4354ae3f46: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1412a6b141696695.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1412a6b141696695: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-65d402ecfebfcf20.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-65d402ecfebfcf20.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a492ccc28d618501.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a492ccc28d618501.rlib: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a492ccc28d618501.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8c520ddfb339b631.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8c520ddfb339b631.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8c520ddfb339b631.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

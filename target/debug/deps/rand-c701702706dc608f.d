@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c701702706dc608f.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c701702706dc608f.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-20f5d37435aa0705.d: .devstubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-20f5d37435aa0705.rmeta: .devstubs/rand_chacha/src/lib.rs
+
+.devstubs/rand_chacha/src/lib.rs:

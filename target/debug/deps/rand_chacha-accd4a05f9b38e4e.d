@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-accd4a05f9b38e4e.d: .devstubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-accd4a05f9b38e4e.rlib: .devstubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-accd4a05f9b38e4e.rmeta: .devstubs/rand_chacha/src/lib.rs
+
+.devstubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-6c7d93baf4cf52c0.d: .devstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6c7d93baf4cf52c0.rlib: .devstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6c7d93baf4cf52c0.rmeta: .devstubs/rayon/src/lib.rs
+
+.devstubs/rayon/src/lib.rs:

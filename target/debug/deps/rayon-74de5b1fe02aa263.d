@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-74de5b1fe02aa263.d: .devstubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-74de5b1fe02aa263.rmeta: .devstubs/rayon/src/lib.rs
+
+.devstubs/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduce_scatter-6dd7780694f76ca9.d: crates/bench/benches/reduce_scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduce_scatter-6dd7780694f76ca9.rmeta: crates/bench/benches/reduce_scatter.rs Cargo.toml
+
+crates/bench/benches/reduce_scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduce_scatter_props-5e065dbee8e877c4.d: crates/core/tests/reduce_scatter_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduce_scatter_props-5e065dbee8e877c4.rmeta: crates/core/tests/reduce_scatter_props.rs Cargo.toml
+
+crates/core/tests/reduce_scatter_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

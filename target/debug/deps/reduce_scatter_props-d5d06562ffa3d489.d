@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduce_scatter_props-d5d06562ffa3d489.d: crates/core/tests/reduce_scatter_props.rs
+
+/root/repo/target/debug/deps/reduce_scatter_props-d5d06562ffa3d489: crates/core/tests/reduce_scatter_props.rs
+
+crates/core/tests/reduce_scatter_props.rs:

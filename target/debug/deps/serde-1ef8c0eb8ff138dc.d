@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1ef8c0eb8ff138dc.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1ef8c0eb8ff138dc.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f8aec5d925f0a642.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8aec5d925f0a642.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8aec5d925f0a642.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_graphs-69034bdd60bb8fcd.d: crates/bench/src/bin/table1_graphs.rs
+
+/root/repo/target/debug/deps/table1_graphs-69034bdd60bb8fcd: crates/bench/src/bin/table1_graphs.rs
+
+crates/bench/src/bin/table1_graphs.rs:

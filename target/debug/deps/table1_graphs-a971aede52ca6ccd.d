@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_graphs-a971aede52ca6ccd.d: crates/bench/src/bin/table1_graphs.rs
+
+/root/repo/target/debug/deps/table1_graphs-a971aede52ca6ccd: crates/bench/src/bin/table1_graphs.rs
+
+crates/bench/src/bin/table1_graphs.rs:

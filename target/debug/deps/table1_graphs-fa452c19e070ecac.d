@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_graphs-fa452c19e070ecac.d: crates/bench/src/bin/table1_graphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_graphs-fa452c19e070ecac.rmeta: crates/bench/src/bin/table1_graphs.rs Cargo.toml
+
+crates/bench/src/bin/table1_graphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_rmat_params-38bf95318a211e4d.d: crates/bench/src/bin/table2_rmat_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_rmat_params-38bf95318a211e4d.rmeta: crates/bench/src/bin/table2_rmat_params.rs Cargo.toml
+
+crates/bench/src/bin/table2_rmat_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_rmat_params-4807b714cae4a907.d: crates/bench/src/bin/table2_rmat_params.rs
+
+/root/repo/target/debug/deps/table2_rmat_params-4807b714cae4a907: crates/bench/src/bin/table2_rmat_params.rs
+
+crates/bench/src/bin/table2_rmat_params.rs:

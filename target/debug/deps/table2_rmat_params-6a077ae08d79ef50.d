@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_rmat_params-6a077ae08d79ef50.d: crates/bench/src/bin/table2_rmat_params.rs
+
+/root/repo/target/debug/deps/table2_rmat_params-6a077ae08d79ef50: crates/bench/src/bin/table2_rmat_params.rs
+
+crates/bench/src/bin/table2_rmat_params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-e54ad4cb814d8250.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-e54ad4cb814d8250: tests/telemetry.rs
+
+tests/telemetry.rs:

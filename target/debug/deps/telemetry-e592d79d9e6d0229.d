@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-e592d79d9e6d0229.d: tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-e592d79d9e6d0229.rmeta: tests/telemetry.rs Cargo.toml
+
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weight_sensitivity-44e0dc36a28186ac.d: crates/core/tests/weight_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweight_sensitivity-44e0dc36a28186ac.rmeta: crates/core/tests/weight_sensitivity.rs Cargo.toml
+
+crates/core/tests/weight_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weight_sensitivity-cb4dc36835535fa6.d: crates/core/tests/weight_sensitivity.rs
+
+/root/repo/target/debug/deps/weight_sensitivity-cb4dc36835535fa6: crates/core/tests/weight_sensitivity.rs
+
+crates/core/tests/weight_sensitivity.rs:

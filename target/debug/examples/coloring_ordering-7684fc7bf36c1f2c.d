@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coloring_ordering-7684fc7bf36c1f2c.d: examples/coloring_ordering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoloring_ordering-7684fc7bf36c1f2c.rmeta: examples/coloring_ordering.rs Cargo.toml
+
+examples/coloring_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

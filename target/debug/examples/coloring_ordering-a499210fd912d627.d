@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coloring_ordering-a499210fd912d627.d: examples/coloring_ordering.rs
+
+/root/repo/target/debug/examples/coloring_ordering-a499210fd912d627: examples/coloring_ordering.rs
+
+examples/coloring_ordering.rs:

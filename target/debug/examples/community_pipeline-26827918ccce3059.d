@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/community_pipeline-26827918ccce3059.d: examples/community_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommunity_pipeline-26827918ccce3059.rmeta: examples/community_pipeline.rs Cargo.toml
+
+examples/community_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/community_pipeline-cc436b6f6c75fbdc.d: examples/community_pipeline.rs
+
+/root/repo/target/debug/examples/community_pipeline-cc436b6f6c75fbdc: examples/community_pipeline.rs
+
+examples/community_pipeline.rs:

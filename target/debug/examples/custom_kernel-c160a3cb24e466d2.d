@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-c160a3cb24e466d2.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-c160a3cb24e466d2: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

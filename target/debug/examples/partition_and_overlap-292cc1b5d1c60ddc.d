@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_and_overlap-292cc1b5d1c60ddc.d: examples/partition_and_overlap.rs
+
+/root/repo/target/debug/examples/partition_and_overlap-292cc1b5d1c60ddc: examples/partition_and_overlap.rs
+
+examples/partition_and_overlap.rs:

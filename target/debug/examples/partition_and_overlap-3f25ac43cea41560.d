@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_and_overlap-3f25ac43cea41560.d: examples/partition_and_overlap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_and_overlap-3f25ac43cea41560.rmeta: examples/partition_and_overlap.rs Cargo.toml
+
+examples/partition_and_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f4bbab3e14411c1c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f4bbab3e14411c1c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rmat_study-c8a1d5648d4d06fb.d: examples/rmat_study.rs
+
+/root/repo/target/debug/examples/rmat_study-c8a1d5648d4d06fb: examples/rmat_study.rs
+
+examples/rmat_study.rs:

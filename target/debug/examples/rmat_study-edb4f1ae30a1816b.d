@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rmat_study-edb4f1ae30a1816b.d: examples/rmat_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/librmat_study-edb4f1ae30a1816b.rmeta: examples/rmat_study.rs Cargo.toml
+
+examples/rmat_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_conflict_detection-c75d83443aaec2e0.d: crates/bench/src/bin/ablation_conflict_detection.rs
+
+/root/repo/target/release/deps/ablation_conflict_detection-c75d83443aaec2e0: crates/bench/src/bin/ablation_conflict_detection.rs
+
+crates/bench/src/bin/ablation_conflict_detection.rs:

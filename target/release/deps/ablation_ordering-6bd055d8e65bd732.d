@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ordering-6bd055d8e65bd732.d: crates/bench/src/bin/ablation_ordering.rs
+
+/root/repo/target/release/deps/ablation_ordering-6bd055d8e65bd732: crates/bench/src/bin/ablation_ordering.rs
+
+crates/bench/src/bin/ablation_ordering.rs:

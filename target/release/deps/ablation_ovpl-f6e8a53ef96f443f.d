@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ovpl-f6e8a53ef96f443f.d: crates/bench/src/bin/ablation_ovpl.rs
+
+/root/repo/target/release/deps/ablation_ovpl-f6e8a53ef96f443f: crates/bench/src/bin/ablation_ovpl.rs
+
+crates/bench/src/bin/ablation_ovpl.rs:

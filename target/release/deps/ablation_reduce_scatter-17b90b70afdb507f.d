@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_reduce_scatter-17b90b70afdb507f.d: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+/root/repo/target/release/deps/ablation_reduce_scatter-17b90b70afdb507f: crates/bench/src/bin/ablation_reduce_scatter.rs
+
+crates/bench/src/bin/ablation_reduce_scatter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg3-48c80f65a92b53f6.d: crates/bench/src/bin/dbg3.rs
+
+/root/repo/target/release/deps/dbg3-48c80f65a92b53f6: crates/bench/src/bin/dbg3.rs
+
+crates/bench/src/bin/dbg3.rs:

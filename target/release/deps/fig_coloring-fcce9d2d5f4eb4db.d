@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_coloring-fcce9d2d5f4eb4db.d: crates/bench/src/bin/fig_coloring.rs
+
+/root/repo/target/release/deps/fig_coloring-fcce9d2d5f4eb4db: crates/bench/src/bin/fig_coloring.rs
+
+crates/bench/src/bin/fig_coloring.rs:

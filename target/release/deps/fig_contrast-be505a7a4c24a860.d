@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_contrast-be505a7a4c24a860.d: crates/bench/src/bin/fig_contrast.rs
+
+/root/repo/target/release/deps/fig_contrast-be505a7a4c24a860: crates/bench/src/bin/fig_contrast.rs
+
+crates/bench/src/bin/fig_contrast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_energy-489aaac4836a056f.d: crates/bench/src/bin/fig_energy.rs
+
+/root/repo/target/release/deps/fig_energy-489aaac4836a056f: crates/bench/src/bin/fig_energy.rs
+
+crates/bench/src/bin/fig_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_extension_partition-35e4f912d8c35784.d: crates/bench/src/bin/fig_extension_partition.rs
+
+/root/repo/target/release/deps/fig_extension_partition-35e4f912d8c35784: crates/bench/src/bin/fig_extension_partition.rs
+
+crates/bench/src/bin/fig_extension_partition.rs:

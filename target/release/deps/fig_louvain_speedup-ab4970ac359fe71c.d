@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_louvain_speedup-ab4970ac359fe71c.d: crates/bench/src/bin/fig_louvain_speedup.rs
+
+/root/repo/target/release/deps/fig_louvain_speedup-ab4970ac359fe71c: crates/bench/src/bin/fig_louvain_speedup.rs
+
+crates/bench/src/bin/fig_louvain_speedup.rs:

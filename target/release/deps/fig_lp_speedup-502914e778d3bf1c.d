@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_lp_speedup-502914e778d3bf1c.d: crates/bench/src/bin/fig_lp_speedup.rs
+
+/root/repo/target/release/deps/fig_lp_speedup-502914e778d3bf1c: crates/bench/src/bin/fig_lp_speedup.rs
+
+crates/bench/src/bin/fig_lp_speedup.rs:

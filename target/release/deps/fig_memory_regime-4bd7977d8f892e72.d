@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_memory_regime-4bd7977d8f892e72.d: crates/bench/src/bin/fig_memory_regime.rs
+
+/root/repo/target/release/deps/fig_memory_regime-4bd7977d8f892e72: crates/bench/src/bin/fig_memory_regime.rs
+
+crates/bench/src/bin/fig_memory_regime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_microbench-c2e4c24924570947.d: crates/bench/src/bin/fig_microbench.rs
+
+/root/repo/target/release/deps/fig_microbench-c2e4c24924570947: crates/bench/src/bin/fig_microbench.rs
+
+crates/bench/src/bin/fig_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_modularity-0da2729c701b4f2d.d: crates/bench/src/bin/fig_modularity.rs
+
+/root/repo/target/release/deps/fig_modularity-0da2729c701b4f2d: crates/bench/src/bin/fig_modularity.rs
+
+crates/bench/src/bin/fig_modularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_ovpl_selected-046d3d10f9282cde.d: crates/bench/src/bin/fig_ovpl_selected.rs
+
+/root/repo/target/release/deps/fig_ovpl_selected-046d3d10f9282cde: crates/bench/src/bin/fig_ovpl_selected.rs
+
+crates/bench/src/bin/fig_ovpl_selected.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_plm_vs_mplm-ea7d84ff9c4b5989.d: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+/root/repo/target/release/deps/fig_plm_vs_mplm-ea7d84ff9c4b5989: crates/bench/src/bin/fig_plm_vs_mplm.rs
+
+crates/bench/src/bin/fig_plm_vs_mplm.rs:

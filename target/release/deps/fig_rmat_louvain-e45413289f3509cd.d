@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_rmat_louvain-e45413289f3509cd.d: crates/bench/src/bin/fig_rmat_louvain.rs
+
+/root/repo/target/release/deps/fig_rmat_louvain-e45413289f3509cd: crates/bench/src/bin/fig_rmat_louvain.rs
+
+crates/bench/src/bin/fig_rmat_louvain.rs:

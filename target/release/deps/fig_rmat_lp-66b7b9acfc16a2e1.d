@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_rmat_lp-66b7b9acfc16a2e1.d: crates/bench/src/bin/fig_rmat_lp.rs
+
+/root/repo/target/release/deps/fig_rmat_lp-66b7b9acfc16a2e1: crates/bench/src/bin/fig_rmat_lp.rs
+
+crates/bench/src/bin/fig_rmat_lp.rs:

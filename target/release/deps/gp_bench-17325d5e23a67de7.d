@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gp_bench-17325d5e23a67de7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+/root/repo/target/release/deps/libgp_bench-17325d5e23a67de7.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+/root/repo/target/release/deps/libgp_bench-17325d5e23a67de7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/rmat_sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/rmat_sweep.rs:

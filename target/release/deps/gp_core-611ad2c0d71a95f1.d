@@ -1,0 +1,36 @@
+/root/repo/target/release/deps/gp_core-611ad2c0d71a95f1.d: crates/core/src/lib.rs crates/core/src/coloring/mod.rs crates/core/src/coloring/greedy.rs crates/core/src/coloring/onpl.rs crates/core/src/coloring/verify.rs crates/core/src/contrast.rs crates/core/src/labelprop/mod.rs crates/core/src/labelprop/mplp.rs crates/core/src/labelprop/onlp.rs crates/core/src/louvain/mod.rs crates/core/src/louvain/coarsen.rs crates/core/src/louvain/driver.rs crates/core/src/louvain/modularity.rs crates/core/src/louvain/mplm.rs crates/core/src/louvain/onpl.rs crates/core/src/louvain/ovpl/mod.rs crates/core/src/louvain/ovpl/blocks.rs crates/core/src/louvain/ovpl/move_phase.rs crates/core/src/louvain/ovpl/preprocess.rs crates/core/src/louvain/plm.rs crates/core/src/neighborhood.rs crates/core/src/overlap.rs crates/core/src/partition/mod.rs crates/core/src/partition/initial.rs crates/core/src/partition/matching.rs crates/core/src/partition/metrics.rs crates/core/src/partition/refine.rs crates/core/src/quality.rs crates/core/src/reduce_scatter.rs crates/core/src/vector_affinity.rs
+
+/root/repo/target/release/deps/libgp_core-611ad2c0d71a95f1.rlib: crates/core/src/lib.rs crates/core/src/coloring/mod.rs crates/core/src/coloring/greedy.rs crates/core/src/coloring/onpl.rs crates/core/src/coloring/verify.rs crates/core/src/contrast.rs crates/core/src/labelprop/mod.rs crates/core/src/labelprop/mplp.rs crates/core/src/labelprop/onlp.rs crates/core/src/louvain/mod.rs crates/core/src/louvain/coarsen.rs crates/core/src/louvain/driver.rs crates/core/src/louvain/modularity.rs crates/core/src/louvain/mplm.rs crates/core/src/louvain/onpl.rs crates/core/src/louvain/ovpl/mod.rs crates/core/src/louvain/ovpl/blocks.rs crates/core/src/louvain/ovpl/move_phase.rs crates/core/src/louvain/ovpl/preprocess.rs crates/core/src/louvain/plm.rs crates/core/src/neighborhood.rs crates/core/src/overlap.rs crates/core/src/partition/mod.rs crates/core/src/partition/initial.rs crates/core/src/partition/matching.rs crates/core/src/partition/metrics.rs crates/core/src/partition/refine.rs crates/core/src/quality.rs crates/core/src/reduce_scatter.rs crates/core/src/vector_affinity.rs
+
+/root/repo/target/release/deps/libgp_core-611ad2c0d71a95f1.rmeta: crates/core/src/lib.rs crates/core/src/coloring/mod.rs crates/core/src/coloring/greedy.rs crates/core/src/coloring/onpl.rs crates/core/src/coloring/verify.rs crates/core/src/contrast.rs crates/core/src/labelprop/mod.rs crates/core/src/labelprop/mplp.rs crates/core/src/labelprop/onlp.rs crates/core/src/louvain/mod.rs crates/core/src/louvain/coarsen.rs crates/core/src/louvain/driver.rs crates/core/src/louvain/modularity.rs crates/core/src/louvain/mplm.rs crates/core/src/louvain/onpl.rs crates/core/src/louvain/ovpl/mod.rs crates/core/src/louvain/ovpl/blocks.rs crates/core/src/louvain/ovpl/move_phase.rs crates/core/src/louvain/ovpl/preprocess.rs crates/core/src/louvain/plm.rs crates/core/src/neighborhood.rs crates/core/src/overlap.rs crates/core/src/partition/mod.rs crates/core/src/partition/initial.rs crates/core/src/partition/matching.rs crates/core/src/partition/metrics.rs crates/core/src/partition/refine.rs crates/core/src/quality.rs crates/core/src/reduce_scatter.rs crates/core/src/vector_affinity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coloring/mod.rs:
+crates/core/src/coloring/greedy.rs:
+crates/core/src/coloring/onpl.rs:
+crates/core/src/coloring/verify.rs:
+crates/core/src/contrast.rs:
+crates/core/src/labelprop/mod.rs:
+crates/core/src/labelprop/mplp.rs:
+crates/core/src/labelprop/onlp.rs:
+crates/core/src/louvain/mod.rs:
+crates/core/src/louvain/coarsen.rs:
+crates/core/src/louvain/driver.rs:
+crates/core/src/louvain/modularity.rs:
+crates/core/src/louvain/mplm.rs:
+crates/core/src/louvain/onpl.rs:
+crates/core/src/louvain/ovpl/mod.rs:
+crates/core/src/louvain/ovpl/blocks.rs:
+crates/core/src/louvain/ovpl/move_phase.rs:
+crates/core/src/louvain/ovpl/preprocess.rs:
+crates/core/src/louvain/plm.rs:
+crates/core/src/neighborhood.rs:
+crates/core/src/overlap.rs:
+crates/core/src/partition/mod.rs:
+crates/core/src/partition/initial.rs:
+crates/core/src/partition/matching.rs:
+crates/core/src/partition/metrics.rs:
+crates/core/src/partition/refine.rs:
+crates/core/src/quality.rs:
+crates/core/src/reduce_scatter.rs:
+crates/core/src/vector_affinity.rs:

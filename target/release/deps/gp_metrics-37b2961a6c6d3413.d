@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gp_metrics-37b2961a6c6d3413.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+/root/repo/target/release/deps/libgp_metrics-37b2961a6c6d3413.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+/root/repo/target/release/deps/libgp_metrics-37b2961a6c6d3413.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs crates/metrics/src/telemetry.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/telemetry.rs:
+crates/metrics/src/timer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gp_simd-24073edcdf892351.d: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+/root/repo/target/release/deps/libgp_simd-24073edcdf892351.rlib: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+/root/repo/target/release/deps/libgp_simd-24073edcdf892351.rmeta: crates/simd/src/lib.rs crates/simd/src/backend/mod.rs crates/simd/src/backend/avx512.rs crates/simd/src/backend/scalar.rs crates/simd/src/counted.rs crates/simd/src/counters.rs crates/simd/src/cost.rs crates/simd/src/energy.rs crates/simd/src/engine.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/backend/mod.rs:
+crates/simd/src/backend/avx512.rs:
+crates/simd/src/backend/scalar.rs:
+crates/simd/src/counted.rs:
+crates/simd/src/counters.rs:
+crates/simd/src/cost.rs:
+crates/simd/src/energy.rs:
+crates/simd/src/engine.rs:
+crates/simd/src/vector.rs:

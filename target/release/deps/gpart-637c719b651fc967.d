@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gpart-637c719b651fc967.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/release/deps/gpart-637c719b651fc967: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gpart-6b364f13ae16cf84.d: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+/root/repo/target/release/deps/gpart-6b364f13ae16cf84: crates/cli/src/main.rs crates/cli/src/commands.rs crates/cli/src/io.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/io.rs:

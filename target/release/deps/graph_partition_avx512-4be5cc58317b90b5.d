@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graph_partition_avx512-4be5cc58317b90b5.d: src/lib.rs
+
+/root/repo/target/release/deps/libgraph_partition_avx512-4be5cc58317b90b5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgraph_partition_avx512-4be5cc58317b90b5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-73a08afc90dcc775.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-73a08afc90dcc775.rlib: .devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-73a08afc90dcc775.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

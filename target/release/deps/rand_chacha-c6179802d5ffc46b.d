@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-c6179802d5ffc46b.d: .devstubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-c6179802d5ffc46b.rlib: .devstubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-c6179802d5ffc46b.rmeta: .devstubs/rand_chacha/src/lib.rs
+
+.devstubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-7a120682d3883101.d: .devstubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7a120682d3883101.rlib: .devstubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7a120682d3883101.rmeta: .devstubs/rayon/src/lib.rs
+
+.devstubs/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-25f799c9a45552b9.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-25f799c9a45552b9.rlib: .devstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-25f799c9a45552b9.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2291fd0c5294d007.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2291fd0c5294d007.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

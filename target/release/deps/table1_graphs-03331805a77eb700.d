@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_graphs-03331805a77eb700.d: crates/bench/src/bin/table1_graphs.rs
+
+/root/repo/target/release/deps/table1_graphs-03331805a77eb700: crates/bench/src/bin/table1_graphs.rs
+
+crates/bench/src/bin/table1_graphs.rs:

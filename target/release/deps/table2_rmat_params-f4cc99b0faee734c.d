@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_rmat_params-f4cc99b0faee734c.d: crates/bench/src/bin/table2_rmat_params.rs
+
+/root/repo/target/release/deps/table2_rmat_params-f4cc99b0faee734c: crates/bench/src/bin/table2_rmat_params.rs
+
+crates/bench/src/bin/table2_rmat_params.rs:
