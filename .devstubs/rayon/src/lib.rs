@@ -1,0 +1,464 @@
+//! Offline stand-in for the `rayon` crate (API subset used by this workspace).
+//!
+//! Executes every "parallel" combinator sequentially on the calling thread.
+//! This is sound for this repository because every parallel pass is written
+//! to be *output-invariant* under scheduling (see `gp_graph::par`): chunk
+//! decomposition plus deterministic combination means the sequential schedule
+//! produces byte-identical results to any parallel one. Thread-pool
+//! bookkeeping (`ThreadPoolBuilder` / `ThreadPool::install` /
+//! `current_num_threads`) is emulated with a thread-local so pool-scoping
+//! code and the `--threads` knob behave observably the same.
+//!
+//! Closure bounds are intentionally looser than real rayon (`FnMut` instead
+//! of `Fn + Send + Sync`); code that compiles against real rayon compiles
+//! against this stub unchanged.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Thread-pool emulation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// 0 = no scoped pool installed (report hardware parallelism).
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Size configured via [`ThreadPoolBuilder::build_global`] (0 = default).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads the "current pool" would use. Inside
+/// [`ThreadPool::install`] this is the configured pool size; otherwise the
+/// [`ThreadPoolBuilder::build_global`] size if one was set; otherwise the
+/// hardware parallelism, mirroring rayon's global-pool default.
+pub fn current_num_threads() -> usize {
+    let scoped = POOL_THREADS.with(|c| c.get());
+    if scoped != 0 {
+        return scoped;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` means "default" (hardware parallelism), as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Sizes the "global pool": subsequent [`current_num_threads`] calls
+    /// outside a scoped [`ThreadPool::install`] report this size. Like
+    /// rayon, the first caller wins; later calls return an error.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREADS.compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError(())),
+        }
+    }
+}
+
+/// Scoped pool: work "installed" on it runs on the caller's thread, but
+/// [`current_num_threads`] reports the configured size for the duration.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator facade
+// ---------------------------------------------------------------------------
+
+/// Sequential "parallel iterator": wraps a std iterator and exposes the
+/// rayon combinator names.
+pub struct Par<I>(I);
+
+/// `Par` is itself iterable, so it satisfies the blanket
+/// [`IntoParallelIterator`] impl and can be passed to combinators such as
+/// [`Par::zip`] (mirroring rayon, where parallel iterators implement
+/// `IntoParallelIterator` reflexively).
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's per-thread scratch initializer; sequentially this is a single
+    /// scratch value threaded through every element.
+    pub fn for_each_init<T, INIT, F>(self, mut init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut scratch = init();
+        self.0.for_each(|item| f(&mut scratch, item));
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn map_init<T, B, INIT, F>(
+        self,
+        mut init: INIT,
+        mut f: F,
+    ) -> Par<std::vec::IntoIter<B>>
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item) -> B,
+    {
+        let mut scratch = init();
+        let out: Vec<B> = self.0.map(|item| f(&mut scratch, item)).collect();
+        Par(out.into_iter())
+    }
+
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::SeqIter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.all(f)
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.any(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnMut() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let mut identity = identity;
+        self.0.fold(identity(), op)
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Scheduling hint; a no-op sequentially.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Scheduling hint; a no-op sequentially.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (rayon::prelude names)
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` — blanket over everything iterable (ranges, `Vec`, …).
+pub trait IntoParallelIterator {
+    type Item;
+    type SeqIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type SeqIter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` — blanket over `&T: IntoIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type SeqIter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type SeqIter = <&'a T as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` — blanket over `&mut T: IntoIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type SeqIter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Item = <&'a mut T as IntoIterator>::Item;
+    type SeqIter = <&'a mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Shared-slice views (`par_windows`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(window_size))
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable-slice operations (`par_sort_*`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Runs two closures, returning both results (sequentially: left then right).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+    };
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn combinators_match_sequential() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(v.par_iter().all(|&x| x < 100));
+        assert!(doubled.par_windows(2).all(|w| w[0] <= w[1]));
+
+        let mut w = vec![5u32, 3, 1, 4, 2];
+        w.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(w, [5, 4, 3, 2, 1]);
+
+        let pairs: Vec<(usize, u32)> = (0..5usize).into_par_iter().zip(w.par_iter().copied()).collect();
+        assert_eq!(pairs[1], (1, 4));
+    }
+
+    #[test]
+    fn for_each_init_threads_scratch() {
+        let mut hits = 0usize;
+        [1, 2, 3].par_iter().for_each_init(
+            || vec![0u8; 4],
+            |scratch, &x| {
+                scratch[0] = x;
+                // no-op use of scratch
+            },
+        );
+        (0..3u32).into_par_iter().for_each(|_| hits += 0);
+        let _ = hits;
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outside = current_num_threads();
+        assert!(outside >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 7);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn build_global_first_caller_wins() {
+        // Depending on test order this may or may not be the first caller,
+        // so assert only the invariants that hold either way.
+        let r = ThreadPoolBuilder::new().num_threads(3).build_global();
+        if r.is_ok() {
+            assert_eq!(current_num_threads(), 3);
+        }
+        assert!(ThreadPoolBuilder::new().num_threads(9).build_global().is_err());
+        // Scoped pools still override the global size.
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 7);
+    }
+
+    #[test]
+    fn nested_install_restores() {
+        let p2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let p5 = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        p2.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            p5.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+}

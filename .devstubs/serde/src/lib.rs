@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde` (API subset used by this workspace).
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker on plain
+//! structs/enums (no serializer backend like `serde_json` is present), so
+//! the trait carries no methods. The derive macro is re-exported from the
+//! companion `serde_derive` stub; as in real serde, the trait and the derive
+//! macro share the `serde::Serialize` name across namespaces.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::Serialize;
+
+#[cfg(test)]
+mod tests {
+    #[derive(crate::Serialize)]
+    struct Plain {
+        _a: u32,
+        _b: f64,
+    }
+
+    #[derive(crate::Serialize)]
+    enum Kind {
+        _A,
+        _B(u32),
+    }
+
+    fn assert_serialize<T: crate::Serialize>() {}
+
+    #[test]
+    fn derive_emits_impl() {
+        assert_serialize::<Plain>();
+        assert_serialize::<Kind>();
+        let _ = Kind::_B(1);
+    }
+}

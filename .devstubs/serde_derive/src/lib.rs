@@ -1,0 +1,92 @@
+//! Offline stand-in for `serde_derive`: emits empty marker impls.
+//!
+//! Hand-parses the item name from the token stream (no `syn`/`quote` in the
+//! offline container). Handles `struct`/`enum` items with attributes,
+//! visibility, and optional generics; `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` of the derived item.
+///
+/// Scans for the `struct` / `enum` keyword, takes the following identifier,
+/// then (if a `<` follows) collects the generic parameter names so the impl
+/// can repeat them. Lifetimes and defaulted/bounded parameters are reduced
+/// to their bare names; const generics are not supported (unused in this
+/// workspace).
+fn item_name_and_generics(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else { continue };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("derive(Serialize): expected item name after `{kw}`");
+        };
+        let name = name.to_string();
+        // Optional generics: collect top-level parameter names until `>`.
+        let mut params: Vec<String> = Vec::new();
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            let mut pending_lifetime = false;
+            for tt in tokens.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => expect_param = true,
+                        '\'' if depth == 1 && expect_param => pending_lifetime = true,
+                        ':' if depth == 1 => expect_param = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let id = id.to_string();
+                        if pending_lifetime {
+                            params.push(format!("'{id}"));
+                            pending_lifetime = false;
+                        } else {
+                            params.push(id);
+                        }
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        return (name, params);
+    }
+    panic!("derive(Serialize): no struct or enum found in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = item_name_and_generics(input);
+    let code = if params.is_empty() {
+        format!("impl serde::Serialize for {name} {{}}")
+    } else {
+        let list = params.join(", ");
+        format!("impl<{list}> serde::Serialize for {name}<{list}> {{}}")
+    };
+    code.parse().expect("derive(Serialize): generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = item_name_and_generics(input);
+    let code = if params.is_empty() {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        let list = params.join(", ");
+        format!("impl<'de, {list}> serde::Deserialize<'de> for {name}<{list}> {{}}")
+    };
+    code.parse().expect("derive(Deserialize): generated impl failed to parse")
+}

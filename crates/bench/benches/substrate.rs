@@ -1,0 +1,85 @@
+//! Criterion bench: the parallel graph substrate (generator sampling, CSR
+//! construction, coarsening) — the passes parallelized for thread-scaling.
+//!
+//! All three are deterministic for any thread count, so the numbers here
+//! measure pure wall-clock: run with `GP_THREADS=1` and `GP_THREADS=4` (or
+//! the `--threads` CLI knob's equivalent pool sizes) to see the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_core::louvain::coarsen::coarsen;
+use gp_graph::builder::{DedupPolicy, GraphBuilder};
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::par::threads_from_env;
+use gp_graph::Edge;
+
+/// Scales covered: 2^16 vertices is the smallest graph where the parallel
+/// paths engage; 2^18 shows the trend (kept modest so `cargo bench` stays
+/// minutes, not hours, at GP_QUICK=1).
+const SCALES: [u32; 2] = [16, 18];
+
+fn maybe_size_pool() {
+    if let Some(t) = threads_from_env() {
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
+    }
+}
+
+fn bench_rmat_gen(c: &mut Criterion) {
+    maybe_size_pool();
+    let mut group = c.benchmark_group("substrate/rmat_gen");
+    for scale in SCALES {
+        let samples = (1u64 << scale) * 8;
+        group.throughput(Throughput::Elements(samples));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| rmat(RmatConfig::new(scale, 8).with_seed(7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_csr(c: &mut Criterion) {
+    maybe_size_pool();
+    let mut group = c.benchmark_group("substrate/build_csr");
+    for scale in SCALES {
+        let n = 1usize << scale;
+        // Pre-generate a duplicate-heavy raw edge list once; the bench times
+        // canonicalize + sort + dedup + counting-sort assembly only.
+        let edges: Vec<Edge> = (0..n * 8)
+            .map(|i| {
+                let u = ((i as u64).wrapping_mul(2654435761) % n as u64) as u32;
+                let v = ((i as u64).wrapping_mul(40503).wrapping_add(13) % n as u64) as u32;
+                Edge::new(u, v, (i % 5) as f32 + 1.0)
+            })
+            .collect();
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &edges, |b, edges| {
+            b.iter(|| {
+                GraphBuilder::new(n)
+                    .dedup_policy(DedupPolicy::SumWeights)
+                    .add_edges(edges.iter().copied())
+                    .build()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    maybe_size_pool();
+    let mut group = c.benchmark_group("substrate/coarsen");
+    for scale in SCALES {
+        let g = rmat(RmatConfig::new(scale, 8).with_seed(11));
+        // A community structure with ~n/64 coarse vertices — the shape the
+        // first Louvain coarsening level sees.
+        let zeta: Vec<u32> = (0..g.num_vertices() as u32)
+            .map(|u| (u.wrapping_mul(2654435761)) >> 26)
+            .collect();
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &g, |b, g| {
+            b.iter(|| coarsen(g, &zeta));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat_gen, bench_build_csr, bench_coarsen);
+criterion_main!(benches);

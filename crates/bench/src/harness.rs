@@ -36,11 +36,26 @@ pub struct BenchContext {
     pub scale: SuiteScale,
     /// Emit CSV instead of aligned text.
     pub csv: bool,
+    /// Substrate worker threads (`GP_THREADS`; 0 = rayon's default pool).
+    pub threads: usize,
 }
 
 impl BenchContext {
-    /// Reads `GP_QUICK`, `GP_RUNS`, `GP_SCALE`, `GP_CSV`.
+    /// Reads `GP_QUICK`, `GP_RUNS`, `GP_SCALE`, `GP_CSV`, `GP_THREADS`.
+    ///
+    /// When `GP_THREADS` is set, the global rayon pool is sized accordingly
+    /// before any parallel work runs, so every substrate pass in the binary
+    /// (generation, CSR builds, coarsening) uses that many workers. The
+    /// substrate is deterministic for any pool size — the knob trades
+    /// wall-clock only.
     pub fn from_env() -> Self {
+        let threads = gp_graph::par::threads_from_env().unwrap_or(0);
+        if threads != 0 {
+            // First caller wins; a pre-initialized pool keeps its size.
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global();
+        }
         let quick = std::env::var("GP_QUICK").is_ok_and(|v| v == "1");
         let mut timing = if quick {
             TimingConfig::quick()
@@ -63,7 +78,15 @@ impl BenchContext {
             timing,
             scale,
             csv: std::env::var("GP_CSV").is_ok_and(|v| v == "1"),
+            threads,
         }
+    }
+
+    /// Runs `f` inside a scoped pool of `self.threads` workers (ambient
+    /// pool when 0) — for sections that must re-assert the knob even after
+    /// another component sized the global pool.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        gp_graph::par::with_threads(self.threads, f)
     }
 
     /// Prints a table per the `csv` flag.
@@ -81,8 +104,13 @@ pub fn print_header(name: &str, ctx: &BenchContext) {
     if ctx.csv {
         return;
     }
+    let threads = if ctx.threads == 0 {
+        "default".to_string()
+    } else {
+        ctx.threads.to_string()
+    };
     println!(
-        "== {name} | backend: {} | scale: {:?} | runs: {} ==\n",
+        "== {name} | backend: {} | scale: {:?} | runs: {} | threads: {threads} ==\n",
         Engine::best().name(),
         ctx.scale,
         ctx.timing.runs
@@ -375,6 +403,7 @@ mod tests {
             timing: TimingConfig { runs: 2, warmup: 0 },
             scale: SuiteScale::Test,
             csv: false,
+            threads: 0,
         }
     }
 

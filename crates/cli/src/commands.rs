@@ -27,7 +27,10 @@ USAGE:
 
 Graph formats by extension: .el/.txt/.edges (edge list),
 .graph/.metis (METIS), .mtx/.mm (Matrix Market).
---trace records per-round telemetry (JSON, or CSV for a .csv path).
+--trace records per-round telemetry (JSON, or CSV for a .csv path),
+including substrate phase timings (coarsen/project) for multilevel runs.
+--threads n (any command, or GP_THREADS=n) runs the substrate on a scoped
+pool of n workers; outputs are identical for any thread count.
 ";
 
 /// Extracts `--flag value` from an argument list, returning the remainder.

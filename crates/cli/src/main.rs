@@ -13,15 +13,46 @@
 //!
 //! Formats are inferred from extensions: `.el`/`.txt` edge list,
 //! `.graph`/`.metis` METIS, `.mtx` Matrix Market.
+//!
+//! A global `--threads n` flag (any position, or the `GP_THREADS`
+//! environment variable) runs the whole command inside a scoped rayon pool
+//! of `n` workers. Graph generation, CSR construction, and coarsening are
+//! deterministic for any pool size, so the knob trades wall-clock only.
 
 mod commands;
 mod io;
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+/// Extracts the global `--threads n` flag (any position) and returns the
+/// thread count plus the remaining arguments. Falls back to the
+/// `GP_THREADS` environment variable; `0` (the default) means "use the
+/// ambient rayon pool".
+fn take_threads(args: Vec<String>) -> Result<(usize, Vec<String>), String> {
+    let mut threads = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| "`--threads` needs a value".to_string())?;
+            threads = Some(
+                v.parse::<usize>()
+                    .map_err(|e| format!("bad --threads value `{v}`: {e}"))?,
+            );
+        } else {
+            rest.push(a);
+        }
+    }
+    let threads = threads
+        .or_else(gp_graph::par::threads_from_env)
+        .unwrap_or(0);
+    Ok((threads, rest))
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
         Some("stats") => commands::stats(&args[1..]),
         Some("generate") => commands::generate(&args[1..]),
         Some("convert") => commands::convert(&args[1..]),
@@ -35,12 +66,47 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
-    };
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = take_threads(args)
+        .and_then(|(threads, rest)| gp_graph::par::with_threads(threads, || dispatch(&rest)));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("gpart: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::take_threads;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_threads_extracts_flag_anywhere() {
+        let (t, rest) = take_threads(args(&["color", "--threads", "4", "g.mtx"])).unwrap();
+        assert_eq!(t, 4);
+        assert_eq!(rest, args(&["color", "g.mtx"]));
+    }
+
+    #[test]
+    fn take_threads_defaults_to_ambient() {
+        // GP_THREADS may be set by the harness; only assert pass-through.
+        let (_, rest) = take_threads(args(&["stats", "g.mtx"])).unwrap();
+        assert_eq!(rest, args(&["stats", "g.mtx"]));
+    }
+
+    #[test]
+    fn take_threads_rejects_garbage() {
+        assert!(take_threads(args(&["--threads", "lots"])).is_err());
+        assert!(take_threads(args(&["--threads"])).is_err());
     }
 }

@@ -5,10 +5,44 @@
 //! driver needs it, so this is a faithful NetworKit-style implementation:
 //! intra-community weight becomes a self-loop on the coarse vertex,
 //! inter-community weight aggregates into one coarse edge.
+//!
+//! ## Sort-free parallel aggregation
+//!
+//! Earlier revisions routed coarsening through [`GraphBuilder`] with
+//! [`DedupPolicy::SumWeights`], which costs a global edge sort per level.
+//! This implementation aggregates directly:
+//!
+//! 1. **Relabel** occupied community ids densely (parallel first-occurrence
+//!    scan — atomic `fetch_min` of first positions, then one sort of the
+//!    occupied ids by position reproduces the serial numbering exactly);
+//! 2. **Bucket** fine vertices by coarse id with the same two-pass chunked
+//!    counting sort the builder uses (per-chunk histograms + prefix sums,
+//!    disjoint parallel scatter — members end up in ascending fine order);
+//! 3. **Aggregate** one coarse row per coarse vertex in parallel, using a
+//!    dense `f64` accumulator indexed by coarse neighbor id (the same
+//!    touched-list idiom as `mplm`'s `AffinityBuf`). Every row depends only
+//!    on its own members, so the pass is embarrassingly parallel *and*
+//!    schedule-invariant: member order and adjacency order fix the
+//!    accumulation order regardless of thread count.
+//!
+//! Intra-community arcs between distinct members are seen twice (once from
+//! each endpoint), so the self-loop weight is `fine_self + intra_arcs / 2` —
+//! exact in `f64` because doubling is exact. The produced graph is
+//! byte-identical for any thread count, and matches the old builder path on
+//! integer-weighted inputs.
 
-use gp_graph::builder::{DedupPolicy, GraphBuilder};
 use gp_graph::csr::Csr;
-use gp_graph::Edge;
+use gp_graph::par::{chunk_count, chunk_ranges, SharedWriter};
+use gp_graph::{VertexId, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Inputs below this many fine vertices take the serial path (identical
+/// output; parallel setup costs more than it saves).
+const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Minimum items per parallel chunk in the bucketing passes.
+const MIN_CHUNK: usize = 1 << 13;
 
 /// Result of coarsening: the community graph and the dense relabeling
 /// (`fine_to_coarse[community_id] = coarse vertex`, `u32::MAX` for ids that
@@ -21,36 +55,251 @@ pub struct Coarsened {
     pub fine_to_coarse: Vec<u32>,
 }
 
+/// Dense relabeling of occupied community ids, in first-occurrence order.
+/// Returns `(fine_to_coarse, num_coarse)`.
+fn dense_relabel(zeta: &[u32], n: usize, parallel: bool) -> (Vec<u32>, usize) {
+    if !parallel {
+        let mut fine_to_coarse = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for &c in zeta {
+            let slot = &mut fine_to_coarse[c as usize];
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        return (fine_to_coarse, next as usize);
+    }
+
+    // Parallel first-occurrence: record the earliest position of each
+    // community id, then number occupied ids by position. `fetch_min` is
+    // order-insensitive, so the result is schedule-invariant.
+    let first_pos: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let ranges = chunk_ranges(zeta.len(), chunk_count(zeta.len(), MIN_CHUNK));
+    ranges.into_par_iter().for_each(|r| {
+        for i in r {
+            first_pos[zeta[i] as usize].fetch_min(i as u32, Ordering::Relaxed);
+        }
+    });
+
+    let mut occupied: Vec<(u32, u32)> = (0..n as u32)
+        .into_par_iter()
+        .filter_map(|c| {
+            let pos = first_pos[c as usize].load(Ordering::Relaxed);
+            (pos != u32::MAX).then_some((pos, c))
+        })
+        .collect();
+    occupied.par_sort_unstable();
+
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    for (next, &(_, c)) in occupied.iter().enumerate() {
+        fine_to_coarse[c as usize] = next as u32;
+    }
+    (fine_to_coarse, occupied.len())
+}
+
+/// Buckets fine vertices by coarse id: returns `(offsets, members)` where
+/// `members[offsets[c]..offsets[c+1]]` lists the fine vertices of coarse
+/// vertex `c` in ascending order (two-pass chunked counting sort; chunk
+/// cursor offsets reproduce the serial scatter order for any chunking).
+fn bucket_members(cz: &[u32], num_coarse: usize, parallel: bool) -> (Vec<u32>, Vec<u32>) {
+    let chunks = if parallel {
+        chunk_count(cz.len(), MIN_CHUNK)
+    } else {
+        1
+    };
+    let ranges = chunk_ranges(cz.len(), chunks);
+
+    let mut hists: Vec<Vec<u32>> = ranges
+        .par_iter()
+        .map(|r| {
+            let mut count = vec![0u32; num_coarse];
+            for &c in &cz[r.clone()] {
+                count[c as usize] += 1;
+            }
+            count
+        })
+        .collect();
+
+    let mut offsets = vec![0u32; num_coarse + 1];
+    for c in 0..num_coarse {
+        let total: u32 = hists.iter().map(|h| h[c]).sum();
+        offsets[c + 1] = offsets[c] + total;
+        let mut run = offsets[c];
+        for h in hists.iter_mut() {
+            let t = h[c];
+            h[c] = run;
+            run += t;
+        }
+    }
+
+    let mut members = vec![0u32; cz.len()];
+    {
+        let writer = SharedWriter::new(&mut members);
+        ranges
+            .into_par_iter()
+            .zip(hists.par_iter_mut())
+            .for_each(|(r, cursor)| {
+                for u in r {
+                    let slot = &mut cursor[cz[u] as usize];
+                    // SAFETY: cursor ranges are disjoint across chunks and
+                    // coarse ids by construction of the prefix sums.
+                    unsafe { writer.write(*slot as usize, u as u32) };
+                    *slot += 1;
+                }
+            });
+    }
+    (offsets, members)
+}
+
+/// Dense scratch accumulator for one coarse row (the `AffinityBuf` idiom
+/// from the move phase): `acc` is indexed by coarse neighbor id, `touched`
+/// remembers which slots are dirty so reset is O(row degree).
+struct RowAccumulator {
+    acc: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl RowAccumulator {
+    fn new(num_coarse: usize) -> Self {
+        RowAccumulator {
+            acc: vec![0.0; num_coarse],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Aggregates the row of coarse vertex `cu` from its members' arcs.
+    /// Returns the sorted `(neighbor, weight)` lists for the row, with the
+    /// self-loop (if any intra weight or fine self-loop exists) included.
+    fn row(
+        &mut self,
+        g: &Csr,
+        cz: &[u32],
+        cu: u32,
+        members: &[u32],
+    ) -> (Vec<VertexId>, Vec<Weight>) {
+        let mut intra = 0.0f64;
+        let mut self_w = 0.0f64;
+        let mut has_self = false;
+        for &u in members {
+            for (v, w) in g.edges_of(u) {
+                if v == u {
+                    // Fine self-loop: stored once in CSR.
+                    self_w += w as f64;
+                    has_self = true;
+                } else if cz[v as usize] == cu {
+                    // Intra-community arc: seen from both endpoints.
+                    intra += w as f64;
+                    has_self = true;
+                } else {
+                    let cv = cz[v as usize];
+                    let slot = &mut self.acc[cv as usize];
+                    if *slot == 0.0 && !self.touched.contains(&cv) {
+                        self.touched.push(cv);
+                    }
+                    *slot += w as f64;
+                }
+            }
+        }
+        // Halving is exact: intra is a sum of pairs of identical arcs.
+        let self_total = self_w + intra / 2.0;
+
+        self.touched.sort_unstable();
+        let extra = usize::from(has_self);
+        let mut adj = Vec::with_capacity(self.touched.len() + extra);
+        let mut weights = Vec::with_capacity(self.touched.len() + extra);
+        let mut self_emitted = false;
+        for &cv in &self.touched {
+            if has_self && !self_emitted && cv > cu {
+                adj.push(cu);
+                weights.push(self_total as Weight);
+                self_emitted = true;
+            }
+            adj.push(cv);
+            weights.push(self.acc[cv as usize] as Weight);
+            self.acc[cv as usize] = 0.0;
+        }
+        if has_self && !self_emitted {
+            adj.push(cu);
+            weights.push(self_total as Weight);
+        }
+        self.touched.clear();
+        (adj, weights)
+    }
+}
+
 /// Coarsens `g` under the assignment `zeta`.
 pub fn coarsen(g: &Csr, zeta: &[u32]) -> Coarsened {
     let n = g.num_vertices();
     assert_eq!(zeta.len(), n, "community array length mismatch");
+    let parallel = n >= PARALLEL_THRESHOLD;
 
-    // Dense relabeling of the occupied community ids.
-    let mut fine_to_coarse = vec![u32::MAX; n];
-    let mut next = 0u32;
-    for &c in zeta {
-        let slot = &mut fine_to_coarse[c as usize];
-        if *slot == u32::MAX {
-            *slot = next;
-            next += 1;
-        }
+    let (fine_to_coarse, num_coarse) = dense_relabel(zeta, n, parallel);
+
+    // Coarse assignment per fine vertex.
+    let cz: Vec<u32> = if parallel {
+        zeta.par_iter()
+            .with_min_len(MIN_CHUNK)
+            .map(|&c| fine_to_coarse[c as usize])
+            .collect()
+    } else {
+        zeta.iter().map(|&c| fine_to_coarse[c as usize]).collect()
+    };
+
+    let (offsets, members) = bucket_members(&cz, num_coarse, parallel);
+
+    // Aggregate rows (independent per coarse vertex, scratch per thread).
+    let rows: Vec<(Vec<VertexId>, Vec<Weight>)> = if parallel {
+        (0..num_coarse as u32)
+            .into_par_iter()
+            .map_init(
+                || RowAccumulator::new(num_coarse),
+                |buf, cu| {
+                    let r = offsets[cu as usize] as usize..offsets[cu as usize + 1] as usize;
+                    buf.row(g, &cz, cu, &members[r])
+                },
+            )
+            .collect()
+    } else {
+        let mut buf = RowAccumulator::new(num_coarse);
+        (0..num_coarse as u32)
+            .map(|cu| {
+                let r = offsets[cu as usize] as usize..offsets[cu as usize + 1] as usize;
+                buf.row(g, &cz, cu, &members[r])
+            })
+            .collect()
+    };
+
+    // Assemble CSR: serial prefix over row lengths, parallel scatter.
+    let mut xadj = vec![0u32; num_coarse + 1];
+    for (cu, (adj, _)) in rows.iter().enumerate() {
+        xadj[cu + 1] = xadj[cu] + adj.len() as u32;
     }
-
-    // Each undirected fine edge contributes once: visit arcs with u <= v.
-    // GraphBuilder's weight-summing dedup does the aggregation.
-    let mut builder = GraphBuilder::new(next as usize).dedup_policy(DedupPolicy::SumWeights);
-    for u in g.vertices() {
-        for (v, w) in g.edges_of(u) {
-            if u <= v {
-                let cu = fine_to_coarse[zeta[u as usize] as usize];
-                let cv = fine_to_coarse[zeta[v as usize] as usize];
-                builder.add_edge(Edge::new(cu, cv, w));
+    let total = xadj[num_coarse] as usize;
+    let mut adj = vec![0 as VertexId; total];
+    let mut weights = vec![0.0 as Weight; total];
+    {
+        let adj_w = SharedWriter::new(&mut adj);
+        let wgt_w = SharedWriter::new(&mut weights);
+        let scatter = |(cu, (radj, rwgt)): (usize, &(Vec<VertexId>, Vec<Weight>))| {
+            let base = xadj[cu] as usize;
+            for (i, (&v, &w)) in radj.iter().zip(rwgt.iter()).enumerate() {
+                // SAFETY: rows occupy disjoint `xadj` ranges by construction.
+                unsafe {
+                    adj_w.write(base + i, v);
+                    wgt_w.write(base + i, w);
+                }
             }
+        };
+        if parallel {
+            rows.par_iter().enumerate().for_each(|(cu, row)| scatter((cu, row)));
+        } else {
+            rows.iter().enumerate().for_each(|(cu, row)| scatter((cu, row)));
         }
     }
+
     Coarsened {
-        graph: builder.build(),
+        graph: Csr::from_raw(xadj, adj, weights),
         fine_to_coarse,
     }
 }
@@ -58,17 +307,25 @@ pub fn coarsen(g: &Csr, zeta: &[u32]) -> Coarsened {
 /// Projects a coarse-level assignment back to the fine level:
 /// `result[u] = coarse_zeta[fine_to_coarse[zeta[u]]]`.
 pub fn project(zeta: &[u32], fine_to_coarse: &[u32], coarse_zeta: &[u32]) -> Vec<u32> {
-    zeta.iter()
-        .map(|&c| coarse_zeta[fine_to_coarse[c as usize] as usize])
-        .collect()
+    if zeta.len() >= PARALLEL_THRESHOLD {
+        zeta.par_iter()
+            .with_min_len(MIN_CHUNK)
+            .map(|&c| coarse_zeta[fine_to_coarse[c as usize] as usize])
+            .collect()
+    } else {
+        zeta.iter()
+            .map(|&c| coarse_zeta[fine_to_coarse[c as usize] as usize])
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::modularity::modularity;
     use super::*;
-    use gp_graph::builder::from_pairs;
-    use gp_graph::generators::planted_partition;
+    use gp_graph::builder::{from_pairs, DedupPolicy, GraphBuilder};
+    use gp_graph::generators::{planted_partition, rmat, RmatConfig};
+    use gp_graph::Edge;
 
     #[test]
     fn coarsen_two_triangles() {
@@ -109,6 +366,59 @@ mod tests {
     }
 
     #[test]
+    fn modularity_invariant_on_rmat() {
+        // Regression for the sort-free aggregation path on a skewed graph:
+        // the same invariant must hold on an R-MAT instance with a
+        // non-trivial (non-contiguous) community assignment.
+        let g = rmat(RmatConfig::new(8, 8).with_seed(42));
+        let n = g.num_vertices() as u32;
+        let zeta: Vec<u32> = (0..n).map(|u| (u * 7 + 3) % 23).collect();
+        let q_fine = modularity(&g, &zeta);
+        let c = coarsen(&g, &zeta);
+        let coarse_ids: Vec<u32> = (0..c.graph.num_vertices() as u32).collect();
+        let q_coarse = modularity(&c.graph, &coarse_ids);
+        assert!(
+            (q_fine - q_coarse).abs() < 1e-9,
+            "Q changed under coarsening: {q_fine} vs {q_coarse}"
+        );
+    }
+
+    /// Reference implementation: the old builder round-trip with
+    /// weight-summing dedup. The sort-free path must reproduce it exactly.
+    fn coarsen_reference(g: &Csr, zeta: &[u32], fine_to_coarse: &[u32], num_coarse: usize) -> Csr {
+        let mut builder =
+            GraphBuilder::new(num_coarse).dedup_policy(DedupPolicy::SumWeights);
+        for u in g.vertices() {
+            for (v, w) in g.edges_of(u) {
+                if u <= v {
+                    let cu = fine_to_coarse[zeta[u as usize] as usize];
+                    let cv = fine_to_coarse[zeta[v as usize] as usize];
+                    builder.add_edge(Edge::new(cu, cv, w));
+                }
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn matches_builder_reference() {
+        for (g, seed) in [
+            (planted_partition(4, 12, 0.5, 0.1, 3), 1u64),
+            (rmat(RmatConfig::new(9, 6).with_seed(7)), 2u64),
+        ] {
+            let n = g.num_vertices() as u32;
+            // Mix of singleton and shared communities, non-contiguous ids.
+            let zeta: Vec<u32> =
+                (0..n).map(|u| ((u as u64 * 31 + seed) % (n as u64 / 3 + 1)) as u32).collect();
+            let c = coarsen(&g, &zeta);
+            let reference = coarsen_reference(&g, &zeta, &c.fine_to_coarse, c.graph.num_vertices());
+            assert_eq!(c.graph.xadj(), reference.xadj(), "xadj diverged");
+            assert_eq!(c.graph.adj(), reference.adj(), "adjacency diverged");
+            assert_eq!(c.graph.weights(), reference.weights(), "weights diverged");
+        }
+    }
+
+    #[test]
     fn project_roundtrip() {
         let zeta = vec![4u32, 4, 2, 2, 0];
         let mut fine_to_coarse = vec![u32::MAX; 5];
@@ -126,5 +436,30 @@ mod tests {
         let c = coarsen(&g, &zeta);
         assert_eq!(c.graph.num_vertices(), 4);
         assert_eq!(c.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree() {
+        // Force the parallel path by exceeding PARALLEL_THRESHOLD and check
+        // it against the always-serial reference on the same input.
+        let n = super::PARALLEL_THRESHOLD + 100;
+        let g = {
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                let v = ((u as u64 * 2654435761) % n as u64) as u32;
+                if u != v {
+                    b.add_edge(Edge::new(u, v, 1.0 + (u % 5) as f32));
+                }
+            }
+            b.build()
+        };
+        let zeta: Vec<u32> = (0..n as u32).map(|u| u % 4097).collect();
+        let c = coarsen(&g, &zeta);
+        let (f2c, k) = dense_relabel(&zeta, n, false);
+        assert_eq!(c.fine_to_coarse, f2c);
+        let reference = coarsen_reference(&g, &zeta, &f2c, k);
+        assert_eq!(c.graph.xadj(), reference.xadj());
+        assert_eq!(c.graph.adj(), reference.adj());
+        assert_eq!(c.graph.weights(), reference.weights());
     }
 }

@@ -10,7 +10,7 @@ use super::ovpl::{move_phase_ovpl_recorded, prepare};
 use super::plm::move_phase_plm_recorded;
 use super::{LouvainConfig, MovePhaseStats, MoveState, Variant};
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder, RunInfo, RunTimer};
+use gp_metrics::telemetry::{NoopRecorder, PhaseProbe, Recorder, RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::engine::Engine;
 
@@ -155,7 +155,9 @@ pub fn louvain_recorded<R: Recorder>(
             assignments.push((zeta, Vec::new()));
             break;
         }
+        let probe = PhaseProbe::begin::<R>();
         let coarse = coarsen(&level_graph, &zeta);
+        probe.finish(rec, "coarsen");
         let done = coarse.graph.num_vertices() <= 1;
         assignments.push((zeta, coarse.fine_to_coarse));
         if done {
@@ -165,10 +167,12 @@ pub fn louvain_recorded<R: Recorder>(
     }
 
     // Project the deepest assignment back through the levels.
+    let probe = PhaseProbe::begin::<R>();
     let (mut communities, _) = assignments.pop().unwrap();
     while let Some((zeta, fine_to_coarse)) = assignments.pop() {
         communities = project(&zeta, &fine_to_coarse, &communities);
     }
+    probe.finish(rec, "project");
     result.communities = communities;
     result.modularity = modularity(g, &result.communities);
     let converged = result.level_stats.iter().all(|s| s.converged);
@@ -249,6 +253,28 @@ mod tests {
         let r = louvain(&g, &seq(Variant::Mplm));
         assert_eq!(r.communities.len(), 3);
         assert_eq!(r.modularity, 0.0);
+    }
+
+    #[test]
+    fn trace_records_substrate_phases() {
+        use gp_metrics::telemetry::TraceRecorder;
+        let g = triangular_mesh(16, 16, 6);
+        let mut rec = TraceRecorder::new("louvain-mplm");
+        let r = louvain_recorded(&g, &seq(Variant::Mplm), &mut rec);
+        let trace = rec.into_trace();
+        if r.levels > 1 {
+            let coarsens: Vec<_> = trace.phases.iter().filter(|p| p.name == "coarsen").collect();
+            // One coarsen per level transition (the final level may or may
+            // not coarsen depending on which exit condition fired).
+            assert!(
+                coarsens.len() >= r.levels - 1 && coarsens.len() <= r.levels,
+                "{} coarsens for {} levels",
+                coarsens.len(),
+                r.levels
+            );
+            assert!(coarsens.iter().all(|p| p.secs >= 0.0));
+        }
+        assert!(trace.phases.iter().any(|p| p.name == "project"));
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Cross-thread-count determinism for the coarsening layer: `coarsen` and
+//! `project` must produce identical results on 1, 2, and 8 worker threads,
+//! and a full multilevel Louvain run must be reproducible under any pool
+//! size (move phases run sequentially per level; only the substrate
+//! parallelizes).
+
+use gp_core::louvain::coarsen::{coarsen, project};
+use gp_core::louvain::{louvain, LouvainConfig, Variant};
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::par::with_threads;
+
+#[test]
+fn coarsen_is_thread_invariant() {
+    let g = rmat(RmatConfig::new(13, 8).with_seed(19));
+    let zeta: Vec<u32> = (0..g.num_vertices() as u32).map(|u| (u * 13 + 5) % 97).collect();
+    let reference = with_threads(1, || coarsen(&g, &zeta));
+    for t in [2usize, 8] {
+        let c = with_threads(t, || coarsen(&g, &zeta));
+        assert_eq!(c.graph, reference.graph, "coarse graph changed at {t} threads");
+        assert_eq!(
+            c.fine_to_coarse, reference.fine_to_coarse,
+            "relabel changed at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn project_is_thread_invariant() {
+    let g = rmat(RmatConfig::new(13, 6).with_seed(23));
+    let zeta: Vec<u32> = (0..g.num_vertices() as u32).map(|u| u % 311).collect();
+    let c = coarsen(&g, &zeta);
+    let coarse_comm: Vec<u32> = (0..c.graph.num_vertices() as u32).map(|u| u % 7).collect();
+    let reference = with_threads(1, || project(&zeta, &c.fine_to_coarse, &coarse_comm));
+    for t in [2usize, 8] {
+        let p = with_threads(t, || project(&zeta, &c.fine_to_coarse, &coarse_comm));
+        assert_eq!(p, reference, "projection changed at {t} threads");
+    }
+}
+
+#[test]
+fn multilevel_louvain_is_thread_invariant() {
+    let g = rmat(RmatConfig::new(11, 8).with_seed(29));
+    let config = LouvainConfig::sequential(Variant::Mplm);
+    let reference = with_threads(1, || louvain(&g, &config));
+    for t in [2usize, 8] {
+        let r = with_threads(t, || louvain(&g, &config));
+        assert_eq!(
+            r.communities, reference.communities,
+            "communities changed at {t} threads"
+        );
+        assert!((r.modularity - reference.modularity).abs() < 1e-12);
+        assert_eq!(r.levels, reference.levels);
+    }
+}

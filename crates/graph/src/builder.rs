@@ -3,9 +3,28 @@
 //! The builder symmetrizes, optionally deduplicates (summing weights of
 //! parallel edges, the NetworKit convention), and counting-sorts edges into
 //! CSR in O(|V| + |E|).
+//!
+//! Every pass is rayon-parallel and **thread-count invariant**: canonicalize
+//! and validate run as a parallel map, dedup uses a parallel sort with a
+//! total key order (`(u, v, w.to_bits())`, so equal-position duplicates are
+//! bitwise interchangeable) followed by run-aligned chunked merging, and the
+//! counting sort is the classic two-pass scheme — per-chunk degree
+//! histograms, an exclusive prefix across chunks, then a disjoint parallel
+//! scatter. The scatter positions reproduce the serial edge order exactly,
+//! so the CSR bytes never depend on how many threads ran the build.
 
 use crate::csr::Csr;
+use crate::par::{chunk_count, chunk_ranges, SharedWriter};
 use crate::{Edge, VertexId, Weight};
+use rayon::prelude::*;
+
+/// Below this many staged edges the build runs the cheap serial path (the
+/// parallel path produces identical bytes; this only avoids rayon overhead
+/// on the thousands of tiny graphs the test suite builds).
+const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Chunks smaller than this are not worth a degree histogram of their own.
+const MIN_CHUNK: usize = 1 << 13;
 
 /// How parallel (duplicate) edges are handled by [`GraphBuilder::build`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,10 +93,17 @@ impl GraphBuilder {
     }
 
     /// Builds the CSR: symmetrize, dedup per policy, counting-sort.
+    ///
+    /// Deterministic: the output bytes depend only on the staged edges and
+    /// the dedup policy, never on the rayon pool size (see the module docs
+    /// for how each parallel pass preserves the serial edge order).
     pub fn build(self) -> Csr {
         let n = self.n;
         let mut edges = self.edges;
-        for e in &mut edges {
+        let parallel = edges.len() >= PARALLEL_THRESHOLD;
+
+        // Canonicalize + validate (duplicates (u,v)/(v,u) must collide).
+        let canonicalize = |e: &mut Edge| {
             assert!(
                 (e.u as usize) < n && (e.v as usize) < n,
                 "edge ({}, {}) out of range for n = {n}",
@@ -85,62 +111,165 @@ impl GraphBuilder {
                 e.v
             );
             assert!(e.w.is_finite() && e.w >= 0.0, "edge weights must be finite and non-negative");
-            // Canonicalize so duplicates (u,v) and (v,u) collide.
             if e.u > e.v {
                 std::mem::swap(&mut e.u, &mut e.v);
             }
+        };
+        if parallel {
+            edges.par_iter_mut().with_min_len(MIN_CHUNK).for_each(canonicalize);
+        } else {
+            edges.iter_mut().for_each(canonicalize);
         }
 
         if self.dedup != DedupPolicy::KeepAll {
-            edges.sort_unstable_by_key(|e| ((e.u as u64) << 32) | e.v as u64);
-            let mut out: Vec<Edge> = Vec::with_capacity(edges.len());
-            for e in edges {
-                match out.last_mut() {
-                    Some(last) if last.u == e.u && last.v == e.v => match self.dedup {
-                        DedupPolicy::SumWeights => last.w += e.w,
-                        DedupPolicy::KeepMax => last.w = last.w.max(e.w),
-                        DedupPolicy::KeepAll => unreachable!(),
-                    },
-                    _ => out.push(e),
-                }
+            // Total sort key: endpoint pair, then weight bits. Weights are
+            // validated non-negative, so `to_bits` orders like `<=` and ties
+            // are bitwise-identical edges — any sort (serial pdqsort or
+            // parallel merge) yields the same byte sequence, and weight
+            // aggregation folds duplicates in one fixed order.
+            let sort_key = |e: &Edge| (((e.u as u64) << 32) | e.v as u64, e.w.to_bits());
+            if parallel {
+                edges.par_sort_unstable_by_key(sort_key);
+            } else {
+                edges.sort_unstable_by_key(sort_key);
             }
-            edges = out;
+            edges = dedup_sorted(edges, self.dedup, parallel);
         }
 
-        // Counting sort into CSR. Self-loops are stored once, other edges in
-        // both directions.
-        let mut degree = vec![0u32; n];
-        for e in &edges {
-            degree[e.u as usize] += 1;
-            if e.u != e.v {
-                degree[e.v as usize] += 1;
-            }
-        }
-        let mut xadj = vec![0u32; n + 1];
-        for i in 0..n {
-            xadj[i + 1] = xadj[i] + degree[i];
-        }
-        let m = xadj[n] as usize;
-        let mut adj = vec![0 as VertexId; m];
-        let mut weights = vec![0.0 as Weight; m];
-        let mut cursor = xadj[..n].to_vec();
-        for e in &edges {
-            let c = &mut cursor[e.u as usize];
-            adj[*c as usize] = e.v;
-            weights[*c as usize] = e.w;
-            *c += 1;
-            if e.u != e.v {
-                let c = &mut cursor[e.v as usize];
-                adj[*c as usize] = e.u;
-                weights[*c as usize] = e.w;
-                *c += 1;
-            }
-        }
-
+        let (xadj, adj, weights) = counting_sort_csr(n, &edges, parallel);
         let mut g = Csr::from_raw(xadj, adj, weights);
         g.sort_adjacency();
         g
     }
+}
+
+/// Merges runs of equal `(u, v)` in a sorted edge list according to
+/// `policy`. The parallel path splits the list into run-aligned chunks (a
+/// chunk never starts mid-run), merges each chunk independently, and
+/// concatenates in chunk order — byte-identical to the serial scan.
+fn dedup_sorted(edges: Vec<Edge>, policy: DedupPolicy, parallel: bool) -> Vec<Edge> {
+    let merge_run = |out: &mut Vec<Edge>, e: &Edge| match out.last_mut() {
+        Some(last) if last.u == e.u && last.v == e.v => match policy {
+            DedupPolicy::SumWeights => last.w += e.w,
+            DedupPolicy::KeepMax => last.w = last.w.max(e.w),
+            DedupPolicy::KeepAll => unreachable!(),
+        },
+        _ => out.push(*e),
+    };
+    if !parallel {
+        let mut out: Vec<Edge> = Vec::with_capacity(edges.len());
+        edges.iter().for_each(|e| merge_run(&mut out, e));
+        return out;
+    }
+
+    // Align chunk starts to run boundaries so every (u, v) run is owned by
+    // exactly one chunk.
+    let same_pair = |a: &Edge, b: &Edge| a.u == b.u && a.v == b.v;
+    let mut starts: Vec<usize> = Vec::new();
+    for r in chunk_ranges(edges.len(), chunk_count(edges.len(), MIN_CHUNK)) {
+        let mut s = r.start;
+        while s < edges.len() && s > 0 && same_pair(&edges[s - 1], &edges[s]) {
+            s += 1;
+        }
+        if starts.last() != Some(&s) && s < edges.len() {
+            starts.push(s);
+        }
+    }
+    let mut bounds = starts.clone();
+    bounds.push(edges.len());
+    let merged: Vec<Vec<Edge>> = bounds
+        .windows(2)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|w| {
+            let mut out = Vec::with_capacity(w[1] - w[0]);
+            edges[w[0]..w[1]].iter().for_each(|e| merge_run(&mut out, e));
+            out
+        })
+        .collect();
+    let mut out = Vec::with_capacity(merged.iter().map(Vec::len).sum());
+    for part in merged {
+        out.extend_from_slice(&part);
+    }
+    out
+}
+
+/// Two-pass parallel counting sort of canonical edges into CSR arrays.
+/// Self-loops are stored once, other edges in both directions. The scatter
+/// reproduces the serial edge order exactly: chunk `c`'s slots for vertex
+/// `v` start at `xadj[v]` plus the degree contributions of chunks `< c`.
+fn counting_sort_csr(
+    n: usize,
+    edges: &[Edge],
+    parallel: bool,
+) -> (Vec<u32>, Vec<VertexId>, Vec<Weight>) {
+    let chunks = if parallel {
+        chunk_count(edges.len(), MIN_CHUNK)
+    } else {
+        1
+    };
+    let ranges = chunk_ranges(edges.len(), chunks);
+
+    // Pass 1: per-chunk degree histograms.
+    let mut hists: Vec<Vec<u32>> = ranges
+        .par_iter()
+        .map(|r| {
+            let mut degree = vec![0u32; n];
+            for e in &edges[r.clone()] {
+                degree[e.u as usize] += 1;
+                if e.u != e.v {
+                    degree[e.v as usize] += 1;
+                }
+            }
+            degree
+        })
+        .collect();
+
+    // Prefix sums: global offsets, then per-chunk start cursors (in-place:
+    // hists[c][v] becomes the first slot chunk c writes for vertex v).
+    let mut xadj = vec![0u32; n + 1];
+    for v in 0..n {
+        let total: u32 = hists.iter().map(|h| h[v]).sum();
+        xadj[v + 1] = xadj[v] + total;
+        let mut run = xadj[v];
+        for h in hists.iter_mut() {
+            let t = h[v];
+            h[v] = run;
+            run += t;
+        }
+    }
+
+    let m = xadj[n] as usize;
+    let mut adj = vec![0 as VertexId; m];
+    let mut weights = vec![0.0 as Weight; m];
+    {
+        let adj_w = SharedWriter::new(&mut adj);
+        let wgt_w = SharedWriter::new(&mut weights);
+        ranges
+            .into_par_iter()
+            .zip(hists.par_iter_mut())
+            .for_each(|(r, cursor)| {
+                for e in &edges[r] {
+                    let c = &mut cursor[e.u as usize];
+                    // SAFETY: cursor ranges are disjoint across chunks and
+                    // vertices by construction of the prefix sums.
+                    unsafe {
+                        adj_w.write(*c as usize, e.v);
+                        wgt_w.write(*c as usize, e.w);
+                    }
+                    *c += 1;
+                    if e.u != e.v {
+                        let c = &mut cursor[e.v as usize];
+                        unsafe {
+                            adj_w.write(*c as usize, e.u);
+                            wgt_w.write(*c as usize, e.w);
+                        }
+                        *c += 1;
+                    }
+                }
+            });
+    }
+    (xadj, adj, weights)
 }
 
 /// Convenience: build an unweighted graph from `(u, v)` pairs.

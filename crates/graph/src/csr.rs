@@ -6,6 +6,11 @@
 //! one-to-one (so the corresponding edge weights load with one `vmovups`).
 
 use crate::{VertexId, Weight};
+use rayon::prelude::*;
+
+/// Arrays below this length are validated/sorted serially (identical
+/// results; avoids rayon overhead on the tiny graphs tests build).
+const PARALLEL_THRESHOLD: usize = 1 << 15;
 
 /// An undirected weighted graph in CSR form.
 ///
@@ -37,15 +42,26 @@ impl Csr {
             "xadj must terminate at adj.len()"
         );
         assert_eq!(adj.len(), weights.len(), "weights must mirror adj");
-        assert!(
-            xadj.windows(2).all(|w| w[0] <= w[1]),
-            "xadj must be non-decreasing"
-        );
         let n = (xadj.len() - 1) as u32;
-        assert!(
-            adj.iter().all(|&v| v < n),
-            "neighbor ids must be < num_vertices"
-        );
+        if adj.len() >= PARALLEL_THRESHOLD {
+            assert!(
+                xadj.par_windows(2).all(|w| w[0] <= w[1]),
+                "xadj must be non-decreasing"
+            );
+            assert!(
+                adj.par_iter().all(|&v| v < n),
+                "neighbor ids must be < num_vertices"
+            );
+        } else {
+            assert!(
+                xadj.windows(2).all(|w| w[0] <= w[1]),
+                "xadj must be non-decreasing"
+            );
+            assert!(
+                adj.iter().all(|&v| v < n),
+                "neighbor ids must be < num_vertices"
+            );
+        }
         Csr { xadj, adj, weights }
     }
 
@@ -215,20 +231,50 @@ impl Csr {
     }
 
     /// Sorts every adjacency list by neighbor id (stable for weights).
-    /// Deterministic layouts make runs reproducible.
+    /// Deterministic layouts make runs reproducible; per-vertex lists are
+    /// independent, so large graphs sort all lists in parallel (the result
+    /// is identical for any thread count).
     pub fn sort_adjacency(&mut self) {
-        for u in 0..self.num_vertices() {
-            let lo = self.xadj[u] as usize;
-            let hi = self.xadj[u + 1] as usize;
-            let mut pairs: Vec<(VertexId, Weight)> = self.adj[lo..hi]
-                .iter()
-                .copied()
-                .zip(self.weights[lo..hi].iter().copied())
-                .collect();
-            pairs.sort_by_key(|&(v, _)| v);
-            for (i, (v, w)) in pairs.into_iter().enumerate() {
-                self.adj[lo + i] = v;
-                self.weights[lo + i] = w;
+        let n = self.xadj.len() - 1;
+        let sort_list = |adj: &mut [VertexId], weights: &mut [Weight]| {
+            if adj.len() > 1 && !adj.windows(2).all(|p| p[0] <= p[1]) {
+                let mut pairs: Vec<(VertexId, Weight)> = adj
+                    .iter()
+                    .copied()
+                    .zip(weights.iter().copied())
+                    .collect();
+                pairs.sort_by_key(|&(v, _)| v);
+                for (i, (v, w)) in pairs.into_iter().enumerate() {
+                    adj[i] = v;
+                    weights[i] = w;
+                }
+            }
+        };
+        if self.adj.len() >= PARALLEL_THRESHOLD {
+            // Split the flat arrays into disjoint per-vertex slices.
+            let mut slices: Vec<(&mut [VertexId], &mut [Weight])> = Vec::with_capacity(n);
+            let mut adj_rest: &mut [VertexId] = &mut self.adj;
+            let mut w_rest: &mut [Weight] = &mut self.weights;
+            for u in 0..n {
+                let len = (self.xadj[u + 1] - self.xadj[u]) as usize;
+                let (a, ar) = adj_rest.split_at_mut(len);
+                let (w, wr) = w_rest.split_at_mut(len);
+                adj_rest = ar;
+                w_rest = wr;
+                slices.push((a, w));
+            }
+            slices
+                .into_par_iter()
+                .with_min_len(256)
+                .for_each(|(a, w)| sort_list(a, w));
+        } else {
+            for u in 0..n {
+                let lo = self.xadj[u] as usize;
+                let hi = self.xadj[u + 1] as usize;
+                let (a, w) = (&mut self.adj[lo..hi], &mut self.weights[lo..hi]);
+                // Split borrows: `sort_list` cannot take two overlapping
+                // `&mut self` ranges, so reborrow per vertex.
+                sort_list(a, w);
             }
         }
     }

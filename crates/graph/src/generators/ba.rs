@@ -4,6 +4,16 @@
 //! Table 1 (Oregon-2, loc-Gowalla, in-2004, uk-2002): a few very-high-degree
 //! hubs over a low-degree bulk. Used alongside R-MAT for the power-law
 //! stand-ins because BA gives finer control over the hub structure.
+//!
+//! ## RNG streams
+//!
+//! Each newcomer `u` draws its attachments from its own `ChaCha8Rng` stream
+//! (`set_stream(u)`), so a vertex's random draws are independent of how many
+//! draws earlier vertices consumed. The attachment loop itself is inherently
+//! serial — each newcomer's choices feed the degree distribution the next
+//! one samples from — but the per-vertex streams make the output a pure
+//! function of `(n, m_attach, seed)` and keep the draw schedule stable under
+//! future restructuring of the loop.
 
 use crate::builder::{DedupPolicy, GraphBuilder};
 use crate::csr::Csr;
@@ -17,7 +27,6 @@ use rand_chacha::ChaCha8Rng;
 pub fn preferential_attachment(n: usize, m_attach: usize, seed: u64) -> Csr {
     assert!(m_attach >= 1, "each vertex must attach at least once");
     assert!(n > m_attach, "need more vertices than attachments");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // `targets` holds one entry per edge endpoint: sampling uniformly from it
     // is sampling proportionally to degree.
     let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
@@ -32,7 +41,10 @@ pub fn preferential_attachment(n: usize, m_attach: usize, seed: u64) -> Csr {
         }
     }
 
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for u in (m_attach as u32 + 1)..(n as u32) {
+        // One independent stream per newcomer.
+        rng.set_stream(u as u64);
         let mut chosen = std::collections::HashSet::with_capacity(m_attach);
         while chosen.len() < m_attach {
             let v = targets[rng.gen_range(0..targets.len())];
@@ -54,6 +66,7 @@ pub fn preferential_attachment(n: usize, m_attach: usize, seed: u64) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par::with_threads;
 
     #[test]
     fn basic_shape() {
@@ -88,6 +101,17 @@ mod tests {
             preferential_attachment(100, 2, 9),
             preferential_attachment(100, 2, 9)
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_graph() {
+        // BA itself is serial, but the builder underneath parallelizes; the
+        // output must not depend on the pool size.
+        let reference = with_threads(1, || preferential_attachment(400, 3, 31));
+        for t in [2usize, 8] {
+            let g = with_threads(t, || preferential_attachment(400, 3, 31));
+            assert_eq!(g, reference, "graph changed at {t} threads");
+        }
     }
 
     #[test]

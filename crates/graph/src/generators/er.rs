@@ -1,31 +1,83 @@
 //! Erdős–Rényi G(n, m) generator, used in tests and as an unstructured
 //! control workload for the kernels.
+//!
+//! ## Parallel sampling with fixed RNG streams
+//!
+//! Candidate pairs are drawn in fixed blocks of [`SAMPLE_CHUNK`], one
+//! independent `ChaCha8Rng` stream per block (`set_stream(block_index)`),
+//! then deduplicated serially in block order — first occurrence wins, so the
+//! retained edge set is a pure function of `(n, m, seed)` regardless of how
+//! many threads sampled the blocks. A serial top-up pass on a dedicated
+//! stream (`u64::MAX`) replaces any candidates lost to duplication, keeping
+//! the exact-`m` contract of the original rejection sampler.
 
+use super::rmat::SAMPLE_CHUNK;
 use crate::builder::{DedupPolicy, GraphBuilder};
 use crate::csr::Csr;
 use crate::Edge;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// An undirected G(n, m) random graph (m distinct non-loop edges), sampled
-/// by rejection; deterministic per seed. `m` must be achievable, i.e.
-/// `m <= n·(n-1)/2`.
+/// by rejection; deterministic per seed *and thread count*. `m` must be
+/// achievable, i.e. `m <= n·(n-1)/2`.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n >= 2 || m == 0, "need at least 2 vertices for any edge");
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(m <= max_m, "m = {m} exceeds the {max_m} possible edges");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+
     let mut builder = GraphBuilder::new(n).dedup_policy(DedupPolicy::KeepMax);
-    while seen.len() < m {
-        let u = rng.gen_range(0..n as u32);
-        let v = rng.gen_range(0..n as u32);
-        if u == v {
-            continue;
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+
+    if m > 0 {
+        // Parallel phase: sample `m` canonical non-loop pairs in fixed-size
+        // blocks, one RNG stream each. Block layout depends only on `m`.
+        let blocks = m.div_ceil(SAMPLE_CHUNK);
+        let sampled: Vec<Vec<(u32, u32)>> = (0..blocks)
+            .into_par_iter()
+            .map(|block| {
+                let quota = SAMPLE_CHUNK.min(m - block * SAMPLE_CHUNK);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                rng.set_stream(block as u64);
+                let mut out = Vec::with_capacity(quota);
+                while out.len() < quota {
+                    let u = rng.gen_range(0..n as u32);
+                    let v = rng.gen_range(0..n as u32);
+                    if u != v {
+                        out.push(if u < v { (u, v) } else { (v, u) });
+                    }
+                }
+                out
+            })
+            .collect();
+
+        // Serial dedup in block order: first occurrence wins.
+        for key in sampled.into_iter().flatten() {
+            if seen.len() == m {
+                break;
+            }
+            if seen.insert(key) {
+                builder.add_edge(Edge::unweighted(key.0, key.1));
+            }
         }
-        let key = if u < v { (u, v) } else { (v, u) };
-        if seen.insert(key) {
-            builder.add_edge(Edge::unweighted(key.0, key.1));
+    }
+
+    // Serial top-up on a reserved stream to restore the exact-m contract
+    // (block sampling can lose candidates to cross-block duplicates).
+    if seen.len() < m {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(u64::MAX);
+        while seen.len() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                builder.add_edge(Edge::unweighted(key.0, key.1));
+            }
         }
     }
     builder.build()
@@ -34,6 +86,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par::with_threads;
 
     #[test]
     fn exact_edge_count() {
@@ -60,6 +113,26 @@ mod tests {
         let g = erdos_renyi(6, 15, 3);
         assert_eq!(g.num_edges(), 15);
         assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn exact_count_across_block_boundary() {
+        // m spans multiple sample blocks; the top-up pass must restore the
+        // exact count even when cross-block duplicates appear.
+        let m = SAMPLE_CHUNK + SAMPLE_CHUNK / 2;
+        let g = erdos_renyi(1500, m, 5);
+        assert_eq!(g.num_edges(), m);
+        assert_eq!(g.num_self_loops(), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_graph() {
+        let m = SAMPLE_CHUNK * 2 + 123;
+        let reference = with_threads(1, || erdos_renyi(2000, m, 17));
+        for t in [2usize, 8] {
+            let g = with_threads(t, || erdos_renyi(2000, m, 17));
+            assert_eq!(g, reference, "graph changed at {t} threads");
+        }
     }
 
     #[test]

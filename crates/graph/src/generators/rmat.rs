@@ -6,12 +6,26 @@
 //! `n = 2^scale` vertices and `edge_factor` requests `n · edge_factor`
 //! edge samples (the paper counts `|E| = 2^scale × (2 × edge_factor)`
 //! *directed* arcs, i.e. `edge_factor · n` undirected samples symmetrized).
+//!
+//! ## Parallel sampling with fixed RNG streams
+//!
+//! Samples are drawn in fixed blocks of [`SAMPLE_CHUNK`] edges, one
+//! independent `ChaCha8Rng` stream per block (`set_stream(block_index)`).
+//! The block decomposition depends only on the requested sample count —
+//! never on the thread count — so the generated graph is a pure function of
+//! the config: blocks can be sampled on any number of threads (or serially)
+//! and concatenate to the identical edge list.
 
 use crate::builder::{DedupPolicy, GraphBuilder};
 use crate::csr::Csr;
 use crate::Edge;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Samples per RNG stream. Fixed (not thread-count-derived) so the sampled
+/// edge multiset is identical for any parallelism.
+pub(crate) const SAMPLE_CHUNK: usize = 1 << 16;
 
 /// The three probability distributions of Table 2.
 pub const TABLE2_DISTRIBUTIONS: [(f64, f64, f64, f64); 3] = [
@@ -133,28 +147,39 @@ fn sample_edge(cfg: &RmatConfig, rng: &mut impl Rng) -> (u32, u32) {
 /// assert!(g.num_edges() > 500);
 /// ```
 ///
-/// Self-loops from the sampler are discarded and duplicate edges are merged
-/// (weight 1 kept, NetworKit-style unweighted semantics), so the final
-/// `num_edges()` is slightly below `edge_factor · n` — the same behaviour as
-/// the Graph500/NetworKit generators the paper used.
+/// `edge_factor · n` endpoint pairs are sampled; self-loops are discarded
+/// (without replacement draws, as in the Graph500 reference) and duplicate
+/// edges are merged (weight 1 kept, NetworKit-style unweighted semantics),
+/// so the final `num_edges()` is slightly below `edge_factor · n`.
+///
+/// Sampling is parallel over fixed-size blocks with one RNG stream each; the
+/// output is byte-identical for any thread count.
 pub fn rmat(cfg: RmatConfig) -> Csr {
     cfg.validate();
     let n = 1usize << cfg.scale;
     let target = n * cfg.edge_factor as usize;
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let blocks = target.div_ceil(SAMPLE_CHUNK).max(1);
+
+    let sampled: Vec<Vec<Edge>> = (0..blocks)
+        .into_par_iter()
+        .map(|block| {
+            let quota = SAMPLE_CHUNK.min(target - block * SAMPLE_CHUNK);
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            rng.set_stream(block as u64);
+            let mut out = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                let (u, v) = sample_edge(&cfg, &mut rng);
+                if u != v {
+                    out.push(Edge::unweighted(u, v));
+                }
+            }
+            out
+        })
+        .collect();
+
     let mut builder = GraphBuilder::new(n).dedup_policy(DedupPolicy::KeepMax);
-    let mut staged = 0usize;
-    // Sample up to 2x the target to compensate for discarded self-loops; the
-    // classic generator simply drops them.
-    let mut attempts = 0usize;
-    while staged < target && attempts < 2 * target + 64 {
-        attempts += 1;
-        let (u, v) = sample_edge(&cfg, &mut rng);
-        if u == v {
-            continue;
-        }
-        builder.add_edge(Edge::unweighted(u, v));
-        staged += 1;
+    for block in sampled {
+        builder = builder.add_edges(block);
     }
     builder.build()
 }
@@ -162,6 +187,7 @@ pub fn rmat(cfg: RmatConfig) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par::with_threads;
 
     #[test]
     fn deterministic_for_seed() {
@@ -178,6 +204,17 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_graph() {
+        // Spans multiple sample blocks (2^14 * 8 = 2 blocks).
+        let cfg = RmatConfig::new(14, 8).with_seed(11);
+        let reference = with_threads(1, || rmat(cfg));
+        for t in [2usize, 8] {
+            let g = with_threads(t, || rmat(cfg));
+            assert_eq!(g, reference, "graph changed at {t} threads");
+        }
+    }
+
+    #[test]
     fn vertex_count_is_power_of_scale() {
         let g = rmat(RmatConfig::new(10, 2));
         assert_eq!(g.num_vertices(), 1024);
@@ -187,7 +224,7 @@ mod tests {
     fn edge_count_near_target() {
         let g = rmat(RmatConfig::new(10, 8));
         let target = 1024 * 8;
-        // Dedup removes some, but the bulk should be there.
+        // Self-loop drops and dedup remove some, but the bulk should be there.
         assert!(g.num_edges() > target / 2, "too few edges: {}", g.num_edges());
         assert!(g.num_edges() <= target);
     }

@@ -14,6 +14,8 @@
 //! * [`io`] — plain edge-list, METIS, and Matrix Market readers/writers;
 //! * [`stats`] — the Table-1 statistics (|V|, |E|, max/average degree) plus
 //!   degree histograms and connected components;
+//! * [`par`] — scoped thread pools (`GP_THREADS` / `--threads`) and the
+//!   deterministic parallel-scatter helpers behind the builder/generators;
 //! * [`permute`] — vertex reordering used by OVPL preprocessing;
 //! * [`suite`] — the named stand-in instances for every graph in Table 1.
 
@@ -22,6 +24,7 @@ pub mod csr;
 pub mod generators;
 pub mod io;
 pub mod ordering;
+pub mod par;
 pub mod permute;
 pub mod stats;
 pub mod suite;

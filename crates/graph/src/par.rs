@@ -1,0 +1,164 @@
+//! Thread-pool plumbing and parallel-scatter helpers for the graph substrate.
+//!
+//! Every parallel pass in this crate (and in `gp-core`'s coarsening) is
+//! written so that its *output is a pure function of its input* — thread
+//! count, chunk count, and scheduling order never leak into the produced
+//! bytes. The helpers here make that discipline convenient:
+//!
+//! * [`with_threads`] — run a closure inside a scoped rayon pool of an exact
+//!   size (the `--threads` / `GP_THREADS` knob);
+//! * [`threads_from_env`] — read the `GP_THREADS` override;
+//! * [`chunk_count`] — the standard "how many parallel chunks" policy
+//!   (output-invariant: chunking only moves work between threads, never
+//!   changes result bytes);
+//! * [`SharedWriter`] — unsafe-but-audited disjoint scatter into a shared
+//!   output buffer, the primitive behind the two-pass parallel counting
+//!   sorts (per-chunk histograms + prefix sums hand every chunk a set of
+//!   write positions no other chunk touches).
+
+/// Reads the `GP_THREADS` environment override (`0` or unset → use the
+/// default global pool).
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var("GP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+/// Runs `f` inside a scoped rayon thread pool with exactly `threads` worker
+/// threads. `threads == 0` runs `f` on the ambient (global) pool.
+///
+/// Substrate passes are deterministic regardless of pool size, so this knob
+/// trades wall-clock only — outputs are bit-identical for any `threads`.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        return f();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build scoped rayon pool")
+        .install(f)
+}
+
+/// Number of parallel chunks for a pass over `len` items: one chunk per
+/// worker thread, but never chunks smaller than `min_chunk` items (small
+/// inputs collapse to a single chunk and run serially inside rayon).
+///
+/// Callers must only use the chunk count to *partition work*; per-chunk
+/// results are always combined in chunk order, so the returned value can
+/// depend on the ambient thread count without affecting output bytes.
+pub fn chunk_count(len: usize, min_chunk: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    let by_threads = rayon::current_num_threads().max(1);
+    let by_size = len.div_ceil(min_chunk.max(1));
+    by_threads.min(by_size).max(1)
+}
+
+/// Splits `0..len` into `chunks` near-equal contiguous ranges.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1);
+    let per = len.div_ceil(chunks).max(1);
+    (0..chunks)
+        .map(|c| (c * per).min(len)..((c + 1) * per).min(len))
+        .collect()
+}
+
+/// A shared mutable output buffer for disjoint parallel scatter.
+///
+/// Two-pass counting sorts compute, per chunk, an exclusive set of write
+/// positions (per-chunk histograms + prefix sums); the scatter pass then
+/// writes from all chunks concurrently. Rust's borrow checker cannot see
+/// that the position sets are disjoint, so this wrapper carries the raw
+/// pointer across the rayon closure boundary.
+///
+/// # Safety contract
+/// Callers of [`SharedWriter::write`] must guarantee that no index is
+/// written by more than one thread and that every index is `< len`.
+pub struct SharedWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedWriter<'_, T> {}
+unsafe impl<T: Send> Sync for SharedWriter<'_, T> {}
+
+impl<'a, T> SharedWriter<'a, T> {
+    /// Wraps a mutable slice for disjoint scatter.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedWriter {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and no other thread may concurrently write
+    /// the same index (the counting-sort position sets guarantee both).
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_scopes_pool_size() {
+        for t in [1usize, 2, 4] {
+            let inside = with_threads(t, rayon::current_num_threads);
+            assert_eq!(inside, t);
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_uses_ambient_pool() {
+        let ambient = rayon::current_num_threads();
+        assert_eq!(with_threads(0, rayon::current_num_threads), ambient);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, chunks) in [(0usize, 3usize), (10, 3), (7, 7), (100, 1), (5, 9)] {
+            let ranges = chunk_ranges(len, chunks);
+            let mut covered = 0;
+            for r in &ranges {
+                assert!(r.start <= r.end);
+                covered += r.len();
+            }
+            assert_eq!(covered, len, "len {len} chunks {chunks}");
+            // Contiguous and ordered.
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "len {len} chunks {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_respects_min_chunk() {
+        assert_eq!(chunk_count(0, 1024), 1);
+        assert_eq!(chunk_count(100, 1024), 1);
+        assert!(chunk_count(1 << 20, 1024) >= 1);
+    }
+
+    #[test]
+    fn shared_writer_disjoint_scatter() {
+        let mut out = vec![0u32; 1000];
+        let writer = SharedWriter::new(&mut out);
+        (0..1000usize).into_par_iter().for_each(|i| {
+            // Each index written exactly once — the safety contract.
+            unsafe { writer.write(i, (i as u32) * 2) };
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-thread-count determinism for the parallel graph substrate.
+//!
+//! Every parallel pass in `gp-graph` is written so its output is a pure
+//! function of its input: generators sample fixed-size blocks with one RNG
+//! stream each, the builder's counting sorts combine per-chunk results in
+//! chunk order, and CSR assembly scatters into precomputed disjoint
+//! positions. These tests pin that contract: the same config must produce
+//! *byte-identical* graphs on 1, 2, and 8 worker threads.
+
+use gp_graph::builder::{DedupPolicy, GraphBuilder};
+use gp_graph::csr::Csr;
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::generators::{erdos_renyi, preferential_attachment};
+use gp_graph::par::with_threads;
+use gp_graph::Edge;
+
+/// Asserts `make()` yields identical graphs at 1, 2, and 8 threads.
+fn assert_thread_invariant(label: &str, make: impl Fn() -> Csr + Send + Sync) {
+    let reference = with_threads(1, &make);
+    for t in [2usize, 8] {
+        let g = with_threads(t, &make);
+        assert_eq!(
+            g.num_vertices(),
+            reference.num_vertices(),
+            "{label}: vertex count changed at {t} threads"
+        );
+        assert_eq!(
+            g.num_edges(),
+            reference.num_edges(),
+            "{label}: edge count changed at {t} threads"
+        );
+        assert_eq!(g, reference, "{label}: bytes changed at {t} threads");
+    }
+}
+
+#[test]
+fn rmat_is_thread_invariant() {
+    // Scale 15 × 8 spans multiple 2^16 sample blocks.
+    assert_thread_invariant("rmat", || rmat(RmatConfig::new(15, 8).with_seed(3)));
+}
+
+#[test]
+fn rmat_with_noise_is_thread_invariant() {
+    assert_thread_invariant("rmat-noise", || {
+        rmat(RmatConfig::new(13, 8).with_seed(5).with_noise(0.1))
+    });
+}
+
+#[test]
+fn erdos_renyi_is_thread_invariant() {
+    // m spans multiple sample blocks and forces the top-up path.
+    let m = (1usize << 17) + 321;
+    assert_thread_invariant("er", || erdos_renyi(3000, m, 9));
+}
+
+#[test]
+fn preferential_attachment_is_thread_invariant() {
+    assert_thread_invariant("ba", || preferential_attachment(3000, 4, 27));
+}
+
+/// Builder with duplicate-heavy input exceeding the parallel threshold: the
+/// dedup + counting-sort pipeline must not leak chunk boundaries.
+#[test]
+fn builder_dedup_is_thread_invariant() {
+    let n = 1usize << 12;
+    let edges: Vec<Edge> = (0..(1usize << 15))
+        .map(|i| {
+            let u = ((i as u64 * 2654435761) % n as u64) as u32;
+            let v = ((i as u64).wrapping_mul(40503).wrapping_add(17) % n as u64) as u32;
+            Edge::new(u, v, (i % 7) as f32 + 0.5)
+        })
+        .collect();
+    for policy in [DedupPolicy::KeepMax, DedupPolicy::SumWeights] {
+        let build = || {
+            GraphBuilder::new(n)
+                .dedup_policy(policy)
+                .add_edges(edges.iter().copied())
+                .build()
+        };
+        assert_thread_invariant("builder", build);
+    }
+}
+
+/// The generate→build pipeline end to end, compared against a serial run —
+/// the composition the CLI's `--threads` knob exercises.
+#[test]
+fn generate_build_pipeline_matches_serial() {
+    let make = || {
+        let g = rmat(RmatConfig::new(12, 6).with_seed(77));
+        // Rebuild through the builder to run both parallel layers.
+        let edges: Vec<Edge> = g
+            .vertices()
+            .flat_map(|u| {
+                g.edges_of(u)
+                    .filter(move |&(v, _)| u <= v)
+                    .map(move |(v, w)| Edge::new(u, v, w))
+            })
+            .collect();
+        GraphBuilder::new(g.num_vertices())
+            .dedup_policy(DedupPolicy::KeepMax)
+            .add_edges(edges)
+            .build()
+    };
+    assert_thread_invariant("pipeline", make);
+}

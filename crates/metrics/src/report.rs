@@ -154,6 +154,9 @@ fn json_f64(x: f64) -> String {
 ///     {"round": 0, "level": 0, "secs": 0.004, "moves": 1000,
 ///      "conflicts": 37, "active": 1000, "quality_delta": 0.0,
 ///      "ops": {"gather": 4096, "conflict": 256}}
+///   ],
+///   "phases": [
+///     {"phase": "coarsen", "level": 0, "secs": 0.002}
 ///   ]
 /// }
 /// ```
@@ -191,6 +194,18 @@ pub fn trace_json(trace: &Trace) -> String {
         );
         let _ = writeln!(out, "{}", if i + 1 < trace.rounds.len() { "," } else { "" });
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"phases\": [");
+    for (i, p) in trace.phases.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"phase\": \"{}\", \"level\": {}, \"secs\": {}}}",
+            p.name,
+            p.level,
+            json_f64(p.secs)
+        );
+        let _ = writeln!(out, "{}", if i + 1 < trace.phases.len() { "," } else { "" });
+    }
     let _ = writeln!(out, "  ]");
     let _ = write!(out, "}}");
     out
@@ -198,6 +213,8 @@ pub fn trace_json(trace: &Trace) -> String {
 
 /// Renders a per-round trace as CSV with one column per op class:
 /// `round,level,secs,moves,conflicts,active,quality_delta,s.load,...,mask`.
+/// Substrate phases are appended as `# phase,<name>,<level>,<secs>` comment
+/// lines so the round table keeps its fixed schema.
 pub fn trace_csv(trace: &Trace) -> String {
     let mut out = String::new();
     let mut header: Vec<&str> = vec![
@@ -223,6 +240,11 @@ pub fn trace_csv(trace: &Trace) -> String {
         ];
         cells.extend(ALL_OP_CLASSES.iter().map(|&c| r.ops.get(c).to_string()));
         let _ = writeln!(out, "{}", cells.join(","));
+    }
+    // Substrate phases ride along as comment lines so the round table keeps
+    // its fixed schema for existing consumers.
+    for p in &trace.phases {
+        let _ = writeln!(out, "# phase,{},{},{:e}", p.name, p.level, p.secs);
     }
     out
 }
@@ -311,10 +333,15 @@ mod tests {
     }
 
     fn demo_trace() -> Trace {
-        use crate::telemetry::RoundStats;
+        use crate::telemetry::{PhaseStats, RoundStats};
         use gp_simd::counters::{OpClass, OpCounts};
         Trace {
             kernel: "demo-kernel".into(),
+            phases: vec![PhaseStats {
+                name: "coarsen",
+                level: 0,
+                secs: 0.125,
+            }],
             rounds: vec![
                 RoundStats {
                     round: 0,
@@ -351,6 +378,7 @@ mod tests {
         assert!(json.contains("\"conflict\": 4"));
         assert!(json.contains("\"moves\": 100"));
         assert!(json.contains("\"total_secs\": 0.75"));
+        assert!(json.contains("\"phase\": \"coarsen\""), "{json}");
         // NaN must not leak into JSON.
         assert!(!json.contains("NaN"));
         // Crude structural sanity: balanced braces/brackets.
@@ -376,7 +404,9 @@ mod tests {
             row0.split(',').count(),
             "column count mismatch"
         );
-        assert_eq!(csv.lines().count(), 3);
+        // 1 header + 2 rounds + 1 phase comment.
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().last().unwrap().starts_with("# phase,coarsen,0,"));
     }
 
     #[test]

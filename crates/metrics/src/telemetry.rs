@@ -109,6 +109,23 @@ impl RoundStats {
     }
 }
 
+/// One timed substrate phase (graph generation, CSR build, coarsening,
+/// projection) surrounding the per-round kernel work.
+///
+/// Rounds answer "why does this variant converge the way it does"; phases
+/// answer "where does the wall-clock go *between* rounds" — the multilevel
+/// drivers spend a large share of their time in coarsening, which the
+/// per-round stream is blind to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Phase label (`"generate"`, `"build"`, `"coarsen"`, `"project"`, ...).
+    pub name: &'static str,
+    /// Coarsening level the phase ran at (stamped by the recorder).
+    pub level: usize,
+    /// Wall time of the phase in seconds.
+    pub secs: f64,
+}
+
 /// Statically-dispatched sink for per-round telemetry.
 ///
 /// Kernels are generic over `R: Recorder`, mirroring how they are generic
@@ -122,6 +139,10 @@ pub trait Recorder {
 
     /// Receives one completed round.
     fn record(&mut self, stats: RoundStats);
+
+    /// Receives one completed substrate phase (coarsen / project / build).
+    /// `stats.level` is overwritten with the recorder's current level.
+    fn record_phase(&mut self, _stats: PhaseStats) {}
 
     /// Informs the recorder of the current coarsening level (multilevel
     /// Louvain / partitioning drivers). Subsequent rounds are stamped with
@@ -146,6 +167,7 @@ pub struct TraceRecorder {
     kernel: String,
     level: usize,
     rounds: Vec<RoundStats>,
+    phases: Vec<PhaseStats>,
 }
 
 impl TraceRecorder {
@@ -155,6 +177,7 @@ impl TraceRecorder {
             kernel: kernel.into(),
             level: 0,
             rounds: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -163,11 +186,17 @@ impl TraceRecorder {
         &self.rounds
     }
 
+    /// Substrate phases recorded so far.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
     /// Consumes the recorder into its trace.
     pub fn into_trace(self) -> Trace {
         Trace {
             kernel: self.kernel,
             rounds: self.rounds,
+            phases: self.phases,
         }
     }
 }
@@ -178,6 +207,11 @@ impl Recorder for TraceRecorder {
     fn record(&mut self, mut stats: RoundStats) {
         stats.level = self.level;
         self.rounds.push(stats);
+    }
+
+    fn record_phase(&mut self, mut stats: PhaseStats) {
+        stats.level = self.level;
+        self.phases.push(stats);
     }
 
     fn set_level(&mut self, level: usize) {
@@ -192,6 +226,9 @@ pub struct Trace {
     pub kernel: String,
     /// One entry per round, in execution order.
     pub rounds: Vec<RoundStats>,
+    /// Substrate phases (coarsen / project / build) interleaved with the
+    /// rounds, in execution order.
+    pub phases: Vec<PhaseStats>,
 }
 
 impl Trace {
@@ -203,9 +240,14 @@ impl Trace {
             .fold(OpCounts::default(), |acc, r| acc.add(&r.ops))
     }
 
-    /// Sum of per-round wall times.
+    /// Sum of per-round wall times (excludes phases).
     pub fn total_secs(&self) -> f64 {
         self.rounds.iter().map(|r| r.secs).sum()
+    }
+
+    /// Sum of substrate-phase wall times (coarsen / project / build).
+    pub fn phase_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.secs).sum()
     }
 }
 
@@ -246,6 +288,40 @@ impl RoundProbe {
             stats.secs = self.start.map_or(0.0, |s| s.elapsed().as_secs_f64());
             stats.ops = counters::snapshot().saturating_sub(&self.ops_before);
             rec.record(stats);
+        }
+    }
+}
+
+/// Guard timing one substrate phase (coarsen / project / build).
+///
+/// Like [`RoundProbe`], compiles to nothing under a disabled recorder: the
+/// multilevel drivers wrap their coarsening and projection calls in one of
+/// these, and the [`NoopRecorder`] monomorphization keeps the calls free.
+#[derive(Debug)]
+pub struct PhaseProbe {
+    start: Option<Instant>,
+}
+
+impl PhaseProbe {
+    /// Captures the phase-entry time (only when `R::ENABLED`).
+    #[inline(always)]
+    pub fn begin<R: Recorder>() -> PhaseProbe {
+        PhaseProbe {
+            start: if R::ENABLED { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Completes the phase, stamping its wall time. The level field is
+    /// filled by the recorder from its current [`Recorder::set_level`]
+    /// state. A no-op when `R::ENABLED` is false.
+    #[inline(always)]
+    pub fn finish<R: Recorder>(self, rec: &mut R, name: &'static str) {
+        if R::ENABLED {
+            rec.record_phase(PhaseStats {
+                name,
+                level: 0,
+                secs: self.start.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+            });
         }
     }
 }
@@ -393,8 +469,34 @@ mod tests {
         let info = info.with_trace(Trace {
             kernel: "k".into(),
             rounds: vec![RoundStats::new(0)],
+            phases: Vec::new(),
         });
         assert_eq!(info.trace.as_ref().unwrap().rounds.len(), 1);
+    }
+
+    #[test]
+    fn phase_probe_records_with_level() {
+        let mut rec = TraceRecorder::new("phases");
+        let p = PhaseProbe::begin::<TraceRecorder>();
+        p.finish(&mut rec, "coarsen");
+        rec.set_level(2);
+        let p = PhaseProbe::begin::<TraceRecorder>();
+        p.finish(&mut rec, "project");
+        let trace = rec.into_trace();
+        assert_eq!(trace.phases.len(), 2);
+        assert_eq!(trace.phases[0].name, "coarsen");
+        assert_eq!(trace.phases[0].level, 0);
+        assert_eq!(trace.phases[1].name, "project");
+        assert_eq!(trace.phases[1].level, 2);
+        assert!(trace.phase_secs() >= 0.0);
+    }
+
+    #[test]
+    fn phase_probe_is_noop_when_disabled() {
+        let mut noop = NoopRecorder;
+        let p = PhaseProbe::begin::<NoopRecorder>();
+        assert!(p.start.is_none());
+        p.finish(&mut noop, "coarsen");
     }
 
     #[test]
