@@ -1,0 +1,506 @@
+//! `gp-loadgen` — closed-loop load generator for the `gp-serve` partition
+//! service.
+//!
+//! ```text
+//! gp-loadgen [--spawn] [--addr host:port] [--clients n] [--requests n]
+//!            [--scale s] [--deadline-every n] [--workers n]
+//!            [--queue-depth n] [--burst n]
+//! ```
+//!
+//! Runs `--clients` closed-loop clients (each waits for its response before
+//! sending the next request) against a server, then a synchronized burst of
+//! `sleep` requests sized to exceed `workers + queue_depth`, so one run
+//! demonstrates the full protocol surface: cache hits, `timed_out:true`
+//! partial results under a 1 ms deadline, and `queue_full` shedding.
+//!
+//! With `--spawn` (the default when no `--addr` is given) the server runs
+//! in-process on an ephemeral port with a small, known capacity, and the
+//! final `{"stats":true}` probe is *reconciled* against the client-side
+//! counts — any drift is a bug in the service's accounting and exits
+//! nonzero, as does any malformed response line.
+//!
+//! The request mix is Table-1-flavored: RMAT (default scale 14) through the
+//! coloring / Louvain / label-propagation kernels with a small seed rotation
+//! so the result cache sees both hits and misses.
+
+use gp_metrics::{Histogram, HistogramSnapshot};
+use gp_serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+gp-loadgen — closed-loop load generator for the gp-serve partition service
+
+USAGE:
+  gp-loadgen [--spawn] [--addr host:port] [--clients n] [--requests n]
+             [--scale s] [--deadline-every n] [--workers n]
+             [--queue-depth n] [--burst n]
+
+  --spawn            run an in-process server on an ephemeral port (default
+                     when --addr is absent); enables strict stats
+                     reconciliation
+  --addr host:port   target an already-running `gpart serve`
+  --clients n        concurrent closed-loop clients        [default 8]
+  --requests n       total requests in the main mix        [default 1200]
+  --scale s          RMAT scale for the mix                [default 14]
+  --deadline-every n every n-th request gets deadline_ms=1 [default 16]
+  --workers n        spawned server's worker threads       [default 2]
+  --queue-depth n    spawned server's admission queue      [default 4]
+  --burst n          sleep-burst size (0 = auto for --spawn, skip otherwise)
+";
+
+/// Client-side tallies, merged across all client threads.
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    cached: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Tally {
+    fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::SeqCst)
+    }
+}
+
+struct Options {
+    spawn: bool,
+    addr: Option<String>,
+    clients: usize,
+    requests: u64,
+    scale: u32,
+    deadline_every: u64,
+    workers: usize,
+    queue_depth: usize,
+    burst: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        spawn: false,
+        addr: None,
+        clients: 8,
+        requests: 1200,
+        scale: 14,
+        deadline_every: 16,
+        workers: 2,
+        queue_depth: 4,
+        burst: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("bad {name} value: {e}"))
+        };
+        match a.as_str() {
+            "--spawn" => opts.spawn = true,
+            "--addr" => opts.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--clients" => opts.clients = num("--clients")?.max(1) as usize,
+            "--requests" => opts.requests = num("--requests")?,
+            "--scale" => opts.scale = num("--scale")? as u32,
+            "--deadline-every" => opts.deadline_every = num("--deadline-every")?.max(1),
+            "--workers" => opts.workers = num("--workers")?.max(1) as usize,
+            "--queue-depth" => opts.queue_depth = num("--queue-depth")? as usize,
+            "--burst" => opts.burst = Some(num("--burst")? as usize),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if opts.addr.is_none() {
+        opts.spawn = true;
+    }
+    Ok(opts)
+}
+
+/// One request line of the deterministic mix, by global request index.
+fn mix_line(i: u64, scale: u32, deadline_every: u64) -> String {
+    if i % deadline_every == deadline_every - 1 {
+        // A guaranteed result-cache miss (unique seed) with a 1 ms deadline:
+        // scale-14 Louvain cannot finish that fast, so this exercises the
+        // cooperative-cancellation path and returns `timed_out:true`.
+        return format!(
+            "{{\"kernel\":\"louvain\",\"graph\":{{\"rmat\":{{\"scale\":{scale},\"seed\":3}}}},\
+             \"seed\":{},\"deadline_ms\":1,\"id\":\"dl-{i}\"}}",
+            100_000 + i
+        );
+    }
+    let kernel = match i % 3 {
+        0 => "color",
+        1 => "louvain",
+        _ => "labelprop",
+    };
+    // Rotate over a handful of seeds so the result cache sees repeats.
+    format!(
+        "{{\"kernel\":\"{kernel}\",\"graph\":{{\"rmat\":{{\"scale\":{scale},\"seed\":3}}}},\
+         \"seed\":{},\"id\":\"m-{i}\"}}",
+        i % 4
+    )
+}
+
+/// Sends one line, reads one line. `Err` means transport failure.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => Err("connection closed".to_string()),
+        Ok(_) => Ok(response),
+        Err(e) => Err(format!("read: {e}")),
+    }
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    Ok((stream, reader))
+}
+
+/// What one response line was, from the client's point of view.
+#[derive(PartialEq)]
+enum Class {
+    /// A successful result — retry loop done.
+    Done,
+    /// `queue_full` backpressure — retryable.
+    Shed,
+    /// `shutting_down` — give up on this request.
+    Rejected,
+    /// Anything else — a protocol bug.
+    Error,
+}
+
+/// Classifies one response line into the tally; records latency on success.
+fn account(response: &str, latency: Duration, tally: &Tally, hist: &Histogram) -> Class {
+    let Ok(v) = gp_serve::json::parse(response.trim()) else {
+        tally.protocol_errors.fetch_add(1, Ordering::SeqCst);
+        eprintln!("unparseable response: {}", response.trim());
+        return Class::Error;
+    };
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            tally.ok.fetch_add(1, Ordering::SeqCst);
+            hist.record(latency);
+            if v.get("cached").and_then(Json::as_bool) == Some(true) {
+                tally.cached.fetch_add(1, Ordering::SeqCst);
+            }
+            if v.get("timed_out").and_then(Json::as_bool) == Some(true) {
+                tally.timed_out.fetch_add(1, Ordering::SeqCst);
+            }
+            Class::Done
+        }
+        Some(false) => match v.get("error").and_then(Json::as_str) {
+            Some("queue_full") => {
+                tally.shed.fetch_add(1, Ordering::SeqCst);
+                Class::Shed
+            }
+            Some("shutting_down") => {
+                tally.rejected.fetch_add(1, Ordering::SeqCst);
+                Class::Rejected
+            }
+            other => {
+                tally.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                eprintln!("unexpected refusal {other:?}: {}", response.trim());
+                Class::Error
+            }
+        },
+        None => {
+            tally.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            eprintln!("response without `ok`: {}", response.trim());
+            Class::Error
+        }
+    }
+}
+
+/// The main closed-loop phase: `clients` threads pull global indices off a
+/// shared counter until `requests` have been sent.
+fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSnapshot, String> {
+    let next = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for c in 0..opts.clients {
+        let addr = addr.to_string();
+        let next = Arc::clone(&next);
+        let tally = Arc::clone(tally);
+        let failures = Arc::clone(&failures);
+        let (requests, scale, deadline_every) = (opts.requests, opts.scale, opts.deadline_every);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{c}"))
+                .spawn(move || {
+                    let hist = Histogram::new();
+                    let Ok((mut stream, mut reader)) = connect(&addr) else {
+                        failures.fetch_add(1, Ordering::SeqCst);
+                        return hist.snapshot();
+                    };
+                    'requests: loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= requests {
+                            break;
+                        }
+                        let line = mix_line(i, scale, deadline_every);
+                        // Closed-loop with retry-on-shed: `queue_full` is
+                        // backpressure, so back off (capped exponential) and
+                        // resend until the request lands or the server
+                        // starts draining. Every attempt counts as `sent`.
+                        let mut backoff = Duration::from_millis(1);
+                        loop {
+                            tally.sent.fetch_add(1, Ordering::SeqCst);
+                            let started = Instant::now();
+                            match roundtrip(&mut stream, &mut reader, &line) {
+                                Ok(response) => {
+                                    match account(&response, started.elapsed(), &tally, &hist) {
+                                        Class::Shed => {
+                                            std::thread::sleep(backoff);
+                                            backoff = (backoff * 2).min(Duration::from_millis(64));
+                                        }
+                                        Class::Done | Class::Rejected | Class::Error => break,
+                                    }
+                                }
+                                Err(e) => {
+                                    eprintln!("client {c}: {e}");
+                                    failures.fetch_add(1, Ordering::SeqCst);
+                                    break 'requests;
+                                }
+                            }
+                        }
+                    }
+                    hist.snapshot()
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let mut merged: Option<HistogramSnapshot> = None;
+    for h in handles {
+        let snap = h.join().map_err(|_| "client thread panicked".to_string())?;
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    if failures.load(Ordering::SeqCst) > 0 {
+        return Err(format!(
+            "{} client(s) hit transport failures",
+            failures.load(Ordering::SeqCst)
+        ));
+    }
+    merged.ok_or_else(|| "no clients ran".to_string())
+}
+
+/// The shed burst: `burst` connections release a long `sleep` each at the
+/// same instant. With capacity `workers + queue_depth`, everything beyond
+/// that must come back as `queue_full`.
+fn run_burst(addr: &str, burst: usize, tally: &Arc<Tally>) -> Result<(), String> {
+    let barrier = Arc::new(Barrier::new(burst));
+    let mut handles = Vec::new();
+    for b in 0..burst {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        let tally = Arc::clone(tally);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("burst-{b}"))
+                .spawn(move || -> Result<(), String> {
+                    let (mut stream, mut reader) = connect(&addr)?;
+                    let line = format!("{{\"kernel\":\"sleep\",\"ms\":120,\"id\":\"b-{b}\"}}");
+                    barrier.wait();
+                    tally.sent.fetch_add(1, Ordering::SeqCst);
+                    let started = Instant::now();
+                    let hist = Histogram::new(); // burst latencies stay out of the mix histogram
+                    let response = roundtrip(&mut stream, &mut reader, &line)?;
+                    account(&response, started.elapsed(), &tally, &hist);
+                    Ok(())
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    for h in handles {
+        h.join().map_err(|_| "burst thread panicked".to_string())??;
+    }
+    Ok(())
+}
+
+/// Pulls the server's `{"stats":true}` snapshot.
+fn fetch_stats(addr: &str) -> Result<Json, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    let response = roundtrip(&mut stream, &mut reader, r#"{"stats":true}"#)?;
+    gp_serve::json::parse(response.trim()).map_err(|e| format!("stats response: {e}"))
+}
+
+fn stat_of(stats: &Json, key: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Compares server counters with client-side observations. Only meaningful
+/// for `--spawn`, where this process is the server's sole client.
+fn reconcile(stats: &Json, tally: &Tally) -> Result<(), String> {
+    let pairs = [
+        ("received", tally.get(&tally.sent)),
+        ("served", tally.get(&tally.ok)),
+        ("shed", tally.get(&tally.shed)),
+        ("timed_out", tally.get(&tally.timed_out)),
+        ("rejected", tally.get(&tally.rejected)),
+    ];
+    let mut drift = Vec::new();
+    for (key, client_side) in pairs {
+        let server_side = stat_of(stats, key);
+        if server_side != client_side {
+            drift.push(format!("{key}: server={server_side} client={client_side}"));
+        }
+    }
+    if drift.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("stats drift — {}", drift.join(", ")))
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let server = if opts.spawn {
+        Some(
+            Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: opts.workers,
+                queue_depth: opts.queue_depth,
+                ..Default::default()
+            })
+            .map_err(|e| format!("spawn server: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let addr = match (&server, &opts.addr) {
+        (Some(s), _) => s.local_addr().to_string(),
+        (None, Some(a)) => a.clone(),
+        (None, None) => unreachable!("parse_args forces spawn without --addr"),
+    };
+    println!(
+        "target {addr} ({}), {} clients, {} requests, rmat scale {}",
+        if opts.spawn { "spawned in-process" } else { "external" },
+        opts.clients,
+        opts.requests,
+        opts.scale
+    );
+
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let hist = run_mix(&addr, &opts, &tally)?;
+    let mix_secs = started.elapsed().as_secs_f64();
+
+    // Size the burst to overflow known capacity; skip entirely for external
+    // servers unless the operator passed an explicit --burst.
+    let burst = opts
+        .burst
+        .unwrap_or(if opts.spawn { opts.workers + opts.queue_depth + 6 } else { 0 });
+    if burst > 0 {
+        run_burst(&addr, burst, &tally)?;
+    }
+
+    let stats = fetch_stats(&addr)?;
+
+    println!();
+    println!(
+        "mix: {} requests in {:.2}s — {:.0} req/s",
+        opts.requests,
+        mix_secs,
+        opts.requests as f64 / mix_secs.max(1e-9)
+    );
+    println!(
+        "latency ms: p50 {:.2}  p99 {:.2}  p999 {:.2}  mean {:.2}",
+        hist.quantile_us(0.50) / 1000.0,
+        hist.quantile_us(0.99) / 1000.0,
+        hist.quantile_us(0.999) / 1000.0,
+        hist.mean_us() / 1000.0
+    );
+    println!(
+        "client counts: sent {} ok {} cached {} timed_out {} shed {} rejected {} protocol_errors {}",
+        tally.get(&tally.sent),
+        tally.get(&tally.ok),
+        tally.get(&tally.cached),
+        tally.get(&tally.timed_out),
+        tally.get(&tally.shed),
+        tally.get(&tally.rejected),
+        tally.get(&tally.protocol_errors),
+    );
+    println!(
+        "server stats: received {} served {} shed {} timed_out {} graph_hits {} result_hits {}",
+        stat_of(&stats, "received"),
+        stat_of(&stats, "served"),
+        stat_of(&stats, "shed"),
+        stat_of(&stats, "timed_out"),
+        stats
+            .get("stats")
+            .and_then(|s| s.get("graph_cache"))
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats
+            .get("stats")
+            .and_then(|s| s.get("result_cache"))
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+
+    let mut problems = Vec::new();
+    if tally.get(&tally.protocol_errors) > 0 {
+        problems.push(format!(
+            "{} protocol errors",
+            tally.get(&tally.protocol_errors)
+        ));
+    }
+    if opts.spawn {
+        if let Err(e) = reconcile(&stats, &tally) {
+            problems.push(e);
+        }
+        if tally.get(&tally.timed_out) == 0 {
+            problems.push("no timed_out responses observed".to_string());
+        }
+        if burst > 0 && tally.get(&tally.shed) == 0 {
+            problems.push("burst produced no queue_full sheds".to_string());
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if problems.is_empty() {
+        println!("loadgen OK");
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gp-loadgen: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -24,6 +24,10 @@ USAGE:
   gpart labelprop <graph> [--out file] [--trace file]
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
+  gpart serve     [--addr host:port] [--workers n] [--queue-depth n]
+                  [--graph-cache n] [--result-cache n] [--deadline-ms n]
+                  [--max-vertices n]
+  gpart --version
 
 Graph formats by extension: .el/.txt/.edges (edge list),
 .graph/.metis (METIS), .mtx/.mm (Matrix Market).
@@ -31,6 +35,8 @@ Graph formats by extension: .el/.txt/.edges (edge list),
 including substrate phase timings (coarsen/project) for multilevel runs.
 --threads n (any command, or GP_THREADS=n) runs the substrate on a scoped
 pool of n workers; outputs are identical for any thread count.
+serve hosts the newline-delimited JSON partition service (docs/SERVICE.md);
+stop it with ctrl-c / SIGTERM for a drained shutdown and a stats dump.
 ";
 
 /// Extracts `--flag value` from an argument list, returning the remainder.
@@ -68,7 +74,6 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 }
 
 pub fn generate(args: &[String]) -> Result<(), String> {
-    use gp_graph::generators::*;
     let family = positional(args, 0, "family")?;
     let out = positional(args, 1, "out")?;
     let n: usize = args
@@ -81,33 +86,19 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("bad seed: {e}")))
         .transpose()?
         .unwrap_or(42);
-    let g = match family {
-        "rmat" => {
-            let scale = (n as f64).log2().ceil().max(2.0) as u32;
-            rmat::rmat(rmat::RmatConfig::new(scale, 8).with_seed(seed))
-        }
-        "mesh" => {
-            let side = (n as f64).sqrt().ceil().max(2.0) as usize;
-            triangular_mesh(side, side, seed)
-        }
-        "road" => {
-            let side = (n as f64).sqrt().ceil().max(2.0) as usize;
-            road_network(side, side, 2.1, seed)
-        }
-        "stencil" => {
-            let side = (n as f64).cbrt().ceil().max(2.0) as usize;
-            stencil3d(side)
-        }
-        "er" => erdos_renyi(n, 4 * n, seed),
-        "ba" => preferential_attachment(n.max(6), 4, seed),
-        other => return Err(format!("unknown family `{other}`\n\n{USAGE}")),
-    };
+    // The family/n/seed → parameter mapping lives in `GraphSpec` so the CLI,
+    // the service, and the load generator all describe graphs identically
+    // (and the service's cache keys match what this command writes).
+    let spec = gp_serve::GraphSpec::from_family(family, n, seed)
+        .map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    let g = spec.build();
     save(&g, out)?;
     println!(
-        "wrote {}: {} vertices, {} edges",
+        "wrote {}: {} vertices, {} edges ({})",
         out,
         g.num_vertices(),
-        g.num_edges()
+        g.num_edges(),
+        spec.canonical_key()
     );
     Ok(())
 }
@@ -252,6 +243,70 @@ pub fn slpa(args: &[String]) -> Result<(), String> {
         }
         println!("memberships written to {path}");
     }
+    Ok(())
+}
+
+/// Parses an optional numeric `--flag value` into `T`, defaulting when absent.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<(T, Vec<String>), String>
+where
+    T::Err: std::fmt::Display,
+{
+    let (value, rest) = take_flag(args, flag);
+    let parsed = match value {
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|e| format!("bad {flag} value `{v}`: {e}"))?,
+        None => default,
+    };
+    Ok((parsed, rest))
+}
+
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_flag(args, "--addr");
+    // Worker-pool size: explicit flag, else the GP_THREADS knob the rest of
+    // the CLI honors (validated in main's `take_threads`), else one per
+    // core.
+    let (workers_flag, rest) = take_flag(&rest, "--workers");
+    let workers = match workers_flag {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| format!("bad --workers value `{v}`: {e}"))?,
+        None => std::env::var("GP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0),
+    };
+    let (queue_depth, rest) = numeric_flag::<usize>(&rest, "--queue-depth", 64)?;
+    let (graph_cache, rest) = numeric_flag::<usize>(&rest, "--graph-cache", 8)?;
+    let (result_cache, rest) = numeric_flag::<usize>(&rest, "--result-cache", 256)?;
+    let (deadline_ms, rest) = numeric_flag::<u64>(&rest, "--deadline-ms", 0)?;
+    let (max_vertices, rest) = numeric_flag::<usize>(&rest, "--max-vertices", 1 << 24)?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("serve: unexpected argument `{extra}`\n\n{USAGE}"));
+    }
+    let cfg = gp_serve::ServeConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7201".to_string()),
+        workers,
+        queue_depth,
+        graph_cache,
+        result_cache,
+        default_deadline_ms: deadline_ms,
+        max_vertices,
+    };
+    gp_serve::install_shutdown_signals();
+    let server = gp_serve::Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("gpart serve listening on {}", server.local_addr());
+    println!("send {{\"stats\":true}} for live counters; ctrl-c / SIGTERM to drain and stop");
+    while !gp_serve::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("gpart serve: shutdown requested, draining…");
+    let final_stats = server.shutdown();
+    println!("{final_stats}");
     Ok(())
 }
 

@@ -9,6 +9,7 @@
 //! gpart labelprop <graph> [--out f]
 //! gpart partition <graph> [--k n] [--out f]
 //! gpart slpa      <graph> [--threshold r] [--out f]
+//! gpart serve     [--addr a] [--queue-depth n] [--deadline-ms n] …
 //! ```
 //!
 //! Formats are inferred from extensions: `.el`/`.txt` edge list,
@@ -24,10 +25,23 @@ mod io;
 
 use std::process::ExitCode;
 
+/// Parses a thread-count value: a positive integer. `0` and garbage are
+/// rejected with an explicit error (silently ignoring them hid typos like
+/// `GP_THREADS=four`); omit the knob entirely to use the ambient pool.
+fn parse_thread_count(source: &str, v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "bad {source} value `{v}`: thread count must be ≥ 1 (omit it to use the ambient pool)"
+        )),
+        Ok(t) => Ok(t),
+        Err(e) => Err(format!("bad {source} value `{v}`: {e}")),
+    }
+}
+
 /// Extracts the global `--threads n` flag (any position) and returns the
 /// thread count plus the remaining arguments. Falls back to the
-/// `GP_THREADS` environment variable; `0` (the default) means "use the
-/// ambient rayon pool".
+/// `GP_THREADS` environment variable; with neither set, 0 is returned,
+/// meaning "use the ambient rayon pool".
 fn take_threads(args: Vec<String>) -> Result<(usize, Vec<String>), String> {
     let mut threads = None;
     let mut rest = Vec::with_capacity(args.len());
@@ -37,17 +51,18 @@ fn take_threads(args: Vec<String>) -> Result<(usize, Vec<String>), String> {
             let v = it
                 .next()
                 .ok_or_else(|| "`--threads` needs a value".to_string())?;
-            threads = Some(
-                v.parse::<usize>()
-                    .map_err(|e| format!("bad --threads value `{v}`: {e}"))?,
-            );
+            threads = Some(parse_thread_count("--threads", &v)?);
         } else {
             rest.push(a);
         }
     }
-    let threads = threads
-        .or_else(gp_graph::par::threads_from_env)
-        .unwrap_or(0);
+    let threads = match threads {
+        Some(t) => t,
+        None => match std::env::var("GP_THREADS") {
+            Ok(v) if !v.trim().is_empty() => parse_thread_count("GP_THREADS", &v)?,
+            _ => 0,
+        },
+    };
     Ok((threads, rest))
 }
 
@@ -61,6 +76,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("labelprop") => commands::labelprop(&args[1..]),
         Some("partition") => commands::partition(&args[1..]),
         Some("slpa") => commands::slpa(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
+        Some("--version") | Some("-V") => {
+            println!("gpart {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())
@@ -108,5 +128,20 @@ mod tests {
     fn take_threads_rejects_garbage() {
         assert!(take_threads(args(&["--threads", "lots"])).is_err());
         assert!(take_threads(args(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn take_threads_rejects_zero_with_guidance() {
+        let err = take_threads(args(&["--threads", "0", "stats"])).unwrap_err();
+        assert!(err.contains("must be ≥ 1"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn parse_thread_count_covers_env_source() {
+        assert_eq!(super::parse_thread_count("GP_THREADS", " 8 "), Ok(8));
+        let err = super::parse_thread_count("GP_THREADS", "four").unwrap_err();
+        assert!(err.contains("GP_THREADS"), "{err}");
+        assert!(super::parse_thread_count("GP_THREADS", "0").is_err());
     }
 }

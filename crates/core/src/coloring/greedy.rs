@@ -168,7 +168,7 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
     let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let mut conf: Vec<u32> = (0..n as u32).collect();
     let mut rounds = 0;
-    while !conf.is_empty() && rounds < config.max_rounds {
+    while !conf.is_empty() && rounds < config.max_rounds && !rec.should_stop() {
         rounds += 1;
         let probe = RoundProbe::begin::<R>();
         let active = conf.len() as u64;
@@ -182,8 +182,12 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
                 .conflicts(conf.len() as u64),
         );
     }
+    // A cooperative stop (deadline) may leave conflicts behind — the caller
+    // gets a partial, non-converged result. Without one, failing to clear
+    // the conflict set within the round cap is still a hard bug.
+    let converged = conf.is_empty();
     assert!(
-        conf.is_empty(),
+        converged || rec.should_stop(),
         "coloring failed to converge within {} rounds",
         config.max_rounds
     );
@@ -193,7 +197,7 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
         colors,
         rounds,
         num_colors,
-        info: RunInfo::new(backend, rounds, true, timer.elapsed_secs()),
+        info: RunInfo::new(backend, rounds, converged, timer.elapsed_secs()),
     }
 }
 

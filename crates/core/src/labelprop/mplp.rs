@@ -142,6 +142,10 @@ pub fn label_propagation_mplp_recorded<R: Recorder>(
             converged = true;
             break;
         }
+        // Cooperative cancellation (deadline): stop after a completed sweep.
+        if rec.should_stop() {
+            break;
+        }
     }
     result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
     result.info = RunInfo::new("scalar", result.iterations, converged, timer.elapsed_secs());

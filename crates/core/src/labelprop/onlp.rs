@@ -157,6 +157,10 @@ pub fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
             converged = true;
             break;
         }
+        // Cooperative cancellation (deadline): stop after a completed sweep.
+        if rec.should_stop() {
+            break;
+        }
     }
     result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
     result.info = RunInfo::new(S::NAME, result.iterations, converged, timer.elapsed_secs());

@@ -151,7 +151,11 @@ pub fn louvain_recorded<R: Recorder>(
         let zeta = state.communities();
         let distinct = super::modularity::count_communities(&zeta);
 
-        if !config.multilevel || stats.moves == 0 || distinct == level_graph.num_vertices() {
+        if !config.multilevel
+            || stats.moves == 0
+            || distinct == level_graph.num_vertices()
+            || rec.should_stop()
+        {
             assignments.push((zeta, Vec::new()));
             break;
         }
@@ -175,7 +179,10 @@ pub fn louvain_recorded<R: Recorder>(
     probe.finish(rec, "project");
     result.communities = communities;
     result.modularity = modularity(g, &result.communities);
-    let converged = result.level_stats.iter().all(|s| s.converged);
+    // A deadline stop anywhere in the level loop means the multilevel
+    // process did not run to completion, even if each executed move phase
+    // happened to converge on its own.
+    let converged = result.level_stats.iter().all(|s| s.converged) && !rec.should_stop();
     result.info = RunInfo::new(
         dispatch_backend(config),
         result.levels,

@@ -152,6 +152,11 @@ pub(crate) fn run_sweeps<R: Recorder>(
             stats.converged = true;
             break;
         }
+        // Cooperative cancellation (deadline): stop after a completed sweep,
+        // leaving a consistent but non-converged assignment.
+        if rec.should_stop() {
+            break;
+        }
     }
     stats
 }

@@ -1,0 +1,84 @@
+//! Cooperative deadline cancellation: every iterative kernel must stop at a
+//! round boundary when its recorder's `should_stop` hook fires, returning a
+//! structurally valid partial result with `converged: false`.
+
+use gp_core::coloring::{color_graph_recorded, ColoringConfig};
+use gp_core::labelprop::{label_propagation_recorded, LabelPropConfig};
+use gp_core::louvain::{louvain_recorded, LouvainConfig};
+use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, TraceRecorder};
+use gp_graph::generators::{preferential_attachment, triangular_mesh};
+use std::time::Duration;
+
+/// A recorder whose deadline is already in the past.
+fn expired() -> DeadlineRecorder<NoopRecorder> {
+    DeadlineRecorder::after(NoopRecorder, Duration::ZERO)
+}
+
+/// A recorder whose deadline is far in the future.
+fn generous() -> DeadlineRecorder<NoopRecorder> {
+    DeadlineRecorder::after(NoopRecorder, Duration::from_secs(3600))
+}
+
+#[test]
+fn coloring_stops_before_first_round_on_expired_deadline() {
+    let g = triangular_mesh(20, 20, 3);
+    let rec = expired();
+    let mut rec = rec;
+    let r = color_graph_recorded(&g, &ColoringConfig::default(), &mut rec);
+    assert!(rec.fired());
+    assert!(!r.info.converged);
+    assert_eq!(r.rounds, 0);
+    assert_eq!(r.colors.len(), g.num_vertices());
+}
+
+#[test]
+fn coloring_with_generous_deadline_matches_undeadlined_run() {
+    let g = preferential_attachment(300, 4, 11);
+    let cfg = ColoringConfig::sequential();
+    let mut plain = NoopRecorder;
+    let base = color_graph_recorded(&g, &cfg, &mut plain);
+    let mut rec = generous();
+    let timed = color_graph_recorded(&g, &cfg, &mut rec);
+    assert!(!rec.fired());
+    assert!(timed.info.converged);
+    assert_eq!(base.colors, timed.colors);
+    assert_eq!(base.rounds, timed.rounds);
+}
+
+#[test]
+fn louvain_returns_partial_result_on_expired_deadline() {
+    let g = triangular_mesh(24, 24, 5);
+    let mut rec = expired();
+    let r = louvain_recorded(&g, &LouvainConfig::default(), &mut rec);
+    assert!(rec.fired());
+    assert!(!r.info.converged);
+    // One move phase ran to its first boundary; the assignment is still a
+    // total function over the vertices.
+    assert_eq!(r.communities.len(), g.num_vertices());
+    assert_eq!(r.levels, 1);
+    let full = louvain_recorded(&g, &LouvainConfig::default(), &mut NoopRecorder);
+    assert!(full.levels >= r.levels);
+}
+
+#[test]
+fn labelprop_returns_partial_result_on_expired_deadline() {
+    let g = triangular_mesh(24, 24, 7);
+    let mut rec = expired();
+    let r = label_propagation_recorded(&g, &LabelPropConfig::default(), &mut rec);
+    assert!(rec.fired());
+    assert!(!r.info.converged);
+    assert_eq!(r.iterations, 1); // exactly one completed sweep
+    assert_eq!(r.labels.len(), g.num_vertices());
+}
+
+#[test]
+fn deadline_recorder_still_collects_trace_rounds() {
+    let g = triangular_mesh(16, 16, 9);
+    let mut rec = DeadlineRecorder::after(TraceRecorder::new("louvain-deadline"), Duration::ZERO);
+    let r = louvain_recorded(&g, &LouvainConfig::default(), &mut rec);
+    assert!(!r.info.converged);
+    let trace = rec.into_inner().into_trace();
+    // The partial run still reports the rounds it completed.
+    assert!(!trace.rounds.is_empty());
+    assert_eq!(trace.kernel, "louvain-deadline");
+}

@@ -1,0 +1,234 @@
+//! Lock-free log-bucketed latency histogram for the serving layer.
+//!
+//! `gp-serve` records one latency sample per request from many worker
+//! threads, and the load generator records one per response from many
+//! client threads — both need a concurrent, allocation-free `record` and a
+//! cheap quantile estimate at report time. A power-of-two bucket histogram
+//! over microseconds gives ≤ 2× relative quantile error across the full
+//! nanoseconds-to-hours range with 65 atomic counters, which is plenty for
+//! p50/p99/p999 service reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `k` (k ≥ 1) holds samples in `[2^(k-1), 2^k)`
+/// microseconds; bucket 0 holds sub-microsecond samples.
+const BUCKETS: usize = 65;
+
+/// Concurrent log2-bucketed histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample of `us` microseconds.
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    (64 - us.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive microsecond range covered by bucket `k`.
+fn bucket_range(k: usize) -> (u64, u64) {
+    if k == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (k - 1), 1u64.checked_shl(k as u32).unwrap_or(u64::MAX))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: std::time::Duration) {
+        self.record_us(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency sample given in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting (relaxed reads; exact when
+    /// no concurrent writers).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], with quantile estimation.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+    /// Largest sample in microseconds.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds, linearly
+    /// interpolated within the containing power-of-two bucket and clamped
+    /// to the observed maximum. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_range(k);
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return est.min(self.max_us as f64);
+            }
+            seen += c;
+        }
+        self.max_us as f64
+    }
+
+    /// Folds another snapshot into this one (for merging per-client
+    /// histograms in the load generator).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_us(0.5), 0.0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_us, 1000);
+        let p50 = s.quantile_us(0.5);
+        // True p50 = 500; log2 buckets guarantee ≤ 2× relative error.
+        assert!((250.0..=1000.0).contains(&p50), "p50 = {p50}");
+        let p999 = s.quantile_us(0.999);
+        assert!((512.0..=1000.0).contains(&p999), "p999 = {p999}");
+        assert!((s.mean_us() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            for _ in 0..10 {
+                h.record_us(us);
+            }
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile_us(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "{qs:?}");
+        }
+        assert_eq!(s.quantile_us(1.0), 100_000.0);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_everything() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_us(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn merge_combines_snapshots() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1_000_000));
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.sum_us, 1_000_010);
+    }
+}

@@ -3,18 +3,22 @@
 //! Measurement substrate for the experiment harness: repeated-run timing
 //! with the paper's methodology (25 runs per configuration, mean + bootstrap
 //! 95% confidence interval), modeled-energy aggregation, per-round kernel
-//! telemetry ([`telemetry`]), and plain-text / CSV / JSON report emission
-//! for the figure binaries.
+//! telemetry with cooperative deadline cancellation ([`telemetry`]), a
+//! concurrent latency histogram for the serving layer ([`histogram`]), and
+//! plain-text / CSV / JSON report emission for the figure binaries.
 
 pub mod energy;
+pub mod histogram;
 pub mod report;
 pub mod stats;
 pub mod telemetry;
 pub mod timer;
 
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use report::{trace_csv, trace_json, write_trace, Table};
 pub use stats::{bootstrap_ci, Summary};
 pub use telemetry::{
-    NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer, Trace, TraceRecorder,
+    DeadlineRecorder, NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer, Trace,
+    TraceRecorder,
 };
 pub use timer::{time_runs, TimingConfig};

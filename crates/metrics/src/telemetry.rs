@@ -148,6 +148,21 @@ pub trait Recorder {
     /// Louvain / partitioning drivers). Subsequent rounds are stamped with
     /// this level.
     fn set_level(&mut self, _level: usize) {}
+
+    /// Cooperative-cancellation hook, polled by every kernel at round
+    /// boundaries. Returning `true` makes the kernel stop after the current
+    /// round with whatever partial result it has (`converged: false` in its
+    /// [`RunInfo`]). The default never cancels, so existing recorders and
+    /// the [`NoopRecorder`] keep the exact pre-cancellation control flow
+    /// (the check folds to a constant `false`).
+    ///
+    /// Unlike [`Recorder::record`], this hook is *not* gated on
+    /// [`Recorder::ENABLED`]: a [`DeadlineRecorder`] wrapping a
+    /// [`NoopRecorder`] enforces deadlines without paying for telemetry.
+    #[inline(always)]
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 /// The default recorder: does nothing, costs nothing.
@@ -216,6 +231,90 @@ impl Recorder for TraceRecorder {
 
     fn set_level(&mut self, level: usize) {
         self.level = level;
+    }
+}
+
+/// Wraps any [`Recorder`] with a wall-clock deadline: once the deadline
+/// passes, [`Recorder::should_stop`] reports `true` and the kernel winds
+/// down at the next round boundary, returning its partial result.
+///
+/// This is the cooperative-cancellation primitive behind `gp-serve`'s
+/// per-request `deadline_ms`: the service wraps a [`NoopRecorder`] (or a
+/// [`TraceRecorder`] for traced requests) and marks the response
+/// `timed_out: true` whenever [`DeadlineRecorder::fired`] is set.
+///
+/// ```
+/// use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, Recorder};
+/// use std::time::Duration;
+///
+/// let rec = DeadlineRecorder::after(NoopRecorder, Duration::from_secs(3600));
+/// assert!(!rec.should_stop());
+/// let rec = DeadlineRecorder::after(NoopRecorder, Duration::ZERO);
+/// assert!(rec.should_stop());
+/// assert!(rec.fired());
+/// ```
+#[derive(Debug)]
+pub struct DeadlineRecorder<R> {
+    inner: R,
+    deadline: Instant,
+    fired: std::cell::Cell<bool>,
+}
+
+impl<R: Recorder> DeadlineRecorder<R> {
+    /// Wraps `inner` with an absolute deadline.
+    pub fn new(inner: R, deadline: Instant) -> Self {
+        DeadlineRecorder {
+            inner,
+            deadline,
+            fired: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Wraps `inner` with a deadline `budget` from now.
+    pub fn after(inner: R, budget: std::time::Duration) -> Self {
+        Self::new(inner, Instant::now() + budget)
+    }
+
+    /// Whether the deadline was observed expired at any round boundary
+    /// (i.e. the kernel was actually asked to stop early).
+    pub fn fired(&self) -> bool {
+        self.fired.get()
+    }
+
+    /// Unwraps the inner recorder (e.g. to extract a trace).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Recorder> Recorder for DeadlineRecorder<R> {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline]
+    fn record(&mut self, stats: RoundStats) {
+        self.inner.record(stats);
+    }
+
+    #[inline]
+    fn record_phase(&mut self, stats: PhaseStats) {
+        self.inner.record_phase(stats);
+    }
+
+    #[inline]
+    fn set_level(&mut self, level: usize) {
+        self.inner.set_level(level);
+    }
+
+    #[inline]
+    fn should_stop(&self) -> bool {
+        if self.fired.get() {
+            return true;
+        }
+        let expired = Instant::now() >= self.deadline;
+        if expired {
+            self.fired.set(true);
+        }
+        expired
     }
 }
 
@@ -497,6 +596,40 @@ mod tests {
         let p = PhaseProbe::begin::<NoopRecorder>();
         assert!(p.start.is_none());
         p.finish(&mut noop, "coarsen");
+    }
+
+    #[test]
+    fn noop_recorder_never_stops() {
+        assert!(!NoopRecorder.should_stop());
+    }
+
+    #[test]
+    fn deadline_recorder_forwards_and_fires() {
+        let mut rec = DeadlineRecorder::after(TraceRecorder::new("dl"), std::time::Duration::ZERO);
+        fake_kernel(&mut rec, 2);
+        assert!(rec.should_stop());
+        assert!(rec.fired());
+        let trace = rec.into_inner().into_trace();
+        assert_eq!(trace.rounds.len(), 2);
+    }
+
+    #[test]
+    fn deadline_recorder_respects_future_deadline() {
+        let rec = DeadlineRecorder::after(NoopRecorder, std::time::Duration::from_secs(3600));
+        assert!(!rec.should_stop());
+        assert!(!rec.fired());
+    }
+
+    #[test]
+    fn deadline_recorder_latches_once_fired() {
+        let rec = DeadlineRecorder::new(
+            NoopRecorder,
+            Instant::now() - std::time::Duration::from_millis(1),
+        );
+        assert!(rec.should_stop());
+        // Stays fired even if polled again.
+        assert!(rec.should_stop());
+        assert!(rec.fired());
     }
 
     #[test]

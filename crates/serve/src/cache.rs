@@ -1,0 +1,119 @@
+//! String-keyed LRU caches for graphs and results.
+//!
+//! The graph cache holds `Arc<Csr>` keyed by [`crate::spec::GraphSpec::canonical_key`];
+//! the result cache holds rendered response bodies keyed by the full
+//! `(graph-spec, kernel, backend, seed)` tuple. Both are correct *because*
+//! the substrate is deterministic: a cache hit is observationally identical
+//! to recomputation, just free.
+//!
+//! Capacities are small (a handful of multi-MB graphs, a few hundred short
+//! strings), so the implementation favors simplicity: a `HashMap` plus a
+//! monotone access stamp, evicting the least-recently-stamped entry in
+//! O(capacity) on overflow.
+
+use std::collections::HashMap;
+
+/// A least-recently-used map from `String` keys to `V`.
+#[derive(Debug)]
+pub struct Lru<V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, V)>,
+}
+
+impl<V: Clone> Lru<V> {
+    /// An LRU holding at most `capacity` entries (capacity 0 disables
+    /// caching entirely — every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if at
+    /// capacity. No-op when capacity is 0.
+    pub fn put(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_cached_value() {
+        let mut lru = Lru::new(2);
+        lru.put("a".into(), 1);
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("b"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.put("a".into(), 1);
+        lru.put("b".into(), 2);
+        lru.get("a"); // refresh a → b is now LRU
+        lru.put("c".into(), 3);
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("c"), Some(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut lru = Lru::new(2);
+        lru.put("a".into(), 1);
+        lru.put("b".into(), 2);
+        lru.put("a".into(), 10); // overwrite, not a new entry
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a"), Some(10));
+        assert_eq!(lru.get("b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = Lru::new(0);
+        lru.put("a".into(), 1);
+        assert_eq!(lru.get("a"), None);
+        assert!(lru.is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal JSON value model for the wire protocol.
+//!
+//! The build environment has no crate registry (the `serde` in the
+//! workspace is an offline API stub without a JSON backend), so the service
+//! speaks JSON through this self-contained recursive-descent parser and
+//! writer. It covers everything the protocol needs — objects, arrays,
+//! strings with escapes, numbers, booleans, null — and rejects everything
+//! else with a positioned error.
+
+use std::fmt; // for Display on JsonError
+
+/// A parsed JSON value. Objects preserve insertion order (handy for stable
+/// golden tests and readable responses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; the protocol's integers are all
+    /// well inside the 2^53 exact range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key → value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractions and
+    /// negatives).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object's fields, when the value is an object.
+    pub fn fields(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+}
+
+/// Serializes to compact JSON (no whitespace — one request/response per
+/// line is the protocol's framing). `to_string()` comes with the impl.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Convenience constructor for an object under construction.
+#[derive(Debug, Default, Clone)]
+pub struct ObjBuilder(Vec<(String, Json)>);
+
+impl ObjBuilder {
+    /// Empty object.
+    pub fn new() -> Self {
+        ObjBuilder(Vec::new())
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.0.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.field(key, Json::Str(value.to_string()))
+    }
+
+    /// Appends a numeric field.
+    pub fn num(self, key: &str, value: f64) -> Self {
+        self.field(key, Json::Num(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, Json::Bool(value))
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+/// A parse failure with a byte offset into the input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document, requiring it to span the whole input.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, message: &str) -> JsonError {
+    JsonError {
+        at,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected `{}`", ch as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{lit}`")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, "bad number"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogates are replaced — the protocol never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe: find char at
+                // this byte offset via str slicing).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        out.push_str(&format!("{}", n as i64));
+    } else if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_num(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_shape() {
+        let v = parse(
+            r#"{"kernel":"louvain","graph":{"rmat":{"scale":16,"edge_factor":8,"seed":42}},"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("louvain"));
+        let rmat = v.get("graph").and_then(|g| g.get("rmat")).unwrap();
+        assert_eq!(rmat.get("scale").and_then(Json::as_u64), Some(16));
+        assert_eq!(v.get("deadline_ms").and_then(Json::as_u64), Some(250));
+    }
+
+    #[test]
+    fn roundtrips_through_to_string() {
+        let src = r#"{"a":[1,2.5,-3],"b":"x\"y","c":true,"d":null,"e":{}}"#;
+        let v = parse(src).unwrap();
+        let emitted = v.to_string();
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("123abc").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_are_decoded_and_reencoded() {
+        let v = parse(r#""line\nbreak A tab\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nbreak A tab\t"));
+        assert_eq!(v.to_string(), r#""line\nbreak A tab\t""#);
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("4.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn obj_builder_emits_in_order() {
+        let v = ObjBuilder::new()
+            .bool("ok", true)
+            .str("kernel", "color")
+            .num("rounds", 3.0)
+            .build();
+        assert_eq!(v.to_string(), r#"{"ok":true,"kernel":"color","rounds":3}"#);
+    }
+
+    #[test]
+    fn integers_emit_without_decimal_point() {
+        let mut out = String::new();
+        write_num(1e15, &mut out);
+        assert_eq!(out, "1000000000000000");
+        let mut out = String::new();
+        write_num(0.125, &mut out);
+        assert_eq!(out, "0.125");
+    }
+}

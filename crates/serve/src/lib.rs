@@ -1,0 +1,52 @@
+//! # gp-serve
+//!
+//! A production-style partition **service** wrapped around the kernel
+//! library: many clients, one shared process, bounded resources. The
+//! kernels themselves were made fast (vectorization) and observable
+//! (telemetry) by earlier work; this crate supplies the layer that turns
+//! "one fast run" into "heavy traffic":
+//!
+//! * **Protocol** ([`protocol`], [`json`]) — newline-delimited JSON over
+//!   plain TCP. One request per line, one response per line; `nc` is a
+//!   valid client. No external dependencies: the build environment has no
+//!   crate registry, so the JSON codec is self-contained and the runtime is
+//!   `std` threads — no tokio.
+//! * **Admission** ([`queue`]) — a bounded MPMC queue between connection
+//!   readers and the worker pool. At capacity the service *sheds* with an
+//!   explicit `queue_full` (503) response instead of queueing unboundedly;
+//!   latency under overload stays flat and honest.
+//! * **Execution** ([`server`]) — a fixed worker pool running the coloring /
+//!   Louvain / label-propagation kernels through their recorded entry
+//!   points, with per-request deadlines enforced cooperatively at round
+//!   boundaries via [`gp_metrics::telemetry::DeadlineRecorder`]: a
+//!   timed-out request still returns a well-formed partial result marked
+//!   `"timed_out":true`.
+//! * **Caching** ([`cache`], [`spec`]) — an LRU graph cache keyed by
+//!   canonical generator spec and a result cache keyed by
+//!   `(graph, kernel, backend, seed)`. Both are sound because the substrate
+//!   is deterministic: regeneration is byte-identical, so a hit is
+//!   indistinguishable from recomputation.
+//! * **Observability** ([`stats`]) — served/shed/timeout counters, cache
+//!   hit rates, queue depth, and per-kernel latency histograms
+//!   ([`gp_metrics::Histogram`]), served live via a `{"stats":true}` probe
+//!   and dumped on graceful shutdown.
+//!
+//! See `docs/SERVICE.md` for the wire protocol, knobs, and an example
+//! session; `gpart serve` hosts the server, `gp-loadgen` (in `gp-bench`)
+//! drives it closed-loop.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod spec;
+pub mod stats;
+
+pub use json::Json;
+pub use protocol::{Backend, Incoming, Kernel, Refusal, Request};
+pub use server::{install_shutdown_signals, shutdown_requested, ServeConfig, Server};
+pub use spec::GraphSpec;
+pub use stats::ServiceStats;

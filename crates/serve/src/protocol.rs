@@ -1,0 +1,330 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```json
+//! {"kernel":"louvain","graph":{"rmat":{"scale":14,"edge_factor":8,"seed":1}},
+//!  "variant":"mplm","backend":"auto","seed":7,"deadline_ms":250,"id":"req-1"}
+//! {"kernel":"sleep","ms":50}
+//! {"stats":true}
+//! ```
+//!
+//! Responses always carry `"ok"`; successful runs add the [`gp_metrics::RunInfo`]
+//! envelope fields (`backend`, `rounds`, `converged`) plus `timed_out`,
+//! `cached`, and kernel-specific outputs. Refusals use
+//! `{"ok":false,"error":"queue_full","code":503}` — `queue_full` and
+//! `shutting_down` are backpressure (retryable), `bad_request` is not.
+
+use crate::json::{self, Json, ObjBuilder};
+use crate::spec::GraphSpec;
+use gp_core::louvain::Variant;
+use gp_core::reduce_scatter::Strategy;
+
+/// Which kernel a request runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Speculative greedy coloring (Algorithms 1–3).
+    Color,
+    /// Louvain (Algorithm 4) with an explicit variant.
+    Louvain(Variant),
+    /// Label propagation (Algorithm 5).
+    Labelprop,
+    /// Diagnostic kernel: hold a worker for `ms` milliseconds. Used by the
+    /// load generator and CI to force `queue_full` / timeout conditions
+    /// deterministically; never cached.
+    Sleep {
+        /// How long to occupy the worker.
+        ms: u64,
+    },
+}
+
+impl Kernel {
+    /// Short label, also the latency-histogram key
+    /// (see [`crate::stats::KERNEL_NAMES`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Color => "color",
+            Kernel::Louvain(_) => "louvain",
+            Kernel::Labelprop => "labelprop",
+            Kernel::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// Cache-key fragment: label plus variant where one exists.
+    pub fn cache_label(&self) -> String {
+        match self {
+            Kernel::Louvain(v) => format!("louvain-{}", v.name().to_ascii_lowercase()),
+            other => other.label().to_string(),
+        }
+    }
+}
+
+/// Requested execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Best available engine (AVX-512 when the host has it).
+    Auto,
+    /// Force the scalar reference path.
+    Scalar,
+}
+
+impl Backend {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// A parsed run request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Kernel to execute.
+    pub kernel: Kernel,
+    /// Graph to run on (absent for `sleep`).
+    pub spec: Option<GraphSpec>,
+    /// Backend selection.
+    pub backend: Backend,
+    /// Kernel seed (label propagation's traversal shuffle; ignored by
+    /// kernels without run-time randomness but always part of the result
+    /// cache key).
+    pub seed: u64,
+    /// Per-request deadline in milliseconds (`None` → server default).
+    pub deadline_ms: Option<u64>,
+    /// Opaque client correlation id, echoed in the response.
+    pub id: Option<String>,
+}
+
+impl Request {
+    /// Result-cache key: `(graph spec, kernel+variant, backend, seed)`.
+    /// `sleep` requests are never cached.
+    pub fn cache_key(&self) -> Option<String> {
+        match (&self.kernel, &self.spec) {
+            (Kernel::Sleep { .. }, _) | (_, None) => None,
+            (kernel, Some(spec)) => Some(format!(
+                "{}|{}|{}|seed={}",
+                spec.canonical_key(),
+                kernel.cache_label(),
+                self.backend.name(),
+                self.seed
+            )),
+        }
+    }
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A kernel run.
+    Run(Request),
+    /// A `{"stats":true}` probe.
+    Stats,
+}
+
+/// Parses one request line.
+pub fn parse_line(line: &str) -> Result<Incoming, String> {
+    let v = json::parse(line.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.get("stats").and_then(Json::as_bool) == Some(true) {
+        return Ok(Incoming::Stats);
+    }
+    let kernel_name = v
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing `kernel` field".to_string())?;
+    let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| "`deadline_ms` must be a non-negative integer".to_string())?,
+        ),
+    };
+    let seed = match v.get("seed") {
+        None | Some(Json::Null) => 0,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| "`seed` must be a non-negative integer".to_string())?,
+    };
+    let backend = match v.get("backend").and_then(Json::as_str) {
+        None | Some("auto") => Backend::Auto,
+        Some("scalar") => Backend::Scalar,
+        Some(other) => return Err(format!("unknown backend `{other}` (auto|scalar)")),
+    };
+
+    if kernel_name == "sleep" {
+        let ms = v
+            .get("ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "`sleep` needs integer `ms`".to_string())?;
+        return Ok(Incoming::Run(Request {
+            kernel: Kernel::Sleep { ms },
+            spec: None,
+            backend,
+            seed,
+            deadline_ms,
+            id,
+        }));
+    }
+
+    let kernel = match kernel_name {
+        "color" | "coloring" => Kernel::Color,
+        "louvain" => {
+            let variant = match v.get("variant").and_then(Json::as_str) {
+                None | Some("mplm") => Variant::Mplm,
+                Some("plm") => Variant::Plm,
+                Some("onpl") => Variant::Onpl(Strategy::Adaptive),
+                Some("ovpl") => Variant::Ovpl,
+                Some(other) => {
+                    return Err(format!("unknown variant `{other}` (plm|mplm|onpl|ovpl)"))
+                }
+            };
+            Kernel::Louvain(variant)
+        }
+        "labelprop" => Kernel::Labelprop,
+        other => {
+            return Err(format!(
+                "unknown kernel `{other}` (color|louvain|labelprop|sleep)"
+            ))
+        }
+    };
+    let spec_json = v
+        .get("graph")
+        .ok_or_else(|| format!("kernel `{kernel_name}` needs a `graph` spec"))?;
+    let spec = GraphSpec::from_json(spec_json)?;
+    Ok(Incoming::Run(Request {
+        kernel,
+        spec: Some(spec),
+        backend,
+        seed,
+        deadline_ms,
+        id,
+    }))
+}
+
+/// Refusal kinds with their (HTTP-flavored) status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// Admission queue at capacity — retry later.
+    QueueFull,
+    /// Server is draining for shutdown — retry elsewhere.
+    ShuttingDown,
+    /// Malformed or unsatisfiable request — don't retry.
+    BadRequest,
+}
+
+impl Refusal {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Refusal::QueueFull => "queue_full",
+            Refusal::ShuttingDown => "shutting_down",
+            Refusal::BadRequest => "bad_request",
+        }
+    }
+
+    /// Status code.
+    pub fn code(self) -> u32 {
+        match self {
+            Refusal::QueueFull | Refusal::ShuttingDown => 503,
+            Refusal::BadRequest => 400,
+        }
+    }
+}
+
+/// Renders a refusal response line (without trailing newline).
+pub fn refusal_line(kind: Refusal, detail: &str, id: Option<&str>) -> String {
+    let mut obj = ObjBuilder::new()
+        .bool("ok", false)
+        .str("error", kind.name())
+        .num("code", kind.code() as f64);
+    if !detail.is_empty() {
+        obj = obj.str("detail", detail);
+    }
+    if let Some(id) = id {
+        obj = obj.str("id", id);
+    }
+    obj.build().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_louvain_request() {
+        let line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":3}},"variant":"ovpl","backend":"scalar","seed":9,"deadline_ms":100,"id":"a1"}"#;
+        let Incoming::Run(req) = parse_line(line).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(req.kernel, Kernel::Louvain(Variant::Ovpl));
+        assert_eq!(req.backend, Backend::Scalar);
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.deadline_ms, Some(100));
+        assert_eq!(req.id.as_deref(), Some("a1"));
+        assert_eq!(
+            req.cache_key().unwrap(),
+            "rmat:scale=12,ef=8,seed=3|louvain-ovpl|scalar|seed=9"
+        );
+    }
+
+    #[test]
+    fn parses_stats_and_sleep() {
+        assert_eq!(parse_line(r#"{"stats":true}"#).unwrap(), Incoming::Stats);
+        let Incoming::Run(req) = parse_line(r#"{"kernel":"sleep","ms":25}"#).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(req.kernel, Kernel::Sleep { ms: 25 });
+        assert!(req.cache_key().is_none());
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let Incoming::Run(req) =
+            parse_line(r#"{"kernel":"color","graph":"mesh:w=10,seed=2"}"#).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(req.kernel, Kernel::Color);
+        assert_eq!(req.backend, Backend::Auto);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.deadline_ms, None);
+        assert!(req.id.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"graph":"mesh:w=4"}"#).is_err()); // no kernel
+        assert!(parse_line(r#"{"kernel":"color"}"#).is_err()); // no graph
+        assert!(parse_line(r#"{"kernel":"warp","graph":"mesh:w=4"}"#).is_err());
+        assert!(parse_line(r#"{"kernel":"louvain","graph":"mesh:w=4","variant":"x"}"#).is_err());
+        assert!(parse_line(r#"{"kernel":"color","graph":"mesh:w=4","deadline_ms":-5}"#).is_err());
+        assert!(parse_line(r#"{"kernel":"sleep"}"#).is_err()); // no ms
+        assert!(parse_line(r#"{"kernel":"color","graph":"mesh:w=4","backend":"gpu"}"#).is_err());
+    }
+
+    #[test]
+    fn refusal_lines_carry_code_and_id() {
+        let line = refusal_line(Refusal::QueueFull, "", Some("r7"));
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("queue_full"));
+        assert_eq!(v.get("code").and_then(Json::as_u64), Some(503));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("r7"));
+        assert_eq!(Refusal::BadRequest.code(), 400);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_kernel_backend_and_seed() {
+        let base = r#"{"kernel":"labelprop","graph":"mesh:w=8,seed=1"}"#;
+        let Incoming::Run(a) = parse_line(base).unwrap() else { panic!() };
+        let Incoming::Run(b) =
+            parse_line(r#"{"kernel":"labelprop","graph":"mesh:w=8,seed=1","seed":5}"#).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+}

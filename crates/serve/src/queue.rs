@@ -1,0 +1,207 @@
+//! Bounded MPMC job queue — the admission controller's backpressure
+//! primitive.
+//!
+//! Producers (connection threads) *never block*: [`Bounded::try_push`]
+//! either admits the job or reports the queue full so the caller can shed
+//! load with an explicit `queue_full` response. Consumers (worker threads)
+//! block on [`Bounded::pop`] until a job arrives or the queue is closed
+//! *and drained* — closing stops admission but lets in-flight work finish,
+//! which is exactly the graceful-shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the job.
+    Full,
+    /// The queue is closed (shutting down) — reject the job.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvar; the
+/// queue holds request envelopes, not hot-path data, so contention is
+/// bounded by request rate, not kernel work).
+#[derive(Debug)]
+pub struct Bounded<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` outstanding jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (racy snapshot, for stats).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues the job or returns it with the
+    /// refusal reason.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking consume: returns the next job, or `None` once the queue is
+    /// closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Stops admission. Queued jobs remain poppable; blocked consumers wake
+    /// and drain, then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err((3, PushError::Full)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok()); // capacity freed
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(7).is_ok());
+        assert!(matches!(q.try_push(8), Err((8, PushError::Full))));
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_queued() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(matches!(q.try_push("c"), Err(("c", PushError::Closed))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays terminal
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(Bounded::<u64>::new(8));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                let mut pushed = Vec::new();
+                for i in 0..50 {
+                    let v = p * 1000 + i;
+                    // Spin on Full — producers outpace consumers briefly.
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err((_, PushError::Full)) => std::thread::yield_now(),
+                            Err((_, PushError::Closed)) => panic!("closed early"),
+                        }
+                    }
+                    pushed.push(v);
+                }
+                pushed
+            }));
+        }
+        let mut sent: Vec<u64> = producers.into_iter().flat_map(|p| p.join().unwrap()).collect();
+        q.close();
+        let mut received: Vec<u64> =
+            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        sent.sort_unstable();
+        received.sort_unstable();
+        assert_eq!(sent, received);
+        assert_eq!(sent.len(), 200);
+    }
+}

@@ -1,0 +1,628 @@
+//! The multithreaded partition server.
+//!
+//! Thread layout: one non-blocking accept loop, one reader thread per
+//! connection, and a fixed worker pool executing admitted jobs off the
+//! bounded queue. Workers — not readers — write kernel responses, so
+//! joining the worker pool during shutdown guarantees every in-flight job's
+//! response reaches its socket before the listener dies ("drain").
+//!
+//! ```text
+//! client ── NDJSON ──▶ reader ──▶ [admission: cache? queue_full? drain?]
+//!                                      │ try_push
+//!                                      ▼
+//!                               Bounded<Job> ──▶ worker ──▶ kernel (deadline
+//!                                      ▲                    recorder) ──▶
+//!                             close() on shutdown            response line
+//! ```
+
+use crate::cache::Lru;
+use crate::json::{Json, ObjBuilder};
+use crate::protocol::{parse_line, refusal_line, Backend, Incoming, Kernel, Refusal, Request};
+use crate::queue::{Bounded, PushError};
+use crate::spec::GraphSpec;
+use crate::stats::ServiceStats;
+use gp_core::coloring::{color_graph_recorded, color_graph_scalar_recorded, ColoringConfig};
+use gp_core::labelprop::{
+    label_propagation_mplp_recorded, label_propagation_recorded, LabelPropConfig,
+};
+use gp_core::louvain::{louvain_recorded, LouvainConfig};
+use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunable service knobs (all surfaced as `gpart serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 → one per available core).
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it requests shed with
+    /// `queue_full`.
+    pub queue_depth: usize,
+    /// Graph-cache capacity in graphs.
+    pub graph_cache: usize,
+    /// Result-cache capacity in responses.
+    pub result_cache: usize,
+    /// Default per-request deadline in ms (0 → none).
+    pub default_deadline_ms: u64,
+    /// Admission bound on requested graph size (vertices).
+    pub max_vertices: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            graph_cache: 8,
+            result_cache: 256,
+            default_deadline_ms: 0,
+            max_vertices: 1 << 24,
+        }
+    }
+}
+
+/// A response sink shared by the reader (refusals) and workers (results):
+/// one write lock per connection keeps concurrently-finishing lines intact.
+type Sink = Arc<Mutex<TcpStream>>;
+
+/// Writes one response line; socket errors are swallowed (the client went
+/// away — nothing useful to do server-side).
+fn send_line(sink: &Sink, line: &str) {
+    let mut stream = sink.lock().unwrap();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// An admitted unit of work.
+struct Job {
+    request: Request,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    sink: Sink,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    cfg: ServeConfig,
+    queue: Bounded<Job>,
+    stats: ServiceStats,
+    graphs: Mutex<Lru<Arc<Csr>>>,
+    results: Mutex<Lru<Json>>,
+    draining: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    /// Graph lookup with LRU caching; counts a hit/miss per call.
+    fn graph_for(&self, spec: &GraphSpec) -> Arc<Csr> {
+        let key = spec.canonical_key();
+        if let Some(g) = self.graphs.lock().unwrap().get(&key) {
+            self.stats.on_graph_cache(true);
+            return g;
+        }
+        // Build outside the lock: generation is the expensive part and
+        // other requests shouldn't stall on it. A racing duplicate build
+        // produces a byte-identical graph (determinism contract), so the
+        // worst case is redundant work, never inconsistency.
+        self.stats.on_graph_cache(false);
+        let g = Arc::new(spec.build());
+        self.graphs.lock().unwrap().put(key, Arc::clone(&g));
+        g
+    }
+
+    /// Full stats snapshot as a response line.
+    fn stats_line(&self) -> String {
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "queue_capacity".to_string(),
+                Json::Num(self.queue.capacity() as f64),
+            ),
+        ];
+        fields.push((
+            "stats".to_string(),
+            self.stats.snapshot_json(self.queue.len()),
+        ));
+        Json::Obj(fields).to_string()
+    }
+}
+
+/// A running partition server. Dropping without [`Server::shutdown`]
+/// leaks the background threads until process exit; call `shutdown` for a
+/// clean drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Worker threads spin up immediately.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(cfg.queue_depth),
+            stats: ServiceStats::new(),
+            graphs: Mutex::new(Lru::new(cfg.graph_cache)),
+            results: Mutex::new(Lru::new(cfg.result_cache)),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            cfg,
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("gp-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (port resolved when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, reject new requests, drain queued
+    /// and in-flight jobs (their responses are written before this
+    /// returns), then drop the connections. Returns the final stats dump.
+    pub fn shutdown(mut self) -> Json {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join(); // queue drained ⇒ all responses written
+        }
+        // Unblock connection readers; their threads exit on the closed
+        // sockets.
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.shared.stats.snapshot_json(0)
+    }
+}
+
+/// Accept loop: non-blocking accept + drain-flag polling, so shutdown never
+/// hangs on a quiet listener.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("gp-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Per-connection reader: parse, admit (or refuse inline), repeat until
+/// EOF.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let sink: Sink = Arc::new(Mutex::new(stream));
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(&line, &sink, shared);
+    }
+}
+
+/// Admission control for one request line.
+fn handle_line(line: &str, sink: &Sink, shared: &Arc<Shared>) {
+    let incoming = match parse_line(line) {
+        Ok(incoming) => incoming,
+        Err(detail) => {
+            shared.stats.on_received();
+            shared.stats.on_error();
+            send_line(sink, &refusal_line(Refusal::BadRequest, &detail, None));
+            return;
+        }
+    };
+    let request = match incoming {
+        Incoming::Stats => {
+            shared.stats.on_stats_probe();
+            send_line(sink, &shared.stats_line());
+            return;
+        }
+        Incoming::Run(request) => request,
+    };
+    shared.stats.on_received();
+    let id = request.id.clone();
+
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.stats.on_rejected();
+        send_line(
+            sink,
+            &refusal_line(Refusal::ShuttingDown, "server is draining", id.as_deref()),
+        );
+        return;
+    }
+    if let Some(spec) = &request.spec {
+        if spec.num_vertices() > shared.cfg.max_vertices {
+            shared.stats.on_error();
+            let detail = format!(
+                "graph too large: {} vertices > limit {}",
+                spec.num_vertices(),
+                shared.cfg.max_vertices
+            );
+            send_line(sink, &refusal_line(Refusal::BadRequest, &detail, id.as_deref()));
+            return;
+        }
+    }
+
+    // Result cache: a hit never touches the queue (or the deadline — the
+    // answer is already computed).
+    if let Some(key) = request.cache_key() {
+        let cached = shared.results.lock().unwrap().get(&key);
+        if let Some(body) = cached {
+            shared.stats.on_result_cache(true);
+            shared.stats.on_served(false);
+            if let Some(h) = shared.stats.latency_of(request.kernel.label()) {
+                h.record(Duration::ZERO);
+            }
+            send_line(sink, &render_response(&body, true, id.as_deref()));
+            return;
+        }
+    }
+
+    let now = Instant::now();
+    let deadline_ms = request
+        .deadline_ms
+        .or(match shared.cfg.default_deadline_ms {
+            0 => None,
+            ms => Some(ms),
+        });
+    let job = Job {
+        deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+        request,
+        admitted: now,
+        sink: Arc::clone(sink),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err((job, PushError::Full)) => {
+            shared.stats.on_shed();
+            send_line(
+                sink,
+                &refusal_line(
+                    Refusal::QueueFull,
+                    &format!("admission queue at capacity {}", shared.queue.capacity()),
+                    job.request.id.as_deref(),
+                ),
+            );
+        }
+        Err((job, PushError::Closed)) => {
+            shared.stats.on_rejected();
+            send_line(
+                sink,
+                &refusal_line(
+                    Refusal::ShuttingDown,
+                    "server is draining",
+                    job.request.id.as_deref(),
+                ),
+            );
+        }
+    }
+}
+
+/// Worker: pop, execute, respond; exits when the queue closes and drains.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let body = execute(shared, &job);
+        let timed_out = body.get("timed_out").and_then(Json::as_bool) == Some(true);
+        // Cache successful, fully-converged-or-not-but-complete runs; a
+        // timed-out partial is not a reusable answer.
+        if !timed_out {
+            if let Some(key) = job.request.cache_key() {
+                shared.results.lock().unwrap().put(key, body.clone());
+            }
+        }
+        shared.stats.on_served(timed_out);
+        if let Some(h) = shared.stats.latency_of(job.request.kernel.label()) {
+            h.record(job.admitted.elapsed());
+        }
+        send_line(
+            &job.sink,
+            &render_response(&body, false, job.request.id.as_deref()),
+        );
+    }
+}
+
+/// Outcome of one kernel execution, backend-agnostic.
+struct Outcome {
+    backend: &'static str,
+    rounds: usize,
+    converged: bool,
+    extras: Vec<(String, Json)>,
+}
+
+/// Runs the requested kernel against `g` under recorder `rec`.
+fn run_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outcome {
+    match request.kernel {
+        Kernel::Color => {
+            let cfg = ColoringConfig::default();
+            let r = match request.backend {
+                Backend::Auto => color_graph_recorded(g, &cfg, rec),
+                Backend::Scalar => color_graph_scalar_recorded(g, &cfg, rec),
+            };
+            Outcome {
+                backend: r.info.backend,
+                rounds: r.rounds,
+                converged: r.info.converged,
+                extras: vec![("num_colors".to_string(), Json::Num(r.num_colors as f64))],
+            }
+        }
+        Kernel::Louvain(variant) => {
+            let cfg = LouvainConfig {
+                variant,
+                ..Default::default()
+            };
+            let r = louvain_recorded(g, &cfg, rec);
+            let communities = gp_core::louvain::modularity::count_communities(&r.communities);
+            Outcome {
+                backend: r.info.backend,
+                rounds: r.levels,
+                converged: r.info.converged,
+                extras: vec![
+                    ("variant".to_string(), Json::Str(variant.name().to_string())),
+                    ("communities".to_string(), Json::Num(communities as f64)),
+                    ("modularity".to_string(), Json::Num(r.modularity)),
+                    ("levels".to_string(), Json::Num(r.levels as f64)),
+                ],
+            }
+        }
+        Kernel::Labelprop => {
+            let cfg = LabelPropConfig {
+                seed: request.seed ^ 0x1abe1,
+                ..Default::default()
+            };
+            let r = match request.backend {
+                Backend::Auto => label_propagation_recorded(g, &cfg, rec),
+                Backend::Scalar => label_propagation_mplp_recorded(g, &cfg, rec),
+            };
+            let communities = gp_core::louvain::modularity::count_communities(&r.labels);
+            Outcome {
+                backend: r.info.backend,
+                rounds: r.iterations,
+                converged: r.info.converged,
+                extras: vec![
+                    ("communities".to_string(), Json::Num(communities as f64)),
+                    ("iterations".to_string(), Json::Num(r.iterations as f64)),
+                ],
+            }
+        }
+        Kernel::Sleep { .. } => unreachable!("sleep handled in execute()"),
+    }
+}
+
+/// Executes one admitted job, producing the core response body (without the
+/// per-delivery `cached`/`id` fields).
+fn execute(shared: &Shared, job: &Job) -> Json {
+    let started = Instant::now();
+    let request = &job.request;
+
+    // The diagnostic sleep kernel: cooperative 1 ms slices so deadlines cut
+    // it short exactly like a real kernel's round boundaries.
+    if let Kernel::Sleep { ms } = request.kernel {
+        let mut slept = 0u64;
+        let mut timed_out = false;
+        while slept < ms {
+            if let Some(dl) = job.deadline {
+                if Instant::now() >= dl {
+                    timed_out = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            slept += 1;
+        }
+        return ObjBuilder::new()
+            .bool("ok", true)
+            .str("kernel", "sleep")
+            .str("backend", "none")
+            .num("rounds", slept as f64)
+            .bool("converged", !timed_out)
+            .bool("timed_out", timed_out)
+            .num("exec_ms", started.elapsed().as_secs_f64() * 1000.0)
+            .build();
+    }
+
+    let spec = request.spec.as_ref().expect("non-sleep requests carry a spec");
+    let graph = shared.graph_for(spec);
+    let (outcome, timed_out) = match job.deadline {
+        Some(deadline) => {
+            let mut rec = DeadlineRecorder::new(NoopRecorder, deadline);
+            let outcome = run_kernel(request, &graph, &mut rec);
+            (outcome, rec.fired())
+        }
+        None => (run_kernel(request, &graph, &mut NoopRecorder), false),
+    };
+    if request.cache_key().is_some() && !timed_out {
+        shared.stats.on_result_cache(false);
+    }
+
+    let mut body = ObjBuilder::new()
+        .bool("ok", true)
+        .str("kernel", request.kernel.label())
+        .str("graph", &spec.canonical_key())
+        .str("backend", outcome.backend)
+        .num("vertices", graph.num_vertices() as f64)
+        .num("edges", graph.num_edges() as f64)
+        .num("rounds", outcome.rounds as f64)
+        .bool("converged", outcome.converged)
+        .bool("timed_out", timed_out)
+        .num("exec_ms", started.elapsed().as_secs_f64() * 1000.0);
+    for (k, v) in outcome.extras {
+        body = body.field(&k, v);
+    }
+    body.build()
+}
+
+/// Stamps the per-delivery fields onto a response body.
+fn render_response(body: &Json, cached: bool, id: Option<&str>) -> String {
+    let mut fields = match body {
+        Json::Obj(fields) => fields.clone(),
+        other => vec![("body".to_string(), other.clone())],
+    };
+    fields.push(("cached".to_string(), Json::Bool(cached)));
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Json::Str(id.to_string())));
+    }
+    Json::Obj(fields).to_string()
+}
+
+/// Process-wide shutdown flag set by SIGINT/SIGTERM (see
+/// [`install_shutdown_signals`]).
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT + SIGTERM handlers that set a flag (async-signal-safe:
+/// one atomic store). Poll [`shutdown_requested`] from the serve loop.
+/// No-op on non-Unix platforms.
+pub fn install_shutdown_signals() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+        }
+        // `signal(2)` via the libc the Rust runtime already links; avoids a
+        // crate dependency the offline build environment cannot provide.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Whether a shutdown signal has been observed.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local_server(cfg: ServeConfig) -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..cfg
+        })
+        .expect("bind loopback")
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> Json {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        crate::json::parse(response.trim()).unwrap()
+    }
+
+    #[test]
+    fn serves_a_color_request_end_to_end() {
+        let server = local_server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let v = roundtrip(
+            server.local_addr(),
+            r#"{"kernel":"color","graph":"mesh:w=12,seed=1","id":"t0"}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("color"));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("t0"));
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+        assert!(v.get("num_colors").and_then(Json::as_u64).unwrap() >= 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.get("served").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn bad_request_gets_a_400_line() {
+        let server = local_server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let v = roundtrip(server.local_addr(), r#"{"kernel":"color"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_u64), Some(400));
+        let stats = server.shutdown();
+        assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn oversized_graph_is_refused_at_admission() {
+        let server = local_server(ServeConfig {
+            workers: 1,
+            max_vertices: 1000,
+            ..Default::default()
+        });
+        let v = roundtrip(
+            server.local_addr(),
+            r#"{"kernel":"color","graph":{"rmat":{"scale":20}}}"#,
+        );
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,369 @@
+//! Canonical generator specs — the shared "which graph" vocabulary of the
+//! CLI, the service, and the load generator.
+//!
+//! A [`GraphSpec`] pins every parameter a generator consumes, so its
+//! [`GraphSpec::canonical_key`] is a complete cache key: PR 2's determinism
+//! contract guarantees that re-running a generator with the same spec
+//! produces a byte-identical CSR on any thread count, which is what makes
+//! the service's graph cache semantically free.
+//!
+//! Three surfaces produce specs:
+//! * JSON request bodies: `{"rmat":{"scale":14,"edge_factor":8,"seed":42}}`
+//! * compact strings (CLI / loadgen): `rmat:scale=14,ef=8,seed=42`
+//! * the `gpart generate` positional form: family + `n` + `seed`
+//!   ([`GraphSpec::from_family`], which reproduces the CLI's historical
+//!   size-to-parameter mapping).
+
+use crate::json::Json;
+use gp_graph::csr::Csr;
+use gp_graph::generators::{
+    erdos_renyi, preferential_attachment, rmat, road_network, stencil3d, triangular_mesh,
+    RmatConfig,
+};
+
+/// The road-network degree-distribution exponent the CLI has always used.
+const ROAD_EXPONENT: f64 = 2.1;
+
+/// A fully-pinned synthetic graph description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GraphSpec {
+    /// RMAT power-law graph: `2^scale` vertices, `edge_factor · 2^scale`
+    /// edges.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Erdős–Rényi G(n, m).
+    Er {
+        /// Vertices.
+        n: usize,
+        /// Edges.
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Barabási–Albert preferential attachment.
+    Ba {
+        /// Vertices.
+        n: usize,
+        /// Attachment degree.
+        degree: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Triangular mesh grid.
+    Mesh {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+        /// Perturbation seed.
+        seed: u64,
+    },
+    /// Road-network-like grid with long-range shortcuts.
+    Road {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+        /// Shortcut seed.
+        seed: u64,
+    },
+    /// 7-point 3-D stencil of `side³` vertices (deterministic, seedless).
+    Stencil {
+        /// Cube side length.
+        side: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Stable cache-key string: family, then every parameter in a fixed
+    /// order. Equal specs ⇒ equal keys ⇒ byte-identical graphs.
+    pub fn canonical_key(&self) -> String {
+        match self {
+            GraphSpec::Rmat { scale, edge_factor, seed } => {
+                format!("rmat:scale={scale},ef={edge_factor},seed={seed}")
+            }
+            GraphSpec::Er { n, m, seed } => format!("er:n={n},m={m},seed={seed}"),
+            GraphSpec::Ba { n, degree, seed } => format!("ba:n={n},d={degree},seed={seed}"),
+            GraphSpec::Mesh { width, height, seed } => {
+                format!("mesh:w={width},h={height},seed={seed}")
+            }
+            GraphSpec::Road { width, height, seed } => {
+                format!("road:w={width},h={height},seed={seed}")
+            }
+            GraphSpec::Stencil { side } => format!("stencil:side={side}"),
+        }
+    }
+
+    /// Number of vertices the spec will produce (an admission-time sanity
+    /// bound — the service rejects absurd requests before generating).
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphSpec::Rmat { scale, .. } => 1usize << scale.min(&63),
+            GraphSpec::Er { n, .. } | GraphSpec::Ba { n, .. } => *n,
+            GraphSpec::Mesh { width, height, .. } | GraphSpec::Road { width, height, .. } => {
+                width.saturating_mul(*height)
+            }
+            GraphSpec::Stencil { side } => side.saturating_pow(3),
+        }
+    }
+
+    /// Runs the generator. Deterministic: equal specs give byte-identical
+    /// CSRs regardless of thread count (PR 2 contract).
+    pub fn build(&self) -> Csr {
+        match *self {
+            GraphSpec::Rmat { scale, edge_factor, seed } => {
+                rmat(RmatConfig::new(scale, edge_factor).with_seed(seed))
+            }
+            GraphSpec::Er { n, m, seed } => erdos_renyi(n, m, seed),
+            GraphSpec::Ba { n, degree, seed } => preferential_attachment(n, degree, seed),
+            GraphSpec::Mesh { width, height, seed } => triangular_mesh(width, height, seed),
+            GraphSpec::Road { width, height, seed } => {
+                road_network(width, height, ROAD_EXPONENT, seed)
+            }
+            GraphSpec::Stencil { side } => stencil3d(side),
+        }
+    }
+
+    /// The CLI's historical positional mapping: a family name plus a target
+    /// vertex count `n` and a `seed`, converted to pinned parameters the
+    /// same way `gpart generate` always has.
+    pub fn from_family(family: &str, n: usize, seed: u64) -> Result<GraphSpec, String> {
+        Ok(match family {
+            "rmat" => GraphSpec::Rmat {
+                scale: (n as f64).log2().ceil().max(2.0) as u32,
+                edge_factor: 8,
+                seed,
+            },
+            "mesh" => {
+                let side = (n as f64).sqrt().ceil().max(2.0) as usize;
+                GraphSpec::Mesh { width: side, height: side, seed }
+            }
+            "road" => {
+                let side = (n as f64).sqrt().ceil().max(2.0) as usize;
+                GraphSpec::Road { width: side, height: side, seed }
+            }
+            "stencil" => GraphSpec::Stencil {
+                side: (n as f64).cbrt().ceil().max(2.0) as usize,
+            },
+            "er" => GraphSpec::Er { n, m: 4 * n, seed },
+            "ba" => GraphSpec::Ba { n: n.max(6), degree: 4, seed },
+            other => return Err(format!("unknown family `{other}`")),
+        })
+    }
+
+    /// Parses the JSON request form: an object with exactly one family key
+    /// whose value is a parameter object, e.g.
+    /// `{"rmat":{"scale":14,"edge_factor":8,"seed":42}}`. A JSON string is
+    /// treated as the compact form.
+    pub fn from_json(v: &Json) -> Result<GraphSpec, String> {
+        if let Some(s) = v.as_str() {
+            return Self::from_compact(s);
+        }
+        let fields = v
+            .fields()
+            .ok_or_else(|| "graph spec must be an object or compact string".to_string())?;
+        if fields.len() != 1 {
+            return Err("graph spec must have exactly one family key".to_string());
+        }
+        let (family, params) = &fields[0];
+        let get = |key: &str| -> Option<u64> { params.get(key).and_then(Json::as_u64) };
+        let require = |key: &str| -> Result<u64, String> {
+            get(key).ok_or_else(|| format!("graph spec `{family}` needs integer `{key}`"))
+        };
+        let seed = get("seed").unwrap_or(42);
+        Ok(match family.as_str() {
+            "rmat" => GraphSpec::Rmat {
+                scale: require("scale")? as u32,
+                edge_factor: get("edge_factor").unwrap_or(8) as u32,
+                seed,
+            },
+            "er" => {
+                let n = require("n")? as usize;
+                GraphSpec::Er {
+                    n,
+                    m: get("m").unwrap_or(4 * n as u64) as usize,
+                    seed,
+                }
+            }
+            "ba" => GraphSpec::Ba {
+                n: require("n")? as usize,
+                degree: get("degree").unwrap_or(4) as usize,
+                seed,
+            },
+            "mesh" => {
+                let width = require("width")? as usize;
+                GraphSpec::Mesh {
+                    width,
+                    height: get("height").unwrap_or(width as u64) as usize,
+                    seed,
+                }
+            }
+            "road" => {
+                let width = require("width")? as usize;
+                GraphSpec::Road {
+                    width,
+                    height: get("height").unwrap_or(width as u64) as usize,
+                    seed,
+                }
+            }
+            "stencil" => GraphSpec::Stencil {
+                side: require("side")? as usize,
+            },
+            other => return Err(format!("unknown graph family `{other}`")),
+        })
+    }
+
+    /// Parses the compact string form, `family:key=value,...` — the same
+    /// keys the canonical cache key uses, so any `canonical_key` output
+    /// parses back to an equal spec.
+    pub fn from_compact(s: &str) -> Result<GraphSpec, String> {
+        let (family, params) = s.split_once(':').unwrap_or((s, ""));
+        let mut kv = std::collections::HashMap::new();
+        for pair in params.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad spec parameter `{pair}` (expected key=value)"))?;
+            let v: u64 = v
+                .parse()
+                .map_err(|e| format!("bad value in `{pair}`: {e}"))?;
+            kv.insert(k.to_string(), v);
+        }
+        let get = |k: &str| kv.get(k).copied();
+        let require = |k: &str| -> Result<u64, String> {
+            get(k).ok_or_else(|| format!("spec `{family}` needs `{k}=`"))
+        };
+        let seed = get("seed").unwrap_or(42);
+        Ok(match family {
+            "rmat" => GraphSpec::Rmat {
+                scale: require("scale")? as u32,
+                edge_factor: get("ef").or_else(|| get("edge_factor")).unwrap_or(8) as u32,
+                seed,
+            },
+            "er" => {
+                let n = require("n")? as usize;
+                GraphSpec::Er {
+                    n,
+                    m: get("m").unwrap_or(4 * n as u64) as usize,
+                    seed,
+                }
+            }
+            "ba" => GraphSpec::Ba {
+                n: require("n")? as usize,
+                degree: get("d").or_else(|| get("degree")).unwrap_or(4) as usize,
+                seed,
+            },
+            "mesh" => {
+                let w = require("w")? as usize;
+                GraphSpec::Mesh {
+                    width: w,
+                    height: get("h").unwrap_or(w as u64) as usize,
+                    seed,
+                }
+            }
+            "road" => {
+                let w = require("w")? as usize;
+                GraphSpec::Road {
+                    width: w,
+                    height: get("h").unwrap_or(w as u64) as usize,
+                    seed,
+                }
+            }
+            "stencil" => GraphSpec::Stencil {
+                side: require("side")? as usize,
+            },
+            other => return Err(format!("unknown graph family `{other}`")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn canonical_key_roundtrips_through_compact_parser() {
+        let specs = [
+            GraphSpec::Rmat { scale: 14, edge_factor: 8, seed: 42 },
+            GraphSpec::Er { n: 1000, m: 4000, seed: 7 },
+            GraphSpec::Ba { n: 500, degree: 4, seed: 3 },
+            GraphSpec::Mesh { width: 20, height: 30, seed: 1 },
+            GraphSpec::Road { width: 16, height: 16, seed: 9 },
+            GraphSpec::Stencil { side: 8 },
+        ];
+        for spec in specs {
+            let parsed = GraphSpec::from_compact(&spec.canonical_key()).unwrap();
+            assert_eq!(parsed, spec, "key {}", spec.canonical_key());
+        }
+    }
+
+    #[test]
+    fn json_form_parses_with_defaults() {
+        let v = json::parse(r#"{"rmat":{"scale":12}}"#).unwrap();
+        assert_eq!(
+            GraphSpec::from_json(&v).unwrap(),
+            GraphSpec::Rmat { scale: 12, edge_factor: 8, seed: 42 }
+        );
+        let v = json::parse(r#"{"mesh":{"width":10,"seed":5}}"#).unwrap();
+        assert_eq!(
+            GraphSpec::from_json(&v).unwrap(),
+            GraphSpec::Mesh { width: 10, height: 10, seed: 5 }
+        );
+    }
+
+    #[test]
+    fn json_string_falls_back_to_compact() {
+        let v = json::parse(r#""er:n=200,m=600,seed=1""#).unwrap();
+        assert_eq!(
+            GraphSpec::from_json(&v).unwrap(),
+            GraphSpec::Er { n: 200, m: 600, seed: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(GraphSpec::from_compact("rmat").is_err()); // missing scale
+        assert!(GraphSpec::from_compact("nope:x=1").is_err());
+        assert!(GraphSpec::from_compact("er:n=abc").is_err());
+        let v = json::parse(r#"{"rmat":{"scale":12},"er":{"n":5}}"#).unwrap();
+        assert!(GraphSpec::from_json(&v).is_err()); // two families
+        let v = json::parse("[1,2]").unwrap();
+        assert!(GraphSpec::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn from_family_matches_cli_mapping() {
+        // gpart generate rmat … 10000 → scale = ceil(log2(10000)) = 14.
+        assert_eq!(
+            GraphSpec::from_family("rmat", 10_000, 42).unwrap(),
+            GraphSpec::Rmat { scale: 14, edge_factor: 8, seed: 42 }
+        );
+        assert_eq!(
+            GraphSpec::from_family("er", 300, 1).unwrap(),
+            GraphSpec::Er { n: 300, m: 1200, seed: 1 }
+        );
+        assert!(GraphSpec::from_family("zzz", 10, 1).is_err());
+    }
+
+    #[test]
+    fn build_is_deterministic_per_spec() {
+        let spec = GraphSpec::Er { n: 300, m: 900, seed: 5 };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a, b);
+        assert_eq!(a.num_vertices(), 300);
+    }
+
+    #[test]
+    fn num_vertices_estimates() {
+        assert_eq!(GraphSpec::Rmat { scale: 10, edge_factor: 8, seed: 1 }.num_vertices(), 1024);
+        assert_eq!(GraphSpec::Stencil { side: 4 }.num_vertices(), 64);
+        assert_eq!(GraphSpec::Mesh { width: 3, height: 5, seed: 0 }.num_vertices(), 15);
+    }
+}

@@ -1,0 +1,221 @@
+//! Service-level counters and per-kernel latency histograms.
+//!
+//! Everything here is lock-free (`AtomicU64` + [`gp_metrics::Histogram`])
+//! because every worker and connection thread touches it on every request.
+//! The `stats` protocol verb and the final shutdown dump both render
+//! [`ServiceStats::snapshot_json`].
+
+use crate::json::{Json, ObjBuilder};
+use gp_metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kernels the service tracks latency for (index into the histogram array).
+pub const KERNEL_NAMES: [&str; 4] = ["color", "louvain", "labelprop", "sleep"];
+
+/// All service counters. Counts follow the admission pipeline:
+/// `received = served + shed + rejected + errors`, and `timed_out ⊆ served`
+/// (a deadline miss still produces a well-formed partial response).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests read off sockets (valid or not, excluding `stats` probes).
+    pub received: AtomicU64,
+    /// Requests that produced a kernel (or sleep) response, including
+    /// result-cache hits and timed-out partials.
+    pub served: AtomicU64,
+    /// Requests refused with `queue_full` (admission shed).
+    pub shed: AtomicU64,
+    /// Requests refused with `shutting_down`.
+    pub rejected: AtomicU64,
+    /// Requests refused with a protocol/spec error.
+    pub errors: AtomicU64,
+    /// Served responses whose deadline expired mid-run (`timed_out: true`).
+    pub timed_out: AtomicU64,
+    /// `stats` probes answered.
+    pub stats_probes: AtomicU64,
+    /// Graph-cache hits / misses.
+    pub graph_hits: AtomicU64,
+    /// Graph-cache misses (generator actually ran).
+    pub graph_misses: AtomicU64,
+    /// Result-cache hits (kernel execution skipped entirely).
+    pub result_hits: AtomicU64,
+    /// Result-cache misses.
+    pub result_misses: AtomicU64,
+    /// Per-kernel service latency (admission → response ready), indexed as
+    /// [`KERNEL_NAMES`].
+    pub latency: [Histogram; 4],
+}
+
+/// Relaxed add — every counter is monotonic and independently read.
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl ServiceStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks one request received.
+    pub fn on_received(&self) {
+        bump(&self.received);
+    }
+
+    /// Marks one served response; `timed_out` flags a deadline miss.
+    pub fn on_served(&self, timed_out: bool) {
+        bump(&self.served);
+        if timed_out {
+            bump(&self.timed_out);
+        }
+    }
+
+    /// Marks one shed (`queue_full`) request.
+    pub fn on_shed(&self) {
+        bump(&self.shed);
+    }
+
+    /// Marks one rejected (`shutting_down`) request.
+    pub fn on_rejected(&self) {
+        bump(&self.rejected);
+    }
+
+    /// Marks one protocol error.
+    pub fn on_error(&self) {
+        bump(&self.errors);
+    }
+
+    /// Marks one answered `stats` probe.
+    pub fn on_stats_probe(&self) {
+        bump(&self.stats_probes);
+    }
+
+    /// Marks a graph-cache outcome.
+    pub fn on_graph_cache(&self, hit: bool) {
+        bump(if hit { &self.graph_hits } else { &self.graph_misses });
+    }
+
+    /// Marks a result-cache outcome.
+    pub fn on_result_cache(&self, hit: bool) {
+        bump(if hit { &self.result_hits } else { &self.result_misses });
+    }
+
+    /// Histogram slot for a kernel name (`None` for unknown kernels).
+    pub fn latency_of(&self, kernel: &str) -> Option<&Histogram> {
+        KERNEL_NAMES
+            .iter()
+            .position(|&k| k == kernel)
+            .map(|i| &self.latency[i])
+    }
+
+    /// Renders the full counter set (plus `queue_depth`, supplied by the
+    /// caller because the queue owns it) as a JSON object.
+    pub fn snapshot_json(&self, queue_depth: usize) -> Json {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+        let hit_rate = |hits: &AtomicU64, misses: &AtomicU64| {
+            let h = read(hits);
+            let total = h + read(misses);
+            if total == 0.0 { 0.0 } else { h / total }
+        };
+        let mut latency = ObjBuilder::new();
+        for (name, hist) in KERNEL_NAMES.iter().zip(&self.latency) {
+            let s = hist.snapshot();
+            if s.count == 0 {
+                continue;
+            }
+            latency = latency.field(
+                name,
+                ObjBuilder::new()
+                    .num("count", s.count as f64)
+                    .num("mean_ms", s.mean_us() / 1000.0)
+                    .num("p50_ms", s.quantile_us(0.50) / 1000.0)
+                    .num("p99_ms", s.quantile_us(0.99) / 1000.0)
+                    .num("p999_ms", s.quantile_us(0.999) / 1000.0)
+                    .num("max_ms", s.max_us as f64 / 1000.0)
+                    .build(),
+            );
+        }
+        ObjBuilder::new()
+            .num("received", read(&self.received))
+            .num("served", read(&self.served))
+            .num("shed", read(&self.shed))
+            .num("rejected", read(&self.rejected))
+            .num("errors", read(&self.errors))
+            .num("timed_out", read(&self.timed_out))
+            .num("stats_probes", read(&self.stats_probes))
+            .num("queue_depth", queue_depth as f64)
+            .field(
+                "graph_cache",
+                ObjBuilder::new()
+                    .num("hits", read(&self.graph_hits))
+                    .num("misses", read(&self.graph_misses))
+                    .num("hit_rate", hit_rate(&self.graph_hits, &self.graph_misses))
+                    .build(),
+            )
+            .field(
+                "result_cache",
+                ObjBuilder::new()
+                    .num("hits", read(&self.result_hits))
+                    .num("misses", read(&self.result_misses))
+                    .num("hit_rate", hit_rate(&self.result_hits, &self.result_misses))
+                    .build(),
+            )
+            .field("latency", latency.build())
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_follow_pipeline_identity() {
+        let s = ServiceStats::new();
+        for _ in 0..5 {
+            s.on_received();
+        }
+        s.on_served(false);
+        s.on_served(true);
+        s.on_shed();
+        s.on_rejected();
+        s.on_error();
+        let snap = s.snapshot_json(3);
+        let get = |k: &str| snap.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(get("received"), 5);
+        assert_eq!(get("served") + get("shed") + get("rejected") + get("errors"), 5);
+        assert_eq!(get("timed_out"), 1);
+        assert_eq!(get("queue_depth"), 3);
+    }
+
+    #[test]
+    fn latency_histograms_render_per_kernel() {
+        let s = ServiceStats::new();
+        s.latency_of("color").unwrap().record(Duration::from_millis(2));
+        s.latency_of("color").unwrap().record(Duration::from_millis(4));
+        assert!(s.latency_of("bogus").is_none());
+        let snap = s.snapshot_json(0);
+        let color = snap.get("latency").and_then(|l| l.get("color")).unwrap();
+        assert_eq!(color.get("count").and_then(Json::as_u64), Some(2));
+        assert!(color.get("p99_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        // Unused kernels are omitted from the latency object.
+        assert!(snap.get("latency").unwrap().get("louvain").is_none());
+    }
+
+    #[test]
+    fn cache_hit_rates() {
+        let s = ServiceStats::new();
+        s.on_graph_cache(true);
+        s.on_graph_cache(true);
+        s.on_graph_cache(false);
+        s.on_result_cache(false);
+        let snap = s.snapshot_json(0);
+        let gc = snap.get("graph_cache").unwrap();
+        assert_eq!(gc.get("hits").and_then(Json::as_u64), Some(2));
+        let rate = gc.get("hit_rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+        let rc = snap.get("result_cache").unwrap();
+        assert_eq!(rc.get("hit_rate").and_then(Json::as_f64), Some(0.0));
+    }
+}

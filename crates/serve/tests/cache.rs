@@ -1,0 +1,156 @@
+//! Caching-soundness tests: the graph cache must be observationally
+//! equivalent to regenerating (the determinism contract makes the CSR
+//! byte-identical), and the result cache must replay the original response
+//! body without re-executing the kernel.
+
+use gp_serve::{GraphSpec, Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("bind loopback")
+}
+
+fn roundtrip(server: &Server, line: &str) -> Json {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    gp_serve::json::parse(response.trim()).expect("valid JSON response")
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+fn get_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn stat(stats: &Json, group: &str, key: &str) -> u64 {
+    stats
+        .get(group)
+        .and_then(|g| g.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn graph_cache_regeneration_is_byte_identical() {
+    // The foundation the service's graph cache rests on, asserted directly:
+    // two independent builds of the same spec are equal CSRs (PartialEq
+    // compares every offset, neighbor, and weight).
+    let spec = GraphSpec::from_compact("rmat:scale=10,ef=8,seed=3").unwrap();
+    let cold = spec.build();
+    let warm = spec.build();
+    assert_eq!(cold, warm);
+    assert_eq!(cold.num_vertices(), 1024);
+}
+
+#[test]
+fn cached_graph_serves_identical_kernel_results() {
+    // Same graph spec through two different result-cache keys (different
+    // request seeds): the second run hits the graph cache, and its kernel
+    // output matches a cold server bit-for-bit.
+    let warm = server();
+    let a = roundtrip(
+        &warm,
+        r#"{"kernel":"color","graph":"mesh:w=20,seed=4","seed":0}"#,
+    );
+    let b = roundtrip(
+        &warm,
+        r#"{"kernel":"color","graph":"mesh:w=20,seed=4","seed":1}"#,
+    );
+    let probe = roundtrip(&warm, r#"{"stats":true}"#);
+    let stats = probe.get("stats").unwrap();
+    assert_eq!(stat(stats, "graph_cache", "hits"), 1, "{probe}");
+    assert_eq!(stat(stats, "graph_cache", "misses"), 1, "{probe}");
+
+    let cold = server();
+    let c = roundtrip(
+        &cold,
+        r#"{"kernel":"color","graph":"mesh:w=20,seed=4","seed":1}"#,
+    );
+    for key in ["num_colors", "rounds", "vertices", "edges"] {
+        assert_eq!(get_u64(&a, key), get_u64(&b, key), "{key}");
+        assert_eq!(get_u64(&b, key), get_u64(&c, key), "{key}");
+    }
+    warm.shutdown();
+    cold.shutdown();
+}
+
+#[test]
+fn result_cache_replays_the_original_body_without_execution() {
+    let s = server();
+    let line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":10,"seed":7}},"variant":"mplm","id":"first"}"#;
+    let first = roundtrip(&s, line);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+    let second = roundtrip(
+        &s,
+        r#"{"kernel":"louvain","graph":{"rmat":{"scale":10,"seed":7}},"variant":"mplm","id":"second"}"#,
+    );
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    // The cached response replays the original execution verbatim — same
+    // modularity, same rounds, and even the same exec_ms, because the body
+    // is stored, not recomputed.
+    assert_eq!(get_f64(&second, "modularity"), get_f64(&first, "modularity"));
+    assert_eq!(get_u64(&second, "rounds"), get_u64(&first, "rounds"));
+    assert_eq!(get_f64(&second, "exec_ms"), get_f64(&first, "exec_ms"));
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("second"));
+
+    let probe = roundtrip(&s, r#"{"stats":true}"#);
+    let stats = probe.get("stats").unwrap();
+    assert_eq!(stat(stats, "result_cache", "hits"), 1, "{probe}");
+    assert_eq!(stat(stats, "result_cache", "misses"), 1, "{probe}");
+    s.shutdown();
+}
+
+#[test]
+fn result_cache_key_is_sensitive_to_kernel_backend_and_seed() {
+    let s = server();
+    let base = r#"{"kernel":"labelprop","graph":"mesh:w=10,seed=1"}"#;
+    let first = roundtrip(&s, base);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    // Different backend → different key → miss.
+    let scalar = roundtrip(
+        &s,
+        r#"{"kernel":"labelprop","graph":"mesh:w=10,seed=1","backend":"scalar"}"#,
+    );
+    assert_eq!(scalar.get("cached").and_then(Json::as_bool), Some(false));
+    // Different kernel seed → miss.
+    let reseeded = roundtrip(
+        &s,
+        r#"{"kernel":"labelprop","graph":"mesh:w=10,seed=1","seed":9}"#,
+    );
+    assert_eq!(reseeded.get("cached").and_then(Json::as_bool), Some(false));
+    // Exact repeat → hit.
+    let repeat = roundtrip(&s, base);
+    assert_eq!(repeat.get("cached").and_then(Json::as_bool), Some(true));
+    s.shutdown();
+}
+
+#[test]
+fn timed_out_partials_are_never_cached() {
+    let s = server();
+    let line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":5}},"deadline_ms":1}"#;
+    let first = roundtrip(&s, line);
+    assert_eq!(first.get("timed_out").and_then(Json::as_bool), Some(true));
+    // Re-issuing without the deadline must execute for real, not replay the
+    // truncated partial.
+    let full = roundtrip(
+        &s,
+        r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":5}}}"#,
+    );
+    assert_eq!(full.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(full.get("timed_out").and_then(Json::as_bool), Some(false));
+    assert_eq!(full.get("converged").and_then(Json::as_bool), Some(true));
+    s.shutdown();
+}

@@ -1,0 +1,225 @@
+//! End-to-end queue-semantics tests: admission shedding, deadline
+//! enforcement with partial results, and graceful drain on shutdown.
+//!
+//! All timing uses the diagnostic `sleep` kernel with generous margins
+//! (tens of milliseconds between steps, job lengths in the hundreds), so
+//! the assertions hold on slow CI machines.
+
+use gp_serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A tiny blocking NDJSON client for one connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "connection closed before response");
+        gp_serve::json::parse(line.trim()).expect("valid response JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn server(cfg: ServeConfig) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..cfg
+    })
+    .expect("bind loopback")
+}
+
+fn get_bool(v: &Json, key: &str) -> Option<bool> {
+    v.get(key).and_then(Json::as_bool)
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+#[test]
+fn queue_sheds_at_capacity_with_queue_full() {
+    // One worker, queue depth 1: a running job plus a queued job fill the
+    // service; the third concurrent job must shed.
+    let server = server(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..Default::default()
+    });
+    let mut running = Client::connect(&server);
+    let mut queued = Client::connect(&server);
+    let mut shed = Client::connect(&server);
+
+    running.send(r#"{"kernel":"sleep","ms":400,"id":"running"}"#);
+    std::thread::sleep(Duration::from_millis(60)); // worker picked it up
+    queued.send(r#"{"kernel":"sleep","ms":400,"id":"queued"}"#);
+    std::thread::sleep(Duration::from_millis(60)); // sits in the queue
+
+    let refusal = shed.roundtrip(r#"{"kernel":"sleep","ms":1,"id":"third"}"#);
+    assert_eq!(get_bool(&refusal, "ok"), Some(false));
+    assert_eq!(get_str(&refusal, "error"), Some("queue_full"));
+    assert_eq!(get_u64(&refusal, "code"), Some(503));
+    assert_eq!(get_str(&refusal, "id"), Some("third"));
+
+    // The admitted jobs still complete in order.
+    let first = running.recv();
+    assert_eq!(get_bool(&first, "ok"), Some(true));
+    assert_eq!(get_str(&first, "id"), Some("running"));
+    let second = queued.recv();
+    assert_eq!(get_bool(&second, "ok"), Some(true));
+    assert_eq!(get_str(&second, "id"), Some("queued"));
+
+    let stats = server.shutdown();
+    assert_eq!(get_u64(&stats, "served"), Some(2));
+    assert_eq!(get_u64(&stats, "shed"), Some(1));
+}
+
+#[test]
+fn expired_deadline_returns_partial_result_marked_timed_out() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&server);
+
+    // The sleep kernel checks its deadline every 1 ms slice: 500 ms of work
+    // under a 30 ms budget must come back early and partial.
+    let v = c.roundtrip(r#"{"kernel":"sleep","ms":500,"deadline_ms":30,"id":"dl"}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_bool(&v, "timed_out"), Some(true), "{v}");
+    assert_eq!(get_bool(&v, "converged"), Some(false), "{v}");
+    let slept = get_u64(&v, "rounds").unwrap();
+    assert!(slept < 500, "partial progress expected, slept {slept}");
+
+    // A real kernel under an impossible 1 ms deadline: the cooperative
+    // cancellation hook stops it at a round boundary, and the truncated
+    // response still carries the full envelope.
+    let v = c.roundtrip(
+        r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":3}},"deadline_ms":1,"id":"lv"}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_bool(&v, "timed_out"), Some(true), "{v}");
+    assert_eq!(get_bool(&v, "converged"), Some(false), "{v}");
+    assert!(get_u64(&v, "communities").is_some(), "{v}");
+
+    let stats = server.shutdown();
+    assert_eq!(get_u64(&stats, "served"), Some(2));
+    assert_eq!(get_u64(&stats, "timed_out"), Some(2));
+}
+
+#[test]
+fn generous_deadline_leaves_results_untouched() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&server);
+    let free = c.roundtrip(r#"{"kernel":"color","graph":"mesh:w=16,seed=1"}"#);
+    let bounded =
+        c.roundtrip(r#"{"kernel":"color","graph":"mesh:w=16,seed=1","seed":1,"deadline_ms":60000}"#);
+    assert_eq!(get_bool(&bounded, "timed_out"), Some(false));
+    assert_eq!(get_u64(&bounded, "num_colors"), get_u64(&free, "num_colors"));
+    assert_eq!(get_u64(&bounded, "rounds"), get_u64(&free, "rounds"));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_and_rejects_new_ones() {
+    let server = server(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..Default::default()
+    });
+    let mut busy = Client::connect(&server);
+    let mut late = Client::connect(&server);
+
+    busy.send(r#"{"kernel":"sleep","ms":250,"id":"inflight"}"#);
+    std::thread::sleep(Duration::from_millis(60)); // job reached the worker
+
+    // Run shutdown on another thread: it blocks until the worker drains.
+    let drain = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(60)); // draining flag is up
+
+    // A request arriving mid-drain is refused as retryable shutting_down.
+    let refusal = late.roundtrip(r#"{"kernel":"sleep","ms":1,"id":"late"}"#);
+    assert_eq!(get_str(&refusal, "error"), Some("shutting_down"), "{refusal}");
+    assert_eq!(get_u64(&refusal, "code"), Some(503));
+
+    // The in-flight job's response is written before shutdown returns.
+    let v = busy.recv();
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_str(&v, "id"), Some("inflight"));
+    assert_eq!(get_bool(&v, "timed_out"), Some(false), "{v}");
+
+    let stats = drain.join().unwrap();
+    assert_eq!(get_u64(&stats, "served"), Some(1), "{stats}");
+    assert_eq!(get_u64(&stats, "rejected"), Some(1), "{stats}");
+}
+
+#[test]
+fn stats_probe_reports_counters_and_latency() {
+    let server = server(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&server);
+    for _ in 0..3 {
+        let v = c.roundtrip(r#"{"kernel":"labelprop","graph":"mesh:w=12,seed=2"}"#);
+        assert_eq!(get_bool(&v, "ok"), Some(true));
+    }
+    let probe = c.roundtrip(r#"{"stats":true}"#);
+    assert_eq!(get_bool(&probe, "ok"), Some(true));
+    let stats = probe.get("stats").expect("stats body");
+    assert_eq!(get_u64(stats, "received"), Some(3));
+    assert_eq!(get_u64(stats, "served"), Some(3));
+    assert_eq!(get_u64(stats, "stats_probes"), Some(1));
+    // Identical requests: 2 of 3 are result-cache hits.
+    let rc = stats.get("result_cache").unwrap();
+    assert_eq!(get_u64(rc, "hits"), Some(2), "{probe}");
+    assert_eq!(get_u64(rc, "misses"), Some(1), "{probe}");
+    let latency = stats.get("latency").and_then(|l| l.get("labelprop")).unwrap();
+    assert_eq!(get_u64(latency, "count"), Some(3), "{probe}");
+    server.shutdown();
+}
+
+#[test]
+fn draining_connections_see_clean_eof_after_shutdown() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut idle = Client::connect(&server);
+    let v = idle.roundtrip(r#"{"kernel":"sleep","ms":1}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true));
+    server.shutdown();
+    // The socket is shut down server-side; the next read is EOF, not a hang.
+    let mut line = String::new();
+    let n = idle.reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "expected EOF after shutdown, got {line:?}");
+}

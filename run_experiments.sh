@@ -12,4 +12,6 @@ cargo run -q --release -p gp-bench --bin fig_rmat_lp -- --axis ef > results/fig_
 cargo run -q --release -p gp-bench --bin fig_rmat_lp -- --axis nodes > results/fig_rmat_lp_nodes.txt 2>&1 || echo "FAILED rmat_lp nodes"
 cargo run -q --release -p gp-bench --bin fig_rmat_louvain -- --axis ef > results/fig_rmat_louvain_ef.txt 2>&1 || echo "FAILED rmat_lv ef"
 cargo run -q --release -p gp-bench --bin fig_rmat_louvain -- --axis nodes > results/fig_rmat_louvain_nodes.txt 2>&1 || echo "FAILED rmat_lv nodes"
+echo "=== loadgen (service closed-loop) ==="
+cargo run -q --release -p gp-bench --bin gp-loadgen -- --spawn --clients 8 --requests 1200 --scale 14 > results/loadgen_serve.txt 2>&1 || echo "FAILED: gp-loadgen"
 echo ALL_DONE

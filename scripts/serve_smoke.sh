@@ -1,0 +1,74 @@
+#!/bin/bash
+# Smoke test for `gpart serve` over the raw wire protocol, using only bash
+# (/dev/tcp) — no netcat dependency. Exercises: a real kernel run, a forced
+# deadline timeout, forced queue_full shedding, the stats probe, and a
+# drained SIGTERM shutdown with a final stats dump.
+#
+#   scripts/serve_smoke.sh [path/to/gpart] [port]
+set -euo pipefail
+
+GPART=${1:-target/release/gpart}
+PORT=${2:-7301}
+LOG=$(mktemp /tmp/serve_smoke.XXXXXX.log)
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# One request, one response line, over a fresh connection.
+req() {
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "connect :$PORT"
+  printf '%s\n' "$1" >&3
+  local line
+  IFS= read -r line <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$line"
+}
+
+"$GPART" serve --addr "127.0.0.1:$PORT" --workers 1 --queue-depth 1 \
+  > "$LOG" 2>&1 &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null && break
+  sleep 0.1
+done
+
+echo "--- real kernel run"
+RESP=$(req '{"kernel":"color","graph":{"rmat":{"scale":10,"seed":3}},"id":"ci"}')
+echo "$RESP"
+grep -q '"ok":true' <<<"$RESP" || fail "color run not ok"
+grep -q '"id":"ci"' <<<"$RESP" || fail "id not echoed"
+grep -q '"num_colors"' <<<"$RESP" || fail "missing kernel output"
+
+echo "--- forced timeout: 300 ms of work under a 20 ms deadline"
+RESP=$(req '{"kernel":"sleep","ms":300,"deadline_ms":20}')
+echo "$RESP"
+grep -q '"timed_out":true' <<<"$RESP" || fail "deadline did not fire"
+grep -q '"converged":false' <<<"$RESP" || fail "partial not marked unconverged"
+
+echo "--- forced queue_full: fill 1 worker + depth-1 queue, then shed"
+(exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+ printf '%s\n' '{"kernel":"sleep","ms":3000}' >&3; sleep 4) &
+BUSY1=$!
+sleep 0.4
+(exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+ printf '%s\n' '{"kernel":"sleep","ms":3000}' >&3; sleep 4) &
+BUSY2=$!
+sleep 0.4
+RESP=$(req '{"kernel":"sleep","ms":10}')
+echo "$RESP"
+grep -q '"error":"queue_full"' <<<"$RESP" || fail "expected queue_full shed"
+grep -q '"code":503' <<<"$RESP" || fail "queue_full without 503"
+
+echo "--- stats probe reflects the shed"
+RESP=$(req '{"stats":true}')
+echo "$RESP"
+grep -q '"shed":1' <<<"$RESP" || fail "stats did not count the shed"
+
+echo "--- graceful shutdown: SIGTERM drains and dumps final stats"
+kill -TERM "$SERVER"
+wait "$SERVER" || fail "server exited nonzero"
+trap - EXIT
+grep -q '"served"' "$LOG" || { cat "$LOG"; fail "no final stats dump"; }
+cat "$LOG"
+wait "$BUSY1" "$BUSY2" 2>/dev/null || true
+echo "serve smoke OK"
