@@ -1,6 +1,8 @@
 //! Criterion bench: scalar vs ONPL speculative coloring on representative
 //! suite stand-ins (one per structural class).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gp_core::coloring::{color_graph_onpl, color_graph_scalar, ColoringConfig};
 use gp_graph::suite::{build_standin, entry, SuiteScale};

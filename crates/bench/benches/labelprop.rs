@@ -1,5 +1,7 @@
 //! Criterion bench: MPLP vs ONLP label propagation (Figure 15's kernel).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
 use gp_graph::suite::{build_standin, entry, SuiteScale};

@@ -1,6 +1,8 @@
 //! Criterion bench: one Louvain move phase per variant on representative
 //! suite stand-ins (Figure 12's kernel).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gp_core::louvain::driver::run_move_phase_with;
 use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};

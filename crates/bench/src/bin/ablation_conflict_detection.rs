@@ -7,6 +7,8 @@
 //! vectorized conflict detection, on the suite classes where coloring has
 //! the most work to do.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_bench::harness::{print_header, BenchContext};
 use gp_core::coloring::{color_graph_onpl, ColoringConfig};
 use gp_graph::suite::{build_standin, entry};

@@ -5,6 +5,8 @@
 //! leaving them unsorted, via lane utilization and move-phase time; and
 //! (b) the preprocessing cost itself relative to one move phase.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_bench::harness::{print_header, BenchContext};
 use gp_core::coloring::{color_graph_scalar, ColoringConfig};
 use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};

@@ -1,3 +1,5 @@
+
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
 fn main() {
     use gp_core::louvain::*;
     use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};

@@ -1,0 +1,173 @@
+//! Figure (extension) — active-set sweeps vs full scans.
+//!
+//! The three kernel families converge through rounds in which fewer and
+//! fewer vertices do anything; `sweep = full` still pays an `O(V)` scan per
+//! round (the paper-faithful baseline), `sweep = active` walks a packed
+//! worklist. Outputs are bit-identical (asserted here on the bench graph,
+//! and exhaustively in `crates/core/tests/active_set.rs`); only the
+//! enumeration cost differs. This binary measures that difference on an
+//! R-MAT graph and shows the frontier decay that produces it.
+//!
+//! Knobs: `GP_RMAT_SCALE` (default 14; the PERFORMANCE.md table uses 18),
+//! `GP_JSON_OUT=<path>` writes a machine-readable summary (the CI
+//! `bench-smoke` job archives it as `BENCH_kernels.json`), `--check` exits
+//! nonzero when the active sweep is >10% slower than full on any kernel
+//! (the frontier machinery must never cost more than the scans it avoids).
+
+use gp_bench::harness::{print_header, BenchContext};
+use gp_core::api::{run_kernel, Kernel, KernelSpec, SweepMode};
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
+use gp_metrics::timer::time_runs;
+use std::io::Write;
+
+const KERNELS: [&str; 4] = ["color", "louvain-mplm", "louvain-ovpl", "labelprop"];
+
+struct Row {
+    kernel: &'static str,
+    full: f64,
+    active: f64,
+    rounds: usize,
+}
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Active-set sweeps vs full scans", &ctx);
+    let scale: u32 = std::env::var("GP_RMAT_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let check = std::env::args().any(|a| a == "--check");
+    let g = ctx.install(|| rmat(RmatConfig::new(scale, 8).with_seed(42)));
+    if !ctx.csv {
+        println!(
+            "graph: rmat scale={scale} ef=8 ({} vertices, {} edges)\n",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    let mut table = Table::new(
+        format!("Kernel wall time, full scans vs active-set worklists (rmat scale {scale})"),
+        &["kernel", "full", "active", "speedup", "rounds"],
+    );
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let kernel_val: Kernel = kernel.parse().unwrap();
+        let full_spec = KernelSpec::new(kernel_val).with_sweep(SweepMode::Full);
+        let active_spec = KernelSpec::new(kernel_val).with_sweep(SweepMode::Active);
+
+        // The equivalence the whole comparison rests on, re-checked on the
+        // measured graph itself.
+        let a = ctx.install(|| run_kernel(&g, &full_spec, &mut NoopRecorder));
+        let b = ctx.install(|| run_kernel(&g, &active_spec, &mut NoopRecorder));
+        assert_eq!(a, b, "{kernel}: sweep modes diverged on the bench graph");
+
+        let t_full = ctx.install(|| {
+            time_runs(&ctx.timing, |_| run_kernel(&g, &full_spec, &mut NoopRecorder))
+        });
+        let t_active = ctx.install(|| {
+            time_runs(&ctx.timing, |_| run_kernel(&g, &active_spec, &mut NoopRecorder))
+        });
+        table.row(&[
+            kernel.to_string(),
+            fmt_secs(t_full.mean),
+            fmt_secs(t_active.mean),
+            fmt_ratio(t_full.mean / t_active.mean),
+            b.rounds().to_string(),
+        ]);
+        rows.push(Row {
+            kernel,
+            full: t_full.mean,
+            active: t_active.mean,
+            rounds: b.rounds(),
+        });
+    }
+    ctx.emit(&table);
+
+    // Frontier decay: where the win comes from. Per-round active fraction
+    // under the worklist sweep (identical under full — the modes share
+    // activation semantics, see the equivalence suite).
+    let mut decay = Table::new(
+        "Frontier decay (active vertices per round, % of V)",
+        &["kernel", "decay"],
+    );
+    for kernel in KERNELS {
+        let spec = KernelSpec::new(kernel.parse::<Kernel>().unwrap());
+        let mut rec = TraceRecorder::new(kernel);
+        ctx.install(|| run_kernel(&g, &spec, &mut rec));
+        let n = g.num_vertices() as f64;
+        let fractions: Vec<String> = rec
+            .into_trace()
+            .rounds
+            .iter()
+            .filter(|r| r.level == 0) // first level only for multilevel runs
+            .map(|r| format!("{:.1}", 100.0 * r.active as f64 / n))
+            .collect();
+        decay.row(&[kernel.to_string(), fractions.join(" → ")]);
+    }
+    if !ctx.csv {
+        println!();
+        ctx.emit(&decay);
+    }
+
+    if let Ok(path) = std::env::var("GP_JSON_OUT") {
+        write_json(&path, scale, &g, &rows).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        if !ctx.csv {
+            println!("\nJSON summary written to {path}");
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for r in &rows {
+            let ratio = r.active / r.full;
+            if ratio > 1.10 {
+                eprintln!(
+                    "CHECK FAILED: {} active sweep is {:.1}% slower than full",
+                    r.kernel,
+                    100.0 * (ratio - 1.0)
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\ncheck OK: active sweep within 10% of full on every kernel");
+    }
+}
+
+/// Minimal hand-rolled JSON (no serde in the bench bins): one object per
+/// kernel with mean wall times and the full/active ratio.
+fn write_json(path: &str, scale: u32, g: &gp_graph::csr::Csr, rows: &[Row]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"figure\": \"active_set\",")?;
+    writeln!(
+        f,
+        "  \"graph\": {{\"family\": \"rmat\", \"scale\": {scale}, \"edge_factor\": 8, \"vertices\": {}, \"edges\": {}}},",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    writeln!(f, "  \"kernels\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"kernel\": \"{}\", \"full_secs\": {:.6}, \"active_secs\": {:.6}, \"speedup\": {:.4}, \"rounds\": {}}}{comma}",
+            r.kernel,
+            r.full,
+            r.active,
+            r.full / r.active,
+            r.rounds
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

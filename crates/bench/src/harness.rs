@@ -8,6 +8,8 @@
 //!   SkylakeX/Cascade-Lake cost model, the substitution for the paper's
 //!   second machine (DESIGN.md §2).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::coloring::{
     color_graph_onpl, color_graph_onpl_recorded, color_graph_scalar,
     color_graph_scalar_recorded, ColoringConfig, ColoringResult,

@@ -1,10 +1,9 @@
 //! Subcommand implementations.
 
 use crate::io::{load, save, save_assignment};
-use gp_core::coloring::{color_graph_recorded, verify_coloring, ColoringConfig};
-use gp_core::labelprop::{label_propagation_recorded, LabelPropConfig};
-use gp_core::louvain::{louvain_recorded, LouvainConfig, Variant};
-use gp_core::reduce_scatter::Strategy;
+use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec, SweepMode, Variant};
+use gp_core::coloring::verify_coloring;
+use gp_graph::csr::Csr;
 use gp_graph::stats::graph_stats;
 use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
 use gp_metrics::write_trace;
@@ -22,6 +21,9 @@ USAGE:
   gpart louvain   <graph> [--variant plm|mplm|onpl|ovpl] [--out file]
                           [--trace file]
   gpart labelprop <graph> [--out file] [--trace file]
+          color/louvain/labelprop also take [--sweep active|full] (frontier
+          worklists vs. full scans; identical outputs) and
+          [--backend auto|scalar]
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
   gpart serve     [--addr host:port] [--workers n] [--queue-depth n]
@@ -119,19 +121,47 @@ fn emit_trace(rec: TraceRecorder, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Pulls the flags shared by every kernel command (`--sweep`, `--backend`)
+/// off the argument list and folds them into `spec`.
+fn take_spec_flags(args: &[String], mut spec: KernelSpec) -> Result<(KernelSpec, Vec<String>), String> {
+    let (sweep, rest) = take_flag(args, "--sweep");
+    if let Some(s) = sweep {
+        spec.sweep = s.parse::<SweepMode>()?;
+    }
+    let (backend, rest) = take_flag(&rest, "--backend");
+    if let Some(b) = backend {
+        spec.backend = b.parse::<Backend>()?;
+    }
+    Ok((spec, rest))
+}
+
+/// Runs `spec` on `g`, optionally recording a per-round trace to `path`.
+fn run_traced(
+    g: &Csr,
+    spec: &KernelSpec,
+    trace: Option<&str>,
+    trace_name: &str,
+) -> Result<KernelOutput, String> {
+    match trace {
+        Some(path) => {
+            let mut rec = TraceRecorder::new(trace_name);
+            let out = run_kernel(g, spec, &mut rec);
+            emit_trace(rec, path)?;
+            Ok(out)
+        }
+        None => Ok(run_kernel(g, spec, &mut NoopRecorder)),
+    }
+}
+
 pub fn color(args: &[String]) -> Result<(), String> {
     let (out, rest) = take_flag(args, "--out");
     let (trace, rest) = take_flag(&rest, "--trace");
+    // The one place serve + CLI construct a coloring kernel value; every
+    // other path parses the shared string forms.
+    let (spec, rest) = take_spec_flags(&rest, KernelSpec::new(Kernel::Coloring))?;
     let g = load(positional(&rest, 0, "graph")?)?;
-    let config = ColoringConfig::default();
-    let r = if let Some(path) = &trace {
-        let mut rec = TraceRecorder::new("coloring");
-        let r = color_graph_recorded(&g, &config, &mut rec);
-        emit_trace(rec, path)?;
-        r
-    } else {
-        color_graph_recorded(&g, &config, &mut NoopRecorder)
-    };
+    let out_k = run_traced(&g, &spec, trace.as_deref(), "coloring")?;
+    let r = out_k.as_coloring().expect("coloring spec yields coloring output");
     verify_coloring(&g, &r.colors).map_err(|e| format!("internal error: {e}"))?;
     println!(
         "{} colors in {} rounds (backend: {})",
@@ -150,26 +180,12 @@ pub fn louvain(args: &[String]) -> Result<(), String> {
     let (variant, rest) = take_flag(args, "--variant");
     let (out, rest) = take_flag(&rest, "--out");
     let (trace, rest) = take_flag(&rest, "--trace");
+    let variant: Variant = variant.as_deref().unwrap_or("mplm").parse()?;
+    let (spec, rest) = take_spec_flags(&rest, KernelSpec::new(Kernel::Louvain(variant)))?;
     let g = load(positional(&rest, 0, "graph")?)?;
-    let variant = match variant.as_deref().unwrap_or("mplm") {
-        "plm" => Variant::Plm,
-        "mplm" => Variant::Mplm,
-        "onpl" => Variant::Onpl(Strategy::Adaptive),
-        "ovpl" => Variant::Ovpl,
-        other => return Err(format!("unknown variant `{other}` (plm|mplm|onpl|ovpl)")),
-    };
-    let config = LouvainConfig {
-        variant,
-        ..Default::default()
-    };
-    let r = if let Some(path) = &trace {
-        let mut rec = TraceRecorder::new(format!("louvain-{}", variant.name()));
-        let r = louvain_recorded(&g, &config, &mut rec);
-        emit_trace(rec, path)?;
-        r
-    } else {
-        louvain_recorded(&g, &config, &mut NoopRecorder)
-    };
+    let trace_name = format!("louvain-{}", variant.name());
+    let out_k = run_traced(&g, &spec, trace.as_deref(), &trace_name)?;
+    let r = out_k.as_louvain().expect("louvain spec yields louvain output");
     let communities = gp_core::louvain::modularity::count_communities(&r.communities);
     println!(
         "{} communities, modularity {:.4}, {} levels ({}, backend: {})",
@@ -313,16 +329,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 pub fn labelprop(args: &[String]) -> Result<(), String> {
     let (out, rest) = take_flag(args, "--out");
     let (trace, rest) = take_flag(&rest, "--trace");
+    let (spec, rest) = take_spec_flags(&rest, KernelSpec::new(Kernel::Labelprop))?;
     let g = load(positional(&rest, 0, "graph")?)?;
-    let config = LabelPropConfig::default();
-    let r = if let Some(path) = &trace {
-        let mut rec = TraceRecorder::new("labelprop");
-        let r = label_propagation_recorded(&g, &config, &mut rec);
-        emit_trace(rec, path)?;
-        r
-    } else {
-        label_propagation_recorded(&g, &config, &mut NoopRecorder)
-    };
+    let out_k = run_traced(&g, &spec, trace.as_deref(), "labelprop")?;
+    let r = out_k
+        .as_labelprop()
+        .expect("labelprop spec yields labelprop output");
     let communities = gp_core::louvain::modularity::count_communities(&r.labels);
     println!(
         "{} communities after {} sweeps (backend: {})",

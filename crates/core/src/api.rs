@@ -1,0 +1,541 @@
+//! The unified kernel entrypoint: one function, every kernel × variant ×
+//! backend × sweep combination.
+//!
+//! [`run_kernel`] replaces the eighteen per-kernel entry functions
+//! (`color_graph*`, `label_propagation*`, `louvain*`, `run_move_phase*`)
+//! that callers previously had to dispatch over by hand — the serve
+//! worker, the CLI, and the benchmark bins each carried their own copy of
+//! that match. Those functions remain available as thin deprecated
+//! wrappers; new code describes the run with a [`KernelSpec`] and lets the
+//! library dispatch:
+//!
+//! ```
+//! use gp_core::api::{run_kernel, Kernel, KernelSpec};
+//! use gp_graph::generators::triangular_mesh;
+//! use gp_metrics::telemetry::NoopRecorder;
+//!
+//! let g = triangular_mesh(8, 8, 3);
+//! let spec = KernelSpec::new(Kernel::Coloring).sequential();
+//! let out = run_kernel(&g, &spec, &mut NoopRecorder);
+//! assert!(out.converged());
+//! assert!(out.colors().is_some());
+//! ```
+//!
+//! The string forms accepted by [`FromStr`] (and produced by `Display`) are
+//! the single source of truth for the CLI flags, the serve JSON fields, and
+//! the serve result-cache key — the three previously kept their own
+//! hand-rolled parsers.
+
+use crate::coloring::{ColoringConfig, ColoringResult};
+use crate::labelprop::{LabelPropConfig, LabelPropResult};
+use crate::louvain::{LouvainConfig, LouvainResult};
+pub use crate::frontier::SweepMode;
+pub use crate::louvain::Variant;
+pub use crate::reduce_scatter::Strategy;
+use gp_graph::csr::Csr;
+use gp_metrics::telemetry::{Recorder, RunInfo};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which kernel family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Speculative greedy coloring (paper §4).
+    #[default]
+    Coloring,
+    /// Louvain move phases in the selected variant (paper §5).
+    Louvain(Variant),
+    /// Label propagation (paper §3.3 / Figure 15).
+    Labelprop,
+}
+
+impl Kernel {
+    /// Kernel-family label (`color` / `louvain` / `labelprop`) — the serve
+    /// response's `kernel` field and the latency-histogram key.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Coloring => "color",
+            Kernel::Louvain(_) => "louvain",
+            Kernel::Labelprop => "labelprop",
+        }
+    }
+
+    /// Variant-qualified label (`color`, `louvain-mplm`, …) — distinguishes
+    /// cache entries and figures where the variant matters.
+    pub fn cache_label(self) -> &'static str {
+        match self {
+            Kernel::Coloring => "color",
+            Kernel::Louvain(v) => match v {
+                Variant::Plm => "louvain-plm",
+                Variant::Mplm => "louvain-mplm",
+                Variant::Onpl(_) => "louvain-onpl",
+                Variant::Ovpl => "louvain-ovpl",
+            },
+            Kernel::Labelprop => "labelprop",
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cache_label())
+    }
+}
+
+impl FromStr for Kernel {
+    type Err = String;
+
+    /// Accepts the family names (`color`/`coloring`, `louvain`,
+    /// `labelprop`/`lp`) and the variant-qualified `louvain-<variant>`
+    /// forms, so [`Kernel::cache_label`] round-trips.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "color" | "coloring" => Ok(Kernel::Coloring),
+            "labelprop" | "lp" => Ok(Kernel::Labelprop),
+            "louvain" => Ok(Kernel::Louvain(Variant::default())),
+            other => match other.strip_prefix("louvain-") {
+                Some(v) => Ok(Kernel::Louvain(v.parse()?)),
+                None => Err(format!(
+                    "unknown kernel '{other}' (color|louvain[-<variant>]|labelprop)"
+                )),
+            },
+        }
+    }
+}
+
+impl FromStr for Variant {
+    type Err = String;
+
+    /// The CLI `--variant` / serve JSON `variant` values. `onpl` selects
+    /// the adaptive reduce-scatter strategy (the paper's "either one of
+    /// them, depending on circumstances"); a fixed strategy is reachable as
+    /// `onpl-cd` / `onpl-iter` / `onpl-ivr`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "plm" => Ok(Variant::Plm),
+            "mplm" => Ok(Variant::Mplm),
+            "onpl" => Ok(Variant::Onpl(Strategy::Adaptive)),
+            "onpl-cd" => Ok(Variant::Onpl(Strategy::ConflictDetect)),
+            "onpl-iter" => Ok(Variant::Onpl(Strategy::ConflictIterative)),
+            "onpl-ivr" => Ok(Variant::Onpl(Strategy::InVectorReduce)),
+            "ovpl" => Ok(Variant::Ovpl),
+            other => Err(format!(
+                "unknown louvain variant '{other}' (plm|mplm|onpl|ovpl)"
+            )),
+        }
+    }
+}
+
+/// Which execution backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Best available: AVX-512 when the CPU has it, emulated otherwise.
+    #[default]
+    Auto,
+    /// Force the scalar reference kernel (greedy coloring / MPLP). The
+    /// Louvain scalar/vector split is the [`Variant`] itself — PLM and MPLM
+    /// are scalar by construction — so `Scalar` does not override the
+    /// variant there.
+    Scalar,
+}
+
+impl Backend {
+    /// Stable lowercase name (CLI flag value, serve JSON value, cache key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Backend::Auto),
+            "scalar" => Ok(Backend::Scalar),
+            other => Err(format!("unknown backend '{other}' (auto|scalar)")),
+        }
+    }
+}
+
+/// A complete, declarative description of one kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel family (and Louvain variant).
+    pub kernel: Kernel,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Sweep enumeration mode (`active` frontier worklists vs. `full`
+    /// scans; bit-identical outputs — see `docs/KERNELS.md`).
+    pub sweep: SweepMode,
+    /// Thread-parallel execution (`false` = deterministic sequential).
+    pub parallel: bool,
+    /// Traversal seed; only label propagation consumes it (its sweeps need
+    /// a randomized visit order).
+    pub seed: u64,
+    /// Record scalar/vector op counts into `gp_simd::counters` for modeled
+    /// architecture comparisons.
+    pub count_ops: bool,
+}
+
+impl Default for KernelSpec {
+    fn default() -> Self {
+        KernelSpec {
+            kernel: Kernel::default(),
+            backend: Backend::default(),
+            sweep: SweepMode::default(),
+            parallel: true,
+            seed: 0x1abe1,
+            count_ops: false,
+        }
+    }
+}
+
+impl KernelSpec {
+    /// Spec for `kernel` with default backend/sweep/parallelism.
+    pub fn new(kernel: Kernel) -> Self {
+        KernelSpec {
+            kernel,
+            ..Default::default()
+        }
+    }
+
+    /// Selects the backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the sweep mode.
+    pub fn with_sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Sets the traversal seed (label propagation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Deterministic sequential execution.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Enables op counting for modeled runs.
+    pub fn counted(mut self) -> Self {
+        self.count_ops = true;
+        self
+    }
+
+    /// The spec's contribution to a result-cache key:
+    /// `kernel|backend|sweep|seed=N`. Every field that can change the
+    /// output (or the telemetry shape) is present; two requests with equal
+    /// tokens (on the same graph) produce byte-identical results.
+    pub fn cache_token(&self) -> String {
+        format!(
+            "{}|{}|{}|seed={}",
+            self.kernel.cache_label(),
+            self.backend.name(),
+            self.sweep.name(),
+            self.seed
+        )
+    }
+}
+
+/// The result of [`run_kernel`]: the kernel-specific result wrapped with
+/// uniform accessors for the fields every caller wants (backend, rounds,
+/// convergence, wall time, community/color vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOutput {
+    /// A coloring run.
+    Coloring(ColoringResult),
+    /// A Louvain run.
+    Louvain(LouvainResult),
+    /// A label-propagation run.
+    Labelprop(LabelPropResult),
+}
+
+impl KernelOutput {
+    /// The uniform run envelope (backend, rounds, convergence, wall time,
+    /// optional trace).
+    pub fn info(&self) -> &RunInfo {
+        match self {
+            KernelOutput::Coloring(r) => &r.info,
+            KernelOutput::Louvain(r) => &r.info,
+            KernelOutput::Labelprop(r) => &r.info,
+        }
+    }
+
+    /// Backend the run executed on.
+    pub fn backend(&self) -> &'static str {
+        self.info().backend
+    }
+
+    /// Rounds / sweeps / levels executed (kernel-defined: coloring rounds,
+    /// Louvain coarsening levels, label-propagation sweeps).
+    pub fn rounds(&self) -> usize {
+        self.info().rounds
+    }
+
+    /// Whether the kernel reached its convergence criterion.
+    pub fn converged(&self) -> bool {
+        self.info().converged
+    }
+
+    /// Whole-run wall time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.info().elapsed_secs
+    }
+
+    /// Per-vertex community assignment (Louvain communities or
+    /// label-propagation labels); `None` for coloring.
+    pub fn communities(&self) -> Option<&[u32]> {
+        match self {
+            KernelOutput::Coloring(_) => None,
+            KernelOutput::Louvain(r) => Some(&r.communities),
+            KernelOutput::Labelprop(r) => Some(&r.labels),
+        }
+    }
+
+    /// Per-vertex colors; `None` for the community kernels.
+    pub fn colors(&self) -> Option<&[u32]> {
+        match self {
+            KernelOutput::Coloring(r) => Some(&r.colors),
+            _ => None,
+        }
+    }
+
+    /// The coloring result, if this was a coloring run.
+    pub fn as_coloring(&self) -> Option<&ColoringResult> {
+        match self {
+            KernelOutput::Coloring(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The Louvain result, if this was a Louvain run.
+    pub fn as_louvain(&self) -> Option<&LouvainResult> {
+        match self {
+            KernelOutput::Louvain(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The label-propagation result, if this was a label-propagation run.
+    pub fn as_labelprop(&self) -> Option<&LabelPropResult> {
+        match self {
+            KernelOutput::Labelprop(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the kernel described by `spec` on `g`, delivering per-round
+/// telemetry (and deadline polls) to `rec`.
+///
+/// This is the single dispatch point over kernel × variant × backend ×
+/// sweep; the per-kernel entry functions it subsumes are deprecated
+/// wrappers around the same code paths, so behavior (including
+/// bit-identical outputs across sweep modes and thread counts) is
+/// unchanged.
+#[allow(deprecated)] // sole sanctioned caller of the legacy entrypoints
+pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> KernelOutput {
+    match spec.kernel {
+        Kernel::Coloring => {
+            let cfg = ColoringConfig {
+                parallel: spec.parallel,
+                count_ops: spec.count_ops,
+                sweep: spec.sweep,
+                ..Default::default()
+            };
+            let r = match spec.backend {
+                Backend::Auto => crate::coloring::color_graph_recorded(g, &cfg, rec),
+                Backend::Scalar => crate::coloring::color_graph_scalar_recorded(g, &cfg, rec),
+            };
+            KernelOutput::Coloring(r)
+        }
+        Kernel::Louvain(variant) => {
+            let cfg = LouvainConfig {
+                variant,
+                parallel: spec.parallel,
+                count_ops: spec.count_ops,
+                sweep: spec.sweep,
+                ..Default::default()
+            };
+            KernelOutput::Louvain(crate::louvain::louvain_recorded(g, &cfg, rec))
+        }
+        Kernel::Labelprop => {
+            let cfg = LabelPropConfig {
+                parallel: spec.parallel,
+                count_ops: spec.count_ops,
+                seed: spec.seed,
+                sweep: spec.sweep,
+                ..Default::default()
+            };
+            let r = match spec.backend {
+                Backend::Auto => crate::labelprop::label_propagation_recorded(g, &cfg, rec),
+                Backend::Scalar => crate::labelprop::label_propagation_mplp_recorded(g, &cfg, rec),
+            };
+            KernelOutput::Labelprop(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)] // the equivalence tests compare against the legacy API
+
+    use super::*;
+    use crate::coloring::verify_coloring;
+    use gp_graph::generators::{planted_partition, triangular_mesh};
+    use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
+
+    #[test]
+    fn kernel_strings_round_trip() {
+        for k in [
+            Kernel::Coloring,
+            Kernel::Louvain(Variant::Plm),
+            Kernel::Louvain(Variant::Mplm),
+            Kernel::Louvain(Variant::Onpl(Strategy::Adaptive)),
+            Kernel::Louvain(Variant::Ovpl),
+            Kernel::Labelprop,
+        ] {
+            assert_eq!(k.cache_label().parse::<Kernel>().unwrap(), k);
+            assert_eq!(k.to_string(), k.cache_label());
+        }
+        for b in [Backend::Auto, Backend::Scalar] {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        for m in [SweepMode::Full, SweepMode::Active] {
+            assert_eq!(m.name().parse::<SweepMode>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn kernel_parse_aliases_and_errors() {
+        assert_eq!("coloring".parse::<Kernel>().unwrap(), Kernel::Coloring);
+        assert_eq!("lp".parse::<Kernel>().unwrap(), Kernel::Labelprop);
+        assert_eq!(
+            "louvain".parse::<Kernel>().unwrap(),
+            Kernel::Louvain(Variant::Mplm)
+        );
+        assert_eq!(
+            "onpl-ivr".parse::<Variant>().unwrap(),
+            Variant::Onpl(Strategy::InVectorReduce)
+        );
+        assert!("pagerank".parse::<Kernel>().is_err());
+        assert!("louvain-x".parse::<Kernel>().is_err());
+        assert!("gpu".parse::<Backend>().is_err());
+        assert!("lazy".parse::<SweepMode>().is_err());
+    }
+
+    #[test]
+    fn cache_token_distinguishes_every_axis() {
+        let base = KernelSpec::new(Kernel::Louvain(Variant::Mplm));
+        let mut tokens = vec![base.cache_token()];
+        tokens.push(base.with_backend(Backend::Scalar).cache_token());
+        tokens.push(base.with_sweep(SweepMode::Full).cache_token());
+        tokens.push(base.with_seed(7).cache_token());
+        tokens.push(KernelSpec::new(Kernel::Louvain(Variant::Ovpl)).cache_token());
+        let unique: std::collections::HashSet<_> = tokens.iter().collect();
+        assert_eq!(unique.len(), tokens.len(), "{tokens:?}");
+    }
+
+    #[test]
+    fn run_kernel_matches_legacy_coloring() {
+        let g = triangular_mesh(10, 10, 4);
+        let spec = KernelSpec::new(Kernel::Coloring).sequential();
+        let out = run_kernel(&g, &spec, &mut NoopRecorder);
+        let legacy = crate::coloring::color_graph(
+            &g,
+            &ColoringConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.as_coloring().unwrap(), &legacy);
+        assert!(verify_coloring(&g, out.colors().unwrap()).is_ok());
+        assert_eq!(out.rounds(), legacy.rounds);
+    }
+
+    #[test]
+    fn run_kernel_matches_legacy_louvain_all_variants() {
+        let g = planted_partition(3, 12, 0.7, 0.05, 11);
+        for variant in [
+            Variant::Plm,
+            Variant::Mplm,
+            Variant::Onpl(Strategy::Adaptive),
+            Variant::Ovpl,
+        ] {
+            let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
+            let out = run_kernel(&g, &spec, &mut NoopRecorder);
+            let legacy = crate::louvain::louvain(&g, &LouvainConfig::sequential(variant));
+            let r = out.as_louvain().unwrap();
+            assert_eq!(r.communities, legacy.communities, "{}", variant.name());
+            assert_eq!(r.modularity, legacy.modularity);
+            assert_eq!(out.rounds(), legacy.levels);
+            assert_eq!(out.communities().unwrap(), &legacy.communities[..]);
+        }
+    }
+
+    #[test]
+    fn run_kernel_matches_legacy_labelprop_both_backends() {
+        let g = planted_partition(4, 10, 0.8, 0.02, 5);
+        for backend in [Backend::Auto, Backend::Scalar] {
+            let spec = KernelSpec::new(Kernel::Labelprop)
+                .sequential()
+                .with_backend(backend)
+                .with_seed(99);
+            let out = run_kernel(&g, &spec, &mut NoopRecorder);
+            let cfg = LabelPropConfig {
+                parallel: false,
+                seed: 99,
+                ..Default::default()
+            };
+            let legacy = match backend {
+                Backend::Auto => crate::labelprop::label_propagation(&g, &cfg),
+                Backend::Scalar => crate::labelprop::label_propagation_mplp(&g, &cfg),
+            };
+            assert_eq!(out.as_labelprop().unwrap(), &legacy, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn run_kernel_feeds_the_recorder() {
+        let g = triangular_mesh(8, 8, 3);
+        let mut rec = TraceRecorder::new("api");
+        let out = run_kernel(
+            &g,
+            &KernelSpec::new(Kernel::Labelprop).sequential(),
+            &mut rec,
+        );
+        let trace = rec.into_trace();
+        assert_eq!(trace.rounds.len(), out.rounds());
+        assert!(trace.rounds[0].active > 0);
+    }
+
+    #[test]
+    fn scalar_backend_reports_scalar() {
+        let g = triangular_mesh(6, 6, 1);
+        let out = run_kernel(
+            &g,
+            &KernelSpec::new(Kernel::Coloring)
+                .sequential()
+                .with_backend(Backend::Scalar),
+            &mut NoopRecorder,
+        );
+        assert_eq!(out.backend(), "scalar");
+    }
+}

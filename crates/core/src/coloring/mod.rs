@@ -11,10 +11,15 @@ pub mod greedy;
 pub mod onpl;
 pub mod verify;
 
-pub use greedy::{assign_colors_scalar, color_graph_scalar, color_graph_scalar_recorded};
-pub use onpl::{assign_colors_onpl, color_graph_onpl, color_graph_onpl_recorded};
+pub use greedy::assign_colors_scalar;
+#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
+pub use greedy::{color_graph_scalar, color_graph_scalar_recorded};
+pub use onpl::assign_colors_onpl;
+#[allow(deprecated)]
+pub use onpl::{color_graph_onpl, color_graph_onpl_recorded};
 pub use verify::{count_colors, verify_coloring};
 
+use crate::frontier::SweepMode;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RunInfo};
 use gp_simd::engine::Engine;
@@ -36,6 +41,13 @@ pub struct ColoringConfig {
     /// measurements vectorize only the assignment, so this defaults to
     /// `false`; the ablation flips it.
     pub vectorized_conflicts: bool,
+    /// How `DetectConflicts` enumerates its scan set:
+    /// [`SweepMode::Active`] re-examines only the vertices recolored this
+    /// round (sufficient — a new conflict needs *both* endpoints recolored
+    /// in the same round; see `docs/KERNELS.md`), [`SweepMode::Full`]
+    /// re-scans every vertex every round as the A/B baseline. Outputs are
+    /// bit-identical.
+    pub sweep: SweepMode,
 }
 
 impl Default for ColoringConfig {
@@ -45,6 +57,7 @@ impl Default for ColoringConfig {
             max_rounds: 10_000,
             count_ops: false,
             vectorized_conflicts: false,
+            sweep: SweepMode::Active,
         }
     }
 }
@@ -61,6 +74,13 @@ impl ColoringConfig {
     /// Enables op counting.
     pub fn counted(mut self) -> Self {
         self.count_ops = true;
+        self
+    }
+
+    /// Sets the sweep mode (`full` re-scans every vertex in
+    /// `DetectConflicts`; `active` only the recolored set).
+    pub fn with_sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
         self
     }
 }
@@ -99,6 +119,8 @@ impl PartialEq for ColoringResult {
 /// assert!(verify_coloring(&g, &r.colors).is_ok());
 /// assert_eq!(r.num_colors, 2);
 /// ```
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn color_graph(g: &Csr, config: &ColoringConfig) -> ColoringResult {
     match Engine::best() {
         Engine::Native(s) => color_graph_onpl(&s, g, config),
@@ -107,6 +129,8 @@ pub fn color_graph(g: &Csr, config: &ColoringConfig) -> ColoringResult {
 }
 
 /// [`color_graph`] with per-round telemetry delivered to `rec`.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn color_graph_recorded<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,

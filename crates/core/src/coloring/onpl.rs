@@ -181,11 +181,14 @@ pub fn detect_conflicts_onpl<S: Simd + Sync>(
 /// Full iterative speculative coloring with the ONPL assignment kernel.
 /// Conflict detection follows `config.vectorized_conflicts`: scalar (the
 /// paper's measured configuration) or the vectorized extension.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn color_graph_onpl<S: Simd + Sync>(s: &S, g: &Csr, config: &ColoringConfig) -> ColoringResult {
     color_graph_onpl_recorded(s, g, config, &mut NoopRecorder)
 }
 
 /// [`color_graph_onpl`] with per-round telemetry.
+#[deprecated(note = "use gp_core::api::run_kernel")]
 pub fn color_graph_onpl_recorded<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
@@ -214,6 +217,8 @@ pub fn color_graph_onpl_recorded<S: Simd + Sync, R: Recorder>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::super::greedy::color_graph_scalar;
     use super::super::verify::verify_coloring;
     use super::*;

@@ -1,0 +1,394 @@
+//! Active-set (frontier) round execution for the iterative kernels.
+//!
+//! All three kernel families converge over rounds in which fewer and fewer
+//! vertices actually change: speculative coloring re-colors only conflicted
+//! vertices (Algorithms 1–3), the Louvain move phase (Algorithm 4) and label
+//! propagation (Algorithm 5) only profit from revisiting vertices whose
+//! neighborhood changed last round. Re-sweeping *every* vertex *every* round
+//! burns full `O(V + E)` passes to move a handful of vertices in the tail.
+//!
+//! This module provides the shared machinery:
+//!
+//! * [`SweepMode`] — the `full | active` knob every kernel config carries.
+//!   Both modes share identical *activation semantics* (a vertex is
+//!   processed in round `r` iff something activated it in round `r-1`), so
+//!   results are **bit-identical**; they differ only in how the active set
+//!   is *enumerated*: `full` scans all vertices and filters (paying the
+//!   `O(V)` scan, the paper-faithful baseline), `active` iterates a packed,
+//!   ascending `u32` worklist (so vectorized gathers stay 16-lane dense).
+//! * [`Frontier`] — double-stamped activation tracking with a deterministic
+//!   packed worklist, maintained identically under both modes.
+//! * [`run_chunked`] — the sweep executor: splits a round into bounded
+//!   chunks and polls [`Recorder::should_stop`] *between* chunks whenever
+//!   the recorder can actually fire a deadline
+//!   ([`Recorder::CHECKS_DEADLINE`]), so one huge first round cannot
+//!   overshoot its deadline unbounded. Under plain recorders the chunking
+//!   collapses to a single full-length chunk and compiles away.
+
+use gp_metrics::telemetry::Recorder;
+use rayon::prelude::*;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// How a kernel enumerates the vertices it processes each round.
+///
+/// The two modes are bit-identical in output (the equivalence suite in
+/// `crates/core/tests/active_set.rs` asserts this across every variant,
+/// backend, and thread count); `full` exists as the A/B baseline for
+/// benchmarking the active-set win and as the paper-faithful sweep shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SweepMode {
+    /// Scan every vertex every round, skipping inactive ones in place.
+    Full,
+    /// Iterate a packed, ascending worklist of only the active vertices.
+    #[default]
+    Active,
+}
+
+impl SweepMode {
+    /// Stable lowercase name (CLI flag value, serve JSON value, cache key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Full => "full",
+            SweepMode::Active => "active",
+        }
+    }
+}
+
+impl std::fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SweepMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(SweepMode::Full),
+            "active" => Ok(SweepMode::Active),
+            other => Err(format!("unknown sweep mode '{other}' (full|active)")),
+        }
+    }
+}
+
+/// Activation tracking for one kernel run.
+///
+/// A vertex is *active in round `r`* iff its `cur` stamp equals `r`. During
+/// round `r`, [`Frontier::activate`] stamps vertices into the `next` array
+/// (for round `r + 1`) through a swap-gate that also pushes each vertex at
+/// most once into a lock-free slot buffer; [`Frontier::advance`] then swaps
+/// the stamp arrays and sorts the slots into the packed ascending
+/// [`Frontier::worklist`]. Because stamps only ever grow, stale entries from
+/// earlier rounds can never collide with the current round's stamp and the
+/// arrays are never cleared.
+///
+/// The maintenance is identical under both [`SweepMode`]s — activation
+/// order does not influence the sorted worklist, and `full`-mode filtering
+/// reads the same `cur` stamps the worklist was built from — which is what
+/// makes the two enumeration strategies bit-identical.
+#[derive(Debug)]
+pub struct Frontier {
+    round: u32,
+    cur: Vec<AtomicU32>,
+    next: Vec<AtomicU32>,
+    slots: Vec<AtomicU32>,
+    count: AtomicUsize,
+    worklist: Vec<u32>,
+}
+
+impl Frontier {
+    /// A frontier over `n` vertices with **all** vertices active in the
+    /// first round (round 1) — every kernel's first sweep is a full sweep,
+    /// matching the pre-frontier behavior exactly.
+    pub fn all_active(n: usize) -> Self {
+        Frontier {
+            round: 1,
+            cur: (0..n).map(|_| AtomicU32::new(1)).collect(),
+            next: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            slots: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            count: AtomicUsize::new(0),
+            worklist: (0..n as u32).collect(),
+        }
+    }
+
+    /// The current round number (starts at 1, incremented by
+    /// [`Frontier::advance`]).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Number of vertices active this round.
+    pub fn len(&self) -> usize {
+        self.worklist.len()
+    }
+
+    /// True when no vertex is active this round.
+    pub fn is_empty(&self) -> bool {
+        self.worklist.is_empty()
+    }
+
+    /// The packed, ascending worklist of vertices active this round.
+    pub fn worklist(&self) -> &[u32] {
+        &self.worklist
+    }
+
+    /// Whether `v` is active in the current round. `full`-sweep enumeration
+    /// filters on this; it reads the snapshot taken at round start, so
+    /// activations performed *during* the round never affect it.
+    #[inline(always)]
+    pub fn is_active(&self, v: u32) -> bool {
+        self.cur[v as usize].load(Ordering::Relaxed) == self.round
+    }
+
+    /// Marks `v` active for the **next** round. Callable concurrently from
+    /// a parallel sweep; each vertex is recorded at most once per round.
+    #[inline]
+    pub fn activate(&self, v: u32) {
+        let stamp = self.round + 1;
+        if self.next[v as usize].swap(stamp, Ordering::Relaxed) != stamp {
+            let slot = self.count.fetch_add(1, Ordering::Relaxed);
+            self.slots[slot].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Ends the round: swaps the stamp arrays and rebuilds the packed
+    /// worklist (sorted ascending, so enumeration order matches the
+    /// `full`-sweep scan order and is independent of activation order).
+    pub fn advance(&mut self) {
+        let cnt = *self.count.get_mut();
+        self.worklist.clear();
+        self.worklist
+            .extend(self.slots[..cnt].iter().map(|s| s.load(Ordering::Relaxed)));
+        self.worklist.sort_unstable();
+        *self.count.get_mut() = 0;
+        std::mem::swap(&mut self.cur, &mut self.next);
+        self.round += 1;
+    }
+
+    /// Sum of `degree(v)` over the active set — the `active_edges`
+    /// telemetry figure. Only called when a recorder is enabled.
+    pub fn active_edge_count(&self, degree_of: impl Fn(u32) -> u64) -> u64 {
+        self.worklist.iter().map(|&v| degree_of(v)).sum()
+    }
+}
+
+/// Chunk length between cooperative deadline polls. Small enough that even
+/// slow per-vertex kernels poll every few milliseconds, large enough that
+/// the poll itself (an `Instant::now` comparison) is noise.
+pub const DEADLINE_CHUNK: usize = 4096;
+
+#[inline]
+fn chunk_len<R: Recorder>(len: usize) -> usize {
+    if R::CHECKS_DEADLINE {
+        DEADLINE_CHUNK
+    } else {
+        len.max(1)
+    }
+}
+
+/// Runs `process(buf, i)` for every `i in 0..len` (ascending within each
+/// chunk), polling `rec.should_stop()` between chunks when the recorder can
+/// fire deadlines. Returns `true` if the sweep bailed early — the caller
+/// must then treat the round as incomplete (`converged: false`).
+///
+/// `parallel` chooses between a rayon `for_each_init` over each chunk and a
+/// plain loop with a single hoisted buffer; the chunk boundaries (and hence
+/// the deadline polls) are sequential in both cases. Under a recorder with
+/// `CHECKS_DEADLINE = false` there is exactly one chunk and no polling —
+/// identical codegen to the pre-chunking sweeps.
+pub fn run_chunked<R, B>(
+    len: usize,
+    parallel: bool,
+    rec: &R,
+    make_buf: impl Fn() -> B + Send + Sync,
+    process: impl Fn(&mut B, usize) + Send + Sync,
+) -> bool
+where
+    R: Recorder,
+    B: Send,
+{
+    let chunk = chunk_len::<R>(len);
+    let mut start = 0usize;
+    let mut buf: Option<B> = None; // hoisted across chunks in the sequential path
+    while start < len {
+        if R::CHECKS_DEADLINE && start > 0 && rec.should_stop() {
+            return true;
+        }
+        let end = (start + chunk).min(len);
+        if parallel {
+            (start..end)
+                .into_par_iter()
+                .for_each_init(&make_buf, |b, i| process(b, i));
+        } else {
+            let b = buf.get_or_insert_with(&make_buf);
+            for i in start..end {
+                process(b, i);
+            }
+        }
+        start = end;
+    }
+    false
+}
+
+/// Variant of [`run_chunked`] for kernels that consume worklist *slices*
+/// (the coloring assign/detect kernels): calls `f` on consecutive subslices
+/// of `items`, polling the deadline between them. Returns `true` if it
+/// bailed before covering the whole slice.
+pub fn slice_chunked<R: Recorder, T>(
+    items: &[T],
+    rec: &R,
+    mut f: impl FnMut(&[T]),
+) -> bool {
+    let chunk = chunk_len::<R>(items.len());
+    let mut start = 0usize;
+    while start < items.len() {
+        if R::CHECKS_DEADLINE && start > 0 && rec.should_stop() {
+            return true;
+        }
+        let end = (start + chunk).min(items.len());
+        f(&items[start..end]);
+        start = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder};
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn sweep_mode_roundtrips_strings() {
+        for m in [SweepMode::Full, SweepMode::Active] {
+            assert_eq!(m.name().parse::<SweepMode>().unwrap(), m);
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert!("frontier".parse::<SweepMode>().is_err());
+        assert_eq!(SweepMode::default(), SweepMode::Active);
+    }
+
+    #[test]
+    fn frontier_starts_all_active() {
+        let f = Frontier::all_active(5);
+        assert_eq!(f.round(), 1);
+        assert_eq!(f.worklist(), &[0, 1, 2, 3, 4]);
+        assert!((0..5).all(|v| f.is_active(v)));
+    }
+
+    #[test]
+    fn activation_is_deduplicated_and_sorted() {
+        let mut f = Frontier::all_active(6);
+        f.activate(4);
+        f.activate(1);
+        f.activate(4); // duplicate — gate keeps one copy
+        f.activate(3);
+        f.advance();
+        assert_eq!(f.round(), 2);
+        assert_eq!(f.worklist(), &[1, 3, 4]);
+        assert!(f.is_active(1) && f.is_active(3) && f.is_active(4));
+        assert!(!f.is_active(0) && !f.is_active(2) && !f.is_active(5));
+    }
+
+    #[test]
+    fn activation_during_round_does_not_change_current_round() {
+        let f = Frontier::all_active(3);
+        f.activate(2);
+        // Still active in the *current* round snapshot…
+        assert!(f.is_active(0) && f.is_active(1) && f.is_active(2));
+    }
+
+    #[test]
+    fn frontier_drains_to_empty() {
+        let mut f = Frontier::all_active(4);
+        f.advance();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert!((0..4).all(|v| !f.is_active(v)));
+    }
+
+    #[test]
+    fn stale_stamps_never_resurrect() {
+        let mut f = Frontier::all_active(4);
+        f.activate(2);
+        f.advance(); // round 2: {2}
+        f.advance(); // round 3: {}
+        assert!(f.is_empty());
+        f.activate(2);
+        f.advance(); // round 4: {2}
+        assert_eq!(f.worklist(), &[2]);
+        assert!(!f.is_active(0));
+    }
+
+    #[test]
+    fn active_edge_count_sums_degrees() {
+        let mut f = Frontier::all_active(4);
+        f.activate(0);
+        f.activate(3);
+        f.advance();
+        assert_eq!(f.active_edge_count(|v| u64::from(v) + 1), 1 + 4);
+    }
+
+    #[test]
+    fn run_chunked_visits_everything_in_order() {
+        for parallel in [false, true] {
+            let seen = (0..10_000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+            let bailed = run_chunked(
+                seen.len(),
+                parallel,
+                &NoopRecorder,
+                || (),
+                |_, i| {
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(!bailed);
+            assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn run_chunked_bails_between_chunks_under_expired_deadline() {
+        let rec = DeadlineRecorder::new(NoopRecorder, Instant::now() - Duration::from_millis(1));
+        let visited = AtomicU64::new(0);
+        let bailed = run_chunked(3 * DEADLINE_CHUNK, false, &rec, || (), |_, _| {
+            visited.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(bailed);
+        // The first chunk always runs (progress guarantee); later ones don't.
+        assert_eq!(visited.load(Ordering::Relaxed), DEADLINE_CHUNK as u64);
+        assert!(rec.fired());
+    }
+
+    #[test]
+    fn run_chunked_without_deadline_is_one_chunk() {
+        // A NoopRecorder never stops, so even a huge range completes.
+        let visited = AtomicU64::new(0);
+        let bailed = run_chunked(2 * DEADLINE_CHUNK, false, &NoopRecorder, || (), |_, _| {
+            visited.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!bailed);
+        assert_eq!(visited.load(Ordering::Relaxed), 2 * DEADLINE_CHUNK as u64);
+    }
+
+    #[test]
+    fn run_chunked_handles_empty() {
+        assert!(!run_chunked(0, true, &NoopRecorder, || (), |_, _: usize| {}));
+    }
+
+    #[test]
+    fn slice_chunked_covers_slice_and_bails_on_deadline() {
+        let items: Vec<u32> = (0..(2 * DEADLINE_CHUNK as u32 + 7)).collect();
+        let mut seen = Vec::new();
+        assert!(!slice_chunked(&items, &NoopRecorder, |sub| seen.extend_from_slice(sub)));
+        assert_eq!(seen, items);
+
+        let rec = DeadlineRecorder::new(NoopRecorder, Instant::now() - Duration::from_millis(1));
+        let mut seen = Vec::new();
+        assert!(slice_chunked(&items, &rec, |sub| seen.extend_from_slice(sub)));
+        assert_eq!(seen.len(), DEADLINE_CHUNK);
+    }
+}

@@ -12,12 +12,18 @@
 pub mod mplp;
 pub mod onlp;
 
+#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
 pub use mplp::{label_propagation_mplp, label_propagation_mplp_recorded};
+#[allow(deprecated)]
 pub use onlp::{label_propagation_onlp, label_propagation_onlp_recorded};
 
+use crate::frontier::{run_chunked, Frontier, SweepMode};
+use crate::louvain::mplm::AffinityBuf;
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{Recorder, RunInfo};
+use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
+use gp_simd::counters;
 use gp_simd::engine::Engine;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Label propagation configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +43,11 @@ pub struct LabelPropConfig {
     /// fashion, which brings the randomization on the node selection") —
     /// in-order sweeps let low-id labels flood across community borders.
     pub seed: u64,
+    /// How each sweep enumerates vertices: [`SweepMode::Active`] visits only
+    /// the frontier (vertices with a neighbor that changed label last
+    /// sweep) through a packed worklist, [`SweepMode::Full`] scans all
+    /// vertices and skips inactive ones in place. Bit-identical outputs.
+    pub sweep: SweepMode,
 }
 
 impl Default for LabelPropConfig {
@@ -47,12 +58,14 @@ impl Default for LabelPropConfig {
             max_iterations: 100,
             count_ops: false,
             seed: 0x1abe1,
+            sweep: SweepMode::Active,
         }
     }
 }
 
 /// Builds the shuffled traversal order for sweep `iteration`, deterministic
-/// per `(seed, iteration)`.
+/// per `(seed, iteration)` (used by SLPA; label propagation itself orders
+/// by [`order_key`] so the `full` and `active` sweeps agree).
 pub(crate) fn sweep_order(n: usize, seed: u64, iteration: usize) -> Vec<u32> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
@@ -61,6 +74,151 @@ pub(crate) fn sweep_order(n: usize, seed: u64, iteration: usize) -> Vec<u32> {
         rand_chacha::ChaCha8Rng::seed_from_u64(seed.wrapping_add(iteration as u64 * 0x9e3779b9));
     order.shuffle(&mut rng);
     order
+}
+
+/// Deterministic pseudorandom sort key for vertex `v` in sweep `iteration`
+/// (splitmix64-style finalizer). Sorting *any subset* of vertices by
+/// `(order_key, v)` yields the subsequence of the same global permutation —
+/// which is exactly what makes the packed active-set worklist visit
+/// vertices in the same relative order as a full shuffled sweep, keeping
+/// the two sweep modes bit-identical.
+#[inline]
+pub(crate) fn order_key(seed: u64, iteration: usize, v: u32) -> u64 {
+    let mut x = seed
+        ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (u64::from(v) << 1 | 1);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sorts `vertices` into the sweep-`iteration` traversal order.
+#[inline]
+pub(crate) fn order_vertices(vertices: &mut [u32], seed: u64, iteration: usize) {
+    vertices.sort_unstable_by_key(|&v| (order_key(seed, iteration, v), v));
+}
+
+/// Shared sweep driver for MPLP and ONLP: frontier bookkeeping, traversal
+/// ordering, chunked deadline polling, convergence, and telemetry live
+/// here; the variants plug in their heaviest-label kernel.
+///
+/// Active-set semantics (both sweep modes): a vertex is visited in sweep
+/// `s` iff a neighbor changed label in sweep `s - 1` (every vertex is
+/// visited in sweep 0). [`SweepMode::Full`] enumerates all `n` vertices and
+/// filters against the frontier in place — the paper-shaped baseline that
+/// still pays the `O(n)` scan; [`SweepMode::Active`] enumerates the packed
+/// worklist only. Both visit the same vertices in the same order
+/// ([`order_key`] is per-vertex, so sorting the worklist reproduces the
+/// subsequence of the full shuffled order), hence bit-identical labels.
+pub(crate) fn run_lp_sweeps<R: Recorder>(
+    g: &Csr,
+    config: &LabelPropConfig,
+    rec: &mut R,
+    backend: &'static str,
+    best: impl Fn(&Csr, &[AtomicU32], u32, &mut AffinityBuf) -> Option<u32> + Sync,
+) -> LabelPropResult {
+    let timer = RunTimer::start();
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut frontier = Frontier::all_active(n);
+    let theta = config.theta_for(n);
+    let mut converged = false;
+    let mut bailed = false;
+    let mut result = LabelPropResult {
+        labels: Vec::new(),
+        iterations: 0,
+        updates: Vec::new(),
+        info: RunInfo::default(),
+    };
+
+    let mut order: Vec<u32> = Vec::new();
+    for iteration in 0..config.max_iterations {
+        let active_now = frontier.len() as u64;
+        let active_edges = if R::ENABLED || config.count_ops {
+            frontier.active_edge_count(|v| g.degree(v) as u64)
+        } else {
+            0
+        };
+        order.clear();
+        match config.sweep {
+            SweepMode::Full => order.extend(0..n as u32),
+            SweepMode::Active => order.extend_from_slice(frontier.worklist()),
+        }
+        order_vertices(&mut order, config.seed, iteration);
+        let probe = RoundProbe::begin::<R>();
+        let updated = AtomicU64::new(0);
+        {
+            let fr = &frontier;
+            let order = &order;
+            bailed = run_chunked(
+                order.len(),
+                config.parallel,
+                rec,
+                || AffinityBuf::new(n),
+                |buf, i| {
+                    let u = order[i];
+                    if !fr.is_active(u) {
+                        return;
+                    }
+                    let Some(best_l) = best(g, &labels, u, buf) else {
+                        return;
+                    };
+                    let current = labels[u as usize].load(Ordering::Relaxed);
+                    if best_l != current {
+                        labels[u as usize].store(best_l, Ordering::Relaxed);
+                        updated.fetch_add(1, Ordering::Relaxed);
+                        for &v in g.neighbors(u) {
+                            fr.activate(v);
+                        }
+                    }
+                },
+            );
+        }
+        if config.count_ops {
+            // Per visited arc: adj + weight stream loads, random label and
+            // label-weight loads, store, branch; selection: one random load
+            // + compare per candidate label (the touched list is
+            // deduplicated but bounded by degree — charge half as the
+            // expected dedup ratio mid-convergence). `active_edges` counts
+            // exactly the arcs this sweep visited.
+            let arcs = active_edges;
+            counters::record(counters::OpClass::ScalarLoad, 2 * arcs);
+            counters::record(counters::OpClass::ScalarRandLoad, 2 * arcs + arcs / 2);
+            counters::record(counters::OpClass::ScalarStore, arcs);
+            counters::record(counters::OpClass::ScalarAlu, 2 * arcs);
+            counters::record(counters::OpClass::ScalarBranch, 2 * arcs);
+        }
+        result.iterations += 1;
+        let ups = updated.into_inner();
+        result.updates.push(ups);
+        probe.finish(
+            rec,
+            RoundStats::new(iteration)
+                .active(active_now)
+                .active_edges(active_edges)
+                .moves(ups),
+        );
+        if bailed {
+            break;
+        }
+        if ups <= theta {
+            converged = true;
+            break;
+        }
+        // Cooperative cancellation (deadline): stop after a completed sweep.
+        if rec.should_stop() {
+            break;
+        }
+        frontier.advance();
+    }
+    result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
+    result.info = RunInfo::new(
+        backend,
+        result.iterations,
+        converged && !bailed,
+        timer.elapsed_secs(),
+    );
+    result
 }
 
 impl LabelPropConfig {
@@ -110,6 +268,8 @@ impl PartialEq for LabelPropResult {
 /// let r = label_propagation(&clique(6), &LabelPropConfig::default());
 /// assert!(r.labels.iter().all(|&l| l == r.labels[0]));
 /// ```
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn label_propagation(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
     match Engine::best() {
         Engine::Native(s) => label_propagation_onlp(&s, g, config),
@@ -118,6 +278,8 @@ pub fn label_propagation(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
 }
 
 /// [`label_propagation`] with per-sweep telemetry delivered to `rec`.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn label_propagation_recorded<R: Recorder>(
     g: &Csr,
     config: &LabelPropConfig,

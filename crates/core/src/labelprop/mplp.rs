@@ -5,23 +5,11 @@
 //! same memory fix — each worker reuses one dense weight array with a
 //! touched-list reset).
 
-use super::{sweep_order, LabelPropConfig, LabelPropResult};
+use super::{run_lp_sweeps, LabelPropConfig, LabelPropResult};
 use crate::louvain::mplm::AffinityBuf;
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
-use gp_simd::counters;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-
-/// Frontier size entering a sweep — only evaluated when recording (it is an
-/// O(n) scan over the active flags).
-#[inline]
-pub(crate) fn frontier_size(active: &[AtomicBool]) -> u64 {
-    active
-        .iter()
-        .filter(|a| a.load(Ordering::Relaxed))
-        .count() as u64
-}
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Picks the heaviest neighborhood label for `u`. Ties prefer the current
 /// label (stops flip-flopping between symmetric neighborhoods), then the
@@ -64,96 +52,30 @@ pub(crate) fn best_label_scalar(
 }
 
 /// Runs MPLP label propagation.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
     label_propagation_mplp_recorded(g, config, &mut NoopRecorder)
 }
 
 /// [`label_propagation_mplp`] with per-sweep telemetry delivered to `rec`.
+///
+/// All sweep machinery (frontier, ordering, chunked deadline polling,
+/// convergence) lives in [`run_lp_sweeps`]; this variant contributes the
+/// scalar heaviest-label kernel.
+#[deprecated(note = "use gp_core::api::run_kernel")]
 pub fn label_propagation_mplp_recorded<R: Recorder>(
     g: &Csr,
     config: &LabelPropConfig,
     rec: &mut R,
 ) -> LabelPropResult {
-    let timer = RunTimer::start();
-    let n = g.num_vertices();
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
-    let theta = config.theta_for(n);
-    let mut converged = false;
-    let mut result = LabelPropResult {
-        labels: Vec::new(),
-        iterations: 0,
-        updates: Vec::new(),
-        info: RunInfo::default(),
-    };
-
-    for iteration in 0..config.max_iterations {
-        let frontier = if R::ENABLED { frontier_size(&active) } else { 0 };
-        let order = sweep_order(n, config.seed, iteration);
-        let probe = RoundProbe::begin::<R>();
-        let updated = AtomicU64::new(0);
-        let process = |buf: &mut AffinityBuf, u: u32| {
-            if !active[u as usize].swap(false, Ordering::Relaxed) {
-                return;
-            }
-            let Some(best) = best_label_scalar(g, &labels, u, buf) else {
-                return;
-            };
-            let current = labels[u as usize].load(Ordering::Relaxed);
-            if best != current {
-                labels[u as usize].store(best, Ordering::Relaxed);
-                updated.fetch_add(1, Ordering::Relaxed);
-                for &v in g.neighbors(u) {
-                    active[v as usize].store(true, Ordering::Relaxed);
-                }
-            }
-        };
-        if config.parallel {
-            order
-                .par_iter()
-                .for_each_init(|| AffinityBuf::new(n), |buf, &u| process(buf, u));
-        } else {
-            let mut buf = AffinityBuf::new(n);
-            for &u in &order {
-                process(&mut buf, u);
-            }
-        }
-        if config.count_ops {
-            // Per arc: adj + weight stream loads, random label and
-            // label-weight loads, store, branch; selection: one random load
-            // + compare per candidate label (the touched list is
-            // deduplicated but bounded by degree — charge half as the
-            // expected dedup ratio mid-convergence).
-            let arcs = g.num_arcs() as u64;
-            counters::record(counters::OpClass::ScalarLoad, 2 * arcs);
-            counters::record(counters::OpClass::ScalarRandLoad, 2 * arcs + arcs / 2);
-            counters::record(counters::OpClass::ScalarStore, arcs);
-            counters::record(counters::OpClass::ScalarAlu, 2 * arcs);
-            counters::record(counters::OpClass::ScalarBranch, 2 * arcs);
-        }
-        result.iterations += 1;
-        let ups = updated.into_inner();
-        result.updates.push(ups);
-        probe.finish(
-            rec,
-            RoundStats::new(iteration).active(frontier).moves(ups),
-        );
-        if ups <= theta {
-            converged = true;
-            break;
-        }
-        // Cooperative cancellation (deadline): stop after a completed sweep.
-        if rec.should_stop() {
-            break;
-        }
-    }
-    result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
-    result.info = RunInfo::new("scalar", result.iterations, converged, timer.elapsed_secs());
-    result
+    run_lp_sweeps(g, config, rec, "scalar", best_label_scalar)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::*;
     use crate::louvain::modularity::modularity;
     use gp_graph::builder::from_pairs;

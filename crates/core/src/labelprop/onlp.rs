@@ -7,18 +7,16 @@
 //! reduce-scatter as ONPL Louvain; the heaviest-label search is a vectorized
 //! max-scan over the touched labels.
 
-use super::mplp::frontier_size;
-use super::{sweep_order, LabelPropConfig, LabelPropResult};
+use super::{run_lp_sweeps, LabelPropConfig, LabelPropResult};
 use crate::coloring::onpl::as_i32;
 use crate::louvain::mplm::AffinityBuf;
 use crate::reduce_scatter::Strategy;
 use crate::vector_affinity::accumulate;
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
+use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Views the atomic label array as gatherable `i32`s (the same benign-race
 /// pattern as the other optimistic kernels).
@@ -87,6 +85,8 @@ fn best_label_onlp<S: Simd>(
 }
 
 /// Runs ONLP label propagation.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn label_propagation_onlp<S: Simd + Sync>(
     s: &S,
     g: &Csr,
@@ -96,79 +96,31 @@ pub fn label_propagation_onlp<S: Simd + Sync>(
 }
 
 /// [`label_propagation_onlp`] with per-sweep telemetry delivered to `rec`.
+///
+/// All sweep machinery (frontier, ordering, chunked deadline polling,
+/// convergence) lives in [`run_lp_sweeps`]; this variant contributes the
+/// vectorized heaviest-label kernel. Under [`SweepMode::Active`] the
+/// frontier arrives as a packed `u32` worklist, so the 16-lane
+/// neighbor-gather loop in [`best_label_onlp`] runs over consecutive real
+/// vertices — no wasted lanes on inactive ones.
+///
+/// [`SweepMode::Active`]: crate::frontier::SweepMode::Active
+#[deprecated(note = "use gp_core::api::run_kernel")]
 pub fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
     config: &LabelPropConfig,
     rec: &mut R,
 ) -> LabelPropResult {
-    let timer = RunTimer::start();
-    let n = g.num_vertices();
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
-    let theta = config.theta_for(n);
-    let mut converged = false;
-    let mut result = LabelPropResult {
-        labels: Vec::new(),
-        iterations: 0,
-        updates: Vec::new(),
-        info: RunInfo::default(),
-    };
-
-    for iteration in 0..config.max_iterations {
-        let frontier = if R::ENABLED { frontier_size(&active) } else { 0 };
-        let order = sweep_order(n, config.seed, iteration);
-        let probe = RoundProbe::begin::<R>();
-        let updated = AtomicU64::new(0);
-        let process = |buf: &mut AffinityBuf, u: u32| {
-            if !active[u as usize].swap(false, Ordering::Relaxed) {
-                return;
-            }
-            let Some(best) = best_label_onlp(s, g, &labels, u, buf) else {
-                return;
-            };
-            let current = labels[u as usize].load(Ordering::Relaxed);
-            if best != current {
-                labels[u as usize].store(best, Ordering::Relaxed);
-                updated.fetch_add(1, Ordering::Relaxed);
-                for &v in g.neighbors(u) {
-                    active[v as usize].store(true, Ordering::Relaxed);
-                }
-            }
-        };
-        if config.parallel {
-            order
-                .par_iter()
-                .for_each_init(|| AffinityBuf::new(n), |buf, &u| process(buf, u));
-        } else {
-            let mut buf = AffinityBuf::new(n);
-            for &u in &order {
-                process(&mut buf, u);
-            }
-        }
-        result.iterations += 1;
-        let ups = updated.into_inner();
-        result.updates.push(ups);
-        probe.finish(
-            rec,
-            RoundStats::new(iteration).active(frontier).moves(ups),
-        );
-        if ups <= theta {
-            converged = true;
-            break;
-        }
-        // Cooperative cancellation (deadline): stop after a completed sweep.
-        if rec.should_stop() {
-            break;
-        }
-    }
-    result.labels = labels.into_iter().map(|l| l.into_inner()).collect();
-    result.info = RunInfo::new(S::NAME, result.iterations, converged, timer.elapsed_secs());
-    result
+    run_lp_sweeps(g, config, rec, S::NAME, |g, labels, u, buf| {
+        best_label_onlp(s, g, labels, u, buf)
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::super::mplp::label_propagation_mplp;
     use super::*;
     use crate::louvain::modularity::modularity;

@@ -20,8 +20,10 @@
 //! run on native AVX-512, on the portable emulation, or under the counting
 //! decorator that feeds the cost/energy models.
 
+pub mod api;
 pub mod coloring;
 pub mod contrast;
+pub mod frontier;
 pub mod labelprop;
 pub mod louvain;
 pub mod neighborhood;

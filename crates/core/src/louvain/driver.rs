@@ -26,8 +26,17 @@ pub struct LouvainResult {
     /// Per-level move statistics.
     pub level_stats: Vec<MovePhaseStats>,
     /// Uniform run envelope (backend, levels, convergence, wall time,
-    /// optional trace).
+    /// optional trace). Excluded from equality.
     pub info: RunInfo,
+}
+
+impl PartialEq for LouvainResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.communities == other.communities
+            && self.modularity == other.modularity
+            && self.levels == other.levels
+            && self.level_stats == other.level_stats
+    }
 }
 
 /// `S::NAME` of a backend value (helps `match Engine::best()` name its arm).
@@ -50,11 +59,14 @@ fn dispatch_backend(config: &LouvainConfig) -> &'static str {
 /// Runs one move phase of the configured variant on `g`, dispatching to the
 /// best available SIMD backend for the vector variants. Returns the
 /// state-modifying statistics; `state` holds the assignment.
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn run_move_phase(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
     run_move_phase_recorded(g, state, config, &mut NoopRecorder)
 }
 
 /// [`run_move_phase`] with per-sweep telemetry delivered to `rec`.
+#[deprecated(note = "use gp_core::api::run_kernel")]
 pub fn run_move_phase_recorded<R: Recorder>(
     g: &Csr,
     state: &MoveState,
@@ -80,6 +92,8 @@ pub fn run_move_phase_recorded<R: Recorder>(
 
 /// Variant of [`run_move_phase`] pinned to an explicit backend (used by the
 /// benchmark harness to time native vs. counted runs).
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn run_move_phase_with<S: Simd + Sync>(
     s: &S,
     g: &Csr,
@@ -90,6 +104,7 @@ pub fn run_move_phase_with<S: Simd + Sync>(
 }
 
 /// [`run_move_phase_with`] with per-sweep telemetry delivered to `rec`.
+#[deprecated(note = "use gp_core::api::run_kernel")]
 pub fn run_move_phase_with_recorded<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
@@ -120,12 +135,16 @@ pub fn run_move_phase_with_recorded<S: Simd + Sync, R: Recorder>(
 /// let r = louvain(&g, &LouvainConfig::default());
 /// assert!(r.modularity > 0.4);
 /// ```
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
     louvain_recorded(g, config, &mut NoopRecorder)
 }
 
 /// [`louvain`] with per-sweep telemetry delivered to `rec`; sweeps are
 /// stamped with the coarsening level via [`Recorder::set_level`].
+#[deprecated(note = "use gp_core::api::run_kernel")]
+#[allow(deprecated)]
 pub fn louvain_recorded<R: Recorder>(
     g: &Csr,
     config: &LouvainConfig,
@@ -194,6 +213,8 @@ pub fn louvain_recorded<R: Recorder>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::*;
     use crate::reduce_scatter::Strategy;
     use gp_graph::builder::from_pairs;

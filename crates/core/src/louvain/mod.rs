@@ -19,9 +19,12 @@ pub mod onpl;
 pub mod ovpl;
 pub mod plm;
 
-pub use driver::{louvain, louvain_recorded, LouvainResult};
+#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
+pub use driver::{louvain, louvain_recorded};
+pub use driver::LouvainResult;
 pub use modularity::modularity;
 
+use crate::frontier::{run_chunked, Frontier, SweepMode};
 use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats};
@@ -74,6 +77,12 @@ pub struct LouvainConfig {
     /// OVPL: sort color groups by non-increasing degree (the paper's
     /// load-balancing step; exposed for the ablation bench).
     pub sort_by_degree: bool,
+    /// How each sweep enumerates vertices: [`SweepMode::Active`] visits only
+    /// the frontier (vertices with a neighbor that changed community last
+    /// sweep; OVPL lifts this to blocks containing such a vertex) through a
+    /// packed worklist, [`SweepMode::Full`] scans all vertices and skips
+    /// inactive ones in place. Bit-identical outputs.
+    pub sweep: SweepMode,
 }
 
 impl Default for LouvainConfig {
@@ -86,6 +95,7 @@ impl Default for LouvainConfig {
             count_ops: false,
             block_size: 16,
             sort_by_degree: true,
+            sweep: SweepMode::Active,
         }
     }
 }
@@ -105,6 +115,13 @@ impl LouvainConfig {
         self.multilevel = false;
         self
     }
+
+    /// Sets the sweep mode (`full` re-scans every vertex each sweep;
+    /// `active` only the frontier).
+    pub fn with_sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
+        self
+    }
 }
 
 /// Statistics from one move phase.
@@ -119,35 +136,54 @@ pub struct MovePhaseStats {
     pub converged: bool,
 }
 
-/// Shared sweep loop of every move-phase variant: run `sweep` until a sweep
-/// applies zero moves or `max_move_iterations` is hit, delivering one
-/// [`RoundStats`] per sweep to `rec`.
+/// Shared sweep loop of every move-phase variant: run `sweep` over the
+/// frontier until a sweep applies zero moves or `max_move_iterations` is
+/// hit, delivering one [`RoundStats`] per sweep to `rec`.
 ///
-/// `active` is the number of vertices scanned per sweep; `quality` is
-/// evaluated around each sweep to fill `quality_delta` — it is only called
-/// when `R::ENABLED` (it costs an O(m) modularity pass), so uninstrumented
-/// runs execute the exact pre-telemetry loop.
+/// Active-set semantics (both sweep modes): a vertex is eligible to move in
+/// sweep `s` iff a neighbor changed community in sweep `s - 1` (every
+/// vertex is eligible in sweep 0). The variant's `sweep` closure receives
+/// the frontier, the priced `active_edges`, and the recorder (for chunked
+/// deadline polling) and returns `(moves, bailed)`; movers must
+/// [`Frontier::activate`] their neighbors. `degree_of` prices the frontier
+/// for telemetry and op counting; `quality` is evaluated around each sweep
+/// to fill `quality_delta` — only when `R::ENABLED` (it costs an O(m)
+/// modularity pass), so uninstrumented runs execute the plain loop.
 pub(crate) fn run_sweeps<R: Recorder>(
     config: &LouvainConfig,
-    active: u64,
+    n: usize,
+    degree_of: impl Fn(u32) -> u64,
     rec: &mut R,
     quality: impl Fn() -> f64,
-    mut sweep: impl FnMut() -> u64,
+    mut sweep: impl FnMut(&Frontier, u64, &R) -> (u64, bool),
 ) -> MovePhaseStats {
     let mut stats = MovePhaseStats::default();
     let mut q_prev = if R::ENABLED { quality() } else { 0.0 };
+    let mut frontier = Frontier::all_active(n);
     for round in 0..config.max_move_iterations {
+        let active_now = frontier.len() as u64;
+        let active_edges = if R::ENABLED || config.count_ops {
+            frontier.active_edge_count(&degree_of)
+        } else {
+            0
+        };
         let probe = RoundProbe::begin::<R>();
-        let m = sweep();
+        let (m, bailed) = sweep(&frontier, active_edges, rec);
         stats.iterations += 1;
         stats.moves += m;
-        let mut rs = RoundStats::new(round).active(active).moves(m);
+        let mut rs = RoundStats::new(round)
+            .active(active_now)
+            .active_edges(active_edges)
+            .moves(m);
         if R::ENABLED {
             let q = quality();
             rs = rs.quality_delta(q - q_prev);
             q_prev = q;
         }
         probe.finish(rec, rs);
+        if bailed {
+            break;
+        }
         if m == 0 {
             stats.converged = true;
             break;
@@ -157,8 +193,39 @@ pub(crate) fn run_sweeps<R: Recorder>(
         if rec.should_stop() {
             break;
         }
+        frontier.advance();
     }
     stats
+}
+
+/// Enumerates one sweep's vertices per `config.sweep` and feeds them to
+/// `process` through [`run_chunked`] (parallelism + deadline polling):
+/// [`SweepMode::Full`] scans `0..n` and skips inactive vertices in place;
+/// [`SweepMode::Active`] walks the packed ascending worklist — the same
+/// vertices in the same relative order, hence bit-identical moves. Returns
+/// `true` when a deadline bailed the sweep early.
+pub(crate) fn sweep_vertices<R: Recorder, B: Send>(
+    fr: &Frontier,
+    n: usize,
+    config: &LouvainConfig,
+    rec: &R,
+    make_buf: impl Fn() -> B + Send + Sync,
+    process: impl Fn(&mut B, u32) + Send + Sync,
+) -> bool {
+    match config.sweep {
+        SweepMode::Full => run_chunked(n, config.parallel, rec, make_buf, |buf, i| {
+            let u = i as u32;
+            if fr.is_active(u) {
+                process(buf, u);
+            }
+        }),
+        SweepMode::Active => {
+            let wl = fr.worklist();
+            run_chunked(wl.len(), config.parallel, rec, make_buf, |buf, i| {
+                process(buf, wl[i]);
+            })
+        }
+    }
 }
 
 /// An `f32` with atomic update support, used for community volumes that

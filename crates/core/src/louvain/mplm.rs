@@ -12,7 +12,6 @@ use super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::counters;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Preallocated per-thread affinity accumulator.
@@ -127,47 +126,44 @@ pub fn move_phase_mplm_recorded<R: Recorder>(
 
     super::run_sweeps(
         config,
-        n as u64,
+        n,
+        |v| g.degree(v) as u64,
         rec,
         || modularity(g, &state.communities()),
-        || {
+        |fr, active_edges, rec| {
             let moved = AtomicU64::new(0);
-            if config.parallel {
-                (0..n as u32).into_par_iter().for_each_init(
-                    || AffinityBuf::new(n),
-                    |buf, u| {
-                        if let Some((c, d)) =
-                            best_move_scalar(g, state, u, buf, inv_m, inv_2m2, config.count_ops)
-                        {
-                            state.apply_move(u, c, d);
-                            moved.fetch_add(1, Ordering::Relaxed);
-                        }
-                    },
-                );
-            } else {
-                let mut buf = AffinityBuf::new(n);
-                for u in 0..n as u32 {
+            let bailed = super::sweep_vertices(
+                fr,
+                n,
+                config,
+                rec,
+                || AffinityBuf::new(n),
+                |buf, u| {
                     if let Some((c, d)) =
-                        best_move_scalar(g, state, u, &mut buf, inv_m, inv_2m2, config.count_ops)
+                        best_move_scalar(g, state, u, buf, inv_m, inv_2m2, config.count_ops)
                     {
                         state.apply_move(u, c, d);
                         moved.fetch_add(1, Ordering::Relaxed);
+                        for &v in g.neighbors(u) {
+                            fr.activate(v);
+                        }
                     }
-                }
-            }
+                },
+            );
             if config.count_ops {
-                // Affinity pass per arc: adj + weight stream loads, random zeta
-                // and affinity loads, affinity store, first-touch branch, add.
-                // (Selection is counted per vertex in `best_move_scalar`, on the
-                // deduplicated touched list.)
-                let arcs = g.num_arcs() as u64;
+                // Affinity pass per visited arc: adj + weight stream loads,
+                // random zeta and affinity loads, affinity store, first-touch
+                // branch, add. `active_edges` counts exactly the arcs this
+                // sweep visited. (Selection is counted per vertex in
+                // `best_move_scalar`, on the deduplicated touched list.)
+                let arcs = active_edges;
                 counters::record(counters::OpClass::ScalarLoad, 2 * arcs);
                 counters::record(counters::OpClass::ScalarRandLoad, 2 * arcs);
                 counters::record(counters::OpClass::ScalarStore, arcs);
                 counters::record(counters::OpClass::ScalarAlu, 2 * arcs);
                 counters::record(counters::OpClass::ScalarBranch, 2 * arcs);
             }
-            moved.into_inner()
+            (moved.into_inner(), bailed)
         },
     )
 }

@@ -22,7 +22,6 @@ use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Views the atomic community array as gatherable `i32`s (benign race under
@@ -190,35 +189,31 @@ pub fn move_phase_onpl_recorded<S: Simd + Sync, R: Recorder>(
 
     super::run_sweeps(
         config,
-        n as u64,
+        n,
+        |v| g.degree(v) as u64,
         rec,
         || modularity(g, &state.communities()),
-        || {
+        |fr, _active_edges, rec| {
             let moved = AtomicU64::new(0);
-            if config.parallel {
-                (0..n as u32).into_par_iter().for_each_init(
-                    || AffinityBuf::new(n),
-                    |buf, u| {
-                        if let Some((c, d)) =
-                            best_move_onpl(s, g, state, u, strategy, buf, inv_m, inv_2m2)
-                        {
-                            state.apply_move(u, c, d);
-                            moved.fetch_add(1, Ordering::Relaxed);
-                        }
-                    },
-                );
-            } else {
-                let mut buf = AffinityBuf::new(n);
-                for u in 0..n as u32 {
+            let bailed = super::sweep_vertices(
+                fr,
+                n,
+                config,
+                rec,
+                || AffinityBuf::new(n),
+                |buf, u| {
                     if let Some((c, d)) =
-                        best_move_onpl(s, g, state, u, strategy, &mut buf, inv_m, inv_2m2)
+                        best_move_onpl(s, g, state, u, strategy, buf, inv_m, inv_2m2)
                     {
                         state.apply_move(u, c, d);
                         moved.fetch_add(1, Ordering::Relaxed);
+                        for &v in g.neighbors(u) {
+                            fr.activate(v);
+                        }
                     }
-                }
-            }
-            moved.into_inner()
+                },
+            );
+            (moved.into_inner(), bailed)
         },
     )
 }

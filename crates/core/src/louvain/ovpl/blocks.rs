@@ -65,13 +65,24 @@ pub struct OvplLayout {
     /// Total padded (wasted) lane-slots across all blocks — the work
     /// overhead Figure 14 charges OVPL's energy with.
     pub padded_slots: u64,
+    /// Block index of each vertex (every vertex sits in exactly one block;
+    /// lets the active-set move phase lift a vertex frontier to the blocks
+    /// that contain it).
+    pub vertex_block: Vec<u32>,
+    /// CSR degree of each vertex, carried into the layout so the move phase
+    /// can price the active frontier without the original graph at hand.
+    pub degrees: Vec<u32>,
 }
 
 impl OvplLayout {
     /// Approximate extra heap bytes of the layout (the paper's "consumes a
     /// lot more memory" discussion): interleaved arrays + block table.
     pub fn memory_bytes(&self) -> usize {
-        self.nbrs.len() * 4 + self.wts.len() * 4 + self.blocks.len() * std::mem::size_of::<Block>()
+        self.nbrs.len() * 4
+            + self.wts.len() * 4
+            + self.blocks.len() * std::mem::size_of::<Block>()
+            + self.vertex_block.len() * 4
+            + self.degrees.len() * 4
     }
 
     /// Fraction of lane-slots that do useful work (1.0 = no padding).
@@ -123,6 +134,8 @@ mod tests {
             wts: vec![],
             colors_used: 0,
             padded_slots: 0,
+            vertex_block: vec![],
+            degrees: vec![],
         };
         assert_eq!(layout.lane_utilization(), 1.0);
         assert_eq!(layout.memory_bytes(), 0);

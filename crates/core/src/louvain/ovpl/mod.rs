@@ -19,14 +19,15 @@ pub use move_phase::{move_phase_ovpl, move_phase_ovpl_recorded};
 pub use preprocess::build_layout;
 
 use super::LouvainConfig;
-use crate::coloring::{color_graph_scalar, ColoringConfig};
+use crate::coloring::ColoringConfig;
 use gp_graph::csr::Csr;
 
 /// Runs the full OVPL preprocessing: color the graph, group by color, sort
 /// groups by non-increasing degree, pack 16-lane blocks, and build the
 /// sliced-ELLPACK arrays.
+#[allow(deprecated)] // scalar coloring entrypoint, used as an internal step
 pub fn prepare(g: &Csr, config: &LouvainConfig) -> OvplLayout {
-    let coloring = color_graph_scalar(
+    let coloring = crate::coloring::color_graph_scalar(
         g,
         &ColoringConfig {
             parallel: config.parallel,

@@ -15,10 +15,10 @@
 
 use super::blocks::{Block, OvplLayout, SENTINEL};
 use super::super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
+use crate::frontier::{run_chunked, Frontier, SweepMode};
 use gp_metrics::telemetry::{NoopRecorder, Recorder};
 use gp_simd::backend::Simd;
 use gp_simd::vector::{Mask16, LANES};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-worker OVPL buffers: interleaved affinity accumulators and per-lane
@@ -59,13 +59,18 @@ fn zeta_view(zeta: &[std::sync::atomic::AtomicU32]) -> &[i32] {
 }
 
 /// Processes one block: vectorized affinity accumulation, then the paper's
-/// "natural" per-lane move selection and application. Returns moves applied.
+/// "natural" per-lane move selection and application. Only *active* lanes
+/// (per `fr`) select and apply moves — the affinity pass runs for every
+/// lane, so both sweep modes compute identical per-lane accumulators and
+/// the full/active outputs stay bit-identical. Returns moves applied.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's data flow
 #[inline]
 fn process_block<S: Simd>(
     s: &S,
     layout: &OvplLayout,
     block: &Block,
     state: &MoveState,
+    fr: &Frontier,
     buf: &mut BlockBuf,
     inv_m: f32,
     inv_2m2: f32,
@@ -118,6 +123,9 @@ fn process_block<S: Simd>(
     // optimization using a natural way of performing this task").
     let mut moves = 0u64;
     for (lane, u) in block.iter_real() {
+        if !fr.is_active(u) {
+            continue;
+        }
         let touched = &buf.touched[lane];
         if touched.is_empty() {
             continue;
@@ -149,6 +157,14 @@ fn process_block<S: Simd>(
         if best != c && best_delta > 0.0 {
             state.apply_move(u, c, best);
             moves += 1;
+            // Wake the neighbors: walk this lane's interleaved slots (the
+            // layout is the only adjacency OVPL has at hand).
+            for i in 0..block.max_deg as usize {
+                let v = layout.nbrs[block.offset + i * LANES + lane];
+                if v != SENTINEL {
+                    fr.activate(v as u32);
+                }
+            }
         }
         if S::IS_COUNTED {
             // The per-lane selection is deliberately scalar (the paper's
@@ -191,27 +207,42 @@ pub fn move_phase_ovpl_recorded<S: Simd + Sync, R: Recorder>(
 
     super::super::run_sweeps(
         config,
-        n as u64,
+        n,
+        |v| layout.degrees[v as usize] as u64,
         rec,
         || 0.0,
-        || {
+        |fr, _active_edges, rec| {
             let moved = AtomicU64::new(0);
-            if config.parallel {
-                layout.blocks.par_iter().for_each_init(
-                    || BlockBuf::new(n),
-                    |buf, block| {
-                        let m = process_block(s, layout, block, state, buf, inv_m, inv_2m2);
-                        moved.fetch_add(m, Ordering::Relaxed);
-                    },
-                );
-            } else {
-                let mut buf = BlockBuf::new(n);
-                for block in &layout.blocks {
-                    let m = process_block(s, layout, block, state, &mut buf, inv_m, inv_2m2);
-                    moved.fetch_add(m, Ordering::Relaxed);
+            // Block-granularity frontier: a block is live when any of its
+            // lanes holds an active vertex. Full mode walks every block (the
+            // per-lane `is_active` filter inside `process_block` keeps the
+            // moves identical); active mode lifts the vertex worklist to the
+            // sorted, deduplicated set of live blocks.
+            let ids: Vec<u32> = match config.sweep {
+                SweepMode::Full => (0..layout.blocks.len() as u32).collect(),
+                SweepMode::Active => {
+                    let mut ids: Vec<u32> = fr
+                        .worklist()
+                        .iter()
+                        .map(|&v| layout.vertex_block[v as usize])
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids
                 }
-            }
-            moved.into_inner()
+            };
+            let bailed = run_chunked(
+                ids.len(),
+                config.parallel,
+                rec,
+                || BlockBuf::new(n),
+                |buf, i| {
+                    let block = &layout.blocks[ids[i] as usize];
+                    let m = process_block(s, layout, block, state, fr, buf, inv_m, inv_2m2);
+                    moved.fetch_add(m, Ordering::Relaxed);
+                },
+            );
+            (moved.into_inner(), bailed)
         },
     )
 }

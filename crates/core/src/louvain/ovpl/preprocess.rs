@@ -83,6 +83,8 @@ pub fn build_layout(g: &Csr, colors: &[u32], sort_by_degree: bool) -> OvplLayout
         wts: Vec::new(),
         colors_used,
         padded_slots: 0,
+        vertex_block: vec![0; n],
+        degrees: (0..n as u32).map(|u| g.degree(u) as u32).collect(),
     };
     for members in full_blocks {
         let offset = layout.nbrs.len();
@@ -103,6 +105,9 @@ pub fn build_layout(g: &Csr, colors: &[u32], sort_by_degree: bool) -> OvplLayout
         // Padded slots: sentinel entries in this block's slice.
         let real: usize = members.iter().map(|&u| g.degree(u)).sum();
         layout.padded_slots += (max_deg as usize * LANES - real) as u64;
+        for &u in &members {
+            layout.vertex_block[u as usize] = layout.blocks.len() as u32;
+        }
         layout.blocks.push(Block {
             offset,
             max_deg,
@@ -115,6 +120,8 @@ pub fn build_layout(g: &Csr, colors: &[u32], sort_by_degree: bool) -> OvplLayout
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::*;
     use crate::coloring::{color_graph_scalar, ColoringConfig};
     use gp_graph::generators::{clique, erdos_renyi, ring_lattice, star, triangular_mesh};
@@ -129,7 +136,7 @@ mod tests {
     /// OVPL's convergence rests on.
     fn assert_block_invariants(g: &Csr, layout: &OvplLayout) {
         let mut seen = HashSet::new();
-        for b in &layout.blocks {
+        for (bi, b) in layout.blocks.iter().enumerate() {
             let members: Vec<u32> = b.iter_real().map(|(_, v)| v).collect();
             for (i, &u) in members.iter().enumerate() {
                 assert!(seen.insert(u), "vertex {u} appears in two blocks");
@@ -137,10 +144,12 @@ mod tests {
                     assert!(!g.has_edge(u, v), "adjacent {u},{v} share a block");
                 }
             }
-            // Degree bounds.
+            // Degree bounds and the vertex→block / degree maps.
             for (_, v) in b.iter_real() {
                 let d = g.degree(v) as u32;
                 assert!(d <= b.max_deg && d >= b.min_deg);
+                assert_eq!(layout.vertex_block[v as usize] as usize, bi);
+                assert_eq!(layout.degrees[v as usize], d);
             }
         }
         assert_eq!(seen.len(), g.num_vertices(), "every vertex must be placed");

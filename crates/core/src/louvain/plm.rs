@@ -11,7 +11,6 @@ use super::modularity::modularity;
 use super::{delta_mod, LouvainConfig, MovePhaseStats, MoveState};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{NoopRecorder, Recorder};
-use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -88,23 +87,29 @@ pub fn move_phase_plm_recorded<R: Recorder>(
 
     super::run_sweeps(
         config,
-        n as u64,
+        n,
+        |v| g.degree(v) as u64,
         rec,
         || modularity(g, &state.communities()),
-        || {
+        |fr, _active_edges, rec| {
             let moved = AtomicU64::new(0);
-            let process = |u: u32| {
-                if let Some((c, d)) = best_move_allocating(g, state, u, inv_m, inv_2m2) {
-                    state.apply_move(u, c, d);
-                    moved.fetch_add(1, Ordering::Relaxed);
-                }
-            };
-            if config.parallel {
-                (0..n as u32).into_par_iter().for_each(process);
-            } else {
-                (0..n as u32).for_each(process);
-            }
-            moved.into_inner()
+            let bailed = super::sweep_vertices(
+                fr,
+                n,
+                config,
+                rec,
+                || (), // PLM allocates per vertex — the flaw under study.
+                |(), u| {
+                    if let Some((c, d)) = best_move_allocating(g, state, u, inv_m, inv_2m2) {
+                        state.apply_move(u, c, d);
+                        moved.fetch_add(1, Ordering::Relaxed);
+                        for &v in g.neighbors(u) {
+                            fr.activate(v);
+                        }
+                    }
+                },
+            );
+            (moved.into_inner(), bailed)
         },
     )
 }

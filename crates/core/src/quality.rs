@@ -100,6 +100,8 @@ pub fn adjusted_rand_index(x: &[u32], y: &[u32]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entrypoints directly
+
     use super::*;
 
     #[test]

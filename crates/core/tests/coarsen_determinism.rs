@@ -4,6 +4,8 @@
 //! size (move phases run sequentially per level; only the substrate
 //! parallelizes).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::louvain::coarsen::{coarsen, project};
 use gp_core::louvain::{louvain, LouvainConfig, Variant};
 use gp_graph::generators::rmat::{rmat, RmatConfig};

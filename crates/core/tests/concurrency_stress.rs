@@ -3,6 +3,8 @@
 //! so the benign races the paper's algorithms are designed around actually
 //! fire — and verify every safety invariant still holds.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
 use gp_core::labelprop::{label_propagation_mplp, LabelPropConfig};
 use gp_core::louvain::driver::run_move_phase_with;

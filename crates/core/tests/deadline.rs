@@ -2,6 +2,8 @@
 //! round boundary when its recorder's `should_stop` hook fires, returning a
 //! structurally valid partial result with `converged: false`.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::coloring::{color_graph_recorded, ColoringConfig};
 use gp_core::labelprop::{label_propagation_recorded, LabelPropConfig};
 use gp_core::louvain::{louvain_recorded, LouvainConfig};
@@ -69,6 +71,172 @@ fn labelprop_returns_partial_result_on_expired_deadline() {
     assert!(!r.info.converged);
     assert_eq!(r.iterations, 1); // exactly one completed sweep
     assert_eq!(r.labels.len(), g.num_vertices());
+}
+
+// ---------------------------------------------------------------------------
+// Mid-round (between-active-chunks) deadline polling.
+//
+// Regression guard for the bug where deadlines were only polled at *round
+// boundaries*: one huge first sweep could overshoot its deadline by the full
+// O(V + E) cost of the round. The chunked sweep executors must poll
+// `should_stop` between `DEADLINE_CHUNK`-sized slices of a round whenever
+// the recorder can fire (`CHECKS_DEADLINE`).
+// ---------------------------------------------------------------------------
+
+use gp_core::frontier::DEADLINE_CHUNK;
+use gp_metrics::telemetry::{Recorder, RoundStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts `should_stop` polls; fires after `allow` polls have been granted.
+/// Deterministic (no clocks), so the tests pin exact control flow.
+struct PollCounter {
+    polls: AtomicU64,
+    allow: u64,
+}
+
+impl PollCounter {
+    fn granting(allow: u64) -> Self {
+        PollCounter {
+            polls: AtomicU64::new(0),
+            allow,
+        }
+    }
+
+    fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for PollCounter {
+    const ENABLED: bool = false;
+    const CHECKS_DEADLINE: bool = true;
+
+    fn record(&mut self, _stats: RoundStats) {}
+
+    fn should_stop(&self) -> bool {
+        self.polls.fetch_add(1, Ordering::Relaxed) >= self.allow
+    }
+}
+
+/// A graph big enough that one sweep spans several deadline chunks.
+fn big_graph() -> gp_graph::csr::Csr {
+    let side = 128; // 16384 vertices = 4 deadline chunks
+    assert!(side * side > 3 * DEADLINE_CHUNK);
+    triangular_mesh(side, side, 13)
+}
+
+#[test]
+fn labelprop_bails_mid_sweep_not_just_at_round_boundaries() {
+    let g = big_graph();
+    let cfg = LabelPropConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    // Baseline: the undeadlined first sweep changes far more labels than
+    // one chunk's worth — so a bail after chunk 1 is observable below.
+    let full = label_propagation_recorded(&g, &cfg, &mut NoopRecorder);
+    assert!(
+        full.updates[0] > DEADLINE_CHUNK as u64,
+        "premise: full sweep 0 must update more than one chunk ({} <= {})",
+        full.updates[0],
+        DEADLINE_CHUNK
+    );
+
+    // An immediately-expired deadline: the first poll (between chunk 1 and
+    // chunk 2 of sweep 0) fires. Only chunk 1 of the sweep may have run.
+    let mut rec = PollCounter::granting(0);
+    let r = label_propagation_recorded(&g, &cfg, &mut rec);
+    assert!(!r.info.converged);
+    assert_eq!(r.iterations, 1); // the partial sweep is still reported
+    assert_eq!(r.labels.len(), g.num_vertices());
+    assert!(
+        r.updates[0] <= DEADLINE_CHUNK as u64,
+        "bail must happen after one chunk, saw {} updates",
+        r.updates[0]
+    );
+}
+
+#[test]
+fn coloring_bails_mid_assign_on_expired_deadline() {
+    let g = big_graph();
+    let cfg = ColoringConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    // Grant the round-boundary poll at the loop head, then fire on the
+    // first between-chunk poll inside the assign kernel.
+    let mut rec = PollCounter::granting(1);
+    let r = color_graph_recorded(&g, &cfg, &mut rec);
+    assert!(!r.info.converged);
+    assert_eq!(r.colors.len(), g.num_vertices());
+    assert!(
+        rec.polls() >= 2,
+        "assign must poll between chunks (saw {} polls)",
+        rec.polls()
+    );
+}
+
+#[test]
+fn deadline_polls_happen_between_chunks_every_round() {
+    // A recorder that never fires still gets polled between chunks: over a
+    // full run the poll count must exceed one per round — the signature of
+    // mid-round polling (boundary-only polling gives ~1 poll per round).
+    let g = big_graph();
+
+    let mut rec = PollCounter::granting(u64::MAX);
+    let cfg = LabelPropConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    let r = label_propagation_recorded(&g, &cfg, &mut rec);
+    let chunks_round0 = (g.num_vertices() as u64).div_ceil(DEADLINE_CHUNK as u64);
+    assert!(
+        rec.polls() >= r.iterations as u64 + chunks_round0 - 1,
+        "labelprop: {} polls for {} sweeps (chunked round 0 alone implies {})",
+        rec.polls(),
+        r.iterations,
+        chunks_round0 - 1
+    );
+
+    let mut rec = PollCounter::granting(u64::MAX);
+    let cfg = LouvainConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    let r = louvain_recorded(&g, &cfg, &mut rec);
+    assert!(!r.communities.is_empty());
+    assert!(
+        rec.polls() >= r.levels as u64 + chunks_round0 - 1,
+        "louvain: {} polls for {} levels",
+        rec.polls(),
+        r.levels
+    );
+
+    let mut rec = PollCounter::granting(u64::MAX);
+    let cfg = ColoringConfig {
+        parallel: false,
+        ..Default::default()
+    };
+    let r = color_graph_recorded(&g, &cfg, &mut rec);
+    assert!(
+        rec.polls() >= r.rounds as u64 + chunks_round0 - 1,
+        "coloring: {} polls for {} rounds",
+        rec.polls(),
+        r.rounds
+    );
+}
+
+#[test]
+fn run_kernel_honors_deadlines_for_every_kernel() {
+    use gp_core::api::{run_kernel, Kernel, KernelSpec};
+    let g = big_graph();
+    for kernel in ["color", "louvain-mplm", "louvain-ovpl", "labelprop"] {
+        let spec = KernelSpec::new(kernel.parse::<Kernel>().unwrap()).sequential();
+        let mut rec = PollCounter::granting(0);
+        let out = run_kernel(&g, &spec, &mut rec);
+        assert!(!out.converged(), "{kernel} must report non-convergence");
+        assert!(rec.polls() > 0, "{kernel} never polled the deadline");
+    }
 }
 
 #[test]

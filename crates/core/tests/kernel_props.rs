@@ -1,6 +1,8 @@
 //! Property tests over whole kernels on random graphs: the invariants that
 //! must hold for any input, not just the suite.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
 use gp_core::contrast::{bfs_scalar, bfs_vector, spmv_scalar, spmv_vector};
 use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};

@@ -5,6 +5,8 @@
 //! in Algorithms 4–5 are actually wired through the gathers and
 //! reduce-scatters, not silently replaced by edge counting.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
 use gp_core::louvain::{louvain, LouvainConfig, Variant};
 use gp_core::partition::{partition_graph, PartitionConfig};

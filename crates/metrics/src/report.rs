@@ -152,8 +152,8 @@ fn json_f64(x: f64) -> String {
 ///   "total_secs": 0.0123,
 ///   "rounds": [
 ///     {"round": 0, "level": 0, "secs": 0.004, "moves": 1000,
-///      "conflicts": 37, "active": 1000, "quality_delta": 0.0,
-///      "ops": {"gather": 4096, "conflict": 256}}
+///      "conflicts": 37, "active": 1000, "active_edges": 8000,
+///      "quality_delta": 0.0, "ops": {"gather": 4096, "conflict": 256}}
 ///   ],
 ///   "phases": [
 ///     {"phase": "coarsen", "level": 0, "secs": 0.002}
@@ -182,13 +182,15 @@ pub fn trace_json(trace: &Trace) -> String {
         let _ = write!(
             out,
             "    {{\"round\": {}, \"level\": {}, \"secs\": {}, \"moves\": {}, \
-             \"conflicts\": {}, \"active\": {}, \"quality_delta\": {}, \"ops\": {{{}}}}}",
+             \"conflicts\": {}, \"active\": {}, \"active_edges\": {}, \
+             \"quality_delta\": {}, \"ops\": {{{}}}}}",
             r.round,
             r.level,
             json_f64(r.secs),
             r.moves,
             r.conflicts,
             r.active,
+            r.active_edges,
             json_f64(r.quality_delta),
             ops.join(", ")
         );
@@ -212,7 +214,7 @@ pub fn trace_json(trace: &Trace) -> String {
 }
 
 /// Renders a per-round trace as CSV with one column per op class:
-/// `round,level,secs,moves,conflicts,active,quality_delta,s.load,...,mask`.
+/// `round,level,secs,moves,conflicts,active,active_edges,quality_delta,s.load,...,mask`.
 /// Substrate phases are appended as `# phase,<name>,<level>,<secs>` comment
 /// lines so the round table keeps its fixed schema.
 pub fn trace_csv(trace: &Trace) -> String {
@@ -224,6 +226,7 @@ pub fn trace_csv(trace: &Trace) -> String {
         "moves",
         "conflicts",
         "active",
+        "active_edges",
         "quality_delta",
     ];
     header.extend(ALL_OP_CLASSES.iter().map(|c| c.label()));
@@ -236,6 +239,7 @@ pub fn trace_csv(trace: &Trace) -> String {
             r.moves.to_string(),
             r.conflicts.to_string(),
             r.active.to_string(),
+            r.active_edges.to_string(),
             format!("{:e}", r.quality_delta),
         ];
         cells.extend(ALL_OP_CLASSES.iter().map(|&c| r.ops.get(c).to_string()));
@@ -350,6 +354,7 @@ mod tests {
                     moves: 100,
                     conflicts: 7,
                     active: 100,
+                    active_edges: 840,
                     quality_delta: 0.25,
                     ops: OpCounts::default()
                         .with(OpClass::Gather, 64)
@@ -362,6 +367,7 @@ mod tests {
                     moves: 3,
                     conflicts: 0,
                     active: 7,
+                    active_edges: 52,
                     quality_delta: f64::NAN,
                     ops: OpCounts::default(),
                 },
@@ -377,6 +383,7 @@ mod tests {
         assert!(json.contains("\"gather\": 64"));
         assert!(json.contains("\"conflict\": 4"));
         assert!(json.contains("\"moves\": 100"));
+        assert!(json.contains("\"active_edges\": 840"));
         assert!(json.contains("\"total_secs\": 0.75"));
         assert!(json.contains("\"phase\": \"coarsen\""), "{json}");
         // NaN must not leak into JSON.
@@ -395,7 +402,8 @@ mod tests {
         let csv = trace_csv(&demo_trace());
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        assert!(header.starts_with("round,level,secs,moves,conflicts,active,quality_delta"));
+        assert!(header
+            .starts_with("round,level,secs,moves,conflicts,active,active_edges,quality_delta"));
         assert!(header.ends_with("mask"));
         let row0 = lines.next().unwrap();
         assert!(row0.starts_with("0,0,"));

@@ -65,6 +65,10 @@ pub struct RoundStats {
     pub conflicts: u64,
     /// Active vertices entering the round (conflict-set or frontier size).
     pub active: u64,
+    /// Edges incident to the active set — the work the round actually
+    /// touches. Under full-sweep execution this stays near `2m` every round;
+    /// under active-set execution it decays with the frontier.
+    pub active_edges: u64,
     /// Quality delta for this round (modularity gain for community kernels;
     /// zero where no quality functional applies). Only computed when the
     /// recorder is enabled — it costs an O(m) pass.
@@ -102,6 +106,12 @@ impl RoundStats {
         self
     }
 
+    /// Sets the active-edge count (edges incident to the active set).
+    pub fn active_edges(mut self, n: u64) -> Self {
+        self.active_edges = n;
+        self
+    }
+
     /// Sets the per-round quality delta.
     pub fn quality_delta(mut self, d: f64) -> Self {
         self.quality_delta = d;
@@ -136,6 +146,14 @@ pub struct PhaseStats {
 pub trait Recorder {
     /// Whether probes should collect at all. `false` compiles them out.
     const ENABLED: bool;
+
+    /// Whether [`Recorder::should_stop`] can ever return `true`. Kernels use
+    /// this to decide whether to poll the deadline *between chunks of a
+    /// round* (see the `gp-core` chunked sweep helpers): under a plain
+    /// [`NoopRecorder`] / [`TraceRecorder`] the mid-round checks fold away
+    /// entirely, while a [`DeadlineRecorder`] opts in so a single huge round
+    /// cannot overshoot its deadline unbounded.
+    const CHECKS_DEADLINE: bool = false;
 
     /// Receives one completed round.
     fn record(&mut self, stats: RoundStats);
@@ -289,6 +307,7 @@ impl<R: Recorder> DeadlineRecorder<R> {
 
 impl<R: Recorder> Recorder for DeadlineRecorder<R> {
     const ENABLED: bool = R::ENABLED;
+    const CHECKS_DEADLINE: bool = true;
 
     #[inline]
     fn record(&mut self, stats: RoundStats) {
@@ -601,6 +620,18 @@ mod tests {
     #[test]
     fn noop_recorder_never_stops() {
         assert!(!NoopRecorder.should_stop());
+    }
+
+    #[test]
+    fn checks_deadline_const_propagates() {
+        // Compile-time checks: the wrapper opts in, the plain recorders
+        // stay out (so mid-round polling folds away for them).
+        const {
+            assert!(!NoopRecorder::CHECKS_DEADLINE);
+            assert!(!TraceRecorder::CHECKS_DEADLINE);
+            assert!(<DeadlineRecorder<NoopRecorder>>::CHECKS_DEADLINE);
+            assert!(<DeadlineRecorder<TraceRecorder>>::CHECKS_DEADLINE);
+        }
     }
 
     #[test]

@@ -17,18 +17,16 @@
 
 use crate::json::{self, Json, ObjBuilder};
 use crate::spec::GraphSpec;
-use gp_core::louvain::Variant;
-use gp_core::reduce_scatter::Strategy;
+pub use gp_core::api::{Backend, SweepMode};
+use gp_core::api::{Kernel as RunKernel, KernelSpec};
 
-/// Which kernel a request runs.
+/// Which kernel a request runs: one of the real kernels (parsed through
+/// [`gp_core::api`]'s shared `FromStr` impls — the same strings the CLI
+/// accepts) or the serve-only diagnostic `sleep`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Kernel {
-    /// Speculative greedy coloring (Algorithms 1–3).
-    Color,
-    /// Louvain (Algorithm 4) with an explicit variant.
-    Louvain(Variant),
-    /// Label propagation (Algorithm 5).
-    Labelprop,
+    /// A real kernel run, dispatched through [`gp_core::api::run_kernel`].
+    Run(RunKernel),
     /// Diagnostic kernel: hold a worker for `ms` milliseconds. Used by the
     /// load generator and CI to force `queue_full` / timeout conditions
     /// deterministically; never cached.
@@ -43,37 +41,16 @@ impl Kernel {
     /// (see [`crate::stats::KERNEL_NAMES`]).
     pub fn label(&self) -> &'static str {
         match self {
-            Kernel::Color => "color",
-            Kernel::Louvain(_) => "louvain",
-            Kernel::Labelprop => "labelprop",
+            Kernel::Run(k) => k.label(),
             Kernel::Sleep { .. } => "sleep",
         }
     }
 
     /// Cache-key fragment: label plus variant where one exists.
-    pub fn cache_label(&self) -> String {
+    pub fn cache_label(&self) -> &'static str {
         match self {
-            Kernel::Louvain(v) => format!("louvain-{}", v.name().to_ascii_lowercase()),
-            other => other.label().to_string(),
-        }
-    }
-}
-
-/// Requested execution backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Best available engine (AVX-512 when the host has it).
-    Auto,
-    /// Force the scalar reference path.
-    Scalar,
-}
-
-impl Backend {
-    /// Wire name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Backend::Auto => "auto",
-            Backend::Scalar => "scalar",
+            Kernel::Run(k) => k.cache_label(),
+            Kernel::Sleep { .. } => "sleep",
         }
     }
 }
@@ -87,6 +64,9 @@ pub struct Request {
     pub spec: Option<GraphSpec>,
     /// Backend selection.
     pub backend: Backend,
+    /// Sweep mode (`active` frontier worklists by default; `full` scans as
+    /// the A/B baseline — bit-identical results, different round costs).
+    pub sweep: SweepMode,
     /// Kernel seed (label propagation's traversal shuffle; ignored by
     /// kernels without run-time randomness but always part of the result
     /// cache key).
@@ -98,18 +78,40 @@ pub struct Request {
 }
 
 impl Request {
-    /// Result-cache key: `(graph spec, kernel+variant, backend, seed)`.
-    /// `sleep` requests are never cached.
+    /// Result-cache key: `(graph spec, kernel+variant, backend, sweep,
+    /// seed)`. `sleep` requests are never cached. Sweep mode is part of the
+    /// key even though outputs are bit-identical across modes: the cached
+    /// body carries mode-dependent fields (`exec_ms`, round telemetry).
     pub fn cache_key(&self) -> Option<String> {
         match (&self.kernel, &self.spec) {
             (Kernel::Sleep { .. }, _) | (_, None) => None,
             (kernel, Some(spec)) => Some(format!(
-                "{}|{}|{}|seed={}",
+                "{}|{}|{}|{}|seed={}",
                 spec.canonical_key(),
                 kernel.cache_label(),
                 self.backend.name(),
+                self.sweep.name(),
                 self.seed
             )),
+        }
+    }
+
+    /// The [`KernelSpec`] this request describes; `None` for `sleep`.
+    ///
+    /// The label-propagation traversal seed is the request seed XORed with
+    /// the kernel's default (`0x1abe1`), so `seed: 0` requests reproduce
+    /// the library default shuffle.
+    pub fn kernel_spec(&self) -> Option<KernelSpec> {
+        match self.kernel {
+            Kernel::Sleep { .. } => None,
+            Kernel::Run(kernel) => Some(KernelSpec {
+                kernel,
+                backend: self.backend,
+                sweep: self.sweep,
+                parallel: true,
+                seed: self.seed ^ 0x1abe1,
+                count_ops: false,
+            }),
         }
     }
 }
@@ -147,10 +149,13 @@ pub fn parse_line(line: &str) -> Result<Incoming, String> {
             .as_u64()
             .ok_or_else(|| "`seed` must be a non-negative integer".to_string())?,
     };
-    let backend = match v.get("backend").and_then(Json::as_str) {
-        None | Some("auto") => Backend::Auto,
-        Some("scalar") => Backend::Scalar,
-        Some(other) => return Err(format!("unknown backend `{other}` (auto|scalar)")),
+    let backend: Backend = match v.get("backend").and_then(Json::as_str) {
+        None => Backend::Auto,
+        Some(s) => s.parse()?,
+    };
+    let sweep: SweepMode = match v.get("sweep").and_then(Json::as_str) {
+        None => SweepMode::Active,
+        Some(s) => s.parse()?,
     };
 
     if kernel_name == "sleep" {
@@ -162,41 +167,30 @@ pub fn parse_line(line: &str) -> Result<Incoming, String> {
             kernel: Kernel::Sleep { ms },
             spec: None,
             backend,
+            sweep,
             seed,
             deadline_ms,
             id,
         }));
     }
 
-    let kernel = match kernel_name {
-        "color" | "coloring" => Kernel::Color,
-        "louvain" => {
-            let variant = match v.get("variant").and_then(Json::as_str) {
-                None | Some("mplm") => Variant::Mplm,
-                Some("plm") => Variant::Plm,
-                Some("onpl") => Variant::Onpl(Strategy::Adaptive),
-                Some("ovpl") => Variant::Ovpl,
-                Some(other) => {
-                    return Err(format!("unknown variant `{other}` (plm|mplm|onpl|ovpl)"))
-                }
-            };
-            Kernel::Louvain(variant)
+    // Kernel (and louvain variant) names come from the shared FromStr impls
+    // in `gp_core::api` — one parser for the CLI flags and this protocol.
+    let mut run: RunKernel = kernel_name.parse()?;
+    if let Some(vs) = v.get("variant").and_then(Json::as_str) {
+        if let RunKernel::Louvain(variant) = &mut run {
+            *variant = vs.parse()?;
         }
-        "labelprop" => Kernel::Labelprop,
-        other => {
-            return Err(format!(
-                "unknown kernel `{other}` (color|louvain|labelprop|sleep)"
-            ))
-        }
-    };
+    }
     let spec_json = v
         .get("graph")
         .ok_or_else(|| format!("kernel `{kernel_name}` needs a `graph` spec"))?;
     let spec = GraphSpec::from_json(spec_json)?;
     Ok(Incoming::Run(Request {
-        kernel,
+        kernel: Kernel::Run(run),
         spec: Some(spec),
         backend,
+        sweep,
         seed,
         deadline_ms,
         id,
@@ -254,19 +248,23 @@ mod tests {
 
     #[test]
     fn parses_full_louvain_request() {
-        let line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":3}},"variant":"ovpl","backend":"scalar","seed":9,"deadline_ms":100,"id":"a1"}"#;
+        let line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":12,"seed":3}},"variant":"ovpl","backend":"scalar","sweep":"full","seed":9,"deadline_ms":100,"id":"a1"}"#;
         let Incoming::Run(req) = parse_line(line).unwrap() else {
             panic!("expected run");
         };
-        assert_eq!(req.kernel, Kernel::Louvain(Variant::Ovpl));
+        assert_eq!(req.kernel, Kernel::Run("louvain-ovpl".parse().unwrap()));
         assert_eq!(req.backend, Backend::Scalar);
+        assert_eq!(req.sweep, SweepMode::Full);
         assert_eq!(req.seed, 9);
         assert_eq!(req.deadline_ms, Some(100));
         assert_eq!(req.id.as_deref(), Some("a1"));
         assert_eq!(
             req.cache_key().unwrap(),
-            "rmat:scale=12,ef=8,seed=3|louvain-ovpl|scalar|seed=9"
+            "rmat:scale=12,ef=8,seed=3|louvain-ovpl|scalar|full|seed=9"
         );
+        let spec = req.kernel_spec().unwrap();
+        assert_eq!(spec.kernel.cache_label(), "louvain-ovpl");
+        assert_eq!(spec.seed, 9 ^ 0x1abe1);
     }
 
     #[test]
@@ -277,6 +275,7 @@ mod tests {
         };
         assert_eq!(req.kernel, Kernel::Sleep { ms: 25 });
         assert!(req.cache_key().is_none());
+        assert!(req.kernel_spec().is_none());
     }
 
     #[test]
@@ -286,8 +285,9 @@ mod tests {
         else {
             panic!("expected run");
         };
-        assert_eq!(req.kernel, Kernel::Color);
+        assert_eq!(req.kernel, Kernel::Run("color".parse().unwrap()));
         assert_eq!(req.backend, Backend::Auto);
+        assert_eq!(req.sweep, SweepMode::Active);
         assert_eq!(req.seed, 0);
         assert_eq!(req.deadline_ms, None);
         assert!(req.id.is_none());
@@ -303,6 +303,7 @@ mod tests {
         assert!(parse_line(r#"{"kernel":"color","graph":"mesh:w=4","deadline_ms":-5}"#).is_err());
         assert!(parse_line(r#"{"kernel":"sleep"}"#).is_err()); // no ms
         assert!(parse_line(r#"{"kernel":"color","graph":"mesh:w=4","backend":"gpu"}"#).is_err());
+        assert!(parse_line(r#"{"kernel":"color","graph":"mesh:w=4","sweep":"lazy"}"#).is_err());
     }
 
     #[test]
@@ -317,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_key_distinguishes_kernel_backend_and_seed() {
+    fn cache_key_distinguishes_kernel_backend_sweep_and_seed() {
         let base = r#"{"kernel":"labelprop","graph":"mesh:w=8,seed=1"}"#;
         let Incoming::Run(a) = parse_line(base).unwrap() else { panic!() };
         let Incoming::Run(b) =
@@ -326,5 +327,12 @@ mod tests {
             panic!()
         };
         assert_ne!(a.cache_key(), b.cache_key());
+        let Incoming::Run(c) =
+            parse_line(r#"{"kernel":"labelprop","graph":"mesh:w=8,seed=1","sweep":"full"}"#)
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 }

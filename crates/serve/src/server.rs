@@ -17,15 +17,11 @@
 
 use crate::cache::Lru;
 use crate::json::{Json, ObjBuilder};
-use crate::protocol::{parse_line, refusal_line, Backend, Incoming, Kernel, Refusal, Request};
+use crate::protocol::{parse_line, refusal_line, Incoming, Kernel, Refusal, Request};
 use crate::queue::{Bounded, PushError};
 use crate::spec::GraphSpec;
 use crate::stats::ServiceStats;
-use gp_core::coloring::{color_graph_recorded, color_graph_scalar_recorded, ColoringConfig};
-use gp_core::labelprop::{
-    label_propagation_mplp_recorded, label_propagation_recorded, LabelPropConfig,
-};
-use gp_core::louvain::{louvain_recorded, LouvainConfig};
+use gp_core::api::{run_kernel, KernelOutput};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, Recorder};
 use std::io::{BufRead, BufReader, Write};
@@ -389,62 +385,45 @@ struct Outcome {
     extras: Vec<(String, Json)>,
 }
 
-/// Runs the requested kernel against `g` under recorder `rec`.
-fn run_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outcome {
-    match request.kernel {
-        Kernel::Color => {
-            let cfg = ColoringConfig::default();
-            let r = match request.backend {
-                Backend::Auto => color_graph_recorded(g, &cfg, rec),
-                Backend::Scalar => color_graph_scalar_recorded(g, &cfg, rec),
-            };
-            Outcome {
-                backend: r.info.backend,
-                rounds: r.rounds,
-                converged: r.info.converged,
-                extras: vec![("num_colors".to_string(), Json::Num(r.num_colors as f64))],
-            }
+/// Runs the requested kernel against `g` under recorder `rec`: build the
+/// [`gp_core::api::KernelSpec`] the request describes, dispatch through the
+/// one shared entrypoint, and lift kernel-specific response fields off the
+/// typed output.
+fn execute_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outcome {
+    let spec = request
+        .kernel_spec()
+        .expect("sleep handled in execute(), all other kernels carry a spec");
+    let out = run_kernel(g, &spec, rec);
+    let extras = match &out {
+        KernelOutput::Coloring(r) => {
+            vec![("num_colors".to_string(), Json::Num(r.num_colors as f64))]
         }
-        Kernel::Louvain(variant) => {
-            let cfg = LouvainConfig {
-                variant,
-                ..Default::default()
-            };
-            let r = louvain_recorded(g, &cfg, rec);
+        KernelOutput::Louvain(r) => {
             let communities = gp_core::louvain::modularity::count_communities(&r.communities);
-            Outcome {
-                backend: r.info.backend,
-                rounds: r.levels,
-                converged: r.info.converged,
-                extras: vec![
-                    ("variant".to_string(), Json::Str(variant.name().to_string())),
-                    ("communities".to_string(), Json::Num(communities as f64)),
-                    ("modularity".to_string(), Json::Num(r.modularity)),
-                    ("levels".to_string(), Json::Num(r.levels as f64)),
-                ],
-            }
+            let variant = match spec.kernel {
+                gp_core::api::Kernel::Louvain(v) => v.name(),
+                _ => unreachable!("louvain output implies louvain kernel"),
+            };
+            vec![
+                ("variant".to_string(), Json::Str(variant.to_string())),
+                ("communities".to_string(), Json::Num(communities as f64)),
+                ("modularity".to_string(), Json::Num(r.modularity)),
+                ("levels".to_string(), Json::Num(r.levels as f64)),
+            ]
         }
-        Kernel::Labelprop => {
-            let cfg = LabelPropConfig {
-                seed: request.seed ^ 0x1abe1,
-                ..Default::default()
-            };
-            let r = match request.backend {
-                Backend::Auto => label_propagation_recorded(g, &cfg, rec),
-                Backend::Scalar => label_propagation_mplp_recorded(g, &cfg, rec),
-            };
+        KernelOutput::Labelprop(r) => {
             let communities = gp_core::louvain::modularity::count_communities(&r.labels);
-            Outcome {
-                backend: r.info.backend,
-                rounds: r.iterations,
-                converged: r.info.converged,
-                extras: vec![
-                    ("communities".to_string(), Json::Num(communities as f64)),
-                    ("iterations".to_string(), Json::Num(r.iterations as f64)),
-                ],
-            }
+            vec![
+                ("communities".to_string(), Json::Num(communities as f64)),
+                ("iterations".to_string(), Json::Num(r.iterations as f64)),
+            ]
         }
-        Kernel::Sleep { .. } => unreachable!("sleep handled in execute()"),
+    };
+    Outcome {
+        backend: out.backend(),
+        rounds: out.rounds(),
+        converged: out.converged(),
+        extras,
     }
 }
 
@@ -485,10 +464,10 @@ fn execute(shared: &Shared, job: &Job) -> Json {
     let (outcome, timed_out) = match job.deadline {
         Some(deadline) => {
             let mut rec = DeadlineRecorder::new(NoopRecorder, deadline);
-            let outcome = run_kernel(request, &graph, &mut rec);
+            let outcome = execute_kernel(request, &graph, &mut rec);
             (outcome, rec.fired())
         }
-        None => (run_kernel(request, &graph, &mut NoopRecorder), false),
+        None => (execute_kernel(request, &graph, &mut NoopRecorder), false),
     };
     if request.cache_key().is_some() && !timed_out {
         shared.stats.on_result_cache(false);

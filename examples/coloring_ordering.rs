@@ -10,10 +10,11 @@
 //! cargo run --release --example coloring_ordering
 //! ```
 
-use graph_partition_avx512::core::coloring::{color_graph_scalar, ColoringConfig};
+use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use graph_partition_avx512::core::louvain::ovpl::build_layout;
 use graph_partition_avx512::graph::generators::triangular_mesh;
 use graph_partition_avx512::graph::stats::graph_stats;
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 
 fn main() {
     let graph = triangular_mesh(64, 64, 11);
@@ -23,8 +24,11 @@ fn main() {
         stats.num_vertices, stats.num_edges, stats.max_degree, stats.degree_stddev
     );
 
-    // Step 1: speculative greedy coloring.
-    let coloring = color_graph_scalar(&graph, &ColoringConfig::default());
+    // Step 1: speculative greedy coloring (scalar backend — the layout
+    // build is preprocessing, not the kernel being vectorized).
+    let spec = KernelSpec::new(Kernel::Coloring).with_backend(Backend::Scalar);
+    let out = run_kernel(&graph, &spec, &mut NoopRecorder);
+    let coloring = out.as_coloring().unwrap();
     println!(
         "coloring: {} colors, {} rounds",
         coloring.num_colors, coloring.rounds

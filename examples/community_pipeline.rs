@@ -6,9 +6,10 @@
 //! cargo run --release --example community_pipeline
 //! ```
 
-use graph_partition_avx512::core::louvain::{louvain, LouvainConfig, Variant};
+use graph_partition_avx512::core::api::{run_kernel, Kernel, KernelSpec, Variant};
 use graph_partition_avx512::core::reduce_scatter::Strategy;
 use graph_partition_avx512::graph::generators::planted_partition;
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use std::time::Instant;
 
 fn main() {
@@ -33,13 +34,11 @@ fn main() {
         ("ONPL adaptive", Variant::Onpl(Strategy::Adaptive)),
         ("OVPL", Variant::Ovpl),
     ] {
-        let config = LouvainConfig {
-            variant,
-            ..Default::default()
-        };
+        let spec = KernelSpec::new(Kernel::Louvain(variant));
         let start = Instant::now();
-        let result = louvain(&graph, &config);
+        let out = run_kernel(&graph, &spec, &mut NoopRecorder);
         let elapsed = start.elapsed();
+        let result = out.as_louvain().unwrap();
         println!(
             "{:<26} {:>10.2?} {:>12.4} {:>8}",
             label, elapsed, result.modularity, result.levels

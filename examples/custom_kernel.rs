@@ -13,9 +13,10 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use graph_partition_avx512::core::louvain::{louvain, LouvainConfig};
+use graph_partition_avx512::core::api::{run_kernel, Kernel, KernelSpec, Variant};
 use graph_partition_avx512::core::neighborhood::NeighborhoodAggregator;
 use graph_partition_avx512::graph::generators::planted_partition;
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use graph_partition_avx512::simd::backend::{Avx512, Emulated, Simd};
 
 fn boundary_scores<S: Simd>(
@@ -46,7 +47,9 @@ fn boundary_scores<S: Simd>(
 
 fn main() {
     let graph = planted_partition(8, 48, 0.3, 0.01, 3);
-    let result = louvain(&graph, &LouvainConfig::default());
+    let spec = KernelSpec::new(Kernel::Louvain(Variant::default()));
+    let out = run_kernel(&graph, &spec, &mut NoopRecorder);
+    let result = out.as_louvain().unwrap();
     println!(
         "{} vertices, Q = {:.3}",
         graph.num_vertices(),

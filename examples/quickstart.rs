@@ -1,16 +1,13 @@
 //! Quickstart: generate a graph, color it, and detect communities — all with
-//! the best vector backend the host offers.
+//! the best vector backend the host offers, through the unified
+//! [`run_kernel`] entry point.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use graph_partition_avx512::core::coloring::{color_graph, verify_coloring, ColoringConfig};
-use graph_partition_avx512::core::labelprop::{label_propagation, LabelPropConfig};
-use graph_partition_avx512::core::louvain::{louvain, LouvainConfig};
-use graph_partition_avx512::graph::generators::rmat::{rmat, RmatConfig};
-use graph_partition_avx512::graph::stats::graph_stats;
-use graph_partition_avx512::simd::engine::Engine;
+use graph_partition_avx512::prelude::*;
+use gp_graph::stats::graph_stats;
 
 fn main() {
     // A power-law graph: 4096 vertices, ~8 edges per vertex.
@@ -24,26 +21,35 @@ fn main() {
 
     // Distance-1 coloring with the speculative parallel greedy algorithm
     // (ONPL-vectorized color assignment on AVX-512 hosts).
-    let coloring = color_graph(&graph, &ColoringConfig::default());
-    verify_coloring(&graph, &coloring.colors).expect("coloring must be valid");
+    let spec = KernelSpec::new(Kernel::Coloring);
+    let coloring = run_kernel(&graph, &spec, &mut NoopRecorder);
+    verify_coloring(&graph, coloring.colors().unwrap()).expect("coloring must be valid");
+    let coloring = coloring.as_coloring().unwrap();
     println!(
         "coloring: {} colors in {} speculative rounds (valid ✓)",
         coloring.num_colors, coloring.rounds
     );
 
-    // Community detection with the full multilevel Louvain method.
-    let communities = louvain(&graph, &LouvainConfig::default());
+    // Community detection with the full multilevel Louvain method. The
+    // kernel/variant axis is a value, so specs parse from strings too:
+    // `"louvain-mplm".parse::<Kernel>()`.
+    let spec = KernelSpec::new("louvain".parse().unwrap());
+    let communities = run_kernel(&graph, &spec, &mut NoopRecorder);
+    let louvain = communities.as_louvain().unwrap();
     println!(
-        "louvain: modularity {:.4} across {} levels",
-        communities.modularity, communities.levels
+        "louvain: modularity {:.4} across {} levels (backend: {})",
+        louvain.modularity,
+        louvain.levels,
+        communities.backend()
     );
 
     // And with label propagation.
-    let lp = label_propagation(&graph, &LabelPropConfig::default());
-    let distinct: std::collections::HashSet<_> = lp.labels.iter().collect();
+    let spec = KernelSpec::new(Kernel::Labelprop);
+    let lp = run_kernel(&graph, &spec, &mut NoopRecorder);
+    let distinct: std::collections::HashSet<_> = lp.communities().unwrap().iter().collect();
     println!(
         "label propagation: {} communities after {} sweeps",
         distinct.len(),
-        lp.iterations
+        lp.rounds()
     );
 }

@@ -6,10 +6,9 @@
 //! cargo run --release --example rmat_study
 //! ```
 
-use graph_partition_avx512::core::labelprop::{
-    label_propagation_mplp, label_propagation_onlp, LabelPropConfig,
-};
+use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use graph_partition_avx512::graph::generators::rmat::{rmat, RmatConfig};
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use graph_partition_avx512::simd::engine::Engine;
 use std::time::Instant;
 
@@ -25,14 +24,14 @@ fn run<F: FnMut() -> R, R>(mut f: F) -> std::time::Duration {
 fn main() {
     println!("backend: {}\n", Engine::best().name());
     println!("{:>12} {:>12} {:>12} {:>8}", "edge factor", "MPLP", "ONLP", "gain");
-    let config = LabelPropConfig::default();
+    // Same kernel, two backends: Scalar pins MPLP, Auto dispatches to the
+    // best vector engine (ONLP).
+    let scalar = KernelSpec::new(Kernel::Labelprop).with_backend(Backend::Scalar);
+    let vector = KernelSpec::new(Kernel::Labelprop).with_backend(Backend::Auto);
     for edge_factor in [1u32, 2, 4, 8, 16, 32] {
         let graph = rmat(RmatConfig::new(11, edge_factor).with_seed(3));
-        let t_scalar = run(|| label_propagation_mplp(&graph, &config));
-        let t_vector = match Engine::best() {
-            Engine::Native(s) => run(|| label_propagation_onlp(&s, &graph, &config)),
-            Engine::Emulated(s) => run(|| label_propagation_onlp(&s, &graph, &config)),
-        };
+        let t_scalar = run(|| run_kernel(&graph, &scalar, &mut NoopRecorder));
+        let t_vector = run(|| run_kernel(&graph, &vector, &mut NoopRecorder));
         println!(
             "{:>12} {:>12.2?} {:>12.2?} {:>8.2}",
             edge_factor,

@@ -9,8 +9,9 @@
 //! use graph_partition_avx512::prelude::*;
 //!
 //! let graph = rmat(RmatConfig::new(10, 8).with_seed(42));
-//! let coloring = color_graph(&graph, &ColoringConfig::default());
-//! assert!(verify_coloring(&graph, &coloring.colors).is_ok());
+//! let spec = KernelSpec::new(Kernel::Coloring);
+//! let out = run_kernel(&graph, &spec, &mut NoopRecorder);
+//! assert!(verify_coloring(&graph, out.colors().unwrap()).is_ok());
 //! ```
 
 pub use gp_core as core;
@@ -20,14 +21,17 @@ pub use gp_simd as simd;
 
 /// One-stop imports for the most common entry points.
 pub mod prelude {
-    pub use gp_core::coloring::{
-        color_graph, color_graph_recorded, verify_coloring, ColoringConfig, ColoringResult,
-    };
+    pub use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec, SweepMode};
+    #[allow(deprecated)] // legacy entrypoints stay importable from the prelude
+    pub use gp_core::coloring::{color_graph, color_graph_recorded};
+    pub use gp_core::coloring::{verify_coloring, ColoringConfig, ColoringResult};
     pub use gp_core::contrast::BfsResult;
-    pub use gp_core::labelprop::{
-        label_propagation, label_propagation_recorded, LabelPropConfig, LabelPropResult,
-    };
-    pub use gp_core::louvain::{louvain, louvain_recorded, modularity, LouvainConfig, LouvainResult};
+    #[allow(deprecated)]
+    pub use gp_core::labelprop::{label_propagation, label_propagation_recorded};
+    pub use gp_core::labelprop::{LabelPropConfig, LabelPropResult};
+    #[allow(deprecated)]
+    pub use gp_core::louvain::{louvain, louvain_recorded};
+    pub use gp_core::louvain::{modularity, LouvainConfig, LouvainResult};
     pub use gp_core::overlap::{slpa, OverlapResult, SlpaConfig};
     pub use gp_core::partition::{partition_graph, verify_partition, PartitionConfig, PartitionResult};
     pub use gp_core::quality::{adjusted_rand_index, nmi};

@@ -2,6 +2,8 @@
 //! must produce identical results on the native AVX-512 backend and the
 //! portable emulation. Skipped silently on hosts without AVX-512.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use graph_partition_avx512::core::coloring::{color_graph_onpl, ColoringConfig};
 use graph_partition_avx512::core::labelprop::{label_propagation_onlp, LabelPropConfig};
 use graph_partition_avx512::core::louvain::onpl::move_phase_onpl;

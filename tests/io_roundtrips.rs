@@ -1,6 +1,8 @@
 //! File I/O integration: suite graphs survive round trips through all three
 //! on-disk formats, through real temporary files.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use graph_partition_avx512::graph::io::{
     read_edgelist, read_matrix_market, read_metis, write_edgelist, write_matrix_market,
     write_metis,

@@ -2,6 +2,8 @@
 //! pipelines over the Table-1 stand-in suite and check every invariant that
 //! the paper's experiments rely on.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use graph_partition_avx512::core::coloring::{color_graph, verify_coloring, ColoringConfig};
 use graph_partition_avx512::core::labelprop::{label_propagation, LabelPropConfig};
 use graph_partition_avx512::core::louvain::{louvain, modularity, LouvainConfig, Variant};

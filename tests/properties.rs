@@ -1,5 +1,7 @@
 //! Cross-crate property tests: random graphs in, invariants out.
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use graph_partition_avx512::core::coloring::{
     color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig,
 };

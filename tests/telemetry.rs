@@ -15,6 +15,8 @@
 //! in the single `counter_deltas_*` test below to avoid cross-test races
 //! (`cargo test` runs tests on multiple threads).
 
+#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
+
 use graph_partition_avx512::prelude::*;
 use graph_partition_avx512::core::coloring::color_graph_onpl_recorded;
 use graph_partition_avx512::core::labelprop::label_propagation_onlp_recorded;
