@@ -1,59 +1,64 @@
-//! Offline stand-in for the `rayon` crate (API subset used by this workspace).
+//! Offline stand-in for the `rayon` crate (API subset used by this
+//! workspace), executing on the [`gp_par`] work-stealing pool.
 //!
-//! Executes every "parallel" combinator sequentially on the calling thread.
-//! This is sound for this repository because every parallel pass is written
-//! to be *output-invariant* under scheduling (see `gp_graph::par`): chunk
-//! decomposition plus deterministic combination means the sequential schedule
-//! produces byte-identical results to any parallel one. Thread-pool
-//! bookkeeping (`ThreadPoolBuilder` / `ThreadPool::install` /
-//! `current_num_threads`) is emulated with a thread-local so pool-scoping
-//! code and the `--threads` knob behave observably the same.
+//! Unlike the original sequential facade this shim **actually runs in
+//! parallel**: every combinator lowers to an *indexed source* (length +
+//! random access), the index space is split with
+//! [`gp_par::split_ranges`] — a pure function of `(len, min_len)`, never of
+//! the thread count — and the chunks are fanned out across the current
+//! [`gp_par::Pool`]. Per-chunk results are always combined **in chunk
+//! order**, so:
 //!
-//! Closure bounds are intentionally looser than real rayon (`FnMut` instead
-//! of `Fn + Send + Sync`); code that compiles against real rayon compiles
-//! against this stub unchanged.
+//! * order-sensitive combinators (`collect`, `sum`, `reduce`, `max`/`min`
+//!   tie-breaks) produce the same bytes at every pool size;
+//! * `par_sort*` uses a fixed-structure midpoint-recursion merge sort whose
+//!   result is independent of how the `join` halves are scheduled;
+//! * a pool with ≤ 1 thread — and *every* pool under `GP_PAR_SEQ=1` — runs
+//!   chunks inline on the caller in chunk order, reproducing the old
+//!   sequential stub byte for byte.
+//!
+//! What stays genuinely concurrent (and thus racy if the caller races):
+//! closures that mutate shared state through atomics/`SharedWriter` run
+//! simultaneously on ≥ 2-thread pools. Substrate passes in this workspace
+//! are written to be schedule-invariant; speculative kernels are not, which
+//! is why the global pool defaults to **one** thread (`GP_THREADS`
+//! overrides) — see `docs/PARALLELISM.md`.
+//!
+//! Deviations from real rayon, on purpose:
+//!
+//! * the global pool defaults to 1 thread, not all cores;
+//! * `ThreadPoolBuilder::build` returns a process-lifetime **cached** pool
+//!   per thread count (hot-path `with_threads` callers stop paying pool
+//!   construction);
+//! * `ThreadPool::install` runs the closure on the *calling* thread with the
+//!   pool made current (not on a worker);
+//! * closure bounds need `Sync` but not `Send` in a few spots (looser —
+//!   anything compiling against real rayon compiles here).
 
-use std::cell::Cell;
+use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
 
 // ---------------------------------------------------------------------------
-// Thread-pool emulation
+// Thread-pool surface
 // ---------------------------------------------------------------------------
 
-thread_local! {
-    /// 0 = no scoped pool installed (report hardware parallelism).
-    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
-}
-
-/// Size configured via [`ThreadPoolBuilder::build_global`] (0 = default).
-static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
-
-/// Number of threads the "current pool" would use. Inside
-/// [`ThreadPool::install`] this is the configured pool size; otherwise the
-/// [`ThreadPoolBuilder::build_global`] size if one was set; otherwise the
-/// hardware parallelism, mirroring rayon's global-pool default.
+/// Number of threads in the current pool (worker's own pool, else the
+/// innermost installed pool, else the global pool).
 pub fn current_num_threads() -> usize {
-    let scoped = POOL_THREADS.with(|c| c.get());
-    if scoped != 0 {
-        return scoped;
-    }
-    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
-    if global != 0 {
-        return global;
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    gp_par::current().threads()
 }
 
-/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+/// Error from [`ThreadPoolBuilder::build_global`] when the global pool is
+/// already sized differently.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError(());
+pub struct ThreadPoolBuildError(String);
 
 impl fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("thread pool build error")
+        f.write_str(&self.0)
     }
 }
 
@@ -70,192 +75,706 @@ impl ThreadPoolBuilder {
         ThreadPoolBuilder { num_threads: 0 }
     }
 
-    /// `0` means "default" (hardware parallelism), as in rayon.
+    /// `0` means "default": hardware parallelism for scoped pools (as in
+    /// rayon), the deterministic 1-thread default for the global pool.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
+    /// Returns the process-lifetime cached pool for this thread count
+    /// (workers are spawned once per distinct count, then reused).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool { pool: gp_par::cached(n) })
     }
 
-    /// Sizes the "global pool": subsequent [`current_num_threads`] calls
-    /// outside a scoped [`ThreadPool::install`] report this size. Like
-    /// rayon, the first caller wins; later calls return an error.
+    /// Sizes the global pool. Like rayon, the first effective sizing wins;
+    /// later calls with a different size return an error (same size is ok).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.num_threads
-        };
-        match GLOBAL_THREADS.compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(_) => Ok(()),
-            Err(_) => Err(ThreadPoolBuildError(())),
-        }
+        gp_par::set_global_threads(self.num_threads)
+            .map_err(|e| ThreadPoolBuildError(e.to_string()))
     }
 }
 
-/// Scoped pool: work "installed" on it runs on the caller's thread, but
-/// [`current_num_threads`] reports the configured size for the duration.
-#[derive(Debug)]
+/// A handle to a `gp-par` pool. Work "installed" on it runs on the calling
+/// thread with this pool made current, so every parallel combinator inside
+/// fans out across this pool's workers.
 pub struct ThreadPool {
-    num_threads: usize,
+    pool: gp_par::Pool,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.pool.threads()).finish()
+    }
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.pool.threads()
     }
 
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(usize);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                POOL_THREADS.with(|c| c.set(self.0));
+        self.pool.install(op)
+    }
+}
+
+/// Potentially-parallel binary fork/join on the current pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    gp_par::current().join(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Indexed sources
+// ---------------------------------------------------------------------------
+
+/// A length + random-access description of a parallel iterator.
+///
+/// # Safety
+/// Implementors guarantee `fetch(i)` is sound for `i < len()` when every
+/// index is fetched **at most once** across all threads (by-value sources
+/// move items out with `ptr::read`). The driver upholds "each index exactly
+/// once".
+pub unsafe trait Source: Sync {
+    type Item: Send;
+    fn len(&self) -> usize;
+    /// # Safety
+    /// `i < self.len()` and `i` has not been fetched before.
+    unsafe fn fetch(&self, i: usize) -> Self::Item;
+}
+
+/// `start..start+len` over primitive integers.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        unsafe impl Source for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn fetch(&self, i: usize) -> $t {
+                self.start + i as $t
             }
         }
-        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
-        let _restore = Restore(prev);
-        op()
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Source = RangeSource<$t>;
+            fn into_par_iter(self) -> Par<RangeSource<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                Par::new(RangeSource { start: self.start, len })
+            }
+        }
+    )*};
+}
+
+range_source!(usize, u64, u32, u16, i64, i32);
+
+/// Shared slice: yields `&'a T`.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+unsafe impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
     }
+    unsafe fn fetch(&self, i: usize) -> &'a T {
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Mutable slice: yields `&'a mut T` via disjoint-index raw access.
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn fetch(&self, i: usize) -> &'a mut T {
+        // SAFETY: each index fetched at most once ⇒ the &mut are disjoint.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Owned vector: items are moved out by value, the buffer is freed without
+/// re-dropping moved items.
+pub struct VecSource<T> {
+    vec: ManuallyDrop<Vec<T>>,
+}
+
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+unsafe impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    unsafe fn fetch(&self, i: usize) -> T {
+        // SAFETY: i < len and fetched exactly once ⇒ a unique move-out.
+        unsafe { std::ptr::read(self.vec.as_ptr().add(i)) }
+    }
+}
+
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        // All items were moved out by the driver (every index fetched exactly
+        // once); free the buffer without dropping its (moved-from) contents.
+        unsafe {
+            let mut v = ManuallyDrop::take(&mut self.vec);
+            v.set_len(0);
+        }
+    }
+}
+
+/// Overlapping windows of a shared slice.
+pub struct WindowsSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+unsafe impl<'a, T: Sync> Source for WindowsSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        if self.size == 0 || self.size > self.slice.len() {
+            0
+        } else {
+            self.slice.len() - self.size + 1
+        }
+    }
+    unsafe fn fetch(&self, i: usize) -> &'a [T] {
+        unsafe { self.slice.get_unchecked(i..i + self.size) }
+    }
+}
+
+/// Non-overlapping chunks of a shared slice.
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+unsafe impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size.max(1))
+    }
+    unsafe fn fetch(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        unsafe { self.slice.get_unchecked(start..end) }
+    }
+}
+
+/// Non-overlapping mutable chunks.
+pub struct ChunksMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMutSource<'_, T> {}
+
+unsafe impl<'a, T: Send> Source for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size.max(1))
+    }
+    unsafe fn fetch(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.len);
+        // SAFETY: chunk index fetched at most once ⇒ disjoint subslices.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// Lazy per-item transform.
+pub struct MapSource<S, F> {
+    inner: S,
+    f: F,
+}
+
+unsafe impl<S, F, B> Source for MapSource<S, F>
+where
+    S: Source,
+    B: Send,
+    F: Fn(S::Item) -> B + Sync,
+{
+    type Item = B;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn fetch(&self, i: usize) -> B {
+        (self.f)(unsafe { self.inner.fetch(i) })
+    }
+}
+
+/// Index-aligned pairing; truncated to the shorter side.
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: Source, B: Source> Source for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn fetch(&self, i: usize) -> (A::Item, B::Item) {
+        unsafe { (self.a.fetch(i), self.b.fetch(i)) }
+    }
+}
+
+/// `(index, item)` pairing.
+pub struct EnumerateSource<S> {
+    inner: S,
+}
+
+unsafe impl<S: Source> Source for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn fetch(&self, i: usize) -> (usize, S::Item) {
+        (i, unsafe { self.inner.fetch(i) })
+    }
+}
+
+/// Dereferencing copy of `&T` items.
+pub struct CopiedSource<S> {
+    inner: S,
+}
+
+unsafe impl<'a, T, S> Source for CopiedSource<S>
+where
+    T: Copy + Sync + Send + 'a,
+    S: Source<Item = &'a T>,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn fetch(&self, i: usize) -> T {
+        *unsafe { self.inner.fetch(i) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The chunk driver
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into ≤ `gp_par::MAX_CHUNKS` ranges of ≥ `min_len` items
+/// (a pure function of the arguments), run `run` on every range — fanned out
+/// on the current pool, or inline in range order on ≤ 1-thread pools — and
+/// return the per-range results **in range order**.
+fn drive_chunks<T, F>(len: usize, min_len: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = gp_par::split_ranges(len, min_len);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    out.resize_with(ranges.len(), || None);
+    let pool = gp_par::current();
+    if pool.is_inline() || ranges.len() <= 1 {
+        for (slot, r) in out.iter_mut().zip(ranges) {
+            *slot = Some(run(r));
+        }
+    } else {
+        let run = &run;
+        pool.scope(|s| {
+            for (slot, r) in out.iter_mut().zip(ranges) {
+                s.spawn(move || *slot = Some(run(r)));
+            }
+        });
+    }
+    out.into_iter().map(|o| o.expect("gp-par chunk did not run")).collect()
 }
 
 // ---------------------------------------------------------------------------
 // Parallel iterator facade
 // ---------------------------------------------------------------------------
 
-/// Sequential "parallel iterator": wraps a std iterator and exposes the
-/// rayon combinator names.
-pub struct Par<I>(I);
-
-/// `Par` is itself iterable, so it satisfies the blanket
-/// [`IntoParallelIterator`] impl and can be passed to combinators such as
-/// [`Par::zip`] (mirroring rayon, where parallel iterators implement
-/// `IntoParallelIterator` reflexively).
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
-    }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
+/// A parallel iterator over an indexed [`Source`].
+pub struct Par<S> {
+    source: S,
+    min_len: usize,
 }
 
-impl<I: Iterator> Par<I> {
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+impl<S: Source> Par<S> {
+    fn new(source: S) -> Self {
+        Par { source, min_len: 1 }
     }
 
-    /// rayon's per-thread scratch initializer; sequentially this is a single
-    /// scratch value threaded through every element.
-    pub fn for_each_init<T, INIT, F>(self, mut init: INIT, mut f: F)
+    /// Lower bound on items per scheduling chunk (also the grouping unit for
+    /// `for_each_init` / `map_init` scratch state).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Accepted for API fidelity; chunking is already bounded by
+    /// `gp_par::MAX_CHUNKS`.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
     where
-        INIT: FnMut() -> T,
-        F: FnMut(&mut T, I::Item),
+        F: Fn(S::Item) + Sync,
     {
-        let mut scratch = init();
-        self.0.for_each(|item| f(&mut scratch, item));
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            for i in r {
+                f(unsafe { src.fetch(i) });
+            }
+        });
     }
 
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
-    }
-
-    pub fn map_init<T, B, INIT, F>(
-        self,
-        mut init: INIT,
-        mut f: F,
-    ) -> Par<std::vec::IntoIter<B>>
+    /// Per-chunk scratch state: `init` runs once per chunk, `f` sees the
+    /// chunk's scratch for every item. Chunk boundaries depend only on
+    /// `(len, min_len)`, so scratch grouping is thread-count-invariant.
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
     where
-        INIT: FnMut() -> T,
-        F: FnMut(&mut T, I::Item) -> B,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, S::Item) + Sync,
     {
-        let mut scratch = init();
-        let out: Vec<B> = self.0.map(|item| f(&mut scratch, item)).collect();
-        Par(out.into_iter())
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            let mut scratch = init();
+            for i in r {
+                f(&mut scratch, unsafe { src.fetch(i) });
+            }
+        });
     }
 
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FilterMap<I, F>> {
-        Par(self.0.filter_map(f))
+    pub fn map<B, F>(self, f: F) -> Par<MapSource<S, F>>
+    where
+        B: Send,
+        F: Fn(S::Item) -> B + Sync,
+    {
+        Par {
+            source: MapSource { inner: self.source, f },
+            min_len: self.min_len,
+        }
     }
 
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+    pub fn map_init<T, B, INIT, F>(self, init: INIT, f: F) -> MapInit<S, INIT, F>
+    where
+        B: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, S::Item) -> B + Sync,
+    {
+        MapInit {
+            source: self.source,
+            min_len: self.min_len,
+            init,
+            f,
+        }
     }
 
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::SeqIter>> {
-        Par(self.0.zip(other.into_par_iter().0))
+    pub fn filter<F>(self, f: F) -> ParFilter<S, F>
+    where
+        F: Fn(&S::Item) -> bool + Sync,
+    {
+        ParFilter {
+            source: self.source,
+            min_len: self.min_len,
+            f,
+        }
     }
 
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    pub fn filter_map<B, F>(self, f: F) -> ParFilterMap<S, F>
+    where
+        B: Send,
+        F: Fn(S::Item) -> Option<B> + Sync,
+    {
+        ParFilterMap {
+            source: self.source,
+            min_len: self.min_len,
+            f,
+        }
     }
 
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.all(f)
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<ZipSource<S, Z::Source>> {
+        Par {
+            source: ZipSource {
+                a: self.source,
+                b: other.into_par_iter().source,
+            },
+            min_len: self.min_len,
+        }
     }
 
-    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.any(f)
+    pub fn enumerate(self) -> Par<EnumerateSource<S>> {
+        Par {
+            source: EnumerateSource { inner: self.source },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn copied<'a, T>(self) -> Par<CopiedSource<S>>
+    where
+        T: Copy + Sync + Send + 'a,
+        S: Source<Item = &'a T>,
+    {
+        Par {
+            source: CopiedSource { inner: self.source },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(S::Item) -> bool + Sync,
+    {
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            // Full evaluation (no short-circuit): every index is consumed
+            // exactly once, which by-value sources rely on.
+            let mut ok = true;
+            for i in r {
+                ok &= f(unsafe { src.fetch(i) });
+            }
+            ok
+        })
+        .into_iter()
+        .all(|b| b)
+    }
+
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(S::Item) -> bool + Sync,
+    {
+        !self.all(move |item| !f(item))
     }
 
     pub fn count(self) -> usize {
-        self.0.count()
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            let n = r.len();
+            for i in r {
+                drop(unsafe { src.fetch(i) });
+            }
+            n
+        })
+        .into_iter()
+        .sum()
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    pub fn sum<T>(self) -> T
     where
-        ID: FnMut() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
     {
-        let mut identity = identity;
-        self.0.fold(identity(), op)
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).sum::<T>()
+        })
+        .into_iter()
+        .sum()
     }
 
-    pub fn max(self) -> Option<I::Item>
+    /// Chunk-ordered fold: `op` combines per-chunk folds left-to-right, so
+    /// non-associative-in-practice operators (floats) still give the same
+    /// result at every thread count.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
     where
-        I::Item: Ord,
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
     {
-        self.0.max()
+        let src = self.source;
+        let parts = drive_chunks(src.len(), self.min_len, |r| {
+            let mut acc = identity();
+            for i in r {
+                acc = op(acc, unsafe { src.fetch(i) });
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), &op)
     }
 
-    pub fn min(self) -> Option<I::Item>
+    pub fn max(self) -> Option<S::Item>
     where
-        I::Item: Ord,
+        S::Item: Ord,
     {
-        self.0.min()
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).max()
+        })
+        .into_iter()
+        .flatten()
+        // Later chunk wins ties, matching std's "last maximal element".
+        .reduce(|a, b| if b >= a { b } else { a })
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn min(self) -> Option<S::Item>
+    where
+        S::Item: Ord,
+    {
+        let src = self.source;
+        drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).min()
+        })
+        .into_iter()
+        .flatten()
+        // Earlier chunk wins ties, matching std's "first minimal element".
+        .reduce(|a, b| if b < a { b } else { a })
     }
 
-    /// Scheduling hint; a no-op sequentially.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C
+    where
+        S::Item: Send,
+    {
+        let src = self.source;
+        let parts = drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// `map_init` pipeline pending a terminal combinator.
+pub struct MapInit<S, INIT, F> {
+    source: S,
+    min_len: usize,
+    init: INIT,
+    f: F,
+}
+
+impl<S, T, B, INIT, F> MapInit<S, INIT, F>
+where
+    S: Source,
+    B: Send,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, S::Item) -> B + Sync,
+{
+    pub fn collect<C: FromIterator<B>>(self) -> C {
+        let (src, init, f) = (self.source, self.init, self.f);
+        let parts = drive_chunks(src.len(), self.min_len, |r| {
+            let mut scratch = init();
+            r.map(|i| f(&mut scratch, unsafe { src.fetch(i) })).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
     }
 
-    /// Scheduling hint; a no-op sequentially.
-    pub fn with_max_len(self, _max: usize) -> Self {
-        self
+    pub fn for_each_with_result_discarded(self) {
+        let _: Vec<B> = self.collect();
+    }
+}
+
+/// `filter` pipeline pending a terminal combinator.
+pub struct ParFilter<S, F> {
+    source: S,
+    min_len: usize,
+    f: F,
+}
+
+impl<S, F> ParFilter<S, F>
+where
+    S: Source,
+    F: Fn(&S::Item) -> bool + Sync,
+{
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        let (src, f) = (self.source, self.f);
+        let parts = drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).filter(|x| f(x)).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    pub fn count(self) -> usize {
+        let (src, f) = (self.source, self.f);
+        drive_chunks(src.len(), self.min_len, |r| {
+            r.map(|i| unsafe { src.fetch(i) }).filter(|x| f(x)).count()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(S::Item) + Sync,
+    {
+        let (src, f) = (self.source, self.f);
+        drive_chunks(src.len(), self.min_len, |r| {
+            for i in r {
+                let item = unsafe { src.fetch(i) };
+                if f(&item) {
+                    g(item);
+                }
+            }
+        });
+    }
+}
+
+/// `filter_map` pipeline pending a terminal combinator.
+pub struct ParFilterMap<S, F> {
+    source: S,
+    min_len: usize,
+    f: F,
+}
+
+impl<S, B, F> ParFilterMap<S, F>
+where
+    S: Source,
+    B: Send,
+    F: Fn(S::Item) -> Option<B> + Sync,
+{
+    pub fn collect<C: FromIterator<B>>(self) -> C {
+        let (src, f) = (self.source, self.f);
+        let parts = drive_chunks(src.len(), self.min_len, |r| {
+            r.filter_map(|i| f(unsafe { src.fetch(i) })).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    pub fn count(self) -> usize {
+        let (src, f) = (self.source, self.f);
+        drive_chunks(src.len(), self.min_len, |r| {
+            r.filter_map(|i| f(unsafe { src.fetch(i) })).count()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(B) + Sync,
+    {
+        let (src, f) = (self.source, self.f);
+        drive_chunks(src.len(), self.min_len, |r| {
+            for i in r {
+                if let Some(b) = f(unsafe { src.fetch(i) }) {
+                    g(b);
+                }
+            }
+        });
     }
 }
 
@@ -263,116 +782,259 @@ impl<I: Iterator> Par<I> {
 // Conversion traits (rayon::prelude names)
 // ---------------------------------------------------------------------------
 
-/// `into_par_iter()` — blanket over everything iterable (ranges, `Vec`, …).
+/// `into_par_iter()` over indexable containers.
 pub trait IntoParallelIterator {
-    type Item;
-    type SeqIter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Par<Self::SeqIter>;
+    type Item: Send;
+    type Source: Source<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Source>;
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type SeqIter = T::IntoIter;
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+/// Parallel iterators convert reflexively (so they can be `zip` arguments).
+impl<S: Source> IntoParallelIterator for Par<S> {
+    type Item = S::Item;
+    type Source = S;
+    fn into_par_iter(self) -> Par<S> {
+        self
     }
 }
 
-/// `par_iter()` — blanket over `&T: IntoIterator`.
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = VecSource<T>;
+    fn into_par_iter(self) -> Par<VecSource<T>> {
+        Par::new(VecSource { vec: ManuallyDrop::new(self) })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Source = SliceSource<'a, T>;
+    fn into_par_iter(self) -> Par<SliceSource<'a, T>> {
+        Par::new(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Source = SliceSource<'a, T>;
+    fn into_par_iter(self) -> Par<SliceSource<'a, T>> {
+        Par::new(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Source = SliceMutSource<'a, T>;
+    fn into_par_iter(self) -> Par<SliceMutSource<'a, T>> {
+        Par::new(SliceMutSource {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Source = SliceMutSource<'a, T>;
+    fn into_par_iter(self) -> Par<SliceMutSource<'a, T>> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+/// `par_iter()` — blanket over `&T: IntoParallelIterator`.
 pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type SeqIter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> Par<Self::SeqIter>;
+    type Item: Send + 'a;
+    type Source: Source<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::Source>;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
 where
-    &'a T: IntoIterator,
+    &'a T: IntoParallelIterator,
 {
-    type Item = <&'a T as IntoIterator>::Item;
-    type SeqIter = <&'a T as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Par<Self::SeqIter> {
-        Par(self.into_iter())
+    type Item = <&'a T as IntoParallelIterator>::Item;
+    type Source = <&'a T as IntoParallelIterator>::Source;
+    fn par_iter(&'a self) -> Par<Self::Source> {
+        self.into_par_iter()
     }
 }
 
-/// `par_iter_mut()` — blanket over `&mut T: IntoIterator`.
+/// `par_iter_mut()` — blanket over `&mut T: IntoParallelIterator`.
 pub trait IntoParallelRefMutIterator<'a> {
-    type Item: 'a;
-    type SeqIter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter>;
+    type Item: Send + 'a;
+    type Source: Source<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Source>;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
 where
-    &'a mut T: IntoIterator,
+    &'a mut T: IntoParallelIterator,
 {
-    type Item = <&'a mut T as IntoIterator>::Item;
-    type SeqIter = <&'a mut T as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter> {
-        Par(self.into_iter())
+    type Item = <&'a mut T as IntoParallelIterator>::Item;
+    type Source = <&'a mut T as IntoParallelIterator>::Source;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Source> {
+        self.into_par_iter()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Slice extensions
+// ---------------------------------------------------------------------------
 
 /// Shared-slice views (`par_windows`, `par_chunks`).
-pub trait ParallelSlice<T> {
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    fn par_windows(&self, window_size: usize) -> Par<WindowsSource<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSource<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
-        Par(self.windows(window_size))
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_windows(&self, window_size: usize) -> Par<WindowsSource<'_, T>> {
+        Par::new(WindowsSource { slice: self, size: window_size })
     }
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSource<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be > 0");
+        Par::new(ChunksSource { slice: self, size: chunk_size })
     }
 }
 
 /// Mutable-slice operations (`par_sort_*`, `par_chunks_mut`).
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSource<'_, T>>;
     fn par_sort(&mut self)
     where
         T: Ord;
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSource<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be > 0");
+        Par::new(ChunksMutSource {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size: chunk_size,
+            _marker: PhantomData,
+        })
     }
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.sort();
+        par_merge_sort(self, &|a, b| a.cmp(b), true);
     }
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_merge_sort(self, &|a, b| a.cmp(b), false);
     }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_unstable_by(compare);
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync,
+    {
+        par_merge_sort(self, &compare, false);
     }
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_merge_sort(self, &|a, b| key(a).cmp(&key(b)), false);
     }
 }
 
-/// Runs two closures, returning both results (sequentially: left then right).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Below this length a leaf uses the std sort directly.
+const SORT_LEAF: usize = 8192;
+
+/// Fixed-structure parallel merge sort.
+///
+/// The recursion tree (midpoint splits down to `SORT_LEAF` leaves) and the
+/// stable merges are **independent of the pool size** — only which thread
+/// executes each half varies — so the sorted bytes are identical at every
+/// thread count, including the inline-sequential path. (For the total sort
+/// keys used across this workspace the result also coincides with the
+/// sequential `sort_unstable` branches.)
+fn par_merge_sort<T, F>(v: &mut [T], compare: &F, stable_leaf: bool)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
 {
-    (a(), b())
+    let pool = gp_par::current();
+    msort(v, compare, stable_leaf, &pool);
+}
+
+fn msort<T, F>(v: &mut [T], compare: &F, stable_leaf: bool, pool: &gp_par::Pool)
+where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    if v.len() <= SORT_LEAF {
+        if stable_leaf {
+            v.sort_by(compare);
+        } else {
+            v.sort_unstable_by(compare);
+        }
+        return;
+    }
+    let mid = v.len() / 2;
+    let (left, right) = v.split_at_mut(mid);
+    pool.join(
+        || msort(left, compare, stable_leaf, pool),
+        || msort(right, compare, stable_leaf, pool),
+    );
+    merge_halves(v, mid, compare);
+}
+
+/// Stable merge of `v[..mid]` and `v[mid..]` (both sorted) through a scratch
+/// buffer. Panic-safe: element bits are only *copied* into scratch (whose
+/// length stays 0, so it never drops contents); `v` is overwritten in a
+/// single pass after the last comparison.
+fn merge_halves<T, F>(v: &mut [T], mid: usize, compare: &F)
+where
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    let n = v.len();
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    let dst = scratch.as_mut_ptr();
+    unsafe {
+        let base = v.as_ptr();
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < n {
+            // Take the left element on ties: stability.
+            if compare(&*base.add(j), &*base.add(i)) == CmpOrdering::Less {
+                dst.add(k).write(std::ptr::read(base.add(j)));
+                j += 1;
+            } else {
+                dst.add(k).write(std::ptr::read(base.add(i)));
+                i += 1;
+            }
+            k += 1;
+        }
+        while i < mid {
+            dst.add(k).write(std::ptr::read(base.add(i)));
+            i += 1;
+            k += 1;
+        }
+        while j < n {
+            dst.add(k).write(std::ptr::read(base.add(j)));
+            j += 1;
+            k += 1;
+        }
+        debug_assert_eq!(k, n);
+        std::ptr::copy_nonoverlapping(dst, v.as_mut_ptr(), n);
+    }
+    // scratch's len is still 0: the buffer is freed, contents are not
+    // double-dropped.
 }
 
 pub mod iter {
@@ -396,35 +1058,132 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
-    #[test]
-    fn combinators_match_sequential() {
-        let v: Vec<u32> = (0..100).collect();
-        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        assert!(v.par_iter().all(|&x| x < 100));
-        assert!(doubled.par_windows(2).all(|w| w[0] <= w[1]));
-
-        let mut w = vec![5u32, 3, 1, 4, 2];
-        w.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
-        assert_eq!(w, [5, 4, 3, 2, 1]);
-
-        let pairs: Vec<(usize, u32)> = (0..5usize).into_par_iter().zip(w.par_iter().copied()).collect();
-        assert_eq!(pairs[1], (1, 4));
+    /// Run a closure once on the (1-thread) default pool and once on a real
+    /// multi-thread pool, asserting identical results.
+    fn on_both_pools<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+        let seq = f();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par = pool.install(&f);
+        assert_eq!(seq, par);
     }
 
     #[test]
-    fn for_each_init_threads_scratch() {
-        let mut hits = 0usize;
-        [1, 2, 3].par_iter().for_each_init(
-            || vec![0u8; 4],
+    fn combinators_match_sequential() {
+        on_both_pools(|| {
+            let v: Vec<u32> = (0..10_000).collect();
+            let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled.len(), 10_000);
+            assert!(v.par_iter().all(|&x| x < 10_000));
+            assert!(doubled.par_windows(2).all(|w| w[0] <= w[1]));
+            let evens: Vec<u32> = v.par_iter().filter_map(|&x| (x % 2 == 0).then_some(x)).collect();
+            assert_eq!(evens.len(), 5_000);
+            let pairs: Vec<(usize, u32)> =
+                (0..5usize).into_par_iter().zip([9u32, 8, 7, 6, 5].to_vec()).collect();
+            assert_eq!(pairs[1], (1, 8));
+            let sum: u64 = (0..1000u64).into_par_iter().sum();
+            (doubled, evens, pairs, sum)
+        });
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_once() {
+        on_both_pools(|| {
+            let mut v: Vec<u64> = vec![1; 50_000];
+            v.par_iter_mut().with_min_len(1024).for_each(|x| *x += 1);
+            assert!(v.iter().all(|&x| x == 2));
+            v
+        });
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items_without_leak_or_double_drop() {
+        // Strings exercise the VecSource move-out + buffer-free path.
+        on_both_pools(|| {
+            let v: Vec<String> = (0..5000).map(|i| format!("item-{i}")).collect();
+            let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+            assert_eq!(lens.len(), 5000);
+            lens
+        });
+    }
+
+    #[test]
+    fn par_sorts_match_std_and_are_pool_size_invariant() {
+        let mk = || -> Vec<u64> {
+            // Deterministic pseudo-random data with duplicates.
+            let mut x = 0x243F6A8885A308D3u64;
+            (0..100_000)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % 1000
+                })
+                .collect()
+        };
+        let mut reference = mk();
+        reference.sort_unstable();
+        on_both_pools(|| {
+            let mut v = mk();
+            v.par_sort_unstable();
+            assert_eq!(v, reference);
+            let mut w = mk();
+            w.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+            assert!(w.windows(2).all(|p| p[0] >= p[1]));
+            (v, w)
+        });
+    }
+
+    #[test]
+    fn reduce_and_minmax_are_chunk_ordered() {
+        on_both_pools(|| {
+            let v: Vec<i64> = (0..50_000).map(|i| (i * 37) % 1001 - 500).collect();
+            let total = v.par_iter().copied().reduce(|| 0i64, |a, b| a + b);
+            let mx = v.par_iter().copied().max();
+            let mn = v.par_iter().copied().min();
+            let cnt = v.par_iter().count();
+            (total, mx, mn, cnt)
+        });
+    }
+
+    #[test]
+    fn for_each_init_runs_init_once_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let items = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..10_000).collect();
+        v.par_iter().with_min_len(1000).for_each_init(
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                vec![0u8; 16]
+            },
             |scratch, &x| {
-                scratch[0] = x;
-                // no-op use of scratch
+                scratch[0] = x as u8;
+                items.fetch_add(1, Ordering::SeqCst);
             },
         );
-        (0..3u32).into_par_iter().for_each(|_| hits += 0);
-        let _ = hits;
+        assert_eq!(items.load(Ordering::SeqCst), 10_000);
+        let chunks = gp_par::split_ranges(10_000, 1000).len();
+        assert_eq!(inits.load(Ordering::SeqCst), chunks);
+    }
+
+    #[test]
+    fn work_actually_fans_out_on_multithread_pools() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        });
+        let distinct = ids.lock().unwrap().len();
+        if gp_par::sequential_mode() || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) == 1 {
+            assert!(distinct >= 1);
+        } else {
+            assert!(distinct >= 2, "expected ≥2 worker threads, saw {distinct}");
+        }
     }
 
     #[test]
@@ -438,20 +1197,6 @@ mod tests {
     }
 
     #[test]
-    fn build_global_first_caller_wins() {
-        // Depending on test order this may or may not be the first caller,
-        // so assert only the invariants that hold either way.
-        let r = ThreadPoolBuilder::new().num_threads(3).build_global();
-        if r.is_ok() {
-            assert_eq!(current_num_threads(), 3);
-        }
-        assert!(ThreadPoolBuilder::new().num_threads(9).build_global().is_err());
-        // Scoped pools still override the global size.
-        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
-        assert_eq!(pool.install(current_num_threads), 7);
-    }
-
-    #[test]
     fn nested_install_restores() {
         let p2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let p5 = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
@@ -460,5 +1205,17 @@ mod tests {
             p5.install(|| assert_eq!(current_num_threads(), 5));
             assert_eq!(current_num_threads(), 2);
         });
+    }
+
+    #[test]
+    fn build_returns_cached_pools() {
+        let before = gp_par::pools_created();
+        let _a = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
+        let mid = gp_par::pools_created();
+        for _ in 0..32 {
+            let _b = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
+        }
+        assert_eq!(gp_par::pools_created(), mid);
+        assert!(mid <= before + 1);
     }
 }

@@ -28,7 +28,7 @@
 use gp_metrics::telemetry::Recorder;
 use rayon::prelude::*;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 /// How a kernel enumerates the vertices it processes each round.
 ///
@@ -193,11 +193,28 @@ fn chunk_len<R: Recorder>(len: usize) -> usize {
 /// fire deadlines. Returns `true` if the sweep bailed early — the caller
 /// must then treat the round as incomplete (`converged: false`).
 ///
-/// `parallel` chooses between a rayon `for_each_init` over each chunk and a
-/// plain loop with a single hoisted buffer; the chunk boundaries (and hence
-/// the deadline polls) are sequential in both cases. Under a recorder with
-/// `CHECKS_DEADLINE = false` there is exactly one chunk and no polling —
-/// identical codegen to the pre-chunking sweeps.
+/// Three execution shapes, picked from `parallel` and the current
+/// [`gp_par`] pool:
+///
+/// * `parallel == false` — a plain loop with one hoisted buffer, polling the
+///   deadline between chunks. Byte-identical to the pre-pool behavior.
+/// * `parallel == true` on an *inline* pool (1 thread, or `GP_PAR_SEQ=1`) —
+///   per-chunk `for_each_init` through the rayon shim, which the inline
+///   pool executes in submission order; chunk boundaries and deadline polls
+///   stay sequential. This is the deterministic parallel shape.
+/// * `parallel == true` on a real multi-thread pool — the chunks fan out
+///   across the pool's workers through a shared atomic cursor. Every worker
+///   (and the calling thread, which sweeps too) claims chunks until the
+///   cursor runs dry or the shared `stop` flag is raised. Only the calling
+///   thread polls `rec.should_stop()` — between each of *its* chunks — and
+///   publishes the verdict through `stop`, which in-flight workers observe
+///   at their next chunk boundary. So a deadline that fires while chunks
+///   are in flight on other workers still stops the sweep within one chunk
+///   per worker, without requiring `R: Sync`.
+///
+/// In all shapes the first chunk is always processed (progress guarantee),
+/// and under a recorder with `CHECKS_DEADLINE = false` there is exactly one
+/// chunk and no polling — identical codegen to the pre-chunking sweeps.
 pub fn run_chunked<R, B>(
     len: usize,
     parallel: bool,
@@ -210,6 +227,12 @@ where
     B: Send,
 {
     let chunk = chunk_len::<R>(len);
+    if parallel {
+        let pool = gp_par::current();
+        if !pool.is_inline() {
+            return fan_out_chunks(len, chunk, &pool, rec, &make_buf, &process);
+        }
+    }
     let mut start = 0usize;
     let mut buf: Option<B> = None; // hoisted across chunks in the sequential path
     while start < len {
@@ -232,10 +255,88 @@ where
     false
 }
 
+/// The real-pool arm of [`run_chunked`]: fans `len.div_ceil(chunk)` chunks
+/// out across `pool`'s workers plus the calling thread via an atomic chunk
+/// cursor. The caller is the only thread that touches `rec` (so `R` needs
+/// no `Sync`); it polls between its own chunks and raises `stop` for the
+/// others. Returns `true` if the sweep bailed before covering `0..len`.
+fn fan_out_chunks<R, B>(
+    len: usize,
+    chunk: usize,
+    pool: &gp_par::Pool,
+    rec: &R,
+    make_buf: &(impl Fn() -> B + Send + Sync),
+    process: &(impl Fn(&mut B, usize) + Send + Sync),
+) -> bool
+where
+    R: Recorder,
+    B: Send,
+{
+    if len == 0 {
+        return false;
+    }
+    let nchunks = len.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let run_chunk = |buf: &mut B, c: usize| {
+        let start = c * chunk;
+        let end = (start + chunk).min(len);
+        for i in start..end {
+            process(buf, i);
+        }
+    };
+    pool.scope(|s| {
+        for _ in 0..pool.threads() {
+            s.spawn(|| {
+                let mut buf = make_buf();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    run_chunk(&mut buf, c);
+                }
+            });
+        }
+        // The calling thread sweeps too — and is the only one allowed to
+        // touch `rec`. Its first claimed chunk always runs (progress
+        // guarantee mirrors the sequential path); the poll happens before
+        // every later claim.
+        let mut buf: Option<B> = None;
+        let mut claimed = 0usize;
+        loop {
+            if R::CHECKS_DEADLINE && claimed > 0 && rec.should_stop() {
+                stop.store(true, Ordering::Relaxed);
+                break;
+            }
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= nchunks {
+                break;
+            }
+            run_chunk(buf.get_or_insert_with(make_buf), c);
+            claimed += 1;
+        }
+    });
+    stop.load(Ordering::Relaxed)
+}
+
 /// Variant of [`run_chunked`] for kernels that consume worklist *slices*
 /// (the coloring assign/detect kernels): calls `f` on consecutive subslices
 /// of `items`, polling the deadline between them. Returns `true` if it
 /// bailed before covering the whole slice.
+///
+/// The *outer* chunk loop is deliberately sequential: `f` is `FnMut` and
+/// the call sites mutate captured state (e.g. `newconf.extend(detect(..))`
+/// in the coloring driver). Worker fan-out happens one level down — the
+/// assign/detect kernels invoked inside `f` run `par_iter` sweeps over each
+/// subslice, which the rayon shim fans out across the current `gp_par`
+/// pool. Deadline polls therefore stay single-threaded and exact.
 pub fn slice_chunked<R: Recorder, T>(
     items: &[T],
     rec: &R,
@@ -377,6 +478,75 @@ mod tests {
     #[test]
     fn run_chunked_handles_empty() {
         assert!(!run_chunked(0, true, &NoopRecorder, || (), |_, _: usize| {}));
+        gp_par::cached(4).install(|| {
+            assert!(!run_chunked(0, true, &NoopRecorder, || (), |_, _: usize| {}));
+        });
+    }
+
+    #[test]
+    fn run_chunked_fans_out_and_visits_everything_on_real_pool() {
+        if gp_par::sequential_mode() {
+            return; // GP_PAR_SEQ=1 forces inline pools; nothing to fan out.
+        }
+        let pool = gp_par::cached(4);
+        // Cover both the deadline-chunked shape and the single-chunk shape.
+        let seen = (0..3 * DEADLINE_CHUNK + 17)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>();
+        let rec = DeadlineRecorder::new(NoopRecorder, Instant::now() + Duration::from_secs(3600));
+        let bailed = pool.install(|| {
+            run_chunked(seen.len(), true, &rec, || (), |_, i| {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(!bailed);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        assert!(!rec.fired());
+
+        let seen = (0..10_000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let bailed = pool.install(|| {
+            run_chunked(seen.len(), true, &NoopRecorder, || (), |_, i| {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(!bailed);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_chunked_bails_with_chunks_in_flight_on_real_pool() {
+        if gp_par::sequential_mode() {
+            return;
+        }
+        // Expired deadline: the caller's first claimed chunk still runs
+        // (progress guarantee), workers may complete a bounded number of
+        // chunks each before observing `stop`, and the sweep reports a bail
+        // well before covering the whole range. Each chunk carries a small
+        // sleep so in-flight workers cannot drain the whole cursor before
+        // the caller finishes its first chunk and polls the deadline.
+        let pool = gp_par::cached(4);
+        let total = 256 * DEADLINE_CHUNK;
+        let rec = DeadlineRecorder::new(NoopRecorder, Instant::now() - Duration::from_millis(1));
+        let visited = AtomicU64::new(0);
+        let bailed = pool.install(|| {
+            run_chunked(total, true, &rec, || (), |_, i| {
+                if i % DEADLINE_CHUNK == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                visited.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(bailed);
+        assert!(rec.fired());
+        let v = visited.load(Ordering::Relaxed);
+        // Progress guarantee: at least the caller's first chunk ran…
+        assert!(v >= DEADLINE_CHUNK as u64, "visited only {v}");
+        // …but in-flight workers stop within one chunk each, far short of
+        // the full sweep.
+        assert!(
+            v < total as u64,
+            "deadline bail should not have covered the full range"
+        );
     }
 
     #[test]

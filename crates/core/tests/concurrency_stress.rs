@@ -20,6 +20,94 @@ fn pool() -> rayon::ThreadPool {
         .expect("pool")
 }
 
+/// True when `GP_PAR_SEQ=1` forces every pool inline — the stress tests
+/// below still run (the invariants must hold trivially), but the
+/// "genuinely concurrent" assertions are vacuous there.
+fn real_concurrency() -> bool {
+    !gp_par::sequential_mode()
+}
+
+#[test]
+fn shared_writer_disjoint_scatter_under_real_pool() {
+    use gp_graph::par::SharedWriter;
+    use rayon::prelude::*;
+
+    // A permuted disjoint scatter, repeated: every index written exactly
+    // once per run from whichever worker claims it. Any double-write or
+    // missed write shows up as a value mismatch.
+    let n = 1 << 16;
+    let perm: Vec<usize> = (0..n).map(|i| (i * 48_271 + 11) % n).collect();
+    // 48271 is coprime with 2^16, so `perm` is a permutation.
+    {
+        let mut check = perm.clone();
+        check.sort_unstable();
+        assert!(check.iter().enumerate().all(|(i, &p)| i == p));
+    }
+    pool().install(|| {
+        for run in 0..4u64 {
+            let mut out = vec![u64::MAX; n];
+            let writer = SharedWriter::new(&mut out);
+            perm.par_iter().with_min_len(256).enumerate().for_each(|(i, &p)| {
+                // Each destination `p` is hit by exactly one source `i`.
+                unsafe { writer.write(p, (i as u64) ^ (run << 32)) };
+            });
+            for (i, &p) in perm.iter().enumerate() {
+                assert_eq!(out[p], (i as u64) ^ (run << 32), "run {run} index {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn histogram_merge_from_concurrent_workers_loses_nothing() {
+    use gp_metrics::histogram::{Histogram, HistogramSnapshot};
+
+    let workers = 8usize;
+    let per_worker = 10_000u64;
+    let shared = Histogram::new();
+    let locals: Vec<Histogram> = (0..workers).map(|_| Histogram::new()).collect();
+
+    let p = gp_par::cached(workers);
+    p.scope(|s| {
+        for (w, local) in locals.iter().enumerate() {
+            let shared = &shared;
+            s.spawn(move || {
+                for i in 0..per_worker {
+                    let us = (w as u64) * per_worker + i + 1;
+                    local.record_us(us);
+                    shared.record_us(us);
+                }
+            });
+        }
+    });
+
+    let expect_count = workers as u64 * per_worker;
+    let expect_max = expect_count; // largest sample recorded above
+    let expect_sum: u64 = (1..=expect_count).sum();
+
+    // Path 1: concurrent records into one shared histogram.
+    let s = shared.snapshot();
+    assert_eq!(s.count, expect_count);
+    assert_eq!(s.max_us, expect_max);
+    assert_eq!(s.sum_us, expect_sum);
+
+    // Path 2: per-worker histograms merged at report time (the load
+    // generator's shape) must agree exactly with the shared one.
+    let mut merged = HistogramSnapshot::default();
+    for local in &locals {
+        merged.merge(&local.snapshot());
+    }
+    assert_eq!(merged.count, expect_count);
+    assert_eq!(merged.max_us, expect_max);
+    assert_eq!(merged.sum_us, expect_sum);
+    assert_eq!(merged.quantile_us(0.5), s.quantile_us(0.5));
+    assert_eq!(merged.quantile_us(0.999), s.quantile_us(0.999));
+
+    if real_concurrency() {
+        assert!(p.threads() == workers, "expected a real {workers}-thread pool");
+    }
+}
+
 #[test]
 fn speculative_coloring_survives_oversubscription() {
     let g = erdos_renyi(2000, 12_000, 3);

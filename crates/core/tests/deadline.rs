@@ -240,6 +240,32 @@ fn run_kernel_honors_deadlines_for_every_kernel() {
 }
 
 #[test]
+fn deadline_fires_while_chunks_are_in_flight_on_real_pool() {
+    // The parallel sweep executor fans chunks out across pool workers; the
+    // calling thread polls the deadline between its own chunks and raises a
+    // shared stop flag that in-flight workers observe at their next chunk
+    // boundary. An already-expired deadline must therefore cancel the run
+    // mid-round even though other workers hold chunks at that moment —
+    // while every structural invariant of the partial result still holds.
+    use gp_core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
+    let g = big_graph();
+    let pool = gp_par::cached(8);
+    for kernel in ["color", "louvain-mplm", "labelprop"] {
+        // Default specs are parallel → the fan-out path on a real pool.
+        let spec = KernelSpec::new(kernel.parse::<Kernel>().unwrap());
+        let mut rec = DeadlineRecorder::after(NoopRecorder, Duration::ZERO);
+        let out = pool.install(|| run_kernel(&g, &spec, &mut rec));
+        assert!(rec.fired(), "{kernel}: expired deadline never fired");
+        assert!(!out.converged(), "{kernel} must report non-convergence");
+        match &out {
+            KernelOutput::Coloring(r) => assert_eq!(r.colors.len(), g.num_vertices()),
+            KernelOutput::Louvain(r) => assert_eq!(r.communities.len(), g.num_vertices()),
+            KernelOutput::Labelprop(r) => assert_eq!(r.labels.len(), g.num_vertices()),
+        }
+    }
+}
+
+#[test]
 fn deadline_recorder_still_collects_trace_rounds() {
     let g = triangular_mesh(16, 16, 9);
     let mut rec = DeadlineRecorder::after(TraceRecorder::new("louvain-deadline"), Duration::ZERO);

@@ -28,6 +28,13 @@ pub fn threads_from_env() -> Option<usize> {
 /// Runs `f` inside a scoped rayon thread pool with exactly `threads` worker
 /// threads. `threads == 0` runs `f` on the ambient (global) pool.
 ///
+/// Pools are **cached per thread count** for the lifetime of the process
+/// (`ThreadPoolBuilder::build` resolves to `gp_par::cached`), so calling
+/// this in a loop — as `gp-serve` does per request and the bench bins do
+/// per repetition — reuses one pool per size instead of spawning and
+/// tearing down OS threads on every call. The `pools_created` regression
+/// test below pins this.
+///
 /// Substrate passes are deterministic regardless of pool size, so this knob
 /// trades wall-clock only — outputs are bit-identical for any `threads`.
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
@@ -57,12 +64,18 @@ pub fn chunk_count(len: usize, min_chunk: usize) -> usize {
     by_threads.min(by_size).max(1)
 }
 
-/// Splits `0..len` into `chunks` near-equal contiguous ranges.
+/// Splits `0..len` into at most `chunks` near-equal contiguous ranges.
+///
+/// Every returned range is non-empty: when `chunks` exceeds what `len` can
+/// fill (e.g. `len = 5, chunks = 9`), the surplus trailing ranges are
+/// trimmed instead of being emitted as degenerate `5..5` entries that
+/// callers would schedule as no-op jobs. `len == 0` returns no ranges.
 pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     let chunks = chunks.max(1);
     let per = len.div_ceil(chunks).max(1);
     (0..chunks)
         .map(|c| (c * per).min(len)..((c + 1) * per).min(len))
+        .filter(|r| !r.is_empty())
         .collect()
 }
 
@@ -128,16 +141,54 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_exactly() {
-        for (len, chunks) in [(0usize, 3usize), (10, 3), (7, 7), (100, 1), (5, 9)] {
+    fn with_threads_reuses_cached_pools_across_calls() {
+        // Warm the caches once so this test is independent of which other
+        // tests already materialized a pool for these sizes.
+        for t in [1usize, 2, 3] {
+            with_threads(t, || ());
+        }
+        let before = gp_par::pools_created();
+        for _ in 0..32 {
+            for t in [1usize, 2, 3] {
+                assert_eq!(with_threads(t, rayon::current_num_threads), t);
+            }
+        }
+        // 96 scoped calls, zero new pools: with_threads must not rebuild a
+        // pool (and respawn OS threads) per invocation.
+        assert_eq!(
+            gp_par::pools_created(),
+            before,
+            "with_threads built fresh pools instead of reusing cached ones"
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_with_no_empty_ranges() {
+        for (len, chunks) in [
+            (0usize, 3usize),
+            (10, 3),
+            (7, 7),
+            (100, 1),
+            (5, 9), // more chunks than items: surplus ranges must be trimmed
+            (1, 64),
+            (4097, 64),
+        ] {
             let ranges = chunk_ranges(len, chunks);
+            assert!(ranges.len() <= chunks, "len {len} chunks {chunks}");
             let mut covered = 0;
             for r in &ranges {
-                assert!(r.start <= r.end);
+                // Honest exact cover: every emitted range does real work.
+                assert!(r.start < r.end, "empty range {r:?} (len {len} chunks {chunks})");
                 covered += r.len();
             }
             assert_eq!(covered, len, "len {len} chunks {chunks}");
-            // Contiguous and ordered.
+            // Contiguous, ordered, starting at 0 and ending at len.
+            if len > 0 {
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+            } else {
+                assert!(ranges.is_empty(), "len 0 must produce no ranges");
+            }
             for w in ranges.windows(2) {
                 assert_eq!(w[0].end, w[1].start, "len {len} chunks {chunks}");
             }

@@ -275,7 +275,10 @@ impl Recorder for TraceRecorder {
 pub struct DeadlineRecorder<R> {
     inner: R,
     deadline: Instant,
-    fired: std::cell::Cell<bool>,
+    // `AtomicBool` (not `Cell`) so the recorder is `Sync`: parallel sweep
+    // executors poll `should_stop` from the sweeping thread while worker
+    // threads hold shared references to the same recorder.
+    fired: std::sync::atomic::AtomicBool,
 }
 
 impl<R: Recorder> DeadlineRecorder<R> {
@@ -284,7 +287,7 @@ impl<R: Recorder> DeadlineRecorder<R> {
         DeadlineRecorder {
             inner,
             deadline,
-            fired: std::cell::Cell::new(false),
+            fired: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -296,7 +299,7 @@ impl<R: Recorder> DeadlineRecorder<R> {
     /// Whether the deadline was observed expired at any round boundary
     /// (i.e. the kernel was actually asked to stop early).
     pub fn fired(&self) -> bool {
-        self.fired.get()
+        self.fired.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Unwraps the inner recorder (e.g. to extract a trace).
@@ -326,12 +329,13 @@ impl<R: Recorder> Recorder for DeadlineRecorder<R> {
 
     #[inline]
     fn should_stop(&self) -> bool {
-        if self.fired.get() {
+        use std::sync::atomic::Ordering;
+        if self.fired.load(Ordering::Relaxed) {
             return true;
         }
         let expired = Instant::now() >= self.deadline;
         if expired {
-            self.fired.set(true);
+            self.fired.store(true, Ordering::Relaxed);
         }
         expired
     }
