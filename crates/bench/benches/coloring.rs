@@ -1,10 +1,10 @@
 //! Criterion bench: scalar vs ONPL speculative coloring on representative
 //! suite stand-ins (one per structural class).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_core::coloring::{color_graph_onpl, color_graph_scalar, ColoringConfig};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec};
+use gp_core::coloring::{color_with, ColoringConfig};
+use gp_metrics::telemetry::NoopRecorder;
 use gp_graph::suite::{build_standin, entry, SuiteScale};
 use gp_simd::engine::Engine;
 
@@ -13,13 +13,14 @@ fn bench_coloring(c: &mut Criterion) {
     let config = ColoringConfig::default();
     for name in ["belgium", "M6", "in-2004", "nlpkkt200"] {
         let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        let spec = KernelSpec::new(Kernel::Coloring).with_backend(Backend::Scalar);
         group.bench_with_input(BenchmarkId::new("scalar", name), &g, |b, g| {
-            b.iter(|| color_graph_scalar(g, &config))
+            b.iter(|| run_kernel(g, &spec, &mut NoopRecorder))
         });
         group.bench_with_input(BenchmarkId::new("onpl", name), &g, |b, g| {
             match Engine::best() {
-                Engine::Native(s) => b.iter(|| color_graph_onpl(&s, g, &config)),
-                Engine::Emulated(s) => b.iter(|| color_graph_onpl(&s, g, &config)),
+                Engine::Native(s) => b.iter(|| color_with(&s, g, &config, &mut NoopRecorder)),
+                Engine::Emulated(s) => b.iter(|| color_with(&s, g, &config, &mut NoopRecorder)),
             }
         });
     }

@@ -1,26 +1,22 @@
 //! Criterion bench: MPLP vs ONLP label propagation (Figure 15's kernel).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use gp_graph::suite::{build_standin, entry, SuiteScale};
-use gp_simd::engine::Engine;
+use gp_metrics::telemetry::NoopRecorder;
 
 fn bench_labelprop(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_propagation");
     group.sample_size(10);
-    let config = LabelPropConfig::default();
     for name in ["belgium", "in-2004", "nlpkkt200"] {
         let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
+        let mplp = KernelSpec::new(Kernel::Labelprop).with_backend(Backend::Scalar);
         group.bench_with_input(BenchmarkId::new("mplp", name), &g, |b, g| {
-            b.iter(|| label_propagation_mplp(g, &config))
+            b.iter(|| run_kernel(g, &mplp, &mut NoopRecorder))
         });
+        let onlp = KernelSpec::new(Kernel::Labelprop).with_backend(Backend::best_vector());
         group.bench_with_input(BenchmarkId::new("onlp", name), &g, |b, g| {
-            match Engine::best() {
-                Engine::Native(s) => b.iter(|| label_propagation_onlp(&s, g, &config)),
-                Engine::Emulated(s) => b.iter(|| label_propagation_onlp(&s, g, &config)),
-            }
+            b.iter(|| run_kernel(g, &onlp, &mut NoopRecorder))
         });
     }
     group.finish();

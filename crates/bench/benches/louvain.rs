@@ -1,10 +1,9 @@
 //! Criterion bench: one Louvain move phase per variant on representative
 //! suite stand-ins (Figure 12's kernel).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_core::louvain::driver::run_move_phase_with;
+use gp_core::louvain::move_phase_with;
+use gp_metrics::telemetry::NoopRecorder;
 use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};
 use gp_core::louvain::{LouvainConfig, MoveState, Variant};
 use gp_core::reduce_scatter::Strategy;
@@ -31,11 +30,11 @@ fn bench_louvain(c: &mut Criterion) {
                 |b, g| match Engine::best() {
                     Engine::Native(s) => b.iter(|| {
                         let state = MoveState::singleton(g);
-                        run_move_phase_with(&s, g, &state, &config)
+                        move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
                     }),
                     Engine::Emulated(s) => b.iter(|| {
                         let state = MoveState::singleton(g);
-                        run_move_phase_with(&s, g, &state, &config)
+                        move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
                     }),
                 },
             );

@@ -7,10 +7,9 @@
 //! vectorized conflict detection, on the suite classes where coloring has
 //! the most work to do.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use gp_bench::harness::{print_header, BenchContext};
-use gp_core::coloring::{color_graph_onpl, ColoringConfig};
+use gp_core::coloring::{color_with, ColoringConfig};
+use gp_metrics::telemetry::NoopRecorder;
 use gp_graph::suite::{build_standin, entry};
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
 use gp_metrics::timer::time_runs;
@@ -32,14 +31,14 @@ fn main() {
         };
         let (t_scalar, t_vector, rounds) = match Engine::best() {
             Engine::Native(s) => (
-                time_runs(&ctx.timing, |_| color_graph_onpl(&s, &g, &base)),
-                time_runs(&ctx.timing, |_| color_graph_onpl(&s, &g, &vc)),
-                color_graph_onpl(&s, &g, &vc).rounds,
+                time_runs(&ctx.timing, |_| color_with(&s, &g, &base, &mut NoopRecorder)),
+                time_runs(&ctx.timing, |_| color_with(&s, &g, &vc, &mut NoopRecorder)),
+                color_with(&s, &g, &vc, &mut NoopRecorder).rounds,
             ),
             Engine::Emulated(s) => (
-                time_runs(&ctx.timing, |_| color_graph_onpl(&s, &g, &base)),
-                time_runs(&ctx.timing, |_| color_graph_onpl(&s, &g, &vc)),
-                color_graph_onpl(&s, &g, &vc).rounds,
+                time_runs(&ctx.timing, |_| color_with(&s, &g, &base, &mut NoopRecorder)),
+                time_runs(&ctx.timing, |_| color_with(&s, &g, &vc, &mut NoopRecorder)),
+                color_with(&s, &g, &vc, &mut NoopRecorder).rounds,
             ),
         };
         table.row(&[

@@ -5,16 +5,24 @@
 //! leaving them unsorted, via lane utilization and move-phase time; and
 //! (b) the preprocessing cost itself relative to one move phase.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use gp_bench::harness::{print_header, BenchContext};
-use gp_core::coloring::{color_graph_scalar, ColoringConfig};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};
 use gp_core::louvain::{LouvainConfig, MoveState, Variant};
 use gp_graph::suite::{build_suite, GraphClass};
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::telemetry::NoopRecorder;
 use gp_metrics::timer::time_runs;
 use gp_simd::engine::Engine;
+
+/// The scalar speculative coloring that feeds OVPL's layout construction.
+fn scalar_coloring(g: &gp_graph::csr::Csr) -> Vec<u32> {
+    let spec = KernelSpec::new(Kernel::Coloring).with_backend(Backend::Scalar);
+    run_kernel(g, &spec, &mut NoopRecorder)
+        .colors()
+        .expect("coloring output")
+        .to_vec()
+}
 
 fn main() {
     let ctx = BenchContext::from_env();
@@ -42,16 +50,16 @@ fn main() {
         ) {
             continue;
         }
-        let coloring = color_graph_scalar(&g, &ColoringConfig::default());
-        let sorted = build_layout(&g, &coloring.colors, true);
-        let unsorted = build_layout(&g, &coloring.colors, false);
+        let colors = scalar_coloring(&g);
+        let sorted = build_layout(&g, &colors, true);
+        let unsorted = build_layout(&g, &colors, false);
         let config = LouvainConfig {
             variant: Variant::Ovpl,
             ..Default::default()
         };
         let preproc = time_runs(&ctx.timing, |_| {
-            let coloring = color_graph_scalar(&g, &ColoringConfig::default());
-            build_layout(&g, &coloring.colors, true)
+            let colors = scalar_coloring(&g);
+            build_layout(&g, &colors, true)
         });
 
         let (t_sorted, t_unsorted) = match Engine::best() {

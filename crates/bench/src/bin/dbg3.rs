@@ -1,15 +1,17 @@
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
 fn main() {
+    use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec};
     use gp_core::louvain::*;
     use gp_core::louvain::ovpl::{build_layout, move_phase_ovpl};
-    use gp_core::coloring::{color_graph_scalar, ColoringConfig};
-    use gp_simd::backend::Emulated;
     use gp_graph::generators::triangular_mesh;
+    use gp_metrics::telemetry::NoopRecorder;
+    use gp_simd::backend::Emulated;
     let g = triangular_mesh(36, 36, 5);
-    let coloring = color_graph_scalar(&g, &ColoringConfig::sequential());
+    let spec = KernelSpec::new(Kernel::Coloring).sequential().with_backend(Backend::Scalar);
+    let coloring = run_kernel(&g, &spec, &mut NoopRecorder);
+    let colors = coloring.colors().unwrap();
     for sort in [true, false] {
-        let layout = build_layout(&g, &coloring.colors, sort);
+        let layout = build_layout(&g, colors, sort);
         let st = MoveState::singleton(&g);
         let cfg = LouvainConfig::sequential(Variant::Ovpl);
         let stats = move_phase_ovpl(&Emulated, &layout, &st, &cfg);

@@ -8,19 +8,11 @@
 //!   SkylakeX/Cascade-Lake cost model, the substitution for the paper's
 //!   second machine (DESIGN.md §2).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use gp_core::coloring::{
-    color_graph_onpl, color_graph_onpl_recorded, color_graph_scalar,
-    color_graph_scalar_recorded, ColoringConfig, ColoringResult,
-};
-use gp_core::labelprop::{
-    label_propagation_mplp, label_propagation_onlp, label_propagation_onlp_recorded,
-    LabelPropConfig,
-};
-use gp_core::louvain::driver::{run_move_phase_with, run_move_phase_with_recorded};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
+use gp_core::coloring::{color_with, ColoringConfig, ColoringResult};
 use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};
-use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_core::louvain::{move_phase_with, LouvainConfig, MoveState, Variant};
+use gp_metrics::telemetry::NoopRecorder;
 use gp_graph::csr::Csr;
 use gp_graph::suite::SuiteScale;
 use gp_metrics::stats::Summary;
@@ -199,11 +191,11 @@ pub fn time_louvain_move(g: &Csr, variant: Variant, ctx: &BenchContext) -> Summa
         _ => match Engine::best() {
             Engine::Native(s) => time_runs(&ctx.timing, |_| {
                 let state = MoveState::singleton(g);
-                run_move_phase_with(&s, g, &state, &config)
+                move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
             }),
             Engine::Emulated(s) => time_runs(&ctx.timing, |_| {
                 let state = MoveState::singleton(g);
-                run_move_phase_with(&s, g, &state, &config)
+                move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
             }),
         },
     }
@@ -220,7 +212,7 @@ pub fn counts_louvain_move(g: &Csr, variant: Variant) -> OpCounts {
     let s: Counted<Emulated> = Counted::new(Emulated);
     let ((), counts) = counters::counted_run(|| {
         let state = MoveState::singleton(g);
-        run_move_phase_with(&s, g, &state, &config);
+        move_phase_with(&s, g, &state, &config, &mut NoopRecorder);
     });
     counts
 }
@@ -229,39 +221,51 @@ pub fn counts_louvain_move(g: &Csr, variant: Variant) -> OpCounts {
 pub fn quality_louvain_move(g: &Csr, variant: Variant) -> f64 {
     let config = LouvainConfig::sequential(variant);
     let state = MoveState::singleton(g);
-    run_move_phase_with(&Emulated, g, &state, &config);
+    move_phase_with(&Emulated, g, &state, &config, &mut NoopRecorder);
     gp_core::louvain::modularity(g, &state.communities())
 }
 
 /// Modularity of a full multilevel Louvain run — what Figure 11b compares
 /// (coarsening erases most schedule-order differences between variants).
 pub fn quality_louvain_full(g: &Csr, variant: Variant) -> f64 {
-    gp_core::louvain::louvain(g, &LouvainConfig::sequential(variant)).modularity
+    let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Louvain(r) => r.modularity,
+        _ => unreachable!(),
+    }
 }
 
 // ---------------------------------------------------------------- Coloring
 
 /// Wall-clock of a full speculative coloring run.
 pub fn time_coloring(g: &Csr, vectorized: bool, ctx: &BenchContext) -> Summary {
-    let config = ColoringConfig::default();
     if vectorized {
+        let config = ColoringConfig::default();
         match Engine::best() {
-            Engine::Native(s) => time_runs(&ctx.timing, |_| color_graph_onpl(&s, g, &config)),
-            Engine::Emulated(s) => time_runs(&ctx.timing, |_| color_graph_onpl(&s, g, &config)),
+            Engine::Native(s) => {
+                time_runs(&ctx.timing, |_| color_with(&s, g, &config, &mut NoopRecorder))
+            }
+            Engine::Emulated(s) => {
+                time_runs(&ctx.timing, |_| color_with(&s, g, &config, &mut NoopRecorder))
+            }
         }
     } else {
-        time_runs(&ctx.timing, |_| color_graph_scalar(g, &config))
+        let spec = KernelSpec::new(Kernel::Coloring).with_backend(Backend::Scalar);
+        time_runs(&ctx.timing, |_| run_kernel(g, &spec, &mut NoopRecorder))
     }
 }
 
 /// Op counts of a sequential coloring run.
 pub fn counts_coloring(g: &Csr, vectorized: bool) -> (ColoringResult, OpCounts) {
-    let config = ColoringConfig::sequential().counted();
-    if vectorized {
-        let s: Counted<Emulated> = Counted::new(Emulated);
-        counters::counted_run(|| color_graph_onpl(&s, g, &config))
-    } else {
-        counters::counted_run(|| color_graph_scalar(g, &config))
+    let backend = if vectorized { Backend::Emulated } else { Backend::Scalar };
+    let spec = KernelSpec::new(Kernel::Coloring)
+        .sequential()
+        .counted()
+        .with_backend(backend);
+    let (out, counts) = counters::counted_run(|| run_kernel(g, &spec, &mut NoopRecorder));
+    match out {
+        KernelOutput::Coloring(r) => (r, counts),
+        _ => unreachable!(),
     }
 }
 
@@ -269,34 +273,23 @@ pub fn counts_coloring(g: &Csr, vectorized: bool) -> (ColoringResult, OpCounts) 
 
 /// Wall-clock of a full label-propagation run.
 pub fn time_labelprop(g: &Csr, vectorized: bool, ctx: &BenchContext) -> Summary {
-    let config = LabelPropConfig::default();
-    if vectorized {
-        match Engine::best() {
-            Engine::Native(s) => {
-                time_runs(&ctx.timing, |_| label_propagation_onlp(&s, g, &config))
-            }
-            Engine::Emulated(s) => {
-                time_runs(&ctx.timing, |_| label_propagation_onlp(&s, g, &config))
-            }
-        }
+    let backend = if vectorized {
+        Backend::best_vector()
     } else {
-        time_runs(&ctx.timing, |_| label_propagation_mplp(g, &config))
-    }
+        Backend::Scalar
+    };
+    let spec = KernelSpec::new(Kernel::Labelprop).with_backend(backend);
+    time_runs(&ctx.timing, |_| run_kernel(g, &spec, &mut NoopRecorder))
 }
 
 /// Op counts of a sequential label-propagation run.
 pub fn counts_labelprop(g: &Csr, vectorized: bool) -> OpCounts {
-    let config = LabelPropConfig {
-        parallel: false,
-        count_ops: true,
-        ..Default::default()
-    };
-    if vectorized {
-        let s: Counted<Emulated> = Counted::new(Emulated);
-        counters::counted_run(|| label_propagation_onlp(&s, g, &config)).1
-    } else {
-        counters::counted_run(|| label_propagation_mplp(g, &config)).1
-    }
+    let backend = if vectorized { Backend::Emulated } else { Backend::Scalar };
+    let spec = KernelSpec::new(Kernel::Labelprop)
+        .sequential()
+        .counted()
+        .with_backend(backend);
+    counters::counted_run(|| run_kernel(g, &spec, &mut NoopRecorder)).1
 }
 
 // ------------------------------------------------------------- Tracing
@@ -331,12 +324,16 @@ pub fn emit_traces(prefix: &str, g: &Csr) {
         }
     };
 
-    let coloring_cfg = ColoringConfig::sequential().counted();
     let mut rec = TraceRecorder::new("coloring-scalar");
-    counters::counted_run(|| color_graph_scalar_recorded(g, &coloring_cfg, &mut rec));
+    let spec = KernelSpec::new(Kernel::Coloring)
+        .sequential()
+        .counted()
+        .with_backend(Backend::Scalar);
+    counters::counted_run(|| run_kernel(g, &spec, &mut rec));
     emit("coloring-scalar", rec);
     let mut rec = TraceRecorder::new("coloring-onpl");
-    counters::counted_run(|| color_graph_onpl_recorded(&s, g, &coloring_cfg, &mut rec));
+    let spec = spec.with_backend(Backend::Emulated);
+    counters::counted_run(|| run_kernel(g, &spec, &mut rec));
     emit("coloring-onpl", rec);
 
     for variant in [
@@ -351,18 +348,17 @@ pub fn emit_traces(prefix: &str, g: &Csr) {
         let mut rec = TraceRecorder::new(kernel.clone());
         counters::counted_run(|| {
             let state = MoveState::singleton(g);
-            run_move_phase_with_recorded(&s, g, &state, &config, &mut rec);
+            move_phase_with(&s, g, &state, &config, &mut rec);
         });
         emit(&kernel, rec);
     }
 
-    let lp_cfg = LabelPropConfig {
-        parallel: false,
-        count_ops: true,
-        ..Default::default()
-    };
     let mut rec = TraceRecorder::new("labelprop-onlp");
-    counters::counted_run(|| label_propagation_onlp_recorded(&s, g, &lp_cfg, &mut rec));
+    let spec = KernelSpec::new(Kernel::Labelprop)
+        .sequential()
+        .counted()
+        .with_backend(Backend::Emulated);
+    counters::counted_run(|| run_kernel(g, &spec, &mut rec));
     emit("labelprop-onlp", rec);
 }
 

@@ -26,9 +26,9 @@ USAGE:
           [--backend auto|scalar]
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
-  gpart serve     [--addr host:port] [--workers n] [--queue-depth n]
-                  [--graph-cache n] [--result-cache n] [--deadline-ms n]
-                  [--max-vertices n]
+  gpart serve     [--addr host:port] [--workers n] [--shards n]
+                  [--queue-depth n] [--graph-cache n] [--result-cache n]
+                  [--deadline-ms n] [--max-vertices n]
   gpart --version
 
 Graph formats by extension: .el/.txt/.edges (edge list),
@@ -296,6 +296,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(0),
     };
+    let (shards, rest) = numeric_flag::<usize>(&rest, "--shards", 1)?;
     let (queue_depth, rest) = numeric_flag::<usize>(&rest, "--queue-depth", 64)?;
     let (graph_cache, rest) = numeric_flag::<usize>(&rest, "--graph-cache", 8)?;
     let (result_cache, rest) = numeric_flag::<usize>(&rest, "--result-cache", 256)?;
@@ -307,6 +308,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let cfg = gp_serve::ServeConfig {
         addr: addr.unwrap_or_else(|| "127.0.0.1:7201".to_string()),
         workers,
+        shards,
         queue_depth,
         graph_cache,
         result_cache,

@@ -5,9 +5,8 @@
 //! (`color_graph*`, `label_propagation*`, `louvain*`, `run_move_phase*`)
 //! that callers previously had to dispatch over by hand — the serve
 //! worker, the CLI, and the benchmark bins each carried their own copy of
-//! that match. Those functions remain available as thin deprecated
-//! wrappers; new code describes the run with a [`KernelSpec`] and lets the
-//! library dispatch:
+//! that match. Those functions are gone; callers describe the run with a
+//! [`KernelSpec`] and let the library dispatch:
 //!
 //! ```
 //! use gp_core::api::{run_kernel, Kernel, KernelSpec};
@@ -34,6 +33,9 @@ pub use crate::louvain::Variant;
 pub use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RunInfo};
+use gp_simd::backend::Emulated;
+use gp_simd::counted::Counted;
+use gp_simd::engine::Engine;
 use std::fmt;
 use std::str::FromStr;
 
@@ -130,6 +132,8 @@ impl FromStr for Variant {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Best available: AVX-512 when the CPU has it, emulated otherwise.
+    /// For coloring and label propagation an emulated host runs the scalar
+    /// reference kernel (emulating lane-by-lane would only be slower).
     #[default]
     Auto,
     /// Force the scalar reference kernel (greedy coloring / MPLP). The
@@ -137,6 +141,15 @@ pub enum Backend {
     /// are scalar by construction — so `Scalar` does not override the
     /// variant there.
     Scalar,
+    /// Pin the software-emulated 16-lane vector backend. With
+    /// [`KernelSpec::counted`] the run goes through `Counted<Emulated>` so
+    /// vector op counts land in `gp_simd::counters` (modeled runs).
+    Emulated,
+    /// Pin the AVX-512 backend. On hosts without AVX-512 this falls back to
+    /// the emulated backend (outputs are bit-identical by the backend
+    /// equivalence contract); the result's [`KernelOutput::backend`]
+    /// reports what actually ran.
+    Native,
 }
 
 impl Backend {
@@ -145,6 +158,19 @@ impl Backend {
         match self {
             Backend::Auto => "auto",
             Backend::Scalar => "scalar",
+            Backend::Emulated => "emulated",
+            Backend::Native => "native",
+        }
+    }
+
+    /// The explicit pin matching [`Engine::best`]: [`Backend::Native`] on
+    /// AVX-512 hosts, [`Backend::Emulated`] elsewhere. Benchmarks use this
+    /// to say "the vectorized configuration" with an explicit backend.
+    pub fn best_vector() -> Backend {
+        if Engine::best().is_native() {
+            Backend::Native
+        } else {
+            Backend::Emulated
         }
     }
 }
@@ -162,7 +188,11 @@ impl FromStr for Backend {
         match s {
             "auto" => Ok(Backend::Auto),
             "scalar" => Ok(Backend::Scalar),
-            other => Err(format!("unknown backend '{other}' (auto|scalar)")),
+            "emulated" => Ok(Backend::Emulated),
+            "native" | "avx512" => Ok(Backend::Native),
+            other => Err(format!(
+                "unknown backend '{other}' (auto|scalar|emulated|native)"
+            )),
         }
     }
 }
@@ -342,15 +372,43 @@ impl KernelOutput {
     }
 }
 
+/// Resolves an explicitly pinned vector backend ([`Backend::Emulated`] or
+/// [`Backend::Native`]) to a concrete `Simd` value — wrapped in
+/// [`Counted`] when op counting is requested, falling back to emulated when
+/// AVX-512 is absent — and runs `$body` with `$s` bound to a reference.
+macro_rules! with_vector_backend {
+    ($backend:expr, $count_ops:expr, |$s:ident| $body:expr) => {{
+        let native = match ($backend, Engine::best()) {
+            (Backend::Native, Engine::Native(n)) => Some(n),
+            _ => None,
+        };
+        match (native, $count_ops) {
+            (Some($s), false) => $body,
+            (Some(n), true) => {
+                let $s = Counted::new(n);
+                $body
+            }
+            (None, false) => {
+                let $s = Emulated;
+                $body
+            }
+            (None, true) => {
+                let $s = Counted::new(Emulated);
+                $body
+            }
+        }
+    }};
+}
+
 /// Runs the kernel described by `spec` on `g`, delivering per-round
 /// telemetry (and deadline polls) to `rec`.
 ///
 /// This is the single dispatch point over kernel × variant × backend ×
-/// sweep; the per-kernel entry functions it subsumes are deprecated
-/// wrappers around the same code paths, so behavior (including
-/// bit-identical outputs across sweep modes and thread counts) is
-/// unchanged.
-#[allow(deprecated)] // sole sanctioned caller of the legacy entrypoints
+/// sweep. `Auto` picks the best engine the way the paper's measured
+/// configurations do (vectorized assignment on AVX-512 hosts, the scalar
+/// reference otherwise); `Emulated`/`Native` pin the vector backend
+/// explicitly, and combined with [`KernelSpec::counted`] route through
+/// `Counted<_>` so vector op counts reach `gp_simd::counters`.
 pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> KernelOutput {
     match spec.kernel {
         Kernel::Coloring => {
@@ -361,8 +419,18 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 ..Default::default()
             };
             let r = match spec.backend {
-                Backend::Auto => crate::coloring::color_graph_recorded(g, &cfg, rec),
-                Backend::Scalar => crate::coloring::color_graph_scalar_recorded(g, &cfg, rec),
+                Backend::Scalar => crate::coloring::greedy::color_graph_scalar_recorded(g, &cfg, rec),
+                Backend::Auto => match Engine::best() {
+                    Engine::Native(s) => crate::coloring::color_with(&s, g, &cfg, rec),
+                    Engine::Emulated(_) => {
+                        crate::coloring::greedy::color_graph_scalar_recorded(g, &cfg, rec)
+                    }
+                },
+                Backend::Emulated | Backend::Native => {
+                    with_vector_backend!(spec.backend, spec.count_ops, |s| {
+                        crate::coloring::color_with(&s, g, &cfg, rec)
+                    })
+                }
             };
             KernelOutput::Coloring(r)
         }
@@ -374,7 +442,17 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 sweep: spec.sweep,
                 ..Default::default()
             };
-            KernelOutput::Louvain(crate::louvain::louvain_recorded(g, &cfg, rec))
+            let r = match spec.backend {
+                Backend::Auto | Backend::Scalar => {
+                    crate::louvain::driver::louvain_recorded(g, &cfg, rec)
+                }
+                Backend::Emulated | Backend::Native => {
+                    with_vector_backend!(spec.backend, spec.count_ops, |s| {
+                        crate::louvain::driver::louvain_pinned_recorded(&s, g, &cfg, rec)
+                    })
+                }
+            };
+            KernelOutput::Louvain(r)
         }
         Kernel::Labelprop => {
             let cfg = LabelPropConfig {
@@ -385,8 +463,22 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 ..Default::default()
             };
             let r = match spec.backend {
-                Backend::Auto => crate::labelprop::label_propagation_recorded(g, &cfg, rec),
-                Backend::Scalar => crate::labelprop::label_propagation_mplp_recorded(g, &cfg, rec),
+                Backend::Scalar => {
+                    crate::labelprop::mplp::label_propagation_mplp_recorded(g, &cfg, rec)
+                }
+                Backend::Auto => match Engine::best() {
+                    Engine::Native(s) => {
+                        crate::labelprop::onlp::label_propagation_onlp_recorded(&s, g, &cfg, rec)
+                    }
+                    Engine::Emulated(_) => {
+                        crate::labelprop::mplp::label_propagation_mplp_recorded(g, &cfg, rec)
+                    }
+                },
+                Backend::Emulated | Backend::Native => {
+                    with_vector_backend!(spec.backend, spec.count_ops, |s| {
+                        crate::labelprop::onlp::label_propagation_onlp_recorded(&s, g, &cfg, rec)
+                    })
+                }
             };
             KernelOutput::Labelprop(r)
         }
@@ -395,12 +487,11 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the equivalence tests compare against the legacy API
-
     use super::*;
     use crate::coloring::verify_coloring;
     use gp_graph::generators::{planted_partition, triangular_mesh};
     use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
+    use gp_simd::counters;
 
     #[test]
     fn kernel_strings_round_trip() {
@@ -415,7 +506,12 @@ mod tests {
             assert_eq!(k.cache_label().parse::<Kernel>().unwrap(), k);
             assert_eq!(k.to_string(), k.cache_label());
         }
-        for b in [Backend::Auto, Backend::Scalar] {
+        for b in [
+            Backend::Auto,
+            Backend::Scalar,
+            Backend::Emulated,
+            Backend::Native,
+        ] {
             assert_eq!(b.name().parse::<Backend>().unwrap(), b);
         }
         for m in [SweepMode::Full, SweepMode::Active] {
@@ -435,6 +531,7 @@ mod tests {
             "onpl-ivr".parse::<Variant>().unwrap(),
             Variant::Onpl(Strategy::InVectorReduce)
         );
+        assert_eq!("avx512".parse::<Backend>().unwrap(), Backend::Native);
         assert!("pagerank".parse::<Kernel>().is_err());
         assert!("louvain-x".parse::<Kernel>().is_err());
         assert!("gpu".parse::<Backend>().is_err());
@@ -446,6 +543,8 @@ mod tests {
         let base = KernelSpec::new(Kernel::Louvain(Variant::Mplm));
         let mut tokens = vec![base.cache_token()];
         tokens.push(base.with_backend(Backend::Scalar).cache_token());
+        tokens.push(base.with_backend(Backend::Emulated).cache_token());
+        tokens.push(base.with_backend(Backend::Native).cache_token());
         tokens.push(base.with_sweep(SweepMode::Full).cache_token());
         tokens.push(base.with_seed(7).cache_token());
         tokens.push(KernelSpec::new(Kernel::Louvain(Variant::Ovpl)).cache_token());
@@ -454,24 +553,37 @@ mod tests {
     }
 
     #[test]
-    fn run_kernel_matches_legacy_coloring() {
+    fn pinned_vector_coloring_matches_scalar() {
+        // Sequential runs are deterministic and the backends implement the
+        // same greedy rule, so every pin must give identical colors.
         let g = triangular_mesh(10, 10, 4);
-        let spec = KernelSpec::new(Kernel::Coloring).sequential();
-        let out = run_kernel(&g, &spec, &mut NoopRecorder);
-        let legacy = crate::coloring::color_graph(
+        let scalar = run_kernel(
             &g,
-            &ColoringConfig {
-                parallel: false,
-                ..Default::default()
-            },
+            &KernelSpec::new(Kernel::Coloring)
+                .sequential()
+                .with_backend(Backend::Scalar),
+            &mut NoopRecorder,
         );
-        assert_eq!(out.as_coloring().unwrap(), &legacy);
-        assert!(verify_coloring(&g, out.colors().unwrap()).is_ok());
-        assert_eq!(out.rounds(), legacy.rounds);
+        assert!(verify_coloring(&g, scalar.colors().unwrap()).is_ok());
+        for backend in [Backend::Auto, Backend::Emulated, Backend::Native] {
+            let out = run_kernel(
+                &g,
+                &KernelSpec::new(Kernel::Coloring)
+                    .sequential()
+                    .with_backend(backend),
+                &mut NoopRecorder,
+            );
+            assert_eq!(
+                out.colors().unwrap(),
+                scalar.colors().unwrap(),
+                "{}",
+                backend.name()
+            );
+        }
     }
 
     #[test]
-    fn run_kernel_matches_legacy_louvain_all_variants() {
+    fn louvain_all_variants_and_pins_agree() {
         let g = planted_partition(3, 12, 0.7, 0.05, 11);
         for variant in [
             Variant::Plm,
@@ -479,37 +591,71 @@ mod tests {
             Variant::Onpl(Strategy::Adaptive),
             Variant::Ovpl,
         ] {
-            let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
-            let out = run_kernel(&g, &spec, &mut NoopRecorder);
-            let legacy = crate::louvain::louvain(&g, &LouvainConfig::sequential(variant));
-            let r = out.as_louvain().unwrap();
-            assert_eq!(r.communities, legacy.communities, "{}", variant.name());
-            assert_eq!(r.modularity, legacy.modularity);
-            assert_eq!(out.rounds(), legacy.levels);
-            assert_eq!(out.communities().unwrap(), &legacy.communities[..]);
+            let auto = run_kernel(
+                &g,
+                &KernelSpec::new(Kernel::Louvain(variant)).sequential(),
+                &mut NoopRecorder,
+            );
+            let pinned = run_kernel(
+                &g,
+                &KernelSpec::new(Kernel::Louvain(variant))
+                    .sequential()
+                    .with_backend(Backend::Emulated),
+                &mut NoopRecorder,
+            );
+            let a = auto.as_louvain().unwrap();
+            let p = pinned.as_louvain().unwrap();
+            assert_eq!(a.communities, p.communities, "{}", variant.name());
+            assert_eq!(a.modularity, p.modularity);
+            assert!(a.modularity > 0.0);
+            assert_eq!(auto.communities().unwrap(), &a.communities[..]);
         }
     }
 
     #[test]
-    fn run_kernel_matches_legacy_labelprop_both_backends() {
+    fn labelprop_backend_pins_agree_with_dispatch() {
         let g = planted_partition(4, 10, 0.8, 0.02, 5);
-        for backend in [Backend::Auto, Backend::Scalar] {
+        let run = |backend: Backend| {
             let spec = KernelSpec::new(Kernel::Labelprop)
                 .sequential()
                 .with_backend(backend)
                 .with_seed(99);
-            let out = run_kernel(&g, &spec, &mut NoopRecorder);
-            let cfg = LabelPropConfig {
-                parallel: false,
-                seed: 99,
-                ..Default::default()
-            };
-            let legacy = match backend {
-                Backend::Auto => crate::labelprop::label_propagation(&g, &cfg),
-                Backend::Scalar => crate::labelprop::label_propagation_mplp(&g, &cfg),
-            };
-            assert_eq!(out.as_labelprop().unwrap(), &legacy, "{}", backend.name());
-        }
+            run_kernel(&g, &spec, &mut NoopRecorder)
+        };
+        let scalar = run(Backend::Scalar);
+        let emulated = run(Backend::Emulated);
+        let native = run(Backend::Native);
+        // The two vector pins run the same 16-lane ONLP and must agree
+        // bit-for-bit (Native falls back to Emulated without AVX-512).
+        assert_eq!(
+            emulated.as_labelprop().unwrap(),
+            native.as_labelprop().unwrap()
+        );
+        // Auto dispatches to ONLP on native hosts and MPLP otherwise, and
+        // must match that pin exactly. MPLP and ONLP themselves may break
+        // label-weight ties differently, so no cross-algorithm equality.
+        let auto = run(Backend::Auto);
+        let expect = if Engine::best().is_native() { &native } else { &scalar };
+        assert_eq!(
+            auto.as_labelprop().unwrap(),
+            expect.as_labelprop().unwrap()
+        );
+        assert!(scalar.converged() && auto.converged());
+    }
+
+    #[test]
+    fn counted_emulated_pin_records_vector_ops() {
+        let g = triangular_mesh(8, 8, 2);
+        let spec = KernelSpec::new(Kernel::Coloring)
+            .sequential()
+            .with_backend(Backend::Emulated)
+            .counted();
+        let (out, counts) = counters::counted_run(|| run_kernel(&g, &spec, &mut NoopRecorder));
+        assert!(out.converged());
+        assert!(
+            counts.total_vector() > 0,
+            "counted emulated run recorded no vector ops: {counts:?}"
+        );
     }
 
     #[test]
@@ -537,5 +683,32 @@ mod tests {
             &mut NoopRecorder,
         );
         assert_eq!(out.backend(), "scalar");
+    }
+
+    #[test]
+    fn native_pin_reports_what_actually_ran() {
+        let g = triangular_mesh(6, 6, 1);
+        let out = run_kernel(
+            &g,
+            &KernelSpec::new(Kernel::Coloring)
+                .sequential()
+                .with_backend(Backend::Native),
+            &mut NoopRecorder,
+        );
+        // On AVX-512 hosts this is the native backend; elsewhere the pin
+        // falls back and says so.
+        assert!(
+            out.backend() == "avx512" || out.backend() == "emulated",
+            "{}",
+            out.backend()
+        );
+        assert_eq!(
+            Backend::best_vector(),
+            if Engine::best().is_native() {
+                Backend::Native
+            } else {
+                Backend::Emulated
+            }
+        );
     }
 }

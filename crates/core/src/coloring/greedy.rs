@@ -124,16 +124,14 @@ pub(crate) fn detect_conflicts(
 }
 
 /// Runs the full iterative speculative coloring with the scalar assignment
-/// kernel (Algorithm 1).
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn color_graph_scalar(g: &Csr, config: &ColoringConfig) -> ColoringResult {
+/// kernel (Algorithm 1). Crate-internal: external callers reach this as
+/// `run_kernel` with `Backend::Scalar`.
+pub(crate) fn color_graph_scalar(g: &Csr, config: &ColoringConfig) -> ColoringResult {
     color_graph_scalar_recorded(g, config, &mut NoopRecorder)
 }
 
 /// [`color_graph_scalar`] with per-round telemetry.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn color_graph_scalar_recorded<R: Recorder>(
+pub(crate) fn color_graph_scalar_recorded<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,
     rec: &mut R,
@@ -250,8 +248,6 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::super::verify::verify_coloring;
     use super::*;
     use gp_graph::builder::from_pairs;

@@ -12,17 +12,13 @@ pub mod onpl;
 pub mod verify;
 
 pub use greedy::assign_colors_scalar;
-#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
-pub use greedy::{color_graph_scalar, color_graph_scalar_recorded};
+pub(crate) use greedy::color_graph_scalar;
 pub use onpl::assign_colors_onpl;
-#[allow(deprecated)]
-pub use onpl::{color_graph_onpl, color_graph_onpl_recorded};
+pub use onpl::color_with;
 pub use verify::{count_colors, verify_coloring};
 
 use crate::frontier::SweepMode;
-use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{Recorder, RunInfo};
-use gp_simd::engine::Engine;
+use gp_metrics::telemetry::RunInfo;
 
 /// Configuration shared by all coloring variants.
 #[derive(Debug, Clone)]
@@ -107,37 +103,3 @@ impl PartialEq for ColoringResult {
     }
 }
 
-/// Colors a graph with the best available backend: ONPL-vectorized
-/// assignment when the CPU has AVX-512, scalar otherwise.
-///
-/// ```
-/// use gp_core::coloring::{color_graph, verify_coloring, ColoringConfig};
-/// use gp_graph::generators::cycle;
-///
-/// let g = cycle(10);
-/// let r = color_graph(&g, &ColoringConfig::default());
-/// assert!(verify_coloring(&g, &r.colors).is_ok());
-/// assert_eq!(r.num_colors, 2);
-/// ```
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn color_graph(g: &Csr, config: &ColoringConfig) -> ColoringResult {
-    match Engine::best() {
-        Engine::Native(s) => color_graph_onpl(&s, g, config),
-        Engine::Emulated(_) => color_graph_scalar(g, config),
-    }
-}
-
-/// [`color_graph`] with per-round telemetry delivered to `rec`.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn color_graph_recorded<R: Recorder>(
-    g: &Csr,
-    config: &ColoringConfig,
-    rec: &mut R,
-) -> ColoringResult {
-    match Engine::best() {
-        Engine::Native(s) => color_graph_onpl_recorded(&s, g, config, rec),
-        Engine::Emulated(_) => color_graph_scalar_recorded(g, config, rec),
-    }
-}

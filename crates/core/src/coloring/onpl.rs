@@ -12,7 +12,7 @@
 use super::greedy::{run_iterative, run_iterative_with_detect};
 use super::{ColoringConfig, ColoringResult};
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder};
+use gp_metrics::telemetry::Recorder;
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 use rayon::prelude::*;
@@ -178,18 +178,13 @@ pub fn detect_conflicts_onpl<S: Simd + Sync>(
     newconf
 }
 
-/// Full iterative speculative coloring with the ONPL assignment kernel.
-/// Conflict detection follows `config.vectorized_conflicts`: scalar (the
-/// paper's measured configuration) or the vectorized extension.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn color_graph_onpl<S: Simd + Sync>(s: &S, g: &Csr, config: &ColoringConfig) -> ColoringResult {
-    color_graph_onpl_recorded(s, g, config, &mut NoopRecorder)
-}
-
-/// [`color_graph_onpl`] with per-round telemetry.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn color_graph_onpl_recorded<S: Simd + Sync, R: Recorder>(
+/// Full iterative speculative coloring with the ONPL assignment kernel on
+/// an explicitly pinned backend `s` — the expert entrypoint for ablations
+/// that need full [`ColoringConfig`] control (e.g. `vectorized_conflicts`,
+/// which `run_kernel` deliberately does not expose). Conflict detection
+/// follows `config.vectorized_conflicts`: scalar (the paper's measured
+/// configuration) or the vectorized extension.
+pub fn color_with<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
     config: &ColoringConfig,
@@ -217,18 +212,21 @@ pub fn color_graph_onpl_recorded<S: Simd + Sync, R: Recorder>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::super::greedy::color_graph_scalar;
     use super::super::verify::verify_coloring;
     use super::*;
+    use gp_metrics::telemetry::NoopRecorder;
     use gp_simd::backend::Emulated;
     use gp_graph::generators::{clique, cycle, erdos_renyi, path, preferential_attachment, star, triangular_mesh};
 
     const S: Emulated = Emulated;
 
+    fn onpl(g: &Csr, config: &ColoringConfig) -> ColoringResult {
+        color_with(&S, g, config, &mut NoopRecorder)
+    }
+
     fn check(g: &Csr, config: &ColoringConfig) -> ColoringResult {
-        let r = color_graph_onpl(&S, g, config);
+        let r = onpl(g, config);
         verify_coloring(g, &r.colors).expect("invalid ONPL coloring");
         r
     }
@@ -297,8 +295,8 @@ mod tests {
             vectorized_conflicts: true,
             ..ColoringConfig::sequential()
         };
-        let a = color_graph_onpl(&S, &g, &base);
-        let b = color_graph_onpl(&S, &g, &vc);
+        let a = color_with(&S, &g, &base, &mut NoopRecorder);
+        let b = color_with(&S, &g, &vc, &mut NoopRecorder);
         // Sequential speculative runs are deterministic: both pipelines must
         // converge to the same coloring in the same number of rounds.
         assert_eq!(a.colors, b.colors);
@@ -325,8 +323,8 @@ mod tests {
         if let Some(native) = gp_simd::backend::Avx512::new() {
             let g = erdos_renyi(400, 2400, 21);
             let cfg = ColoringConfig::sequential();
-            let a = color_graph_onpl(&native, &g, &cfg);
-            let b = color_graph_onpl(&S, &g, &cfg);
+            let a = color_with(&native, &g, &cfg, &mut NoopRecorder);
+            let b = color_with(&S, &g, &cfg, &mut NoopRecorder);
             assert_eq!(a.colors, b.colors);
         }
     }

@@ -12,17 +12,11 @@
 pub mod mplp;
 pub mod onlp;
 
-#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
-pub use mplp::{label_propagation_mplp, label_propagation_mplp_recorded};
-#[allow(deprecated)]
-pub use onlp::{label_propagation_onlp, label_propagation_onlp_recorded};
-
 use crate::frontier::{run_chunked, Frontier, SweepMode};
 use crate::louvain::mplm::AffinityBuf;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::counters;
-use gp_simd::engine::Engine;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Label propagation configuration.
@@ -258,35 +252,3 @@ impl PartialEq for LabelPropResult {
     }
 }
 
-/// Runs label propagation with the best available backend (ONLP on AVX-512
-/// hosts, MPLP otherwise).
-///
-/// ```
-/// use gp_core::labelprop::{label_propagation, LabelPropConfig};
-/// use gp_graph::generators::clique;
-///
-/// let r = label_propagation(&clique(6), &LabelPropConfig::default());
-/// assert!(r.labels.iter().all(|&l| l == r.labels[0]));
-/// ```
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn label_propagation(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
-    match Engine::best() {
-        Engine::Native(s) => label_propagation_onlp(&s, g, config),
-        Engine::Emulated(_) => label_propagation_mplp(g, config),
-    }
-}
-
-/// [`label_propagation`] with per-sweep telemetry delivered to `rec`.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn label_propagation_recorded<R: Recorder>(
-    g: &Csr,
-    config: &LabelPropConfig,
-    rec: &mut R,
-) -> LabelPropResult {
-    match Engine::best() {
-        Engine::Native(s) => label_propagation_onlp_recorded(&s, g, config, rec),
-        Engine::Emulated(_) => label_propagation_mplp_recorded(g, config, rec),
-    }
-}

@@ -8,7 +8,9 @@
 use super::{run_lp_sweeps, LabelPropConfig, LabelPropResult};
 use crate::louvain::mplm::AffinityBuf;
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder};
+use gp_metrics::telemetry::Recorder;
+#[cfg(test)]
+use gp_metrics::telemetry::NoopRecorder;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Picks the heaviest neighborhood label for `u`. Ties prefer the current
@@ -51,10 +53,10 @@ pub(crate) fn best_label_scalar(
     Some(best)
 }
 
-/// Runs MPLP label propagation.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
+/// Runs MPLP label propagation. Test-only convenience: external callers
+/// reach this as `run_kernel` with `Backend::Scalar`.
+#[cfg(test)]
+pub(crate) fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropResult {
     label_propagation_mplp_recorded(g, config, &mut NoopRecorder)
 }
 
@@ -63,8 +65,7 @@ pub fn label_propagation_mplp(g: &Csr, config: &LabelPropConfig) -> LabelPropRes
 /// All sweep machinery (frontier, ordering, chunked deadline polling,
 /// convergence) lives in [`run_lp_sweeps`]; this variant contributes the
 /// scalar heaviest-label kernel.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn label_propagation_mplp_recorded<R: Recorder>(
+pub(crate) fn label_propagation_mplp_recorded<R: Recorder>(
     g: &Csr,
     config: &LabelPropConfig,
     rec: &mut R,
@@ -74,8 +75,6 @@ pub fn label_propagation_mplp_recorded<R: Recorder>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::*;
     use crate::louvain::modularity::modularity;
     use gp_graph::builder::from_pairs;

@@ -13,7 +13,9 @@ use crate::louvain::mplm::AffinityBuf;
 use crate::reduce_scatter::Strategy;
 use crate::vector_affinity::accumulate;
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, Recorder};
+use gp_metrics::telemetry::Recorder;
+#[cfg(test)]
+use gp_metrics::telemetry::NoopRecorder;
 use gp_simd::backend::Simd;
 use gp_simd::vector::LANES;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -84,10 +86,10 @@ fn best_label_onlp<S: Simd>(
     Some(best)
 }
 
-/// Runs ONLP label propagation.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn label_propagation_onlp<S: Simd + Sync>(
+/// Runs ONLP label propagation. Test-only convenience: external callers
+/// reach this as `run_kernel` with a pinned vector backend.
+#[cfg(test)]
+pub(crate) fn label_propagation_onlp<S: Simd + Sync>(
     s: &S,
     g: &Csr,
     config: &LabelPropConfig,
@@ -105,8 +107,7 @@ pub fn label_propagation_onlp<S: Simd + Sync>(
 /// vertices — no wasted lanes on inactive ones.
 ///
 /// [`SweepMode::Active`]: crate::frontier::SweepMode::Active
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
+pub(crate) fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
     config: &LabelPropConfig,
@@ -119,8 +120,6 @@ pub fn label_propagation_onlp_recorded<S: Simd + Sync, R: Recorder>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::super::mplp::label_propagation_mplp;
     use super::*;
     use crate::louvain::modularity::modularity;

@@ -10,7 +10,7 @@ use super::ovpl::{move_phase_ovpl_recorded, prepare};
 use super::plm::move_phase_plm_recorded;
 use super::{LouvainConfig, MovePhaseStats, MoveState, Variant};
 use gp_graph::csr::Csr;
-use gp_metrics::telemetry::{NoopRecorder, PhaseProbe, Recorder, RunInfo, RunTimer};
+use gp_metrics::telemetry::{PhaseProbe, Recorder, RunInfo, RunTimer};
 use gp_simd::backend::Simd;
 use gp_simd::engine::Engine;
 
@@ -56,18 +56,9 @@ fn dispatch_backend(config: &LouvainConfig) -> &'static str {
     }
 }
 
-/// Runs one move phase of the configured variant on `g`, dispatching to the
-/// best available SIMD backend for the vector variants. Returns the
-/// state-modifying statistics; `state` holds the assignment.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn run_move_phase(g: &Csr, state: &MoveState, config: &LouvainConfig) -> MovePhaseStats {
-    run_move_phase_recorded(g, state, config, &mut NoopRecorder)
-}
-
-/// [`run_move_phase`] with per-sweep telemetry delivered to `rec`.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn run_move_phase_recorded<R: Recorder>(
+/// Dispatches one move phase to the best available SIMD backend (the
+/// `Backend::Auto` path of `run_kernel`).
+pub(crate) fn dispatch_move_phase_recorded<R: Recorder>(
     g: &Csr,
     state: &MoveState,
     config: &LouvainConfig,
@@ -90,22 +81,15 @@ pub fn run_move_phase_recorded<R: Recorder>(
     }
 }
 
-/// Variant of [`run_move_phase`] pinned to an explicit backend (used by the
-/// benchmark harness to time native vs. counted runs).
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn run_move_phase_with<S: Simd + Sync>(
-    s: &S,
-    g: &Csr,
-    state: &MoveState,
-    config: &LouvainConfig,
-) -> MovePhaseStats {
-    run_move_phase_with_recorded(s, g, state, config, &mut NoopRecorder)
-}
-
-/// [`run_move_phase_with`] with per-sweep telemetry delivered to `rec`.
-#[deprecated(note = "use gp_core::api::run_kernel")]
-pub fn run_move_phase_with_recorded<S: Simd + Sync, R: Recorder>(
+/// Runs one move phase of the configured variant on an explicitly pinned
+/// backend `s`, with per-sweep telemetry delivered to `rec`.
+///
+/// This is the expert move-phase-level API (the granularity the paper's
+/// timings operate at): it mutates `state` in place rather than running the
+/// full multilevel pipeline, which `run_kernel` cannot express. The scalar
+/// variants (PLM/MPLM) never touch `s`. Benchmarks that pin `Counted`
+/// backends for modeled runs come through here.
+pub fn move_phase_with<S: Simd + Sync, R: Recorder>(
     s: &S,
     g: &Csr,
     state: &MoveState,
@@ -123,32 +107,54 @@ pub fn run_move_phase_with_recorded<S: Simd + Sync, R: Recorder>(
     }
 }
 
-/// Full Louvain: move phases and coarsening until modularity converges
-/// (or a single move phase when `config.multilevel` is false, which is what
-/// the paper's timings cover).
-///
-/// ```
-/// use gp_core::louvain::{louvain, LouvainConfig};
-/// use gp_graph::generators::planted_partition;
-///
-/// let g = planted_partition(3, 12, 0.8, 0.02, 7);
-/// let r = louvain(&g, &LouvainConfig::default());
-/// assert!(r.modularity > 0.4);
-/// ```
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
-    louvain_recorded(g, config, &mut NoopRecorder)
-}
-
-/// [`louvain`] with per-sweep telemetry delivered to `rec`; sweeps are
-/// stamped with the coarsening level via [`Recorder::set_level`].
-#[deprecated(note = "use gp_core::api::run_kernel")]
-#[allow(deprecated)]
-pub fn louvain_recorded<R: Recorder>(
+/// Full Louvain on the best available backend (the `Backend::Auto` path of
+/// `run_kernel`): move phases and coarsening until modularity converges (or
+/// a single move phase when `config.multilevel` is false, which is what the
+/// paper's timings cover). Sweeps are stamped with the coarsening level via
+/// [`Recorder::set_level`].
+pub(crate) fn louvain_recorded<R: Recorder>(
     g: &Csr,
     config: &LouvainConfig,
     rec: &mut R,
+) -> LouvainResult {
+    louvain_with_runner(
+        g,
+        config,
+        rec,
+        dispatch_move_phase_recorded,
+        dispatch_backend(config),
+    )
+}
+
+/// Full Louvain with every move phase pinned to backend `s` (the
+/// `Backend::Emulated`/`Backend::Native` paths of `run_kernel`).
+pub(crate) fn louvain_pinned_recorded<S: Simd + Sync, R: Recorder>(
+    s: &S,
+    g: &Csr,
+    config: &LouvainConfig,
+    rec: &mut R,
+) -> LouvainResult {
+    let backend = match config.variant {
+        Variant::Plm | Variant::Mplm => "scalar",
+        Variant::Onpl(_) | Variant::Ovpl => S::NAME,
+    };
+    louvain_with_runner(
+        g,
+        config,
+        rec,
+        |g, state, config, rec| move_phase_with(s, g, state, config, rec),
+        backend,
+    )
+}
+
+/// The shared multilevel loop: `runner` supplies the move phase (engine
+/// dispatch or an explicit pin), `backend` names it for the run envelope.
+fn louvain_with_runner<R: Recorder>(
+    g: &Csr,
+    config: &LouvainConfig,
+    rec: &mut R,
+    mut runner: impl FnMut(&Csr, &MoveState, &LouvainConfig, &mut R) -> MovePhaseStats,
+    backend: &'static str,
 ) -> LouvainResult {
     let timer = RunTimer::start();
     let mut result = LouvainResult {
@@ -164,7 +170,7 @@ pub fn louvain_recorded<R: Recorder>(
     loop {
         rec.set_level(result.levels);
         let state = MoveState::singleton(&level_graph);
-        let stats = run_move_phase_recorded(&level_graph, &state, config, rec);
+        let stats = runner(&level_graph, &state, config, rec);
         result.levels += 1;
         result.level_stats.push(stats);
         let zeta = state.communities();
@@ -202,26 +208,24 @@ pub fn louvain_recorded<R: Recorder>(
     // process did not run to completion, even if each executed move phase
     // happened to converge on its own.
     let converged = result.level_stats.iter().all(|s| s.converged) && !rec.should_stop();
-    result.info = RunInfo::new(
-        dispatch_backend(config),
-        result.levels,
-        converged,
-        timer.elapsed_secs(),
-    );
+    result.info = RunInfo::new(backend, result.levels, converged, timer.elapsed_secs());
     result
 }
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::*;
     use crate::reduce_scatter::Strategy;
     use gp_graph::builder::from_pairs;
     use gp_graph::generators::{planted_partition, planted_partition_truth, triangular_mesh};
+    use gp_metrics::telemetry::NoopRecorder;
 
     fn seq(variant: Variant) -> LouvainConfig {
         LouvainConfig::sequential(variant)
+    }
+
+    fn louvain(g: &Csr, config: &LouvainConfig) -> LouvainResult {
+        louvain_recorded(g, config, &mut NoopRecorder)
     }
 
     #[test]

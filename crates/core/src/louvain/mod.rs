@@ -19,9 +19,7 @@ pub mod onpl;
 pub mod ovpl;
 pub mod plm;
 
-#[allow(deprecated)] // legacy entrypoints stay importable from their old paths
-pub use driver::{louvain, louvain_recorded};
-pub use driver::LouvainResult;
+pub use driver::{move_phase_with, LouvainResult};
 pub use modularity::modularity;
 
 use crate::frontier::{run_chunked, Frontier, SweepMode};

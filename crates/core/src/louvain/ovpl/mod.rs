@@ -25,7 +25,6 @@ use gp_graph::csr::Csr;
 /// Runs the full OVPL preprocessing: color the graph, group by color, sort
 /// groups by non-increasing degree, pack 16-lane blocks, and build the
 /// sliced-ELLPACK arrays.
-#[allow(deprecated)] // scalar coloring entrypoint, used as an internal step
 pub fn prepare(g: &Csr, config: &LouvainConfig) -> OvplLayout {
     let coloring = crate::coloring::color_graph_scalar(
         g,

@@ -120,8 +120,6 @@ pub fn build_layout(g: &Csr, colors: &[u32], sort_by_degree: bool) -> OvplLayout
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::*;
     use crate::coloring::{color_graph_scalar, ColoringConfig};
     use gp_graph::generators::{clique, erdos_renyi, ring_lattice, star, triangular_mesh};

@@ -100,8 +100,6 @@ pub fn adjusted_rand_index(x: &[u32], y: &[u32]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // exercises the legacy entrypoints directly
-
     use super::*;
 
     #[test]
@@ -157,24 +155,31 @@ mod tests {
 
     #[test]
     fn louvain_recovers_planted_partition_by_nmi() {
-        use crate::louvain::{louvain, LouvainConfig, Variant};
+        use crate::louvain::driver::louvain_recorded;
+        use crate::louvain::{LouvainConfig, Variant};
         use gp_graph::generators::{planted_partition, planted_partition_truth};
+        use gp_metrics::telemetry::NoopRecorder;
         let g = planted_partition(4, 24, 0.7, 0.01, 5);
         let truth = planted_partition_truth(4, 24);
-        let r = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+        let r = louvain_recorded(&g, &LouvainConfig::sequential(Variant::Mplm), &mut NoopRecorder);
         let score = nmi(&truth, &r.communities);
         assert!(score > 0.9, "NMI {score} too low for a well-separated instance");
     }
 
     #[test]
     fn vectorized_detectors_agree_with_scalar_by_nmi() {
-        use crate::louvain::{louvain, LouvainConfig, Variant};
+        use crate::louvain::driver::louvain_recorded;
+        use crate::louvain::{LouvainConfig, Variant};
         use crate::reduce_scatter::Strategy;
         use gp_graph::generators::planted_partition;
+        use gp_metrics::telemetry::NoopRecorder;
         let g = planted_partition(5, 16, 0.7, 0.02, 11);
-        let scalar = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).communities;
+        let scalar = louvain_recorded(&g, &LouvainConfig::sequential(Variant::Mplm), &mut NoopRecorder)
+            .communities;
         for variant in [Variant::Onpl(Strategy::Adaptive), Variant::Ovpl] {
-            let vector = louvain(&g, &LouvainConfig::sequential(variant)).communities;
+            let vector =
+                louvain_recorded(&g, &LouvainConfig::sequential(variant), &mut NoopRecorder)
+                    .communities;
             let score = nmi(&scalar, &vector);
             assert!(score > 0.85, "{variant:?}: NMI vs scalar {score}");
         }

@@ -12,13 +12,9 @@
 //! `active[r+1] <= moves[r] * max_degree` (movers activate only their
 //! neighbors).
 
-#![allow(deprecated)] // pins explicit SIMD backends through the legacy entrypoints
-
 use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec, SweepMode};
-use gp_core::coloring::{color_graph_onpl, verify_coloring, ColoringConfig};
-use gp_core::labelprop::{label_propagation_onlp, LabelPropConfig};
-use gp_core::louvain::driver::run_move_phase_with;
-use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_core::coloring::{color_with, verify_coloring, ColoringConfig};
+use gp_core::louvain::{move_phase_with, LouvainConfig, MoveState, Variant};
 use gp_graph::builder::from_pairs;
 use gp_graph::csr::Csr;
 use gp_graph::generators::{erdos_renyi, preferential_attachment, triangular_mesh};
@@ -85,37 +81,37 @@ fn active_equals_full_for_every_kernel_scalar_backend() {
 
 /// Pinned-backend equivalence for the vector kernels: the worklist feed
 /// must not perturb the 16-lane kernels on either SIMD implementation.
-fn pinned_backend_suite<S: Simd + Sync>(s: &S) {
+fn pinned_backend_suite<S: Simd + Sync>(s: &S, backend: Backend) {
     for (gname, g) in zoo() {
         // ONPL coloring.
-        let full = color_graph_onpl(s, &g, &ColoringConfig::sequential().with_sweep(SweepMode::Full));
-        let active =
-            color_graph_onpl(s, &g, &ColoringConfig::sequential().with_sweep(SweepMode::Active));
+        let full = color_with(
+            s,
+            &g,
+            &ColoringConfig::sequential().with_sweep(SweepMode::Full),
+            &mut NoopRecorder,
+        );
+        let active = color_with(
+            s,
+            &g,
+            &ColoringConfig::sequential().with_sweep(SweepMode::Active),
+            &mut NoopRecorder,
+        );
         assert_eq!(full.colors, active.colors, "{}: onpl coloring on {gname}", S::NAME);
         assert_eq!(full.rounds, active.rounds);
         verify_coloring(&g, &active.colors).unwrap();
 
-        // ONLP label propagation.
-        let full = label_propagation_onlp(
-            s,
+        // ONLP label propagation, pinned through the unified entrypoint.
+        let full = run_kernel(
             &g,
-            &LabelPropConfig {
-                parallel: false,
-                sweep: SweepMode::Full,
-                ..Default::default()
-            },
+            &spec_for("labelprop", SweepMode::Full).sequential().with_backend(backend),
+            &mut NoopRecorder,
         );
-        let active = label_propagation_onlp(
-            s,
+        let active = run_kernel(
             &g,
-            &LabelPropConfig {
-                parallel: false,
-                sweep: SweepMode::Active,
-                ..Default::default()
-            },
+            &spec_for("labelprop", SweepMode::Active).sequential().with_backend(backend),
+            &mut NoopRecorder,
         );
-        assert_eq!(full.labels, active.labels, "{}: onlp on {gname}", S::NAME);
-        assert_eq!(full.iterations, active.iterations);
+        assert_eq!(full, active, "{}: onlp on {gname}", S::NAME);
 
         // Vectorized Louvain move phases.
         for variant in ["louvain-onpl-cd", "louvain-onpl-ivr", "louvain-ovpl"] {
@@ -123,10 +119,10 @@ fn pinned_backend_suite<S: Simd + Sync>(s: &S) {
             let mut cfg = LouvainConfig::sequential(variant);
             cfg.sweep = SweepMode::Full;
             let st_full = MoveState::singleton(&g);
-            run_move_phase_with(s, &g, &st_full, &cfg);
+            move_phase_with(s, &g, &st_full, &cfg, &mut NoopRecorder);
             cfg.sweep = SweepMode::Active;
             let st_active = MoveState::singleton(&g);
-            run_move_phase_with(s, &g, &st_active, &cfg);
+            move_phase_with(s, &g, &st_active, &cfg, &mut NoopRecorder);
             assert_eq!(
                 st_full.communities(),
                 st_active.communities(),
@@ -140,7 +136,7 @@ fn pinned_backend_suite<S: Simd + Sync>(s: &S) {
 
 #[test]
 fn active_equals_full_on_emulated_backend() {
-    pinned_backend_suite(&Emulated);
+    pinned_backend_suite(&Emulated, Backend::Emulated);
 }
 
 #[test]
@@ -148,7 +144,7 @@ fn active_equals_full_on_native_backend() {
     // Silently skipped on hosts without AVX-512, like the rest of the
     // native-vs-emulated equivalence tests.
     if let Some(s) = Avx512::new() {
-        pinned_backend_suite(&s);
+        pinned_backend_suite(&s, Backend::Native);
     }
 }
 

@@ -4,12 +4,22 @@
 //! size (move phases run sequentially per level; only the substrate
 //! parallelizes).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
+use gp_core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
 use gp_core::louvain::coarsen::{coarsen, project};
-use gp_core::louvain::{louvain, LouvainConfig, Variant};
+use gp_core::louvain::{LouvainResult, Variant};
+use gp_graph::csr::Csr;
 use gp_graph::generators::rmat::{rmat, RmatConfig};
 use gp_graph::par::with_threads;
+use gp_metrics::telemetry::NoopRecorder;
+
+/// Sequential multilevel MPLM Louvain through the unified entrypoint.
+fn louvain_mplm(g: &Csr) -> LouvainResult {
+    let spec = KernelSpec::new(Kernel::Louvain(Variant::Mplm)).sequential();
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
 
 #[test]
 fn coarsen_is_thread_invariant() {
@@ -42,10 +52,9 @@ fn project_is_thread_invariant() {
 #[test]
 fn multilevel_louvain_is_thread_invariant() {
     let g = rmat(RmatConfig::new(11, 8).with_seed(29));
-    let config = LouvainConfig::sequential(Variant::Mplm);
-    let reference = with_threads(1, || louvain(&g, &config));
+    let reference = with_threads(1, || louvain_mplm(&g));
     for t in [2usize, 8] {
-        let r = with_threads(t, || louvain(&g, &config));
+        let r = with_threads(t, || louvain_mplm(&g));
         assert_eq!(
             r.communities, reference.communities,
             "communities changed at {t} threads"

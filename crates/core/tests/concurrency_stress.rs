@@ -3,14 +3,13 @@
 //! so the benign races the paper's algorithms are designed around actually
 //! fire — and verify every safety invariant still holds.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
-use gp_core::labelprop::{label_propagation_mplp, LabelPropConfig};
-use gp_core::louvain::driver::run_move_phase_with;
-use gp_core::louvain::{modularity, LouvainConfig, MoveState, Variant};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
+use gp_core::coloring::{color_with, verify_coloring, ColoringConfig};
+use gp_core::labelprop::LabelPropConfig;
+use gp_core::louvain::{modularity, move_phase_with, LouvainConfig, MoveState, Variant};
 use gp_core::reduce_scatter::Strategy;
 use gp_graph::generators::{erdos_renyi, planted_partition, preferential_attachment};
+use gp_metrics::telemetry::NoopRecorder;
 use gp_simd::backend::Emulated;
 
 fn pool() -> rayon::ThreadPool {
@@ -111,13 +110,13 @@ fn histogram_merge_from_concurrent_workers_loses_nothing() {
 #[test]
 fn speculative_coloring_survives_oversubscription() {
     let g = erdos_renyi(2000, 12_000, 3);
-    let cfg = ColoringConfig::default();
     pool().install(|| {
         for run in 0..3 {
-            let r = color_graph_scalar(&g, &cfg);
-            verify_coloring(&g, &r.colors)
+            let spec = KernelSpec::new(Kernel::Coloring).with_backend(Backend::Scalar);
+            let out = run_kernel(&g, &spec, &mut NoopRecorder);
+            verify_coloring(&g, out.colors().unwrap())
                 .unwrap_or_else(|e| panic!("run {run}: invalid coloring: {e}"));
-            let r = color_graph_onpl(&Emulated, &g, &cfg);
+            let r = color_with(&Emulated, &g, &ColoringConfig::default(), &mut NoopRecorder);
             verify_coloring(&g, &r.colors)
                 .unwrap_or_else(|e| panic!("run {run}: invalid ONPL coloring: {e}"));
         }
@@ -134,7 +133,7 @@ fn optimistic_louvain_keeps_volume_invariant_under_races() {
     };
     pool().install(|| {
         let state = MoveState::singleton(&g);
-        run_move_phase_with(&Emulated, &g, &state, &cfg);
+        move_phase_with(&Emulated, &g, &state, &cfg, &mut NoopRecorder);
         // Volumes must balance even after racy concurrent moves: every
         // apply_move is a pair of atomic adds.
         let total: f64 = state.volume.iter().map(|v| v.load() as f64).sum();
@@ -156,7 +155,10 @@ fn parallel_label_propagation_converges_under_oversubscription() {
     let g = planted_partition(6, 40, 0.4, 0.01, 21);
     let cfg = LabelPropConfig::default();
     pool().install(|| {
-        let r = label_propagation_mplp(&g, &cfg);
+        let spec = KernelSpec::new(Kernel::Labelprop).with_backend(Backend::Scalar);
+        let KernelOutput::Labelprop(r) = run_kernel(&g, &spec, &mut NoopRecorder) else {
+            unreachable!()
+        };
         assert!(r.iterations < cfg.max_iterations, "no convergence");
         let q = modularity(&g, &r.labels);
         assert!(q > 0.4, "parallel LP quality collapsed: {q}");
@@ -176,7 +178,7 @@ fn move_phase_is_convergent_across_repeated_racy_runs() {
     pool().install(|| {
         for _ in 0..5 {
             let state = MoveState::singleton(&g);
-            let stats = run_move_phase_with(&Emulated, &g, &state, &cfg);
+            let stats = move_phase_with(&Emulated, &g, &state, &cfg, &mut NoopRecorder);
             assert!(
                 stats.iterations <= cfg.max_move_iterations,
                 "cap violated: {}",

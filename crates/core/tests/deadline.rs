@@ -2,14 +2,47 @@
 //! round boundary when its recorder's `should_stop` hook fires, returning a
 //! structurally valid partial result with `converged: false`.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use gp_core::coloring::{color_graph_recorded, ColoringConfig};
-use gp_core::labelprop::{label_propagation_recorded, LabelPropConfig};
-use gp_core::louvain::{louvain_recorded, LouvainConfig};
-use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, TraceRecorder};
+use gp_core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
+use gp_core::coloring::ColoringResult;
+use gp_core::labelprop::LabelPropResult;
+use gp_core::louvain::{LouvainResult, Variant};
+use gp_graph::csr::Csr;
 use gp_graph::generators::{preferential_attachment, triangular_mesh};
+use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, TraceRecorder};
 use std::time::Duration;
+
+fn color_spec() -> KernelSpec {
+    KernelSpec::new(Kernel::Coloring)
+}
+
+fn louvain_spec() -> KernelSpec {
+    KernelSpec::new(Kernel::Louvain(Variant::Mplm))
+}
+
+fn lp_spec() -> KernelSpec {
+    KernelSpec::new(Kernel::Labelprop)
+}
+
+fn coloring_run<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> ColoringResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Coloring(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+fn louvain_run<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> LouvainResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+fn lp_run<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> LabelPropResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Labelprop(r) => r,
+        _ => unreachable!(),
+    }
+}
 
 /// A recorder whose deadline is already in the past.
 fn expired() -> DeadlineRecorder<NoopRecorder> {
@@ -26,7 +59,7 @@ fn coloring_stops_before_first_round_on_expired_deadline() {
     let g = triangular_mesh(20, 20, 3);
     let rec = expired();
     let mut rec = rec;
-    let r = color_graph_recorded(&g, &ColoringConfig::default(), &mut rec);
+    let r = coloring_run(&g, color_spec(), &mut rec);
     assert!(rec.fired());
     assert!(!r.info.converged);
     assert_eq!(r.rounds, 0);
@@ -36,11 +69,10 @@ fn coloring_stops_before_first_round_on_expired_deadline() {
 #[test]
 fn coloring_with_generous_deadline_matches_undeadlined_run() {
     let g = preferential_attachment(300, 4, 11);
-    let cfg = ColoringConfig::sequential();
     let mut plain = NoopRecorder;
-    let base = color_graph_recorded(&g, &cfg, &mut plain);
+    let base = coloring_run(&g, color_spec().sequential(), &mut plain);
     let mut rec = generous();
-    let timed = color_graph_recorded(&g, &cfg, &mut rec);
+    let timed = coloring_run(&g, color_spec().sequential(), &mut rec);
     assert!(!rec.fired());
     assert!(timed.info.converged);
     assert_eq!(base.colors, timed.colors);
@@ -51,14 +83,14 @@ fn coloring_with_generous_deadline_matches_undeadlined_run() {
 fn louvain_returns_partial_result_on_expired_deadline() {
     let g = triangular_mesh(24, 24, 5);
     let mut rec = expired();
-    let r = louvain_recorded(&g, &LouvainConfig::default(), &mut rec);
+    let r = louvain_run(&g, louvain_spec(), &mut rec);
     assert!(rec.fired());
     assert!(!r.info.converged);
     // One move phase ran to its first boundary; the assignment is still a
     // total function over the vertices.
     assert_eq!(r.communities.len(), g.num_vertices());
     assert_eq!(r.levels, 1);
-    let full = louvain_recorded(&g, &LouvainConfig::default(), &mut NoopRecorder);
+    let full = louvain_run(&g, louvain_spec(), &mut NoopRecorder);
     assert!(full.levels >= r.levels);
 }
 
@@ -66,7 +98,7 @@ fn louvain_returns_partial_result_on_expired_deadline() {
 fn labelprop_returns_partial_result_on_expired_deadline() {
     let g = triangular_mesh(24, 24, 7);
     let mut rec = expired();
-    let r = label_propagation_recorded(&g, &LabelPropConfig::default(), &mut rec);
+    let r = lp_run(&g, lp_spec(), &mut rec);
     assert!(rec.fired());
     assert!(!r.info.converged);
     assert_eq!(r.iterations, 1); // exactly one completed sweep
@@ -128,13 +160,9 @@ fn big_graph() -> gp_graph::csr::Csr {
 #[test]
 fn labelprop_bails_mid_sweep_not_just_at_round_boundaries() {
     let g = big_graph();
-    let cfg = LabelPropConfig {
-        parallel: false,
-        ..Default::default()
-    };
     // Baseline: the undeadlined first sweep changes far more labels than
     // one chunk's worth — so a bail after chunk 1 is observable below.
-    let full = label_propagation_recorded(&g, &cfg, &mut NoopRecorder);
+    let full = lp_run(&g, lp_spec().sequential(), &mut NoopRecorder);
     assert!(
         full.updates[0] > DEADLINE_CHUNK as u64,
         "premise: full sweep 0 must update more than one chunk ({} <= {})",
@@ -145,7 +173,7 @@ fn labelprop_bails_mid_sweep_not_just_at_round_boundaries() {
     // An immediately-expired deadline: the first poll (between chunk 1 and
     // chunk 2 of sweep 0) fires. Only chunk 1 of the sweep may have run.
     let mut rec = PollCounter::granting(0);
-    let r = label_propagation_recorded(&g, &cfg, &mut rec);
+    let r = lp_run(&g, lp_spec().sequential(), &mut rec);
     assert!(!r.info.converged);
     assert_eq!(r.iterations, 1); // the partial sweep is still reported
     assert_eq!(r.labels.len(), g.num_vertices());
@@ -159,14 +187,10 @@ fn labelprop_bails_mid_sweep_not_just_at_round_boundaries() {
 #[test]
 fn coloring_bails_mid_assign_on_expired_deadline() {
     let g = big_graph();
-    let cfg = ColoringConfig {
-        parallel: false,
-        ..Default::default()
-    };
     // Grant the round-boundary poll at the loop head, then fire on the
     // first between-chunk poll inside the assign kernel.
     let mut rec = PollCounter::granting(1);
-    let r = color_graph_recorded(&g, &cfg, &mut rec);
+    let r = coloring_run(&g, color_spec().sequential(), &mut rec);
     assert!(!r.info.converged);
     assert_eq!(r.colors.len(), g.num_vertices());
     assert!(
@@ -184,11 +208,7 @@ fn deadline_polls_happen_between_chunks_every_round() {
     let g = big_graph();
 
     let mut rec = PollCounter::granting(u64::MAX);
-    let cfg = LabelPropConfig {
-        parallel: false,
-        ..Default::default()
-    };
-    let r = label_propagation_recorded(&g, &cfg, &mut rec);
+    let r = lp_run(&g, lp_spec().sequential(), &mut rec);
     let chunks_round0 = (g.num_vertices() as u64).div_ceil(DEADLINE_CHUNK as u64);
     assert!(
         rec.polls() >= r.iterations as u64 + chunks_round0 - 1,
@@ -199,11 +219,7 @@ fn deadline_polls_happen_between_chunks_every_round() {
     );
 
     let mut rec = PollCounter::granting(u64::MAX);
-    let cfg = LouvainConfig {
-        parallel: false,
-        ..Default::default()
-    };
-    let r = louvain_recorded(&g, &cfg, &mut rec);
+    let r = louvain_run(&g, louvain_spec().sequential(), &mut rec);
     assert!(!r.communities.is_empty());
     assert!(
         rec.polls() >= r.levels as u64 + chunks_round0 - 1,
@@ -213,11 +229,7 @@ fn deadline_polls_happen_between_chunks_every_round() {
     );
 
     let mut rec = PollCounter::granting(u64::MAX);
-    let cfg = ColoringConfig {
-        parallel: false,
-        ..Default::default()
-    };
-    let r = color_graph_recorded(&g, &cfg, &mut rec);
+    let r = coloring_run(&g, color_spec().sequential(), &mut rec);
     assert!(
         rec.polls() >= r.rounds as u64 + chunks_round0 - 1,
         "coloring: {} polls for {} rounds",
@@ -228,7 +240,6 @@ fn deadline_polls_happen_between_chunks_every_round() {
 
 #[test]
 fn run_kernel_honors_deadlines_for_every_kernel() {
-    use gp_core::api::{run_kernel, Kernel, KernelSpec};
     let g = big_graph();
     for kernel in ["color", "louvain-mplm", "louvain-ovpl", "labelprop"] {
         let spec = KernelSpec::new(kernel.parse::<Kernel>().unwrap()).sequential();
@@ -247,7 +258,6 @@ fn deadline_fires_while_chunks_are_in_flight_on_real_pool() {
     // boundary. An already-expired deadline must therefore cancel the run
     // mid-round even though other workers hold chunks at that moment —
     // while every structural invariant of the partial result still holds.
-    use gp_core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
     let g = big_graph();
     let pool = gp_par::cached(8);
     for kernel in ["color", "louvain-mplm", "labelprop"] {
@@ -269,7 +279,7 @@ fn deadline_fires_while_chunks_are_in_flight_on_real_pool() {
 fn deadline_recorder_still_collects_trace_rounds() {
     let g = triangular_mesh(16, 16, 9);
     let mut rec = DeadlineRecorder::after(TraceRecorder::new("louvain-deadline"), Duration::ZERO);
-    let r = louvain_recorded(&g, &LouvainConfig::default(), &mut rec);
+    let r = louvain_run(&g, louvain_spec(), &mut rec);
     assert!(!r.info.converged);
     let trace = rec.into_inner().into_trace();
     // The partial run still reports the rounds it completed.

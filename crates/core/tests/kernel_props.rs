@@ -1,15 +1,14 @@
 //! Property tests over whole kernels on random graphs: the invariants that
 //! must hold for any input, not just the suite.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use gp_core::coloring::{color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelSpec};
+use gp_core::coloring::verify_coloring;
 use gp_core::contrast::{bfs_scalar, bfs_vector, spmv_scalar, spmv_vector};
-use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
 use gp_core::louvain::ovpl::prepare;
-use gp_core::louvain::{LouvainConfig, MoveState, Variant};
+use gp_core::louvain::{move_phase_with, LouvainConfig, MoveState, Variant};
 use gp_graph::builder::from_pairs;
 use gp_graph::csr::Csr;
+use gp_metrics::telemetry::NoopRecorder;
 use gp_simd::backend::Emulated;
 use proptest::prelude::*;
 
@@ -26,11 +25,11 @@ proptest! {
     /// ONPL coloring equals scalar coloring on any graph (sequential mode).
     #[test]
     fn coloring_backends_agree(g in arb_graph()) {
-        let cfg = ColoringConfig::sequential();
-        let a = color_graph_scalar(&g, &cfg);
-        let b = color_graph_onpl(&Emulated, &g, &cfg);
-        prop_assert_eq!(&a.colors, &b.colors);
-        prop_assert!(verify_coloring(&g, &a.colors).is_ok());
+        let spec = KernelSpec::new(Kernel::Coloring).sequential();
+        let a = run_kernel(&g, &spec.with_backend(Backend::Scalar), &mut NoopRecorder);
+        let b = run_kernel(&g, &spec.with_backend(Backend::Emulated), &mut NoopRecorder);
+        prop_assert_eq!(a.colors().unwrap(), b.colors().unwrap());
+        prop_assert!(verify_coloring(&g, a.colors().unwrap()).is_ok());
     }
 
     /// SpMV vector equals scalar on any graph and input vector.
@@ -82,11 +81,10 @@ proptest! {
     /// on any graph, both kernels.
     #[test]
     fn labelprop_terminates(g in arb_graph()) {
-        let cfg = LabelPropConfig::sequential();
-        for labels in [
-            label_propagation_mplp(&g, &cfg).labels,
-            label_propagation_onlp(&Emulated, &g, &cfg).labels,
-        ] {
+        let spec = KernelSpec::new(Kernel::Labelprop).sequential();
+        for backend in [Backend::Scalar, Backend::Emulated] {
+            let out = run_kernel(&g, &spec.with_backend(backend), &mut NoopRecorder);
+            let labels = &out.as_labelprop().unwrap().labels;
             prop_assert_eq!(labels.len(), g.num_vertices());
             prop_assert!(labels.iter().all(|&l| (l as usize) < g.num_vertices()));
         }
@@ -100,7 +98,7 @@ proptest! {
         for variant in [Variant::Mplm, Variant::Ovpl] {
             let cfg = LouvainConfig::sequential(variant);
             let state = MoveState::singleton(&g);
-            gp_core::louvain::driver::run_move_phase_with(&Emulated, &g, &state, &cfg);
+            move_phase_with(&Emulated, &g, &state, &cfg, &mut NoopRecorder);
             let zeta = state.communities();
             let mut expect = vec![0.0f64; g.num_vertices()];
             for u in g.vertices() {

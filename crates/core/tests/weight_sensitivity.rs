@@ -5,17 +5,33 @@
 //! in Algorithms 4–5 are actually wired through the gathers and
 //! reduce-scatters, not silently replaced by edge counting.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use gp_core::labelprop::{label_propagation_mplp, label_propagation_onlp, LabelPropConfig};
-use gp_core::louvain::{louvain, LouvainConfig, Variant};
+use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
+use gp_core::louvain::{LouvainResult, Variant};
 use gp_core::partition::{partition_graph, PartitionConfig};
 use gp_core::quality::nmi;
 use gp_core::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
 use gp_graph::generators::clique;
 use gp_graph::weights::weights_from;
-use gp_simd::backend::Emulated;
+use gp_metrics::telemetry::NoopRecorder;
+
+/// Sequential Louvain of the given variant through the unified entrypoint.
+fn louvain_seq(g: &Csr, variant: Variant) -> LouvainResult {
+    let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+/// Sequential label propagation on an explicitly pinned backend.
+fn labelprop_seq(g: &Csr, backend: Backend) -> Vec<u32> {
+    let spec = KernelSpec::new(Kernel::Labelprop).sequential().with_backend(backend);
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Labelprop(r) => r.labels,
+        _ => unreachable!(),
+    }
+}
 
 /// A complete graph on 24 vertices where weights define 3 groups of 8:
 /// intra-group edges weigh 10, inter-group edges weigh 0.1. Topology alone
@@ -44,7 +60,7 @@ fn louvain_recovers_weight_defined_communities() {
         Variant::Onpl(Strategy::Adaptive),
         Variant::Ovpl,
     ] {
-        let r = louvain(&g, &LouvainConfig::sequential(variant));
+        let r = louvain_seq(&g, variant);
         let score = nmi(&truth, &r.communities);
         assert!(
             score > 0.99,
@@ -57,10 +73,9 @@ fn louvain_recovers_weight_defined_communities() {
 #[test]
 fn label_propagation_recovers_weight_defined_communities() {
     let (g, truth) = weight_defined_communities();
-    let cfg = LabelPropConfig::sequential();
     for labels in [
-        label_propagation_mplp(&g, &cfg).labels,
-        label_propagation_onlp(&Emulated, &g, &cfg).labels,
+        labelprop_seq(&g, Backend::Scalar),
+        labelprop_seq(&g, Backend::Emulated),
     ] {
         let score = nmi(&truth, &labels);
         assert!(score > 0.99, "LP ignored the weights: NMI {score}");
@@ -97,7 +112,7 @@ fn heavier_weights_win_ties_everywhere() {
             Edge::new(2, 3, 1.0),
         ])
         .build();
-    let r = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+    let r = louvain_seq(&g, Variant::Mplm);
     assert_eq!(
         r.communities[1], r.communities[2],
         "the heavy edge must bind 1 and 2: {:?}",

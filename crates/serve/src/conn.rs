@@ -1,0 +1,225 @@
+//! Nonblocking connection state machines for the event-loop server.
+//!
+//! [`LineDecoder`] turns an arbitrary byte stream into newline-delimited
+//! frames, tolerating reads split at any byte boundary, CRLF line endings,
+//! and oversized lines (which are dropped with an [`DecodeEvent::Oversized`]
+//! marker while the decoder stays usable for subsequent lines).
+//!
+//! [`Connection`] wraps a nonblocking `TcpStream` with the decoder on the
+//! read side and a cursor-tracked output buffer on the write side, so the
+//! event loop can make progress on partial reads *and* partial writes
+//! without ever blocking.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Hard cap on a single request line; anything longer is a protocol abuse,
+/// not a graph workload (canonical graph specs are tens of bytes).
+pub const MAX_LINE: usize = 256 * 1024;
+
+/// One framing outcome from [`LineDecoder::push`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeEvent {
+    /// A complete line (newline stripped, trailing `\r` trimmed).
+    Line(String),
+    /// A line exceeded the size cap and was discarded. Emitted once per
+    /// oversized line, when the cap is first crossed.
+    Oversized,
+}
+
+/// Incremental newline framer over a byte stream.
+#[derive(Debug, Default)]
+pub struct LineDecoder {
+    buf: Vec<u8>,
+    /// True while skipping the remainder of an oversized line.
+    discarding: bool,
+}
+
+impl LineDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> LineDecoder {
+        LineDecoder::default()
+    }
+
+    /// Feeds `bytes` into the framer, returning every event they complete.
+    /// Partial lines are buffered until a later push supplies the newline.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<DecodeEvent> {
+        let mut events = Vec::new();
+        for &b in bytes {
+            if self.discarding {
+                if b == b'\n' {
+                    self.discarding = false;
+                }
+                continue;
+            }
+            if b == b'\n' {
+                let mut line = std::mem::take(&mut self.buf);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                events.push(DecodeEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+            } else {
+                self.buf.push(b);
+                if self.buf.len() > MAX_LINE {
+                    self.buf.clear();
+                    self.discarding = true;
+                    events.push(DecodeEvent::Oversized);
+                }
+            }
+        }
+        events
+    }
+
+    /// Bytes currently buffered awaiting a newline.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// A nonblocking connection tracked by the event loop: framing state on the
+/// read side, a partially-flushed output buffer on the write side.
+pub(crate) struct Connection {
+    pub stream: TcpStream,
+    pub decoder: LineDecoder,
+    /// Outgoing bytes; `wpos..` is the unsent suffix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// The poller's current write-interest for this fd, so the loop only
+    /// issues `reregister` when the desired interest actually changes.
+    pub want_write: bool,
+    /// Peer sent EOF; close once the write buffer drains.
+    pub peer_closed: bool,
+    /// Unrecoverable I/O error; reap immediately.
+    pub dead: bool,
+}
+
+impl Connection {
+    /// Adopts an accepted stream, switching it to nonblocking + nodelay.
+    pub fn new(stream: TcpStream) -> io::Result<Connection> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            decoder: LineDecoder::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            want_write: false,
+            peer_closed: false,
+            dead: false,
+        })
+    }
+
+    /// Reads everything currently available, returning the framing events.
+    /// Sets `peer_closed` on EOF and `dead` on a fatal error.
+    pub fn read_events(&mut self) -> Vec<DecodeEvent> {
+        let mut events = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    break;
+                }
+                Ok(n) => events.extend(self.decoder.push(&chunk[..n])),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    /// Queues `line` (newline appended) for delivery.
+    pub fn enqueue(&mut self, line: &str) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    pub fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            // Compact so a slow reader can't pin an ever-growing buffer.
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+    }
+
+    /// Unsent output remains queued.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Half-closes both directions (used during final drain).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_survive_any_split_boundary() {
+        let input = b"{\"kernel\":\"color\"}\r\n{\"stats\":true}\n";
+        for split in 0..=input.len() {
+            let mut dec = LineDecoder::new();
+            let mut events = dec.push(&input[..split]);
+            events.extend(dec.push(&input[split..]));
+            assert_eq!(
+                events,
+                vec![
+                    DecodeEvent::Line("{\"kernel\":\"color\"}".into()),
+                    DecodeEvent::Line("{\"stats\":true}".into()),
+                ],
+                "split at byte {split}"
+            );
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_line_is_dropped_and_decoder_recovers() {
+        let mut dec = LineDecoder::new();
+        let big = vec![b'x'; MAX_LINE + 10];
+        let mut events = dec.push(&big);
+        assert_eq!(events, vec![DecodeEvent::Oversized]);
+        // Rest of the oversized line plus a valid follow-up.
+        events = dec.push(b"yyy\nok\n");
+        assert_eq!(events, vec![DecodeEvent::Line("ok".into())]);
+    }
+
+    #[test]
+    fn byte_at_a_time_feed() {
+        let mut dec = LineDecoder::new();
+        let mut got = Vec::new();
+        for &b in b"a\nbb\n" {
+            got.extend(dec.push(&[b]));
+        }
+        assert_eq!(
+            got,
+            vec![DecodeEvent::Line("a".into()), DecodeEvent::Line("bb".into())]
+        );
+    }
+}

@@ -7,46 +7,67 @@
 //! "one fast run" into "heavy traffic":
 //!
 //! * **Protocol** ([`protocol`], [`json`]) — newline-delimited JSON over
-//!   plain TCP. One request per line, one response per line; `nc` is a
-//!   valid client. No external dependencies: the build environment has no
-//!   crate registry, so the JSON codec is self-contained and the runtime is
-//!   `std` threads — no tokio.
-//! * **Admission** ([`queue`]) — a bounded MPMC queue between connection
-//!   readers and the worker pool. At capacity the service *sheds* with an
-//!   explicit `queue_full` (503) response instead of queueing unboundedly;
-//!   latency under overload stays flat and honest.
-//! * **Execution** ([`server`]) — a fixed worker pool running the coloring /
+//!   plain TCP, versions 1 (legacy, lenient) and 2 (versioned envelope,
+//!   strict, serialized straight from [`gp_core::api::KernelSpec`]). One
+//!   request per line, one response per line; `nc` is a valid client. No
+//!   external dependencies: the build environment has no crate registry, so
+//!   the JSON codec is self-contained and the runtime is `std` threads — no
+//!   tokio.
+//! * **Event loop** ([`server`], [`poller`], [`conn`]) — one readiness
+//!   event loop (epoll on Linux, poll(2) on other Unixes) owns the listener
+//!   and every connection: nonblocking sockets with per-connection framing
+//!   state machines that tolerate reads and writes split at any byte
+//!   boundary. Admission runs inline; no thread-per-connection.
+//! * **Sharding** ([`shard`]) — the graph-cache keyspace is partitioned
+//!   across N worker shards by consistent hashing on the canonical
+//!   [`GraphSpec`] key. Each shard owns its own bounded admission queue,
+//!   graph + result caches, and latency histograms; the stats plane merges
+//!   per-shard histograms into one service view.
+//! * **Coalescing** ([`server`]) — identical in-flight deadline-free
+//!   requests join one computation; the result fans back out to every
+//!   follower. N identical concurrent requests, one kernel execution.
+//! * **Admission** ([`queue`]) — a bounded MPMC queue per shard between the
+//!   event loop and the shard's workers. At capacity the service *sheds*
+//!   with an explicit `queue_full` (503) response instead of queueing
+//!   unboundedly; latency under overload stays flat and honest.
+//! * **Execution** ([`server`]) — shard worker pools running the coloring /
 //!   Louvain / label-propagation kernels through their recorded entry
 //!   points, with per-request deadlines enforced cooperatively at round
 //!   boundaries via [`gp_metrics::telemetry::DeadlineRecorder`]: a
 //!   timed-out request still returns a well-formed partial result marked
 //!   `"timed_out":true`.
-//! * **Caching** ([`cache`], [`spec`]) — an LRU graph cache keyed by
-//!   canonical generator spec and a result cache keyed by
-//!   `(graph, kernel, backend, seed)`. Both are sound because the substrate
-//!   is deterministic: regeneration is byte-identical, so a hit is
-//!   indistinguishable from recomputation.
-//! * **Observability** ([`stats`]) — served/shed/timeout counters, cache
-//!   hit rates, queue depth, and per-kernel latency histograms
-//!   ([`gp_metrics::Histogram`]), served live via a `{"stats":true}` probe
+//! * **Caching** ([`cache`], [`spec`]) — per-shard LRU graph caches keyed
+//!   by canonical generator spec and result caches keyed by
+//!   `(graph, kernel, backend, sweep, seed)`. Both are sound because the
+//!   substrate is deterministic: regeneration is byte-identical, so a hit
+//!   is indistinguishable from recomputation.
+//! * **Observability** ([`stats`]) — served/shed/timeout/coalesced
+//!   counters, cache hit rates, queue depth, and per-kernel latency
+//!   histograms ([`gp_metrics::Histogram`]), merged across shards and
+//!   served live via a `{"stats":true}` probe (with a per-shard breakdown)
 //!   and dumped on graceful shutdown.
 //!
 //! See `docs/SERVICE.md` for the wire protocol, knobs, and an example
 //! session; `gpart serve` hosts the server, `gp-loadgen` (in `gp-bench`)
-//! drives it closed-loop.
+//! drives it closed-loop or open-loop.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
 pub mod json;
+pub mod poller;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod spec;
 pub mod stats;
 
+pub use conn::{DecodeEvent, LineDecoder};
 pub use json::Json;
-pub use protocol::{Backend, Incoming, Kernel, Refusal, Request};
+pub use protocol::{Backend, Incoming, Kernel, ParseError, Refusal, Request};
 pub use server::{install_shutdown_signals, shutdown_requested, ServeConfig, Server};
+pub use shard::Ring;
 pub use spec::GraphSpec;
 pub use stats::ServiceStats;

@@ -1,0 +1,404 @@
+//! Readiness polling for the event-loop server — std-only, via thin
+//! `extern "C"` bindings to the host kernel's multiplexing syscall.
+//!
+//! On Linux this is **epoll** (level-triggered, one `epoll_wait` per loop
+//! tick); on other Unixes it falls back to **poll(2)** with a registration
+//! table rebuilt per wait. Both present the same tiny [`Poller`] API:
+//! register a file descriptor under a `u64` token, wait, and get back
+//! `(token, readable, writable, hangup)` tuples. The build environment has
+//! no crate registry, so no `mio`/`libc` — the handful of constants and the
+//! `epoll_event` layout (packed on x86-64!) are declared here directly.
+//!
+//! [`Waker`] lets worker threads interrupt a blocked wait from outside the
+//! event loop. It is a connected loopback UDP socket pair rather than a
+//! pipe: `std` can create, connect, and unblock it portably, and its read
+//! end is just another pollable fd.
+
+use std::io;
+use std::net::UdpSocket;
+use std::os::unix::io::{AsRawFd, RawFd};
+
+#[cfg(not(unix))]
+compile_error!("gp-serve's readiness event loop requires a Unix poller (epoll or poll)");
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; read to EOF and drop.
+    pub hangup: bool,
+}
+
+/// What a registered fd should be watched for. Readability is always
+/// watched; write interest is toggled as output queues drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Watch for readability.
+    pub readable: bool,
+    /// Watch for writability.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest — a connection with queued output.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of `struct epoll_event`. On x86-64 the kernel ABI packs this
+    /// to 12 bytes — `repr(C)` alone would pad `data` to an 8-byte offset
+    /// and corrupt every event.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Level-triggered epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READ)
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A signal mid-wait (SIGTERM during drain) is not an error;
+                // the loop tick just comes back empty.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in raw.iter().take(n as usize) {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        // nfds_t is u32 on the BSD family this fallback targets.
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    /// poll(2)-backed poller: a registration table rebuilt into a `pollfd`
+    /// array on every wait. O(fds) per tick, which is fine at service
+    /// connection counts.
+    pub struct Poller {
+        registered: Mutex<HashMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            let snapshot: Vec<(RawFd, u64, Interest)> = self
+                .registered
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&fd, &(token, interest))| (fd, token, interest))
+                .collect();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.writable { POLLIN | POLLOUT } else { POLLIN },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(&snapshot) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: pfd.revents & POLLIN != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The platform poller: epoll on Linux, poll(2) elsewhere on Unix. See the
+/// module docs for the shared contract.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Creates a poller instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Blocks up to `timeout_ms` for readiness, filling `events` (cleared
+    /// first). A signal or timeout yields an empty batch, not an error.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        self.inner.wait(events, timeout_ms)
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`]: a connected loopback
+/// UDP pair whose receive end is registered with the poller. Worker threads
+/// call [`Waker::wake`] after queueing a response; the event loop drains
+/// the datagrams and processes its outbox.
+pub struct Waker {
+    tx: UdpSocket,
+    rx: UdpSocket,
+}
+
+impl Waker {
+    /// Creates the socket pair (both ends nonblocking).
+    pub fn new() -> io::Result<Waker> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.connect(rx.local_addr()?)?;
+        rx.connect(tx.local_addr()?)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Interrupts the poller. Best-effort: a full socket buffer means a
+    /// wakeup is already pending, which is all that matters.
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1]);
+    }
+
+    /// Consumes all pending wakeups (call when the waker fd polls ready).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 16];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+
+    /// The pollable receive end.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_unblocks_a_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: the wait times out empty.
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.is_empty());
+        waker.wake();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.is_empty(), "drain must clear the readiness");
+    }
+
+    #[test]
+    fn socket_readability_and_write_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        use std::os::unix::io::AsRawFd;
+        let fd = server_side.as_raw_fd();
+        poller.register(fd, 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 10).unwrap();
+        assert!(events.is_empty(), "no data yet");
+
+        client.write_all(b"hello\n").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // An idle socket with write interest reports writable immediately.
+        poller.reregister(fd, 42, Interest::READ_WRITE).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        // Peer hangup surfaces as hangup (and/or readable EOF).
+        drop(client);
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && (e.hangup || e.readable)));
+        poller.deregister(fd).unwrap();
+    }
+}

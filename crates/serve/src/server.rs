@@ -1,31 +1,47 @@
-//! The multithreaded partition server.
+//! The sharded, event-driven partition server.
 //!
-//! Thread layout: one non-blocking accept loop, one reader thread per
-//! connection, and a fixed worker pool executing admitted jobs off the
-//! bounded queue. Workers — not readers — write kernel responses, so
-//! joining the worker pool during shutdown guarantees every in-flight job's
-//! response reaches its socket before the listener dies ("drain").
+//! Thread layout: **one readiness event loop** (epoll on Linux; see
+//! [`crate::poller`]) owns the listener and every connection — nonblocking
+//! sockets, per-connection NDJSON framing state machines that tolerate
+//! partial reads and partial writes ([`crate::conn`]) — plus a fixed worker
+//! pool partitioned across **shards** ([`crate::shard`]). Admission runs
+//! inline on the event loop; kernel work runs on the shard that owns the
+//! request's slice of the graph keyspace; responses travel back through a
+//! shared outbox drained by the event loop after a waker nudge.
 //!
 //! ```text
-//! client ── NDJSON ──▶ reader ──▶ [admission: cache? queue_full? drain?]
-//!                                      │ try_push
-//!                                      ▼
-//!                               Bounded<Job> ──▶ worker ──▶ kernel (deadline
-//!                                      ▲                    recorder) ──▶
-//!                             close() on shutdown            response line
+//! clients ── NDJSON ──▶ event loop ──▶ [admission: cache? coalesce?
+//!      ▲                    │           queue_full? drain?]
+//!      │                    │ try_push (consistent-hash shard route)
+//!      │                    ▼
+//!      │          shard₀ Bounded<Job> ──▶ workers ──▶ kernel ─┐
+//!      │          shard₁ Bounded<Job> ──▶ workers ──▶ kernel ─┤
+//!      │                                                      ▼
+//!      └────────── event loop ◀── waker ◀──── outbox (token, line)
 //! ```
+//!
+//! Identical deadline-free requests **coalesce**: the first becomes the
+//! leader, later arrivals park as followers on the shard's in-flight table,
+//! and the leader's result fans back out to every follower — N identical
+//! concurrent requests cost exactly one kernel execution.
+//!
+//! Draining keeps the old contract: joining the worker pool guarantees
+//! every in-flight job's response reaches the outbox, and the event loop
+//! flushes all connection buffers before the sockets die.
 
-use crate::cache::Lru;
+use crate::conn::{Connection, DecodeEvent, MAX_LINE};
 use crate::json::{Json, ObjBuilder};
+use crate::poller::{Interest, Poller, Waker};
 use crate::protocol::{parse_line, refusal_line, Incoming, Kernel, Refusal, Request};
-use crate::queue::{Bounded, PushError};
-use crate::spec::GraphSpec;
+use crate::queue::PushError;
+use crate::shard::{Follower, Job, Ring, Shard};
 use crate::stats::ServiceStats;
 use gp_core::api::{run_kernel, KernelOutput};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, Recorder};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -36,14 +52,18 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads (0 → one per available core).
+    /// Worker threads across all shards (0 → one per available core).
+    /// Every shard gets at least one.
     pub workers: usize,
-    /// Bounded admission-queue depth; beyond it requests shed with
-    /// `queue_full`.
+    /// Number of keyspace shards (0 is clamped to 1). Each shard owns its
+    /// own admission queue, caches, and worker slice.
+    pub shards: usize,
+    /// Bounded per-shard admission-queue depth; beyond it requests shed
+    /// with `queue_full`.
     pub queue_depth: usize,
-    /// Graph-cache capacity in graphs.
+    /// Per-shard graph-cache capacity in graphs.
     pub graph_cache: usize,
-    /// Result-cache capacity in responses.
+    /// Per-shard result-cache capacity in responses.
     pub result_cache: usize,
     /// Default per-request deadline in ms (0 → none).
     pub default_deadline_ms: u64,
@@ -56,6 +76,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
+            shards: 1,
             queue_depth: 64,
             graph_cache: 8,
             result_cache: 256,
@@ -65,70 +86,66 @@ impl Default for ServeConfig {
     }
 }
 
-/// A response sink shared by the reader (refusals) and workers (results):
-/// one write lock per connection keeps concurrently-finishing lines intact.
-type Sink = Arc<Mutex<TcpStream>>;
+/// Event-loop token of the listening socket.
+const TOK_LISTENER: u64 = 0;
+/// Event-loop token of the waker's receive end.
+const TOK_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOK_FIRST_CONN: u64 = 2;
 
-/// Writes one response line; socket errors are swallowed (the client went
-/// away — nothing useful to do server-side).
-fn send_line(sink: &Sink, line: &str) {
-    let mut stream = sink.lock().unwrap();
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.write_all(b"\n");
-    let _ = stream.flush();
-}
-
-/// An admitted unit of work.
-struct Job {
-    request: Request,
-    admitted: Instant,
-    deadline: Option<Instant>,
-    sink: Sink,
-}
-
-/// State shared by every thread of one server instance.
+/// State shared by the event loop and every shard worker.
 struct Shared {
     cfg: ServeConfig,
-    queue: Bounded<Job>,
-    stats: ServiceStats,
-    graphs: Mutex<Lru<Arc<Csr>>>,
-    results: Mutex<Lru<Json>>,
+    ring: Ring,
+    shards: Vec<Arc<Shard>>,
+    /// Ingress-plane counters: received / rejected / errors / stats probes
+    /// are attributed before (or instead of) shard routing.
+    ingress: ServiceStats,
     draining: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
+    /// Set after the workers have drained: the event loop flushes remaining
+    /// output and exits.
+    finishing: AtomicBool,
+    /// Worker → event-loop response channel: `(connection token, line)`.
+    outbox: Mutex<Vec<(u64, String)>>,
+    waker: Waker,
 }
 
 impl Shared {
-    /// Graph lookup with LRU caching; counts a hit/miss per call.
-    fn graph_for(&self, spec: &GraphSpec) -> Arc<Csr> {
-        let key = spec.canonical_key();
-        if let Some(g) = self.graphs.lock().unwrap().get(&key) {
-            self.stats.on_graph_cache(true);
-            return g;
-        }
-        // Build outside the lock: generation is the expensive part and
-        // other requests shouldn't stall on it. A racing duplicate build
-        // produces a byte-identical graph (determinism contract), so the
-        // worst case is redundant work, never inconsistency.
-        self.stats.on_graph_cache(false);
-        let g = Arc::new(spec.build());
-        self.graphs.lock().unwrap().put(key, Arc::clone(&g));
-        g
+    /// Queues a response line for `token` and nudges the event loop.
+    fn respond(&self, token: u64, line: String) {
+        self.outbox.lock().unwrap().push((token, line));
+        self.waker.wake();
     }
 
-    /// Full stats snapshot as a response line.
-    fn stats_line(&self) -> String {
-        let mut fields = vec![
-            ("ok".to_string(), Json::Bool(true)),
-            (
-                "queue_capacity".to_string(),
-                Json::Num(self.queue.capacity() as f64),
-            ),
-        ];
-        fields.push((
-            "stats".to_string(),
-            self.stats.snapshot_json(self.queue.len()),
-        ));
-        Json::Obj(fields).to_string()
+    /// Full stats snapshot as a response line: the merged view across the
+    /// ingress plane and every shard, plus a per-shard breakdown.
+    fn stats_line(&self, version: u8) -> String {
+        let queue_depth: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        let queue_capacity: usize = self.shards.iter().map(|s| s.queue.capacity()).sum();
+        let merged = ServiceStats::merged_json(
+            std::iter::once(&self.ingress).chain(self.shards.iter().map(|s| &s.stats)),
+            queue_depth,
+        );
+        let per_shard = Json::Arr(
+            self.shards
+                .iter()
+                .map(|s| {
+                    let mut fields = vec![("shard".to_string(), Json::Num(s.index as f64))];
+                    if let Json::Obj(body) = s.stats.snapshot_json(s.queue.len()) {
+                        fields.extend(body);
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        );
+        ObjBuilder::new()
+            .num("v", version as f64)
+            .bool("ok", true)
+            .num("queue_capacity", queue_capacity as f64)
+            .field("stats", merged)
+            .field("shards", per_shard)
+            .build()
+            .to_string()
     }
 }
 
@@ -138,51 +155,63 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    event_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts accepting. Worker threads spin up immediately.
+    /// Binds and starts the event loop. Shard workers spin up immediately.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let workers = if cfg.workers == 0 {
+        let num_shards = cfg.shards.max(1);
+        let total_workers = if cfg.workers == 0 {
             std::thread::available_parallelism().map_or(2, |n| n.get())
         } else {
             cfg.workers
         };
+        let shards: Vec<Arc<Shard>> = (0..num_shards)
+            .map(|i| Arc::new(Shard::new(i, cfg.queue_depth, cfg.graph_cache, cfg.result_cache)))
+            .collect();
         let shared = Arc::new(Shared {
-            queue: Bounded::new(cfg.queue_depth),
-            stats: ServiceStats::new(),
-            graphs: Mutex::new(Lru::new(cfg.graph_cache)),
-            results: Mutex::new(Lru::new(cfg.result_cache)),
+            ring: Ring::new(num_shards),
+            shards,
+            ingress: ServiceStats::new(),
             draining: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            finishing: AtomicBool::new(false),
+            outbox: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
             cfg,
         });
 
-        let worker_handles = (0..workers)
-            .map(|i| {
+        let mut worker_handles = Vec::new();
+        for (i, shard) in shared.shards.iter().enumerate() {
+            // Distribute the pool round-robin-ish; never starve a shard.
+            let per_shard =
+                (total_workers / num_shards + usize::from(i < total_workers % num_shards)).max(1);
+            for j in 0..per_shard {
+                let shard = Arc::clone(shard);
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gp-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+                worker_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("gp-serve-s{i}w{j}"))
+                        .spawn(move || worker_loop(&shard, &shared))
+                        .expect("spawn worker"),
+                );
+            }
+        }
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("gp-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, &accept_shared))
-            .expect("spawn acceptor");
+        let loop_shared = Arc::clone(&shared);
+        let event_thread = std::thread::Builder::new()
+            .name("gp-serve-events".to_string())
+            .spawn(move || event_loop(listener, &loop_shared))
+            .expect("spawn event loop");
 
         Ok(Server {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
+            event_thread: Some(event_thread),
             workers: worker_handles,
         })
     }
@@ -193,187 +222,339 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, reject new requests, drain queued
-    /// and in-flight jobs (their responses are written before this
-    /// returns), then drop the connections. Returns the final stats dump.
+    /// and in-flight jobs (their responses are flushed to the sockets
+    /// before this returns), then drop the connections. Returns the final
+    /// merged stats dump.
     pub fn shutdown(mut self) -> Json {
         self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        self.shared.waker.wake();
+        for shard in &self.shared.shards {
+            shard.queue.close();
         }
         for w in self.workers.drain(..) {
-            let _ = w.join(); // queue drained ⇒ all responses written
+            let _ = w.join(); // queues drained ⇒ every response is in the outbox
         }
-        // Unblock connection readers; their threads exit on the closed
-        // sockets.
-        for conn in self.shared.conns.lock().unwrap().drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
+        self.shared.finishing.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        if let Some(t) = self.event_thread.take() {
+            let _ = t.join(); // outbox flushed ⇒ every response reached its socket
         }
-        self.shared.stats.snapshot_json(0)
+        ServiceStats::merged_json(
+            std::iter::once(&self.shared.ingress)
+                .chain(self.shared.shards.iter().map(|s| &s.stats)),
+            0,
+        )
     }
 }
 
-/// Accept loop: non-blocking accept + drain-flag polling, so shutdown never
-/// hangs on a quiet listener.
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+/// The readiness event loop: accepts, reads/frames request lines, runs
+/// admission inline, delivers worker responses from the outbox, and
+/// flushes partial writes — all without blocking on any one socket.
+fn event_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let Ok(poller) = Poller::new() else { return };
+    let _ = poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READ);
+    let _ = poller.register(shared.waker.fd(), TOK_WAKER, Interest::READ);
+    let mut conns: HashMap<u64, Connection> = HashMap::new();
+    let mut next_token = TOK_FIRST_CONN;
+    let mut events = Vec::new();
+    let mut listener_active = true;
+    let mut finish_deadline: Option<Instant> = None;
+
     loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap().push(clone);
+        let _ = poller.wait(&mut events, 50);
+        let finishing = shared.finishing.load(Ordering::SeqCst);
+        for ev in &events {
+            match ev.token {
+                TOK_LISTENER => {
+                    while let Ok((stream, _)) = listener.accept() {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            continue; // dropped: the service is going away
+                        }
+                        let Ok(conn) = Connection::new(stream) else { continue };
+                        let token = next_token;
+                        next_token += 1;
+                        if poller
+                            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+                            .is_ok()
+                        {
+                            conns.insert(token, conn);
+                        }
+                    }
                 }
-                let shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
-                    .name("gp-serve-conn".to_string())
-                    .spawn(move || connection_loop(stream, &shared));
+                TOK_WAKER => shared.waker.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    if ev.readable || ev.hangup {
+                        for decoded in conn.read_events() {
+                            match decoded {
+                                DecodeEvent::Line(line) => {
+                                    if line.trim().is_empty() {
+                                        continue;
+                                    }
+                                    if let Some(reply) = handle_line(&line, token, shared) {
+                                        conn.enqueue(&reply);
+                                    }
+                                }
+                                DecodeEvent::Oversized => {
+                                    shared.ingress.on_received();
+                                    shared.ingress.on_error();
+                                    conn.enqueue(&refusal_line(
+                                        Refusal::BadRequest,
+                                        &format!("request line exceeds {MAX_LINE} bytes"),
+                                        None,
+                                        1,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if ev.writable {
+                        conn.flush();
+                    }
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+        }
+        if listener_active && shared.draining.load(Ordering::SeqCst) {
+            let _ = poller.deregister(listener.as_raw_fd());
+            listener_active = false;
+        }
+
+        // Deliver worker responses into connection write buffers.
+        let pending = std::mem::take(&mut *shared.outbox.lock().unwrap());
+        for (token, line) in pending {
+            // A missing token means the client left before its response
+            // was ready; the line is dropped, which is all TCP offers.
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.enqueue(&line);
             }
-            Err(_) => return,
+        }
+
+        // Flush progress, sync write interest, reap finished connections.
+        let mut reaped = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            if conn.wants_write() {
+                conn.flush();
+            }
+            if conn.dead || (conn.peer_closed && !conn.wants_write()) {
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+                reaped.push(token);
+                continue;
+            }
+            let want = conn.wants_write();
+            if want != conn.want_write
+                && poller
+                    .reregister(
+                        conn.stream.as_raw_fd(),
+                        token,
+                        if want { Interest::READ_WRITE } else { Interest::READ },
+                    )
+                    .is_ok()
+            {
+                conn.want_write = want;
+            }
+        }
+        for token in reaped {
+            conns.remove(&token);
+        }
+
+        if finishing {
+            // Workers are gone and the outbox (drained above) was final.
+            // Exit once every buffered response is on the wire, with a
+            // grace cap so one stalled client can't wedge shutdown.
+            let deadline = *finish_deadline
+                .get_or_insert_with(|| Instant::now() + Duration::from_secs(3));
+            if conns.values().all(|c| !c.wants_write()) || Instant::now() >= deadline {
+                for conn in conns.values() {
+                    conn.shutdown();
+                }
+                return;
+            }
         }
     }
 }
 
-/// Per-connection reader: parse, admit (or refuse inline), repeat until
-/// EOF.
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let sink: Sink = Arc::new(Mutex::new(stream));
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
-        }
-        handle_line(&line, &sink, shared);
-    }
-}
-
-/// Admission control for one request line.
-fn handle_line(line: &str, sink: &Sink, shared: &Arc<Shared>) {
+/// Admission control for one request line, run inline on the event loop.
+/// Returns an immediate response line, or `None` when the request was
+/// queued (or parked as a coalescing follower) and a worker will respond
+/// through the outbox.
+fn handle_line(line: &str, token: u64, shared: &Arc<Shared>) -> Option<String> {
     let incoming = match parse_line(line) {
         Ok(incoming) => incoming,
-        Err(detail) => {
-            shared.stats.on_received();
-            shared.stats.on_error();
-            send_line(sink, &refusal_line(Refusal::BadRequest, &detail, None));
-            return;
+        Err(e) => {
+            shared.ingress.on_received();
+            shared.ingress.on_error();
+            return Some(refusal_line(Refusal::BadRequest, &e.detail, None, e.version));
         }
     };
     let request = match incoming {
-        Incoming::Stats => {
-            shared.stats.on_stats_probe();
-            send_line(sink, &shared.stats_line());
-            return;
+        Incoming::Stats { version } => {
+            shared.ingress.on_stats_probe();
+            return Some(shared.stats_line(version));
         }
         Incoming::Run(request) => request,
     };
-    shared.stats.on_received();
-    let id = request.id.clone();
+    shared.ingress.on_received();
+    let version = request.version;
 
     if shared.draining.load(Ordering::SeqCst) {
-        shared.stats.on_rejected();
-        send_line(
-            sink,
-            &refusal_line(Refusal::ShuttingDown, "server is draining", id.as_deref()),
-        );
-        return;
+        shared.ingress.on_rejected();
+        return Some(refusal_line(
+            Refusal::ShuttingDown,
+            "server is draining",
+            request.id.as_deref(),
+            version,
+        ));
     }
     if let Some(spec) = &request.spec {
         if spec.num_vertices() > shared.cfg.max_vertices {
-            shared.stats.on_error();
+            shared.ingress.on_error();
             let detail = format!(
                 "graph too large: {} vertices > limit {}",
                 spec.num_vertices(),
                 shared.cfg.max_vertices
             );
-            send_line(sink, &refusal_line(Refusal::BadRequest, &detail, id.as_deref()));
-            return;
+            return Some(refusal_line(
+                Refusal::BadRequest,
+                &detail,
+                request.id.as_deref(),
+                version,
+            ));
         }
     }
 
+    // Shard routing: hash the graph keyspace so each spec has one home
+    // shard (cache locality); graph-less sleeps route on their label.
+    let route_key = match &request.spec {
+        Some(spec) => spec.canonical_key(),
+        None => request.kernel.label().to_string(),
+    };
+    let shard = &shared.shards[shared.ring.shard_of(&route_key)];
+
     // Result cache: a hit never touches the queue (or the deadline — the
     // answer is already computed).
-    if let Some(key) = request.cache_key() {
-        let cached = shared.results.lock().unwrap().get(&key);
+    let cache_key = request.cache_key();
+    if let Some(key) = &cache_key {
+        let cached = shard.results.lock().unwrap().get(key);
         if let Some(body) = cached {
-            shared.stats.on_result_cache(true);
-            shared.stats.on_served(false);
-            if let Some(h) = shared.stats.latency_of(request.kernel.label()) {
+            shard.stats.on_result_cache(true);
+            shard.stats.on_served(false);
+            if let Some(h) = shard.stats.latency_of(request.kernel.label()) {
                 h.record(Duration::ZERO);
             }
-            send_line(sink, &render_response(&body, true, id.as_deref()));
-            return;
+            return Some(render_response(&body, true, false, request.id.as_deref(), version));
         }
     }
 
     let now = Instant::now();
-    let deadline_ms = request
+    let deadline = request
         .deadline_ms
         .or(match shared.cfg.default_deadline_ms {
             0 => None,
             ms => Some(ms),
-        });
+        })
+        .map(|ms| now + Duration::from_millis(ms));
+
+    // Request coalescing: a deadline-free cacheable request identical to an
+    // in-flight one joins it as a follower instead of executing again.
+    // (Deadlined requests keep their own execution — each deadline is a
+    // distinct promise.) Admission runs on the single event-loop thread, so
+    // leader election per key is race-free.
+    let coalesce_key = if deadline.is_none() { cache_key } else { None };
+    if let Some(key) = &coalesce_key {
+        let mut inflight = shard.inflight.lock().unwrap();
+        if let Some(followers) = inflight.get_mut(key) {
+            followers.push(Follower {
+                token,
+                id: request.id.clone(),
+                admitted: now,
+                version,
+            });
+            return None;
+        }
+        inflight.insert(key.clone(), Vec::new());
+    }
+
     let job = Job {
-        deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
         request,
         admitted: now,
-        sink: Arc::clone(sink),
+        deadline,
+        token,
+        coalesce_key,
     };
-    match shared.queue.try_push(job) {
-        Ok(()) => {}
+    match shard.queue.try_push(job) {
+        Ok(()) => None,
         Err((job, PushError::Full)) => {
-            shared.stats.on_shed();
-            send_line(
-                sink,
-                &refusal_line(
-                    Refusal::QueueFull,
-                    &format!("admission queue at capacity {}", shared.queue.capacity()),
-                    job.request.id.as_deref(),
-                ),
-            );
+            if let Some(key) = &job.coalesce_key {
+                shard.inflight.lock().unwrap().remove(key);
+            }
+            shard.stats.on_shed();
+            Some(refusal_line(
+                Refusal::QueueFull,
+                &format!("admission queue at capacity {}", shard.queue.capacity()),
+                job.request.id.as_deref(),
+                version,
+            ))
         }
         Err((job, PushError::Closed)) => {
-            shared.stats.on_rejected();
-            send_line(
-                sink,
-                &refusal_line(
-                    Refusal::ShuttingDown,
-                    "server is draining",
-                    job.request.id.as_deref(),
-                ),
-            );
+            if let Some(key) = &job.coalesce_key {
+                shard.inflight.lock().unwrap().remove(key);
+            }
+            shared.ingress.on_rejected();
+            Some(refusal_line(
+                Refusal::ShuttingDown,
+                "server is draining",
+                job.request.id.as_deref(),
+                version,
+            ))
         }
     }
 }
 
-/// Worker: pop, execute, respond; exits when the queue closes and drains.
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        let body = execute(shared, &job);
+/// Shard worker: pop, execute, cache, fan out to coalesced followers;
+/// exits when the shard queue closes and drains.
+fn worker_loop(shard: &Arc<Shard>, shared: &Arc<Shared>) {
+    while let Some(job) = shard.queue.pop() {
+        let body = execute(shard, &job);
         let timed_out = body.get("timed_out").and_then(Json::as_bool) == Some(true);
-        // Cache successful, fully-converged-or-not-but-complete runs; a
-        // timed-out partial is not a reusable answer.
+        // Cache complete runs; a timed-out partial is not a reusable
+        // answer. Cache *before* dropping the in-flight entry so late
+        // duplicates hit the cache instead of re-executing.
         if !timed_out {
             if let Some(key) = job.request.cache_key() {
-                shared.results.lock().unwrap().put(key, body.clone());
+                shard.results.lock().unwrap().put(key, body.clone());
             }
         }
-        shared.stats.on_served(timed_out);
-        if let Some(h) = shared.stats.latency_of(job.request.kernel.label()) {
+        let followers = match &job.coalesce_key {
+            Some(key) => shard
+                .inflight
+                .lock()
+                .unwrap()
+                .remove(key)
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        let label = job.request.kernel.label();
+        shard.stats.on_served(timed_out);
+        if let Some(h) = shard.stats.latency_of(label) {
             h.record(job.admitted.elapsed());
         }
-        send_line(
-            &job.sink,
-            &render_response(&body, false, job.request.id.as_deref()),
+        shared.respond(
+            job.token,
+            render_response(&body, false, false, job.request.id.as_deref(), job.request.version),
         );
+        for f in followers {
+            // Coalesced leaders never carry a deadline, so the shared body
+            // is complete; each follower's latency spans its own wait.
+            shard.stats.on_served(false);
+            shard.stats.on_coalesced();
+            if let Some(h) = shard.stats.latency_of(label) {
+                h.record(f.admitted.elapsed());
+            }
+            shared.respond(
+                f.token,
+                render_response(&body, false, true, f.id.as_deref(), f.version),
+            );
+        }
     }
 }
 
@@ -385,8 +566,8 @@ struct Outcome {
     extras: Vec<(String, Json)>,
 }
 
-/// Runs the requested kernel against `g` under recorder `rec`: build the
-/// [`gp_core::api::KernelSpec`] the request describes, dispatch through the
+/// Runs the requested kernel against `g` under recorder `rec`: take the
+/// [`gp_core::api::KernelSpec`] the request embeds, dispatch through the
 /// one shared entrypoint, and lift kernel-specific response fields off the
 /// typed output.
 fn execute_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outcome {
@@ -427,9 +608,9 @@ fn execute_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outco
     }
 }
 
-/// Executes one admitted job, producing the core response body (without the
-/// per-delivery `cached`/`id` fields).
-fn execute(shared: &Shared, job: &Job) -> Json {
+/// Executes one admitted job on its home shard, producing the core response
+/// body (without the per-delivery `cached`/`coalesced`/`id`/`v` fields).
+fn execute(shard: &Shard, job: &Job) -> Json {
     let started = Instant::now();
     let request = &job.request;
 
@@ -460,7 +641,7 @@ fn execute(shared: &Shared, job: &Job) -> Json {
     }
 
     let spec = request.spec.as_ref().expect("non-sleep requests carry a spec");
-    let graph = shared.graph_for(spec);
+    let graph = shard.graph_for(spec);
     let (outcome, timed_out) = match job.deadline {
         Some(deadline) => {
             let mut rec = DeadlineRecorder::new(NoopRecorder, deadline);
@@ -470,7 +651,7 @@ fn execute(shared: &Shared, job: &Job) -> Json {
         None => (execute_kernel(request, &graph, &mut NoopRecorder), false),
     };
     if request.cache_key().is_some() && !timed_out {
-        shared.stats.on_result_cache(false);
+        shard.stats.on_result_cache(false);
     }
 
     let mut body = ObjBuilder::new()
@@ -490,13 +671,18 @@ fn execute(shared: &Shared, job: &Job) -> Json {
     body.build()
 }
 
-/// Stamps the per-delivery fields onto a response body.
-fn render_response(body: &Json, cached: bool, id: Option<&str>) -> String {
+/// Stamps the per-delivery fields (`v`, `cached`, `coalesced`, `id`) onto a
+/// response body.
+fn render_response(body: &Json, cached: bool, coalesced: bool, id: Option<&str>, version: u8) -> String {
     let mut fields = match body {
         Json::Obj(fields) => fields.clone(),
         other => vec![("body".to_string(), other.clone())],
     };
+    fields.insert(0, ("v".to_string(), Json::Num(version as f64)));
     fields.push(("cached".to_string(), Json::Bool(cached)));
+    if coalesced {
+        fields.push(("coalesced".to_string(), Json::Bool(true)));
+    }
     if let Some(id) = id {
         fields.push(("id".to_string(), Json::Str(id.to_string())));
     }
@@ -539,6 +725,8 @@ pub fn shutdown_requested() -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn local_server(cfg: ServeConfig) -> Server {
         Server::start(ServeConfig {
@@ -572,9 +760,29 @@ mod tests {
         assert_eq!(v.get("kernel").and_then(Json::as_str), Some("color"));
         assert_eq!(v.get("id").and_then(Json::as_str), Some("t0"));
         assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(1));
         assert!(v.get("num_colors").and_then(Json::as_u64).unwrap() >= 2);
         let stats = server.shutdown();
         assert_eq!(stats.get("served").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn serves_a_v2_request_end_to_end() {
+        let server = local_server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let v = roundtrip(
+            server.local_addr(),
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=12,seed=1","id":"t2"}}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("t2"));
+        let probe = roundtrip(server.local_addr(), r#"{"v":2,"req":{"stats":true}}"#);
+        assert_eq!(probe.get("v").and_then(Json::as_u64), Some(2));
+        assert!(probe.get("shards").is_some(), "{probe}");
+        server.shutdown();
     }
 
     #[test]
@@ -602,6 +810,39 @@ mod tests {
             r#"{"kernel":"color","graph":{"rmat":{"scale":20}}}"#,
         );
         assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection_all_get_answers() {
+        let server = local_server(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Three requests in one write: the framing layer must split them
+        // and every response must come back (order may vary — match ids).
+        stream
+            .write_all(
+                concat!(
+                    r#"{"kernel":"sleep","ms":5,"id":"p0"}"#, "\n",
+                    r#"{"kernel":"sleep","ms":5,"id":"p1"}"#, "\n",
+                    r#"{"kernel":"sleep","ms":5,"id":"p2"}"#, "\n",
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let v = crate::json::parse(line.trim()).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+            seen.push(v.get("id").and_then(Json::as_str).unwrap().to_string());
+        }
+        seen.sort();
+        assert_eq!(seen, ["p0", "p1", "p2"]);
         server.shutdown();
     }
 }

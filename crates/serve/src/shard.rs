@@ -1,0 +1,213 @@
+//! Keyspace sharding for the serve tier.
+//!
+//! The graph-cache keyspace is partitioned across N worker shards by
+//! consistent hashing on the canonical [`crate::spec::GraphSpec`] key: every
+//! request for the same graph lands on the same shard, so each generated
+//! graph lives in exactly one shard's cache and each shard's worker set
+//! gets temporal locality on it. Each [`Shard`] owns its own bounded
+//! admission queue, graph + result caches, latency histograms, and
+//! in-flight coalescing table — no cross-shard locks on the hot path.
+//!
+//! [`Ring`] is a classic consistent-hash ring (64 virtual nodes per shard,
+//! FNV-1a point hashes) so shard counts can change between deployments
+//! without remapping the whole keyspace.
+
+use crate::cache::Lru;
+use crate::json::Json;
+use crate::protocol::Request;
+use crate::queue::Bounded;
+use crate::spec::GraphSpec;
+use crate::stats::ServiceStats;
+use gp_graph::csr::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// 64-bit FNV-1a — the same cheap, dependency-free hash the rest of the
+/// workspace uses for stable, platform-independent hashing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Virtual nodes per shard: enough for ±a few percent keyspace balance at
+/// service shard counts without making ring construction noticeable.
+const VNODES: usize = 64;
+
+/// Consistent-hash ring mapping cache keys to shard indices.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted `(point, shard)` pairs.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Builds a ring over `shards` shards (0 is clamped to 1).
+    pub fn new(shards: usize) -> Ring {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                points.push((fnv1a(format!("shard-{s}/vnode-{v}").as_bytes()), s));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// Number of shards the ring spans.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point clockwise of the key's
+    /// hash, wrapping at the top of the u64 circle.
+    pub fn shard_of(&self, key: &str) -> usize {
+        let h = fnv1a(key.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[i % self.points.len()].1
+    }
+}
+
+/// A coalesced joiner of an in-flight computation: when its leader
+/// completes, the shared body fans back out to every follower with the
+/// follower's own correlation id and protocol version.
+pub(crate) struct Follower {
+    /// Connection token to deliver the response to.
+    pub token: u64,
+    /// The follower's own request id.
+    pub id: Option<String>,
+    /// Admission time (the follower's latency includes its queue wait).
+    pub admitted: Instant,
+    /// Protocol version the follower spoke.
+    pub version: u8,
+}
+
+/// An admitted unit of work bound for a shard's worker pool.
+pub(crate) struct Job {
+    pub request: Request,
+    pub admitted: Instant,
+    pub deadline: Option<Instant>,
+    /// Connection token of the requester (response routing key).
+    pub token: u64,
+    /// Set when this job is a coalescing leader: completing it must fan the
+    /// result out to the followers registered under this key.
+    pub coalesce_key: Option<String>,
+}
+
+/// One shard: a slice of the graph keyspace with private queue, caches,
+/// stats, and coalescing table.
+pub(crate) struct Shard {
+    pub index: usize,
+    pub queue: Bounded<Job>,
+    pub stats: ServiceStats,
+    pub graphs: Mutex<Lru<Arc<Csr>>>,
+    pub results: Mutex<Lru<Json>>,
+    /// In-flight coalescing: cache key → followers awaiting the leader.
+    /// An entry exists exactly while a leader job for that key is queued or
+    /// executing.
+    pub inflight: Mutex<HashMap<String, Vec<Follower>>>,
+}
+
+impl Shard {
+    /// Fresh shard with the given cache/queue capacities.
+    pub fn new(index: usize, queue_depth: usize, graph_cache: usize, result_cache: usize) -> Shard {
+        Shard {
+            index,
+            queue: Bounded::new(queue_depth),
+            stats: ServiceStats::new(),
+            graphs: Mutex::new(Lru::new(graph_cache)),
+            results: Mutex::new(Lru::new(result_cache)),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Graph lookup with LRU caching; counts a hit/miss per call.
+    ///
+    /// The build happens outside the lock: generation is the expensive part
+    /// and other requests shouldn't stall on it. A racing duplicate build
+    /// produces a byte-identical graph (determinism contract), so the worst
+    /// case is redundant work, never inconsistency.
+    pub fn graph_for(&self, spec: &GraphSpec) -> Arc<Csr> {
+        let key = spec.canonical_key();
+        if let Some(g) = self.graphs.lock().unwrap().get(&key) {
+            self.stats.on_graph_cache(true);
+            return g;
+        }
+        self.stats.on_graph_cache(false);
+        let g = Arc::new(spec.build());
+        self.graphs.lock().unwrap().put(key, Arc::clone(&g));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let ring = Ring::new(4);
+        assert_eq!(ring.shards(), 4);
+        for key in ["rmat:scale=10,ef=8,seed=3", "mesh:w=20,seed=4", "", "x"] {
+            let s = ring.shard_of(key);
+            assert!(s < 4);
+            assert_eq!(s, ring.shard_of(key), "stable per key");
+            assert_eq!(s, Ring::new(4).shard_of(key), "stable per ring build");
+        }
+    }
+
+    #[test]
+    fn ring_balances_reasonably() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[ring.shard_of(&format!("rmat:scale=14,ef=8,seed={i}"))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 400 && c < 2200,
+                "shard {s} owns {c}/4000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_maps_everything_to_zero() {
+        let ring = Ring::new(1);
+        assert_eq!(ring.shard_of("anything"), 0);
+        // Shard count 0 is clamped rather than panicking.
+        assert_eq!(Ring::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_part_of_the_keyspace() {
+        // The consistent-hashing property: going 4 → 5 shards must leave
+        // most keys on their old shard (naive `hash % n` moves ~80%).
+        let before = Ring::new(4);
+        let after = Ring::new(5);
+        let total = 4000;
+        let moved = (0..total)
+            .filter(|i| {
+                let key = format!("rmat:scale=14,ef=8,seed={i}");
+                before.shard_of(&key) != after.shard_of(&key)
+            })
+            .count();
+        assert!(
+            moved * 2 < total,
+            "{moved}/{total} keys moved — not consistent hashing"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! [`ServiceStats::snapshot_json`].
 
 use crate::json::{Json, ObjBuilder};
-use gp_metrics::Histogram;
+use gp_metrics::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Kernels the service tracks latency for (index into the histogram array).
@@ -30,6 +30,9 @@ pub struct ServiceStats {
     pub errors: AtomicU64,
     /// Served responses whose deadline expired mid-run (`timed_out: true`).
     pub timed_out: AtomicU64,
+    /// Served responses that joined an identical in-flight computation
+    /// instead of executing (request coalescing; a subset of `served`).
+    pub coalesced: AtomicU64,
     /// `stats` probes answered.
     pub stats_probes: AtomicU64,
     /// Graph-cache hits / misses.
@@ -70,6 +73,12 @@ impl ServiceStats {
         }
     }
 
+    /// Marks one coalesced delivery (the request rode an in-flight
+    /// identical computation). Pair with [`ServiceStats::on_served`].
+    pub fn on_coalesced(&self) {
+        bump(&self.coalesced);
+    }
+
     /// Marks one shed (`queue_full`) request.
     pub fn on_shed(&self) {
         bump(&self.shed);
@@ -108,18 +117,79 @@ impl ServiceStats {
             .map(|i| &self.latency[i])
     }
 
+    /// Accumulates this instance's counters and latency snapshots into
+    /// `totals` (the merge primitive behind [`ServiceStats::merged_json`]).
+    fn accumulate(&self, totals: &mut Totals) {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        totals.received += read(&self.received);
+        totals.served += read(&self.served);
+        totals.shed += read(&self.shed);
+        totals.rejected += read(&self.rejected);
+        totals.errors += read(&self.errors);
+        totals.timed_out += read(&self.timed_out);
+        totals.coalesced += read(&self.coalesced);
+        totals.stats_probes += read(&self.stats_probes);
+        totals.graph_hits += read(&self.graph_hits);
+        totals.graph_misses += read(&self.graph_misses);
+        totals.result_hits += read(&self.result_hits);
+        totals.result_misses += read(&self.result_misses);
+        for (slot, hist) in totals.latency.iter_mut().zip(&self.latency) {
+            slot.merge(&hist.snapshot());
+        }
+    }
+
     /// Renders the full counter set (plus `queue_depth`, supplied by the
     /// caller because the queue owns it) as a JSON object.
     pub fn snapshot_json(&self, queue_depth: usize) -> Json {
-        let read = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
-        let hit_rate = |hits: &AtomicU64, misses: &AtomicU64| {
-            let h = read(hits);
-            let total = h + read(misses);
-            if total == 0.0 { 0.0 } else { h / total }
+        ServiceStats::merged_json([self], queue_depth)
+    }
+
+    /// Renders the merged view of several stat planes (e.g. the ingress
+    /// plane plus every shard) as one JSON object: counters sum, per-kernel
+    /// latency histograms merge bucket-wise, hit rates are recomputed over
+    /// the summed totals.
+    pub fn merged_json<'a, I>(parts: I, queue_depth: usize) -> Json
+    where
+        I: IntoIterator<Item = &'a ServiceStats>,
+    {
+        let mut totals = Totals::default();
+        for part in parts {
+            part.accumulate(&mut totals);
+        }
+        totals.render(queue_depth)
+    }
+}
+
+/// Summed counters + merged latency snapshots across stat planes.
+#[derive(Default)]
+struct Totals {
+    received: u64,
+    served: u64,
+    shed: u64,
+    rejected: u64,
+    errors: u64,
+    timed_out: u64,
+    coalesced: u64,
+    stats_probes: u64,
+    graph_hits: u64,
+    graph_misses: u64,
+    result_hits: u64,
+    result_misses: u64,
+    latency: [HistogramSnapshot; 4],
+}
+
+impl Totals {
+    fn render(&self, queue_depth: usize) -> Json {
+        let hit_rate = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
         };
         let mut latency = ObjBuilder::new();
-        for (name, hist) in KERNEL_NAMES.iter().zip(&self.latency) {
-            let s = hist.snapshot();
+        for (name, s) in KERNEL_NAMES.iter().zip(&self.latency) {
             if s.count == 0 {
                 continue;
             }
@@ -136,28 +206,29 @@ impl ServiceStats {
             );
         }
         ObjBuilder::new()
-            .num("received", read(&self.received))
-            .num("served", read(&self.served))
-            .num("shed", read(&self.shed))
-            .num("rejected", read(&self.rejected))
-            .num("errors", read(&self.errors))
-            .num("timed_out", read(&self.timed_out))
-            .num("stats_probes", read(&self.stats_probes))
+            .num("received", self.received as f64)
+            .num("served", self.served as f64)
+            .num("shed", self.shed as f64)
+            .num("rejected", self.rejected as f64)
+            .num("errors", self.errors as f64)
+            .num("timed_out", self.timed_out as f64)
+            .num("coalesced", self.coalesced as f64)
+            .num("stats_probes", self.stats_probes as f64)
             .num("queue_depth", queue_depth as f64)
             .field(
                 "graph_cache",
                 ObjBuilder::new()
-                    .num("hits", read(&self.graph_hits))
-                    .num("misses", read(&self.graph_misses))
-                    .num("hit_rate", hit_rate(&self.graph_hits, &self.graph_misses))
+                    .num("hits", self.graph_hits as f64)
+                    .num("misses", self.graph_misses as f64)
+                    .num("hit_rate", hit_rate(self.graph_hits, self.graph_misses))
                     .build(),
             )
             .field(
                 "result_cache",
                 ObjBuilder::new()
-                    .num("hits", read(&self.result_hits))
-                    .num("misses", read(&self.result_misses))
-                    .num("hit_rate", hit_rate(&self.result_hits, &self.result_misses))
+                    .num("hits", self.result_hits as f64)
+                    .num("misses", self.result_misses as f64)
+                    .num("hit_rate", hit_rate(self.result_hits, self.result_misses))
                     .build(),
             )
             .field("latency", latency.build())
@@ -201,6 +272,35 @@ mod tests {
         assert!(color.get("p99_ms").and_then(Json::as_f64).unwrap() > 0.0);
         // Unused kernels are omitted from the latency object.
         assert!(snap.get("latency").unwrap().get("louvain").is_none());
+    }
+
+    #[test]
+    fn merged_json_sums_planes_and_merges_latency() {
+        let ingress = ServiceStats::new();
+        let shard_a = ServiceStats::new();
+        let shard_b = ServiceStats::new();
+        for _ in 0..4 {
+            ingress.on_received();
+        }
+        shard_a.on_served(false);
+        shard_a.on_served(false);
+        shard_a.on_coalesced();
+        shard_b.on_served(true);
+        shard_b.on_shed();
+        shard_a.latency_of("sleep").unwrap().record(Duration::from_millis(1));
+        shard_b.latency_of("sleep").unwrap().record(Duration::from_millis(9));
+        let snap = ServiceStats::merged_json([&ingress, &shard_a, &shard_b], 5);
+        let get = |k: &str| snap.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(get("received"), 4);
+        assert_eq!(get("served"), 3);
+        assert_eq!(get("shed"), 1);
+        assert_eq!(get("coalesced"), 1);
+        assert_eq!(get("timed_out"), 1);
+        assert_eq!(get("queue_depth"), 5);
+        let sleep = snap.get("latency").and_then(|l| l.get("sleep")).unwrap();
+        assert_eq!(sleep.get("count").and_then(Json::as_u64), Some(2));
+        let max = sleep.get("max_ms").and_then(Json::as_f64).unwrap();
+        assert!(max >= 8.0, "merged max must come from shard_b ({max})");
     }
 
     #[test]

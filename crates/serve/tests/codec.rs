@@ -1,0 +1,172 @@
+//! Wire-codec robustness: the event-loop server must tolerate request
+//! bytes arriving in any chunking (partial reads), refuse oversized lines
+//! without dropping the connection, keep pipelined requests on one
+//! connection independent, and treat a v1 request and its v2 translation
+//! as the same logical request.
+
+use gp_serve::protocol::{parse_line, to_v2_line, Incoming};
+use gp_serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn server(cfg: ServeConfig) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..cfg
+    })
+    .expect("bind loopback")
+}
+
+fn read_json(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(!line.is_empty(), "connection closed before response");
+    gp_serve::json::parse(line.trim()).expect("valid response JSON")
+}
+
+fn get_bool(v: &Json, key: &str) -> Option<bool> {
+    v.get(key).and_then(Json::as_bool)
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+#[test]
+fn request_split_at_every_byte_boundary_still_parses() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let line = b"{\"kernel\":\"sleep\",\"ms\":1,\"id\":\"sb\"}\n";
+    for split in 1..line.len() {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(&line[..split]).unwrap();
+        stream.flush().unwrap();
+        // Give the event loop a chance to consume the fragment so the two
+        // halves genuinely arrive as separate reads.
+        std::thread::sleep(Duration::from_millis(2));
+        stream.write_all(&line[split..]).unwrap();
+        stream.flush().unwrap();
+        let v = read_json(&mut BufReader::new(stream));
+        assert_eq!(get_bool(&v, "ok"), Some(true), "split at {split}: {v}");
+        assert_eq!(get_str(&v, "id"), Some("sb"), "split at {split}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_line_is_refused_and_the_connection_survives() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Well past the 256 KiB line cap, then a newline, then a valid request.
+    let garbage = vec![b'x'; 300 * 1024];
+    stream.write_all(&garbage).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream
+        .write_all(b"{\"kernel\":\"sleep\",\"ms\":1,\"id\":\"after\"}\n")
+        .unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let refusal = read_json(&mut reader);
+    assert_eq!(get_bool(&refusal, "ok"), Some(false), "{refusal}");
+    assert_eq!(get_str(&refusal, "error"), Some("bad_request"), "{refusal}");
+    let ok = read_json(&mut reader);
+    assert_eq!(get_bool(&ok, "ok"), Some(true), "{ok}");
+    assert_eq!(get_str(&ok, "id"), Some("after"), "{ok}");
+    let stats = server.shutdown();
+    assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(1), "{stats}");
+    assert_eq!(stats.get("served").and_then(Json::as_u64), Some(1), "{stats}");
+}
+
+#[test]
+fn interleaved_pipelined_requests_each_get_their_answer() {
+    let server = server(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // One write, many frames: slow kernels, fast probes, a parse error, and
+    // a v2 request interleaved. Responses may arrive out of order (probes
+    // and refusals answer inline, kernels via workers) — match by id/kind.
+    stream
+        .write_all(
+            concat!(
+                r#"{"kernel":"sleep","ms":40,"id":"slow1"}"#, "\n",
+                r#"{"stats":true}"#, "\n",
+                r#"{"kernel":"sleep","ms":40,"id":"slow2"}"#, "\n",
+                r#"{"not":"a request"}"#, "\n",
+                r#"{"v":2,"req":{"kernel":"sleep","ms":1,"id":"v2fast"}}"#, "\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut kernel_ids = Vec::new();
+    let mut saw_stats = false;
+    let mut saw_refusal = false;
+    for _ in 0..5 {
+        let v = read_json(&mut reader);
+        if v.get("stats").is_some() {
+            saw_stats = true;
+        } else if get_str(&v, "error").is_some() {
+            saw_refusal = true;
+            assert_eq!(get_str(&v, "error"), Some("bad_request"), "{v}");
+        } else {
+            assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+            kernel_ids.push(get_str(&v, "id").unwrap().to_string());
+        }
+    }
+    kernel_ids.sort();
+    assert_eq!(kernel_ids, ["slow1", "slow2", "v2fast"]);
+    assert!(saw_stats && saw_refusal);
+    server.shutdown();
+}
+
+#[test]
+fn v1_request_and_its_v2_translation_are_the_same_request() {
+    // Library-level golden translation…
+    let v1_line = r#"{"kernel":"louvain","graph":{"rmat":{"scale":10,"seed":7}},"variant":"mplm","seed":3,"id":"orig"}"#;
+    let Incoming::Run(v1_req) = parse_line(v1_line).unwrap() else {
+        panic!("expected run");
+    };
+    let v2_line = to_v2_line(&v1_req);
+    let Incoming::Run(v2_req) = parse_line(&v2_line).unwrap() else {
+        panic!("expected run");
+    };
+    assert_eq!(v1_req.cache_key(), v2_req.cache_key());
+    assert_eq!(v1_req.kernel_spec(), v2_req.kernel_spec());
+
+    // …and service-level: the v2 form must hit the cache entry the v1 form
+    // populated, replaying the identical body.
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(v1_line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let first = read_json(&mut reader);
+    assert_eq!(get_bool(&first, "cached"), Some(false), "{first}");
+    assert_eq!(first.get("v").and_then(Json::as_u64), Some(1));
+    stream.write_all(v2_line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let second = read_json(&mut reader);
+    assert_eq!(get_bool(&second, "cached"), Some(true), "{second}");
+    assert_eq!(second.get("v").and_then(Json::as_u64), Some(2));
+    for key in ["modularity", "rounds", "communities", "exec_ms"] {
+        assert_eq!(
+            first.get(key).and_then(Json::as_f64),
+            second.get(key).and_then(Json::as_f64),
+            "{key} must replay verbatim"
+        );
+    }
+    server.shutdown();
+}

@@ -1,0 +1,194 @@
+//! Shard-router and request-coalescing semantics: N identical concurrent
+//! requests must cost exactly one kernel execution, and distinct graph
+//! specs must land on the shard the consistent-hash ring assigns them.
+
+use gp_serve::{GraphSpec, Json, Ring, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn server(cfg: ServeConfig) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..cfg
+    })
+    .expect("bind loopback")
+}
+
+fn roundtrip(server: &Server, line: &str) -> Json {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    gp_serve::json::parse(response.trim()).expect("valid JSON response")
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_to_one_execution() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    // Occupy the single worker so the coalescing leader stays queued while
+    // the followers arrive.
+    let mut blocker = TcpStream::connect(server.local_addr()).unwrap();
+    blocker
+        .write_all(b"{\"kernel\":\"sleep\",\"ms\":400,\"id\":\"blocker\"}\n")
+        .unwrap();
+    blocker.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(80)); // worker picked it up
+
+    // N identical deadline-free requests from N connections, concurrently.
+    // The first admitted becomes the leader; the rest must join in-flight.
+    const N: usize = 8;
+    let line = r#"{"kernel":"labelprop","graph":"mesh:w=24,seed=9","seed":5}"#;
+    let handles: Vec<_> = (0..N)
+        .map(|_| {
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                gp_serve::json::parse(response.trim()).expect("valid JSON response")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every response is a complete, identical answer…
+    for v in &responses {
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+        assert_eq!(get_u64(v, "communities"), get_u64(&responses[0], "communities"));
+        assert_eq!(get_u64(v, "iterations"), get_u64(&responses[0], "iterations"));
+        assert_eq!(get_u64(v, "rounds"), get_u64(&responses[0], "rounds"));
+    }
+    // …but exactly one was the leader; the other N-1 were coalesced.
+    let coalesced = responses
+        .iter()
+        .filter(|v| v.get("coalesced").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert_eq!(coalesced, N - 1, "exactly one execution, N-1 joiners");
+
+    // Drain the blocker, then check the counters agree.
+    let mut reader = BufReader::new(blocker);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+
+    let probe = roundtrip(&server, r#"{"stats":true}"#);
+    let stats = probe.get("stats").expect("stats body");
+    assert_eq!(get_u64(stats, "served"), Some((N + 1) as u64), "{probe}");
+    assert_eq!(get_u64(stats, "coalesced"), Some((N - 1) as u64), "{probe}");
+    let rc = stats.get("result_cache").unwrap();
+    assert_eq!(get_u64(rc, "misses"), Some(1), "one kernel execution: {probe}");
+    assert_eq!(get_u64(rc, "hits"), Some(0), "no follower took the cache path: {probe}");
+    server.shutdown();
+}
+
+#[test]
+fn coalesced_followers_keep_their_own_ids() {
+    let server = server(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut blocker = TcpStream::connect(server.local_addr()).unwrap();
+    blocker
+        .write_all(b"{\"kernel\":\"sleep\",\"ms\":300}\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let line = format!(
+                    r#"{{"kernel":"color","graph":"mesh:w=16,seed=2","id":"c{i}"}}"#
+                );
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                let v = gp_serve::json::parse(response.trim()).unwrap();
+                assert_eq!(
+                    v.get("id").and_then(Json::as_str),
+                    Some(format!("c{i}").as_str()),
+                    "follower got someone else's correlation id: {v}"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut reader = BufReader::new(blocker);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn distinct_graphs_land_on_their_hashed_shard() {
+    const SHARDS: usize = 4;
+    let server = server(ServeConfig {
+        workers: SHARDS,
+        shards: SHARDS,
+        ..Default::default()
+    });
+    let ring = Ring::new(SHARDS);
+    let compacts = [
+        "mesh:w=8,seed=1",
+        "mesh:w=9,seed=2",
+        "mesh:w=10,seed=3",
+        "rmat:scale=8,ef=8,seed=1",
+        "rmat:scale=9,ef=8,seed=2",
+        "rmat:scale=10,ef=8,seed=7",
+    ];
+    // Expected per-shard graph-cache misses: one per distinct spec, on the
+    // shard the ring assigns that spec's canonical key.
+    let mut expected = [0u64; SHARDS];
+    for compact in compacts {
+        let key = GraphSpec::from_compact(compact).unwrap().canonical_key();
+        expected[ring.shard_of(&key)] += 1;
+    }
+    assert!(
+        expected.iter().filter(|&&c| c > 0).count() >= 2,
+        "test premise: specs must spread over several shards ({expected:?})"
+    );
+
+    for compact in compacts {
+        let v = roundtrip(
+            &server,
+            &format!(r#"{{"kernel":"color","graph":"{compact}"}}"#),
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    }
+
+    let probe = roundtrip(&server, r#"{"stats":true}"#);
+    let Some(Json::Arr(shards)) = probe.get("shards") else {
+        panic!("stats probe must report per-shard stats: {probe}");
+    };
+    assert_eq!(shards.len(), SHARDS, "every shard reports: {probe}");
+    for (i, shard) in shards.iter().enumerate() {
+        assert_eq!(get_u64(shard, "shard"), Some(i as u64));
+        let gc = shard.get("graph_cache").unwrap();
+        assert_eq!(
+            get_u64(gc, "misses"),
+            Some(expected[i]),
+            "shard {i} owns the wrong keys: {probe}"
+        );
+    }
+    let stats = probe.get("stats").unwrap();
+    assert_eq!(get_u64(stats, "served"), Some(compacts.len() as u64));
+    server.shutdown();
+}

@@ -22,16 +22,10 @@ pub use gp_simd as simd;
 /// One-stop imports for the most common entry points.
 pub mod prelude {
     pub use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec, SweepMode};
-    #[allow(deprecated)] // legacy entrypoints stay importable from the prelude
-    pub use gp_core::coloring::{color_graph, color_graph_recorded};
-    pub use gp_core::coloring::{verify_coloring, ColoringConfig, ColoringResult};
+    pub use gp_core::coloring::{color_with, verify_coloring, ColoringConfig, ColoringResult};
     pub use gp_core::contrast::BfsResult;
-    #[allow(deprecated)]
-    pub use gp_core::labelprop::{label_propagation, label_propagation_recorded};
     pub use gp_core::labelprop::{LabelPropConfig, LabelPropResult};
-    #[allow(deprecated)]
-    pub use gp_core::louvain::{louvain, louvain_recorded};
-    pub use gp_core::louvain::{modularity, LouvainConfig, LouvainResult};
+    pub use gp_core::louvain::{modularity, move_phase_with, LouvainConfig, LouvainResult};
     pub use gp_core::overlap::{slpa, OverlapResult, SlpaConfig};
     pub use gp_core::partition::{partition_graph, verify_partition, PartitionConfig, PartitionResult};
     pub use gp_core::quality::{adjusted_rand_index, nmi};

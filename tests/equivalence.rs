@@ -2,11 +2,10 @@
 //! must produce identical results on the native AVX-512 backend and the
 //! portable emulation. Skipped silently on hosts without AVX-512.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use graph_partition_avx512::core::coloring::{color_graph_onpl, ColoringConfig};
-use graph_partition_avx512::core::labelprop::{label_propagation_onlp, LabelPropConfig};
+use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelSpec};
+use graph_partition_avx512::core::coloring::{color_with, ColoringConfig};
 use graph_partition_avx512::core::louvain::onpl::move_phase_onpl;
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use graph_partition_avx512::core::louvain::ovpl::{move_phase_ovpl, prepare};
 use graph_partition_avx512::core::louvain::{LouvainConfig, MoveState, Variant};
 use graph_partition_avx512::core::reduce_scatter::Strategy;
@@ -23,8 +22,8 @@ fn coloring_identical_across_backends() {
     for name in ["belgium", "M6", "in-2004", "nlpkkt200", "loc-Gowalla"] {
         let g = build_standin(entry(name).unwrap(), SuiteScale::Test);
         let cfg = ColoringConfig::sequential();
-        let a = color_graph_onpl(&n, &g, &cfg);
-        let b = color_graph_onpl(&Emulated, &g, &cfg);
+        let a = color_with(&n, &g, &cfg, &mut NoopRecorder);
+        let b = color_with(&Emulated, &g, &cfg, &mut NoopRecorder);
         assert_eq!(a.colors, b.colors, "{name}: backends diverged");
     }
 }
@@ -66,11 +65,12 @@ fn ovpl_identical_across_backends() {
 
 #[test]
 fn onlp_identical_across_backends() {
-    let Some(n) = native() else { return };
+    if native().is_none() {
+        return;
+    }
     let g = build_standin(entry("Oregon-2").unwrap(), SuiteScale::Test);
-    let cfg = LabelPropConfig::sequential();
-    let a = label_propagation_onlp(&n, &g, &cfg);
-    let b = label_propagation_onlp(&Emulated, &g, &cfg);
-    assert_eq!(a.labels, b.labels);
-    assert_eq!(a.iterations, b.iterations);
+    let spec = KernelSpec::new(Kernel::Labelprop).sequential();
+    let a = run_kernel(&g, &spec.with_backend(Backend::Native), &mut NoopRecorder);
+    let b = run_kernel(&g, &spec.with_backend(Backend::Emulated), &mut NoopRecorder);
+    assert_eq!(a.as_labelprop().unwrap(), b.as_labelprop().unwrap());
 }

@@ -1,8 +1,6 @@
 //! File I/O integration: suite graphs survive round trips through all three
 //! on-disk formats, through real temporary files.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use graph_partition_avx512::graph::io::{
     read_edgelist, read_matrix_market, read_metis, write_edgelist, write_matrix_market,
     write_metis,
@@ -61,13 +59,15 @@ fn edgelist_file_roundtrip_preserves_structure() {
 
 #[test]
 fn algorithms_work_on_reloaded_graphs() {
-    use graph_partition_avx512::core::louvain::{louvain, LouvainConfig};
+    use graph_partition_avx512::core::api::{run_kernel, Kernel, KernelSpec};
+    use graph_partition_avx512::metrics::telemetry::NoopRecorder;
     let g = build_standin(entry("M6").unwrap(), SuiteScale::Test);
     let path = tmp("m6.mtx");
     write_matrix_market(&g, BufWriter::new(File::create(&path).unwrap())).unwrap();
     let g2 = read_matrix_market(BufReader::new(File::open(&path).unwrap())).unwrap();
     std::fs::remove_file(&path).ok();
-    let q1 = louvain(&g, &LouvainConfig::sequential(Default::default())).modularity;
-    let q2 = louvain(&g2, &LouvainConfig::sequential(Default::default())).modularity;
+    let spec = KernelSpec::new(Kernel::Louvain(Default::default())).sequential();
+    let q1 = run_kernel(&g, &spec, &mut NoopRecorder).as_louvain().unwrap().modularity;
+    let q2 = run_kernel(&g2, &spec, &mut NoopRecorder).as_louvain().unwrap().modularity;
     assert!((q1 - q2).abs() < 1e-9, "identical graphs must give identical Q");
 }

@@ -3,12 +3,10 @@
 //! modeled cross-architecture results reproduce the paper's qualitative
 //! claims (DESIGN.md §4 / EXPERIMENTS.md).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use graph_partition_avx512::core::coloring::{color_graph_onpl, color_graph_scalar, ColoringConfig};
+use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use graph_partition_avx512::core::frontier::SweepMode;
-use graph_partition_avx512::core::louvain::driver::run_move_phase_with;
-use graph_partition_avx512::core::louvain::{LouvainConfig, MoveState, Variant};
+use graph_partition_avx512::core::louvain::{move_phase_with, LouvainConfig, MoveState, Variant};
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use graph_partition_avx512::core::reduce_scatter::Strategy;
 use graph_partition_avx512::graph::csr::Csr;
 use graph_partition_avx512::graph::suite::{build_standin, entry, SuiteScale};
@@ -33,7 +31,7 @@ fn counts_louvain(g: &Csr, variant: Variant) -> OpCounts {
     let s: Counted<Emulated> = Counted::new(Emulated);
     counters::counted_run(|| {
         let state = MoveState::singleton(g);
-        run_move_phase_with(&s, g, &state, &config);
+        move_phase_with(&s, g, &state, &config, &mut NoopRecorder);
     })
     .1
 }
@@ -99,11 +97,16 @@ fn kernels_use_the_instructions_the_paper_is_about() {
 #[test]
 fn coloring_model_orders_architectures_correctly() {
     let g = build_standin(entry("uk-2002").unwrap(), SuiteScale::Test);
-    let cfg = ColoringConfig::sequential().counted();
-    let (r1, scalar) = counters::counted_run(|| color_graph_scalar(&g, &cfg));
-    let s: Counted<Emulated> = Counted::new(Emulated);
-    let (r2, vector) = counters::counted_run(|| color_graph_onpl(&s, &g, &cfg));
-    assert_eq!(r1.colors, r2.colors, "kernels must agree before comparing cost");
+    let spec = KernelSpec::new(Kernel::Coloring).sequential().counted();
+    let (r1, scalar) =
+        counters::counted_run(|| run_kernel(&g, &spec.with_backend(Backend::Scalar), &mut NoopRecorder));
+    let (r2, vector) =
+        counters::counted_run(|| run_kernel(&g, &spec.with_backend(Backend::Emulated), &mut NoopRecorder));
+    assert_eq!(
+        r1.colors().unwrap(),
+        r2.colors().unwrap(),
+        "kernels must agree before comparing cost"
+    );
     let clx = CASCADE_LAKE.speedup(&scalar, &vector);
     let skx = SKYLAKE_X.speedup(&scalar, &vector);
     assert!(clx > skx, "CLX {clx} vs SKX {skx}");
@@ -123,7 +126,7 @@ fn mplm_beats_plm_in_wall_time() {
         // Warm up once, then time 3 runs.
         let run = || {
             let state = MoveState::singleton(&g);
-            run_move_phase_with(&Emulated, &g, &state, &config);
+            move_phase_with(&Emulated, &g, &state, &config, &mut NoopRecorder);
         };
         run();
         let start = std::time::Instant::now();

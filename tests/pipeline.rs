@@ -2,18 +2,48 @@
 //! pipelines over the Table-1 stand-in suite and check every invariant that
 //! the paper's experiments rely on.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
-use graph_partition_avx512::core::coloring::{color_graph, verify_coloring, ColoringConfig};
-use graph_partition_avx512::core::labelprop::{label_propagation, LabelPropConfig};
-use graph_partition_avx512::core::louvain::{louvain, modularity, LouvainConfig, Variant};
+use graph_partition_avx512::core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
+use graph_partition_avx512::core::coloring::{verify_coloring, ColoringResult};
+use graph_partition_avx512::core::labelprop::LabelPropResult;
+use graph_partition_avx512::core::louvain::{modularity, LouvainResult, Variant};
 use graph_partition_avx512::core::reduce_scatter::Strategy;
+use graph_partition_avx512::graph::csr::Csr;
 use graph_partition_avx512::graph::suite::{build_suite, SuiteScale};
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
+
+/// Auto-dispatched parallel coloring through the unified entrypoint.
+fn color_graph(g: &Csr) -> ColoringResult {
+    match run_kernel(g, &KernelSpec::new(Kernel::Coloring), &mut NoopRecorder) {
+        KernelOutput::Coloring(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+/// Louvain of the given variant; `parallel = false` is the deterministic
+/// sequential configuration.
+fn louvain_run(g: &Csr, variant: Variant, parallel: bool) -> LouvainResult {
+    let mut spec = KernelSpec::new(Kernel::Louvain(variant));
+    if !parallel {
+        spec = spec.sequential();
+    }
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+/// Auto-dispatched parallel label propagation.
+fn label_propagation(g: &Csr) -> LabelPropResult {
+    match run_kernel(g, &KernelSpec::new(Kernel::Labelprop), &mut NoopRecorder) {
+        KernelOutput::Labelprop(r) => r,
+        _ => unreachable!(),
+    }
+}
 
 #[test]
 fn coloring_is_valid_on_every_suite_graph() {
     for (entry, g) in build_suite(SuiteScale::Test) {
-        let r = color_graph(&g, &ColoringConfig::default());
+        let r = color_graph(&g);
         verify_coloring(&g, &r.colors)
             .unwrap_or_else(|e| panic!("{}: invalid coloring: {e}", entry.name));
         assert!(
@@ -31,12 +61,8 @@ fn louvain_variants_agree_on_quality_across_suite() {
     // The Figure-11b property: multilevel modularity is nearly identical
     // across scalar and vector implementations.
     for (entry, g) in build_suite(SuiteScale::Test) {
-        let q_mplm = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
-        let q_onpl = louvain(
-            &g,
-            &LouvainConfig::sequential(Variant::Onpl(Strategy::Adaptive)),
-        )
-        .modularity;
+        let q_mplm = louvain_run(&g, Variant::Mplm, false).modularity;
+        let q_onpl = louvain_run(&g, Variant::Onpl(Strategy::Adaptive), false).modularity;
         assert!(
             (q_mplm - q_onpl).abs() < 0.02,
             "{}: MPLM {q_mplm} vs ONPL {q_onpl}",
@@ -49,8 +75,8 @@ fn louvain_variants_agree_on_quality_across_suite() {
 #[test]
 fn ovpl_quality_tracks_mplm_on_suite() {
     for (entry, g) in build_suite(SuiteScale::Test) {
-        let q_mplm = louvain(&g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
-        let q_ovpl = louvain(&g, &LouvainConfig::sequential(Variant::Ovpl)).modularity;
+        let q_mplm = louvain_run(&g, Variant::Mplm, false).modularity;
+        let q_ovpl = louvain_run(&g, Variant::Ovpl, false).modularity;
         // OVPL's block schedule may land on a different local optimum;
         // quality must stay within a tight band (and is sometimes better).
         assert!(
@@ -64,7 +90,7 @@ fn ovpl_quality_tracks_mplm_on_suite() {
 #[test]
 fn label_propagation_converges_on_suite() {
     for (entry, g) in build_suite(SuiteScale::Test) {
-        let r = label_propagation(&g, &LabelPropConfig::default());
+        let r = label_propagation(&g);
         assert!(
             r.iterations < 100,
             "{}: no convergence in {} sweeps",
@@ -80,7 +106,7 @@ fn label_propagation_converges_on_suite() {
 #[test]
 fn communities_partition_the_vertex_set() {
     let (_, g) = &build_suite(SuiteScale::Test)[5]; // Oregon-2 stand-in
-    let r = louvain(g, &LouvainConfig::default());
+    let r = louvain_run(g, Variant::Mplm, true);
     assert_eq!(r.communities.len(), g.num_vertices());
     let q = modularity(g, &r.communities);
     assert!((r.modularity - q).abs() < 1e-12, "reported Q must match recomputed Q");
@@ -89,15 +115,7 @@ fn communities_partition_the_vertex_set() {
 #[test]
 fn parallel_and_sequential_louvain_reach_similar_quality() {
     let (_, g) = &build_suite(SuiteScale::Test)[1]; // AS365 mesh stand-in
-    let q_seq = louvain(g, &LouvainConfig::sequential(Variant::Mplm)).modularity;
-    let q_par = louvain(
-        g,
-        &LouvainConfig {
-            variant: Variant::Mplm,
-            parallel: true,
-            ..Default::default()
-        },
-    )
-    .modularity;
+    let q_seq = louvain_run(g, Variant::Mplm, false).modularity;
+    let q_par = louvain_run(g, Variant::Mplm, true).modularity;
     assert!((q_seq - q_par).abs() < 0.05, "seq {q_seq} vs par {q_par}");
 }

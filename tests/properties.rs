@@ -1,17 +1,35 @@
 //! Cross-crate property tests: random graphs in, invariants out.
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
+use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
 use graph_partition_avx512::core::coloring::{
-    color_graph_onpl, color_graph_scalar, verify_coloring, ColoringConfig,
+    color_with, verify_coloring, ColoringConfig, ColoringResult,
 };
 use graph_partition_avx512::core::louvain::ovpl::build_layout;
-use graph_partition_avx512::core::louvain::{louvain, modularity, LouvainConfig, Variant};
+use graph_partition_avx512::core::louvain::{modularity, LouvainResult, Variant};
+use graph_partition_avx512::metrics::telemetry::NoopRecorder;
 use graph_partition_avx512::core::reduce_scatter::Strategy as RsStrategy;
 use graph_partition_avx512::graph::builder::from_pairs;
 use graph_partition_avx512::graph::csr::Csr;
 use graph_partition_avx512::simd::backend::Emulated;
 use proptest::prelude::*;
+
+/// Sequential scalar coloring through the unified entrypoint.
+fn scalar_coloring(g: &Csr) -> ColoringResult {
+    let spec = KernelSpec::new(Kernel::Coloring).sequential().with_backend(Backend::Scalar);
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Coloring(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+/// Sequential Louvain of the given variant through the unified entrypoint.
+fn louvain_seq(g: &Csr, variant: Variant) -> LouvainResult {
+    let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
+    match run_kernel(g, &spec, &mut NoopRecorder) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
 
 /// Arbitrary small graph: vertex count and an edge list.
 fn arb_graph() -> impl Strategy<Value = Csr> {
@@ -26,16 +44,15 @@ proptest! {
 
     #[test]
     fn scalar_coloring_always_valid(g in arb_graph()) {
-        let r = color_graph_scalar(&g, &ColoringConfig::sequential());
+        let r = scalar_coloring(&g);
         prop_assert!(verify_coloring(&g, &r.colors).is_ok());
         prop_assert!(r.num_colors as usize <= g.max_degree() + 1);
     }
 
     #[test]
     fn onpl_coloring_matches_scalar(g in arb_graph()) {
-        let cfg = ColoringConfig::sequential();
-        let a = color_graph_scalar(&g, &cfg);
-        let b = color_graph_onpl(&Emulated, &g, &cfg);
+        let a = scalar_coloring(&g);
+        let b = color_with(&Emulated, &g, &ColoringConfig::sequential(), &mut NoopRecorder);
         prop_assert_eq!(a.colors, b.colors);
     }
 
@@ -57,14 +74,14 @@ proptest! {
         let n = g.num_vertices();
         let singletons: Vec<u32> = (0..n as u32).collect();
         let q0 = modularity(&g, &singletons);
-        let r = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+        let r = louvain_seq(&g, Variant::Mplm);
         prop_assert!(r.modularity >= q0 - 1e-6,
             "louvain Q {} below singleton Q {}", r.modularity, q0);
     }
 
     #[test]
     fn ovpl_blocks_never_contain_adjacent_vertices(g in arb_graph()) {
-        let coloring = color_graph_scalar(&g, &ColoringConfig::sequential());
+        let coloring = scalar_coloring(&g);
         let layout = build_layout(&g, &coloring.colors, true);
         let mut placed = 0usize;
         for block in &layout.blocks {
@@ -81,10 +98,8 @@ proptest! {
 
     #[test]
     fn onpl_strategies_agree_on_final_quality(g in arb_graph()) {
-        let q_cd = louvain(&g, &LouvainConfig::sequential(
-            Variant::Onpl(RsStrategy::ConflictDetect))).modularity;
-        let q_ivr = louvain(&g, &LouvainConfig::sequential(
-            Variant::Onpl(RsStrategy::InVectorReduce))).modularity;
+        let q_cd = louvain_seq(&g, Variant::Onpl(RsStrategy::ConflictDetect)).modularity;
+        let q_ivr = louvain_seq(&g, Variant::Onpl(RsStrategy::InVectorReduce)).modularity;
         // Same greedy rule, same schedule: small graphs must agree closely.
         prop_assert!((q_cd - q_ivr).abs() < 0.05, "CD {q_cd} vs IVR {q_ivr}");
     }

@@ -15,18 +15,34 @@
 //! in the single `counter_deltas_*` test below to avoid cross-test races
 //! (`cargo test` runs tests on multiple threads).
 
-#![allow(deprecated)] // exercises pinned-backend/legacy entrypoints run_kernel doesn't expose
-
 use graph_partition_avx512::prelude::*;
-use graph_partition_avx512::core::coloring::color_graph_onpl_recorded;
-use graph_partition_avx512::core::labelprop::label_propagation_onlp_recorded;
+use graph_partition_avx512::core::api::Kernel;
 use graph_partition_avx512::core::louvain::Variant;
-use graph_partition_avx512::simd::backend::Emulated;
-use graph_partition_avx512::simd::counted::Counted;
 use graph_partition_avx512::simd::counters;
 
 fn seeded_graph() -> Csr {
     rmat(RmatConfig::new(9, 8).with_seed(42))
+}
+
+fn run_coloring<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> ColoringResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Coloring(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+fn run_louvain<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> LouvainResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Louvain(r) => r,
+        _ => unreachable!(),
+    }
+}
+
+fn run_labelprop<R: Recorder>(g: &Csr, spec: KernelSpec, rec: &mut R) -> LabelPropResult {
+    match run_kernel(g, &spec, rec) {
+        KernelOutput::Labelprop(r) => r,
+        _ => unreachable!(),
+    }
 }
 
 // ------------------------------------------------------- observation ≡ noop
@@ -34,10 +50,10 @@ fn seeded_graph() -> Csr {
 #[test]
 fn coloring_trace_matches_noop_run() {
     let g = seeded_graph();
-    let config = ColoringConfig::default();
-    let plain = color_graph(&g, &config);
+    let spec = KernelSpec::new(Kernel::Coloring);
+    let plain = run_coloring(&g, spec, &mut NoopRecorder);
     let mut rec = TraceRecorder::new("coloring");
-    let traced = color_graph_recorded(&g, &config, &mut rec);
+    let traced = run_coloring(&g, spec, &mut rec);
     assert_eq!(plain, traced, "recording changed the coloring");
     let trace = rec.into_trace();
     assert_eq!(trace.rounds.len(), traced.rounds, "one RoundStats per round");
@@ -52,10 +68,10 @@ fn coloring_trace_matches_noop_run() {
 fn louvain_trace_matches_noop_run() {
     let g = seeded_graph();
     for variant in [Variant::Mplm, Variant::Ovpl] {
-        let config = LouvainConfig::sequential(variant);
-        let plain = louvain(&g, &config);
+        let spec = KernelSpec::new(Kernel::Louvain(variant)).sequential();
+        let plain = run_louvain(&g, spec, &mut NoopRecorder);
         let mut rec = TraceRecorder::new("louvain");
-        let traced = louvain_recorded(&g, &config, &mut rec);
+        let traced = run_louvain(&g, spec, &mut rec);
         assert_eq!(plain.communities, traced.communities, "{variant:?}");
         assert_eq!(plain.modularity, traced.modularity, "{variant:?}");
         assert_eq!(plain.levels, traced.levels, "{variant:?}");
@@ -71,9 +87,9 @@ fn louvain_trace_matches_noop_run() {
 #[test]
 fn louvain_trace_reports_quality_deltas() {
     let g = seeded_graph();
-    let config = LouvainConfig::sequential(Variant::Mplm);
+    let spec = KernelSpec::new(Kernel::Louvain(Variant::Mplm)).sequential();
     let mut rec = TraceRecorder::new("louvain-mplm");
-    let r = louvain_recorded(&g, &config, &mut rec);
+    let r = run_louvain(&g, spec, &mut rec);
     let trace = rec.into_trace();
     // First sweep from singletons gains most of the final modularity.
     let q0 = trace.rounds[0].quality_delta;
@@ -84,13 +100,10 @@ fn louvain_trace_reports_quality_deltas() {
 #[test]
 fn labelprop_trace_matches_noop_run() {
     let g = seeded_graph();
-    let config = LabelPropConfig {
-        parallel: false,
-        ..Default::default()
-    };
-    let plain = label_propagation(&g, &config);
+    let spec = KernelSpec::new(Kernel::Labelprop).sequential();
+    let plain = run_labelprop(&g, spec, &mut NoopRecorder);
     let mut rec = TraceRecorder::new("labelprop");
-    let traced = label_propagation_recorded(&g, &config, &mut rec);
+    let traced = run_labelprop(&g, spec, &mut rec);
     assert_eq!(plain, traced, "recording changed the labels");
     let trace = rec.into_trace();
     assert_eq!(trace.rounds.len(), traced.iterations);
@@ -103,13 +116,17 @@ fn labelprop_trace_matches_noop_run() {
 #[test]
 fn run_info_envelope_is_filled() {
     let g = seeded_graph();
-    let c = color_graph(&g, &ColoringConfig::default());
+    let c = run_coloring(&g, KernelSpec::new(Kernel::Coloring), &mut NoopRecorder);
     assert!(!c.info.backend.is_empty());
     assert!(c.info.elapsed_secs >= 0.0);
-    let l = louvain(&g, &LouvainConfig::sequential(Variant::Mplm));
+    let l = run_louvain(
+        &g,
+        KernelSpec::new(Kernel::Louvain(Variant::Mplm)).sequential(),
+        &mut NoopRecorder,
+    );
     assert_eq!(l.info.backend, "scalar");
     assert_eq!(l.info.rounds, l.levels);
-    let lp = label_propagation(&g, &LabelPropConfig::default());
+    let lp = run_labelprop(&g, KernelSpec::new(Kernel::Labelprop), &mut NoopRecorder);
     assert!(lp.info.rounds > 0);
     let p = partition_graph(&g, &PartitionConfig::kway(2));
     assert!(!p.info.backend.is_empty());
@@ -125,13 +142,15 @@ fn run_info_envelope_is_filled() {
 #[test]
 fn counter_deltas_sum_to_run_totals() {
     let g = seeded_graph();
-    let s: Counted<Emulated> = Counted::new(Emulated);
 
-    // Coloring (ONPL, sequential + counted so scalar ops register too).
-    let config = ColoringConfig::sequential().counted();
+    // Coloring (ONPL, sequential + counted so scalar ops register too; the
+    // counted Emulated pin comes from the spec's backend + count_ops).
+    let spec = KernelSpec::new(Kernel::Coloring)
+        .sequential()
+        .counted()
+        .with_backend(Backend::Emulated);
     let mut rec = TraceRecorder::new("coloring-onpl");
-    let (_, totals) =
-        counters::counted_run(|| color_graph_onpl_recorded(&s, &g, &config, &mut rec));
+    let (_, totals) = counters::counted_run(|| run_kernel(&g, &spec, &mut rec));
     let trace = rec.into_trace();
     assert_eq!(
         trace.total_ops(),
@@ -141,14 +160,12 @@ fn counter_deltas_sum_to_run_totals() {
     assert!(totals.total() > 0, "counted run recorded nothing");
 
     // Label propagation (ONLP).
-    let config = LabelPropConfig {
-        parallel: false,
-        count_ops: true,
-        ..Default::default()
-    };
+    let spec = KernelSpec::new(Kernel::Labelprop)
+        .sequential()
+        .counted()
+        .with_backend(Backend::Emulated);
     let mut rec = TraceRecorder::new("labelprop-onlp");
-    let (_, totals) =
-        counters::counted_run(|| label_propagation_onlp_recorded(&s, &g, &config, &mut rec));
+    let (_, totals) = counters::counted_run(|| run_kernel(&g, &spec, &mut rec));
     let trace = rec.into_trace();
     assert_eq!(
         trace.total_ops(),
