@@ -14,7 +14,7 @@
 //! nonzero when the active sweep is >10% slower than full on any kernel
 //! (the frontier machinery must never cost more than the scans it avoids).
 
-use gp_bench::harness::{print_header, BenchContext};
+use gp_bench::harness::{print_header, variance_gate, BenchContext, VarianceVerdict};
 use gp_core::api::{run_kernel, Kernel, KernelSpec, SweepMode};
 use gp_graph::generators::rmat::{rmat, RmatConfig};
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
@@ -133,6 +133,29 @@ fn main() {
                     100.0 * (ratio - 1.0)
                 );
                 failed = true;
+            }
+        }
+        // Measurement hygiene: the ratio bar above is meaningless on a host
+        // that can't repeat the same run within 2%.
+        let spec = KernelSpec::new("labelprop".parse::<Kernel>().unwrap())
+            .with_sweep(SweepMode::Active);
+        match variance_gate(|| {
+            ctx.install(|| {
+                run_kernel(&g, &spec, &mut NoopRecorder);
+            })
+        }) {
+            VarianceVerdict::Steady(s) => {
+                println!("variance gate: σ/mean = {:.2}% over 3 runs", 100.0 * s);
+            }
+            VarianceVerdict::Noisy(s) => {
+                eprintln!(
+                    "CHECK FAILED: host too noisy — σ/mean = {:.2}% ≥ 2% over 3 runs",
+                    100.0 * s
+                );
+                failed = true;
+            }
+            VarianceVerdict::SkippedLowCpu => {
+                println!("variance gate SKIPPED: ≤ 1 CPU available");
             }
         }
         if failed {

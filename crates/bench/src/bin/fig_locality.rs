@@ -1,0 +1,265 @@
+//! Figure (extension) — cache-blocked, degree-bucketed execution vs the
+//! unblocked sweep, across R-MAT scales.
+//!
+//! The paper's R-MAT study (Figures 14/15) shows the vector kernels' gains
+//! decaying as scale grows: gather-heavy neighborhood reads fall out of
+//! cache. The locality layer attacks exactly that — block each sweep's
+//! worklist to a cache budget and batch ≤16-degree vertices one per lane —
+//! without changing a single output bit (asserted here on every measured
+//! graph, and exhaustively in `crates/core/tests/locality.rs`). This binary
+//! measures blocked (`block=auto, bucket=degree`, the library default) vs
+//! unblocked (`block=off, bucket=off`) wall time per scale, producing the
+//! scale-vs-speedup curve that shows whether blocking flattens the decay.
+//!
+//! Knobs: `GP_SCALES=16,17,18` (comma list; default `GP_RMAT_SCALE`,
+//! default 14), `GP_JSON_OUT=<path>` writes the machine-readable summary
+//! (CI archives it as `BENCH_locality.json`; the degree histogram rides
+//! along so bin boundaries are reproducible from the artifact alone), and
+//! `--check` exits nonzero when blocked execution is >10% slower than
+//! unblocked on any kernel (>2% at scale ≥ 18, where blocking must be
+//! winning outright), or when the three-run variance gate reports the host
+//! too noisy to compare at all (σ ≥ 2%; self-skips on ≤1-CPU hosts).
+
+use gp_bench::harness::{print_header, variance_gate, BenchContext, VarianceVerdict};
+use gp_core::api::{run_kernel, Blocking, Bucketing, Kernel, KernelSpec};
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::stats::DegreeHistogram;
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::telemetry::NoopRecorder;
+use gp_metrics::timer::time_runs;
+use std::io::Write;
+
+/// One kernel per family; ONPL Louvain is the kernel whose decay is the
+/// paper's headline result.
+const KERNELS: [&str; 3] = ["color", "louvain-onpl", "labelprop"];
+
+struct Row {
+    scale: u32,
+    kernel: &'static str,
+    unblocked: f64,
+    blocked: f64,
+}
+
+fn scales_from_env() -> Vec<u32> {
+    if let Ok(list) = std::env::var("GP_SCALES") {
+        let scales: Vec<u32> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        if !scales.is_empty() {
+            return scales;
+        }
+    }
+    vec![std::env::var("GP_RMAT_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14)]
+}
+
+fn unblocked_spec(kernel: &str) -> KernelSpec {
+    KernelSpec::new(kernel.parse::<Kernel>().unwrap())
+        .with_block(Blocking::Off)
+        .with_bucket(Bucketing::Off)
+}
+
+fn blocked_spec(kernel: &str) -> KernelSpec {
+    KernelSpec::new(kernel.parse::<Kernel>().unwrap())
+        .with_block(Blocking::Auto)
+        .with_bucket(Bucketing::Degree)
+}
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Cache-blocked, degree-bucketed execution vs unblocked", &ctx);
+    let scales = scales_from_env();
+    let check = std::env::args().any(|a| a == "--check");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut graphs = Vec::new();
+    for &scale in &scales {
+        let g = ctx.install(|| rmat(RmatConfig::new(scale, 8).with_seed(42)));
+        if !ctx.csv {
+            println!(
+                "graph: rmat scale={scale} ef=8 ({} vertices, {} edges)",
+                g.num_vertices(),
+                g.num_edges()
+            );
+        }
+        let mut table = Table::new(
+            format!("Blocked vs unblocked wall time (rmat scale {scale})"),
+            &["kernel", "unblocked", "blocked", "speedup"],
+        );
+        for kernel in KERNELS {
+            let off = unblocked_spec(kernel);
+            let on = blocked_spec(kernel);
+
+            // The bit-identity contract, re-checked on the measured graph.
+            let a = ctx.install(|| run_kernel(&g, &off, &mut NoopRecorder));
+            let b = ctx.install(|| run_kernel(&g, &on, &mut NoopRecorder));
+            assert_eq!(a, b, "{kernel}: blocked run diverged on the bench graph");
+
+            let t_off =
+                ctx.install(|| time_runs(&ctx.timing, |_| run_kernel(&g, &off, &mut NoopRecorder)));
+            let t_on =
+                ctx.install(|| time_runs(&ctx.timing, |_| run_kernel(&g, &on, &mut NoopRecorder)));
+            table.row(&[
+                kernel.to_string(),
+                fmt_secs(t_off.mean),
+                fmt_secs(t_on.mean),
+                fmt_ratio(t_off.mean / t_on.mean),
+            ]);
+            rows.push(Row {
+                scale,
+                kernel,
+                unblocked: t_off.mean,
+                blocked: t_on.mean,
+            });
+        }
+        ctx.emit(&table);
+        if !ctx.csv {
+            println!();
+        }
+        graphs.push((scale, g));
+    }
+
+    // The decay view: per-kernel speedup across scales — the curve the
+    // blocked configuration is supposed to flatten.
+    if scales.len() > 1 && !ctx.csv {
+        let mut decay = Table::new(
+            "Blocked-over-unblocked speedup by scale",
+            &["kernel", "curve"],
+        );
+        for kernel in KERNELS {
+            let curve: Vec<String> = rows
+                .iter()
+                .filter(|r| r.kernel == kernel)
+                .map(|r| format!("s{}: {}", r.scale, fmt_ratio(r.unblocked / r.blocked)))
+                .collect();
+            decay.row(&[kernel.to_string(), curve.join("  ")]);
+        }
+        ctx.emit(&decay);
+    }
+
+    if let Ok(path) = std::env::var("GP_JSON_OUT") {
+        write_json(&path, &graphs, &rows).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        if !ctx.csv {
+            println!("\nJSON summary written to {path}");
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for r in &rows {
+            let ratio = r.blocked / r.unblocked;
+            // Below scale 18 the graph fits (mostly) in LLC, so blocking
+            // buys little — it just must not cost anything. At scale ≥ 18
+            // the decay it exists to fix is in force: blocked must win.
+            let bar = if r.scale >= 18 { 1.02 } else { 1.10 };
+            if ratio > bar {
+                eprintln!(
+                    "CHECK FAILED: {} at scale {}: blocked is {:.1}% slower than unblocked \
+                     (bar {:.0}%)",
+                    r.kernel,
+                    r.scale,
+                    100.0 * (ratio - 1.0),
+                    100.0 * (bar - 1.0)
+                );
+                failed = true;
+            }
+        }
+        // Measurement hygiene: a host that can't repeat the blocked
+        // labelprop run within 2% can't support the ratio conclusions.
+        let (_, g) = &graphs[0];
+        let spec = blocked_spec("labelprop");
+        match variance_gate(|| {
+            ctx.install(|| {
+                run_kernel(g, &spec, &mut NoopRecorder);
+            })
+        }) {
+            VarianceVerdict::Steady(s) => {
+                println!("variance gate: σ/mean = {:.2}% over 3 runs", 100.0 * s);
+            }
+            VarianceVerdict::Noisy(s) => {
+                eprintln!(
+                    "CHECK FAILED: host too noisy — σ/mean = {:.2}% ≥ 2% over 3 runs",
+                    100.0 * s
+                );
+                failed = true;
+            }
+            VarianceVerdict::SkippedLowCpu => {
+                println!("variance gate SKIPPED: ≤ 1 CPU available");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\ncheck OK: blocked execution within bounds on every kernel and scale");
+    }
+}
+
+/// Hand-rolled JSON (no serde in the bench bins): one entry per scale with
+/// the graph's degree histogram and per-kernel timings, so the locality
+/// layer's bin boundaries and the speedup curve are reproducible from this
+/// artifact alone.
+fn write_json(
+    path: &str,
+    graphs: &[(u32, gp_graph::csr::Csr)],
+    rows: &[Row],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"figure\": \"locality\",")?;
+    writeln!(f, "  \"scales\": [")?;
+    for (gi, (scale, g)) in graphs.iter().enumerate() {
+        let h = DegreeHistogram::build(g);
+        let join = |v: &[usize]| {
+            v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        writeln!(f, "    {{")?;
+        writeln!(
+            f,
+            "      \"graph\": {{\"family\": \"rmat\", \"scale\": {scale}, \"edge_factor\": 8, \
+             \"vertices\": {}, \"edges\": {}}},",
+            g.num_vertices(),
+            g.num_edges()
+        )?;
+        writeln!(
+            f,
+            "      \"degree_hist\": {{\"low\": [{}], \"log2\": [{}], \"max_degree\": {}, \
+             \"hub_threshold\": {}}},",
+            join(&h.low),
+            join(&h.log2),
+            h.max_degree,
+            match h.hub_threshold() {
+                u32::MAX => "null".to_string(),
+                t => t.to_string(),
+            }
+        )?;
+        writeln!(f, "      \"kernels\": [")?;
+        let scale_rows: Vec<&Row> = rows.iter().filter(|r| r.scale == *scale).collect();
+        for (i, r) in scale_rows.iter().enumerate() {
+            let comma = if i + 1 == scale_rows.len() { "" } else { "," };
+            writeln!(
+                f,
+                "        {{\"kernel\": \"{}\", \"unblocked_secs\": {:.6}, \
+                 \"blocked_secs\": {:.6}, \"speedup\": {:.4}}}{comma}",
+                r.kernel,
+                r.unblocked,
+                r.blocked,
+                r.unblocked / r.blocked
+            )?;
+        }
+        writeln!(f, "      ]")?;
+        writeln!(
+            f,
+            "    }}{}",
+            if gi + 1 == graphs.len() { "" } else { "," }
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

@@ -6,6 +6,7 @@
 //!            [--scale s] [--deadline-every n] [--workers n] [--shards n]
 //!            [--queue-depth n] [--burst n]
 //!            [--open-loop rate|Nx] [--duration secs]
+//!            [--block off|auto|<n>kb|<n>] [--bucket off|degree]
 //! ```
 //!
 //! **Closed loop** (the default): `--clients` clients each wait for a
@@ -67,6 +68,10 @@ USAGE:
                      `Nx` (e.g. 2x) times the calibrated sustainable rate;
                      sheds are terminal, never retried
   --duration secs    open-loop measurement window           [default 5]
+  --block v          locality cache-blocking knob on every v2 request
+                     (off|auto|<n>kb|<n>; omitted when not given)
+  --bucket v         locality degree-bucketing knob on every v2 request
+                     (off|degree; omitted when not given)
 ";
 
 /// Client-side tallies, merged across all client threads.
@@ -114,6 +119,10 @@ struct Options {
     burst: Option<usize>,
     open_loop: Option<Rate>,
     duration: f64,
+    /// Pre-rendered `"block":"…","bucket":"…",` fragment for every v2
+    /// request line; empty when neither knob was given (the server then
+    /// applies the library defaults, which the v1 codec test pins).
+    locality: String,
 }
 
 fn parse_rate(v: &str) -> Result<Rate, String> {
@@ -150,7 +159,10 @@ fn parse_args() -> Result<Options, String> {
         burst: None,
         open_loop: None,
         duration: 5.0,
+        locality: String::new(),
     };
+    let mut block: Option<String> = None;
+    let mut bucket: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -182,6 +194,18 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --duration value: {e}"))?
                     .max(0.1);
             }
+            "--block" => {
+                let v = it.next().ok_or("--block needs a value")?;
+                // Validate with the same parser the server uses so a typo
+                // fails here, not as a rejected request mid-run.
+                v.parse::<gp_core::api::Blocking>()?;
+                block = Some(v);
+            }
+            "--bucket" => {
+                let v = it.next().ok_or("--bucket needs a value")?;
+                v.parse::<gp_core::api::Bucketing>()?;
+                bucket = Some(v);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -191,6 +215,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.addr.is_none() {
         opts.spawn = true;
+    }
+    if let Some(b) = block {
+        opts.locality.push_str(&format!("\"block\":\"{b}\","));
+    }
+    if let Some(b) = bucket {
+        opts.locality.push_str(&format!("\"bucket\":\"{b}\","));
     }
     Ok(opts)
 }
@@ -224,11 +254,11 @@ fn mix_line(i: u64, scale: u32, deadline_every: u64) -> String {
 /// distinct specs so traffic spreads across shards, and the request seed is
 /// unique so every admitted request costs a real kernel execution (no
 /// result-cache hits, no coalescing — the measurement wants real work).
-fn open_line(i: u64, scale: u32) -> String {
+fn open_line(i: u64, scale: u32, locality: &str) -> String {
     format!(
         "{{\"v\":2,\"req\":{{\"kernel\":\"labelprop\",\
          \"graph\":\"rmat:scale={scale},ef=8,seed={}\",\
-         \"seed\":{},\"id\":\"o-{i}\"}}}}",
+         {locality}\"seed\":{},\"id\":\"o-{i}\"}}}}",
         i % 4,
         500_000 + i
     )
@@ -460,7 +490,7 @@ struct OpenConn {
 /// sending a few sequentially (the first warms the graph cache and is
 /// excluded). Calibration requests flow through the normal tally so the
 /// final reconciliation still balances.
-fn calibrate(addr: &str, scale: u32, tally: &Tally) -> Result<f64, String> {
+fn calibrate(addr: &str, scale: u32, locality: &str, tally: &Tally) -> Result<f64, String> {
     let (mut stream, mut reader) = connect(addr)?;
     let hist = Histogram::new();
     let mut total = Duration::ZERO;
@@ -469,7 +499,7 @@ fn calibrate(addr: &str, scale: u32, tally: &Tally) -> Result<f64, String> {
         let line = format!(
             "{{\"v\":2,\"req\":{{\"kernel\":\"labelprop\",\
              \"graph\":\"rmat:scale={scale},ef=8,seed={}\",\
-             \"seed\":{},\"id\":\"cal-{i}\"}}}}",
+             {locality}\"seed\":{},\"id\":\"cal-{i}\"}}}}",
             i % 4,
             900_000 + i
         );
@@ -567,7 +597,7 @@ fn run_open(
             std::thread::sleep(next - now);
         }
         let conn = &conns[(i % conns.len() as u64) as usize];
-        let line = open_line(i, opts.scale);
+        let line = open_line(i, opts.scale, &opts.locality);
         conn.pending
             .lock()
             .unwrap()
@@ -794,7 +824,7 @@ fn run() -> Result<(), String> {
         let (rate, factor) = match rate_spec {
             Rate::PerSec(r) => (*r, None),
             Rate::Multiple(f) => {
-                let mean_secs = calibrate(&addr, opts.scale, &tally)?;
+                let mean_secs = calibrate(&addr, opts.scale, &opts.locality, &tally)?;
                 let sustainable = effective_workers as f64 / mean_secs.max(1e-9);
                 println!(
                     "calibrated: mean service {:.2} ms, sustainable ≈ {:.0} req/s, \

@@ -8,7 +8,7 @@
 //!   SkylakeX/Cascade-Lake cost model, the substitution for the paper's
 //!   second machine (DESIGN.md §2).
 
-use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
+use gp_core::api::{run_kernel, Backend, Blocking, Bucketing, Kernel, KernelOutput, KernelSpec};
 use gp_core::coloring::{color_with, ColoringConfig, ColoringResult};
 use gp_core::louvain::ovpl::{move_phase_ovpl, prepare};
 use gp_core::louvain::{move_phase_with, LouvainConfig, MoveState, Variant};
@@ -255,12 +255,17 @@ pub fn time_coloring(g: &Csr, vectorized: bool, ctx: &BenchContext) -> Summary {
     }
 }
 
-/// Op counts of a sequential coloring run.
+/// Op counts of a sequential coloring run. Locality routing is pinned off:
+/// the figure compares the paper's scalar and vector *kernels*, and degree
+/// bucketing would swap low-degree vertices onto a different kernel shape
+/// (the op mix would then measure the router, not the kernel).
 pub fn counts_coloring(g: &Csr, vectorized: bool) -> (ColoringResult, OpCounts) {
     let backend = if vectorized { Backend::Emulated } else { Backend::Scalar };
     let spec = KernelSpec::new(Kernel::Coloring)
         .sequential()
         .counted()
+        .with_block(Blocking::Off)
+        .with_bucket(Bucketing::Off)
         .with_backend(backend);
     let (out, counts) = counters::counted_run(|| run_kernel(g, &spec, &mut NoopRecorder));
     match out {
@@ -288,8 +293,51 @@ pub fn counts_labelprop(g: &Csr, vectorized: bool) -> OpCounts {
     let spec = KernelSpec::new(Kernel::Labelprop)
         .sequential()
         .counted()
+        .with_block(Blocking::Off)
+        .with_bucket(Bucketing::Off)
         .with_backend(backend);
     counters::counted_run(|| run_kernel(g, &spec, &mut NoopRecorder)).1
+}
+
+// ------------------------------------------- Measurement hygiene (checks)
+
+/// Outcome of the three-run variance gate.
+pub enum VarianceVerdict {
+    /// σ/mean over three runs, below the 2% bar.
+    Steady(f64),
+    /// σ/mean over three runs, at or above the bar — the host is too noisy
+    /// for ratio-based `--check` gates to mean anything.
+    Noisy(f64),
+    /// Gate self-skipped: a ≤ 1-CPU host co-schedules the measurement with
+    /// everything else, so run-to-run spread reflects the scheduler, not
+    /// the kernel.
+    SkippedLowCpu,
+}
+
+/// Three-run σ < 2% variance gate for the `--check` paths: measures `f`
+/// three times and reports whether the relative standard deviation stays
+/// under 2%. Callers fail their check on [`VarianceVerdict::Noisy`] —
+/// a comparison taken on a host that can't repeat a measurement within 2%
+/// is not evidence either way.
+pub fn variance_gate(mut f: impl FnMut()) -> VarianceVerdict {
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+        return VarianceVerdict::SkippedLowCpu;
+    }
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let started = std::time::Instant::now();
+        f();
+        *s = started.elapsed().as_secs_f64();
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        / samples.len() as f64;
+    let rel_sigma = var.sqrt() / mean.max(1e-12);
+    if rel_sigma < 0.02 {
+        VarianceVerdict::Steady(rel_sigma)
+    } else {
+        VarianceVerdict::Noisy(rel_sigma)
+    }
 }
 
 // ------------------------------------------------------------- Tracing

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
 use crate::io::{load, save, save_assignment};
-use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec, SweepMode, Variant};
+use gp_core::api::{
+    run_kernel, Backend, Blocking, Bucketing, Kernel, KernelOutput, KernelSpec, SweepMode, Variant,
+};
 use gp_core::coloring::verify_coloring;
 use gp_graph::csr::Csr;
-use gp_graph::stats::graph_stats;
-use gp_metrics::telemetry::{NoopRecorder, TraceRecorder};
+use gp_graph::stats::{graph_stats, DegreeHistogram, LOW_DEGREE_SLOTS};
+use gp_metrics::telemetry::{DegreeSummary, NoopRecorder, TraceRecorder};
 use gp_metrics::write_trace;
 use gp_simd::engine::Engine;
 
@@ -22,8 +24,10 @@ USAGE:
                           [--trace file]
   gpart labelprop <graph> [--out file] [--trace file]
           color/louvain/labelprop also take [--sweep active|full] (frontier
-          worklists vs. full scans; identical outputs) and
-          [--backend auto|scalar]
+          worklists vs. full scans; identical outputs),
+          [--backend auto|scalar], and the locality knobs
+          [--block off|auto|<n>kb|<n>] [--bucket off|degree]
+          (cache blocking / degree bucketing; identical outputs)
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
   gpart serve     [--addr host:port] [--workers n] [--shards n]
@@ -72,6 +76,27 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     println!("degree cv     {:.3}", s.degree_cv);
     println!("self loops    {}", s.num_self_loops);
     println!("components    {}", s.num_components);
+    // The locality layer's inputs: exact low-degree counts (the ≤16-neighbor
+    // batchable population), log2 buckets above, and the derived hub cut.
+    let h = DegreeHistogram::build(&g);
+    let low: Vec<String> = h.low.iter().map(|n| n.to_string()).collect();
+    println!("deg 0..={}    {}", LOW_DEGREE_SLOTS, low.join(" "));
+    for (b, &count) in h.log2.iter().enumerate() {
+        if count > 0 {
+            println!("deg 2^{b:<2}      {count}");
+        }
+    }
+    println!("batchable     {} ({:.1}%)", h.low_total(), {
+        if s.num_vertices > 0 {
+            100.0 * h.low_total() as f64 / s.num_vertices as f64
+        } else {
+            0.0
+        }
+    });
+    match h.hub_threshold() {
+        u32::MAX => println!("hub cut       none"),
+        t => println!("hub cut       degree >= {t}"),
+    }
     Ok(())
 }
 
@@ -114,15 +139,34 @@ pub fn convert(args: &[String]) -> Result<(), String> {
 }
 
 /// Writes a recorded trace to `path` (JSON, or CSV when the path ends in
-/// `.csv`) and reports where it went.
-fn emit_trace(rec: TraceRecorder, path: &str) -> Result<(), String> {
-    write_trace(path, &rec.into_trace()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+/// `.csv`) and reports where it went. The graph's degree summary rides
+/// along so the locality layer's bin boundaries are reproducible from the
+/// trace artifact alone.
+fn emit_trace(rec: TraceRecorder, g: &Csr, path: &str) -> Result<(), String> {
+    let mut trace = rec.into_trace();
+    trace.degree_hist = Some(degree_summary(g));
+    write_trace(path, &trace).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     println!("trace written to {path}");
     Ok(())
 }
 
-/// Pulls the flags shared by every kernel command (`--sweep`, `--backend`)
-/// off the argument list and folds them into `spec`.
+/// Converts the graph's compact degree histogram into the trace-attachable
+/// form (`gp-metrics` is graph-agnostic, so the conversion lives here).
+fn degree_summary(g: &Csr) -> DegreeSummary {
+    let h = DegreeHistogram::build(g);
+    DegreeSummary {
+        low: h.low.iter().map(|&n| n as u64).collect(),
+        log2: h.log2.iter().map(|&n| n as u64).collect(),
+        max_degree: h.max_degree as u64,
+        hub_threshold: match h.hub_threshold() {
+            u32::MAX => None,
+            t => Some(t),
+        },
+    }
+}
+
+/// Pulls the flags shared by every kernel command (`--sweep`, `--backend`,
+/// `--block`, `--bucket`) off the argument list and folds them into `spec`.
 fn take_spec_flags(args: &[String], mut spec: KernelSpec) -> Result<(KernelSpec, Vec<String>), String> {
     let (sweep, rest) = take_flag(args, "--sweep");
     if let Some(s) = sweep {
@@ -131,6 +175,14 @@ fn take_spec_flags(args: &[String], mut spec: KernelSpec) -> Result<(KernelSpec,
     let (backend, rest) = take_flag(&rest, "--backend");
     if let Some(b) = backend {
         spec.backend = b.parse::<Backend>()?;
+    }
+    let (block, rest) = take_flag(&rest, "--block");
+    if let Some(b) = block {
+        spec.block = b.parse::<Blocking>()?;
+    }
+    let (bucket, rest) = take_flag(&rest, "--bucket");
+    if let Some(b) = bucket {
+        spec.bucket = b.parse::<Bucketing>()?;
     }
     Ok((spec, rest))
 }
@@ -146,7 +198,7 @@ fn run_traced(
         Some(path) => {
             let mut rec = TraceRecorder::new(trace_name);
             let out = run_kernel(g, spec, &mut rec);
-            emit_trace(rec, path)?;
+            emit_trace(rec, g, path)?;
             Ok(out)
         }
         None => Ok(run_kernel(g, spec, &mut NoopRecorder)),
@@ -398,9 +450,36 @@ mod tests {
         generate(&args(&["mesh", &path_s, "400", "3"])).unwrap();
         stats(&args(&[&path_s])).unwrap();
         color(&args(&[&path_s])).unwrap();
+        color(&args(&[&path_s, "--block", "7", "--bucket", "degree"])).unwrap();
         louvain(&args(&[&path_s, "--variant", "onpl"])).unwrap();
+        louvain(&args(&[&path_s, "--block", "64kb", "--bucket", "off"])).unwrap();
+        labelprop(&args(&[&path_s, "--block", "off"])).unwrap();
         labelprop(&args(&[&path_s])).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn locality_flags_reject_bad_values() {
+        let err = take_spec_flags(
+            &args(&["--block", "sideways"]),
+            KernelSpec::new(Kernel::Coloring),
+        )
+        .unwrap_err();
+        assert!(err.contains("sideways"), "{err}");
+        let err = take_spec_flags(
+            &args(&["--bucket", "42"]),
+            KernelSpec::new(Kernel::Coloring),
+        )
+        .unwrap_err();
+        assert!(err.contains("42"), "{err}");
+        let (spec, rest) = take_spec_flags(
+            &args(&["g.mtx", "--block", "256kb", "--bucket", "off"]),
+            KernelSpec::new(Kernel::Coloring),
+        )
+        .unwrap();
+        assert_eq!(spec.block, Blocking::Kb(256));
+        assert_eq!(spec.bucket, Bucketing::Off);
+        assert_eq!(rest, args(&["g.mtx"]));
     }
 
     #[test]
@@ -419,6 +498,10 @@ mod tests {
         let body = std::fs::read_to_string(&json).unwrap();
         assert!(body.contains("\"kernel\": \"labelprop\""), "{body}");
         assert!(body.contains("\"round\""), "{body}");
+        // The degree summary makes bin boundaries reproducible from the
+        // artifact alone.
+        assert!(body.contains("\"degree_hist\""), "{body}");
+        assert!(body.contains("\"hub_threshold\""), "{body}");
         let header = std::fs::read_to_string(&csv).unwrap();
         assert!(header.starts_with("round,level,secs,"), "{header}");
         assert!(header.lines().count() > 1, "{header}");

@@ -29,6 +29,7 @@ use crate::coloring::{ColoringConfig, ColoringResult};
 use crate::labelprop::{LabelPropConfig, LabelPropResult};
 use crate::louvain::{LouvainConfig, LouvainResult};
 pub use crate::frontier::SweepMode;
+pub use crate::locality::{Blocking, Bucketing};
 pub use crate::louvain::Variant;
 pub use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
@@ -215,6 +216,12 @@ pub struct KernelSpec {
     /// Record scalar/vector op counts into `gp_simd::counters` for modeled
     /// architecture comparisons.
     pub count_ops: bool,
+    /// Cache-blocking policy for the locality layer (`off`, `auto`,
+    /// `<n>kb`, or an explicit vertex count). Bit-identity with the
+    /// unblocked sweep is guaranteed for every setting.
+    pub block: Blocking,
+    /// Degree-bucketing policy (`off` or `degree`).
+    pub bucket: Bucketing,
 }
 
 impl Default for KernelSpec {
@@ -226,6 +233,8 @@ impl Default for KernelSpec {
             parallel: true,
             seed: 0x1abe1,
             count_ops: false,
+            block: Blocking::default(),
+            bucket: Bucketing::default(),
         }
     }
 }
@@ -269,17 +278,34 @@ impl KernelSpec {
         self
     }
 
+    /// Selects the cache-blocking policy.
+    pub fn with_block(mut self, block: Blocking) -> Self {
+        self.block = block;
+        self
+    }
+
+    /// Selects the degree-bucketing policy.
+    pub fn with_bucket(mut self, bucket: Bucketing) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
     /// The spec's contribution to a result-cache key:
-    /// `kernel|backend|sweep|seed=N`. Every field that can change the
-    /// output (or the telemetry shape) is present; two requests with equal
-    /// tokens (on the same graph) produce byte-identical results.
+    /// `kernel|backend|sweep|seed=N|block=B|bucket=M`. Every field that can
+    /// change the output (or the telemetry shape) is present; two requests
+    /// with equal tokens (on the same graph) produce byte-identical
+    /// results. Blocking/bucketing never change kernel *outputs*, but they
+    /// do change the telemetry shape (bin tallies, block counts), so they
+    /// are part of the key.
     pub fn cache_token(&self) -> String {
         format!(
-            "{}|{}|{}|seed={}",
+            "{}|{}|{}|seed={}|block={}|bucket={}",
             self.kernel.cache_label(),
             self.backend.name(),
             self.sweep.name(),
-            self.seed
+            self.seed,
+            self.block,
+            self.bucket
         )
     }
 }
@@ -416,6 +442,8 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 parallel: spec.parallel,
                 count_ops: spec.count_ops,
                 sweep: spec.sweep,
+                block: spec.block,
+                bucket: spec.bucket,
                 ..Default::default()
             };
             let r = match spec.backend {
@@ -440,6 +468,8 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 parallel: spec.parallel,
                 count_ops: spec.count_ops,
                 sweep: spec.sweep,
+                block: spec.block,
+                bucket: spec.bucket,
                 ..Default::default()
             };
             let r = match spec.backend {
@@ -460,6 +490,8 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 count_ops: spec.count_ops,
                 seed: spec.seed,
                 sweep: spec.sweep,
+                block: spec.block,
+                bucket: spec.bucket,
                 ..Default::default()
             };
             let r = match spec.backend {
@@ -547,6 +579,10 @@ mod tests {
         tokens.push(base.with_backend(Backend::Native).cache_token());
         tokens.push(base.with_sweep(SweepMode::Full).cache_token());
         tokens.push(base.with_seed(7).cache_token());
+        tokens.push(base.with_block(Blocking::Off).cache_token());
+        tokens.push(base.with_block(Blocking::Kb(256)).cache_token());
+        tokens.push(base.with_block(Blocking::Vertices(4096)).cache_token());
+        tokens.push(base.with_bucket(Bucketing::Off).cache_token());
         tokens.push(KernelSpec::new(Kernel::Louvain(Variant::Ovpl)).cache_token());
         let unique: std::collections::HashSet<_> = tokens.iter().collect();
         assert_eq!(unique.len(), tokens.len(), "{tokens:?}");
@@ -646,9 +682,14 @@ mod tests {
     #[test]
     fn counted_emulated_pin_records_vector_ops() {
         let g = triangular_mesh(8, 8, 2);
+        // Bucketing off: the mesh is all low-degree, and the degree router
+        // would send every vertex to the scalar bitmask kernel — this test
+        // pins the *vector* kernel's op stream.
         let spec = KernelSpec::new(Kernel::Coloring)
             .sequential()
             .with_backend(Backend::Emulated)
+            .with_block(Blocking::Off)
+            .with_bucket(Bucketing::Off)
             .counted();
         let (out, counts) = counters::counted_run(|| run_kernel(&g, &spec, &mut NoopRecorder));
         assert!(out.converged());

@@ -8,6 +8,7 @@
 
 use super::{ColoringConfig, ColoringResult};
 use crate::frontier::{slice_chunked, SweepMode};
+use crate::locality::{self, Plan};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{NoopRecorder, Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::counters;
@@ -59,29 +60,59 @@ pub(crate) fn assign_one_scalar(g: &Csr, colors: &[AtomicU32], v: u32, ws: &mut 
     c as u32
 }
 
-/// Scalar `AssignColors` over a conflict set (Algorithm 2).
+/// `AssignColors` for one low-degree (≤16-neighbor) vertex: with at most 16
+/// forbidden colors the smallest free positive color is at most 17, so a
+/// single `u32` bitmask replaces the stamped FORBIDDEN array. Neighbor
+/// colors ≥ 31 clamp to bit 31 — they can never displace an answer bounded
+/// by 17, so the clamp is exact.
+#[inline]
+pub(crate) fn assign_one_low(g: &Csr, colors: &[AtomicU32], v: u32) -> u32 {
+    let mut forb = 0u32;
+    for &u in g.neighbors(v) {
+        if u == v {
+            continue; // a self-loop never forbids a color
+        }
+        let c = colors[u as usize].load(Ordering::Relaxed);
+        forb |= 1 << c.min(31);
+    }
+    (!(forb | 1)).trailing_zeros()
+}
+
+/// Scalar `AssignColors` over a conflict set (Algorithm 2), routed through
+/// the locality bucketer: low-degree runs take the branch-free bitmask
+/// kernel ([`assign_one_low`]), everything else the stamped FORBIDDEN
+/// array. Both compute the exact smallest free color reading live state in
+/// order, so the result is bit-identical to the plain per-vertex loop.
 pub fn assign_colors_scalar(
     g: &Csr,
     colors: &[AtomicU32],
     conf: &[u32],
     config: &ColoringConfig,
+    plan: &Plan,
 ) {
     let max_degree = g.max_degree();
-    if config.parallel {
-        conf.par_iter().for_each_init(
-            || Workspace::new(max_degree),
-            |ws, &v| {
-                let c = assign_one_scalar(g, colors, v, ws);
-                colors[v as usize].store(c, Ordering::Relaxed);
-            },
-        );
-    } else {
-        let mut ws = Workspace::new(max_degree);
-        for &v in conf {
-            let c = assign_one_scalar(g, colors, v, &mut ws);
+    locality::for_each_bucketed(
+        g,
+        plan,
+        conf,
+        config.parallel,
+        || Workspace::new(max_degree),
+        |ws, v| {
+            let c = assign_one_scalar(g, colors, v, ws);
             colors[v as usize].store(c, Ordering::Relaxed);
-        }
-    }
+        },
+        Some(|_: &mut Workspace, ids: &[u32]| {
+            for &v in ids {
+                let c = assign_one_low(g, colors, v);
+                colors[v as usize].store(c, Ordering::Relaxed);
+            }
+        }),
+        Some(|v: u32| {
+            for &nv in g.neighbors(v).iter().take(locality::WARM_NEIGHBOR_CAP) {
+                locality::prefetch(&colors[nv as usize] as *const _);
+            }
+        }),
+    );
     if config.count_ops {
         // Per neighbor: load id, load color, store forbidden, loop branch;
         // plus the free-color scan (~1 load + branch per candidate color,
@@ -144,7 +175,7 @@ pub(crate) fn color_graph_scalar_recorded<R: Recorder>(
 pub(crate) fn run_iterative<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,
-    assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
+    assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig, &Plan),
     rec: &mut R,
     backend: &'static str,
 ) -> ColoringResult {
@@ -166,18 +197,23 @@ pub(crate) fn run_iterative<R: Recorder>(
 /// exact), `full` re-scans every vertex as the paper-shaped baseline. Both
 /// produce the same conflict set, hence bit-identical colorings.
 ///
-/// Both kernels run through [`slice_chunked`], so a [`Recorder`] that can
-/// fire deadlines is polled every few thousand vertices *within* a round
-/// rather than only at round boundaries.
+/// `AssignColors` runs through [`locality::slice_blocked`] — the conflict
+/// set is cut at cache-block boundaries from the run's locality [`Plan`],
+/// which each `assign` kernel also receives to route vertices by degree
+/// bucket. `DetectConflicts` keeps the plain [`slice_chunked`] scan (it
+/// streams adjacency once; blocking buys nothing there). Either way a
+/// [`Recorder`] that can fire deadlines is polled every few thousand
+/// vertices *within* a round rather than only at round boundaries.
 pub(crate) fn run_iterative_with_detect<R: Recorder>(
     g: &Csr,
     config: &ColoringConfig,
-    mut assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig),
+    mut assign: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig, &Plan),
     mut detect: impl FnMut(&Csr, &[AtomicU32], &[u32], &ColoringConfig) -> Vec<u32>,
     rec: &mut R,
     backend: &'static str,
 ) -> ColoringResult {
     let timer = RunTimer::start();
+    let plan = Plan::for_graph(g, config.block, config.bucket);
     let n = g.num_vertices();
     let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let mut conf: Vec<u32> = (0..n as u32).collect();
@@ -197,7 +233,14 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
         } else {
             0
         };
-        bailed = slice_chunked(&conf, rec, |sub| assign(g, &colors, sub, config));
+        let bins = if R::ENABLED {
+            locality::tally(&plan, conf.len(), |i| Some(conf[i]), |v| g.degree(v) as u64)
+        } else {
+            Default::default()
+        };
+        bailed = locality::slice_blocked(&conf, plan.block_vertices, rec, |sub| {
+            assign(g, &colors, sub, config, &plan)
+        });
         if !bailed {
             let scan: &[u32] = match config.sweep {
                 SweepMode::Active => &conf,
@@ -221,7 +264,8 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
                 .active(active)
                 .active_edges(active_edges)
                 .moves(active)
-                .conflicts(conf.len() as u64),
+                .conflicts(conf.len() as u64)
+                .bins(bins.blocks, bins.low, bins.mid, bins.hub),
         );
         if bailed {
             break;
@@ -340,6 +384,34 @@ mod tests {
         let c = assign_one_scalar(&g, &colors, 1, &mut ws);
         assert_eq!(c, 1);
         assert_eq!(ws.stamp, 1);
+    }
+
+    #[test]
+    fn low_degree_bitmask_matches_stamped_kernel() {
+        // Every vertex of this graph has degree ≤ 16, so both kernels are
+        // eligible everywhere; seed colors include values past the 31-bit
+        // clamp to exercise it.
+        let g = erdos_renyi(200, 400, 11);
+        assert!(g.max_degree() <= 16, "generator produced a hub");
+        let colors: Vec<AtomicU32> = (0..200)
+            .map(|i| AtomicU32::new(match i % 5 {
+                0 => 0,
+                1 => 3,
+                2 => 17,
+                3 => 40, // clamps to bit 31
+                _ => 1,
+            }))
+            .collect();
+        // Workspace sized for the seeded colors (the stamped kernel indexes
+        // FORBIDDEN by color; the real pipeline never exceeds Δ + 1).
+        let mut ws = Workspace::new(64);
+        for v in 0..200u32 {
+            assert_eq!(
+                assign_one_low(&g, &colors, v),
+                assign_one_scalar(&g, &colors, v, &mut ws),
+                "vertex {v}"
+            );
+        }
     }
 
     #[test]

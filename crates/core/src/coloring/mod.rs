@@ -18,6 +18,7 @@ pub use onpl::color_with;
 pub use verify::{count_colors, verify_coloring};
 
 use crate::frontier::SweepMode;
+use crate::locality::{Blocking, Bucketing};
 use gp_metrics::telemetry::RunInfo;
 
 /// Configuration shared by all coloring variants.
@@ -44,6 +45,12 @@ pub struct ColoringConfig {
     /// re-scans every vertex every round as the A/B baseline. Outputs are
     /// bit-identical.
     pub sweep: SweepMode,
+    /// Cache-blocking policy for the assign phase (locality layer).
+    /// Bit-identical outputs for every setting.
+    pub block: Blocking,
+    /// Degree-bucketing policy: routes ≤16-degree runs of the conflict set
+    /// through the one-vertex-per-lane batch kernel.
+    pub bucket: Bucketing,
 }
 
 impl Default for ColoringConfig {
@@ -54,6 +61,8 @@ impl Default for ColoringConfig {
             count_ops: false,
             vectorized_conflicts: false,
             sweep: SweepMode::Active,
+            block: Blocking::default(),
+            bucket: Bucketing::default(),
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod coloring;
 pub mod contrast;
 pub mod frontier;
 pub mod labelprop;
+pub mod locality;
 pub mod louvain;
 pub mod neighborhood;
 pub mod overlap;

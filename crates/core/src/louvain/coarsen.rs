@@ -23,7 +23,11 @@
 //!    touched-list idiom as `mplm`'s `AffinityBuf`). Every row depends only
 //!    on its own members, so the pass is embarrassingly parallel *and*
 //!    schedule-invariant: member order and adjacency order fix the
-//!    accumulation order regardless of thread count.
+//!    accumulation order regardless of thread count. Rows are scheduled as
+//!    contiguous ranges balanced by *arc count* (`chunk_ranges_weighted`),
+//!    not row count, so a giant late-stage community lands in a range of its
+//!    own instead of serializing whichever worker drew it plus its
+//!    neighbors in an even split.
 //!
 //! Intra-community arcs between distinct members are seen twice (once from
 //! each endpoint), so the self-loop weight is `fine_self + intra_arcs / 2` —
@@ -32,7 +36,7 @@
 //! integer-weighted inputs.
 
 use gp_graph::csr::Csr;
-use gp_graph::par::{chunk_count, chunk_ranges, SharedWriter};
+use gp_graph::par::{chunk_count, chunk_ranges, chunk_ranges_weighted, SharedWriter};
 use gp_graph::{VertexId, Weight};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -249,16 +253,38 @@ pub fn coarsen(g: &Csr, zeta: &[u32]) -> Coarsened {
     let (offsets, members) = bucket_members(&cz, num_coarse, parallel);
 
     // Aggregate rows (independent per coarse vertex, scratch per thread).
+    // Row cost is the arcs scanned, not the row count: late in a Louvain run
+    // one community can hold most of the graph, and an even split by coarse
+    // vertex would hand that whole hub row plus a tail of others to a single
+    // worker. Weighted ranges cut the worklist so a heavy row sits alone in
+    // its own chunk; per-range results are concatenated in range order, so
+    // the output stays byte-identical to the per-vertex schedule.
     let rows: Vec<(Vec<VertexId>, Vec<Weight>)> = if parallel {
-        (0..num_coarse as u32)
+        let row_cost: Vec<u64> = (0..num_coarse)
             .into_par_iter()
-            .map_init(
-                || RowAccumulator::new(num_coarse),
-                |buf, cu| {
-                    let r = offsets[cu as usize] as usize..offsets[cu as usize + 1] as usize;
-                    buf.row(g, &cz, cu, &members[r])
-                },
-            )
+            .map(|cu| {
+                let r = offsets[cu] as usize..offsets[cu + 1] as usize;
+                members[r].iter().map(|&u| g.degree(u) as u64 + 1).sum()
+            })
+            .collect();
+        // Oversubscribe 4x so the ranges between heavy rows still spread.
+        let chunks = rayon::current_num_threads().max(1) * 4;
+        let ranges = chunk_ranges_weighted(num_coarse, chunks, |cu| row_cost[cu]);
+        ranges
+            .par_iter()
+            .map(|range| {
+                let mut buf = RowAccumulator::new(num_coarse);
+                range
+                    .clone()
+                    .map(|cu| {
+                        let r = offsets[cu] as usize..offsets[cu + 1] as usize;
+                        buf.row(g, &cz, cu as u32, &members[r])
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
             .collect()
     } else {
         let mut buf = RowAccumulator::new(num_coarse);
@@ -457,6 +483,32 @@ mod tests {
         let c = coarsen(&g, &zeta);
         let (f2c, k) = dense_relabel(&zeta, n, false);
         assert_eq!(c.fine_to_coarse, f2c);
+        let reference = coarsen_reference(&g, &zeta, &f2c, k);
+        assert_eq!(c.graph.xadj(), reference.xadj());
+        assert_eq!(c.graph.adj(), reference.adj());
+        assert_eq!(c.graph.weights(), reference.weights());
+    }
+
+    #[test]
+    fn hub_heavy_assignment_stays_byte_identical() {
+        // Late-stage Louvain shape: one community absorbs ~90% of the graph,
+        // the rest are tiny. The weighted range split puts the hub row in a
+        // chunk of its own; output must still match the serial reference.
+        let n = super::PARALLEL_THRESHOLD + 256;
+        let g = {
+            let mut b = GraphBuilder::new(n);
+            for u in 1..n as u32 {
+                // Star core plus a ring so small communities have edges too.
+                b.add_edge(Edge::new(0, u, 1.0 + (u % 3) as f32));
+                b.add_edge(Edge::new(u, (u + 1) % n as u32, 0.5));
+            }
+            b.build()
+        };
+        let zeta: Vec<u32> = (0..n as u32)
+            .map(|u| if (u as usize) < n * 9 / 10 { 0 } else { u })
+            .collect();
+        let c = coarsen(&g, &zeta);
+        let (f2c, k) = dense_relabel(&zeta, n, false);
         let reference = coarsen_reference(&g, &zeta, &f2c, k);
         assert_eq!(c.graph.xadj(), reference.xadj());
         assert_eq!(c.graph.adj(), reference.adj());

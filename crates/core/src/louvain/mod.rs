@@ -22,7 +22,8 @@ pub mod plm;
 pub use driver::{move_phase_with, LouvainResult};
 pub use modularity::modularity;
 
-use crate::frontier::{run_chunked, Frontier, SweepMode};
+use crate::frontier::{Frontier, SweepMode};
+use crate::locality::{self, BinTally, Blocking, Bucketing, Plan};
 use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats};
@@ -81,6 +82,17 @@ pub struct LouvainConfig {
     /// packed worklist, [`SweepMode::Full`] scans all vertices and skips
     /// inactive ones in place. Bit-identical outputs.
     pub sweep: SweepMode,
+    /// Cache-blocking policy for the move-phase sweeps (locality layer;
+    /// distinct from [`LouvainConfig::block_size`], which is OVPL's ELLPACK
+    /// tile width). OVPL ignores this — its blocked layout already fixes
+    /// the traversal granularity. Bit-identical outputs for every setting.
+    pub block: Blocking,
+    /// Degree-bucketing policy: hub vertices become their own parallel
+    /// scheduling units. Louvain has no ≤16-degree batch kernel (Δmod
+    /// reads community volumes that mutate intra-batch, so a lane snapshot
+    /// would break sequential bit-identity); bucketing here affects only
+    /// hub scheduling and telemetry.
+    pub bucket: Bucketing,
 }
 
 impl Default for LouvainConfig {
@@ -94,6 +106,8 @@ impl Default for LouvainConfig {
             block_size: 16,
             sort_by_degree: true,
             sweep: SweepMode::Active,
+            block: Blocking::default(),
+            bucket: Bucketing::default(),
         }
     }
 }
@@ -145,14 +159,16 @@ pub struct MovePhaseStats {
 /// deadline polling) and returns `(moves, bailed)`; movers must
 /// [`Frontier::activate`] their neighbors. `degree_of` prices the frontier
 /// for telemetry and op counting; `quality` is evaluated around each sweep
-/// to fill `quality_delta` — only when `R::ENABLED` (it costs an O(m)
-/// modularity pass), so uninstrumented runs execute the plain loop.
+/// to fill `quality_delta`, and `bins` takes the locality-bin census
+/// ([`tally_sweep`]; OVPL passes zeros) — both only when `R::ENABLED`, so
+/// uninstrumented runs execute the plain loop.
 pub(crate) fn run_sweeps<R: Recorder>(
     config: &LouvainConfig,
     n: usize,
     degree_of: impl Fn(u32) -> u64,
     rec: &mut R,
     quality: impl Fn() -> f64,
+    bins: impl Fn(&Frontier) -> BinTally,
     mut sweep: impl FnMut(&Frontier, u64, &R) -> (u64, bool),
 ) -> MovePhaseStats {
     let mut stats = MovePhaseStats::default();
@@ -165,6 +181,11 @@ pub(crate) fn run_sweeps<R: Recorder>(
         } else {
             0
         };
+        let b = if R::ENABLED {
+            bins(&frontier)
+        } else {
+            BinTally::default()
+        };
         let probe = RoundProbe::begin::<R>();
         let (m, bailed) = sweep(&frontier, active_edges, rec);
         stats.iterations += 1;
@@ -172,7 +193,8 @@ pub(crate) fn run_sweeps<R: Recorder>(
         let mut rs = RoundStats::new(round)
             .active(active_now)
             .active_edges(active_edges)
-            .moves(m);
+            .moves(m)
+            .bins(b.blocks, b.low, b.mid, b.hub);
         if R::ENABLED {
             let q = quality();
             rs = rs.quality_delta(q - q_prev);
@@ -197,31 +219,77 @@ pub(crate) fn run_sweeps<R: Recorder>(
 }
 
 /// Enumerates one sweep's vertices per `config.sweep` and feeds them to
-/// `process` through [`run_chunked`] (parallelism + deadline polling):
-/// [`SweepMode::Full`] scans `0..n` and skips inactive vertices in place;
-/// [`SweepMode::Active`] walks the packed ascending worklist — the same
-/// vertices in the same relative order, hence bit-identical moves. Returns
-/// `true` when a deadline bailed the sweep early.
+/// `process` through [`locality::run_sweep`] (cache blocking, hub singleton
+/// units, parallelism, deadline polling): [`SweepMode::Full`] scans `0..n`
+/// and skips inactive vertices in place; [`SweepMode::Active`] walks the
+/// packed ascending worklist — the same vertices in the same relative
+/// order, hence bit-identical moves. No ≤16-degree batch kernel here (Δmod
+/// reads community volumes that mutate intra-batch), so bucketing affects
+/// only hub scheduling. Returns `true` when a deadline bailed the sweep
+/// early.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep_vertices<R: Recorder, B: Send>(
+    g: &Csr,
+    plan: &Plan,
     fr: &Frontier,
     n: usize,
     config: &LouvainConfig,
     rec: &R,
     make_buf: impl Fn() -> B + Send + Sync,
     process: impl Fn(&mut B, u32) + Send + Sync,
+    warm: Option<impl Fn(u32) + Send + Sync>,
 ) -> bool {
     match config.sweep {
-        SweepMode::Full => run_chunked(n, config.parallel, rec, make_buf, |buf, i| {
-            let u = i as u32;
-            if fr.is_active(u) {
-                process(buf, u);
-            }
-        }),
+        SweepMode::Full => locality::run_sweep(
+            g,
+            plan,
+            n,
+            config.parallel,
+            rec,
+            |i| {
+                let u = i as u32;
+                fr.is_active(u).then_some(u)
+            },
+            make_buf,
+            process,
+            None::<fn(&mut B, &[u32])>,
+            warm,
+        ),
         SweepMode::Active => {
             let wl = fr.worklist();
-            run_chunked(wl.len(), config.parallel, rec, make_buf, |buf, i| {
-                process(buf, wl[i]);
-            })
+            locality::run_sweep(
+                g,
+                plan,
+                wl.len(),
+                config.parallel,
+                rec,
+                |i| Some(wl[i]),
+                make_buf,
+                process,
+                None::<fn(&mut B, &[u32])>,
+                warm,
+            )
+        }
+    }
+}
+
+/// The per-sweep locality-bin census for [`run_sweeps`] telemetry: prices
+/// the frontier exactly as [`sweep_vertices`] will enumerate it.
+pub(crate) fn tally_sweep(g: &Csr, plan: &Plan, config: &LouvainConfig, fr: &Frontier) -> BinTally {
+    let degree_of = |v: u32| g.degree(v) as u64;
+    match config.sweep {
+        SweepMode::Full => locality::tally(
+            plan,
+            g.num_vertices(),
+            |i| {
+                let u = i as u32;
+                fr.is_active(u).then_some(u)
+            },
+            degree_of,
+        ),
+        SweepMode::Active => {
+            let wl = fr.worklist();
+            locality::tally(plan, wl.len(), |i| Some(wl[i]), degree_of)
         }
     }
 }

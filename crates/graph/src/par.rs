@@ -79,6 +79,52 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
+/// Splits `0..len` into contiguous ranges of near-equal *total weight*
+/// instead of near-equal length — the load-balance fix for passes whose
+/// per-item cost is wildly skewed (e.g. coarse-row aggregation, where one
+/// community can hold half the graph's arcs).
+///
+/// The split is greedy over the prefix: a range is cut *before* any item
+/// that would push it past the per-chunk weight target, so a single heavy
+/// item (weight ≥ target) always lands at the start of its own range and
+/// the next cut follows immediately after it — a hub never hides in the
+/// middle of another worker's chunk. `chunks` is a parallelism hint, not a
+/// bound: skewed weights can produce a few more (still non-empty,
+/// contiguous, covering) ranges. `weight` is evaluated twice per index; it
+/// must be pure. All-zero weights fall back to [`chunk_ranges`]. Like
+/// `chunk_ranges`, the result depends only on `(len, chunks, weight)` —
+/// callers combining per-range results in range order stay
+/// schedule-invariant.
+pub fn chunk_ranges_weighted(
+    len: usize,
+    chunks: usize,
+    weight: impl Fn(usize) -> u64,
+) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let total: u64 = (0..len).map(&weight).sum();
+    if total == 0 {
+        return chunk_ranges(len, chunks);
+    }
+    let target = total.div_ceil(chunks as u64).max(1);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for i in 0..len {
+        let w = weight(i);
+        if i > start && acc.saturating_add(w) > target {
+            ranges.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc = acc.saturating_add(w);
+    }
+    ranges.push(start..len);
+    ranges
+}
+
 /// A shared mutable output buffer for disjoint parallel scatter.
 ///
 /// Two-pass counting sorts compute, per chunk, an exclusive set of write
@@ -193,6 +239,79 @@ mod tests {
                 assert_eq!(w[0].end, w[1].start, "len {len} chunks {chunks}");
             }
         }
+    }
+
+    fn assert_exact_cover(ranges: &[std::ops::Range<usize>], len: usize) {
+        let mut covered = 0;
+        for r in ranges {
+            assert!(r.start < r.end, "empty range {r:?}");
+            covered += r.len();
+        }
+        assert_eq!(covered, len);
+        if len > 0 {
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+        } else {
+            assert!(ranges.is_empty());
+        }
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly() {
+        for (len, chunks) in [(0usize, 4usize), (1, 4), (10, 3), (100, 7), (4097, 64)] {
+            let ranges = chunk_ranges_weighted(len, chunks, |i| (i % 5 + 1) as u64);
+            assert_exact_cover(&ranges, len);
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_isolate_heavy_items() {
+        // One hub (weight 10_000) among 99 unit-weight items: the hub must
+        // start its own range and the cut after it must come immediately, so
+        // no worker inherits "hub plus a tail of other rows".
+        let hub = 37usize;
+        let w = |i: usize| if i == hub { 10_000u64 } else { 1 };
+        let ranges = chunk_ranges_weighted(100, 8, w);
+        assert_exact_cover(&ranges, 100);
+        let owner = ranges.iter().find(|r| r.contains(&hub)).unwrap();
+        assert_eq!(
+            owner.clone().count(),
+            1,
+            "hub shares a range with other items: {owner:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_ranges_balance_total_weight() {
+        // Skewed but hub-free weights: each range's weight stays within one
+        // item of the per-chunk target (the greedy cut overshoots by at most
+        // the item that triggered it).
+        let weights: Vec<u64> = (0..500).map(|i| (i as u64 * 7919) % 97 + 1).collect();
+        let chunks = 8;
+        let total: u64 = weights.iter().sum();
+        let target = total.div_ceil(chunks as u64);
+        let max_w = *weights.iter().max().unwrap();
+        let ranges = chunk_ranges_weighted(weights.len(), chunks, |i| weights[i]);
+        assert_exact_cover(&ranges, weights.len());
+        for r in &ranges {
+            let w: u64 = weights[r.clone()].iter().sum();
+            assert!(
+                w <= target + max_w,
+                "range {r:?} carries {w} > target {target} + max item {max_w}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_zero_weights_fall_back_to_even_split() {
+        assert_eq!(
+            chunk_ranges_weighted(20, 4, |_| 0),
+            chunk_ranges(20, 4),
+            "all-zero weights must degrade to the unweighted split"
+        );
     }
 
     #[test]

@@ -66,6 +66,91 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     hist
 }
 
+/// Highest degree with an exact slot in [`DegreeHistogram::low`]: the
+/// one-vertex-per-lane batch width of the locality layer (16 lanes).
+pub const LOW_DEGREE_SLOTS: usize = 16;
+
+/// Compact degree histogram: exact counts for the ≤16-degree range the
+/// vector batch kernels care about, log2 buckets above. Cheap to build
+/// (one pass over the row index, no per-degree allocation even for
+/// billion-degree hubs) and the sole input to the locality layer's
+/// hub-threshold rule, so thresholds are a pure function of the graph.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// `low[d]` = exact number of vertices of degree `d`, for `d ≤ 16`.
+    pub low: [usize; LOW_DEGREE_SLOTS + 1],
+    /// `log2[b]` = number of vertices with `floor(log2(degree)) == b`
+    /// (degree ≥ 1). Indexed up to `floor(log2(max_degree))`.
+    pub log2: Vec<usize>,
+    /// Total vertices, for ratio rules.
+    pub num_vertices: usize,
+    /// The graph's maximum degree.
+    pub max_degree: usize,
+}
+
+impl DegreeHistogram {
+    /// One pass over the CSR row index.
+    pub fn build(g: &Csr) -> DegreeHistogram {
+        let max_degree = g.max_degree();
+        let buckets = if max_degree == 0 {
+            0
+        } else {
+            max_degree.ilog2() as usize + 1
+        };
+        let mut h = DegreeHistogram {
+            low: [0; LOW_DEGREE_SLOTS + 1],
+            log2: vec![0; buckets],
+            num_vertices: g.num_vertices(),
+            max_degree,
+        };
+        for u in g.vertices() {
+            let d = g.degree(u);
+            if d <= LOW_DEGREE_SLOTS {
+                h.low[d] += 1;
+            }
+            if d > 0 {
+                h.log2[d.ilog2() as usize] += 1;
+            }
+        }
+        h
+    }
+
+    /// Number of vertices with degree ≤ 16 (the batchable population).
+    pub fn low_total(&self) -> usize {
+        self.low.iter().sum()
+    }
+
+    /// Exact number of vertices with degree ≥ `2^b` — log2 buckets align
+    /// with power-of-two boundaries, so no residue correction is needed.
+    pub fn count_at_least_pow2(&self, b: u32) -> usize {
+        self.log2.iter().skip(b as usize).sum()
+    }
+
+    /// The locality layer's hub cut: the smallest power of two `T ≥ 64`
+    /// such that at most `n / 1024` vertices have degree ≥ `T`, or
+    /// `u32::MAX` when even the largest degree class is too populous (no
+    /// meaningful hub tail — treat everything as mid-degree). Hubs are the
+    /// vertices a near-equal chunk split would silently overload one
+    /// worker with; the threshold deliberately tracks the tail of *this*
+    /// graph's distribution rather than a fixed degree.
+    pub fn hub_threshold(&self) -> u32 {
+        let cap = self.num_vertices / 1024;
+        let mut b = 6u32; // 2^6 = 64
+        while (b as usize) <= self.log2.len() {
+            if self.count_at_least_pow2(b) <= cap {
+                let t = 1u64 << b;
+                return if t > self.max_degree as u64 {
+                    u32::MAX
+                } else {
+                    t as u32
+                };
+            }
+            b += 1;
+        }
+        u32::MAX
+    }
+}
+
 /// Labels connected components with BFS. Returns `(labels, count)`.
 pub fn connected_components(g: &Csr) -> (Vec<u32>, usize) {
     let n = g.num_vertices();
@@ -126,6 +211,49 @@ mod tests {
         assert_eq!(h.iter().sum::<usize>(), 10);
         assert_eq!(h[1], 9);
         assert_eq!(h[9], 1);
+    }
+
+    #[test]
+    fn compact_histogram_matches_exact() {
+        let g = crate::generators::erdos_renyi(2000, 9000, 5);
+        let exact = degree_histogram(&g);
+        let h = DegreeHistogram::build(&g);
+        assert_eq!(h.num_vertices, 2000);
+        assert_eq!(h.max_degree, g.max_degree());
+        for (d, &want) in exact.iter().enumerate().take(LOW_DEGREE_SLOTS + 1) {
+            assert_eq!(h.low[d], want, "degree {d}");
+        }
+        // Every log2 bucket agrees with the exact histogram.
+        for (b, &count) in h.log2.iter().enumerate() {
+            let lo = 1usize << b;
+            let hi = (lo * 2).min(exact.len());
+            let want: usize = exact[lo.min(exact.len())..hi].iter().sum();
+            assert_eq!(count, want, "bucket {b}");
+        }
+        assert_eq!(
+            h.log2.iter().sum::<usize>() + h.low[0],
+            2000,
+            "buckets + isolated vertices cover all"
+        );
+    }
+
+    #[test]
+    fn hub_threshold_finds_star_hub() {
+        // 5000 leaves, one degree-4999 hub: cap = 4, one vertex ≥ 64.
+        let h = DegreeHistogram::build(&star(5000));
+        assert_eq!(h.hub_threshold(), 64);
+        assert_eq!(h.low_total(), 4999);
+    }
+
+    #[test]
+    fn hub_threshold_absent_on_flat_graphs() {
+        // Max degree below 64: no hub class exists.
+        let h = DegreeHistogram::build(&clique(10));
+        assert_eq!(h.hub_threshold(), u32::MAX);
+        // Empty graph: degenerate but defined.
+        let h0 = DegreeHistogram::build(&crate::csr::Csr::empty(0));
+        assert_eq!(h0.hub_threshold(), u32::MAX);
+        assert_eq!(h0.low_total(), 0);
     }
 
     #[test]

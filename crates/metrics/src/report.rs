@@ -172,6 +172,20 @@ pub fn trace_json(trace: &Trace) -> String {
         trace.kernel.replace('"', "\\\"")
     );
     let _ = writeln!(out, "  \"total_secs\": {},", json_f64(trace.total_secs()));
+    if let Some(h) = &trace.degree_hist {
+        let join = |v: &[u64]| {
+            v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "  \"degree_hist\": {{\"low\": [{}], \"log2\": [{}], \
+             \"max_degree\": {}, \"hub_threshold\": {}}},",
+            join(&h.low),
+            join(&h.log2),
+            h.max_degree,
+            h.hub_threshold.map_or("null".to_string(), |t| t.to_string())
+        );
+    }
     let _ = writeln!(out, "  \"rounds\": [");
     for (i, r) in trace.rounds.iter().enumerate() {
         let ops: Vec<String> = r
@@ -183,7 +197,8 @@ pub fn trace_json(trace: &Trace) -> String {
             out,
             "    {{\"round\": {}, \"level\": {}, \"secs\": {}, \"moves\": {}, \
              \"conflicts\": {}, \"active\": {}, \"active_edges\": {}, \
-             \"quality_delta\": {}, \"ops\": {{{}}}}}",
+             \"quality_delta\": {}, \"blocks\": {}, \"bin_low\": {}, \
+             \"bin_mid\": {}, \"bin_hub\": {}, \"ops\": {{{}}}}}",
             r.round,
             r.level,
             json_f64(r.secs),
@@ -192,6 +207,10 @@ pub fn trace_json(trace: &Trace) -> String {
             r.active,
             r.active_edges,
             json_f64(r.quality_delta),
+            r.blocks,
+            r.bin_low,
+            r.bin_mid,
+            r.bin_hub,
             ops.join(", ")
         );
         let _ = writeln!(out, "{}", if i + 1 < trace.rounds.len() { "," } else { "" });
@@ -228,6 +247,10 @@ pub fn trace_csv(trace: &Trace) -> String {
         "active",
         "active_edges",
         "quality_delta",
+        "blocks",
+        "bin_low",
+        "bin_mid",
+        "bin_hub",
     ];
     header.extend(ALL_OP_CLASSES.iter().map(|c| c.label()));
     let _ = writeln!(out, "{}", header.join(","));
@@ -241,6 +264,10 @@ pub fn trace_csv(trace: &Trace) -> String {
             r.active.to_string(),
             r.active_edges.to_string(),
             format!("{:e}", r.quality_delta),
+            r.blocks.to_string(),
+            r.bin_low.to_string(),
+            r.bin_mid.to_string(),
+            r.bin_hub.to_string(),
         ];
         cells.extend(ALL_OP_CLASSES.iter().map(|&c| r.ops.get(c).to_string()));
         let _ = writeln!(out, "{}", cells.join(","));
@@ -337,10 +364,16 @@ mod tests {
     }
 
     fn demo_trace() -> Trace {
-        use crate::telemetry::{PhaseStats, RoundStats};
+        use crate::telemetry::{DegreeSummary, PhaseStats, RoundStats};
         use gp_simd::counters::{OpClass, OpCounts};
         Trace {
             kernel: "demo-kernel".into(),
+            degree_hist: Some(DegreeSummary {
+                low: vec![1, 80, 19],
+                log2: vec![80, 19, 0, 0, 0, 0, 1],
+                max_degree: 99,
+                hub_threshold: Some(64),
+            }),
             phases: vec![PhaseStats {
                 name: "coarsen",
                 level: 0,
@@ -359,6 +392,10 @@ mod tests {
                     ops: OpCounts::default()
                         .with(OpClass::Gather, 64)
                         .with(OpClass::Conflict, 4),
+                    blocks: 4,
+                    bin_low: 80,
+                    bin_mid: 19,
+                    bin_hub: 1,
                 },
                 RoundStats {
                     round: 1,
@@ -370,6 +407,10 @@ mod tests {
                     active_edges: 52,
                     quality_delta: f64::NAN,
                     ops: OpCounts::default(),
+                    blocks: 0,
+                    bin_low: 0,
+                    bin_mid: 0,
+                    bin_hub: 0,
                 },
             ],
         }
@@ -384,7 +425,14 @@ mod tests {
         assert!(json.contains("\"conflict\": 4"));
         assert!(json.contains("\"moves\": 100"));
         assert!(json.contains("\"active_edges\": 840"));
+        assert!(json.contains("\"blocks\": 4"));
+        assert!(json.contains("\"bin_low\": 80"));
+        assert!(json.contains("\"bin_hub\": 1"));
         assert!(json.contains("\"total_secs\": 0.75"));
+        assert!(
+            json.contains("\"degree_hist\": {\"low\": [1, 80, 19], \"log2\": [80, 19, 0, 0, 0, 0, 1], \"max_degree\": 99, \"hub_threshold\": 64}"),
+            "{json}"
+        );
         assert!(json.contains("\"phase\": \"coarsen\""), "{json}");
         // NaN must not leak into JSON.
         assert!(!json.contains("NaN"));

@@ -77,6 +77,16 @@ pub struct RoundStats {
     /// [`gp_simd::counters`]. All zero unless the kernel ran on a
     /// [`gp_simd::counted::Counted`] backend.
     pub ops: OpCounts,
+    /// Cache blocks the round's sweep was partitioned into (locality
+    /// layer); zero when blocking is off or the kernel bypasses it.
+    pub blocks: u64,
+    /// Eligible vertices routed to the ≤16-degree one-vertex-per-lane bin.
+    pub bin_low: u64,
+    /// Eligible vertices routed to the mid-degree per-vertex bin.
+    pub bin_mid: u64,
+    /// Eligible vertices at or above the hub threshold (scheduled as
+    /// singleton parallel units).
+    pub bin_hub: u64,
 }
 
 impl RoundStats {
@@ -115,6 +125,16 @@ impl RoundStats {
     /// Sets the per-round quality delta.
     pub fn quality_delta(mut self, d: f64) -> Self {
         self.quality_delta = d;
+        self
+    }
+
+    /// Sets the locality-layer census: block count and per-bin vertex
+    /// counts (low / mid / hub).
+    pub fn bins(mut self, blocks: u64, low: u64, mid: u64, hub: u64) -> Self {
+        self.blocks = blocks;
+        self.bin_low = low;
+        self.bin_mid = mid;
+        self.bin_hub = hub;
         self
     }
 }
@@ -230,6 +250,7 @@ impl TraceRecorder {
             kernel: self.kernel,
             rounds: self.rounds,
             phases: self.phases,
+            degree_hist: None,
         }
     }
 }
@@ -351,6 +372,25 @@ pub struct Trace {
     /// Substrate phases (coarsen / project / build) interleaved with the
     /// rounds, in execution order.
     pub phases: Vec<PhaseStats>,
+    /// Graph-level degree summary, when the caller attached one. Makes the
+    /// locality layer's bin boundaries reproducible from the trace artifact
+    /// alone (the histogram is the sole input to the bucket thresholds).
+    pub degree_hist: Option<DegreeSummary>,
+}
+
+/// Degree-distribution summary attached to a [`Trace`] by callers that hold
+/// the graph (`gp-metrics` itself is graph-agnostic; the CLI and figure
+/// binaries fill this from `gp_graph::stats::DegreeHistogram`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegreeSummary {
+    /// `low[d]` = exact number of vertices of degree `d`, for `d ≤ 16`.
+    pub low: Vec<u64>,
+    /// `log2[b]` = number of vertices with `floor(log2(degree)) == b`.
+    pub log2: Vec<u64>,
+    /// The graph's maximum degree.
+    pub max_degree: u64,
+    /// The locality layer's hub cut, when the graph has a hub tail.
+    pub hub_threshold: Option<u32>,
 }
 
 impl Trace {
@@ -592,6 +632,7 @@ mod tests {
             kernel: "k".into(),
             rounds: vec![RoundStats::new(0)],
             phases: Vec::new(),
+            degree_hist: None,
         });
         assert_eq!(info.trace.as_ref().unwrap().rounds.len(), 1);
     }
