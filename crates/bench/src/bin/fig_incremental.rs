@@ -1,0 +1,257 @@
+//! Figure (extension) — incremental re-partitioning vs from-scratch under
+//! edge churn.
+//!
+//! A `DeltaCsr` absorbs batched R-MAT edge streams (equal numbers of
+//! deletions and insertions per step, at 0.1% / 1% / 10% of the live edge
+//! count), and after every batch the kernel is re-run twice on the same
+//! mutated graph: warm-started from the previous output via
+//! `run_kernel_incremental` (frontier seeded from the touched set), and
+//! cold via `run_kernel`. The ratio is the figure: at small churn the
+//! seeded frontier visits a cone around the mutations instead of the whole
+//! graph, so the AVX-512 sweeps (the paper's subject) are pointed at a few
+//! hundred vertices rather than `2^scale`.
+//!
+//! Knobs: `GP_RMAT_SCALE` (default 16 — the `--check` contract is defined
+//! at scale ≥ 16), `GP_QUICK=1` (fewer churn steps), `GP_JSON_OUT=<path>`
+//! (machine-readable summary; CI archives it as `BENCH_incremental.json`),
+//! `--check` exits nonzero unless incremental beats from-scratch by ≥2× at
+//! 0.1% churn on every kernel and by ≥1× at 1% churn.
+
+use gp_bench::harness::{print_header, variance_gate, BenchContext, VarianceVerdict};
+use gp_core::api::{run_kernel, Kernel, KernelOutput, KernelSpec};
+use gp_core::coloring::verify_coloring;
+use gp_core::incremental::{apply_update, run_kernel_incremental};
+use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::{DeltaCsr, Edge};
+use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
+use gp_metrics::telemetry::NoopRecorder;
+use std::io::Write;
+use std::time::Instant;
+
+const KERNELS: [&str; 3] = ["color", "labelprop", "louvain-mplm"];
+const CHURN_RATES: [f64; 3] = [0.001, 0.01, 0.10];
+
+struct Row {
+    kernel: &'static str,
+    churn: f64,
+    incremental: f64,
+    scratch: f64,
+    touched: f64,
+}
+
+/// One churn batch against the current delta state: `frac` of the live
+/// edges deleted and the same number of fresh random edges inserted,
+/// drawn from a splitmix-fed LCG so every run of the figure replays the
+/// identical stream.
+fn churn_batch(delta: &DeltaCsr, frac: f64, rng: &mut u64) -> (Vec<Edge>, Vec<(u32, u32)>) {
+    use std::collections::BTreeSet;
+    let snap = delta.snapshot();
+    let n = snap.num_vertices() as u32;
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n {
+        for &v in snap.neighbors(u) {
+            if v > u {
+                live.push((u, v));
+            }
+        }
+    }
+    let mut next = || {
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*rng >> 33) as u32
+    };
+    let k = ((live.len() as f64 * frac).ceil() as usize).clamp(1, live.len().max(1));
+    let mut dels: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for _ in 0..8 * k {
+        if dels.len() >= k || live.is_empty() {
+            break;
+        }
+        dels.insert(live[next() as usize % live.len()]);
+    }
+    let mut adds = Vec::new();
+    for _ in 0..64 * k {
+        if adds.len() >= k || n < 2 {
+            break;
+        }
+        let (a, b) = (next() % n, next() % n);
+        let (u, v) = (a.min(b), a.max(b));
+        if u != v && !snap.has_edge(u, v) && !dels.contains(&(u, v)) {
+            adds.push(Edge::unweighted(u, v));
+        }
+    }
+    (adds, dels.into_iter().collect())
+}
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    print_header("Incremental re-partitioning under edge churn", &ctx);
+    let scale: u32 = std::env::var("GP_RMAT_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let check = std::env::args().any(|a| a == "--check");
+    if check && scale < 16 {
+        eprintln!("--check is defined at scale >= 16 (got GP_RMAT_SCALE={scale})");
+        std::process::exit(1);
+    }
+    let quick = std::env::var("GP_QUICK").is_ok_and(|v| v == "1");
+    let steps = if quick { 2 } else { 4 };
+    let base = ctx.install(|| rmat(RmatConfig::new(scale, 8).with_seed(42)));
+    if !ctx.csv {
+        println!(
+            "graph: rmat scale={scale} ef=8 ({} vertices, {} edges), {steps} churn steps/rate\n",
+            base.num_vertices(),
+            base.num_edges()
+        );
+    }
+
+    let mut table = Table::new(
+        format!("Warm-started vs from-scratch kernel wall time per churn step (rmat scale {scale})"),
+        &["kernel", "churn", "incremental", "scratch", "speedup", "touched"],
+    );
+    let mut rows = Vec::new();
+    for kernel in KERNELS {
+        let spec = KernelSpec::new(kernel.parse::<Kernel>().unwrap());
+        for churn in CHURN_RATES {
+            // Fresh stream per (kernel, rate): every cell replays the same
+            // mutations, so cells differ only in the kernel under test.
+            let mut delta = DeltaCsr::from_csr(&base);
+            let mut rng = 0x9e3779b97f4a7c15u64 ^ (churn * 1e6) as u64;
+            let mut prev = ctx.install(|| run_kernel(delta.as_csr(), &spec, &mut NoopRecorder));
+            let (mut t_inc, mut t_scr, mut touched_sum) = (0.0f64, 0.0f64, 0usize);
+            for step in 0..steps {
+                let (adds, dels) = churn_batch(&delta, churn, &mut rng);
+                let touched = apply_update(&mut delta, &adds, &dels, &mut NoopRecorder)
+                    .expect("in-range batch");
+                touched_sum += touched.len();
+                let g = delta.as_csr();
+                let (out, secs) = ctx.install(|| {
+                    let started = Instant::now();
+                    let out = run_kernel_incremental(g, &spec, &prev, &touched, &mut NoopRecorder);
+                    (out, started.elapsed().as_secs_f64())
+                });
+                t_inc += secs;
+                t_scr += ctx.install(|| {
+                    let started = Instant::now();
+                    run_kernel(g, &spec, &mut NoopRecorder);
+                    started.elapsed().as_secs_f64()
+                });
+                // The speedup is only meaningful if the warm result is a
+                // valid output on the mutated graph (the equivalence suite
+                // covers quality; this guards the measured artifact).
+                if let KernelOutput::Coloring(r) = &out {
+                    if step == 0 {
+                        verify_coloring(&delta.snapshot(), &r.colors)
+                            .expect("incremental coloring must stay proper");
+                    }
+                }
+                prev = out;
+            }
+            let row = Row {
+                kernel,
+                churn,
+                incremental: t_inc / steps as f64,
+                scratch: t_scr / steps as f64,
+                touched: touched_sum as f64 / steps as f64,
+            };
+            table.row(&[
+                kernel.to_string(),
+                format!("{:.1}%", 100.0 * churn),
+                fmt_secs(row.incremental),
+                fmt_secs(row.scratch),
+                fmt_ratio(row.scratch / row.incremental),
+                format!(
+                    "{:.0} ({:.2}%)",
+                    row.touched,
+                    100.0 * row.touched / base.num_vertices() as f64
+                ),
+            ]);
+            rows.push(row);
+        }
+    }
+    ctx.emit(&table);
+
+    if let Ok(path) = std::env::var("GP_JSON_OUT") {
+        write_json(&path, scale, &base, &rows).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        if !ctx.csv {
+            println!("\nJSON summary written to {path}");
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        for r in &rows {
+            let speedup = r.scratch / r.incremental;
+            let bar = match r.churn {
+                c if c <= 0.001 => 2.0,
+                c if c <= 0.01 => 1.0,
+                _ => continue, // 10% churn rewrites the graph; no contract.
+            };
+            if speedup < bar {
+                eprintln!(
+                    "CHECK FAILED: {} at {:.1}% churn: incremental {:.1}× vs required {:.1}×",
+                    r.kernel,
+                    100.0 * r.churn,
+                    speedup,
+                    bar
+                );
+                failed = true;
+            }
+        }
+        // Measurement hygiene, same bar as the other figure checks.
+        let spec = KernelSpec::new("labelprop".parse::<Kernel>().unwrap());
+        match variance_gate(|| {
+            ctx.install(|| {
+                run_kernel(&base, &spec, &mut NoopRecorder);
+            })
+        }) {
+            VarianceVerdict::Steady(s) => {
+                println!("variance gate: σ/mean = {:.2}% over 3 runs", 100.0 * s);
+            }
+            VarianceVerdict::Noisy(s) => {
+                eprintln!(
+                    "CHECK FAILED: host too noisy — σ/mean = {:.2}% ≥ 2% over 3 runs",
+                    100.0 * s
+                );
+                failed = true;
+            }
+            VarianceVerdict::SkippedLowCpu => {
+                println!("variance gate SKIPPED: ≤ 1 CPU available");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\ncheck OK: incremental ≥2× at 0.1% churn and ≥1× at 1% churn on every kernel");
+    }
+}
+
+/// Minimal hand-rolled JSON (no serde in the bench bins): one object per
+/// kernel × churn cell with per-step mean wall times and the speedup.
+fn write_json(path: &str, scale: u32, g: &gp_graph::csr::Csr, rows: &[Row]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"figure\": \"incremental\",")?;
+    writeln!(
+        f,
+        "  \"graph\": {{\"family\": \"rmat\", \"scale\": {scale}, \"edge_factor\": 8, \"vertices\": {}, \"edges\": {}}},",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"kernel\": \"{}\", \"churn\": {}, \"incremental_secs\": {:.6}, \"scratch_secs\": {:.6}, \"speedup\": {:.4}, \"touched_mean\": {:.1}}}{comma}",
+            r.kernel, r.churn, r.incremental, r.scratch, r.scratch / r.incremental, r.touched
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

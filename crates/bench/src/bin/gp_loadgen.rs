@@ -5,7 +5,7 @@
 //! gp-loadgen [--spawn] [--addr host:port] [--clients n] [--requests n]
 //!            [--scale s] [--deadline-every n] [--workers n] [--shards n]
 //!            [--queue-depth n] [--burst n]
-//!            [--open-loop rate|Nx] [--duration secs]
+//!            [--open-loop rate|Nx] [--duration secs] [--churn frac]
 //!            [--block off|auto|<n>kb|<n>] [--bucket off|degree]
 //! ```
 //!
@@ -26,6 +26,16 @@
 //! are terminal — an open-loop client never retries, because the shed
 //! *is* the measurement. The run reports offered vs achieved rate,
 //! p50/p99/p999 latency, and the shed rate.
+//!
+//! **Churn** (`--churn frac`, closed loop only): the given fraction of the
+//! mix becomes v2 `update` frames against a shared session graph
+//! (materialized by one plain run before the mix starts), interleaved with
+//! the ordinary partition traffic. Latency is reported per class — plain
+//! runs and updates separately, each with p50/p99/p999 — and the final
+//! reconciliation extends to the streaming counters: the server's
+//! `updates` / `edges_added` / `edges_deleted` must equal the client-side
+//! count of ok update responses and the sums of their `applied_add` /
+//! `applied_del` fields.
 //!
 //! With `--spawn` (the default when no `--addr` is given) the server runs
 //! in-process on an ephemeral port, and the final `{"stats":true}` probe is
@@ -68,6 +78,9 @@ USAGE:
                      `Nx` (e.g. 2x) times the calibrated sustainable rate;
                      sheds are terminal, never retried
   --duration secs    open-loop measurement window           [default 5]
+  --churn frac       closed-loop only: this fraction of the mix are v2
+                     update frames against a shared session graph, with
+                     per-class latency and streaming-counter reconciliation
   --block v          locality cache-blocking knob on every v2 request
                      (off|auto|<n>kb|<n>; omitted when not given)
   --bucket v         locality degree-bucketing knob on every v2 request
@@ -92,6 +105,12 @@ struct Tally {
     shed: AtomicU64,
     rejected: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Ok responses that carried `applied_add` — i.e. served update frames.
+    updates: AtomicU64,
+    /// Sums of the `applied_add` / `applied_del` fields across those
+    /// responses; must equal the server's `edges_added` / `edges_deleted`.
+    edges_added: AtomicU64,
+    edges_deleted: AtomicU64,
 }
 
 impl Tally {
@@ -119,6 +138,8 @@ struct Options {
     burst: Option<usize>,
     open_loop: Option<Rate>,
     duration: f64,
+    /// Fraction of the closed-loop mix sent as v2 `update` frames.
+    churn: Option<f64>,
     /// Pre-rendered `"block":"…","bucket":"…",` fragment for every v2
     /// request line; empty when neither knob was given (the server then
     /// applies the library defaults, which the v1 codec test pins).
@@ -159,6 +180,7 @@ fn parse_args() -> Result<Options, String> {
         burst: None,
         open_loop: None,
         duration: 5.0,
+        churn: None,
         locality: String::new(),
     };
     let mut block: Option<String> = None;
@@ -186,6 +208,14 @@ fn parse_args() -> Result<Options, String> {
             "--open-loop" => {
                 let v = it.next().ok_or("--open-loop needs a value")?;
                 opts.open_loop = Some(parse_rate(&v)?);
+            }
+            "--churn" => {
+                let v = it.next().ok_or("--churn needs a value")?;
+                let frac: f64 = v.parse().map_err(|e| format!("bad --churn value: {e}"))?;
+                if !(frac > 0.0 && frac <= 1.0) {
+                    return Err(format!("--churn must be in (0, 1], got `{v}`"));
+                }
+                opts.churn = Some(frac);
             }
             "--duration" => {
                 let v = it.next().ok_or("--duration needs a value")?;
@@ -215,6 +245,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.addr.is_none() {
         opts.spawn = true;
+    }
+    if opts.churn.is_some() && opts.open_loop.is_some() {
+        return Err("--churn is closed-loop only (drop --open-loop)".to_string());
     }
     if let Some(b) = block {
         opts.locality.push_str(&format!("\"block\":\"{b}\","));
@@ -247,6 +280,46 @@ fn mix_line(i: u64, scale: u32, deadline_every: u64) -> String {
         "{{\"kernel\":\"{kernel}\",\"graph\":{{\"rmat\":{{\"scale\":{scale},\"seed\":3}}}},\
          \"seed\":{},\"id\":\"m-{i}\"}}",
         i % 4
+    )
+}
+
+/// The canonical spec of the shared session graph that every `update`
+/// frame of the churn mix mutates. Seed 9 keeps it disjoint from the mix
+/// and calibration graphs, so plain-run result-cache reconciliation is
+/// unaffected by the moving epoch.
+fn session_graph(scale: u32) -> String {
+    format!("rmat:scale={scale},ef=8,seed=9")
+}
+
+/// One request line of the churn mix: every `inv`-th request is a v2
+/// `update` frame (one random insertion + one random deletion — deleting
+/// an absent edge is a documented no-op, so the stream needs no
+/// bookkeeping); everything else is the ordinary v1 mix, deadline slots
+/// included. Returns the line and whether it is an update frame.
+fn churn_line(i: u64, scale: u32, inv: u64, deadline_every: u64) -> (String, bool) {
+    if !i.is_multiple_of(inv) {
+        return (mix_line(i, scale, deadline_every), false);
+    }
+    let n = 1u64 << scale;
+    let mut x = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    let mut next = |m: u64| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % m
+    };
+    let (au, av, du, dv) = (next(n), next(n), next(n), next(n));
+    let av = if av == au { (av + 1) % n } else { av };
+    let dv = if dv == du { (dv + 1) % n } else { dv };
+    (
+        format!(
+            "{{\"v\":2,\"req\":{{\"kernel\":\"color\",\"graph\":\"{}\",\
+             \"update\":{{\"add\":[[{au},{av}]],\"del\":[[{du},{dv}]]}},\"id\":\"u-{i}\"}}}}",
+            session_graph(scale)
+        ),
+        true,
     )
 }
 
@@ -313,6 +386,16 @@ fn account(response: &str, latency: Duration, tally: &Tally, hist: &Histogram) -
         Some(true) => {
             tally.ok.fetch_add(1, Ordering::SeqCst);
             hist.record(latency);
+            // Served update frames echo what the batch actually changed;
+            // summing the echoes reconciles exactly against the server's
+            // streaming counters (duplicate adds / absent dels are no-ops
+            // on both sides).
+            if let Some(added) = v.get("applied_add").and_then(Json::as_u64) {
+                tally.updates.fetch_add(1, Ordering::SeqCst);
+                tally.edges_added.fetch_add(added, Ordering::SeqCst);
+                let deleted = v.get("applied_del").and_then(Json::as_u64).unwrap_or(0);
+                tally.edges_deleted.fetch_add(deleted, Ordering::SeqCst);
+            }
             if v.get("cached").and_then(Json::as_bool) == Some(true) {
                 tally.cached.fetch_add(1, Ordering::SeqCst);
             }
@@ -348,10 +431,18 @@ fn account(response: &str, latency: Duration, tally: &Tally, hist: &Histogram) -
 }
 
 /// The main closed-loop phase: `clients` threads pull global indices off a
-/// shared counter until `requests` have been sent.
-fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSnapshot, String> {
+/// shared counter until `requests` have been sent. Returns per-class
+/// latency snapshots: plain runs and update frames separately (the update
+/// one is empty without `--churn`).
+fn run_mix(
+    addr: &str,
+    opts: &Options,
+    tally: &Arc<Tally>,
+) -> Result<(HistogramSnapshot, HistogramSnapshot), String> {
     let next = Arc::new(AtomicU64::new(0));
     let failures = Arc::new(AtomicUsize::new(0));
+    // `--churn f` sends every round(1/f)-th request as an update frame.
+    let churn_inv = opts.churn.map(|f| ((1.0 / f).round() as u64).max(1));
     let mut handles = Vec::new();
     for c in 0..opts.clients {
         let addr = addr.to_string();
@@ -363,17 +454,22 @@ fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSn
             std::thread::Builder::new()
                 .name(format!("loadgen-{c}"))
                 .spawn(move || {
-                    let hist = Histogram::new();
+                    let run_hist = Histogram::new();
+                    let update_hist = Histogram::new();
                     let Ok((mut stream, mut reader)) = connect(&addr) else {
                         failures.fetch_add(1, Ordering::SeqCst);
-                        return hist.snapshot();
+                        return (run_hist.snapshot(), update_hist.snapshot());
                     };
                     'requests: loop {
                         let i = next.fetch_add(1, Ordering::SeqCst);
                         if i >= requests {
                             break;
                         }
-                        let line = mix_line(i, scale, deadline_every);
+                        let (line, is_update) = match churn_inv {
+                            Some(inv) => churn_line(i, scale, inv, deadline_every),
+                            None => (mix_line(i, scale, deadline_every), false),
+                        };
+                        let hist = if is_update { &update_hist } else { &run_hist };
                         // Closed-loop with retry-on-shed: `queue_full` is
                         // backpressure, so back off (capped exponential) and
                         // resend until the request lands or the server
@@ -387,7 +483,7 @@ fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSn
                             let started = Instant::now();
                             match roundtrip(&mut stream, &mut reader, &line) {
                                 Ok(response) => {
-                                    match account(&response, started.elapsed(), &tally, &hist) {
+                                    match account(&response, started.elapsed(), &tally, hist) {
                                         Class::Shed => {
                                             std::thread::sleep(backoff);
                                             backoff = (backoff * 2).min(Duration::from_millis(64));
@@ -403,17 +499,20 @@ fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSn
                             }
                         }
                     }
-                    hist.snapshot()
+                    (run_hist.snapshot(), update_hist.snapshot())
                 })
                 .map_err(|e| e.to_string())?,
         );
     }
-    let mut merged: Option<HistogramSnapshot> = None;
+    let mut merged: Option<(HistogramSnapshot, HistogramSnapshot)> = None;
     for h in handles {
-        let snap = h.join().map_err(|_| "client thread panicked".to_string())?;
+        let (runs, updates) = h.join().map_err(|_| "client thread panicked".to_string())?;
         match &mut merged {
-            Some(m) => m.merge(&snap),
-            None => merged = Some(snap),
+            Some((m_runs, m_updates)) => {
+                m_runs.merge(&runs);
+                m_updates.merge(&updates);
+            }
+            None => merged = Some((runs, updates)),
         }
     }
     if failures.load(Ordering::SeqCst) > 0 {
@@ -423,6 +522,26 @@ fn run_mix(addr: &str, opts: &Options, tally: &Arc<Tally>) -> Result<HistogramSn
         ));
     }
     merged.ok_or_else(|| "no clients ran".to_string())
+}
+
+/// Materializes the churn mix's session graph with one plain v2 run, so
+/// the first update frame never races an unmaterialized graph. Flows
+/// through the normal tally (the latency stays out of the mix histograms,
+/// like the burst).
+fn materialize_session(addr: &str, scale: u32, tally: &Tally) -> Result<(), String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    let line = format!(
+        "{{\"v\":2,\"req\":{{\"kernel\":\"color\",\"graph\":\"{}\",\"id\":\"mat-0\"}}}}",
+        session_graph(scale)
+    );
+    tally.sent.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+    let response = roundtrip(&mut stream, &mut reader, &line)?;
+    let hist = Histogram::new();
+    if account(&response, started.elapsed(), tally, &hist) != Class::Done {
+        return Err(format!("session materialization failed: {}", response.trim()));
+    }
+    Ok(())
 }
 
 /// The shed burst: `burst` connections release a long `sleep` each at the
@@ -699,6 +818,19 @@ fn reconcile(stats: &Json, tally: &Tally) -> Result<(), String> {
             cache_stat_of(stats, "result_cache", "hits"),
             tally.get(&tally.cached),
         ),
+        // Streaming counters (all zero without --churn): served updates,
+        // and the exact sums of applied mutations echoed on the wire.
+        ("updates", stat_of(stats, "updates"), tally.get(&tally.updates)),
+        (
+            "edges_added",
+            stat_of(stats, "edges_added"),
+            tally.get(&tally.edges_added),
+        ),
+        (
+            "edges_deleted",
+            stat_of(stats, "edges_deleted"),
+            tally.get(&tally.edges_deleted),
+        ),
     ];
     let mut drift = Vec::new();
     for (key, server_side, client_side) in pairs {
@@ -856,8 +988,11 @@ fn run() -> Result<(), String> {
         check_common(&opts, &stats, &tally, &mut problems);
     } else {
         // ---- closed loop ----
+        if opts.churn.is_some() {
+            materialize_session(&addr, opts.scale, &tally)?;
+        }
         let started = Instant::now();
-        let hist = run_mix(&addr, &opts, &tally)?;
+        let (hist, update_hist) = run_mix(&addr, &opts, &tally)?;
         let mix_secs = started.elapsed().as_secs_f64();
 
         // Size the burst to overflow known capacity; skip entirely for
@@ -879,6 +1014,19 @@ fn run() -> Result<(), String> {
             mix_secs,
             tally.get(&tally.ok) as f64 / mix_secs.max(1e-9)
         );
+        if opts.churn.is_some() {
+            println!(
+                "latency ms (update): p50 {:.2}  p99 {:.2}  p999 {:.2}  mean {:.2}  \
+                 ({} served, +{} -{} edges)",
+                update_hist.quantile_us(0.50) / 1000.0,
+                update_hist.quantile_us(0.99) / 1000.0,
+                update_hist.quantile_us(0.999) / 1000.0,
+                update_hist.mean_us() / 1000.0,
+                tally.get(&tally.updates),
+                tally.get(&tally.edges_added),
+                tally.get(&tally.edges_deleted),
+            );
+        }
         print_summary(&hist, &tally, &stats);
 
         if opts.spawn {
@@ -887,6 +1035,9 @@ fn run() -> Result<(), String> {
             }
             if burst > 0 && tally.get(&tally.shed) == 0 {
                 problems.push("burst produced no queue_full sheds".to_string());
+            }
+            if opts.churn.is_some() && tally.get(&tally.updates) == 0 {
+                problems.push("churn mix produced no served update frames".to_string());
             }
         }
         check_common(&opts, &stats, &tally, &mut problems);

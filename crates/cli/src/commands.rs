@@ -5,7 +5,9 @@ use gp_core::api::{
     run_kernel, Backend, Blocking, Bucketing, Kernel, KernelOutput, KernelSpec, SweepMode, Variant,
 };
 use gp_core::coloring::verify_coloring;
+use gp_core::incremental::{apply_update, run_kernel_incremental};
 use gp_graph::csr::Csr;
+use gp_graph::{DeltaCsr, Edge};
 use gp_graph::stats::{graph_stats, DegreeHistogram, LOW_DEGREE_SLOTS};
 use gp_metrics::telemetry::{DegreeSummary, NoopRecorder, TraceRecorder};
 use gp_metrics::write_trace;
@@ -28,6 +30,9 @@ USAGE:
           [--backend auto|scalar], and the locality knobs
           [--block off|auto|<n>kb|<n>] [--bucket off|degree]
           (cache blocking / degree bucketing; identical outputs)
+  gpart update    <graph> [--kernel color|louvain-<v>|labelprop]
+                          [--edits file] [--steps n] [--churn frac] [--seed n]
+                          [--out file] [--trace file] (+ kernel flags above)
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
   gpart serve     [--addr host:port] [--workers n] [--shards n]
@@ -38,7 +43,12 @@ USAGE:
 Graph formats by extension: .el/.txt/.edges (edge list),
 .graph/.metis (METIS), .mtx/.mm (Matrix Market).
 --trace records per-round telemetry (JSON, or CSV for a .csv path),
-including substrate phase timings (coarsen/project) for multilevel runs.
+including substrate phase timings (coarsen/project) for multilevel runs
+and delta_apply/compaction phases for streaming (update) runs.
+update streams edge mutations through a DeltaCsr and re-runs the kernel
+incrementally per batch: --edits applies one batch from a file of
+`+ u v [w]` / `- u v` lines; otherwise --steps random churn batches of
+--churn fraction of the edges are applied (docs/STREAMING.md).
 --threads n (any command, or GP_THREADS=n) runs the substrate on a scoped
 pool of n workers; outputs are identical for any thread count.
 serve hosts the newline-delimited JSON partition service (docs/SERVICE.md);
@@ -97,6 +107,19 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         u32::MAX => println!("hub cut       none"),
         t => println!("hub cut       degree >= {t}"),
     }
+    // The streaming substrate's layout for this graph: the slack the
+    // default compaction policy would grant a DeltaCsr built from it
+    // (tombstones appear only after deletions — see docs/STREAMING.md).
+    let ds = DeltaCsr::from_csr(&g).stats();
+    let headroom = if ds.padded_arcs > 0 {
+        100.0 * ds.slack_slots as f64 / ds.padded_arcs as f64
+    } else {
+        0.0
+    };
+    println!(
+        "delta layout  {} live + {} slack = {} padded arcs ({headroom:.1}% headroom)",
+        ds.live_arcs, ds.slack_slots, ds.padded_arcs
+    );
     Ok(())
 }
 
@@ -380,6 +403,208 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The per-vertex assignment a kernel output carries (colors, communities,
+/// or labels), for step-to-step delta reporting.
+fn assignment_of(out: &KernelOutput) -> &[u32] {
+    match out {
+        KernelOutput::Coloring(r) => &r.colors,
+        KernelOutput::Louvain(r) => &r.communities,
+        KernelOutput::Labelprop(r) => &r.labels,
+    }
+}
+
+/// One mutation batch: edge insertions plus `(u, v)` deletion endpoints.
+type EditBatch = (Vec<Edge>, Vec<(u32, u32)>);
+
+/// Parses an edits file: one mutation per line, `+ u v [w]` inserts and
+/// `- u v` deletes; blank lines and `#` comments are skipped.
+fn parse_edits(path: &str) -> Result<EditBatch, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut adds = Vec::new();
+    let mut dels = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}: `{line}`", lineno + 1);
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap();
+        let u: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("expected `+ u v [w]` or `- u v`"))?;
+        let v: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("expected `+ u v [w]` or `- u v`"))?;
+        match op {
+            "+" => {
+                let w: f32 = match parts.next() {
+                    None => 1.0,
+                    Some(t) => t.parse().map_err(|_| bad("bad weight"))?,
+                };
+                adds.push(Edge::new(u, v, w));
+            }
+            "-" => dels.push((u, v)),
+            _ => return Err(bad("unknown op (use `+` or `-`)")),
+        }
+        if parts.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+    }
+    Ok((adds, dels))
+}
+
+/// Draws a churn batch against the current delta state: `frac` of the live
+/// edges deleted, the same number of fresh random edges added. The LCG
+/// makes runs reproducible per `--seed`.
+fn churn_batch(delta: &DeltaCsr, frac: f64, rng: &mut u64) -> EditBatch {
+    use std::collections::BTreeSet;
+    let snap = delta.snapshot();
+    let n = snap.num_vertices() as u32;
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n {
+        for &v in snap.neighbors(u) {
+            if v > u {
+                live.push((u, v));
+            }
+        }
+    }
+    let mut next = || {
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*rng >> 33) as u32
+    };
+    let k = ((live.len() as f64 * frac).ceil() as usize).clamp(1, live.len().max(1));
+    let mut dels: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for _ in 0..8 * k {
+        if dels.len() >= k || live.is_empty() {
+            break;
+        }
+        dels.insert(live[next() as usize % live.len()]);
+    }
+    let mut adds = Vec::new();
+    for _ in 0..64 * k {
+        if adds.len() >= k || n < 2 {
+            break;
+        }
+        let (a, b) = (next() % n, next() % n);
+        let (u, v) = (a.min(b), a.max(b));
+        if u != v && !snap.has_edge(u, v) && !dels.contains(&(u, v)) {
+            adds.push(Edge::unweighted(u, v));
+        }
+    }
+    (adds, dels.into_iter().collect())
+}
+
+pub fn update(args: &[String]) -> Result<(), String> {
+    let (kernel, rest) = take_flag(args, "--kernel");
+    let (edits, rest) = take_flag(&rest, "--edits");
+    let (trace, rest) = take_flag(&rest, "--trace");
+    let (out, rest) = take_flag(&rest, "--out");
+    let (steps, rest) = numeric_flag::<usize>(&rest, "--steps", 3)?;
+    let (churn, rest) = numeric_flag::<f64>(&rest, "--churn", 0.01)?;
+    let (seed, rest) = numeric_flag::<u64>(&rest, "--seed", 42)?;
+    let kernel: Kernel = kernel.as_deref().unwrap_or("color").parse()?;
+    let (spec, rest) = take_spec_flags(&rest, KernelSpec::new(kernel))?;
+    let g = load(positional(&rest, 0, "graph")?)?;
+    if !(churn > 0.0 && churn <= 1.0) {
+        return Err(format!("--churn must be in (0, 1], got {churn}"));
+    }
+    let steps = if edits.is_some() { 1 } else { steps.max(1) };
+
+    let mut delta = DeltaCsr::from_csr(&g);
+    let mut rec = TraceRecorder::new("update");
+    let mut prev = run_kernel(delta.as_csr(), &spec, &mut NoopRecorder);
+    println!(
+        "baseline: {} vertices, {} edges, kernel {} (backend: {})",
+        g.num_vertices(),
+        g.num_edges(),
+        spec.kernel.cache_label(),
+        prev.backend()
+    );
+
+    let mut rng = seed ^ 0x9e3779b97f4a7c15;
+    for step in 1..=steps {
+        let (adds, dels) = match &edits {
+            Some(path) => parse_edits(path)?,
+            None => churn_batch(&delta, churn, &mut rng),
+        };
+        let before = delta.stats();
+        let touched = apply_update(&mut delta, &adds, &dels, &mut rec)
+            .map_err(|e| format!("step {step}: update rejected: {e}"))?;
+        let after = delta.stats();
+        let next_out = run_kernel_incremental(delta.as_csr(), &spec, &prev, &touched, &mut rec);
+        if let Some(r) = next_out.as_coloring() {
+            verify_coloring(&delta.snapshot(), &r.colors)
+                .map_err(|e| format!("internal error after step {step}: {e}"))?;
+        }
+        let changed = assignment_of(&prev)
+            .iter()
+            .zip(assignment_of(&next_out))
+            .filter(|(a, b)| a != b)
+            .count();
+        println!(
+            "step {step}: epoch {}, +{} -{} edges, touched {}, changed {}, {} rounds",
+            after.epoch,
+            after.applied_additions - before.applied_additions,
+            after.applied_deletions - before.applied_deletions,
+            touched.len(),
+            changed,
+            next_out.rounds()
+        );
+        prev = next_out;
+    }
+
+    // Satellite observability: the mutable structure's occupancy, so slack
+    // and tombstone pressure (and the compaction policy's behavior) are
+    // visible without a debugger.
+    let s = delta.stats();
+    let pct = |part: usize| {
+        if s.padded_arcs == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / s.padded_arcs as f64
+        }
+    };
+    println!(
+        "delta graph   live {} ({:.1}%), tombstones {} ({:.1}%), slack {} ({:.1}%)",
+        s.live_arcs,
+        pct(s.live_arcs),
+        s.tombstones,
+        pct(s.tombstones),
+        s.slack_slots,
+        pct(s.slack_slots)
+    );
+    println!(
+        "compactions   {} across {} applied additions, {} deletions",
+        s.compactions, s.applied_additions, s.applied_deletions
+    );
+    match &prev {
+        KernelOutput::Coloring(r) => println!("final         {} colors", r.num_colors),
+        KernelOutput::Louvain(r) => println!(
+            "final         {} communities, modularity {:.4}",
+            gp_core::louvain::modularity::count_communities(&r.communities),
+            r.modularity
+        ),
+        KernelOutput::Labelprop(r) => println!(
+            "final         {} communities",
+            gp_core::louvain::modularity::count_communities(&r.labels)
+        ),
+    }
+    if let Some(path) = out {
+        save_assignment(assignment_of(&prev), &path)?;
+        println!("assignment written to {path}");
+    }
+    if let Some(path) = trace {
+        let snap = delta.snapshot();
+        emit_trace(rec, &snap, &path)?;
+    }
+    Ok(())
+}
+
 pub fn labelprop(args: &[String]) -> Result<(), String> {
     let (out, rest) = take_flag(args, "--out");
     let (trace, rest) = take_flag(&rest, "--trace");
@@ -508,6 +733,56 @@ mod tests {
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&json).ok();
         std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn update_streams_churn_and_edit_batches() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let graph = dir.join(format!("gpcli_upd_{pid}.mtx"));
+        let edits = dir.join(format!("gpcli_upd_{pid}.edits"));
+        let out = dir.join(format!("gpcli_upd_{pid}.out"));
+        let trace = dir.join(format!("gpcli_upd_{pid}.json"));
+        let graph_s = graph.to_str().unwrap().to_string();
+        let edits_s = edits.to_str().unwrap().to_string();
+        let out_s = out.to_str().unwrap().to_string();
+        let trace_s = trace.to_str().unwrap().to_string();
+        generate(&args(&["mesh", &graph_s, "400", "3"])).unwrap();
+
+        // Synthetic churn across every kernel family, reproducibly seeded.
+        update(&args(&[&graph_s, "--steps", "2", "--churn", "0.01", "--seed", "7"])).unwrap();
+        update(&args(&[&graph_s, "--kernel", "louvain-plm", "--steps", "2"])).unwrap();
+        update(&args(&[&graph_s, "--kernel", "labelprop", "--steps", "1"])).unwrap();
+
+        // An explicit edits file, with the assignment and trace artifacts.
+        std::fs::write(&edits, "# widen two corners\n+ 0 41 2.5\n+ 1 42\n- 0 1\n").unwrap();
+        update(&args(&[
+            &graph_s, "--edits", &edits_s, "--out", &out_s, "--trace", &trace_s,
+        ]))
+        .unwrap();
+        let assignment = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(assignment.lines().count(), 400, "one color per vertex");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("delta_apply"), "trace records apply phases: {body}");
+
+        // Malformed edits are line-addressed errors; bad churn is rejected.
+        std::fs::write(&edits, "+ 0\n").unwrap();
+        let err = update(&args(&[&graph_s, "--edits", &edits_s])).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        std::fs::write(&edits, "* 0 1\n").unwrap();
+        let err = update(&args(&[&graph_s, "--edits", &edits_s])).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+        let err = update(&args(&[&graph_s, "--churn", "0"])).unwrap_err();
+        assert!(err.contains("--churn"), "{err}");
+        // Out-of-range endpoints are refused atomically by the delta layer.
+        std::fs::write(&edits, "+ 0 99999\n").unwrap();
+        let err = update(&args(&[&graph_s, "--edits", &edits_s])).unwrap_err();
+        assert!(err.contains("update rejected"), "{err}");
+
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&edits).ok();
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! gpart color     <graph> [--out f]           speculative greedy coloring
 //! gpart louvain   <graph> [--variant v] [--out f]
 //! gpart labelprop <graph> [--out f]
+//! gpart update    <graph> [--kernel k] [--edits f | --steps n --churn r]
 //! gpart partition <graph> [--k n] [--out f]
 //! gpart slpa      <graph> [--threshold r] [--out f]
 //! gpart serve     [--addr a] [--queue-depth n] [--deadline-ms n] …
@@ -74,6 +75,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("color") => commands::color(&args[1..]),
         Some("louvain") => commands::louvain(&args[1..]),
         Some("labelprop") => commands::labelprop(&args[1..]),
+        Some("update") => commands::update(&args[1..]),
         Some("partition") => commands::partition(&args[1..]),
         Some("slpa") => commands::slpa(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),

@@ -426,6 +426,16 @@ macro_rules! with_vector_backend {
     }};
 }
 
+/// Warm-start payload for [`crate::incremental::run_kernel_incremental`]:
+/// the previous output re-shaped into the matching kernel family's warm
+/// config, dispatched alongside the spec by [`run_kernel_inner`].
+#[derive(Debug, Clone)]
+pub(crate) enum WarmStart {
+    Color(crate::coloring::ColorWarm),
+    Lp(crate::labelprop::LpWarm),
+    Louvain(crate::louvain::LouvainWarm),
+}
+
 /// Runs the kernel described by `spec` on `g`, delivering per-round
 /// telemetry (and deadline polls) to `rec`.
 ///
@@ -436,6 +446,18 @@ macro_rules! with_vector_backend {
 /// explicitly, and combined with [`KernelSpec::counted`] route through
 /// `Counted<_>` so vector op counts reach `gp_simd::counters`.
 pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> KernelOutput {
+    run_kernel_inner(g, spec, rec, None)
+}
+
+/// [`run_kernel`] with an optional warm start — the shared dispatch body,
+/// also entered by the incremental path with `Some(warm)`. A warm payload
+/// whose family does not match `spec.kernel` is ignored (cold run).
+pub(crate) fn run_kernel_inner<R: Recorder>(
+    g: &Csr,
+    spec: &KernelSpec,
+    rec: &mut R,
+    warm: Option<WarmStart>,
+) -> KernelOutput {
     match spec.kernel {
         Kernel::Coloring => {
             let cfg = ColoringConfig {
@@ -444,6 +466,10 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 sweep: spec.sweep,
                 block: spec.block,
                 bucket: spec.bucket,
+                warm: match warm {
+                    Some(WarmStart::Color(w)) => Some(w),
+                    _ => None,
+                },
                 ..Default::default()
             };
             let r = match spec.backend {
@@ -470,6 +496,10 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 sweep: spec.sweep,
                 block: spec.block,
                 bucket: spec.bucket,
+                warm: match warm {
+                    Some(WarmStart::Louvain(w)) => Some(w),
+                    _ => None,
+                },
                 ..Default::default()
             };
             let r = match spec.backend {
@@ -492,6 +522,10 @@ pub fn run_kernel<R: Recorder>(g: &Csr, spec: &KernelSpec, rec: &mut R) -> Kerne
                 sweep: spec.sweep,
                 block: spec.block,
                 bucket: spec.bucket,
+                warm: match warm {
+                    Some(WarmStart::Lp(w)) => Some(w),
+                    _ => None,
+                },
                 ..Default::default()
             };
             let r = match spec.backend {

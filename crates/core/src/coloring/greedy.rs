@@ -215,8 +215,41 @@ pub(crate) fn run_iterative_with_detect<R: Recorder>(
     let timer = RunTimer::start();
     let plan = Plan::for_graph(g, config.block, config.bucket);
     let n = g.num_vertices();
-    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let mut conf: Vec<u32> = (0..n as u32).collect();
+    let (colors, mut conf): (Vec<AtomicU32>, Vec<u32>) = match &config.warm {
+        Some(w) if w.colors.len() == n => {
+            // Warm start: adopt the previous coloring and repair only the
+            // seed cone. Colors beyond the forbidden-array bound Δ+1 (the
+            // graph shrank below the previous palette) are reset to 0 and
+            // their vertices forced into the conflict set, so the assign
+            // workspace indexing stays in bounds.
+            let cap = g.max_degree() as u32 + 1;
+            let mut extra: Vec<u32> = Vec::new();
+            let colors: Vec<AtomicU32> = w
+                .colors
+                .iter()
+                .enumerate()
+                .map(|(v, &c)| {
+                    if c > cap {
+                        extra.push(v as u32);
+                        AtomicU32::new(0)
+                    } else {
+                        AtomicU32::new(c)
+                    }
+                })
+                .collect();
+            let mut conf: Vec<u32> = w.seed.as_ref().clone();
+            if !extra.is_empty() {
+                conf.extend(extra);
+                conf.sort_unstable();
+                conf.dedup();
+            }
+            (colors, conf)
+        }
+        _ => (
+            (0..n).map(|_| AtomicU32::new(0)).collect(),
+            (0..n as u32).collect(),
+        ),
+    };
     let all: Vec<u32> = if config.sweep == SweepMode::Full {
         (0..n as u32).collect()
     } else {

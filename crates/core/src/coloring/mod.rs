@@ -20,6 +20,21 @@ pub use verify::{count_colors, verify_coloring};
 use crate::frontier::SweepMode;
 use crate::locality::{Blocking, Bucketing};
 use gp_metrics::telemetry::RunInfo;
+use std::sync::Arc;
+
+/// Warm start for incremental re-coloring (`crates/core/src/incremental.rs`):
+/// a previous (valid-for-the-old-graph) coloring plus the conflict seed to
+/// repair from. The iterative driver adopts `colors` instead of the all-zero
+/// init and replaces the initial all-vertices conflict set with `seed`, so
+/// only the cone reachable from the seed is ever re-colored.
+#[derive(Debug, Clone)]
+pub struct ColorWarm {
+    /// Per-vertex colors from the previous run (1-based; 0 entries are
+    /// treated as uncolored and must be covered by `seed`).
+    pub colors: Arc<Vec<u32>>,
+    /// Sorted, deduplicated vertices to re-color in round 1.
+    pub seed: Arc<Vec<u32>>,
+}
 
 /// Configuration shared by all coloring variants.
 #[derive(Debug, Clone)]
@@ -51,6 +66,10 @@ pub struct ColoringConfig {
     /// Degree-bucketing policy: routes ≤16-degree runs of the conflict set
     /// through the one-vertex-per-lane batch kernel.
     pub bucket: Bucketing,
+    /// Warm start: adopt a previous coloring and repair only from a seed
+    /// conflict set instead of coloring from scratch. `None` (the default)
+    /// is the ordinary full run.
+    pub warm: Option<ColorWarm>,
 }
 
 impl Default for ColoringConfig {
@@ -63,6 +82,7 @@ impl Default for ColoringConfig {
             sweep: SweepMode::Active,
             block: Blocking::default(),
             bucket: Bucketing::default(),
+            warm: None,
         }
     }
 }

@@ -113,6 +113,28 @@ impl Frontier {
         }
     }
 
+    /// A frontier over `n` vertices with only `seed` active in the first
+    /// round — the incremental-kernel entry point (`seed` is the touched
+    /// set plus whatever neighborhood closure the kernel family needs).
+    /// `seed` must be sorted ascending and deduplicated with ids `< n`, so
+    /// enumeration order matches what [`Frontier::advance`] would produce.
+    pub fn seeded(n: usize, seed: &[u32]) -> Self {
+        debug_assert!(seed.windows(2).all(|w| w[0] < w[1]), "seed must be sorted+deduped");
+        debug_assert!(seed.last().is_none_or(|&v| (v as usize) < n));
+        let cur: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        for &v in seed {
+            cur[v as usize].store(1, Ordering::Relaxed);
+        }
+        Frontier {
+            round: 1,
+            cur,
+            next: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            slots: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            count: AtomicUsize::new(0),
+            worklist: seed.to_vec(),
+        }
+    }
+
     /// The current round number (starts at 1, incremented by
     /// [`Frontier::advance`]).
     pub fn round(&self) -> u32 {
@@ -378,6 +400,21 @@ mod tests {
         assert_eq!(f.round(), 1);
         assert_eq!(f.worklist(), &[0, 1, 2, 3, 4]);
         assert!((0..5).all(|v| f.is_active(v)));
+    }
+
+    #[test]
+    fn seeded_frontier_activates_only_the_seed() {
+        let mut f = Frontier::seeded(6, &[1, 4]);
+        assert_eq!(f.round(), 1);
+        assert_eq!(f.worklist(), &[1, 4]);
+        assert!(f.is_active(1) && f.is_active(4));
+        assert!(!f.is_active(0) && !f.is_active(2) && !f.is_active(5));
+        // Activation/advance behave exactly as from all_active.
+        f.activate(0);
+        f.advance();
+        assert_eq!(f.worklist(), &[0]);
+        let empty = Frontier::seeded(3, &[]);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Incremental (warm-start) kernel execution for streaming graphs.
+//!
+//! After a [`gp_graph::DeltaCsr`] absorbs an edge batch, the previous
+//! kernel output is almost entirely still correct — only the vertices near
+//! the mutation can need new colors/labels/communities. This module
+//! re-shapes a previous [`KernelOutput`] plus the batch's
+//! [`TouchedSet`] into the kernel families' warm-start configs and routes
+//! them through the ordinary [`crate::api::run_kernel_inner`] dispatch, so
+//! the locality layer, both SIMD backends, and every sweep-mode executor
+//! apply unchanged — the AVX-512 sweeps simply start from a seeded frontier
+//! instead of an all-active one.
+//!
+//! Per-family seeding (see `docs/STREAMING.md` for the full arguments):
+//!
+//! * **Coloring** — seed = the touched vertices. Untouched vertices keep
+//!   colors that were mutually conflict-free before the batch; deletions
+//!   cannot create a conflict, and an added edge has both endpoints in the
+//!   seed. `AssignColors` picks each seed vertex's smallest color absent
+//!   from *live* neighbor colors, so a repaired vertex can never clash with
+//!   an untouched neighbor — any residual conflict involves two vertices
+//!   recolored in the same round, which the existing active-mode
+//!   `DetectConflicts` scan catches exactly. The conflict cone therefore
+//!   grows to fixpoint through the ordinary speculative rounds.
+//! * **Label propagation / Louvain** — seed = touched vertices plus their
+//!   one-hop neighborhood ([`TouchedSet::expand`]): a changed edge can flip
+//!   the best label/community of either endpoint and of anything adjacent.
+//!   Vertices farther out re-activate transitively through the existing
+//!   frontier machinery, and the sweeps run to the family's own
+//!   convergence criterion.
+//!
+//! Incremental results are *valid and comparable-quality*, not bit-equal
+//! to a from-scratch run: these kernels are speculative/greedy, so their
+//! output depends on the starting assignment by design. The equivalence
+//! suite (`crates/core/tests/incremental.rs`) checks validity (proper
+//! coloring, label fixpoint) and quality (modularity tolerance) against a
+//! from-scratch run on the mutated graph.
+
+use crate::api::{run_kernel_inner, Kernel, KernelOutput, KernelSpec, WarmStart};
+use crate::coloring::ColorWarm;
+use crate::labelprop::LpWarm;
+use crate::louvain::LouvainWarm;
+use gp_graph::csr::Csr;
+use gp_graph::delta::{DeltaCsr, TouchedSet};
+use gp_graph::Edge;
+use gp_metrics::telemetry::{PhaseProbe, Recorder};
+use std::sync::Arc;
+
+/// Applies one mutation batch to `delta` under a [`PhaseProbe`], so traces
+/// of a streaming session show the mutation cost next to the kernel
+/// rounds. The phase is recorded as `delta_apply`, or `delta_apply+compact`
+/// when the batch triggered a compaction (overflow or tombstone policy).
+pub fn apply_update<R: Recorder>(
+    delta: &mut DeltaCsr,
+    additions: &[Edge],
+    deletions: &[(u32, u32)],
+    rec: &mut R,
+) -> Result<TouchedSet, String> {
+    let probe = PhaseProbe::begin::<R>();
+    let compactions_before = delta.stats().compactions;
+    let touched = delta.apply_edges(additions, deletions);
+    let compacted = delta.stats().compactions > compactions_before;
+    probe.finish(
+        rec,
+        if compacted {
+            "delta_apply+compact"
+        } else {
+            "delta_apply"
+        },
+    );
+    touched
+}
+
+/// Runs `spec` on the mutated graph `g`, warm-started from `prev` and the
+/// batch's `touched` set.
+///
+/// `g` is the mutated graph — either [`DeltaCsr::as_csr`]'s padded view
+/// (tombstones and slack are weight-0 self-loops every kernel ignores) or a
+/// dense [`DeltaCsr::snapshot`]. Falls back to a cold [`run_kernel`]-
+/// equivalent run when `prev` does not fit (different kernel family, or a
+/// vertex count that no longer matches); an empty `touched` set returns
+/// `prev` unchanged.
+///
+/// [`run_kernel`]: crate::api::run_kernel
+pub fn run_kernel_incremental<R: Recorder>(
+    g: &Csr,
+    spec: &KernelSpec,
+    prev: &KernelOutput,
+    touched: &TouchedSet,
+    rec: &mut R,
+) -> KernelOutput {
+    let n = g.num_vertices();
+    let warm = match (spec.kernel, prev) {
+        (Kernel::Coloring, KernelOutput::Coloring(p)) if p.colors.len() == n => {
+            if touched.is_empty() {
+                return prev.clone();
+            }
+            Some(WarmStart::Color(ColorWarm {
+                colors: Arc::new(p.colors.clone()),
+                seed: Arc::new(touched.as_slice().to_vec()),
+            }))
+        }
+        (Kernel::Labelprop, KernelOutput::Labelprop(p)) if p.labels.len() == n => {
+            if touched.is_empty() {
+                return prev.clone();
+            }
+            Some(WarmStart::Lp(LpWarm {
+                labels: Arc::new(p.labels.clone()),
+                seed: Arc::new(touched.expand(g)),
+            }))
+        }
+        (Kernel::Louvain(_), KernelOutput::Louvain(p)) if p.communities.len() == n => {
+            if touched.is_empty() {
+                return prev.clone();
+            }
+            Some(WarmStart::Louvain(LouvainWarm {
+                communities: Arc::new(p.communities.clone()),
+                seed: Arc::new(touched.expand(g)),
+            }))
+        }
+        // Family mismatch or stale shape: nothing to warm-start from.
+        _ => None,
+    };
+    run_kernel_inner(g, spec, rec, warm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_kernel;
+    use crate::coloring::verify_coloring;
+    use gp_graph::generators::erdos_renyi;
+    use gp_metrics::telemetry::NoopRecorder;
+
+    fn spec(kernel: &str) -> KernelSpec {
+        KernelSpec::new(kernel.parse().unwrap())
+    }
+
+    #[test]
+    fn empty_touched_set_returns_prev_unchanged() {
+        let g = erdos_renyi(50, 150, 3);
+        let d = DeltaCsr::from_csr(&g);
+        let s = spec("coloring");
+        let prev = run_kernel(d.as_csr(), &s, &mut NoopRecorder);
+        let again =
+            run_kernel_incremental(d.as_csr(), &s, &prev, &TouchedSet::default(), &mut NoopRecorder);
+        assert_eq!(prev, again);
+    }
+
+    #[test]
+    fn family_mismatch_falls_back_to_cold_run() {
+        let g = erdos_renyi(50, 150, 3);
+        let mut d = DeltaCsr::from_csr(&g);
+        let lp_prev = run_kernel(d.as_csr(), &spec("lp"), &mut NoopRecorder);
+        let touched = d.apply_edges(&[Edge::unweighted(0, 1)], &[]).unwrap();
+        let out = run_kernel_incremental(
+            d.as_csr(),
+            &spec("coloring"),
+            &lp_prev,
+            &touched,
+            &mut NoopRecorder,
+        );
+        let r = out.as_coloring().expect("coloring output");
+        verify_coloring(&d.snapshot(), &r.colors).unwrap();
+    }
+
+    #[test]
+    fn incremental_coloring_repairs_added_edges() {
+        let g = erdos_renyi(120, 400, 9);
+        let mut d = DeltaCsr::from_csr(&g);
+        let s = spec("coloring");
+        let mut prev = run_kernel(d.as_csr(), &s, &mut NoopRecorder);
+        for round in 0..5u32 {
+            let adds: Vec<Edge> = (0..6)
+                .map(|i| Edge::unweighted((round * 17 + i) % 120, (round * 31 + 7 * i + 1) % 120))
+                .filter(|e| e.u != e.v)
+                .collect();
+            let touched = apply_update(&mut d, &adds, &[(round, round + 1)], &mut NoopRecorder)
+                .unwrap();
+            prev = run_kernel_incremental(d.as_csr(), &s, &prev, &touched, &mut NoopRecorder);
+            verify_coloring(&d.snapshot(), &prev.as_coloring().unwrap().colors).unwrap();
+        }
+    }
+}

@@ -19,6 +19,19 @@ use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats, RunInfo, RunTimer};
 use gp_simd::counters;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Warm start for incremental label propagation
+/// (`crates/core/src/incremental.rs`): adopt a previous labeling and sweep
+/// only from a seeded frontier (the touched vertices and their neighborhoods)
+/// instead of the all-active first sweep.
+#[derive(Debug, Clone)]
+pub struct LpWarm {
+    /// Per-vertex labels from the previous run.
+    pub labels: Arc<Vec<u32>>,
+    /// Sorted, deduplicated vertices active in the first sweep.
+    pub seed: Arc<Vec<u32>>,
+}
 
 /// Label propagation configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +62,9 @@ pub struct LabelPropConfig {
     /// Degree-bucketing policy: routes runs of ≤16-degree vertices through
     /// the one-vertex-per-lane batch kernel (ONLP only; MPLP stays scalar).
     pub bucket: Bucketing,
+    /// Warm start: adopt previous labels and re-converge from a seeded
+    /// frontier. `None` (the default) is the ordinary full run.
+    pub warm: Option<LpWarm>,
 }
 
 impl Default for LabelPropConfig {
@@ -62,6 +78,7 @@ impl Default for LabelPropConfig {
             sweep: SweepMode::Active,
             block: Blocking::default(),
             bucket: Bucketing::default(),
+            warm: None,
         }
     }
 }
@@ -132,8 +149,16 @@ pub(crate) fn run_lp_sweeps<R: Recorder>(
     let timer = RunTimer::start();
     let n = g.num_vertices();
     let plan = Plan::for_graph(g, config.block, config.bucket);
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let mut frontier = Frontier::all_active(n);
+    let (labels, mut frontier): (Vec<AtomicU32>, Frontier) = match &config.warm {
+        Some(w) if w.labels.len() == n => (
+            w.labels.iter().map(|&l| AtomicU32::new(l)).collect(),
+            Frontier::seeded(n, &w.seed),
+        ),
+        _ => (
+            (0..n as u32).map(AtomicU32::new).collect(),
+            Frontier::all_active(n),
+        ),
+    };
     let theta = config.theta_for(n);
     let mut converged = false;
     let mut bailed = false;

@@ -24,6 +24,7 @@ pub mod api;
 pub mod coloring;
 pub mod contrast;
 pub mod frontier;
+pub mod incremental;
 pub mod labelprop;
 pub mod locality;
 pub mod louvain;

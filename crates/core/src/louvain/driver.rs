@@ -167,10 +167,18 @@ fn louvain_with_runner<R: Recorder>(
 
     let mut level_graph = g.clone();
     let mut assignments: Vec<(Vec<u32>, Vec<u32>)> = Vec::new(); // (zeta, fine_to_coarse)
+    // Warm starts apply only at the finest level: coarse graphs have their
+    // own vertex space, so deeper levels run cold from singletons.
+    let mut level_config = config.clone();
     loop {
         rec.set_level(result.levels);
-        let state = MoveState::singleton(&level_graph);
-        let stats = runner(&level_graph, &state, config, rec);
+        let state = match &level_config.warm {
+            Some(w) if w.communities.len() == level_graph.num_vertices() => {
+                MoveState::from_assignment(&level_graph, &w.communities)
+            }
+            _ => MoveState::singleton(&level_graph),
+        };
+        let stats = runner(&level_graph, &state, &level_config, rec);
         result.levels += 1;
         result.level_stats.push(stats);
         let zeta = state.communities();
@@ -193,6 +201,7 @@ fn louvain_with_runner<R: Recorder>(
             break;
         }
         level_graph = coarse.graph;
+        level_config.warm = None;
     }
 
     // Project the deepest assignment back through the levels.

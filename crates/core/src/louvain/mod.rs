@@ -28,6 +28,20 @@ use crate::reduce_scatter::Strategy;
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{Recorder, RoundProbe, RoundStats};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Warm start for incremental Louvain (`crates/core/src/incremental.rs`):
+/// adopt a previous community assignment (via
+/// [`MoveState::from_assignment`]) and sweep only from a seeded frontier.
+/// Applies to the first (finest) level only — the multilevel driver clears
+/// it before coarsening, since coarse graphs have their own vertex space.
+#[derive(Debug, Clone)]
+pub struct LouvainWarm {
+    /// Per-vertex community ids from the previous run (each `< n`).
+    pub communities: Arc<Vec<u32>>,
+    /// Sorted, deduplicated vertices active in the first sweep.
+    pub seed: Arc<Vec<u32>>,
+}
 
 /// Which Louvain implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +107,10 @@ pub struct LouvainConfig {
     /// would break sequential bit-identity); bucketing here affects only
     /// hub scheduling and telemetry.
     pub bucket: Bucketing,
+    /// Warm start: adopt a previous assignment and re-converge from a
+    /// seeded frontier at the finest level. `None` (the default) is the
+    /// ordinary full run.
+    pub warm: Option<LouvainWarm>,
 }
 
 impl Default for LouvainConfig {
@@ -108,6 +126,7 @@ impl Default for LouvainConfig {
             sweep: SweepMode::Active,
             block: Blocking::default(),
             bucket: Bucketing::default(),
+            warm: None,
         }
     }
 }
@@ -173,7 +192,10 @@ pub(crate) fn run_sweeps<R: Recorder>(
 ) -> MovePhaseStats {
     let mut stats = MovePhaseStats::default();
     let mut q_prev = if R::ENABLED { quality() } else { 0.0 };
-    let mut frontier = Frontier::all_active(n);
+    let mut frontier = match &config.warm {
+        Some(w) if w.communities.len() == n => Frontier::seeded(n, &w.seed),
+        _ => Frontier::all_active(n),
+    };
     for round in 0..config.max_move_iterations {
         let active_now = frontier.len() as u64;
         let active_edges = if R::ENABLED || config.count_ops {
@@ -362,6 +384,25 @@ impl MoveState {
         MoveState {
             zeta: (0..n as u32).map(AtomicU32::new).collect(),
             volume: vertex_volume.iter().map(|&v| AtomicF32::new(v)).collect(),
+            vertex_volume,
+            total_weight: g.total_weight(),
+        }
+    }
+
+    /// Initialization from an existing assignment (warm start): community
+    /// volumes are the sums of member vertex volumes. Every community id in
+    /// `zeta` must be `< n`.
+    pub fn from_assignment(g: &Csr, zeta: &[u32]) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(zeta.len(), n, "assignment length must match graph");
+        let vertex_volume: Vec<f32> = (0..n as u32).map(|u| g.volume(u) as f32).collect();
+        let mut vol = vec![0.0f32; n];
+        for (u, &c) in zeta.iter().enumerate() {
+            vol[c as usize] += vertex_volume[u];
+        }
+        MoveState {
+            zeta: zeta.iter().map(|&c| AtomicU32::new(c)).collect(),
+            volume: vol.into_iter().map(AtomicF32::new).collect(),
             vertex_volume,
             total_weight: g.total_weight(),
         }

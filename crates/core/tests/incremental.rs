@@ -1,0 +1,348 @@
+//! The incremental-equivalence suite: warm-started kernel runs on a mutated
+//! [`DeltaCsr`] must be *valid and comparable-quality* to a from-scratch run
+//! on the same mutated graph, across every kernel string, backend, thread
+//! count, and churn rate.
+//!
+//! Bit-equality with from-scratch is NOT the contract — these kernels are
+//! speculative/greedy, so their output depends on the starting assignment by
+//! design. What is asserted instead:
+//!
+//! * **Coloring** — the incremental coloring is proper on the mutated graph
+//!   and stays within the Δ+1 greedy bound.
+//! * **Label propagation / Louvain** — assignments are in range, and their
+//!   modularity is within tolerance of the from-scratch result's.
+//! * **Determinism** — sequential specs produce bit-identical incremental
+//!   results at 1, 2, and 8 threads (the substrate contract).
+//! * **Stream integrity** — arbitrary edge streams (duplicate adds,
+//!   delete-then-readd, isolated-vertex churn; proptest-shrunk) keep the
+//!   `DeltaCsr` byte-consistent with a from-scratch rebuild oracle and keep
+//!   incremental coloring proper.
+
+use gp_core::api::{run_kernel, Backend, Kernel, KernelOutput, KernelSpec};
+use gp_core::coloring::verify_coloring;
+use gp_core::incremental::run_kernel_incremental;
+use gp_core::louvain::modularity;
+use gp_graph::builder::GraphBuilder;
+use gp_graph::csr::Csr;
+use gp_graph::delta::{DeltaCsr, TouchedSet};
+use gp_graph::generators::{erdos_renyi, planted_partition};
+use gp_graph::par::with_threads;
+use gp_graph::Edge;
+use gp_metrics::telemetry::NoopRecorder;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Every kernel × variant the unified entrypoint can dispatch.
+const ALL_KERNELS: [&str; 8] = [
+    "color",
+    "louvain-plm",
+    "louvain-mplm",
+    "louvain-onpl-cd",
+    "louvain-onpl-ivr",
+    "louvain-onpl",
+    "louvain-ovpl",
+    "labelprop",
+];
+
+/// Deterministic churn driver: deletes and inserts `frac` of the live edges
+/// per step, tracking the live edge set so additions are always new edges.
+struct Churner {
+    edges: Vec<(u32, u32)>,
+    present: BTreeSet<(u32, u32)>,
+    n: u32,
+    state: u64,
+}
+
+impl Churner {
+    fn new(g: &Csr, seed: u64) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                if u <= v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let present = edges.iter().copied().collect();
+        Churner {
+            edges,
+            present,
+            n: g.num_vertices() as u32,
+            state: seed | 1,
+        }
+    }
+
+    fn next(&mut self, m: u64) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) % m.max(1)
+    }
+
+    /// One churn step: delete and add `max(1, frac · |E|)` edges each.
+    fn step(&mut self, frac: f64) -> (Vec<Edge>, Vec<(u32, u32)>) {
+        let k = ((self.edges.len() as f64 * frac) as usize).max(1);
+        let mut dels = Vec::with_capacity(k);
+        for _ in 0..k.min(self.edges.len()) {
+            let i = self.next(self.edges.len() as u64) as usize;
+            let e = self.edges.swap_remove(i);
+            self.present.remove(&e);
+            dels.push(e);
+        }
+        let mut adds = Vec::with_capacity(k);
+        while adds.len() < k {
+            let u = self.next(self.n as u64) as u32;
+            let v = self.next(self.n as u64) as u32;
+            let key = (u.min(v), u.max(v));
+            if u == v || self.present.contains(&key) {
+                continue;
+            }
+            self.present.insert(key);
+            self.edges.push(key);
+            adds.push(Edge::unweighted(u, v));
+        }
+        (adds, dels)
+    }
+}
+
+fn spec_for(kernel: &str) -> KernelSpec {
+    KernelSpec::new(kernel.parse::<Kernel>().unwrap())
+}
+
+/// Structural validity of `out` on the (dense) mutated graph.
+fn assert_valid(kernel: &str, g: &Csr, padded_max_degree: usize, out: &KernelOutput) {
+    let n = g.num_vertices() as u32;
+    match out {
+        KernelOutput::Coloring(r) => {
+            verify_coloring(g, &r.colors).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            assert!(
+                r.num_colors <= padded_max_degree as u32 + 1,
+                "{kernel}: {} colors beyond the greedy Δ+1 bound",
+                r.num_colors
+            );
+        }
+        KernelOutput::Louvain(r) => {
+            assert_eq!(r.communities.len(), n as usize, "{kernel}");
+            assert!(r.communities.iter().all(|&c| c < n), "{kernel}");
+            assert!(r.modularity.is_finite(), "{kernel}");
+        }
+        KernelOutput::Labelprop(r) => {
+            assert_eq!(r.labels.len(), n as usize, "{kernel}");
+            assert!(r.labels.iter().all(|&l| l < n), "{kernel}");
+        }
+    }
+}
+
+/// Modularity of a community-style output on `g` (labels and communities
+/// are both assignments; coloring has no quality figure here).
+fn quality(out: &KernelOutput, g: &Csr) -> Option<f64> {
+    match out {
+        KernelOutput::Louvain(r) => Some(modularity(g, &r.communities)),
+        KernelOutput::Labelprop(r) => Some(modularity(g, &r.labels)),
+        KernelOutput::Coloring(_) => None,
+    }
+}
+
+/// Drives `steps` churn steps at `frac`, asserting validity after each and
+/// comparing end quality against from-scratch on the final graph.
+fn churn_and_check(kernel: &str, spec: &KernelSpec, frac: f64, steps: usize, quality_tol: f64) {
+    let g = planted_partition(4, 50, 0.7, 0.05, 0xD0_u64 + kernel.len() as u64);
+    let mut delta = DeltaCsr::from_csr(&g);
+    let mut churn = Churner::new(&g, 0xC0FFEE);
+    let mut prev = run_kernel(delta.as_csr(), spec, &mut NoopRecorder);
+    for _ in 0..steps {
+        let (adds, dels) = churn.step(frac);
+        let touched = delta.apply_edges(&adds, &dels).unwrap();
+        prev = run_kernel_incremental(delta.as_csr(), spec, &prev, &touched, &mut NoopRecorder);
+        assert_valid(kernel, &delta.snapshot(), delta.as_csr().max_degree(), &prev);
+    }
+    let dense = delta.snapshot();
+    let scratch = run_kernel(&dense, spec, &mut NoopRecorder);
+    if let (Some(q_inc), Some(q_scr)) = (quality(&prev, &dense), quality(&scratch, &dense)) {
+        assert!(
+            q_inc >= q_scr - quality_tol,
+            "{kernel} at churn {frac}: incremental Q {q_inc} << from-scratch Q {q_scr}"
+        );
+    }
+}
+
+#[test]
+fn incremental_valid_and_comparable_all_kernels_auto() {
+    for kernel in ALL_KERNELS {
+        churn_and_check(kernel, &spec_for(kernel).sequential(), 0.01, 3, 0.10);
+    }
+}
+
+#[test]
+fn incremental_valid_across_churn_rates() {
+    for frac in [0.001, 0.01, 0.10] {
+        for kernel in ["color", "louvain-mplm", "labelprop"] {
+            churn_and_check(kernel, &spec_for(kernel).sequential(), frac, 3, 0.10);
+        }
+    }
+}
+
+#[test]
+fn incremental_valid_on_pinned_backends() {
+    for backend in [Backend::Scalar, Backend::Emulated, Backend::Native] {
+        for kernel in ALL_KERNELS {
+            churn_and_check(
+                kernel,
+                &spec_for(kernel).sequential().with_backend(backend),
+                0.01,
+                2,
+                0.10,
+            );
+        }
+    }
+}
+
+/// The determinism contract extends to warm starts: sequential incremental
+/// runs are bit-identical at 1, 2, and 8 threads.
+#[test]
+fn incremental_deterministic_across_thread_counts() {
+    let g = erdos_renyi(400, 1600, 21);
+    for kernel in ALL_KERNELS {
+        let spec = spec_for(kernel).sequential();
+        let run_stream = |threads: usize| {
+            with_threads(threads, || {
+                let mut delta = DeltaCsr::from_csr(&g);
+                let mut churn = Churner::new(&g, 0xFEED);
+                let mut prev = run_kernel(delta.as_csr(), &spec, &mut NoopRecorder);
+                for _ in 0..3 {
+                    let (adds, dels) = churn.step(0.01);
+                    let touched = delta.apply_edges(&adds, &dels).unwrap();
+                    prev = run_kernel_incremental(
+                        delta.as_csr(),
+                        &spec,
+                        &prev,
+                        &touched,
+                        &mut NoopRecorder,
+                    );
+                }
+                prev
+            })
+        };
+        let reference = run_stream(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                reference,
+                run_stream(threads),
+                "{kernel}: incremental stream diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Racy parallel specs on multi-thread pools must still produce valid
+/// incremental results for every schedule.
+#[test]
+fn racy_parallel_incremental_stays_valid() {
+    let g = erdos_renyi(400, 1600, 33);
+    for threads in [2usize, 8] {
+        for kernel in ALL_KERNELS {
+            with_threads(threads, || {
+                let spec = spec_for(kernel);
+                let mut delta = DeltaCsr::from_csr(&g);
+                let mut churn = Churner::new(&g, 0xBEEF);
+                let mut prev = run_kernel(delta.as_csr(), &spec, &mut NoopRecorder);
+                for _ in 0..2 {
+                    let (adds, dels) = churn.step(0.01);
+                    let touched = delta.apply_edges(&adds, &dels).unwrap();
+                    prev = run_kernel_incremental(
+                        delta.as_csr(),
+                        &spec,
+                        &prev,
+                        &touched,
+                        &mut NoopRecorder,
+                    );
+                    assert_valid(kernel, &delta.snapshot(), delta.as_csr().max_degree(), &prev);
+                }
+            });
+        }
+    }
+}
+
+/// Oracle edge set for the proptest stream: applies a batch the way
+/// `DeltaCsr::apply_edges` documents it (all deletions, then additions,
+/// duplicates are no-ops) to a plain set of undirected edges.
+fn oracle_apply(
+    oracle: &mut BTreeSet<(u32, u32)>,
+    adds: &[Edge],
+    dels: &[(u32, u32)],
+) -> TouchedSet {
+    let mut touched = Vec::new();
+    for &(u, v) in dels {
+        if oracle.remove(&(u.min(v), u.max(v))) {
+            touched.push(u);
+            touched.push(v);
+        }
+    }
+    for e in adds {
+        if oracle.insert((e.u.min(e.v), e.u.max(e.v))) {
+            touched.push(e.u);
+            touched.push(e.v);
+        }
+    }
+    TouchedSet::from_vertices(touched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary edge streams — duplicate adds, delete-then-readd in one
+    /// batch, churn touching isolated vertices — keep the DeltaCsr
+    /// consistent with a from-scratch rebuild and keep incremental
+    /// coloring proper. Shrinking reduces failing streams to minimal
+    /// batches.
+    #[test]
+    fn edge_streams_stay_consistent_and_colorable(
+        n in 4u32..40,
+        batches in prop::collection::vec(
+            prop::collection::vec((0u32..64, 0u32..64, any::<bool>()), 1..12),
+            1..6,
+        ),
+    ) {
+        let spec = spec_for("color").sequential();
+        let mut delta = DeltaCsr::from_csr(&Csr::empty(n as usize));
+        let mut oracle: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut prev = run_kernel(delta.as_csr(), &spec, &mut NoopRecorder);
+        for batch in &batches {
+            let dels: Vec<(u32, u32)> = batch
+                .iter()
+                .filter(|&&(_, _, del)| del)
+                .map(|&(u, v, _)| (u % n, v % n))
+                .collect();
+            let adds: Vec<Edge> = batch
+                .iter()
+                .filter(|&&(_, _, del)| !del)
+                .map(|&(u, v, _)| Edge::unweighted(u % n, v % n))
+                .filter(|e| e.u != e.v)
+                .collect();
+            let expect = oracle_apply(&mut oracle, &adds, &dels);
+            let touched = delta.apply_edges(&adds, &dels).unwrap();
+            prop_assert_eq!(&touched, &expect, "touched set diverged from oracle");
+
+            // Snapshot must equal a from-scratch rebuild of the oracle set.
+            let mut b = GraphBuilder::new(n as usize);
+            for &(u, v) in &oracle {
+                b.add_edge(Edge::unweighted(u, v));
+            }
+            let rebuilt = b.build();
+            let snap = delta.snapshot();
+            prop_assert_eq!(snap.num_edges(), rebuilt.num_edges());
+            for u in 0..n {
+                let mut a: Vec<u32> = snap.neighbors(u).to_vec();
+                let mut o: Vec<u32> = rebuilt.neighbors(u).to_vec();
+                a.sort_unstable();
+                o.sort_unstable();
+                prop_assert_eq!(a, o, "row {} diverged", u);
+            }
+
+            prev = run_kernel_incremental(delta.as_csr(), &spec, &prev, &touched, &mut NoopRecorder);
+            let r = prev.as_coloring().unwrap();
+            verify_coloring(&snap, &r.colors).unwrap();
+        }
+    }
+}

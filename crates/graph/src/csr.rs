@@ -93,6 +93,15 @@ impl Csr {
         self.adj.len()
     }
 
+    /// Mutable access to the adjacency and weight arrays, for the in-place
+    /// slot rewrites of [`crate::delta::DeltaCsr`]. `xadj` stays immutable —
+    /// row extents are fixed between compactions — so offsets can never go
+    /// inconsistent; the caller must keep every adjacency entry a valid
+    /// vertex id (`delta` only ever writes ids it validated on ingest).
+    pub(crate) fn arrays_mut(&mut self) -> (&mut [VertexId], &mut [Weight]) {
+        (&mut self.adj, &mut self.weights)
+    }
+
     /// Number of self-loop entries.
     pub fn num_self_loops(&self) -> usize {
         (0..self.num_vertices() as u32)

@@ -21,6 +21,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod ordering;
@@ -31,6 +32,7 @@ pub mod suite;
 pub mod weights;
 
 pub use csr::Csr;
+pub use delta::{CompactionPolicy, DeltaCsr, DeltaStats, TouchedSet};
 
 /// Vertex identifier. 32-bit to match the 16-lane `epi32` vector width the
 /// paper's kernels are built around.

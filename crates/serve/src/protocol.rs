@@ -34,6 +34,94 @@ pub use gp_core::api::{Backend, SweepMode};
 use gp_core::api::{Blocking, Bucketing, Kernel as RunKernel, KernelSpec};
 use gp_core::louvain::Variant;
 use gp_core::reduce_scatter::Strategy;
+use gp_graph::Edge;
+
+/// One streaming mutation batch riding on a v2 request:
+/// `{"update":{"add":[[u,v,w?],...],"del":[[u,v],...]}}`. The batch is
+/// applied to the request's graph session (a [`gp_graph::DeltaCsr`] seeded
+/// from the shard's cached graph) before the request's kernel runs
+/// incrementally from the previous output. v2-only; v1 predates sessions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateBatch {
+    /// Edges to insert. A missing third element means unit weight.
+    pub add: Vec<Edge>,
+    /// Edges to tombstone, as `(u, v)` pairs.
+    pub del: Vec<(u32, u32)>,
+}
+
+impl UpdateBatch {
+    /// Parses the `"update"` object, strictly: exactly the `add`/`del`
+    /// keys, each an array of `[u,v]` / `[u,v,w]` number arrays.
+    fn from_json(v: &Json) -> Result<UpdateBatch, String> {
+        let Json::Obj(fields) = v else {
+            return Err("`update` must be an object with `add`/`del` arrays".to_string());
+        };
+        for (k, _) in fields {
+            if k != "add" && k != "del" {
+                return Err(format!("unknown `update` field `{k}` (allowed: `add`, `del`)"));
+            }
+        }
+        let pair = |e: &Json, what: &str, max_len: usize| -> Result<(u32, u32, Option<f64>), String> {
+            let Json::Arr(items) = e else {
+                return Err(format!("`update.{what}` entries must be arrays"));
+            };
+            if items.len() < 2 || items.len() > max_len {
+                return Err(format!(
+                    "`update.{what}` entries need {} numbers, got {}",
+                    if max_len == 3 { "[u,v] or [u,v,w]" } else { "[u,v]" },
+                    items.len()
+                ));
+            }
+            let vertex = |j: &Json| {
+                j.as_u64()
+                    .filter(|&x| x <= u32::MAX as u64)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| format!("`update.{what}` vertex ids must be u32 integers"))
+            };
+            let w = match items.get(2) {
+                None => None,
+                Some(j) => Some(
+                    j.as_f64()
+                        .ok_or_else(|| format!("`update.{what}` weights must be numbers"))?,
+                ),
+            };
+            Ok((vertex(&items[0])?, vertex(&items[1])?, w))
+        };
+        let mut batch = UpdateBatch::default();
+        if let Some(Json::Arr(adds)) = fields_get(fields, "add") {
+            for e in adds {
+                let (u, vv, w) = pair(e, "add", 3)?;
+                batch.add.push(Edge::new(u, vv, w.unwrap_or(1.0) as f32));
+            }
+        } else if fields_get(fields, "add").is_some() {
+            return Err("`update.add` must be an array".to_string());
+        }
+        if let Some(Json::Arr(dels)) = fields_get(fields, "del") {
+            for e in dels {
+                let (u, vv, _) = pair(e, "del", 2)?;
+                batch.del.push((u, vv));
+            }
+        } else if fields_get(fields, "del").is_some() {
+            return Err("`update.del` must be an array".to_string());
+        }
+        Ok(batch)
+    }
+
+    /// Total mutations carried (additions + deletions).
+    pub fn len(&self) -> usize {
+        self.add.len() + self.del.len()
+    }
+
+    /// Whether the batch carries no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.del.is_empty()
+    }
+}
+
+/// Field lookup on a raw object body (insertion order preserved).
+fn fields_get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
 
 /// Which kernel a request runs: one of the real kernels, carried as the
 /// full [`KernelSpec`] it will execute with (backend, sweep, raw request
@@ -103,6 +191,9 @@ pub struct Request {
     pub spec: Option<GraphSpec>,
     /// Per-request deadline in milliseconds (`None` → server default).
     pub deadline_ms: Option<u64>,
+    /// Streaming mutation batch to apply before running the kernel
+    /// (v2-only). Update requests are never cached or coalesced.
+    pub update: Option<UpdateBatch>,
     /// Opaque client correlation id, echoed in the response.
     pub id: Option<String>,
     /// Protocol version the request arrived in (1 or 2); responses echo it.
@@ -116,8 +207,12 @@ impl Request {
     /// own cache labels can never drift. `sleep` requests are never cached.
     /// Sweep mode is part of the key even though outputs are bit-identical
     /// across modes: the cached body carries mode-dependent fields
-    /// (`exec_ms`, round telemetry).
+    /// (`exec_ms`, round telemetry). Update requests mutate state and are
+    /// never cached.
     pub fn cache_key(&self) -> Option<String> {
+        if self.update.is_some() {
+            return None;
+        }
         match (&self.kernel, &self.spec) {
             (Kernel::Sleep { .. }, _) | (_, None) => None,
             (Kernel::Run(ks), Some(spec)) => {
@@ -301,6 +396,7 @@ fn parse_v1(v: &Json) -> Result<Incoming, ParseError> {
             kernel: Kernel::Sleep { ms },
             spec: None,
             deadline_ms: common.deadline_ms,
+            update: None,
             id: common.id,
             version: 1,
         }));
@@ -322,6 +418,9 @@ fn parse_v1(v: &Json) -> Result<Incoming, ParseError> {
         kernel: Kernel::Run(spec_of(run, &common)),
         spec: Some(spec),
         deadline_ms: common.deadline_ms,
+        // v1 predates streaming sessions; an `update` field, like any other
+        // unknown v1 field, is ignored by the lenient parser above.
+        update: None,
         id: common.id,
         version: 1,
     }))
@@ -359,7 +458,10 @@ fn parse_v2(v: &Json) -> Result<Incoming, ParseError> {
     let allowed: &[&str] = if kernel_name == "sleep" {
         &["kernel", "ms", "deadline_ms", "id"]
     } else {
-        &["kernel", "graph", "backend", "sweep", "block", "bucket", "seed", "deadline_ms", "id"]
+        &[
+            "kernel", "graph", "backend", "sweep", "block", "bucket", "seed", "deadline_ms",
+            "update", "id",
+        ]
     };
     for (k, _) in fields {
         if !allowed.contains(&k.as_str()) {
@@ -382,6 +484,7 @@ fn parse_v2(v: &Json) -> Result<Incoming, ParseError> {
             kernel: Kernel::Sleep { ms },
             spec: None,
             deadline_ms: common.deadline_ms,
+            update: None,
             id: common.id,
             version: 2,
         }));
@@ -392,10 +495,23 @@ fn parse_v2(v: &Json) -> Result<Incoming, ParseError> {
         .get("graph")
         .ok_or_else(|| err(format!("kernel `{kernel_name}` needs a `graph` spec")))?;
     let spec = GraphSpec::from_json(spec_json).map_err(err)?;
+    let update = match req.get("update") {
+        None | Some(Json::Null) => None,
+        Some(u) => {
+            // Kernel deadlines are incompatible with sessions: a cut-short
+            // repair could park an invalid assignment as the next warm
+            // start, so update frames always run to convergence.
+            if common.deadline_ms.is_some() {
+                return Err(err("`update` frames do not accept `deadline_ms`".to_string()));
+            }
+            Some(UpdateBatch::from_json(u).map_err(err)?)
+        }
+    };
     Ok(Incoming::Run(Request {
         kernel: Kernel::Run(spec_of(run, &common)),
         spec: Some(spec),
         deadline_ms: common.deadline_ms,
+        update,
         id: common.id,
         version: 2,
     }))
@@ -423,6 +539,27 @@ pub fn to_v2_line(request: &Request) -> String {
                 .str("bucket", ks.bucket.name())
                 .num("seed", ks.seed as f64);
         }
+    }
+    if let Some(u) = &request.update {
+        let nums = |xs: Vec<f64>| Json::Arr(xs.into_iter().map(Json::Num).collect());
+        req = req.field(
+            "update",
+            ObjBuilder::new()
+                .field(
+                    "add",
+                    Json::Arr(
+                        u.add
+                            .iter()
+                            .map(|e| nums(vec![e.u as f64, e.v as f64, e.w as f64]))
+                            .collect(),
+                    ),
+                )
+                .field(
+                    "del",
+                    Json::Arr(u.del.iter().map(|&(a, b)| nums(vec![a as f64, b as f64])).collect()),
+                )
+                .build(),
+        );
     }
     if let Some(d) = request.deadline_ms {
         req = req.num("deadline_ms", d as f64);
@@ -714,6 +851,59 @@ mod tests {
         assert!(parse_line(r#"{"v":2}"#).is_err()); // no req
         assert!(parse_line(r#"{"v":2,"req":{"kernel":"color"}}"#).is_err()); // no graph
         assert!(parse_line(r#"{"v":2,"req":{"stats":true,"id":"x"}}"#).is_err());
+    }
+
+    #[test]
+    fn v2_update_frames_parse_strictly() {
+        let req = run_of(
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,1],[2,3,2.5]],"del":[[4,5]]}}}"#,
+        );
+        assert_eq!(req.version, 2);
+        let u = req.update.as_ref().expect("update batch");
+        assert_eq!(u.add.len(), 2);
+        assert_eq!(u.add[0], Edge::new(0, 1, 1.0), "missing weight defaults to 1");
+        assert_eq!(u.add[1], Edge::new(2, 3, 2.5));
+        assert_eq!(u.del, vec![(4, 5)]);
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+        // Mutating requests are never cached.
+        assert!(req.cache_key().is_none());
+        // The canonical serialization round-trips the batch.
+        let v2 = to_v2_line(&req);
+        assert!(v2.contains(r#""update""#), "{v2}");
+        assert_eq!(run_of(&v2), req);
+        // Empty batch objects are well-formed no-ops.
+        let req = run_of(r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{}}}"#);
+        assert!(req.update.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_update_frames_are_rejected() {
+        for line in [
+            // deadline + update is an invalid combination
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,1]]},"deadline_ms":10}}"#,
+            // wrong shapes
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":[1,2]}}"#,
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0]]}}}"#,
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"del":[[0,1,2]]}}}"#,
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,-1]]}}}"#,
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"grow":[[0,1]]}}}"#,
+            r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,1,"x"]]}}}"#,
+            // sleep cannot carry an update
+            r#"{"v":2,"req":{"kernel":"sleep","ms":5,"update":{"add":[[0,1]]}}}"#,
+        ] {
+            assert!(parse_line(line).is_err(), "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn v1_ignores_update_fields() {
+        // v1 predates sessions: its lenient parser drops the field rather
+        // than mutating anything.
+        let req = run_of(r#"{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,1]]}}"#);
+        assert_eq!(req.version, 1);
+        assert!(req.update.is_none());
+        assert!(req.cache_key().is_some(), "still a plain cacheable run");
     }
 
     #[test]

@@ -36,7 +36,8 @@ use crate::protocol::{parse_line, refusal_line, Incoming, Kernel, Refusal, Reque
 use crate::queue::PushError;
 use crate::shard::{Follower, Job, Ring, Shard};
 use crate::stats::ServiceStats;
-use gp_core::api::{run_kernel, KernelOutput};
+use gp_core::api::{run_kernel, KernelOutput, KernelSpec};
+use gp_core::incremental::{apply_update, run_kernel_incremental};
 use gp_graph::csr::Csr;
 use gp_metrics::telemetry::{DeadlineRecorder, NoopRecorder, Recorder};
 use std::collections::HashMap;
@@ -134,6 +135,7 @@ impl Shared {
                     if let Json::Obj(body) = s.stats.snapshot_json(s.queue.len()) {
                         fields.extend(body);
                     }
+                    fields.push(("sessions".to_string(), s.sessions_json()));
                     Json::Obj(fields)
                 })
                 .collect(),
@@ -430,9 +432,30 @@ fn handle_line(line: &str, token: u64, shared: &Arc<Shared>) -> Option<String> {
     };
     let shard = &shared.shards[shared.ring.shard_of(&route_key)];
 
+    // Update frames mutate an existing session (or materialize one from
+    // the shard's graph cache); a graph the server never built is refused
+    // here, cheaply, instead of burning a queue slot. The worker re-checks
+    // (the graph could be evicted between admission and execution).
+    if request.update.is_some()
+        && shard.session_of(&route_key).is_none()
+        && shard.graphs.lock().unwrap().get(&route_key).is_none()
+    {
+        shard.stats.on_error();
+        return Some(refusal_line(
+            Refusal::BadRequest,
+            &format!("update targets a graph the server has not materialized: {route_key} (run a kernel on it first)"),
+            request.id.as_deref(),
+            version,
+        ));
+    }
+
     // Result cache: a hit never touches the queue (or the deadline — the
-    // answer is already computed).
-    let cache_key = request.cache_key();
+    // answer is already computed). Once a graph has a streaming session,
+    // its mutation epoch is folded into the key, so results computed
+    // against a superseded graph state can never be served again.
+    let cache_key = request
+        .cache_key()
+        .map(|k| epoch_key(k, shard.session_epoch(&route_key)));
     if let Some(key) = &cache_key {
         let cached = shard.results.lock().unwrap().get(key);
         if let Some(body) = cached {
@@ -510,18 +533,33 @@ fn handle_line(line: &str, token: u64, shared: &Arc<Shared>) -> Option<String> {
     }
 }
 
+/// Folds a session mutation epoch into a result-cache key. Epoch 0 (the
+/// pristine generator output) keys identically to the pre-streaming
+/// scheme, so graphs without sessions keep their cache entries.
+fn epoch_key(base: String, epoch: u64) -> String {
+    if epoch == 0 {
+        base
+    } else {
+        format!("{base}|epoch={epoch}")
+    }
+}
+
 /// Shard worker: pop, execute, cache, fan out to coalesced followers;
 /// exits when the shard queue closes and drains.
 fn worker_loop(shard: &Arc<Shard>, shared: &Arc<Shared>) {
     while let Some(job) = shard.queue.pop() {
         let body = execute(shard, &job);
+        let failed = body.get("ok").and_then(Json::as_bool) == Some(false);
         let timed_out = body.get("timed_out").and_then(Json::as_bool) == Some(true);
-        // Cache complete runs; a timed-out partial is not a reusable
-        // answer. Cache *before* dropping the in-flight entry so late
-        // duplicates hit the cache instead of re-executing.
-        if !timed_out {
+        // Cache complete runs; a timed-out partial (or a worker-side
+        // refusal) is not a reusable answer. Cache *before* dropping the
+        // in-flight entry so late duplicates hit the cache instead of
+        // re-executing. The key carries the epoch the graph was actually
+        // read at, so a concurrent update can never poison the cache.
+        if !timed_out && !failed {
             if let Some(key) = job.request.cache_key() {
-                shard.results.lock().unwrap().put(key, body.clone());
+                let epoch = body.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+                shard.results.lock().unwrap().put(epoch_key(key, epoch), body.clone());
             }
         }
         let followers = match &job.coalesce_key {
@@ -533,8 +571,16 @@ fn worker_loop(shard: &Arc<Shard>, shared: &Arc<Shared>) {
                 .unwrap_or_default(),
             None => Vec::new(),
         };
-        let label = job.request.kernel.label();
-        shard.stats.on_served(timed_out);
+        let label = if job.request.update.is_some() {
+            "update"
+        } else {
+            job.request.kernel.label()
+        };
+        if failed {
+            shard.stats.on_error();
+        } else {
+            shard.stats.on_served(timed_out);
+        }
         if let Some(h) = shard.stats.latency_of(label) {
             h.record(job.admitted.elapsed());
         }
@@ -575,7 +621,17 @@ fn execute_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outco
         .kernel_spec()
         .expect("sleep handled in execute(), all other kernels carry a spec");
     let out = run_kernel(g, &spec, rec);
-    let extras = match &out {
+    Outcome {
+        backend: out.backend(),
+        rounds: out.rounds(),
+        converged: out.converged(),
+        extras: kernel_extras(&spec, &out),
+    }
+}
+
+/// Kernel-specific response fields lifted off a typed output.
+fn kernel_extras(spec: &KernelSpec, out: &KernelOutput) -> Vec<(String, Json)> {
+    match out {
         KernelOutput::Coloring(r) => {
             vec![("num_colors".to_string(), Json::Num(r.num_colors as f64))]
         }
@@ -599,13 +655,131 @@ fn execute_kernel<R: Recorder>(request: &Request, g: &Csr, rec: &mut R) -> Outco
                 ("iterations".to_string(), Json::Num(r.iterations as f64)),
             ]
         }
-    };
-    Outcome {
-        backend: out.backend(),
-        rounds: out.rounds(),
-        converged: out.converged(),
-        extras,
     }
+}
+
+/// The per-vertex assignment a kernel output carries (colors, communities,
+/// or labels) — the thing update responses diff to produce `changed`.
+fn assignment_of(out: &KernelOutput) -> &[u32] {
+    match out {
+        KernelOutput::Coloring(r) => &r.colors,
+        KernelOutput::Louvain(r) => &r.communities,
+        KernelOutput::Labelprop(r) => &r.labels,
+    }
+}
+
+/// A worker-side refusal rendered as a response *body* (the per-delivery
+/// fields are stamped by `render_response` like any other body).
+fn error_body(kind: Refusal, detail: &str) -> Json {
+    ObjBuilder::new()
+        .bool("ok", false)
+        .str("error", kind.name())
+        .num("code", kind.code() as f64)
+        .str("detail", detail)
+        .build()
+}
+
+/// Executes an update frame: applies the mutation batch to the graph's
+/// streaming session, re-runs the requested kernel incrementally from the
+/// last converged output (seeded by the batch's touched set), and reports
+/// the partition delta as `changed` `[vertex, value]` pairs.
+fn execute_update(shard: &Shard, job: &Job, started: Instant) -> Json {
+    let request = &job.request;
+    let batch = request.update.as_ref().expect("caller checked");
+    let spec = request.spec.as_ref().expect("update requests carry a graph spec");
+    let key = spec.canonical_key();
+    let Some(session) = shard.session_or_materialize(&key) else {
+        // Admission pre-checks this, but the graph can be evicted from the
+        // LRU between admission and execution.
+        return error_body(
+            Refusal::BadRequest,
+            &format!("update targets a graph the server has not materialized: {key} (run a kernel on it first)"),
+        );
+    };
+    let mut inner = session.inner.lock().unwrap();
+    let before = inner.delta.stats();
+    let touched = match apply_update(&mut inner.delta, &batch.add, &batch.del, &mut NoopRecorder) {
+        Ok(t) => t,
+        // Whole-batch validation failed: nothing was applied.
+        Err(e) => return error_body(Refusal::BadRequest, &format!("update rejected: {e}")),
+    };
+    session.publish(&inner);
+    let after = inner.delta.stats();
+    shard.stats.on_update(
+        after.applied_additions - before.applied_additions,
+        after.applied_deletions - before.applied_deletions,
+    );
+
+    // Warm-start from the last converged output for this exact kernel
+    // config; first contact (or a non-converged predecessor) runs cold.
+    let ks = request.kernel_spec().expect("update requests embed a kernel spec");
+    let token = ks.cache_token();
+    let inner = &mut *inner;
+    let g = inner.delta.as_csr();
+    let prev = inner.prev.get(&token);
+    let warm = prev.is_some();
+    let out = match prev {
+        Some(prev) => run_kernel_incremental(g, &ks, prev, &touched, &mut NoopRecorder),
+        None => run_kernel(g, &ks, &mut NoopRecorder),
+    };
+    let n = g.num_vertices();
+    let changed: Vec<(u32, u32)> = match prev {
+        Some(prev) => {
+            let (old, new) = (assignment_of(prev), assignment_of(&out));
+            (0..n as u32)
+                .filter(|&v| old.get(v as usize) != new.get(v as usize))
+                .map(|v| (v, assignment_of(&out)[v as usize]))
+                .collect()
+        }
+        // Cold run: everything is new; the full assignment is not echoed.
+        None => Vec::new(),
+    };
+    let changed_count = if warm { changed.len() } else { n };
+
+    let mut body = ObjBuilder::new()
+        .bool("ok", true)
+        .str("kernel", request.kernel.label())
+        .str("graph", &key)
+        .str("backend", out.backend())
+        .num("epoch", inner.delta.epoch() as f64)
+        .num("applied_add", (after.applied_additions - before.applied_additions) as f64)
+        .num("applied_del", (after.applied_deletions - before.applied_deletions) as f64)
+        .num("touched", touched.len() as f64)
+        .num("compactions", after.compactions as f64)
+        .num("tombstones", after.tombstones as f64)
+        .num("slack_slots", after.slack_slots as f64)
+        .num("vertices", n as f64)
+        .num("edges", (after.live_arcs / 2) as f64)
+        .num("rounds", out.rounds() as f64)
+        .bool("converged", out.converged())
+        .bool("timed_out", false)
+        .bool("warm", warm)
+        .num("changed_count", changed_count as f64);
+    if warm {
+        body = body.field(
+            "changed",
+            Json::Arr(
+                changed
+                    .iter()
+                    .map(|&(v, c)| Json::Arr(vec![Json::Num(v as f64), Json::Num(c as f64)]))
+                    .collect(),
+            ),
+        );
+    }
+    for (k, v) in kernel_extras(&ks, &out) {
+        body = body.field(&k, v);
+    }
+    let body = body.num("exec_ms", started.elapsed().as_secs_f64() * 1000.0).build();
+
+    // Park the new output as the next warm-start base — but only a
+    // converged one: an assignment cut short mid-repair is not a sound
+    // base for the touched-set-only seeding argument.
+    if out.converged() {
+        inner.prev.insert(token, out);
+    } else {
+        inner.prev.remove(&token);
+    }
+    body
 }
 
 /// Executes one admitted job on its home shard, producing the core response
@@ -640,8 +814,12 @@ fn execute(shard: &Shard, job: &Job) -> Json {
             .build();
     }
 
+    if request.update.is_some() {
+        return execute_update(shard, job, started);
+    }
+
     let spec = request.spec.as_ref().expect("non-sleep requests carry a spec");
-    let graph = shard.graph_for(spec);
+    let (graph, epoch) = shard.graph_for_run(spec);
     let (outcome, timed_out) = match job.deadline {
         Some(deadline) => {
             let mut rec = DeadlineRecorder::new(NoopRecorder, deadline);
@@ -663,8 +841,13 @@ fn execute(shard: &Shard, job: &Job) -> Json {
         .num("edges", graph.num_edges() as f64)
         .num("rounds", outcome.rounds as f64)
         .bool("converged", outcome.converged)
-        .bool("timed_out", timed_out)
-        .num("exec_ms", started.elapsed().as_secs_f64() * 1000.0);
+        .bool("timed_out", timed_out);
+    if epoch > 0 {
+        // The run executed against a mutated session graph; the epoch both
+        // tells the client which state it saw and keys the result cache.
+        body = body.num("epoch", epoch as f64);
+    }
+    body = body.num("exec_ms", started.elapsed().as_secs_f64() * 1000.0);
     for (k, v) in outcome.extras {
         body = body.field(&k, v);
     }

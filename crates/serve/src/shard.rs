@@ -13,13 +13,16 @@
 //! without remapping the whole keyspace.
 
 use crate::cache::Lru;
-use crate::json::Json;
+use crate::json::{Json, ObjBuilder};
 use crate::protocol::Request;
 use crate::queue::Bounded;
 use crate::spec::GraphSpec;
 use crate::stats::ServiceStats;
+use gp_core::api::KernelOutput;
 use gp_graph::csr::Csr;
+use gp_graph::delta::DeltaCsr;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -100,14 +103,99 @@ pub(crate) struct Job {
     pub coalesce_key: Option<String>,
 }
 
+/// Mutable state behind a streaming session's lock: the delta graph, the
+/// per-kernel warm-start bases, and an epoch-tagged dense snapshot for
+/// plain (non-update) runs against the mutated graph.
+pub(crate) struct SessionInner {
+    /// The mutable graph. Its own epoch counter is the session epoch.
+    pub delta: DeltaCsr,
+    /// Dense snapshot of the mutated graph, rebuilt lazily when the epoch
+    /// moves. Plain runs on a mutated graph execute against this.
+    snapshot: Option<(u64, Arc<Csr>)>,
+    /// Last **converged** kernel output per [`KernelSpec::cache_token`] —
+    /// the warm-start base the next update frame resumes from.
+    ///
+    /// [`KernelSpec::cache_token`]: gp_core::api::KernelSpec::cache_token
+    pub prev: HashMap<String, KernelOutput>,
+}
+
+impl SessionInner {
+    /// The dense mutated graph at the current epoch (cached per epoch).
+    pub fn snapshot(&mut self) -> Arc<Csr> {
+        let epoch = self.delta.epoch();
+        match &self.snapshot {
+            Some((e, g)) if *e == epoch => Arc::clone(g),
+            _ => {
+                let g = Arc::new(self.delta.snapshot());
+                self.snapshot = Some((epoch, Arc::clone(&g)));
+                g
+            }
+        }
+    }
+}
+
+/// A streaming session: one mutable [`DeltaCsr`] per graph key, created
+/// the first time an update frame targets a graph the shard has cached.
+///
+/// The epoch and occupancy counters are published as atomics *outside* the
+/// inner lock so the admission path (the single event-loop thread) and
+/// stats probes never block on a worker that is mid-update.
+pub(crate) struct Session {
+    /// Mirror of `inner.delta.epoch()`, refreshed after every apply.
+    pub epoch: AtomicU64,
+    /// Mirror of the delta occupancy stats, refreshed after every apply.
+    pub live_arcs: AtomicU64,
+    pub tombstones: AtomicU64,
+    pub slack_slots: AtomicU64,
+    pub compactions: AtomicU64,
+    pub inner: Mutex<SessionInner>,
+}
+
+impl Session {
+    /// Fresh session wrapping `g` (epoch 0, no warm-start bases yet).
+    fn new(g: &Csr) -> Session {
+        let delta = DeltaCsr::from_csr(g);
+        let s = delta.stats();
+        Session {
+            epoch: AtomicU64::new(delta.epoch()),
+            live_arcs: AtomicU64::new(s.live_arcs as u64),
+            tombstones: AtomicU64::new(s.tombstones as u64),
+            slack_slots: AtomicU64::new(s.slack_slots as u64),
+            compactions: AtomicU64::new(s.compactions),
+            inner: Mutex::new(SessionInner {
+                delta,
+                snapshot: None,
+                prev: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Re-publishes the lock-free mirrors from the delta graph. Call with
+    /// the inner lock held, after a mutation.
+    pub fn publish(&self, inner: &SessionInner) {
+        let s = inner.delta.stats();
+        self.live_arcs.store(s.live_arcs as u64, Ordering::Relaxed);
+        self.tombstones.store(s.tombstones as u64, Ordering::Relaxed);
+        self.slack_slots.store(s.slack_slots as u64, Ordering::Relaxed);
+        self.compactions.store(s.compactions, Ordering::Relaxed);
+        // Epoch last: a reader that sees the new epoch may fold it into a
+        // cache key, and by then the graph content is already in place.
+        self.epoch.store(inner.delta.epoch(), Ordering::Release);
+    }
+}
+
 /// One shard: a slice of the graph keyspace with private queue, caches,
-/// stats, and coalescing table.
+/// stats, streaming sessions, and coalescing table.
 pub(crate) struct Shard {
     pub index: usize,
     pub queue: Bounded<Job>,
     pub stats: ServiceStats,
     pub graphs: Mutex<Lru<Arc<Csr>>>,
     pub results: Mutex<Lru<Json>>,
+    /// Streaming sessions by canonical graph key. Entries are created by
+    /// the first update frame for a cached graph and live for the process
+    /// (sessions are state, not cache — they are never evicted).
+    pub sessions: Mutex<HashMap<String, Arc<Session>>>,
     /// In-flight coalescing: cache key → followers awaiting the leader.
     /// An entry exists exactly while a leader job for that key is queued or
     /// executing.
@@ -123,8 +211,68 @@ impl Shard {
             stats: ServiceStats::new(),
             graphs: Mutex::new(Lru::new(graph_cache)),
             results: Mutex::new(Lru::new(result_cache)),
+            sessions: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The existing session for `key`, if any. Never creates one.
+    pub fn session_of(&self, key: &str) -> Option<Arc<Session>> {
+        self.sessions.lock().unwrap().get(key).map(Arc::clone)
+    }
+
+    /// The session for `key`, materializing it from the shard's graph
+    /// cache on first use. `None` when the graph is in neither place —
+    /// an update cannot conjure a graph the server never built.
+    pub fn session_or_materialize(&self, key: &str) -> Option<Arc<Session>> {
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(s) = sessions.get(key) {
+            return Some(Arc::clone(s));
+        }
+        let g = self.graphs.lock().unwrap().get(key)?;
+        let s = Arc::new(Session::new(&g));
+        sessions.insert(key.to_string(), Arc::clone(&s));
+        Some(s)
+    }
+
+    /// Current session epoch for `key` (0 when the graph has never been
+    /// mutated — the pristine generator output). Lock-free beyond the
+    /// session-table lookup; safe to call from the admission path.
+    pub fn session_epoch(&self, key: &str) -> u64 {
+        self.session_of(key).map_or(0, |s| s.epoch.load(Ordering::Acquire))
+    }
+
+    /// The graph a plain (non-update) run for `spec` executes against,
+    /// with its mutation epoch: the session's mutated snapshot when one
+    /// exists (epoch read under the same lock, so graph and epoch always
+    /// agree), otherwise the cached (or freshly generated) pristine graph
+    /// at epoch 0.
+    pub fn graph_for_run(&self, spec: &GraphSpec) -> (Arc<Csr>, u64) {
+        match self.session_of(&spec.canonical_key()) {
+            Some(session) => {
+                let mut inner = session.inner.lock().unwrap();
+                let g = inner.snapshot();
+                (g, inner.delta.epoch())
+            }
+            None => (self.graph_for(spec), 0),
+        }
+    }
+
+    /// Aggregated streaming-session occupancy for the stats plane:
+    /// session count plus summed live/tombstone/slack/compaction counters
+    /// (all from the lock-free mirrors).
+    pub fn sessions_json(&self) -> Json {
+        let sessions = self.sessions.lock().unwrap();
+        let sum = |f: fn(&Session) -> &AtomicU64| -> f64 {
+            sessions.values().map(|s| f(s).load(Ordering::Relaxed) as f64).sum()
+        };
+        ObjBuilder::new()
+            .num("count", sessions.len() as f64)
+            .num("live_arcs", sum(|s| &s.live_arcs))
+            .num("tombstones", sum(|s| &s.tombstones))
+            .num("slack_slots", sum(|s| &s.slack_slots))
+            .num("compactions", sum(|s| &s.compactions))
+            .build()
     }
 
     /// Graph lookup with LRU caching; counts a hit/miss per call.

@@ -9,8 +9,10 @@ use crate::json::{Json, ObjBuilder};
 use gp_metrics::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Kernels the service tracks latency for (index into the histogram array).
-pub const KERNEL_NAMES: [&str; 4] = ["color", "louvain", "labelprop", "sleep"];
+/// Request classes the service tracks latency for (index into the
+/// histogram array). `update` covers streaming mutation frames regardless
+/// of which kernel they re-run incrementally.
+pub const KERNEL_NAMES: [&str; 5] = ["color", "louvain", "labelprop", "sleep", "update"];
 
 /// All service counters. Counts follow the admission pipeline:
 /// `received = served + shed + rejected + errors`, and `timed_out ⊆ served`
@@ -43,9 +45,15 @@ pub struct ServiceStats {
     pub result_hits: AtomicU64,
     /// Result-cache misses.
     pub result_misses: AtomicU64,
+    /// Update frames that applied and answered (a subset of `served`).
+    pub updates: AtomicU64,
+    /// Edge insertions applied by update frames (post-validation).
+    pub edges_added: AtomicU64,
+    /// Edge deletions applied by update frames (post-validation).
+    pub edges_deleted: AtomicU64,
     /// Per-kernel service latency (admission → response ready), indexed as
     /// [`KERNEL_NAMES`].
-    pub latency: [Histogram; 4],
+    pub latency: [Histogram; 5],
 }
 
 /// Relaxed add — every counter is monotonic and independently read.
@@ -109,6 +117,15 @@ impl ServiceStats {
         bump(if hit { &self.result_hits } else { &self.result_misses });
     }
 
+    /// Marks one applied update frame with its applied mutation counts
+    /// (what the delta structure actually absorbed, not what the wire
+    /// batch carried — duplicate adds and absent deletes are no-ops).
+    pub fn on_update(&self, added: u64, deleted: u64) {
+        bump(&self.updates);
+        self.edges_added.fetch_add(added, Ordering::Relaxed);
+        self.edges_deleted.fetch_add(deleted, Ordering::Relaxed);
+    }
+
     /// Histogram slot for a kernel name (`None` for unknown kernels).
     pub fn latency_of(&self, kernel: &str) -> Option<&Histogram> {
         KERNEL_NAMES
@@ -133,6 +150,9 @@ impl ServiceStats {
         totals.graph_misses += read(&self.graph_misses);
         totals.result_hits += read(&self.result_hits);
         totals.result_misses += read(&self.result_misses);
+        totals.updates += read(&self.updates);
+        totals.edges_added += read(&self.edges_added);
+        totals.edges_deleted += read(&self.edges_deleted);
         for (slot, hist) in totals.latency.iter_mut().zip(&self.latency) {
             slot.merge(&hist.snapshot());
         }
@@ -175,7 +195,10 @@ struct Totals {
     graph_misses: u64,
     result_hits: u64,
     result_misses: u64,
-    latency: [HistogramSnapshot; 4],
+    updates: u64,
+    edges_added: u64,
+    edges_deleted: u64,
+    latency: [HistogramSnapshot; 5],
 }
 
 impl Totals {
@@ -215,6 +238,9 @@ impl Totals {
             .num("coalesced", self.coalesced as f64)
             .num("stats_probes", self.stats_probes as f64)
             .num("queue_depth", queue_depth as f64)
+            .num("updates", self.updates as f64)
+            .num("edges_added", self.edges_added as f64)
+            .num("edges_deleted", self.edges_deleted as f64)
             .field(
                 "graph_cache",
                 ObjBuilder::new()

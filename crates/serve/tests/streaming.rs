@@ -1,0 +1,204 @@
+//! End-to-end streaming-session tests: v2 `update` frames against cached
+//! graphs, epoch-keyed result-cache invalidation, well-formed errors for
+//! unmaterialized graphs, and v1 isolation from the session machinery.
+
+use gp_serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A tiny blocking NDJSON client for one connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "connection closed before response");
+        gp_serve::json::parse(response.trim()).expect("valid response JSON")
+    }
+}
+
+fn server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("bind loopback")
+}
+
+fn get_bool(v: &Json, key: &str) -> Option<bool> {
+    v.get(key).and_then(Json::as_bool)
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+#[test]
+fn update_frames_mutate_a_cached_graph_and_return_deltas() {
+    let server = server();
+    let mut c = Client::connect(&server);
+
+    // Materialize the graph with a plain run (also the future warm base's
+    // exact kernel config: color / auto / active / seed 0).
+    let v = c.roundtrip(r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1"}}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    let pristine_edges = get_u64(&v, "edges").unwrap();
+
+    // First update: creates the session, applies the batch, runs cold
+    // (plain runs don't park warm bases — only update frames do).
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[0,50],[1,60]]},"id":"u1"}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_str(&v, "id"), Some("u1"));
+    assert_eq!(get_u64(&v, "epoch"), Some(1), "{v}");
+    assert_eq!(get_u64(&v, "applied_add"), Some(2), "{v}");
+    assert_eq!(get_u64(&v, "applied_del"), Some(0), "{v}");
+    assert_eq!(get_u64(&v, "edges"), Some(pristine_edges + 2), "{v}");
+    assert_eq!(get_bool(&v, "warm"), Some(false), "{v}");
+    assert!(v.get("changed").is_none(), "cold runs don't echo a delta: {v}");
+    assert!(get_u64(&v, "num_colors").is_some(), "{v}");
+
+    // Second update: warm-starts from the first one's output and reports
+    // the changed vertices explicitly.
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=1","update":{"add":[[2,40]],"del":[[0,50]]},"id":"u2"}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_u64(&v, "epoch"), Some(2), "{v}");
+    assert_eq!(get_u64(&v, "applied_add"), Some(1), "{v}");
+    assert_eq!(get_u64(&v, "applied_del"), Some(1), "{v}");
+    assert_eq!(get_u64(&v, "edges"), Some(pristine_edges + 2), "{v}");
+    assert_eq!(get_bool(&v, "warm"), Some(true), "{v}");
+    let changed = v.get("changed").expect("warm updates carry a delta");
+    let Json::Arr(pairs) = changed else { panic!("changed must be an array: {v}") };
+    assert_eq!(pairs.len() as u64, get_u64(&v, "changed_count").unwrap(), "{v}");
+    // The incremental repair touches a small cone, not the whole graph.
+    let n = get_u64(&v, "vertices").unwrap();
+    assert!((pairs.len() as u64) < n, "delta should be sparse: {v}");
+    assert!(get_u64(&v, "tombstones").is_some(), "{v}");
+
+    // The stats plane reports the session and the update counters.
+    let probe = c.roundtrip(r#"{"v":2,"req":{"stats":true}}"#);
+    let stats = probe.get("stats").expect("stats body");
+    assert_eq!(get_u64(stats, "updates"), Some(2), "{probe}");
+    assert_eq!(get_u64(stats, "edges_added"), Some(3), "{probe}");
+    assert_eq!(get_u64(stats, "edges_deleted"), Some(1), "{probe}");
+    let latency = stats.get("latency").and_then(|l| l.get("update")).unwrap();
+    assert_eq!(get_u64(latency, "count"), Some(2), "{probe}");
+    let Json::Arr(shards) = probe.get("shards").unwrap() else { panic!("{probe}") };
+    let sessions: u64 = shards
+        .iter()
+        .map(|s| s.get("sessions").and_then(|x| get_u64(x, "count")).unwrap())
+        .sum();
+    assert_eq!(sessions, 1, "{probe}");
+    server.shutdown();
+}
+
+#[test]
+fn epoch_invalidates_result_cache_entries() {
+    let server = server();
+    let mut c = Client::connect(&server);
+    let run = r#"{"v":2,"req":{"kernel":"labelprop","graph":"mesh:w=10,seed=2"}}"#;
+
+    let v = c.roundtrip(run);
+    assert_eq!(get_bool(&v, "cached"), Some(false), "{v}");
+    assert!(v.get("epoch").is_none(), "pristine graphs carry no epoch: {v}");
+    let v = c.roundtrip(run);
+    assert_eq!(get_bool(&v, "cached"), Some(true), "identical rerun must hit: {v}");
+
+    // Mutate the graph: the epoch moves, so the cached entry is stale.
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"labelprop","graph":"mesh:w=10,seed=2","update":{"add":[[0,55]]}}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_u64(&v, "epoch"), Some(1), "{v}");
+
+    // The plain run now recomputes (against the mutated snapshot) ...
+    let v = c.roundtrip(run);
+    assert_eq!(get_bool(&v, "cached"), Some(false), "epoch must bust the cache: {v}");
+    assert_eq!(get_u64(&v, "epoch"), Some(1), "runs report the state they saw: {v}");
+    // ... and the recomputed result is cacheable at the new epoch.
+    let v = c.roundtrip(run);
+    assert_eq!(get_bool(&v, "cached"), Some(true), "{v}");
+    assert_eq!(get_u64(&v, "epoch"), Some(1), "{v}");
+    server.shutdown();
+}
+
+#[test]
+fn update_on_an_unmaterialized_graph_is_a_well_formed_error() {
+    let server = server();
+    let mut c = Client::connect(&server);
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=9,seed=7","update":{"add":[[0,1]]},"id":"nope"}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(false), "{v}");
+    assert_eq!(get_str(&v, "error"), Some("bad_request"), "{v}");
+    assert_eq!(get_u64(&v, "code"), Some(400), "{v}");
+    assert_eq!(get_str(&v, "id"), Some("nope"), "{v}");
+    assert!(get_str(&v, "detail").unwrap().contains("materialized"), "{v}");
+
+    // The connection and server survive; a plain run still works, and an
+    // out-of-range batch against the now-materialized graph is refused
+    // atomically (nothing applied).
+    let v = c.roundtrip(r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=9,seed=7"}}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=9,seed=7","update":{"add":[[0,999999]]}}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(false), "{v}");
+    assert_eq!(get_str(&v, "error"), Some("bad_request"), "{v}");
+    let v = c.roundtrip(r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=9,seed=7"}}"#);
+    assert!(v.get("epoch").is_none(), "rejected batch must not bump the epoch: {v}");
+
+    let stats = server.shutdown();
+    assert_eq!(get_u64(&stats, "errors"), Some(2), "{stats}");
+}
+
+#[test]
+fn v1_requests_are_untouched_by_the_session_machinery() {
+    let server = server();
+    let mut c = Client::connect(&server);
+
+    // A v1 line carrying an `update` field is a plain (lenient) v1 run:
+    // the field is ignored, nothing is mutated, the result is cacheable.
+    let v = c.roundtrip(r#"{"kernel":"color","graph":"mesh:w=8,seed=3","update":{"add":[[0,9]]}}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_u64(&v, "v"), Some(1), "{v}");
+    assert!(v.get("epoch").is_none(), "{v}");
+    assert!(v.get("applied_add").is_none(), "{v}");
+    let v = c.roundtrip(r#"{"kernel":"color","graph":"mesh:w=8,seed=3"}"#);
+    assert_eq!(get_bool(&v, "cached"), Some(true), "v1 result was cached normally: {v}");
+
+    // A v2 update on the same graph serves v2 sessions without breaking
+    // subsequent v1 traffic (which now sees the mutated graph, correctly
+    // keyed by epoch).
+    let v = c.roundtrip(
+        r#"{"v":2,"req":{"kernel":"color","graph":"mesh:w=8,seed=3","update":{"add":[[0,50]]}}}"#,
+    );
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    let v = c.roundtrip(r#"{"kernel":"color","graph":"mesh:w=8,seed=3"}"#);
+    assert_eq!(get_bool(&v, "ok"), Some(true), "{v}");
+    assert_eq!(get_bool(&v, "cached"), Some(false), "epoch moved under the v1 key: {v}");
+    assert_eq!(get_u64(&v, "v"), Some(1), "{v}");
+    server.shutdown();
+}
