@@ -18,7 +18,7 @@ fn bench_coloring(c: &mut Criterion) {
             b.iter(|| run_kernel(g, &spec, &mut NoopRecorder))
         });
         group.bench_with_input(BenchmarkId::new("onpl", name), &g, |b, g| {
-            match Engine::best() {
+            match gp_core::backends::engine() {
                 Engine::Native(s) => b.iter(|| color_with(&s, g, &config, &mut NoopRecorder)),
                 Engine::Emulated(s) => b.iter(|| color_with(&s, g, &config, &mut NoopRecorder)),
             }

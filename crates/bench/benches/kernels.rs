@@ -13,7 +13,7 @@ fn bench_microkernel(c: &mut Criterion) {
     });
     group.bench_function("vector", |b| {
         let mut data = MicrobenchData::new(4096);
-        match Engine::best() {
+        match gp_core::backends::engine() {
             Engine::Native(s) => b.iter(|| affinity_vector(&s, &mut data)),
             Engine::Emulated(s) => b.iter(|| affinity_vector(&s, &mut data)),
         }

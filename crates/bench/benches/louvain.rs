@@ -27,7 +27,7 @@ fn bench_louvain(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(variant.name(), name),
                 &g,
-                |b, g| match Engine::best() {
+                |b, g| match gp_core::backends::engine() {
                     Engine::Native(s) => b.iter(|| {
                         let state = MoveState::singleton(g);
                         move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
@@ -46,7 +46,7 @@ fn bench_louvain(c: &mut Criterion) {
         };
         let layout = prepare(&g, &config);
         group.bench_with_input(BenchmarkId::new("OVPL", name), &g, |b, g| {
-            match Engine::best() {
+            match gp_core::backends::engine() {
                 Engine::Native(s) => b.iter(|| {
                     let state = MoveState::singleton(g);
                     move_phase_ovpl(&s, &layout, &state, &config)

@@ -23,7 +23,7 @@ fn bench_refinement(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("onpl", name), &g, |b, g| {
-            match Engine::best() {
+            match gp_core::backends::engine() {
                 Engine::Native(s) => b.iter(|| {
                     let mut parts = stripes.clone();
                     refine(&s, g, &weights, &mut parts, &cfg);

@@ -30,7 +30,7 @@ fn bench_reduce_scatter(c: &mut Criterion) {
                 &idx,
                 |b, idx| {
                     let mut acc = vec![0f32; acc_len];
-                    match Engine::best() {
+                    match gp_core::backends::engine() {
                         Engine::Native(s) => b.iter(|| {
                             let vals = s.splat_f32(1.0);
                             for a in idx {

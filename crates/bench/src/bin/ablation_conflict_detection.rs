@@ -29,7 +29,7 @@ fn main() {
             vectorized_conflicts: true,
             ..Default::default()
         };
-        let (t_scalar, t_vector, rounds) = match Engine::best() {
+        let (t_scalar, t_vector, rounds) = match gp_core::backends::engine() {
             Engine::Native(s) => (
                 time_runs(&ctx.timing, |_| color_with(&s, &g, &base, &mut NoopRecorder)),
                 time_runs(&ctx.timing, |_| color_with(&s, &g, &vc, &mut NoopRecorder)),

@@ -62,7 +62,7 @@ fn main() {
             build_layout(&g, &colors, true)
         });
 
-        let (t_sorted, t_unsorted) = match Engine::best() {
+        let (t_sorted, t_unsorted) = match gp_core::backends::engine() {
             Engine::Native(s) => (
                 time_runs(&ctx.timing, |_| {
                     let state = MoveState::singleton(&g);

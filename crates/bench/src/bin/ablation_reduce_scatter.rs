@@ -73,7 +73,7 @@ fn main() {
         let scalar_cycles = CASCADE_LAKE.cycles(&scalar_counts);
 
         for strategy in Strategy::ALL {
-            let wall = match Engine::best() {
+            let wall = match gp_core::backends::engine() {
                 Engine::Native(s) => {
                     let mut acc = vec![0f32; acc_len];
                     time_runs(&ctx.timing, |_| run_batches(&s, strategy, &batches, &mut acc))

@@ -27,7 +27,7 @@ fn main() {
         data.reset();
     });
     let mut data = MicrobenchData::new(degree);
-    let vector = match Engine::best() {
+    let vector = match gp_core::backends::engine() {
         Engine::Native(s) => time_runs(&ctx.timing, |_| {
             for _ in 0..reps {
                 affinity_vector(&s, &mut data);

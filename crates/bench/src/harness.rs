@@ -105,7 +105,7 @@ pub fn print_header(name: &str, ctx: &BenchContext) {
     };
     println!(
         "== {name} | backend: {} | scale: {:?} | runs: {} | threads: {threads} ==\n",
-        Engine::best().name(),
+        gp_core::backends::engine().name(),
         ctx.scale,
         ctx.timing.runs
     );
@@ -177,7 +177,7 @@ pub fn time_louvain_move(g: &Csr, variant: Variant, ctx: &BenchContext) -> Summa
     match variant {
         Variant::Ovpl => {
             let layout = prepare(g, &config);
-            match Engine::best() {
+            match gp_core::backends::engine() {
                 Engine::Native(s) => time_runs(&ctx.timing, |_| {
                     let state = MoveState::singleton(g);
                     move_phase_ovpl(&s, &layout, &state, &config)
@@ -188,7 +188,7 @@ pub fn time_louvain_move(g: &Csr, variant: Variant, ctx: &BenchContext) -> Summa
                 }),
             }
         }
-        _ => match Engine::best() {
+        _ => match gp_core::backends::engine() {
             Engine::Native(s) => time_runs(&ctx.timing, |_| {
                 let state = MoveState::singleton(g);
                 move_phase_with(&s, g, &state, &config, &mut NoopRecorder)
@@ -241,7 +241,7 @@ pub fn quality_louvain_full(g: &Csr, variant: Variant) -> f64 {
 pub fn time_coloring(g: &Csr, vectorized: bool, ctx: &BenchContext) -> Summary {
     if vectorized {
         let config = ColoringConfig::default();
-        match Engine::best() {
+        match gp_core::backends::engine() {
             Engine::Native(s) => {
                 time_runs(&ctx.timing, |_| color_with(&s, g, &config, &mut NoopRecorder))
             }
@@ -420,7 +420,7 @@ pub fn counted<R>(f: impl FnOnce(&Counted<Emulated>) -> R) -> (R, OpCounts) {
 /// Generic monomorphized runner: lets binaries run one closure body on
 /// whichever backend the host offers.
 pub fn with_best_engine<R>(f: impl Fn(&dyn BackendRunner) -> R) -> R {
-    match Engine::best() {
+    match gp_core::backends::engine() {
         Engine::Native(s) => f(&s),
         Engine::Emulated(s) => f(&s),
     }

@@ -11,7 +11,6 @@ use gp_graph::{DeltaCsr, Edge};
 use gp_graph::stats::{graph_stats, DegreeHistogram, LOW_DEGREE_SLOTS};
 use gp_metrics::telemetry::{DegreeSummary, NoopRecorder, TraceRecorder};
 use gp_metrics::write_trace;
-use gp_simd::engine::Engine;
 
 pub const USAGE: &str = "\
 gpart — AVX-512 graph partitioning kernels
@@ -242,7 +241,7 @@ pub fn color(args: &[String]) -> Result<(), String> {
         "{} colors in {} rounds (backend: {})",
         r.num_colors,
         r.rounds,
-        Engine::best().name()
+        gp_core::backends::engine().name()
     );
     if let Some(path) = out {
         save_assignment(&r.colors, &path)?;
@@ -268,7 +267,7 @@ pub fn louvain(args: &[String]) -> Result<(), String> {
         r.modularity,
         r.levels,
         variant.name(),
-        Engine::best().name()
+        gp_core::backends::engine().name()
     );
     if let Some(path) = out {
         save_assignment(&r.communities, &path)?;
@@ -322,7 +321,7 @@ pub fn slpa(args: &[String]) -> Result<(), String> {
         "{} overlapping communities, {} multi-membership vertices (backend: {})",
         r.num_communities,
         r.overlapping_vertices(),
-        Engine::best().name()
+        gp_core::backends::engine().name()
     );
     if let Some(path) = out {
         use std::io::Write;
@@ -619,7 +618,7 @@ pub fn labelprop(args: &[String]) -> Result<(), String> {
         "{} communities after {} sweeps (backend: {})",
         communities,
         r.iterations,
-        Engine::best().name()
+        gp_core::backends::engine().name()
     );
     if let Some(path) = out {
         save_assignment(&r.labels, &path)?;

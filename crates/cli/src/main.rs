@@ -81,6 +81,23 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("serve") => commands::serve(&args[1..]),
         Some("--version") | Some("-V") => {
             println!("gpart {}", env!("CARGO_PKG_VERSION"));
+            let isa = gp_core::backends::isa();
+            println!(
+                "isa: avx512f={} avx512cd={}",
+                isa.avx512f as u8, isa.avx512cd as u8
+            );
+            for row in gp_core::api::Backend::available() {
+                let avail = if row.available { "yes" } else { "no " };
+                let via = match row.env_override {
+                    Some(tag) => format!(" (via {tag})"),
+                    None => String::new(),
+                };
+                println!(
+                    "backend {:<8} available={avail} resolves-to={}{via}",
+                    row.backend.name(),
+                    row.resolves_to()
+                );
+            }
             Ok(())
         }
         Some("--help") | Some("-h") | None => {

@@ -1,0 +1,194 @@
+//! The conformance corpus: a named, deterministic zoo of adversarial
+//! graphs, plus the loader for minimized regression cases checked into the
+//! repository's `corpus/` directory.
+//!
+//! Two sources feed the differential runner:
+//!
+//! * [`short_corpus`] — the generated set CI runs on every push. Small
+//!   enough that the full `(backend_pair × sweep × threads × locality)`
+//!   matrix finishes in seconds, but covering every adversarial family in
+//!   [`crate::generators`].
+//! * [`load_corpus_dir`] — `.edges` files minimized from proptest
+//!   failures. When a shrinking run finds a divergence, the minimal graph
+//!   is written down (see `docs/CONFORMANCE.md` for the workflow) and
+//!   replayed forever after as a named deterministic test.
+//!
+//! The `.edges` format is a plain text edge list: `#` lines are comments,
+//! the first data line is the vertex count, every following line is one
+//! `u v` edge. [`render_edges`] writes it, so minimizing a failure is
+//! `render_edges` + save.
+
+use crate::generators::{community_spam, duplicate_multigraph, multi_star, pendant_spam};
+use gp_graph::builder::from_pairs;
+use gp_graph::csr::Csr;
+use gp_graph::generators::{erdos_renyi, planted_partition, preferential_attachment, star};
+use std::path::Path;
+
+/// One corpus entry: a name (test label / file stem) and the graph.
+pub struct Case {
+    /// Stable label (`pendant-spam-100`, file stem for loaded cases).
+    pub name: String,
+    /// The graph under test.
+    pub graph: Csr,
+    /// Heavy cases (the near-2^16 community stress) are skipped by the
+    /// short-corpus sweep and exercised by dedicated boundary tests.
+    pub heavy: bool,
+}
+
+impl Case {
+    fn new(name: &str, graph: Csr) -> Case {
+        Case {
+            name: name.to_string(),
+            graph,
+            heavy: false,
+        }
+    }
+
+    fn heavy(name: &str, graph: Csr) -> Case {
+        Case {
+            name: name.to_string(),
+            graph,
+            heavy: true,
+        }
+    }
+}
+
+/// The generated conformance corpus. Deterministic: every call returns the
+/// same graphs, so CI failures replay locally by name.
+pub fn short_corpus() -> Vec<Case> {
+    vec![
+        // Degenerate shapes first: the empty-ish end of every loop bound.
+        Case::new("single-vertex", from_pairs(1, [])),
+        Case::new("isolated-only", from_pairs(40, [])),
+        Case::new("single-edge", from_pairs(2, [(0, 1)])),
+        // Adversarial families.
+        Case::new("pendant-spam-100", pendant_spam(100, 80, 0xA1)),
+        Case::new("star-17", star(17)),
+        Case::new("star-33", star(33)),
+        Case::new("multi-star-5x20", multi_star(5, 20)),
+        Case::new("dup-multigraph-32", duplicate_multigraph(32, 120, 4, 0xB2)),
+        Case::new("community-spam-1k", community_spam(1024)),
+        // Conventional shapes keep the matrix honest on ordinary inputs.
+        Case::new("er-300", erdos_renyi(300, 900, 5)),
+        Case::new("powerlaw-300", preferential_attachment(300, 4, 17)),
+        Case::new("planted-4x40", planted_partition(4, 40, 0.7, 0.05, 0xC3)),
+        // The 16-bit community boundary: 65_600 components puts community
+        // ids past 2^16. Too big for the full matrix — dedicated tests run
+        // it on the vector backends only.
+        Case::heavy("community-spam-2^16", community_spam(65_600)),
+    ]
+}
+
+/// Renders a graph in the `corpus/` `.edges` format (each undirected edge
+/// once, `u <= v`).
+pub fn render_edges(name: &str, g: &Csr) -> String {
+    let mut out = format!("# {name}\n{}\n", g.num_vertices());
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u <= v {
+                out.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the `.edges` format. Parallel edges are preserved as written
+/// (minimized multigraph regressions must replay exactly).
+pub fn parse_edges(text: &str) -> Result<Csr, String> {
+    let mut n: Option<usize> = None;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if n.is_none() {
+            n = Some(
+                line.parse()
+                    .map_err(|_| format!("line {}: bad vertex count '{line}'", lineno + 1))?,
+            );
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (u, v) = (it.next(), it.next());
+        match (u.and_then(|s| s.parse().ok()), v.and_then(|s| s.parse().ok())) {
+            (Some(u), Some(v)) => pairs.push((u, v)),
+            _ => return Err(format!("line {}: bad edge '{line}'", lineno + 1)),
+        }
+    }
+    let n = n.ok_or("missing vertex count")?;
+    use gp_graph::builder::{DedupPolicy, GraphBuilder};
+    use gp_graph::Edge;
+    Ok(GraphBuilder::new(n)
+        .dedup_policy(DedupPolicy::KeepAll)
+        .add_edges(pairs.into_iter().map(|(u, v)| Edge::unweighted(u, v)))
+        .build())
+}
+
+/// Loads every `.edges` file under `dir` as a named case, sorted by name
+/// so the replay order is stable.
+pub fn load_corpus_dir(dir: &Path) -> Result<Vec<Case>, String> {
+    let mut cases = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("edges") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unnamed")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let graph = parse_edges(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push(Case {
+            name,
+            graph,
+            heavy: false,
+        });
+    }
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_corpus_is_deterministic_and_named() {
+        let a = short_corpus();
+        let b = short_corpus();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph.num_vertices(), y.graph.num_vertices());
+            assert_eq!(x.graph.num_arcs(), y.graph.num_arcs());
+        }
+        let mut names: Vec<&str> = a.iter().map(|c| c.name.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "duplicate corpus names");
+    }
+
+    #[test]
+    fn edges_format_round_trips() {
+        let g = pendant_spam(40, 30, 0xEE);
+        let text = render_edges("round-trip", &g);
+        let parsed = parse_edges(&text).unwrap();
+        assert_eq!(parsed.num_vertices(), g.num_vertices());
+        assert_eq!(parsed.num_arcs(), g.num_arcs());
+        for u in 0..g.num_vertices() as u32 {
+            assert_eq!(parsed.neighbors(u), g.neighbors(u), "row {u}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_edges("").is_err());
+        assert!(parse_edges("ten\n0 1\n").is_err());
+        assert!(parse_edges("4\n0 x\n").is_err());
+    }
+}

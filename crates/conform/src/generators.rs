@@ -1,0 +1,316 @@
+//! Adversarial graph generators.
+//!
+//! Every generator here exists because some execution universe is most
+//! likely to diverge on exactly that shape:
+//!
+//! * **degree-0/1 spam** ([`pendant_spam`]) — isolated vertices have no
+//!   neighbors to gather, pendants produce the shortest possible vector
+//!   rows; both stress the degree-bucket boundaries and the active-set
+//!   bookkeeping for vertices that can never be reactivated.
+//! * **hub-and-spoke stars** ([`multi_star`]) — a hub is a singleton
+//!   scheduling unit surrounded by ≤16-batch spokes; every bucket boundary
+//!   fires at once, and speculative coloring must resolve the hub against
+//!   all spokes in one round.
+//! * **duplicate-heavy multigraphs** ([`duplicate_multigraph`]) — parallel
+//!   adjacency entries make the reduce-scatter see the same community id in
+//!   multiple lanes of one gather, the exact shape `vpconflictd` exists to
+//!   detect.
+//! * **near-2^16 community counts** ([`community_spam`]) — thousands of
+//!   disjoint components drive community ids toward the 16-bit boundary,
+//!   stressing any packed id arithmetic and the conflict-detection paths.
+//! * **delta-edit sequences** ([`Churn`]) — deterministic churn scripts
+//!   (duplicate adds, delete-then-readd, isolated-vertex churn) for the
+//!   streaming path.
+//!
+//! The `arb_*` functions wrap the deterministic generators in proptest
+//! strategies, so a conformance failure shrinks toward a minimal graph.
+//! All randomness is a splitmix-style LCG on an explicit seed — generators
+//! are pure functions of their arguments.
+
+use gp_graph::builder::{from_pairs, DedupPolicy, GraphBuilder};
+use gp_graph::csr::Csr;
+use gp_graph::Edge;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One delta-edit batch: `(additions, deletions)` ready for
+/// `DeltaCsr::apply_edges`.
+pub type EditBatch = (Vec<Edge>, Vec<(u32, u32)>);
+
+/// A pre-computed sequence of edit batches (a churn script).
+pub type EditScript = Vec<EditBatch>;
+
+/// One LCG step (Knuth's MMIX constants — the same generator the existing
+/// equivalence suites used before they moved here).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Random pairs salted with degree-0 and degree-1 spam plus a planted hub:
+/// vertices `1..n/4` hang off vertex 0 as pendants (when the dice say so),
+/// high ids stay untouched (degree 0), and the last vertex connects to
+/// every fourth vertex (a forced singleton scheduling unit). `extra_pairs`
+/// random edges are layered on top.
+pub fn pendant_spam(n: usize, extra_pairs: usize, seed: u64) -> Csr {
+    let n = n.max(8);
+    let mut s = seed | 1;
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(extra_pairs + n / 2);
+    for _ in 0..extra_pairs {
+        let u = (lcg(&mut s) % n as u64) as u32;
+        let v = (lcg(&mut s) % n as u64) as u32;
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    let mut s2 = seed;
+    for i in 1..(n / 4) as u32 {
+        lcg(&mut s2);
+        if s2.is_multiple_of(3) {
+            pairs.push((0, i));
+        }
+    }
+    let hub = (n - 1) as u32;
+    for v in (0..hub).step_by(4) {
+        pairs.push((hub, v));
+    }
+    from_pairs(n, pairs.into_iter().filter(|(u, v)| u != v))
+}
+
+/// `hubs` star centers, each with `spokes` leaves, no edges between stars:
+/// every hub is a singleton scheduling unit, every spoke is a batch-bucket
+/// vertex, and the components keep community counts high.
+pub fn multi_star(hubs: usize, spokes: usize) -> Csr {
+    let hubs = hubs.max(1);
+    let n = hubs * (spokes + 1);
+    let mut pairs = Vec::with_capacity(hubs * spokes);
+    for h in 0..hubs {
+        let center = (h * (spokes + 1)) as u32;
+        for k in 1..=spokes as u32 {
+            pairs.push((center, center + k));
+        }
+    }
+    from_pairs(n, pairs)
+}
+
+/// A random graph where every edge is materialized `1..=max_copies` times
+/// as *distinct parallel adjacency entries* (`DedupPolicy::KeepAll`). A
+/// gather over such a row loads the same neighbor community into several
+/// lanes at once — the conflict-detection paths must still count each copy.
+pub fn duplicate_multigraph(n: usize, base_pairs: usize, max_copies: usize, seed: u64) -> Csr {
+    let n = n.max(4);
+    let mut s = seed | 1;
+    let mut edges: Vec<Edge> = Vec::new();
+    for _ in 0..base_pairs {
+        let u = (lcg(&mut s) % n as u64) as u32;
+        let v = (lcg(&mut s) % n as u64) as u32;
+        if u == v {
+            continue;
+        }
+        let copies = 1 + (lcg(&mut s) as usize) % max_copies.max(1);
+        for _ in 0..copies {
+            edges.push(Edge::unweighted(u, v));
+        }
+    }
+    GraphBuilder::new(n)
+        .dedup_policy(DedupPolicy::KeepAll)
+        .add_edges(edges)
+        .build()
+}
+
+/// `components` disjoint edges (vertex count `2 * components`): every pair
+/// is its own community, so community ids climb toward `2^16` when asked
+/// to — the shape that smokes out any 16-bit packing assumption in the
+/// conflict-detection or community-id paths. Use `components` near 65_536
+/// for the full boundary stress; the short corpus uses a scaled-down copy.
+pub fn community_spam(components: usize) -> Csr {
+    let n = components * 2;
+    let pairs = (0..components).map(|c| ((2 * c) as u32, (2 * c + 1) as u32));
+    from_pairs(n, pairs)
+}
+
+/// Deterministic churn driver over a live edge set: each [`Churn::step`]
+/// deletes and inserts `max(1, frac · |E|)` edges, tracking presence so
+/// additions are always new edges. Lifted from the incremental equivalence
+/// suite so the streaming conformance path and the suite share one script
+/// generator.
+pub struct Churn {
+    edges: Vec<(u32, u32)>,
+    present: BTreeSet<(u32, u32)>,
+    n: u32,
+    state: u64,
+}
+
+impl Churn {
+    /// A churn driver over `g`'s edge set, seeded deterministically.
+    pub fn new(g: &Csr, seed: u64) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                if u <= v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let present = edges.iter().copied().collect();
+        Churn {
+            edges,
+            present,
+            n: g.num_vertices() as u32,
+            state: seed | 1,
+        }
+    }
+
+    fn next(&mut self, m: u64) -> u64 {
+        lcg(&mut self.state) % m.max(1)
+    }
+
+    /// One churn step: delete and add `max(1, frac · |E|)` edges each.
+    /// Returns `(additions, deletions)` ready for `DeltaCsr::apply_edges`.
+    pub fn step(&mut self, frac: f64) -> (Vec<Edge>, Vec<(u32, u32)>) {
+        let k = ((self.edges.len() as f64 * frac) as usize).max(1);
+        let mut dels = Vec::with_capacity(k);
+        for _ in 0..k.min(self.edges.len()) {
+            let i = self.next(self.edges.len() as u64) as usize;
+            let e = self.edges.swap_remove(i);
+            self.present.remove(&e);
+            dels.push(e);
+        }
+        let mut adds = Vec::with_capacity(k);
+        while adds.len() < k {
+            let u = self.next(self.n as u64) as u32;
+            let v = self.next(self.n as u64) as u32;
+            let key = (u.min(v), u.max(v));
+            if u == v || self.present.contains(&key) {
+                continue;
+            }
+            self.present.insert(key);
+            self.edges.push(key);
+            adds.push(Edge::unweighted(u, v));
+        }
+        (adds, dels)
+    }
+
+    /// Pre-computes a whole delta-edit script: `steps` churn batches at
+    /// `frac`, as `(additions, deletions)` pairs.
+    pub fn script(mut self, steps: usize, frac: f64) -> EditScript {
+        (0..steps).map(|_| self.step(frac)).collect()
+    }
+}
+
+/// Random graphs salted with degree-0/1 spam and a planted hub — the
+/// proptest wrapper over [`pendant_spam`]'s shape, shrinking toward small
+/// vertex and edge counts. (The locality suite's former private copy.)
+pub fn arb_spammy_graph() -> impl Strategy<Value = Csr> {
+    (30usize..120, any::<u64>()).prop_flat_map(|(n, seed)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n)).prop_map(
+            move |mut pairs| {
+                pairs.retain(|(u, v)| u != v);
+                let mut s = seed;
+                for i in 1..(n / 4) as u32 {
+                    lcg(&mut s);
+                    if s % 3 == 0 {
+                        pairs.push((0, i));
+                    }
+                }
+                let hub = (n - 1) as u32;
+                for v in (0..hub).step_by(4) {
+                    pairs.push((hub, v));
+                }
+                from_pairs(n, pairs.into_iter().filter(|(u, v)| u != v))
+            },
+        )
+    })
+}
+
+/// The whole adversarial family as one shrinking strategy: a shape
+/// selector picks pendant spam, stars, duplicate multigraphs, or community
+/// spam, and the size parameters shrink independently of the selector so a
+/// failure minimizes within its family.
+pub fn arb_adversarial() -> impl Strategy<Value = Csr> {
+    (0u8..4, 2usize..40, 0usize..120, 1usize..5, any::<u64>()).prop_map(
+        |(shape, small, pairs, copies, seed)| match shape {
+            0 => pendant_spam(small * 4, pairs, seed),
+            1 => multi_star(small / 8 + 1, small),
+            2 => duplicate_multigraph(small * 2, pairs, copies, seed),
+            _ => community_spam(small * 8),
+        },
+    )
+}
+
+/// A shrinking churn script against a pendant-spam base graph: the value is
+/// `(graph, script)` ready to drive the streaming conformance path.
+pub fn arb_churn_script() -> impl Strategy<Value = (Csr, EditScript)> {
+    (16usize..64, 1usize..6, any::<u64>()).prop_map(|(n, steps, seed)| {
+        let g = pendant_spam(n, n, seed);
+        // Small batches: the incremental quality clause only covers
+        // small-delta updates (see `docs/CONFORMANCE.md`).
+        let script = Churn::new(&g, seed ^ 0xC0FFEE).script(steps, 0.03);
+        (g, script)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = pendant_spam(64, 64, 7);
+        let b = pendant_spam(64, 64, 7);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_arcs(), b.num_arcs());
+        let d1 = duplicate_multigraph(32, 50, 4, 9);
+        let d2 = duplicate_multigraph(32, 50, 4, 9);
+        assert_eq!(d1.num_arcs(), d2.num_arcs());
+    }
+
+    #[test]
+    fn pendant_spam_has_spam_degrees() {
+        let g = pendant_spam(100, 20, 3);
+        let degrees: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        assert!(degrees.contains(&0), "no isolated vertices");
+        assert!(degrees.contains(&1), "no pendants");
+        let hub = g.degree((g.num_vertices() - 1) as u32);
+        assert!(hub >= 16, "hub degree {hub} too small to force a singleton unit");
+    }
+
+    #[test]
+    fn multi_star_shape() {
+        let g = multi_star(3, 17);
+        assert_eq!(g.num_vertices(), 3 * 18);
+        assert_eq!(g.degree(0), 17);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn duplicate_multigraph_keeps_parallel_entries() {
+        let g = duplicate_multigraph(8, 40, 4, 11);
+        // With 40 base pairs and up to 4 copies on 8 vertices, some row
+        // must hold a parallel entry: arcs exceed what a simple graph on 8
+        // vertices can carry (8 choose 2 = 28 edges = 56 arcs).
+        assert!(g.num_arcs() > 56, "no parallel entries survived: {}", g.num_arcs());
+    }
+
+    #[test]
+    fn community_spam_is_disjoint_pairs() {
+        let g = community_spam(1000);
+        assert_eq!(g.num_vertices(), 2000);
+        assert!((0..2000u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn churn_scripts_replay_identically() {
+        let g = pendant_spam(48, 48, 5);
+        let s1 = Churn::new(&g, 42).script(4, 0.1);
+        let s2 = Churn::new(&g, 42).script(4, 0.1);
+        assert_eq!(s1.len(), s2.len());
+        for ((a1, d1), (a2, d2)) in s1.iter().zip(&s2) {
+            assert_eq!(d1, d2);
+            assert_eq!(a1.len(), a2.len());
+            assert!(a1.iter().zip(a2).all(|(x, y)| x.u == y.u && x.v == y.v));
+        }
+    }
+}

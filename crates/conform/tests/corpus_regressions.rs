@@ -1,0 +1,35 @@
+//! Replays every minimized regression case checked into `corpus/` through
+//! the full bit + racy tiers. Each file is one graph that once witnessed
+//! a divergence (or a shape worth pinning forever); the file name is the
+//! test label CI prints on failure.
+
+use gp_conform::corpus::load_corpus_dir;
+use gp_conform::runner::{bit_tier, racy_tier, ALL_KERNELS};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn corpus_files_replay_clean() {
+    let cases = load_corpus_dir(&corpus_dir()).expect("corpus/ must exist and parse");
+    assert!(!cases.is_empty(), "corpus/ lost its seed cases");
+    for case in &cases {
+        bit_tier(&case.name, &case.graph, &ALL_KERNELS);
+        racy_tier(&case.name, &case.graph, &ALL_KERNELS);
+    }
+}
+
+#[test]
+fn corpus_files_are_canonical() {
+    // Every checked-in file must round-trip through the renderer, so a
+    // minimized witness saved with `render_edges` replays byte-for-byte.
+    let cases = load_corpus_dir(&corpus_dir()).unwrap();
+    for case in &cases {
+        let rendered = gp_conform::corpus::render_edges(&case.name, &case.graph);
+        let reparsed = gp_conform::corpus::parse_edges(&rendered).unwrap();
+        assert_eq!(reparsed.num_vertices(), case.graph.num_vertices(), "{}", case.name);
+        assert_eq!(reparsed.num_arcs(), case.graph.num_arcs(), "{}", case.name);
+    }
+}

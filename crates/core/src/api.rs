@@ -26,6 +26,7 @@
 //! hand-rolled parsers.
 
 use crate::coloring::{ColoringConfig, ColoringResult};
+pub use crate::error::{RunError, SpecError};
 use crate::labelprop::{LabelPropConfig, LabelPropResult};
 use crate::louvain::{LouvainConfig, LouvainResult};
 pub use crate::frontier::SweepMode;
@@ -86,7 +87,7 @@ impl fmt::Display for Kernel {
 }
 
 impl FromStr for Kernel {
-    type Err = String;
+    type Err = SpecError;
 
     /// Accepts the family names (`color`/`coloring`, `louvain`,
     /// `labelprop`/`lp`) and the variant-qualified `louvain-<variant>`
@@ -98,16 +99,14 @@ impl FromStr for Kernel {
             "louvain" => Ok(Kernel::Louvain(Variant::default())),
             other => match other.strip_prefix("louvain-") {
                 Some(v) => Ok(Kernel::Louvain(v.parse()?)),
-                None => Err(format!(
-                    "unknown kernel '{other}' (color|louvain[-<variant>]|labelprop)"
-                )),
+                None => Err(SpecError::UnknownKernel(other.to_string())),
             },
         }
     }
 }
 
 impl FromStr for Variant {
-    type Err = String;
+    type Err = SpecError;
 
     /// The CLI `--variant` / serve JSON `variant` values. `onpl` selects
     /// the adaptive reduce-scatter strategy (the paper's "either one of
@@ -122,9 +121,7 @@ impl FromStr for Variant {
             "onpl-iter" => Ok(Variant::Onpl(Strategy::ConflictIterative)),
             "onpl-ivr" => Ok(Variant::Onpl(Strategy::InVectorReduce)),
             "ovpl" => Ok(Variant::Ovpl),
-            other => Err(format!(
-                "unknown louvain variant '{other}' (plm|mplm|onpl|ovpl)"
-            )),
+            other => Err(SpecError::UnknownVariant(other.to_string())),
         }
     }
 }
@@ -164,11 +161,11 @@ impl Backend {
         }
     }
 
-    /// The explicit pin matching [`Engine::best`]: [`Backend::Native`] on
+    /// The explicit pin matching the registry engine: [`Backend::Native`] on
     /// AVX-512 hosts, [`Backend::Emulated`] elsewhere. Benchmarks use this
     /// to say "the vectorized configuration" with an explicit backend.
     pub fn best_vector() -> Backend {
-        if Engine::best().is_native() {
+        if crate::backends::engine().is_native() {
             Backend::Native
         } else {
             Backend::Emulated
@@ -183,7 +180,7 @@ impl fmt::Display for Backend {
 }
 
 impl FromStr for Backend {
-    type Err = String;
+    type Err = SpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
@@ -191,9 +188,7 @@ impl FromStr for Backend {
             "scalar" => Ok(Backend::Scalar),
             "emulated" => Ok(Backend::Emulated),
             "native" | "avx512" => Ok(Backend::Native),
-            other => Err(format!(
-                "unknown backend '{other}' (auto|scalar|emulated|native)"
-            )),
+            other => Err(SpecError::UnknownBackend(other.to_string())),
         }
     }
 }
@@ -404,7 +399,7 @@ impl KernelOutput {
 /// AVX-512 is absent — and runs `$body` with `$s` bound to a reference.
 macro_rules! with_vector_backend {
     ($backend:expr, $count_ops:expr, |$s:ident| $body:expr) => {{
-        let native = match ($backend, Engine::best()) {
+        let native = match ($backend, crate::backends::engine()) {
             (Backend::Native, Engine::Native(n)) => Some(n),
             _ => None,
         };
@@ -474,7 +469,7 @@ pub(crate) fn run_kernel_inner<R: Recorder>(
             };
             let r = match spec.backend {
                 Backend::Scalar => crate::coloring::greedy::color_graph_scalar_recorded(g, &cfg, rec),
-                Backend::Auto => match Engine::best() {
+                Backend::Auto => match crate::backends::engine() {
                     Engine::Native(s) => crate::coloring::color_with(&s, g, &cfg, rec),
                     Engine::Emulated(_) => {
                         crate::coloring::greedy::color_graph_scalar_recorded(g, &cfg, rec)
@@ -532,7 +527,7 @@ pub(crate) fn run_kernel_inner<R: Recorder>(
                 Backend::Scalar => {
                     crate::labelprop::mplp::label_propagation_mplp_recorded(g, &cfg, rec)
                 }
-                Backend::Auto => match Engine::best() {
+                Backend::Auto => match crate::backends::engine() {
                     Engine::Native(s) => {
                         crate::labelprop::onlp::label_propagation_onlp_recorded(&s, g, &cfg, rec)
                     }
@@ -705,7 +700,7 @@ mod tests {
         // must match that pin exactly. MPLP and ONLP themselves may break
         // label-weight ties differently, so no cross-algorithm equality.
         let auto = run(Backend::Auto);
-        let expect = if Engine::best().is_native() { &native } else { &scalar };
+        let expect = if crate::backends::engine().is_native() { &native } else { &scalar };
         assert_eq!(
             auto.as_labelprop().unwrap(),
             expect.as_labelprop().unwrap()
@@ -779,7 +774,7 @@ mod tests {
         );
         assert_eq!(
             Backend::best_vector(),
-            if Engine::best().is_native() {
+            if crate::backends::engine().is_native() {
                 Backend::Native
             } else {
                 Backend::Emulated

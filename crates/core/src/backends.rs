@@ -1,0 +1,268 @@
+//! The runtime backend registry: the one place backend selection policy
+//! lives.
+//!
+//! Before this module existed, "which SIMD universe does this run in?" was
+//! answered ad hoc — `Engine::best()` sprinkled through the kernels, the
+//! CLI, and every benchmark bin, each implicitly re-encoding the
+//! `GP_FORCE_EMULATED` override that `gp-simd` used to read on its own.
+//! The conformance harness needs to *enumerate* the execution universes it
+//! must diff, so the scattered string matching is replaced by one
+//! enumerable API:
+//!
+//! * [`Backend::available`] — every selectable backend with its ISA
+//!   capability probe, native/emulated/scalar provenance, and whether an
+//!   environment override forced the resolution;
+//! * [`engine`] — the process-wide engine selection (cached), the only
+//!   reader of `GP_FORCE_EMULATED` in the workspace;
+//! * [`Backend::resolves_to`] — the engine-level universe a pin lands in
+//!   on this host.
+//!
+//! `gp-simd` itself is now env-free: [`gp_simd::engine::Engine::probe`] and
+//! [`IsaProbe::detect`] answer the pure hardware question, and this module
+//! layers policy (override, caching, provenance) on top. Consumers —
+//! `run_kernel` dispatch, `gpart --version`, the serve `{"stats":true}`
+//! body, the conformance runner — all read the same registry, so they can
+//! never drift.
+
+use crate::api::Backend;
+use gp_simd::engine::Engine;
+pub use gp_simd::engine::IsaProbe;
+use std::sync::OnceLock;
+
+/// The environment override the registry honors, and the string reported
+/// as [`BackendInfo::env_override`] when it is active.
+pub const FORCE_EMULATED_VAR: &str = "GP_FORCE_EMULATED";
+
+/// True when `GP_FORCE_EMULATED=1` — read once per process, like the engine
+/// selection it feeds.
+pub fn forced_emulated() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(forced_emulated_uncached)
+}
+
+/// Uncached read of the override (tests that mutate the environment
+/// mid-process).
+pub fn forced_emulated_uncached() -> bool {
+    std::env::var(FORCE_EMULATED_VAR).is_ok_and(|v| v == "1")
+}
+
+/// The process-wide engine selection: the native backend when the CPU has
+/// AVX-512F/CD and no override forces emulation. Cached in a `OnceLock` —
+/// hot loops that consult the engine per round must not pay a `getenv`.
+pub fn engine() -> Engine {
+    static BEST: OnceLock<Engine> = OnceLock::new();
+    *BEST.get_or_init(engine_uncached)
+}
+
+/// Uncached variant of [`engine`]: re-probes the hardware and re-reads the
+/// override on every call.
+pub fn engine_uncached() -> Engine {
+    Engine::select(forced_emulated_uncached())
+}
+
+/// The host's ISA capability report (cached; CPUID is not free).
+pub fn isa() -> IsaProbe {
+    static ISA: OnceLock<IsaProbe> = OnceLock::new();
+    *ISA.get_or_init(IsaProbe::detect)
+}
+
+/// Which execution universe a backend's kernels run in on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Real AVX-512F/CD vector instructions.
+    Native,
+    /// The portable 16-lane software emulation.
+    Emulated,
+    /// The scalar reference kernels.
+    Scalar,
+}
+
+impl Provenance {
+    /// Stable lowercase name (matches the `RunInfo::backend` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::Native => "avx512",
+            Provenance::Emulated => "emulated",
+            Provenance::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One registry row: a selectable backend and how it resolves on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendInfo {
+    /// The selectable backend (the CLI `--backend` / wire `backend` value).
+    pub backend: Backend,
+    /// Whether a pin on this backend runs as requested. `Native` is
+    /// unavailable on hosts without AVX-512F/CD and under a forced-emulation
+    /// override; pins still *execute* (they fall back to the emulation,
+    /// bit-identically), but report the fallback universe.
+    pub available: bool,
+    /// The engine-level universe the backend's kernels enter on this host.
+    /// `Auto` may still refine to the scalar reference per kernel (coloring
+    /// and label propagation skip lane-by-lane emulation — see
+    /// [`crate::api::Backend::Auto`]); that refinement is dispatch, not
+    /// selection, and the per-run truth is always `RunInfo::backend`.
+    pub provenance: Provenance,
+    /// `Some("GP_FORCE_EMULATED=1")` when the environment override decided
+    /// this row's resolution rather than the hardware probe.
+    pub env_override: Option<&'static str>,
+}
+
+impl BackendInfo {
+    /// The resolved universe's stable name (for reports and wire bodies).
+    pub fn resolves_to(&self) -> &'static str {
+        self.provenance.name()
+    }
+}
+
+impl Backend {
+    /// Enumerates every selectable backend with its resolution on this
+    /// host — the registry the conformance runner, `gpart --version`, and
+    /// the serve stats plane all consume. Order is stable: `auto`,
+    /// `scalar`, `emulated`, `native`.
+    pub fn available() -> Vec<BackendInfo> {
+        [
+            Backend::Auto,
+            Backend::Scalar,
+            Backend::Emulated,
+            Backend::Native,
+        ]
+        .into_iter()
+        .map(Backend::info)
+        .collect()
+    }
+
+    /// This backend's registry row (see [`Backend::available`]).
+    pub fn info(self) -> BackendInfo {
+        let forced = forced_emulated();
+        let native = engine().is_native();
+        let override_tag = || {
+            if forced {
+                Some("GP_FORCE_EMULATED=1")
+            } else {
+                None
+            }
+        };
+        match self {
+            Backend::Scalar => BackendInfo {
+                backend: self,
+                available: true,
+                provenance: Provenance::Scalar,
+                env_override: None,
+            },
+            Backend::Emulated => BackendInfo {
+                backend: self,
+                available: true,
+                provenance: Provenance::Emulated,
+                env_override: None,
+            },
+            Backend::Native => BackendInfo {
+                backend: self,
+                available: native,
+                provenance: if native {
+                    Provenance::Native
+                } else {
+                    Provenance::Emulated
+                },
+                env_override: override_tag(),
+            },
+            Backend::Auto => BackendInfo {
+                backend: self,
+                available: true,
+                provenance: if native {
+                    Provenance::Native
+                } else {
+                    Provenance::Emulated
+                },
+                env_override: override_tag(),
+            },
+        }
+    }
+
+    /// The engine-level universe this backend resolves to on this host
+    /// (shorthand for `self.info().resolves_to()`).
+    pub fn resolves_to(self) -> &'static str {
+        self.info().resolves_to()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_enumerates_all_backends_in_stable_order() {
+        let rows = Backend::available();
+        assert_eq!(
+            rows.iter().map(|r| r.backend.name()).collect::<Vec<_>>(),
+            ["auto", "scalar", "emulated", "native"]
+        );
+        for row in &rows {
+            assert_eq!(row, &row.backend.info());
+        }
+    }
+
+    #[test]
+    fn scalar_and_emulated_are_always_available() {
+        assert!(Backend::Scalar.info().available);
+        assert_eq!(Backend::Scalar.info().provenance, Provenance::Scalar);
+        assert!(Backend::Scalar.info().env_override.is_none());
+        assert!(Backend::Emulated.info().available);
+        assert_eq!(Backend::Emulated.info().provenance, Provenance::Emulated);
+    }
+
+    #[test]
+    fn native_row_tracks_the_engine() {
+        let native = engine().is_native();
+        let row = Backend::Native.info();
+        assert_eq!(row.available, native);
+        assert_eq!(
+            row.provenance,
+            if native {
+                Provenance::Native
+            } else {
+                Provenance::Emulated
+            }
+        );
+        assert_eq!(row.resolves_to(), engine().name());
+        // The override tag only appears when the env actually forced it.
+        if row.env_override.is_some() {
+            assert!(forced_emulated());
+            assert!(!native, "an override forces emulation, never native");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_like_the_engine() {
+        assert_eq!(Backend::Auto.resolves_to(), engine().name());
+    }
+
+    #[test]
+    fn engine_selection_is_cached_and_consistent() {
+        assert_eq!(engine().name(), engine().name());
+        assert_eq!(engine().is_native(), engine_uncached().is_native());
+        // Forced emulation (the CI emulated job) must defeat native even on
+        // AVX-512 hosts.
+        if forced_emulated() {
+            assert!(!engine().is_native());
+        }
+        // The ISA probe and the engine agree unless the override intervened.
+        if !forced_emulated() {
+            assert_eq!(engine().is_native(), isa().native_ok());
+        }
+    }
+
+    #[test]
+    fn provenance_names_match_runinfo_vocabulary() {
+        assert_eq!(Provenance::Native.name(), "avx512");
+        assert_eq!(Provenance::Emulated.to_string(), "emulated");
+        assert_eq!(Provenance::Scalar.name(), "scalar");
+    }
+}

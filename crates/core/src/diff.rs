@@ -1,0 +1,361 @@
+//! Structured output comparison: [`KernelOutput::diff`].
+//!
+//! The equivalence suites (and the `gp-conform` differential runner) all
+//! ask the same question — *did two runs produce the same answer, and if
+//! not, where exactly did they part ways?* Ad-hoc `assert_eq!` loops answer
+//! the first half and then dump two million-element vectors at you for the
+//! second. [`OutputDiff`] answers both: per-field summaries for the scalar
+//! payload, the **first divergent vertex** (plus a count of how many
+//! differ) for the per-vertex arrays, and a shape-level comparison of the
+//! telemetry envelope (backend, round counts, phase names — never wall
+//! times, which legitimately differ between any two runs).
+//!
+//! The diff deliberately distinguishes *result* fields (covered by each
+//! result struct's `PartialEq`, which the determinism contract's
+//! bit-identity tier is defined over) from *telemetry shape*: two runs can
+//! be bit-identical in results while reporting different backends — that is
+//! exactly the situation the conformance harness exists to scrutinize, so
+//! [`OutputDiff::results_identical`] and [`OutputDiff::is_empty`] are
+//! separate questions.
+
+use crate::api::KernelOutput;
+use gp_metrics::telemetry::RunInfo;
+use std::fmt;
+
+/// One named field whose two sides disagree, rendered as strings so a
+/// single type covers `usize`, `f64`, backend names, and phase lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Field path (`"modularity"`, `"info.backend"`, `"trace.phases"`, …).
+    pub field: &'static str,
+    /// The value on `self`'s side of the comparison.
+    pub left: String,
+    /// The value on `other`'s side of the comparison.
+    pub right: String,
+}
+
+impl FieldDiff {
+    fn new(field: &'static str, left: impl fmt::Display, right: impl fmt::Display) -> FieldDiff {
+        FieldDiff {
+            field,
+            left: left.to_string(),
+            right: right.to_string(),
+        }
+    }
+}
+
+/// Where two per-vertex arrays first part ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexDivergence {
+    /// Name of the array (`"colors"`, `"communities"`, `"labels"`).
+    pub array: &'static str,
+    /// The first index at which the arrays disagree.
+    pub vertex: u32,
+    /// `self`'s value at that vertex.
+    pub left: u32,
+    /// `other`'s value at that vertex.
+    pub right: u32,
+    /// Total number of disagreeing indices (over the common prefix).
+    pub differing: usize,
+}
+
+/// The full comparison report from [`KernelOutput::diff`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutputDiff {
+    /// Scalar result-field disagreements (rounds, modularity, levels, …) —
+    /// the fields each result struct's `PartialEq` covers, minus the
+    /// per-vertex arrays.
+    pub fields: Vec<FieldDiff>,
+    /// First divergent vertex in the per-vertex payload, when the arrays
+    /// are comparable (same kernel family, same length) but unequal.
+    pub first_divergence: Option<VertexDivergence>,
+    /// Telemetry-shape disagreements: backend name, envelope round count,
+    /// convergence flag, trace presence/shape. Timing fields are never
+    /// compared.
+    pub telemetry: Vec<FieldDiff>,
+}
+
+impl OutputDiff {
+    /// No differences at all — results *and* telemetry shape agree.
+    pub fn is_empty(&self) -> bool {
+        self.results_identical() && self.telemetry.is_empty()
+    }
+
+    /// The result payloads are bit-identical (the determinism contract's
+    /// strong tier). Telemetry shape may still differ — e.g. a native and
+    /// an emulated run that agree on every output bit.
+    pub fn results_identical(&self) -> bool {
+        self.fields.is_empty() && self.first_divergence.is_none()
+    }
+}
+
+impl fmt::Display for OutputDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("outputs identical (results and telemetry shape)");
+        }
+        if let Some(d) = &self.first_divergence {
+            writeln!(
+                f,
+                "{}[{}]: {} != {} ({} of the array disagree)",
+                d.array, d.vertex, d.left, d.right, d.differing
+            )?;
+        }
+        for fd in &self.fields {
+            writeln!(f, "{}: {} != {}", fd.field, fd.left, fd.right)?;
+        }
+        for fd in &self.telemetry {
+            writeln!(f, "telemetry {}: {} != {}", fd.field, fd.left, fd.right)?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares two per-vertex arrays; a length mismatch is a field diff, a
+/// content mismatch pinpoints the first divergent vertex.
+fn diff_vertices(
+    array: &'static str,
+    len_field: &'static str,
+    a: &[u32],
+    b: &[u32],
+    out: &mut OutputDiff,
+) {
+    if a.len() != b.len() {
+        out.fields.push(FieldDiff::new(len_field, a.len(), b.len()));
+        return;
+    }
+    let mut first: Option<usize> = None;
+    let mut differing = 0usize;
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            differing += 1;
+            if first.is_none() {
+                first = Some(i);
+            }
+        }
+    }
+    if let Some(i) = first {
+        out.first_divergence = Some(VertexDivergence {
+            array,
+            vertex: i as u32,
+            left: a[i],
+            right: b[i],
+            differing,
+        });
+    }
+}
+
+/// Compares the telemetry *shape* of two run envelopes. Wall times and
+/// per-round timings are excluded by construction; only fields that the
+/// determinism contract constrains (backend identity, round structure,
+/// phase sequence, histogram presence) are reported.
+fn diff_telemetry(a: &RunInfo, b: &RunInfo, out: &mut OutputDiff) {
+    let tele = &mut out.telemetry;
+    if a.backend != b.backend {
+        tele.push(FieldDiff::new("info.backend", a.backend, b.backend));
+    }
+    if a.rounds != b.rounds {
+        tele.push(FieldDiff::new("info.rounds", a.rounds, b.rounds));
+    }
+    if a.converged != b.converged {
+        tele.push(FieldDiff::new("info.converged", a.converged, b.converged));
+    }
+    match (&a.trace, &b.trace) {
+        (None, None) => {}
+        (Some(_), None) | (None, Some(_)) => {
+            tele.push(FieldDiff::new(
+                "trace",
+                a.trace.is_some(),
+                b.trace.is_some(),
+            ));
+        }
+        (Some(ta), Some(tb)) => {
+            if ta.kernel != tb.kernel {
+                tele.push(FieldDiff::new("trace.kernel", &ta.kernel, &tb.kernel));
+            }
+            if ta.rounds.len() != tb.rounds.len() {
+                tele.push(FieldDiff::new(
+                    "trace.rounds.len",
+                    ta.rounds.len(),
+                    tb.rounds.len(),
+                ));
+            }
+            let phases_a: Vec<&str> = ta.phases.iter().map(|p| p.name).collect();
+            let phases_b: Vec<&str> = tb.phases.iter().map(|p| p.name).collect();
+            if phases_a != phases_b {
+                tele.push(FieldDiff::new(
+                    "trace.phases",
+                    phases_a.join(","),
+                    phases_b.join(","),
+                ));
+            }
+            if ta.degree_hist.is_some() != tb.degree_hist.is_some() {
+                tele.push(FieldDiff::new(
+                    "trace.degree_hist",
+                    ta.degree_hist.is_some(),
+                    tb.degree_hist.is_some(),
+                ));
+            }
+        }
+    }
+}
+
+impl KernelOutput {
+    /// Structured comparison against another run's output: scalar field
+    /// summaries, the first divergent vertex in the per-vertex payload, and
+    /// a telemetry-shape delta. `diff(a, b).results_identical()` agrees
+    /// with `a == b` restricted to matching kernel families — the
+    /// conformance runner and the equivalence suites assert on the diff so
+    /// a failure names the divergence instead of dumping whole arrays.
+    pub fn diff(&self, other: &KernelOutput) -> OutputDiff {
+        let mut out = OutputDiff::default();
+        match (self, other) {
+            (KernelOutput::Coloring(a), KernelOutput::Coloring(b)) => {
+                diff_vertices("colors", "colors.len", &a.colors, &b.colors, &mut out);
+                if a.rounds != b.rounds {
+                    out.fields.push(FieldDiff::new("rounds", a.rounds, b.rounds));
+                }
+                if a.num_colors != b.num_colors {
+                    out.fields
+                        .push(FieldDiff::new("num_colors", a.num_colors, b.num_colors));
+                }
+            }
+            (KernelOutput::Louvain(a), KernelOutput::Louvain(b)) => {
+                diff_vertices(
+                    "communities",
+                    "communities.len",
+                    &a.communities,
+                    &b.communities,
+                    &mut out,
+                );
+                if a.modularity != b.modularity {
+                    out.fields
+                        .push(FieldDiff::new("modularity", a.modularity, b.modularity));
+                }
+                if a.levels != b.levels {
+                    out.fields.push(FieldDiff::new("levels", a.levels, b.levels));
+                }
+                if a.level_stats != b.level_stats {
+                    out.fields.push(FieldDiff::new(
+                        "level_stats",
+                        format!("{:?}", a.level_stats),
+                        format!("{:?}", b.level_stats),
+                    ));
+                }
+            }
+            (KernelOutput::Labelprop(a), KernelOutput::Labelprop(b)) => {
+                diff_vertices("labels", "labels.len", &a.labels, &b.labels, &mut out);
+                if a.iterations != b.iterations {
+                    out.fields
+                        .push(FieldDiff::new("iterations", a.iterations, b.iterations));
+                }
+                if a.updates != b.updates {
+                    out.fields.push(FieldDiff::new(
+                        "updates",
+                        format!("{:?}", a.updates),
+                        format!("{:?}", b.updates),
+                    ));
+                }
+            }
+            (a, b) => {
+                out.fields
+                    .push(FieldDiff::new("kind", a.kind(), b.kind()));
+            }
+        }
+        diff_telemetry(self.info(), other.info(), &mut out);
+        out
+    }
+
+    /// The output's kernel family label (`color` / `louvain` / `labelprop`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KernelOutput::Coloring(_) => "color",
+            KernelOutput::Louvain(_) => "louvain",
+            KernelOutput::Labelprop(_) => "labelprop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{run_kernel, Backend, Kernel, KernelSpec};
+    use gp_metrics::telemetry::NoopRecorder;
+    use gp_graph::generators::special::path;
+
+    fn spec(kernel: Kernel) -> KernelSpec {
+        KernelSpec {
+            kernel,
+            backend: Backend::Scalar,
+            ..KernelSpec::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_empty() {
+        let g = path(64);
+        let a = run_kernel(&g, &spec(Kernel::Coloring), &mut NoopRecorder);
+        let b = run_kernel(&g, &spec(Kernel::Coloring), &mut NoopRecorder);
+        let d = a.diff(&b);
+        assert!(d.is_empty(), "unexpected diff:\n{d}");
+        assert!(d.results_identical());
+        assert_eq!(d.to_string(), "outputs identical (results and telemetry shape)");
+    }
+
+    #[test]
+    fn divergent_colors_name_the_first_vertex() {
+        let g = path(64);
+        let a = run_kernel(&g, &spec(Kernel::Coloring), &mut NoopRecorder);
+        let mut b = a.clone();
+        if let KernelOutput::Coloring(r) = &mut b {
+            r.colors[7] ^= 1;
+            r.colors[9] ^= 1;
+        }
+        let d = a.diff(&b);
+        assert!(!d.results_identical());
+        let v = d.first_divergence.expect("divergence found");
+        assert_eq!(v.array, "colors");
+        assert_eq!(v.vertex, 7);
+        assert_eq!(v.differing, 2);
+        assert!(d.to_string().contains("colors[7]"));
+    }
+
+    #[test]
+    fn scalar_field_mismatch_is_reported() {
+        let g = path(64);
+        let a = run_kernel(&g, &spec(Kernel::Labelprop), &mut NoopRecorder);
+        let mut b = a.clone();
+        if let KernelOutput::Labelprop(r) = &mut b {
+            r.updates.push(5);
+        }
+        let d = a.diff(&b);
+        assert!(d.first_divergence.is_none());
+        assert_eq!(d.fields.len(), 1);
+        assert_eq!(d.fields[0].field, "updates");
+    }
+
+    #[test]
+    fn kind_mismatch_short_circuits() {
+        let g = path(64);
+        let a = run_kernel(&g, &spec(Kernel::Coloring), &mut NoopRecorder);
+        let b = run_kernel(&g, &spec(Kernel::Labelprop), &mut NoopRecorder);
+        let d = a.diff(&b);
+        assert_eq!(d.fields[0].field, "kind");
+        assert_eq!(d.fields[0].left, "color");
+        assert_eq!(d.fields[0].right, "labelprop");
+    }
+
+    #[test]
+    fn telemetry_shape_delta_is_separate_from_results() {
+        let g = path(64);
+        let a = run_kernel(&g, &spec(Kernel::Coloring), &mut NoopRecorder);
+        let mut b = a.clone();
+        if let KernelOutput::Coloring(r) = &mut b {
+            r.info.backend = "emulated-elsewhere";
+        }
+        let d = a.diff(&b);
+        assert!(d.results_identical(), "telemetry must not affect results");
+        assert!(!d.is_empty());
+        assert_eq!(d.telemetry[0].field, "info.backend");
+    }
+}

@@ -62,13 +62,13 @@ impl std::fmt::Display for SweepMode {
 }
 
 impl FromStr for SweepMode {
-    type Err = String;
+    type Err = crate::error::SpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "full" => Ok(SweepMode::Full),
             "active" => Ok(SweepMode::Active),
-            other => Err(format!("unknown sweep mode '{other}' (full|active)")),
+            other => Err(crate::error::SpecError::UnknownSweep(other.to_string())),
         }
     }
 }

@@ -54,10 +54,12 @@ pub fn apply_update<R: Recorder>(
     additions: &[Edge],
     deletions: &[(u32, u32)],
     rec: &mut R,
-) -> Result<TouchedSet, String> {
+) -> Result<TouchedSet, crate::error::RunError> {
     let probe = PhaseProbe::begin::<R>();
     let compactions_before = delta.stats().compactions;
-    let touched = delta.apply_edges(additions, deletions);
+    let touched = delta
+        .apply_edges(additions, deletions)
+        .map_err(crate::error::RunError::Update);
     let compacted = delta.stats().compactions > compactions_before;
     probe.finish(
         rec,

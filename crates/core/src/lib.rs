@@ -21,8 +21,11 @@
 //! decorator that feeds the cost/energy models.
 
 pub mod api;
+pub mod backends;
 pub mod coloring;
 pub mod contrast;
+pub mod diff;
+pub mod error;
 pub mod frontier;
 pub mod incremental;
 pub mod labelprop;

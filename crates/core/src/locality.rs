@@ -155,7 +155,7 @@ impl std::fmt::Display for Blocking {
 }
 
 impl FromStr for Blocking {
-    type Err = String;
+    type Err = crate::error::SpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
@@ -167,14 +167,14 @@ impl FromStr for Blocking {
                         .ok()
                         .filter(|&k| k > 0)
                         .map(Blocking::Kb)
-                        .ok_or_else(|| format!("invalid block budget '{other}' (off|auto|<n>kb|<n>)"))
+                        .ok_or_else(|| crate::error::SpecError::InvalidBlockBudget(other.to_string()))
                 } else {
                     other
                         .parse::<u32>()
                         .ok()
                         .filter(|&v| v > 0)
                         .map(Blocking::Vertices)
-                        .ok_or_else(|| format!("invalid block size '{other}' (off|auto|<n>kb|<n>)"))
+                        .ok_or_else(|| crate::error::SpecError::InvalidBlockSize(other.to_string()))
                 }
             }
         }
@@ -210,13 +210,13 @@ impl std::fmt::Display for Bucketing {
 }
 
 impl FromStr for Bucketing {
-    type Err = String;
+    type Err = crate::error::SpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "off" => Ok(Bucketing::Off),
             "degree" => Ok(Bucketing::Degree),
-            other => Err(format!("unknown bucket mode '{other}' (off|degree)")),
+            other => Err(crate::error::SpecError::UnknownBucket(other.to_string())),
         }
     }
 }

@@ -39,17 +39,17 @@ impl PartialEq for LouvainResult {
     }
 }
 
-/// `S::NAME` of a backend value (helps `match Engine::best()` name its arm).
+/// `S::NAME` of a backend value (helps `match backends::engine()` name its arm).
 fn name_of<S: Simd>(_: &S) -> &'static str {
     S::NAME
 }
 
 /// Backend the configured variant will actually run on: the scalar variants
-/// never touch the SIMD engine; the vector variants use [`Engine::best`].
+/// never touch the SIMD engine; the vector variants use the registry engine (`crate::backends::engine`).
 fn dispatch_backend(config: &LouvainConfig) -> &'static str {
     match config.variant {
         Variant::Plm | Variant::Mplm => "scalar",
-        Variant::Onpl(_) | Variant::Ovpl => match Engine::best() {
+        Variant::Onpl(_) | Variant::Ovpl => match crate::backends::engine() {
             Engine::Native(s) => name_of(&s),
             Engine::Emulated(s) => name_of(&s),
         },
@@ -67,13 +67,13 @@ pub(crate) fn dispatch_move_phase_recorded<R: Recorder>(
     match config.variant {
         Variant::Plm => move_phase_plm_recorded(g, state, config, rec),
         Variant::Mplm => move_phase_mplm_recorded(g, state, config, rec),
-        Variant::Onpl(strategy) => match Engine::best() {
+        Variant::Onpl(strategy) => match crate::backends::engine() {
             Engine::Native(s) => move_phase_onpl_recorded(&s, g, state, strategy, config, rec),
             Engine::Emulated(s) => move_phase_onpl_recorded(&s, g, state, strategy, config, rec),
         },
         Variant::Ovpl => {
             let layout = prepare(g, config);
-            match Engine::best() {
+            match crate::backends::engine() {
                 Engine::Native(s) => move_phase_ovpl_recorded(&s, &layout, state, config, rec),
                 Engine::Emulated(s) => move_phase_ovpl_recorded(&s, &layout, state, config, rec),
             }

@@ -89,7 +89,7 @@ impl OverlapResult {
 /// assert_eq!(r.num_communities, 1);
 /// ```
 pub fn slpa(g: &Csr, config: &SlpaConfig) -> OverlapResult {
-    match Engine::best() {
+    match crate::backends::engine() {
         Engine::Native(s) => slpa_with(&s, g, config),
         Engine::Emulated(s) => slpa_with(&s, g, config),
     }

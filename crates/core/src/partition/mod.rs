@@ -87,7 +87,7 @@ pub struct PartitionResult {
     pub info: RunInfo,
 }
 
-/// `S::NAME` of a backend value (helps `match Engine::best()` name its arm).
+/// `S::NAME` of a backend value (helps `match backends::engine()` name its arm).
 fn name_of<S: Simd>(_: &S) -> &'static str {
     S::NAME
 }
@@ -95,7 +95,7 @@ fn name_of<S: Simd>(_: &S) -> &'static str {
 /// Backend name the refinement kernel will actually run on.
 fn refine_backend(config: &PartitionConfig) -> &'static str {
     if config.vectorized {
-        match Engine::best() {
+        match crate::backends::engine() {
             Engine::Native(s) => name_of(&s),
             Engine::Emulated(s) => name_of(&s),
         }
@@ -195,7 +195,7 @@ pub fn partition_graph(g: &Csr, config: &PartitionConfig) -> PartitionResult {
 
 fn refine_level(g: &Csr, weights: &[f32], parts: &mut [u32], config: &PartitionConfig) {
     if config.vectorized {
-        match Engine::best() {
+        match crate::backends::engine() {
             Engine::Native(s) => refine::refine(&s, g, weights, parts, config),
             Engine::Emulated(s) => refine::refine(&s, g, weights, parts, config),
         }

@@ -44,67 +44,10 @@ const ALL_KERNELS: [&str; 8] = [
     "labelprop",
 ];
 
-/// Deterministic churn driver: deletes and inserts `frac` of the live edges
-/// per step, tracking the live edge set so additions are always new edges.
-struct Churner {
-    edges: Vec<(u32, u32)>,
-    present: BTreeSet<(u32, u32)>,
-    n: u32,
-    state: u64,
-}
-
-impl Churner {
-    fn new(g: &Csr, seed: u64) -> Self {
-        let mut edges = Vec::new();
-        for u in 0..g.num_vertices() as u32 {
-            for &v in g.neighbors(u) {
-                if u <= v {
-                    edges.push((u, v));
-                }
-            }
-        }
-        let present = edges.iter().copied().collect();
-        Churner {
-            edges,
-            present,
-            n: g.num_vertices() as u32,
-            state: seed | 1,
-        }
-    }
-
-    fn next(&mut self, m: u64) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (self.state >> 33) % m.max(1)
-    }
-
-    /// One churn step: delete and add `max(1, frac · |E|)` edges each.
-    fn step(&mut self, frac: f64) -> (Vec<Edge>, Vec<(u32, u32)>) {
-        let k = ((self.edges.len() as f64 * frac) as usize).max(1);
-        let mut dels = Vec::with_capacity(k);
-        for _ in 0..k.min(self.edges.len()) {
-            let i = self.next(self.edges.len() as u64) as usize;
-            let e = self.edges.swap_remove(i);
-            self.present.remove(&e);
-            dels.push(e);
-        }
-        let mut adds = Vec::with_capacity(k);
-        while adds.len() < k {
-            let u = self.next(self.n as u64) as u32;
-            let v = self.next(self.n as u64) as u32;
-            let key = (u.min(v), u.max(v));
-            if u == v || self.present.contains(&key) {
-                continue;
-            }
-            self.present.insert(key);
-            self.edges.push(key);
-            adds.push(Edge::unweighted(u, v));
-        }
-        (adds, dels)
-    }
-}
+// The deterministic churn driver now lives in the conformance harness
+// (`gp_conform::generators::Churn`), shared with the streaming tier of
+// the differential sweep in `crates/conform/tests/conformance.rs`.
+use gp_conform::generators::Churn as Churner;
 
 fn spec_for(kernel: &str) -> KernelSpec {
     KernelSpec::new(kernel.parse::<Kernel>().unwrap())

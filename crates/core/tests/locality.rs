@@ -13,7 +13,6 @@
 
 use gp_core::api::{run_kernel, Backend, Blocking, Bucketing, Kernel, KernelSpec, SweepMode};
 use gp_core::coloring::verify_coloring;
-use gp_graph::builder::from_pairs;
 use gp_graph::csr::Csr;
 use gp_graph::generators::{erdos_renyi, preferential_attachment, star, triangular_mesh};
 use gp_graph::par::with_threads;
@@ -210,40 +209,20 @@ fn blocked_equals_unblocked_on_hub_and_spoke() {
                     &blocked(kernel, SweepMode::Full, block).sequential(),
                     &mut NoopRecorder,
                 );
-                assert_eq!(reference, out, "{kernel} on star({n}), block={block}");
+                let d = reference.diff(&out);
+                assert!(
+                    d.results_identical(),
+                    "{kernel} on star({n}), block={block}:\n{d}"
+                );
             }
         }
     }
 }
 
-/// Random graphs salted with degree-0 and degree-1 spam plus a planted
-/// hub: isolated vertices must survive the bucket partition (they have no
-/// neighbors to batch-gather), pendant vertices stress the ≤ 16 bucket's
-/// shortest rows, and the hub forces a singleton scheduling unit into an
-/// otherwise low-degree worklist.
-fn arb_spammy_graph() -> impl Strategy<Value = Csr> {
-    (30usize..120, any::<u64>()).prop_flat_map(|(n, seed)| {
-        prop::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n)).prop_map(move |mut pairs| {
-            pairs.retain(|(u, v)| u != v);
-            // Pendant chain: vertices 1..n/4 hang off vertex 0 only if the
-            // random pairs did not already touch them — keeps plenty of
-            // degree-0 (untouched high ids) and degree-1 (pendants) vertices.
-            let mut s = seed;
-            for i in 1..(n / 4) as u32 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if s % 3 == 0 {
-                    pairs.push((0, i));
-                }
-            }
-            // Planted hub: the last vertex connects to every fourth vertex.
-            let hub = (n - 1) as u32;
-            for v in (0..hub).step_by(4) {
-                pairs.push((hub, v));
-            }
-            from_pairs(n, pairs.into_iter().filter(|(u, v)| u != v))
-        })
-    })
-}
+// Random graphs salted with degree-0/degree-1 spam plus a planted hub now
+// live in the conformance harness (`gp_conform::generators`), shared with
+// the full differential sweep in `crates/conform/tests/conformance.rs`.
+use gp_conform::generators::arb_spammy_graph;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

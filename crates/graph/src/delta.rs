@@ -31,6 +31,67 @@
 use crate::csr::Csr;
 use crate::{Edge, VertexId, Weight};
 
+/// Why a mutation batch was rejected. The whole batch is refused before
+/// anything is applied (see [`DeltaCsr::apply_edges`]), so carrying the
+/// offending edge is enough to pinpoint the failure. `Display` renders the
+/// exact wire messages the serve tier has always returned for rejected
+/// `update` frames — the conformance golden tests pin them byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApplyError {
+    /// An addition references a vertex ≥ `n`.
+    EdgeOutOfRange {
+        /// Source endpoint of the offending addition.
+        u: VertexId,
+        /// Destination endpoint of the offending addition.
+        v: VertexId,
+        /// The graph's vertex count at rejection time.
+        n: u32,
+    },
+    /// An addition carries weight ≤ 0 or NaN (0.0 is the tombstone
+    /// encoding, so it can never be a live weight).
+    NonPositiveWeight {
+        /// Source endpoint of the offending addition.
+        u: VertexId,
+        /// Destination endpoint of the offending addition.
+        v: VertexId,
+        /// The rejected weight.
+        w: Weight,
+    },
+    /// A deletion references a vertex ≥ `n`.
+    DeletionOutOfRange {
+        /// Source endpoint of the offending deletion.
+        u: VertexId,
+        /// Destination endpoint of the offending deletion.
+        v: VertexId,
+        /// The graph's vertex count at rejection time.
+        n: u32,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ApplyError::EdgeOutOfRange { u, v, n } => {
+                write!(f, "edge ({u}, {v}) out of range (n = {n})")
+            }
+            ApplyError::NonPositiveWeight { u, v, w } => {
+                write!(f, "edge ({u}, {v}) weight {w} must be > 0")
+            }
+            ApplyError::DeletionOutOfRange { u, v, n } => {
+                write!(f, "deletion ({u}, {v}) out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<ApplyError> for String {
+    fn from(e: ApplyError) -> String {
+        e.to_string()
+    }
+}
+
 /// When and how generously [`DeltaCsr`] re-lays rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompactionPolicy {
@@ -329,20 +390,24 @@ impl DeltaCsr {
         &mut self,
         additions: &[Edge],
         deletions: &[(VertexId, VertexId)],
-    ) -> Result<TouchedSet, String> {
+    ) -> Result<TouchedSet, ApplyError> {
         let n = self.num_vertices() as u32;
         for e in additions {
             if e.u >= n || e.v >= n {
-                return Err(format!("edge ({}, {}) out of range (n = {n})", e.u, e.v));
+                return Err(ApplyError::EdgeOutOfRange { u: e.u, v: e.v, n });
             }
             // Also rejects NaN, which compares false against everything.
             if e.w <= 0.0 || e.w.is_nan() {
-                return Err(format!("edge ({}, {}) weight {} must be > 0", e.u, e.v, e.w));
+                return Err(ApplyError::NonPositiveWeight {
+                    u: e.u,
+                    v: e.v,
+                    w: e.w,
+                });
             }
         }
         for &(u, v) in deletions {
             if u >= n || v >= n {
-                return Err(format!("deletion ({u}, {v}) out of range (n = {n})"));
+                return Err(ApplyError::DeletionOutOfRange { u, v, n });
             }
         }
 

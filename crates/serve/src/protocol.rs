@@ -321,11 +321,11 @@ fn parse_common(v: &Json, version: u8) -> Result<Common, ParseError> {
     };
     let backend: Backend = match v.get("backend").and_then(Json::as_str) {
         None => Backend::Auto,
-        Some(s) => s.parse().map_err(|e: String| ParseError::v(version, e))?,
+        Some(s) => s.parse().map_err(|e| ParseError::v(version, String::from(e)))?,
     };
     let sweep: SweepMode = match v.get("sweep").and_then(Json::as_str) {
         None => SweepMode::Active,
-        Some(s) => s.parse().map_err(|e: String| ParseError::v(version, e))?,
+        Some(s) => s.parse().map_err(|e| ParseError::v(version, String::from(e)))?,
     };
     // Locality knobs (v2; v1 requests never carry them and get the library
     // defaults). Values are validated strictly in both versions — a `block`
@@ -338,7 +338,7 @@ fn parse_common(v: &Json, version: u8) -> Result<Common, ParseError> {
                 ParseError::v(version, "`block` must be a string (off|auto|<n>kb|<n>)")
             })?
             .parse()
-            .map_err(|e: String| ParseError::v(version, e))?,
+            .map_err(|e| ParseError::v(version, String::from(e)))?,
     };
     let bucket: Bucketing = match v.get("bucket") {
         None | Some(Json::Null) => Bucketing::default(),
@@ -346,7 +346,7 @@ fn parse_common(v: &Json, version: u8) -> Result<Common, ParseError> {
             .as_str()
             .ok_or_else(|| ParseError::v(version, "`bucket` must be a string (off|degree)"))?
             .parse()
-            .map_err(|e: String| ParseError::v(version, e))?,
+            .map_err(|e| ParseError::v(version, String::from(e)))?,
     };
     Ok(Common {
         id,
@@ -404,10 +404,10 @@ fn parse_v1(v: &Json) -> Result<Incoming, ParseError> {
 
     // Kernel (and louvain variant) names come from the shared FromStr impls
     // in `gp_core::api` — one parser for the CLI flags and this protocol.
-    let mut run: RunKernel = kernel_name.parse().map_err(err)?;
+    let mut run: RunKernel = kernel_name.parse().map_err(|e| err(String::from(e)))?;
     if let Some(vs) = v.get("variant").and_then(Json::as_str) {
         if let RunKernel::Louvain(variant) = &mut run {
-            *variant = vs.parse().map_err(err)?;
+            *variant = vs.parse().map_err(|e| err(String::from(e)))?;
         }
     }
     let spec_json = v
@@ -490,7 +490,7 @@ fn parse_v2(v: &Json) -> Result<Incoming, ParseError> {
         }));
     }
 
-    let run: RunKernel = kernel_name.parse().map_err(err)?;
+    let run: RunKernel = kernel_name.parse().map_err(|e| err(String::from(e)))?;
     let spec_json = req
         .get("graph")
         .ok_or_else(|| err(format!("kernel `{kernel_name}` needs a `graph` spec")))?;

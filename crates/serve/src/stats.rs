@@ -258,8 +258,43 @@ impl Totals {
                     .build(),
             )
             .field("latency", latency.build())
+            .field("backends", backends_json())
             .build()
     }
+}
+
+/// The backend-registry plane of the stats body: one row per selectable
+/// backend straight from [`gp_core::backends`], plus the host's raw ISA
+/// probe. The same registry feeds `gpart --version` and the conformance
+/// runner, so a stats probe tells an operator exactly which execution
+/// universe the service's kernels are running in (and whether
+/// `GP_FORCE_EMULATED=1` forced it there).
+pub fn backends_json() -> Json {
+    let isa = gp_core::backends::isa();
+    let rows = gp_core::api::Backend::available()
+        .into_iter()
+        .map(|row| {
+            let mut obj = ObjBuilder::new()
+                .str("backend", row.backend.name())
+                .bool("available", row.available)
+                .str("resolves_to", row.resolves_to());
+            if let Some(tag) = row.env_override {
+                obj = obj.str("env_override", tag);
+            }
+            obj.build()
+        })
+        .collect();
+    ObjBuilder::new()
+        .field(
+            "isa",
+            ObjBuilder::new()
+                .bool("avx512f", isa.avx512f)
+                .bool("avx512cd", isa.avx512cd)
+                .build(),
+        )
+        .str("engine", gp_core::backends::engine().name())
+        .field("registry", Json::Arr(rows))
+        .build()
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Byte-level fuzz of the NDJSON codec: 10k seeded frames from
+//! `gp_conform::codec` through the real `LineDecoder` + `parse_line`
+//! pair, split at random byte boundaries like a real TCP stream.
+//!
+//! The codec's contract under fire:
+//!
+//! * **Never panic** — any byte sequence is survivable.
+//! * **Well-formed frames parse** — fuzz noise must not poison framing
+//!   state for later lines.
+//! * **Oversized lines surface as `DecodeEvent::Oversized`** — bounded
+//!   buffering, no allocation blow-up, one marker per offending line.
+//! * **Refusals are well-formed** — every parse error renders through
+//!   `refusal_line` into a line the repo's own JSON parser accepts.
+//! * **Recovery** — after every frame, garbage or not, a `{"stats":true}`
+//!   probe on the same connection must decode and parse cleanly.
+//!
+//! Seed and frame count are fixed, so a CI failure replays locally
+//! byte-for-byte. `GP_FUZZ_FRAMES` scales the run for longer soaks.
+
+use gp_conform::codec::{chunk_stream, next_frame, FrameKind, FuzzRng};
+use gp_serve::conn::{DecodeEvent, LineDecoder, MAX_LINE};
+use gp_serve::protocol::{parse_line, refusal_line, Incoming, Refusal};
+
+const SEED: u64 = 0xC0DE_CAFE;
+
+fn frame_budget() -> usize {
+    std::env::var("GP_FUZZ_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Feeds `bytes` + newline through `dec` in random-size chunks, returning
+/// every event the frame completed.
+fn feed(dec: &mut LineDecoder, rng: &mut FuzzRng, bytes: &[u8]) -> Vec<DecodeEvent> {
+    let mut framed = bytes.to_vec();
+    framed.push(b'\n');
+    let max_chunk = 1 + rng.below(4096);
+    let mut events = Vec::new();
+    for chunk in chunk_stream(rng, &framed, max_chunk) {
+        events.extend(dec.push(&chunk));
+    }
+    events
+}
+
+/// The connection must still speak protocol after the previous frame:
+/// a stats probe decodes to exactly one line and parses to `Stats`.
+fn assert_recovered(dec: &mut LineDecoder, rng: &mut FuzzRng, context: &str) {
+    let events = feed(dec, rng, br#"{"stats":true}"#);
+    assert_eq!(events.len(), 1, "{context}: probe produced {events:?}");
+    match &events[0] {
+        DecodeEvent::Line(line) => match parse_line(line) {
+            Ok(Incoming::Stats { .. }) => {}
+            other => panic!("{context}: probe parsed to {other:?}"),
+        },
+        DecodeEvent::Oversized => panic!("{context}: probe flagged oversized"),
+    }
+}
+
+#[test]
+fn codec_survives_seeded_frame_storm() {
+    let mut rng = FuzzRng::new(SEED);
+    let mut dec = LineDecoder::new();
+    let budget = frame_budget();
+    let (mut well_formed, mut corrupted, mut oversized, mut refusals) = (0u64, 0u64, 0u64, 0u64);
+
+    for i in 0..budget {
+        let frame = next_frame(&mut rng);
+        let context = format!("frame {i} ({:?}, seed {SEED:#x})", frame.kind);
+        let events = feed(&mut dec, &mut rng, &frame.bytes);
+
+        match frame.kind {
+            FrameKind::WellFormed => {
+                well_formed += 1;
+                assert_eq!(events.len(), 1, "{context}: {events:?}");
+                let DecodeEvent::Line(line) = &events[0] else {
+                    panic!("{context}: flagged oversized");
+                };
+                parse_line(line).unwrap_or_else(|e| panic!("{context}: refused: {}", e.detail));
+            }
+            FrameKind::Corrupted => {
+                corrupted += 1;
+                // One frame, no interior newlines: at most one event. The
+                // only obligation is no panic plus a well-formed refusal.
+                assert!(events.len() <= 1, "{context}: {events:?}");
+                if let Some(DecodeEvent::Line(line)) = events.first() {
+                    if let Err(e) = parse_line(line) {
+                        refusals += 1;
+                        let refusal =
+                            refusal_line(Refusal::BadRequest, &e.detail, None, e.version);
+                        gp_serve::json::parse(refusal.trim())
+                            .unwrap_or_else(|err| panic!("{context}: bad refusal: {err}"));
+                    }
+                }
+            }
+            FrameKind::Oversized => {
+                oversized += 1;
+                assert!(frame.bytes.len() > MAX_LINE);
+                assert_eq!(
+                    events.first(),
+                    Some(&DecodeEvent::Oversized),
+                    "{context}: {events:?}"
+                );
+                assert_eq!(events.len(), 1, "{context}: duplicate events {events:?}");
+                assert!(
+                    dec.pending() <= MAX_LINE,
+                    "{context}: decoder buffered {} bytes past the cap",
+                    dec.pending()
+                );
+            }
+        }
+
+        assert_recovered(&mut dec, &mut rng, &context);
+    }
+
+    // The storm must actually exercise every class, and garbage must be
+    // getting refused (not accidentally parsing).
+    assert!(well_formed > 0 && corrupted > 0 && oversized > 0);
+    assert!(
+        refusals * 2 > corrupted,
+        "only {refusals} refusals from {corrupted} corrupted frames — mutation too weak"
+    );
+    println!(
+        "codec fuzz: {budget} frames ({well_formed} well-formed, {corrupted} corrupted \
+         [{refusals} refused], {oversized} oversized), decoder recovered after every one"
+    );
+}

@@ -1,6 +1,50 @@
-//! Backend selection.
+//! Backend probing.
+//!
+//! This module answers exactly one question — *what can the hardware run?*
+//! — and answers it purely: no environment variables, no caching, no
+//! policy. Selection policy (the `GP_FORCE_EMULATED` override, the cached
+//! process-wide choice, provenance reporting) lives in the backend registry
+//! in `gp_core::backends`, which every call site goes through; nothing else
+//! in the workspace consults the environment for backend selection.
 
 use crate::backend::{Avx512, Emulated};
+
+/// Raw ISA capability report for the running CPU. The registry embeds this
+/// in `BackendInfo` so `gpart --version` and the serve stats plane can say
+/// *why* a backend resolved the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaProbe {
+    /// AVX-512 Foundation (`vpscatterdd`, masked lane ops).
+    pub avx512f: bool,
+    /// AVX-512 Conflict Detection (`vpconflictd`).
+    pub avx512cd: bool,
+}
+
+impl IsaProbe {
+    /// Runs the CPUID feature checks (unconditionally false off x86-64).
+    pub fn detect() -> IsaProbe {
+        #[cfg(target_arch = "x86_64")]
+        {
+            IsaProbe {
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                avx512cd: std::arch::is_x86_feature_detected!("avx512cd"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            IsaProbe {
+                avx512f: false,
+                avx512cd: false,
+            }
+        }
+    }
+
+    /// Whether the native AVX-512 backend can be constructed (both feature
+    /// bits present — `Avx512::new` enforces the same pair).
+    pub fn native_ok(&self) -> bool {
+        self.avx512f && self.avx512cd
+    }
+}
 
 /// The backend actually available on this host.
 ///
@@ -14,7 +58,7 @@ use crate::backend::{Avx512, Emulated};
 ///
 /// fn kernel<S: Simd>(s: &S) -> i32 { s.extract_i32(s.splat_i32(7), 3) }
 ///
-/// let x = match Engine::best() {
+/// let x = match Engine::probe() {
 ///     Engine::Native(s) => kernel(&s),
 ///     Engine::Emulated(s) => kernel(&s),
 /// };
@@ -29,24 +73,20 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Picks the native backend when the CPU supports it, otherwise the
-    /// emulation. Setting `GP_FORCE_EMULATED=1` overrides to the emulation
-    /// (A/B testing without code changes).
-    ///
-    /// The environment is consulted **once**, on first call, and cached in a
-    /// [`std::sync::OnceLock`] — hot loops that call `best()` per round (or
-    /// per vertex batch) must not pay a `getenv` each time. Use
-    /// [`Engine::from_env`] when a fresh read is required (tests that set
-    /// the variable mid-process).
-    pub fn best() -> Engine {
-        static BEST: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
-        *BEST.get_or_init(Engine::from_env)
+    /// Pure hardware probe: the native backend when the CPU supports it,
+    /// the emulation otherwise. Never consults the environment — callers
+    /// wanting the process-wide *policy* selection (which honors
+    /// `GP_FORCE_EMULATED=1`) go through `gp_core::backends::engine()`.
+    pub fn probe() -> Engine {
+        Engine::select(false)
     }
 
-    /// Uncached variant of [`Engine::best`]: re-reads `GP_FORCE_EMULATED`
-    /// from the environment on every call.
-    pub fn from_env() -> Engine {
-        if std::env::var("GP_FORCE_EMULATED").is_ok_and(|v| v == "1") {
+    /// Probe with an explicit emulation override: `select(true)` is the
+    /// emulated engine regardless of hardware, `select(false)` is
+    /// [`Engine::probe`]. The registry passes the parsed env override down
+    /// through this single seam.
+    pub fn select(force_emulated: bool) -> Engine {
+        if force_emulated {
             return Engine::Emulated(Emulated);
         }
         match Avx512::new() {
@@ -79,20 +119,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn best_engine_is_constructible() {
-        let e = Engine::best();
+    fn probed_engine_is_constructible() {
+        let e = Engine::probe();
         // On the reproduction host this is native; elsewhere emulated. Both
         // must report a sensible name.
         assert!(["avx512", "emulated"].contains(&e.name()));
     }
 
     #[test]
-    fn best_is_cached_and_stable() {
-        // Repeated calls return the same selection (OnceLock semantics).
-        assert_eq!(Engine::best().name(), Engine::best().name());
-        // `from_env` agrees with the cached value in an unchanged
-        // environment.
-        assert_eq!(Engine::best().is_native(), Engine::from_env().is_native());
+    fn probe_matches_isa_report() {
+        assert_eq!(Engine::probe().is_native(), IsaProbe::detect().native_ok());
+        // The probe is pure hardware detection: repeated calls agree.
+        assert_eq!(Engine::probe().name(), Engine::probe().name());
+    }
+
+    #[test]
+    fn select_honors_the_override() {
+        assert_eq!(Engine::select(true).name(), "emulated");
+        assert!(!Engine::select(true).is_native());
+        assert_eq!(Engine::select(false).name(), Engine::probe().name());
     }
 
     #[test]

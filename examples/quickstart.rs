@@ -17,7 +17,7 @@ fn main() {
         "graph: {} vertices, {} edges, max degree {}, avg degree {:.1}",
         stats.num_vertices, stats.num_edges, stats.max_degree, stats.avg_degree
     );
-    println!("vector backend: {}\n", Engine::best().name());
+    println!("vector backend: {}\n", gp_core::backends::engine().name());
 
     // Distance-1 coloring with the speculative parallel greedy algorithm
     // (ONPL-vectorized color assignment on AVX-512 hosts).

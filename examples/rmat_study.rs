@@ -9,7 +9,6 @@
 use graph_partition_avx512::core::api::{run_kernel, Backend, Kernel, KernelSpec};
 use graph_partition_avx512::graph::generators::rmat::{rmat, RmatConfig};
 use graph_partition_avx512::metrics::telemetry::NoopRecorder;
-use graph_partition_avx512::simd::engine::Engine;
 use std::time::Instant;
 
 fn run<F: FnMut() -> R, R>(mut f: F) -> std::time::Duration {
@@ -22,7 +21,7 @@ fn run<F: FnMut() -> R, R>(mut f: F) -> std::time::Duration {
 }
 
 fn main() {
-    println!("backend: {}\n", Engine::best().name());
+    println!("backend: {}\n", gp_core::backends::engine().name());
     println!("{:>12} {:>12} {:>12} {:>8}", "edge factor", "MPLP", "ONLP", "gain");
     // Same kernel, two backends: Scalar pins MPLP, Auto dispatches to the
     // best vector engine (ONLP).
