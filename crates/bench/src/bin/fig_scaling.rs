@@ -16,13 +16,21 @@
 //! including `host_cpus`, `--check` verifies the 4-thread run is ≥1.3×
 //! faster than 1-thread on at least two substrate passes — skipped with a
 //! warning (exit 0) when the host has fewer than 4 CPUs, where no such
-//! speedup is physically available.
+//! speedup is physically available — and applies the σ/mean < 2% variance
+//! gate shared with the other figure checks (self-skipping on ≤1 CPU).
+//!
+//! Per-pass *busy fractions* (speedup/threads — the fraction of the pool
+//! doing useful work) are reported alongside raw speedups so idle-tail
+//! regressions are visible: a pass whose 4-thread busy fraction sits near
+//! 0.25 is running serially no matter what its wall-clock says. The rmat
+//! row also reports its RNG sample-block count, the hard upper bound on its
+//! generation parallelism.
 
-use gp_bench::harness::{print_header, BenchContext};
+use gp_bench::harness::{print_header, variance_gate, BenchContext, VarianceVerdict};
 use gp_core::api::{run_kernel, Kernel, KernelSpec};
 use gp_core::louvain::coarsen::coarsen;
 use gp_graph::builder::{DedupPolicy, GraphBuilder};
-use gp_graph::generators::rmat::{rmat, RmatConfig};
+use gp_graph::generators::rmat::{rmat, sample_block_count, RmatConfig};
 use gp_graph::par::with_threads;
 use gp_graph::{csr::Csr, Edge};
 use gp_metrics::report::{fmt_ratio, fmt_secs, Table};
@@ -44,6 +52,12 @@ impl Row {
     fn speedup(&self, threads: usize) -> f64 {
         let i = THREADS.iter().position(|&t| t == threads).unwrap();
         self.secs[0] / self.secs[i]
+    }
+
+    /// Fraction of the pool doing useful work at this size: speedup divided
+    /// by threads. 1.0 = perfectly parallel, 1/threads = fully serial.
+    fn busy_fraction(&self, threads: usize) -> f64 {
+        self.speedup(threads) / threads as f64
     }
 }
 
@@ -78,10 +92,12 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let rmat_cfg = RmatConfig::new(scale, 8).with_seed(42);
+    let sample_blocks = sample_block_count(&rmat_cfg);
     let g = rmat(rmat_cfg);
     if !ctx.csv {
         println!(
-            "graph: rmat scale={scale} ef=8 ({} vertices, {} edges) | host cpus: {host_cpus}{}\n",
+            "graph: rmat scale={scale} ef=8 ({} vertices, {} edges) | rmat sample blocks: \
+             {sample_blocks} | host cpus: {host_cpus}{}\n",
             g.num_vertices(),
             g.num_edges(),
             if gp_par::sequential_mode() {
@@ -181,7 +197,7 @@ fn main() {
 
     let mut table = Table::new(
         format!("Wall time by pool size (rmat scale {scale}, host cpus {host_cpus})"),
-        &["pass", "kind", "1t", "2t", "4t", "8t", "4t/1t", "8t/1t"],
+        &["pass", "kind", "1t", "2t", "4t", "8t", "4t/1t", "8t/1t", "busy4t", "busy8t"],
     );
     for r in &rows {
         table.row(&[
@@ -193,12 +209,14 @@ fn main() {
             fmt_secs(r.secs[3]),
             fmt_ratio(r.speedup(4)),
             fmt_ratio(r.speedup(8)),
+            format!("{:.2}", r.busy_fraction(4)),
+            format!("{:.2}", r.busy_fraction(8)),
         ]);
     }
     ctx.emit(&table);
 
     if let Ok(path) = std::env::var("GP_JSON_OUT") {
-        write_json(&path, scale, host_cpus, &g, &rows).unwrap_or_else(|e| {
+        write_json(&path, scale, host_cpus, sample_blocks, &g, &rows).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
@@ -208,15 +226,41 @@ fn main() {
     }
 
     if check {
+        // Measurement hygiene first, same σ/mean < 2% bar as the other
+        // figure checks (self-skips on ≤1 CPU).
+        let mut failed = false;
+        match variance_gate(|| {
+            std::hint::black_box(rmat(RmatConfig::new(scale.min(14), 8).with_seed(42)));
+        }) {
+            VarianceVerdict::Steady(s) => {
+                println!("\nvariance gate: σ/mean = {:.2}% over 3 runs", 100.0 * s);
+            }
+            VarianceVerdict::Noisy(s) => {
+                eprintln!(
+                    "CHECK FAILED: host too noisy — σ/mean = {:.2}% ≥ 2% over 3 runs",
+                    100.0 * s
+                );
+                failed = true;
+            }
+            VarianceVerdict::SkippedLowCpu => {
+                println!("\nvariance gate SKIPPED: ≤ 1 CPU available");
+            }
+        }
         if host_cpus < 4 {
             println!(
                 "\ncheck SKIPPED: host has {host_cpus} cpu(s); a 4-thread speedup gate \
                  needs >= 4 (oversubscribed pools cannot beat wall-clock)"
             );
+            if failed {
+                std::process::exit(1);
+            }
             return;
         }
         if gp_par::sequential_mode() {
             println!("\ncheck SKIPPED: GP_PAR_SEQ=1 forces inline pools");
+            if failed {
+                std::process::exit(1);
+            }
             return;
         }
         let passing: Vec<&Row> = rows
@@ -231,6 +275,9 @@ fn main() {
             for r in rows.iter().filter(|r| r.kind == "substrate") {
                 eprintln!("  {}: {:.2}x", r.name, r.speedup(4));
             }
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
         println!(
@@ -245,6 +292,7 @@ fn write_json(
     path: &str,
     scale: u32,
     host_cpus: usize,
+    sample_blocks: usize,
     g: &Csr,
     rows: &[Row],
 ) -> std::io::Result<()> {
@@ -255,7 +303,7 @@ fn write_json(
     writeln!(f, "  \"threads\": [1, 2, 4, 8],")?;
     writeln!(
         f,
-        "  \"graph\": {{\"family\": \"rmat\", \"scale\": {scale}, \"edge_factor\": 8, \"vertices\": {}, \"edges\": {}}},",
+        "  \"graph\": {{\"family\": \"rmat\", \"scale\": {scale}, \"edge_factor\": 8, \"vertices\": {}, \"edges\": {}, \"rmat_sample_blocks\": {sample_blocks}}},",
         g.num_vertices(),
         g.num_edges()
     )?;
@@ -265,12 +313,14 @@ fn write_json(
         let secs: Vec<String> = r.secs.iter().map(|s| format!("{s:.6}")).collect();
         writeln!(
             f,
-            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"secs\": [{}], \"speedup_4t\": {:.4}, \"speedup_8t\": {:.4}}}{comma}",
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"secs\": [{}], \"speedup_4t\": {:.4}, \"speedup_8t\": {:.4}, \"busy_fraction_4t\": {:.4}, \"busy_fraction_8t\": {:.4}}}{comma}",
             r.name,
             r.kind,
             secs.join(", "),
             r.speedup(4),
-            r.speedup(8)
+            r.speedup(8),
+            r.busy_fraction(4),
+            r.busy_fraction(8)
         )?;
     }
     writeln!(f, "  ]")?;

@@ -32,6 +32,7 @@ USAGE:
   gpart update    <graph> [--kernel color|louvain-<v>|labelprop]
                           [--edits file] [--steps n] [--churn frac] [--seed n]
                           [--out file] [--trace file] (+ kernel flags above)
+  gpart batch     <specs> [--window n] [--timeline file] [--no-baseline]
   gpart partition <graph> [--k n] [--out file]
   gpart slpa      <graph> [--threshold r] [--out file]
   gpart serve     [--addr host:port] [--workers n] [--shards n]
@@ -44,6 +45,12 @@ Graph formats by extension: .el/.txt/.edges (edge list),
 --trace records per-round telemetry (JSON, or CSV for a .csv path),
 including substrate phase timings (coarsen/project) for multilevel runs
 and delta_apply/compaction phases for streaming (update) runs.
+batch runs a specs file (one `<kernel> <family:key=value,...>` per line,
+plus the kernel flags above, `--seed n`, `--sequential`) through the
+pipelined executor: graph build for item N+1 overlaps item N's kernel
+rounds (docs/PIPELINE.md). --window bounds in-flight items, --timeline
+writes the busy/idle span CSV, and sequential items are checked
+bit-identical against the per-item baseline (skip it: --no-baseline).
 update streams edge mutations through a DeltaCsr and re-runs the kernel
 incrementally per batch: --edits applies one batch from a file of
 `+ u v [w]` / `- u v` lines; otherwise --steps random churn batches of
@@ -623,6 +630,160 @@ pub fn labelprop(args: &[String]) -> Result<(), String> {
     if let Some(path) = out {
         save_assignment(&r.labels, &path)?;
         println!("labels written to {path}");
+    }
+    Ok(())
+}
+
+/// `true` + remainder when `flag` appears in `args` (valueless switch).
+fn take_switch(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != flag).cloned().collect();
+    (rest.len() != args.len(), rest)
+}
+
+/// One parsed line of a batch specs file.
+struct BatchLine {
+    label: String,
+    spec: KernelSpec,
+    graph: gp_serve::GraphSpec,
+}
+
+/// Parses a specs file: one `<kernel> <graph> [flags]` per line, where
+/// `<graph>` is the compact family spec `generate` reports (e.g.
+/// `rmat:scale=14,ef=8,seed=42`), flags are the shared kernel flags plus
+/// `--seed n` / `--sequential`; `#` comments and blank lines are skipped.
+fn parse_batch_specs(path: &str) -> Result<Vec<BatchLine>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |e: String| format!("{path}:{}: {e}", idx + 1);
+        let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let kernel: Kernel = toks[0].parse().map_err(|e| at(String::from(e)))?;
+        let graph = toks
+            .get(1)
+            .ok_or_else(|| at("missing <graph> spec after kernel".into()))?;
+        let graph = gp_serve::GraphSpec::from_compact(graph).map_err(at)?;
+        let (spec, rest) = take_spec_flags(&toks[2..], KernelSpec::new(kernel)).map_err(at)?;
+        let (seed, rest) = take_flag(&rest, "--seed");
+        let mut spec = match seed {
+            Some(s) => spec.with_seed(s.parse().map_err(|e| at(format!("bad seed: {e}")))?),
+            None => spec,
+        };
+        let (sequential, rest) = take_switch(&rest, "--sequential");
+        if sequential {
+            spec = spec.sequential();
+        }
+        if let Some(extra) = rest.first() {
+            return Err(at(format!("unexpected argument `{extra}`")));
+        }
+        lines.push(BatchLine {
+            label: format!("{} {}", toks[0], graph.canonical_key()),
+            spec,
+            graph,
+        });
+    }
+    if lines.is_empty() {
+        return Err(format!("{path}: no batch specs found"));
+    }
+    Ok(lines)
+}
+
+pub fn batch(args: &[String]) -> Result<(), String> {
+    use gp_core::pipeline::{BatchItem, PipelineExecutor};
+    use gp_metrics::interval::IntervalRecorder;
+
+    let (window, rest) = take_flag(args, "--window");
+    let window: usize = window
+        .map(|w| w.parse().map_err(|e| format!("bad window: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let (timeline, rest) = take_flag(&rest, "--timeline");
+    let (no_baseline, rest) = take_switch(&rest, "--no-baseline");
+    let lines = parse_batch_specs(positional(&rest, 0, "specs")?)?;
+
+    // Sequential baseline: the same per-item loop `color`/`louvain`/
+    // `labelprop` would run one invocation at a time — the reference both
+    // for the end-to-end speedup and for the bit-identity check below.
+    let baseline = if no_baseline {
+        None
+    } else {
+        let t = std::time::Instant::now();
+        let outs: Vec<KernelOutput> = lines
+            .iter()
+            .map(|l| {
+                let g = l.graph.build();
+                std::hint::black_box(DegreeHistogram::build(&g).max_degree);
+                run_kernel(&g, &l.spec, &mut NoopRecorder)
+            })
+            .collect();
+        Some((outs, t.elapsed().as_secs_f64()))
+    };
+
+    let items: Vec<BatchItem> = lines
+        .iter()
+        .map(|l| {
+            let graph = l.graph.clone();
+            BatchItem::new(l.label.clone(), l.spec, move || graph.build())
+        })
+        .collect();
+    let rec = IntervalRecorder::new();
+    let t = std::time::Instant::now();
+    let results = PipelineExecutor::new(window).run(items, &rec);
+    let piped_secs = t.elapsed().as_secs_f64();
+
+    for (line, outcome) in lines.iter().zip(&results) {
+        let out = outcome
+            .output()
+            .ok_or_else(|| format!("{}: cancelled", line.label))?;
+        println!(
+            "{:<40} {} rounds  {:.3}s  (backend: {})",
+            line.label,
+            out.rounds(),
+            out.elapsed_secs(),
+            out.backend()
+        );
+    }
+
+    let tl = rec.into_timeline();
+    let sum = tl.summary();
+    println!("---");
+    for st in &sum.stages {
+        println!(
+            "stage {:<10} busy {:>8.3}s  ({:>5.1}% of wall)",
+            st.stage,
+            st.busy_secs,
+            100.0 * st.busy_fraction
+        );
+    }
+    println!(
+        "pipelined: {piped_secs:.3}s over {} items (window {window}, overlap {:.1}%)",
+        lines.len(),
+        100.0 * sum.overlap_fraction
+    );
+    if let Some((outs, seq_secs)) = &baseline {
+        println!(
+            "sequential baseline: {seq_secs:.3}s  (pipeline speedup {:.2}x)",
+            seq_secs / piped_secs.max(1e-12)
+        );
+        // Determinism contract: `parallel: false` items must match the
+        // baseline bit-for-bit at any window size.
+        for ((line, outcome), expected) in lines.iter().zip(&results).zip(outs) {
+            if !line.spec.parallel && outcome.output() != Some(expected) {
+                return Err(format!(
+                    "{}: pipelined output diverged from sequential baseline",
+                    line.label
+                ));
+            }
+        }
+        let checked = lines.iter().filter(|l| !l.spec.parallel).count();
+        println!("bit-identity: {checked}/{} sequential items match baseline", lines.len());
+    }
+    if let Some(path) = timeline {
+        std::fs::write(&path, tl.to_csv()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("timeline written to {path}");
     }
     Ok(())
 }

@@ -76,6 +76,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("louvain") => commands::louvain(&args[1..]),
         Some("labelprop") => commands::labelprop(&args[1..]),
         Some("update") => commands::update(&args[1..]),
+        Some("batch") => commands::batch(&args[1..]),
         Some("partition") => commands::partition(&args[1..]),
         Some("slpa") => commands::slpa(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),

@@ -34,6 +34,7 @@ pub mod louvain;
 pub mod neighborhood;
 pub mod overlap;
 pub mod partition;
+pub mod pipeline;
 pub mod quality;
 pub mod reduce_scatter;
 pub(crate) mod vector_affinity;

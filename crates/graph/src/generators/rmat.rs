@@ -15,9 +15,18 @@
 //! never on the thread count — so the generated graph is a pure function of
 //! the config: blocks can be sampled on any number of threads (or serially)
 //! and concatenate to the identical edge list.
+//!
+//! Blocks are fanned out to workers as contiguous *ranges* balanced by
+//! sample quota (`chunk_ranges_weighted`), not by block count: the final
+//! block carries only `target % SAMPLE_CHUNK` samples, and an even block
+//! split would park one worker on that near-empty tail while another
+//! carries full blocks. Ranges are processed left-to-right and their edge
+//! vectors concatenated in range order, so the edge sequence — and the
+//! built graph — is byte-identical to the serial block sweep.
 
 use crate::builder::{DedupPolicy, GraphBuilder};
 use crate::csr::Csr;
+use crate::par::{chunk_count, chunk_ranges_weighted};
 use crate::Edge;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -158,19 +167,26 @@ pub fn rmat(cfg: RmatConfig) -> Csr {
     cfg.validate();
     let n = 1usize << cfg.scale;
     let target = n * cfg.edge_factor as usize;
-    let blocks = target.div_ceil(SAMPLE_CHUNK).max(1);
+    let blocks = sample_block_count(&cfg);
+    let quota = |block: usize| SAMPLE_CHUNK.min(target - block * SAMPLE_CHUNK);
 
-    let sampled: Vec<Vec<Edge>> = (0..blocks)
-        .into_par_iter()
-        .map(|block| {
-            let quota = SAMPLE_CHUNK.min(target - block * SAMPLE_CHUNK);
-            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-            rng.set_stream(block as u64);
-            let mut out = Vec::with_capacity(quota);
-            for _ in 0..quota {
-                let (u, v) = sample_edge(&cfg, &mut rng);
-                if u != v {
-                    out.push(Edge::unweighted(u, v));
+    // One task per worker, each owning a contiguous block range balanced by
+    // sample quota — the tail block can be nearly empty, so splitting by
+    // block count would strand a worker on it (see module docs).
+    let ranges = chunk_ranges_weighted(blocks, chunk_count(blocks, 1), |b| quota(b) as u64);
+    let sampled: Vec<Vec<Edge>> = ranges
+        .par_iter()
+        .map(|range| {
+            let samples: usize = range.clone().map(quota).sum();
+            let mut out = Vec::with_capacity(samples);
+            for block in range.clone() {
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+                rng.set_stream(block as u64);
+                for _ in 0..quota(block) {
+                    let (u, v) = sample_edge(&cfg, &mut rng);
+                    if u != v {
+                        out.push(Edge::unweighted(u, v));
+                    }
                 }
             }
             out
@@ -178,10 +194,19 @@ pub fn rmat(cfg: RmatConfig) -> Csr {
         .collect();
 
     let mut builder = GraphBuilder::new(n).dedup_policy(DedupPolicy::KeepMax);
-    for block in sampled {
-        builder = builder.add_edges(block);
+    for chunk in sampled {
+        builder = builder.add_edges(chunk);
     }
     builder.build()
+}
+
+/// Number of fixed-size RNG sample blocks [`rmat`] draws for this config —
+/// the upper bound on usable parallelism during edge generation (each block
+/// is one independent `ChaCha8Rng` stream and cannot be subdivided without
+/// changing the output).
+pub fn sample_block_count(cfg: &RmatConfig) -> usize {
+    let target = (1usize << cfg.scale) * cfg.edge_factor as usize;
+    target.div_ceil(SAMPLE_CHUNK).max(1)
 }
 
 #[cfg(test)]
@@ -212,6 +237,26 @@ mod tests {
             let g = with_threads(t, || rmat(cfg));
             assert_eq!(g, reference, "graph changed at {t} threads");
         }
+    }
+
+    #[test]
+    fn partial_tail_block_is_thread_invariant() {
+        // 2^13 * 9 = 73728 samples = one full block + a 8192-sample tail:
+        // exercises the quota-weighted range split around an uneven block.
+        let cfg = RmatConfig::new(13, 9).with_seed(5);
+        assert_eq!(sample_block_count(&cfg), 2);
+        let reference = with_threads(1, || rmat(cfg));
+        for t in [2usize, 4, 8] {
+            let g = with_threads(t, || rmat(cfg));
+            assert_eq!(g, reference, "graph changed at {t} threads");
+        }
+    }
+
+    #[test]
+    fn sample_block_count_matches_target() {
+        assert_eq!(sample_block_count(&RmatConfig::new(8, 4)), 1); // 2^10 samples
+        assert_eq!(sample_block_count(&RmatConfig::new(14, 8)), 2); // 2^17 / 2^16
+        assert_eq!(sample_block_count(&RmatConfig::new(18, 8)), 32); // 2^21 / 2^16
     }
 
     #[test]

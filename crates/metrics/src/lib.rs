@@ -3,18 +3,24 @@
 //! Measurement substrate for the experiment harness: repeated-run timing
 //! with the paper's methodology (25 runs per configuration, mean + bootstrap
 //! 95% confidence interval), modeled-energy aggregation, per-round kernel
-//! telemetry with cooperative deadline cancellation ([`telemetry`]), a
+//! telemetry with cooperative deadline cancellation ([`telemetry`]),
+//! busy/idle interval timelines proving pipeline overlap ([`interval`]), a
 //! concurrent latency histogram for the serving layer ([`histogram`]), and
 //! plain-text / CSV / JSON report emission for the figure binaries.
 
 pub mod energy;
 pub mod histogram;
+pub mod interval;
 pub mod report;
 pub mod stats;
 pub mod telemetry;
 pub mod timer;
 
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use interval::{
+    IntervalRecorder, IntervalSink, NoopIntervals, Span, SpanProbe, StageUtil, Timeline,
+    TimelineSummary,
+};
 pub use report::{trace_csv, trace_json, write_trace, Table};
 pub use stats::{bootstrap_ci, Summary};
 pub use telemetry::{

@@ -76,8 +76,33 @@ impl<T> Bounded<T> {
         }
         state.items.push_back(item);
         drop(state);
-        self.available.notify_one();
+        // notify_all, not notify_one: consumers and the shard's builder
+        // companion ([`Bounded::wait_head`]) share this condvar, and a
+        // single wakeup routed to the peeker would strand the job.
+        self.available.notify_all();
         Ok(())
+    }
+
+    /// Blocking peek: waits until `f` claims the queue head (returns
+    /// `Some`) or the queue is closed **and** drained. The head is *not*
+    /// removed — consumers still own removal — and `f` runs under the
+    /// queue lock, so a claim and the head's continued presence are
+    /// atomic: a consumer cannot pop the job before the claim lands.
+    ///
+    /// When `f` declines a head (returns `None`), the call keeps waiting;
+    /// it is re-invoked whenever the head may have changed (push, pop).
+    pub fn wait_head<R>(&self, mut f: impl FnMut(&T) -> Option<R>) -> Option<R> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(head) = state.items.front() {
+                if let Some(r) = f(head) {
+                    return Some(r);
+                }
+            } else if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
     }
 
     /// Blocking consume: returns the next job, or `None` once the queue is
@@ -86,6 +111,10 @@ impl<T> Bounded<T> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(item) = state.items.pop_front() {
+                // Wake any `wait_head` peeker: a new head may be exposed,
+                // or (on the final drain of a closed queue) the peeker must
+                // observe empty-and-closed to exit.
+                self.available.notify_all();
                 return Some(item);
             }
             if state.closed {
@@ -159,6 +188,59 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn wait_head_peeks_without_removing() {
+        let q = Bounded::new(2);
+        q.try_push(7u32).unwrap();
+        let seen = q.wait_head(|&v| Some(v));
+        assert_eq!(seen, Some(7));
+        assert_eq!(q.len(), 1, "peek must not dequeue");
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn wait_head_returns_none_once_closed_and_drained() {
+        let q = Bounded::new(2);
+        q.try_push(1u32).unwrap();
+        q.close();
+        assert_eq!(q.wait_head(|&v| Some(v)), Some(1), "drains before exiting");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.wait_head(|&v| Some(v)), None);
+    }
+
+    #[test]
+    fn wait_head_observes_each_new_head_as_pops_expose_them() {
+        let q = Arc::new(Bounded::new(4));
+        q.try_push(1u32).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        let peeker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                let mut seen = Vec::new();
+                // Decline already-seen heads; collect each distinct one.
+                while let Some(v) = q.wait_head(|&v| (v > last).then_some(v)) {
+                    last = v;
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        let seen = peeker.join().unwrap();
+        assert!(seen.contains(&1), "initial head observed: {seen:?}");
+        // Heads 2 and 3 were exposed by pops; the peeker may race a pop and
+        // miss one, but the final drain must terminate it regardless.
+        assert!(seen.len() <= 3);
     }
 
     #[test]

@@ -202,6 +202,17 @@ impl Server {
                         .expect("spawn worker"),
                 );
             }
+            // One builder companion per shard: stages the queue head's
+            // graph while a worker runs the previous kernel (the serve
+            // half of docs/PIPELINE.md). Exits with the workers, when the
+            // queue closes and drains.
+            let shard = Arc::clone(shard);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gp-serve-s{i}b"))
+                    .spawn(move || builder_loop(&shard))
+                    .expect("spawn builder companion"),
+            );
         }
 
         let loop_shared = Arc::clone(&shared);
@@ -503,6 +514,7 @@ fn handle_line(line: &str, token: u64, shared: &Arc<Shared>) -> Option<String> {
         deadline,
         token,
         coalesce_key,
+        seq: shard.next_seq.fetch_add(1, Ordering::Relaxed) + 1,
     };
     match shard.queue.try_push(job) {
         Ok(()) => None,
@@ -544,11 +556,52 @@ fn epoch_key(base: String, epoch: u64) -> String {
     }
 }
 
+/// Shard builder companion: the serve tier's substrate lane. While a
+/// worker runs one job's kernel rounds, this thread watches the admission
+/// queue *head* (without dequeuing it — queue occupancy, and therefore
+/// shedding, is untouched) and materializes its graph ahead of time, so
+/// the pop-to-kernel-start gap collapses to a staging-table lookup. Only
+/// plain kernel runs against pristine (session-free) graphs are
+/// prefetched: update frames mutate state, the sleep kernel has no graph,
+/// and session graphs must be read at execution time to preserve
+/// read-your-writes ordering (the worker re-checks at consume time too —
+/// see [`execute`]).
+fn builder_loop(shard: &Arc<Shard>) {
+    let mut last_seq = 0u64;
+    loop {
+        let claim = shard.queue.wait_head(|job: &Job| {
+            if job.seq <= last_seq {
+                return None; // already examined this head; wait for the next
+            }
+            last_seq = job.seq;
+            let spec = job.request.spec.as_ref()?;
+            if job.request.update.is_some()
+                || matches!(job.request.kernel, Kernel::Sleep { .. })
+                || shard.session_of(&spec.canonical_key()).is_some()
+            {
+                return None;
+            }
+            // Claim under the queue lock: a worker popping this job
+            // afterwards is guaranteed to see the staging entry.
+            shard.staging.claim(job.seq);
+            Some((job.seq, spec.clone()))
+        });
+        match claim {
+            Some((seq, spec)) => {
+                let (graph, hit) = shard.graph_peek(&spec);
+                shard.staging.fulfill(seq, graph, hit);
+            }
+            None => break, // queue closed and drained
+        }
+    }
+}
+
 /// Shard worker: pop, execute, cache, fan out to coalesced followers;
 /// exits when the shard queue closes and drains.
 fn worker_loop(shard: &Arc<Shard>, shared: &Arc<Shared>) {
     while let Some(job) = shard.queue.pop() {
-        let body = execute(shard, &job);
+        let staged = shard.staging.take(job.seq);
+        let body = execute(shard, &job, staged);
         let failed = body.get("ok").and_then(Json::as_bool) == Some(false);
         let timed_out = body.get("timed_out").and_then(Json::as_bool) == Some(true);
         // Cache complete runs; a timed-out partial (or a worker-side
@@ -784,7 +837,9 @@ fn execute_update(shard: &Shard, job: &Job, started: Instant) -> Json {
 
 /// Executes one admitted job on its home shard, producing the core response
 /// body (without the per-delivery `cached`/`coalesced`/`id`/`v` fields).
-fn execute(shard: &Shard, job: &Job) -> Json {
+/// `staged` is the graph the builder companion prefetched for this job, if
+/// any (see [`builder_loop`]).
+fn execute(shard: &Shard, job: &Job, staged: Option<(Arc<Csr>, bool)>) -> Json {
     let started = Instant::now();
     let request = &job.request;
 
@@ -819,7 +874,18 @@ fn execute(shard: &Shard, job: &Job) -> Json {
     }
 
     let spec = request.spec.as_ref().expect("non-sleep requests carry a spec");
-    let (graph, epoch) = shard.graph_for_run(spec);
+    // A staged graph is always the pristine (epoch-0) generator output.
+    // Re-check for a session at consume time: if an update created one
+    // after the builder's claim, the prefetch is stale for ordering
+    // purposes (a client that saw its update acknowledged must see the
+    // mutated graph) and the worker falls back to the normal read path.
+    let (graph, epoch) = match staged {
+        Some((g, hit)) if shard.session_of(&spec.canonical_key()).is_none() => {
+            shard.stats.on_graph_cache(hit);
+            (g, 0)
+        }
+        _ => shard.graph_for_run(spec),
+    };
     let (outcome, timed_out) = match job.deadline {
         Some(deadline) => {
             let mut rec = DeadlineRecorder::new(NoopRecorder, deadline);

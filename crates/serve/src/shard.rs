@@ -23,7 +23,7 @@ use gp_graph::csr::Csr;
 use gp_graph::delta::DeltaCsr;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// 64-bit FNV-1a — the same cheap, dependency-free hash the rest of the
@@ -101,6 +101,85 @@ pub(crate) struct Job {
     /// Set when this job is a coalescing leader: completing it must fan the
     /// result out to the followers registered under this key.
     pub coalesce_key: Option<String>,
+    /// Per-shard admission sequence number (monotonic, starts at 1) — the
+    /// staging key pairing this job with graph prefetch work done by the
+    /// shard's builder companion. Connection tokens won't do: one
+    /// connection can have several jobs queued at once.
+    pub seq: u64,
+}
+
+/// A graph prefetched for a queued job by the shard's builder companion
+/// (the serve-tier half of the `gp_core::pipeline` overlap model: the next
+/// job's substrate materializes while the current job's kernel runs).
+pub(crate) enum StagedGraph {
+    /// The builder claimed the job and is materializing its graph; the
+    /// popping worker waits rather than duplicating the build.
+    InProgress,
+    /// The graph is ready. `hit` records whether the builder found it in
+    /// the shard's graph cache — the *worker* reports that stat when it
+    /// consumes the entry, so cache counters match the unpipelined path
+    /// exactly (one hit-or-miss per executed job).
+    Ready {
+        graph: Arc<Csr>,
+        hit: bool,
+    },
+}
+
+/// Seq-keyed handoff table between a shard's builder companion and its
+/// workers. The builder claims the queue *head* under the queue lock (see
+/// [`crate::queue::Bounded::wait_head`]) without dequeuing it, so queue
+/// occupancy — and therefore shedding — is byte-for-byte what it was
+/// before pipelining.
+pub(crate) struct StagingTable {
+    slots: Mutex<HashMap<u64, StagedGraph>>,
+    ready: Condvar,
+}
+
+impl StagingTable {
+    fn new() -> StagingTable {
+        StagingTable {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Marks job `seq` as being staged. Called from the builder's
+    /// `wait_head` closure — i.e. under the queue lock, while the job is
+    /// still queued — so a worker popping the job afterwards is guaranteed
+    /// to observe the claim.
+    pub fn claim(&self, seq: u64) {
+        self.slots.lock().unwrap().insert(seq, StagedGraph::InProgress);
+    }
+
+    /// Publishes the staged graph for job `seq` and wakes any waiting
+    /// worker.
+    pub fn fulfill(&self, seq: u64, graph: Arc<Csr>, hit: bool) {
+        self.slots
+            .lock()
+            .unwrap()
+            .insert(seq, StagedGraph::Ready { graph, hit });
+        self.ready.notify_all();
+    }
+
+    /// Consumes the staged graph for job `seq`: `None` when the builder
+    /// never claimed it (the worker materializes as before), otherwise the
+    /// prefetched graph — blocking briefly if the builder is still mid
+    /// build (waiting is never slower than duplicating the build).
+    pub fn take(&self, seq: u64) -> Option<(Arc<Csr>, bool)> {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            match slots.get(&seq) {
+                None => return None,
+                Some(StagedGraph::Ready { .. }) => {
+                    match slots.remove(&seq) {
+                        Some(StagedGraph::Ready { graph, hit }) => return Some((graph, hit)),
+                        _ => unreachable!("entry inspected under the same lock"),
+                    }
+                }
+                Some(StagedGraph::InProgress) => slots = self.ready.wait(slots).unwrap(),
+            }
+        }
+    }
 }
 
 /// Mutable state behind a streaming session's lock: the delta graph, the
@@ -200,6 +279,10 @@ pub(crate) struct Shard {
     /// An entry exists exactly while a leader job for that key is queued or
     /// executing.
     pub inflight: Mutex<HashMap<String, Vec<Follower>>>,
+    /// Admission sequence counter feeding [`Job::seq`].
+    pub next_seq: AtomicU64,
+    /// Builder-companion → worker graph handoff (see [`StagingTable`]).
+    pub staging: StagingTable,
 }
 
 impl Shard {
@@ -213,6 +296,8 @@ impl Shard {
             results: Mutex::new(Lru::new(result_cache)),
             sessions: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(0),
+            staging: StagingTable::new(),
         }
     }
 
@@ -292,11 +377,53 @@ impl Shard {
         self.graphs.lock().unwrap().put(key, Arc::clone(&g));
         g
     }
+
+    /// [`Shard::graph_for`] without the stats side effect, reporting the
+    /// hit/miss verdict to the caller instead: the builder companion
+    /// prefetches through this and the worker that consumes the staged
+    /// graph records the stat, keeping one count per executed job.
+    pub fn graph_peek(&self, spec: &GraphSpec) -> (Arc<Csr>, bool) {
+        let key = spec.canonical_key();
+        if let Some(g) = self.graphs.lock().unwrap().get(&key) {
+            return (g, true);
+        }
+        let g = Arc::new(spec.build());
+        self.graphs.lock().unwrap().put(key, Arc::clone(&g));
+        (g, false)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn staging_table_roundtrip_and_absent_seq() {
+        let t = StagingTable::new();
+        assert!(t.take(1).is_none(), "unclaimed seq falls back to the normal path");
+        let g = Arc::new(GraphSpec::from_compact("rmat:scale=6,ef=4,seed=1").unwrap().build());
+        t.claim(2);
+        t.fulfill(2, Arc::clone(&g), true);
+        let (got, hit) = t.take(2).expect("claimed and fulfilled");
+        assert!(hit);
+        assert!(Arc::ptr_eq(&got, &g));
+        assert!(t.take(2).is_none(), "take consumes the entry");
+    }
+
+    #[test]
+    fn staging_take_blocks_until_fulfilled() {
+        let t = Arc::new(StagingTable::new());
+        t.claim(5);
+        let waiter = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || t.take(5))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let g = Arc::new(GraphSpec::from_compact("rmat:scale=6,ef=4,seed=1").unwrap().build());
+        t.fulfill(5, g, false);
+        let (_, hit) = waiter.join().unwrap().expect("fulfilled while waiting");
+        assert!(!hit);
+    }
 
     #[test]
     fn fnv1a_matches_reference_vectors() {
